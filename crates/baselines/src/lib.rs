@@ -1,0 +1,36 @@
+//! State-of-the-art baselines for skyline-over-join evaluation
+//! (Section VI-A of the paper).
+//!
+//! * [`jfsl`] — **JF-SL**: the traditional blocking plan (Figure 1.b):
+//!   hash join → map → skyline, one output batch at the very end. **JF-SL+**
+//!   adds skyline partial push-through pruning on each source.
+//! * [`ssmj`] — **SSMJ** (Jin et al., "The multi-relational skyline
+//!   operator", ICDE 2007), as characterized in the paper: per-source
+//!   source-level (`LS(S)`) and group-level (`LS(N)`) lists, four join
+//!   phases, and results reported in *two batches*.
+//! * [`saj`] — **SAJ**: a Fagin/threshold-style algorithm over per-dimension
+//!   sorted access, following the join-first/skyline-later paradigm
+//!   (blocking output, but with early termination of data access).
+//!
+//! All baselines consume the same inputs as ProgXe ([`SourceView`],
+//! [`MapSet`]) and push [`ResultTuple`] batches through the same
+//! [`ResultSink`] abstraction, so progressiveness curves are directly
+//! comparable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod jfsl;
+pub mod saj;
+pub mod ssmj;
+
+pub use common::{oracle_smj, BaselineStats, SkyAlgo};
+pub use jfsl::{jfsl, jfsl_plus};
+pub use saj::saj;
+pub use ssmj::ssmj;
+
+pub use progxe_core::mapping::MapSet;
+pub use progxe_core::sink::ResultSink;
+pub use progxe_core::source::SourceView;
+pub use progxe_core::stats::ResultTuple;

@@ -1,0 +1,53 @@
+//! Micro-benchmarks: classic skyline algorithms across the three canonical
+//! distributions (substrate for the paper's baselines and cost model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use progxe_datagen::Distribution;
+use progxe_skyline::{bnl_skyline, dnc_skyline, salsa_skyline, sfs_skyline, PointStore, Preference};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn dataset(dist: Distribution, n: usize, dims: usize) -> PointStore {
+    let mut rng = StdRng::seed_from_u64(0xFEED);
+    let mut store = PointStore::with_capacity(dims, n);
+    let mut buf = Vec::new();
+    let mut scaled = vec![0.0; dims];
+    for _ in 0..n {
+        dist.sample_unit(&mut rng, dims, &mut buf);
+        for (s, &u) in scaled.iter_mut().zip(&buf) {
+            *s = 1.0 + u * 99.0;
+        }
+        store.push(&scaled);
+    }
+    store
+}
+
+fn bench_skyline_algos(c: &mut Criterion) {
+    let n = 2000;
+    let dims = 3;
+    let pref = Preference::all_lowest(dims);
+    let mut group = c.benchmark_group("skyline_algos");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dist in Distribution::ALL {
+        let data = dataset(dist, n, dims);
+        group.bench_with_input(BenchmarkId::new("bnl", dist.name()), &data, |b, d| {
+            b.iter(|| black_box(bnl_skyline(d, &pref).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("sfs", dist.name()), &data, |b, d| {
+            b.iter(|| black_box(sfs_skyline(d, &pref).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("dnc", dist.name()), &data, |b, d| {
+            b.iter(|| black_box(dnc_skyline(d, &pref).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("salsa", dist.name()), &data, |b, d| {
+            b.iter(|| black_box(salsa_skyline(d, &pref).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skyline_algos);
+criterion_main!(benches);

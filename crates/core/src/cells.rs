@@ -1,0 +1,601 @@
+//! Tracked output cells and tuple-level dominance maintenance
+//! (Section III-B).
+//!
+//! Every output-grid cell covered by a live region is *tracked*. Tuples are
+//! inserted one at a time; the store maintains the invariant that **the live
+//! tuple set is exactly the skyline of all tuples inserted so far**:
+//!
+//! * a new tuple is rejected if its cell is dead, or if a tuple in a
+//!   *comparable* cell dominates it (comparable = the `d` coordinate slabs —
+//!   the `k^d − (k−1)^d` bound of Section III-B);
+//! * an admitted tuple evicts existing tuples it dominates (slab scan in the
+//!   other direction) and kills *fully dominated* populated cells wholesale;
+//! * cell-level full dominance is tracked through the *populated-cell
+//!   skyline*: the set of populated cells not fully dominated by another
+//!   populated cell. A cell that is fully dominated is dead — every tuple it
+//!   could ever hold is dominated by any tuple of the dominator.
+//!
+//! Slab indices over *populated* cells keep each insertion's candidate set
+//! close to the theoretical bound instead of scanning the whole grid.
+
+use crate::fxhash::FxHashMap;
+use crate::output_grid::{full_dominates, pack, weak_leq, Coord, OutputGrid};
+use progxe_skyline::{PointStore, Preference};
+
+/// Work counters for tuple-level processing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellStats {
+    /// Pairwise dominance tests between tuples.
+    pub dominance_tests: u64,
+    /// Tuples admitted into cells.
+    pub tuples_inserted: u64,
+    /// Tuples rejected because a live tuple dominates them.
+    pub tuples_rejected_dominated: u64,
+    /// Tuples rejected because their cell is dead (no comparison needed —
+    /// the paper's "discarded without performing any dominance comparisons").
+    pub tuples_rejected_dead_cell: u64,
+    /// Previously admitted tuples evicted by newer dominating tuples.
+    pub tuples_evicted: u64,
+    /// Cells killed wholesale by full dominance.
+    pub cells_killed: u64,
+    /// Populated comparable cells actually examined across all insertions
+    /// (the measured counterpart of the `k^d − (k−1)^d` bound).
+    pub comparable_cells_visited: u64,
+    /// Largest comparable-cell set examined by a single insertion.
+    pub comparable_cells_max: u64,
+}
+
+/// One tracked output cell (`O_h` in the paper).
+#[derive(Debug)]
+pub struct Cell {
+    coord: Coord,
+    /// `(r_idx, t_idx)` of surviving tuples, parallel to `points`.
+    ids: Vec<(u32, u32)>,
+    /// Oriented output values of surviving tuples.
+    points: PointStore,
+    populated: bool,
+    dead: bool,
+    emitted: bool,
+    /// Visit stamp for O(1) slab-union deduplication during insertion.
+    last_visit: u64,
+}
+
+impl Cell {
+    fn new(coord: Coord, dims: usize) -> Self {
+        Self {
+            coord,
+            ids: Vec::new(),
+            points: PointStore::new(dims),
+            populated: false,
+            dead: false,
+            emitted: false,
+            last_visit: 0,
+        }
+    }
+
+    /// Grid coordinate of this cell.
+    #[inline]
+    pub fn coord(&self) -> &Coord {
+        &self.coord
+    }
+
+    /// Surviving tuple ids.
+    #[inline]
+    pub fn ids(&self) -> &[(u32, u32)] {
+        &self.ids
+    }
+
+    /// Surviving tuple values (oriented), parallel to [`Cell::ids`].
+    #[inline]
+    pub fn points(&self) -> &PointStore {
+        &self.points
+    }
+
+    /// Number of surviving tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when no tuples survive in the cell.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Whether any tuple was ever admitted.
+    #[inline]
+    pub fn is_populated(&self) -> bool {
+        self.populated
+    }
+
+    /// Whether the cell is dominated and can never contribute results.
+    #[inline]
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Whether the cell's results were already emitted.
+    #[inline]
+    pub fn is_emitted(&self) -> bool {
+        self.emitted
+    }
+}
+
+/// The tracked-cell store.
+#[derive(Debug)]
+pub struct CellStore {
+    grid: OutputGrid,
+    pref: Preference,
+    cells: Vec<Cell>,
+    by_key: FxHashMap<u128, u32>,
+    /// Per-dimension slab index: coordinate value → populated cell indices.
+    slabs: Vec<FxHashMap<u16, Vec<u32>>>,
+    /// Populated cells not fully dominated by another populated cell.
+    cell_skyline: Vec<u32>,
+    /// Cells that entered `cell_skyline` since the last drain — consumed by
+    /// the executor's eager dead-region sweep (Algorithm 1, line 9).
+    fresh_skyline: Vec<u32>,
+    stats: CellStats,
+    /// Reused candidate buffer for slab-union enumeration.
+    scratch_candidates: Vec<u32>,
+    /// Monotone visit counter paired with `Cell::last_visit`.
+    visit_epoch: u64,
+}
+
+impl CellStore {
+    /// Creates a store over the given oriented grid. `pref` must be the
+    /// all-lowest preference of matching dimensionality (values are
+    /// oriented before insertion); it is taken as a parameter so dominance
+    /// accounting stays in one place.
+    pub fn new(grid: OutputGrid) -> Self {
+        let dims = grid.dims();
+        Self {
+            grid,
+            pref: Preference::all_lowest(dims),
+            cells: Vec::new(),
+            by_key: FxHashMap::default(),
+            slabs: vec![FxHashMap::default(); dims],
+            cell_skyline: Vec::new(),
+            fresh_skyline: Vec::new(),
+            stats: CellStats::default(),
+            scratch_candidates: Vec::new(),
+            visit_epoch: 0,
+        }
+    }
+
+    /// The underlying grid.
+    #[inline]
+    pub fn grid(&self) -> &OutputGrid {
+        &self.grid
+    }
+
+    /// Registers a cell as tracked (idempotent); returns its index.
+    pub fn track(&mut self, coord: Coord) -> u32 {
+        let key = pack(&coord);
+        if let Some(&idx) = self.by_key.get(&key) {
+            return idx;
+        }
+        let idx = self.cells.len() as u32;
+        self.cells.push(Cell::new(coord, self.grid.dims()));
+        self.by_key.insert(key, idx);
+        idx
+    }
+
+    /// Number of tracked cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when nothing is tracked.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Cell by index.
+    #[inline]
+    pub fn cell(&self, idx: u32) -> &Cell {
+        &self.cells[idx as usize]
+    }
+
+    /// Index of the cell at `coord`, if tracked.
+    pub fn find(&self, coord: &Coord) -> Option<u32> {
+        self.by_key.get(&pack(coord)).copied()
+    }
+
+    /// Work counters.
+    #[inline]
+    pub fn stats(&self) -> CellStats {
+        self.stats
+    }
+
+    /// Current populated-cell skyline size (diagnostics).
+    pub fn skyline_len(&self) -> usize {
+        self.cell_skyline.len()
+    }
+
+    /// Marks a cell dead without inserting anything (used by look-ahead
+    /// pre-marking against the pessimistic skyline).
+    pub fn mark_dead(&mut self, idx: u32) {
+        let cell = &mut self.cells[idx as usize];
+        debug_assert!(
+            !cell.emitted,
+            "an emitted cell can never become dominated (emission proved finality)"
+        );
+        if !cell.dead {
+            cell.dead = true;
+            self.stats.cells_killed += 1;
+            self.stats.tuples_evicted += cell.ids.len() as u64;
+            cell.ids.clear();
+            cell.points.clear();
+        }
+    }
+
+    /// Marks a cell emitted and returns a copy of its surviving tuples.
+    ///
+    /// The tuples deliberately *stay* in the store: they are final skyline
+    /// members, and future insertions into comparable cells must still be
+    /// tested against them. (Nothing can ever evict them — emission proved
+    /// no future tuple dominates them.)
+    pub fn take_emitted(&mut self, idx: u32) -> (Vec<(u32, u32)>, PointStore) {
+        let cell = &mut self.cells[idx as usize];
+        debug_assert!(!cell.emitted, "cell emitted twice");
+        cell.emitted = true;
+        (cell.ids.clone(), cell.points.clone())
+    }
+
+    /// Whether an (unprocessed) region with the given box lower corner is
+    /// entirely dominated by a populated cell — Algorithm 1's line 9 test.
+    /// A populated cell `s` kills the whole box iff it fully dominates the
+    /// box's best cell, `cell_lo`.
+    pub fn region_is_dead(&self, cell_lo: &Coord) -> bool {
+        let dims = self.grid.dims();
+        self.cell_skyline
+            .iter()
+            .any(|&s| full_dominates(&self.cells[s as usize].coord, cell_lo, dims))
+    }
+
+    /// Drains the cells that entered the populated-cell skyline since the
+    /// previous drain (for incremental dead-region sweeps).
+    pub fn drain_fresh_skyline(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.fresh_skyline)
+    }
+
+    /// Coordinate of a (possibly dead) cell index — valid for entries
+    /// returned by [`CellStore::drain_fresh_skyline`].
+    pub fn coord_of(&self, idx: u32) -> &Coord {
+        &self.cells[idx as usize].coord
+    }
+
+    /// Inserts one mapped join result (oriented values). Returns `true`
+    /// when the tuple was admitted.
+    ///
+    /// # Panics
+    /// Panics if the tuple falls into an untracked cell — the look-ahead
+    /// phase must have tracked every cell of every live region's box.
+    #[allow(clippy::needless_range_loop)] // `d` indexes two parallel arrays
+    pub fn insert(&mut self, r_idx: u32, t_idx: u32, oriented: &[f64]) -> bool {
+        let coord = self.grid.cell_of(oriented);
+        let idx = self
+            .find(&coord)
+            .expect("tuple mapped into an untracked cell: look-ahead box invariant violated");
+        let dims = self.grid.dims();
+
+        // 1. Dead cell: discard without any dominance comparison.
+        if self.cells[idx as usize].dead {
+            self.stats.tuples_rejected_dead_cell += 1;
+            return false;
+        }
+        // 2. First tuple of a cell: lazily check full dominance against the
+        //    populated-cell skyline.
+        if !self.cells[idx as usize].populated {
+            let dominated = self
+                .cell_skyline
+                .iter()
+                .any(|&s| full_dominates(&self.cells[s as usize].coord, &coord, dims));
+            if dominated {
+                self.cells[idx as usize].dead = true;
+                self.stats.cells_killed += 1;
+                self.stats.tuples_rejected_dead_cell += 1;
+                return false;
+            }
+        }
+
+        // 3. Check the new tuple against tuples in comparable cells
+        //    (slab union, weak-≤ filtered — includes this cell itself).
+        //    Deduplication across slabs uses per-cell visit stamps, which
+        //    profiled far cheaper than hashing on this hot path.
+        self.visit_epoch += 1;
+        let epoch = self.visit_epoch;
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        for d in 0..dims {
+            if let Some(slab) = self.slabs[d].get(&coord[d]) {
+                for &cand in slab {
+                    let cell = &mut self.cells[cand as usize];
+                    if cell.last_visit != epoch {
+                        cell.last_visit = epoch;
+                        candidates.push(cand);
+                    }
+                }
+            }
+        }
+        let mut rejected = false;
+        let mut cells_examined = 0u64;
+        'check: for &cand in &candidates {
+            let cell = &self.cells[cand as usize];
+            if cell.dead || !weak_leq(&cell.coord, &coord, dims) {
+                continue;
+            }
+            cells_examined += 1;
+            for p in cell.points.iter() {
+                self.stats.dominance_tests += 1;
+                if self.pref.dominates(p, oriented) {
+                    rejected = true;
+                    break 'check;
+                }
+            }
+        }
+        self.stats.comparable_cells_visited += cells_examined;
+        self.stats.comparable_cells_max = self.stats.comparable_cells_max.max(cells_examined);
+        if rejected {
+            self.scratch_candidates = candidates;
+            self.stats.tuples_rejected_dominated += 1;
+            return false;
+        }
+
+        // 4. Evict live tuples the new one dominates (reverse slab scan).
+        //    Emitted cells are skipped: their tuples are proven final, so
+        //    nothing can dominate them (and their ids are already shipped).
+        for &cand in &candidates {
+            let cell = &mut self.cells[cand as usize];
+            if cell.dead || cell.emitted || !weak_leq(&coord, &cell.coord, dims) {
+                continue;
+            }
+            let mut i = 0;
+            while i < cell.points.len() {
+                self.stats.dominance_tests += 1;
+                if self.pref.dominates(oriented, cell.points.point(i)) {
+                    cell.points.swap_remove(i);
+                    cell.ids.swap_remove(i);
+                    self.stats.tuples_evicted += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.scratch_candidates = candidates;
+
+        // 5. Admit the tuple; on first population update slab indices and
+        //    the populated-cell skyline (killing fully dominated cells).
+        let newly_populated = !self.cells[idx as usize].populated;
+        {
+            let cell = &mut self.cells[idx as usize];
+            cell.ids.push((r_idx, t_idx));
+            cell.points.push(oriented);
+            cell.populated = true;
+        }
+        self.stats.tuples_inserted += 1;
+        if newly_populated {
+            for d in 0..dims {
+                self.slabs[d].entry(coord[d]).or_default().push(idx);
+            }
+            // Evict skyline cells this one fully dominates; they die.
+            let mut s = 0;
+            while s < self.cell_skyline.len() {
+                let victim = self.cell_skyline[s];
+                if full_dominates(&coord, &self.cells[victim as usize].coord, dims) {
+                    self.cell_skyline.swap_remove(s);
+                    self.mark_dead(victim);
+                } else {
+                    s += 1;
+                }
+            }
+            self.cell_skyline.push(idx);
+            self.fresh_skyline.push(idx);
+        }
+        true
+    }
+
+    /// Iterates over tracked cells with their indices.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Cell)> {
+        self.cells.iter().enumerate().map(|(i, c)| (i as u32, c))
+    }
+
+    /// Total surviving tuples across all cells (diagnostics).
+    pub fn live_tuples(&self) -> usize {
+        self.cells.iter().filter(|c| !c.emitted).map(|c| c.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output_grid::MAX_DIMS;
+
+    fn store_10x10() -> CellStore {
+        let grid = OutputGrid::new(vec![0.0, 0.0], vec![10.0, 10.0], 10);
+        let mut s = CellStore::new(grid);
+        // Track everything for these unit tests.
+        for x in 0..10u16 {
+            for y in 0..10u16 {
+                let mut c: Coord = [0; MAX_DIMS];
+                c[0] = x;
+                c[1] = y;
+                s.track(c);
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn track_is_idempotent() {
+        let grid = OutputGrid::new(vec![0.0], vec![1.0], 4);
+        let mut s = CellStore::new(grid);
+        let mut c: Coord = [0; MAX_DIMS];
+        c[0] = 2;
+        let a = s.track(c);
+        let b = s.track(c);
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn insert_and_survive() {
+        let mut s = store_10x10();
+        assert!(s.insert(1, 2, &[5.5, 5.5]));
+        assert_eq!(s.stats().tuples_inserted, 1);
+        let idx = s.find(&s.grid().cell_of(&[5.5, 5.5])).unwrap();
+        assert_eq!(s.cell(idx).ids(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn dominated_insert_rejected_same_cell() {
+        let mut s = store_10x10();
+        assert!(s.insert(0, 0, &[5.1, 5.1]));
+        assert!(!s.insert(1, 1, &[5.4, 5.4]), "same cell, dominated");
+        assert_eq!(s.stats().tuples_rejected_dominated, 1);
+    }
+
+    #[test]
+    fn dominated_insert_rejected_by_slab_neighbor() {
+        let mut s = store_10x10();
+        // (2.5, 5.5) is in cell (2,5); (7.5, 5.5) in cell (7,5): same row —
+        // a partial dominator, so the comparison must happen.
+        assert!(s.insert(0, 0, &[2.5, 5.5]));
+        assert!(!s.insert(1, 1, &[7.5, 5.5]));
+    }
+
+    #[test]
+    fn full_dominance_kills_cell_on_population() {
+        let mut s = store_10x10();
+        assert!(s.insert(0, 0, &[9.5, 9.5])); // cell (9,9)
+        assert!(s.insert(1, 1, &[1.5, 1.5])); // cell (1,1) fully dominates (9,9)
+        let victim = s.find(&s.grid().cell_of(&[9.5, 9.5])).unwrap();
+        assert!(s.cell(victim).is_dead());
+        assert!(s.cell(victim).is_empty(), "tuples purged");
+        assert_eq!(s.stats().cells_killed, 1);
+        // Future arrivals into the dead cell are rejected without tests.
+        let tests_before = s.stats().dominance_tests;
+        assert!(!s.insert(2, 2, &[9.4, 9.4]));
+        assert_eq!(s.stats().dominance_tests, tests_before);
+        assert_eq!(s.stats().tuples_rejected_dead_cell, 1);
+    }
+
+    #[test]
+    fn lazy_death_on_first_insert() {
+        let mut s = store_10x10();
+        assert!(s.insert(0, 0, &[1.5, 1.5]));
+        // Cell (8,8) was never populated; first insert discovers it's dead.
+        assert!(!s.insert(1, 1, &[8.5, 8.5]));
+        let idx = s.find(&s.grid().cell_of(&[8.5, 8.5])).unwrap();
+        assert!(s.cell(idx).is_dead());
+    }
+
+    #[test]
+    fn eviction_removes_dominated_neighbors() {
+        let mut s = store_10x10();
+        assert!(s.insert(0, 0, &[7.5, 5.5])); // cell (7,5)
+        assert!(s.insert(1, 1, &[2.5, 5.5])); // same row, dominates the first
+        let victim = s.find(&s.grid().cell_of(&[7.5, 5.5])).unwrap();
+        assert!(s.cell(victim).is_empty());
+        assert_eq!(s.stats().tuples_evicted, 1);
+        assert!(!s.cell(victim).is_dead(), "partial dominance evicts tuples, not cells");
+    }
+
+    #[test]
+    fn incomparable_tuples_coexist() {
+        let mut s = store_10x10();
+        assert!(s.insert(0, 0, &[2.5, 7.5]));
+        assert!(s.insert(1, 1, &[7.5, 2.5]));
+        assert_eq!(s.live_tuples(), 2);
+    }
+
+    #[test]
+    fn equal_tuples_coexist() {
+        let mut s = store_10x10();
+        assert!(s.insert(0, 0, &[5.5, 5.5]));
+        assert!(s.insert(1, 1, &[5.5, 5.5]));
+        assert_eq!(s.live_tuples(), 2);
+    }
+
+    #[test]
+    fn live_set_is_always_skyline_of_inserted() {
+        // Deterministic pseudo-random stress: after each insert, the live
+        // tuples must equal the skyline of everything inserted so far.
+        let mut s = store_10x10();
+        let pref = Preference::all_lowest(2);
+        let mut inserted: Vec<[f64; 2]> = Vec::new();
+        let mut x: u64 = 42;
+        for i in 0..300u32 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = ((x >> 33) % 100) as f64 / 10.0;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = ((x >> 33) % 100) as f64 / 10.0;
+            s.insert(i, i, &[a, b]);
+            inserted.push([a, b]);
+
+            let mut live: Vec<[f64; 2]> = Vec::new();
+            for (_, cell) in s.iter() {
+                for p in cell.points().iter() {
+                    live.push([p[0], p[1]]);
+                }
+            }
+            let expected: Vec<[f64; 2]> = inserted
+                .iter()
+                .filter(|p| {
+                    !inserted
+                        .iter()
+                        .any(|q| pref.dominates(&q[..], &p[..]))
+                })
+                .copied()
+                .collect();
+            let mut live_s = live.clone();
+            let mut exp_s = expected.clone();
+            live_s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            exp_s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(live_s, exp_s, "diverged after {} inserts", i + 1);
+        }
+    }
+
+    #[test]
+    fn region_is_dead_via_skyline() {
+        let mut s = store_10x10();
+        let mut lo: Coord = [0; MAX_DIMS];
+        lo[0] = 5;
+        lo[1] = 5;
+        assert!(!s.region_is_dead(&lo));
+        s.insert(0, 0, &[1.5, 1.5]); // populates (1,1), fully dominates (5,5)
+        assert!(s.region_is_dead(&lo));
+        let mut edge: Coord = [0; MAX_DIMS];
+        edge[0] = 1;
+        edge[1] = 5;
+        assert!(!s.region_is_dead(&edge), "shares a slab — not fully dominated");
+    }
+
+    #[test]
+    fn fresh_skyline_drains_incrementally() {
+        let mut s = store_10x10();
+        s.insert(0, 0, &[5.5, 5.5]);
+        assert_eq!(s.drain_fresh_skyline().len(), 1);
+        assert!(s.drain_fresh_skyline().is_empty());
+        s.insert(1, 1, &[5.6, 5.6]); // same cell: no new skyline entry
+        assert!(s.drain_fresh_skyline().is_empty());
+        s.insert(2, 2, &[2.5, 7.5]); // new cell
+        assert_eq!(s.drain_fresh_skyline().len(), 1);
+    }
+
+    #[test]
+    fn take_emitted_moves_tuples_out() {
+        let mut s = store_10x10();
+        s.insert(3, 4, &[5.5, 5.5]);
+        let idx = s.find(&s.grid().cell_of(&[5.5, 5.5])).unwrap();
+        let (ids, points) = s.take_emitted(idx);
+        assert_eq!(ids, vec![(3, 4)]);
+        assert_eq!(points.len(), 1);
+        assert!(s.cell(idx).is_emitted());
+        assert_eq!(s.live_tuples(), 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! Executor configuration: grid granularity, ordering policy, signatures.
+
+use crate::error::{Error, Result};
+
+/// How regions are ordered for tuple-level processing (Section IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingPolicy {
+    /// The paper's ProgOrder: rank = Benefit / Cost over EL-Graph roots
+    /// (Algorithm 1). This is "ProgXe" in the experiments.
+    ProgOrder,
+    /// Regions are processed in a seeded random order — the paper's
+    /// "ProgXe (No-Order)" variation. Progressive result determination
+    /// stays enabled, so output is still early and correct; only the
+    /// *rate* optimization is disabled.
+    Random {
+        /// Shuffle seed (deterministic given the seed).
+        seed: u64,
+    },
+    /// Regions in creation order — a deterministic ablation point between
+    /// ProgOrder and Random.
+    Fifo,
+}
+
+/// Join-signature realization per input partition (Section III-A: "either
+/// Bloom Filter or a bit vector").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignatureConfig {
+    /// Exact bitset over the join-key domain. Overlap ⇒ the partition pair
+    /// is *guaranteed* to produce a join result, enabling region-level
+    /// dominance pruning.
+    Exact,
+    /// Bloom filter with the given number of bits. Overlap may be a false
+    /// positive, so the executor automatically downgrades region-level
+    /// pruning to populated-cell marking only (see DESIGN.md §5.3).
+    Bloom {
+        /// Filter size in bits (rounded up to a multiple of 64).
+        bits: usize,
+    },
+}
+
+/// Configuration of the ProgXe executor.
+///
+/// The defaults target the scaled-down experiment sizes of this
+/// reproduction (N ≈ 10K–100K); `input_partitions_per_dim` is the paper's
+/// input grid granularity and `output_cells_per_dim` its output partition
+/// size δ (expressed as a cell count, since the output extent is data-
+/// dependent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgXeConfig {
+    /// Grid partitions per attribute dimension on each input source.
+    pub input_partitions_per_dim: usize,
+    /// Output-grid cells per output dimension (the paper's δ).
+    pub output_cells_per_dim: usize,
+    /// Region-ordering policy for tuple-level processing.
+    pub ordering: OrderingPolicy,
+    /// Join-signature realization.
+    pub signature: SignatureConfig,
+    /// Apply skyline partial push-through to each source before grid
+    /// construction (the "+" in ProgXe+; Section VI-B).
+    pub push_through: bool,
+    /// Join selectivity hint used by the benefit model (Equation 1). When
+    /// `None`, estimated as `1 / distinct-join-keys`.
+    pub selectivity_hint: Option<f64>,
+    /// Emit per-region batches even when empty (useful for tracing).
+    pub emit_empty_batches: bool,
+}
+
+impl Default for ProgXeConfig {
+    fn default() -> Self {
+        Self {
+            input_partitions_per_dim: 3,
+            output_cells_per_dim: 24,
+            ordering: OrderingPolicy::ProgOrder,
+            signature: SignatureConfig::Exact,
+            push_through: false,
+            selectivity_hint: None,
+            emit_empty_batches: false,
+        }
+    }
+}
+
+impl ProgXeConfig {
+    /// The paper's four experimental variations (Section VI-B).
+    ///
+    /// * `ordered = true,  push = false` → ProgXe
+    /// * `ordered = true,  push = true ` → ProgXe+
+    /// * `ordered = false, push = false` → ProgXe (No-Order)
+    /// * `ordered = false, push = true ` → ProgXe+ (No-Order)
+    pub fn variation(ordered: bool, push: bool) -> Self {
+        Self {
+            ordering: if ordered {
+                OrderingPolicy::ProgOrder
+            } else {
+                OrderingPolicy::Random { seed: 0x5EED }
+            },
+            push_through: push,
+            ..Self::default()
+        }
+    }
+
+    /// Builder: set input grid granularity.
+    pub fn with_input_partitions(mut self, per_dim: usize) -> Self {
+        self.input_partitions_per_dim = per_dim;
+        self
+    }
+
+    /// Builder: set output grid granularity (δ).
+    pub fn with_output_cells(mut self, per_dim: usize) -> Self {
+        self.output_cells_per_dim = per_dim;
+        self
+    }
+
+    /// Builder: set ordering policy.
+    pub fn with_ordering(mut self, ordering: OrderingPolicy) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Builder: set signature kind.
+    pub fn with_signature(mut self, signature: SignatureConfig) -> Self {
+        self.signature = signature;
+        self
+    }
+
+    /// Builder: toggle push-through.
+    pub fn with_push_through(mut self, enabled: bool) -> Self {
+        self.push_through = enabled;
+        self
+    }
+
+    /// Builder: provide the benefit model's selectivity hint.
+    pub fn with_selectivity_hint(mut self, sigma: f64) -> Self {
+        self.selectivity_hint = Some(sigma);
+        self
+    }
+
+    /// Validates field ranges.
+    pub fn validate(&self) -> Result<()> {
+        if self.input_partitions_per_dim == 0 {
+            return Err(Error::InvalidConfig("input_partitions_per_dim must be > 0"));
+        }
+        if self.output_cells_per_dim == 0 {
+            return Err(Error::InvalidConfig("output_cells_per_dim must be > 0"));
+        }
+        if self.output_cells_per_dim > u16::MAX as usize {
+            return Err(Error::InvalidConfig(
+                "output_cells_per_dim must fit in 16 bits",
+            ));
+        }
+        if let SignatureConfig::Bloom { bits } = self.signature {
+            if bits == 0 {
+                return Err(Error::InvalidConfig("bloom signature needs > 0 bits"));
+            }
+        }
+        if let Some(s) = self.selectivity_hint {
+            if !(s > 0.0 && s <= 1.0) {
+                return Err(Error::InvalidConfig("selectivity_hint must be in (0, 1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ProgXeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn variations_toggle_the_right_knobs() {
+        let v = ProgXeConfig::variation(true, true);
+        assert_eq!(v.ordering, OrderingPolicy::ProgOrder);
+        assert!(v.push_through);
+        let v = ProgXeConfig::variation(false, false);
+        assert!(matches!(v.ordering, OrderingPolicy::Random { .. }));
+        assert!(!v.push_through);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(ProgXeConfig::default()
+            .with_input_partitions(0)
+            .validate()
+            .is_err());
+        assert!(ProgXeConfig::default()
+            .with_output_cells(0)
+            .validate()
+            .is_err());
+        assert!(ProgXeConfig::default()
+            .with_signature(SignatureConfig::Bloom { bits: 0 })
+            .validate()
+            .is_err());
+        assert!(ProgXeConfig::default()
+            .with_selectivity_hint(0.0)
+            .validate()
+            .is_err());
+        assert!(ProgXeConfig::default()
+            .with_selectivity_hint(1.5)
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = ProgXeConfig::default()
+            .with_input_partitions(4)
+            .with_output_cells(32)
+            .with_push_through(true)
+            .with_selectivity_hint(0.01);
+        assert_eq!(c.input_partitions_per_dim, 4);
+        assert_eq!(c.output_cells_per_dim, 32);
+        assert!(c.push_through);
+        assert_eq!(c.selectivity_hint, Some(0.01));
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,139 @@
+//! The cost model of Section IV-C (Equations 3–7).
+//!
+//! The penalty of tuple-level processing for a region is the sum of
+//!
+//! * `C_join = n_R · n_T` — evaluating the join condition over the
+//!   partition pair (Equation 4),
+//! * `C_map = σ · n_R · n_T` — mapping each join result (Equation 5),
+//! * `C_sky` — dominance comparisons: each of the `σ·n_R·n_T` results is
+//!   compared against the tuples of its comparable cells, at Kung-style
+//!   amortized cost `(CP_avg·s_avg) · log^α(CP_avg·s_avg)` with `α = 1` for
+//!   `d ≤ 3` and `α = d − 2` otherwise (Equation 6).
+//!
+//! `CP_avg` uses the Section III-B bound of `k·d` comparable partitions and
+//! `s_avg` the expected occupancy `σ·n_R·n_T / PartitionCount`.
+
+use crate::lookahead::Region;
+use crate::output_grid::OutputGrid;
+
+/// Cost-model parameters shared across regions.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Join selectivity estimate σ.
+    pub sigma: f64,
+    /// Output cells per dimension (`k`).
+    pub cells_per_dim: u16,
+    /// Output dimensionality (`d`).
+    pub dims: usize,
+}
+
+impl CostModel {
+    /// The Kung exponent: `α = 1` for `d ∈ {2, 3}`, else `d − 2`.
+    pub fn alpha(&self) -> f64 {
+        if self.dims <= 3 {
+            1.0
+        } else {
+            (self.dims - 2) as f64
+        }
+    }
+
+    /// Equation 7: amortized tuple-level processing cost of a region.
+    pub fn region_cost(&self, region: &Region, grid: &OutputGrid) -> f64 {
+        let n_r = region.n_r as f64;
+        let n_t = region.n_t as f64;
+        let c_join = n_r * n_t;
+        let join_out = self.sigma * n_r * n_t;
+        let c_map = join_out;
+        let cp_avg = self.cells_per_dim as f64 * self.dims as f64;
+        let partitions = region.partition_count(grid) as f64;
+        let s_avg = (join_out / partitions).max(1.0);
+        let s = cp_avg * s_avg;
+        let c_sky = join_out * s * s.ln().max(1.0).powf(self.alpha());
+        c_join + c_map + c_sky
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output_grid::{Coord, MAX_DIMS};
+
+    fn region(n_r: u32, n_t: u32, span: u16) -> Region {
+        let lo: Coord = [0; MAX_DIMS];
+        let mut hi: Coord = [0; MAX_DIMS];
+        hi[0] = span;
+        hi[1] = span;
+        Region {
+            id: 0,
+            r_part: 0,
+            t_part: 0,
+            lo: vec![0.0, 0.0],
+            hi: vec![span as f64, span as f64],
+            cell_lo: lo,
+            cell_hi: hi,
+            n_r,
+            n_t,
+            guaranteed: true,
+        }
+    }
+
+    fn grid() -> OutputGrid {
+        OutputGrid::new(vec![0.0, 0.0], vec![10.0, 10.0], 10)
+    }
+
+    #[test]
+    fn alpha_follows_kung() {
+        let m = |d| CostModel {
+            sigma: 0.1,
+            cells_per_dim: 10,
+            dims: d,
+        };
+        assert_eq!(m(2).alpha(), 1.0);
+        assert_eq!(m(3).alpha(), 1.0);
+        assert_eq!(m(4).alpha(), 2.0);
+        assert_eq!(m(5).alpha(), 3.0);
+    }
+
+    #[test]
+    fn bigger_partitions_cost_more() {
+        let m = CostModel {
+            sigma: 0.01,
+            cells_per_dim: 10,
+            dims: 2,
+        };
+        let g = grid();
+        let small = m.region_cost(&region(10, 10, 2), &g);
+        let large = m.region_cost(&region(1000, 1000, 2), &g);
+        assert!(large > small * 100.0);
+    }
+
+    #[test]
+    fn higher_selectivity_costs_more() {
+        let g = grid();
+        let lo = CostModel {
+            sigma: 0.001,
+            cells_per_dim: 10,
+            dims: 2,
+        }
+        .region_cost(&region(100, 100, 2), &g);
+        let hi = CostModel {
+            sigma: 0.1,
+            cells_per_dim: 10,
+            dims: 2,
+        }
+        .region_cost(&region(100, 100, 2), &g);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn cost_is_at_least_the_join_cost() {
+        let m = CostModel {
+            sigma: 1e-6,
+            cells_per_dim: 10,
+            dims: 4,
+        };
+        let g = grid();
+        let c = m.region_cost(&region(50, 60, 3), &g);
+        assert!(c >= 50.0 * 60.0);
+    }
+}

@@ -1,0 +1,650 @@
+//! The ProgXe executor: Figure 2's pipeline end to end.
+//!
+//! ```text
+//! sources ─▶ (push-through?) ─▶ input grids ─▶ output-space look-ahead
+//!        ─▶ progressive-driven ordering ─▶ tuple-level processing
+//!        ─▶ progressive result determination ─▶ sink (early, safe output)
+//! ```
+//!
+//! The executor is deterministic given its configuration: grid construction,
+//! region ids, EL-graph tie-breaks, and the `Random` ordering's shuffle are
+//! all seeded or ordinal.
+
+use crate::benefit;
+use crate::cells::CellStore;
+use crate::config::{OrderingPolicy, ProgXeConfig};
+use crate::cost::CostModel;
+use crate::elgraph::ElGraph;
+use crate::error::{Error, Result};
+use crate::fxhash::FxHashMap;
+use crate::grid::InputGrid;
+use crate::lookahead::{run_lookahead, track_cells};
+use crate::mapping::MapSet;
+use crate::output_grid::MAX_DIMS;
+use crate::progdetermine::{EmittedCell, ProgDetermine};
+use crate::progorder::ProgOrderQueue;
+use crate::pushthrough::{push_through, Side};
+use crate::sink::{CollectSink, ResultSink};
+use crate::source::SourceView;
+use crate::stats::{ExecStats, ResultTuple};
+use crate::tuple_level::process_region;
+use progxe_skyline::PointStore;
+use std::time::Instant;
+
+/// Cell-visit cap for ProgCount scans on oversized region boxes.
+const PROG_COUNT_VISIT_CAP: u64 = 4_096;
+
+/// The progressive SkyMapJoin executor.
+#[derive(Debug, Clone, Default)]
+pub struct ProgXe {
+    config: ProgXeConfig,
+}
+
+/// Collected output of [`ProgXe::run_collect`].
+#[derive(Debug)]
+pub struct RunOutput {
+    /// All results in emission order.
+    pub results: Vec<ResultTuple>,
+    /// Run statistics.
+    pub stats: ExecStats,
+}
+
+impl ProgXe {
+    /// Creates an executor with the given configuration.
+    pub fn new(config: ProgXeConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProgXeConfig {
+        &self.config
+    }
+
+    /// Runs the query, pushing result batches into `sink` as soon as they
+    /// are proven final. Returns run statistics.
+    pub fn run<S: ResultSink + ?Sized>(
+        &self,
+        r: &SourceView<'_>,
+        t: &SourceView<'_>,
+        maps: &MapSet,
+        sink: &mut S,
+    ) -> Result<ExecStats> {
+        self.config.validate()?;
+        if maps.out_dims() > MAX_DIMS {
+            return Err(Error::TooManyDimensions {
+                dims: maps.out_dims(),
+                max: MAX_DIMS,
+            });
+        }
+        let start = Instant::now();
+        let mut stats = ExecStats::default();
+        if r.is_empty() || t.is_empty() {
+            stats.total_time = start.elapsed();
+            return Ok(stats);
+        }
+
+        // ── Push-through (ProgXe+) ────────────────────────────────────────
+        // `kept_*` map filtered row ids back to the caller's original rows.
+        let (kept_r, kept_t) = if self.config.push_through {
+            match (
+                push_through(r, maps, Side::R),
+                push_through(t, maps, Side::T),
+            ) {
+                (Some(kr), Some(kt)) => {
+                    stats.push_through_pruned_r = r.len() - kr.len();
+                    stats.push_through_pruned_t = t.len() - kt.len();
+                    (kr, kt)
+                }
+                _ => {
+                    stats.push_through_skipped = true;
+                    ((0..r.len() as u32).collect(), (0..t.len() as u32).collect())
+                }
+            }
+        } else {
+            ((0..r.len() as u32).collect(), (0..t.len() as u32).collect())
+        };
+
+        // ── Dense join-key remapping ─────────────────────────────────────
+        // Exact signatures are bitsets over the join domain; remapping to
+        // dense ids bounds them by the number of *distinct* keys.
+        let mut key_ids: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut dense = |k: u32| -> u32 {
+            let next = key_ids.len() as u32;
+            *key_ids.entry(k).or_insert(next)
+        };
+        let (r_attrs, r_keys) = filter_source(r, &kept_r, &mut dense);
+        let (t_attrs, t_keys) = filter_source(t, &kept_t, &mut dense);
+        let join_domain = key_ids.len();
+        let r_view = SourceView::new(&r_attrs, &r_keys)?;
+        let t_view = SourceView::new(&t_attrs, &t_keys)?;
+        if r_view.is_empty() || t_view.is_empty() {
+            stats.total_time = start.elapsed();
+            return Ok(stats);
+        }
+
+        // Selectivity estimate for the benefit/cost models.
+        let sigma = self
+            .config
+            .selectivity_hint
+            .unwrap_or(1.0 / join_domain.max(1) as f64);
+
+        // ── Grids + output-space look-ahead ──────────────────────────────
+        let per_dim = self.config.input_partitions_per_dim;
+        let r_grid = InputGrid::build(&r_view, per_dim, self.config.signature, join_domain);
+        let t_grid = InputGrid::build(&t_view, per_dim, self.config.signature, join_domain);
+        stats.partitions_r = r_grid.len();
+        stats.partitions_t = t_grid.len();
+
+        let la = run_lookahead(
+            &r_grid,
+            &t_grid,
+            maps,
+            self.config.output_cells_per_dim as u16,
+        );
+        stats.pairs_rejected_by_signature = la.pairs_rejected_by_signature;
+        stats.regions_pruned_lookahead = la.regions_pruned;
+        stats.regions_created = la.regions.len();
+
+        let mut store = CellStore::new(la.grid.clone());
+        stats.cells_premarked_dead = track_cells(&la, &mut store);
+        stats.cells_tracked = store.len();
+        let mut det = ProgDetermine::new(&store, &la.regions);
+        stats.lookahead_time = start.elapsed();
+
+        // ── Region processing loop ───────────────────────────────────────
+        let orders = maps.preference().orders().to_vec();
+        let mut emitted: Vec<EmittedCell> = Vec::new();
+        let mut batch: Vec<ResultTuple> = Vec::new();
+        let cost_model = CostModel {
+            sigma,
+            cells_per_dim: self.config.output_cells_per_dim as u16,
+            dims: maps.out_dims(),
+        };
+
+        let emit_round = |emitted: &mut Vec<EmittedCell>,
+                              batch: &mut Vec<ResultTuple>,
+                              stats: &mut ExecStats,
+                              sink: &mut S| {
+            if emitted.is_empty() {
+                return;
+            }
+            batch.clear();
+            for cell in emitted.drain(..) {
+                stats.cells_emitted += 1;
+                for (i, &(ri, ti)) in cell.ids.iter().enumerate() {
+                    let oriented = cell.points.point(i);
+                    let values = orders
+                        .iter()
+                        .zip(oriented)
+                        .map(|(o, &v)| o.orient(v))
+                        .collect();
+                    batch.push(ResultTuple {
+                        r_idx: kept_r[ri as usize],
+                        t_idx: kept_t[ti as usize],
+                        values,
+                    });
+                }
+            }
+            stats.results_emitted += batch.len() as u64;
+            sink.emit_batch(batch);
+        };
+
+        let handle_region = |rid: u32,
+                                 store: &mut CellStore,
+                                 det: &mut ProgDetermine,
+                                 stats: &mut ExecStats,
+                                 sink: &mut S,
+                                 emitted: &mut Vec<EmittedCell>,
+                                 batch: &mut Vec<ResultTuple>| {
+            let region = &la.regions[rid as usize];
+            if store.region_is_dead(&region.cell_lo) {
+                stats.regions_discarded_dead += 1;
+            } else {
+                let rp = &r_grid.partitions()[region.r_part as usize];
+                let tp = &t_grid.partitions()[region.t_part as usize];
+                let tl = process_region(rp, tp, &r_view, &t_view, maps, store);
+                stats.join_pairs_evaluated += tl.pairs_examined;
+                stats.join_matches += tl.matches;
+                stats.regions_processed += 1;
+            }
+            det.resolve_region(region, store, emitted);
+            emit_round(emitted, batch, stats, sink);
+        };
+
+        match self.config.ordering {
+            OrderingPolicy::ProgOrder => {
+                let n_regions = la.regions.len();
+                let mut graph = ElGraph::build(&la.regions, maps.out_dims());
+                let mut queue = ProgOrderQueue::new(n_regions);
+                // Benefit recomputation is the expensive part of ordering
+                // (a box scan per region). To keep the paper's "ordering
+                // overhead is negligible" property, ranks are refreshed
+                // *lazily*: affected regions are only marked dirty
+                // (Algorithm 1 line 13 in spirit), and the recompute happens
+                // when the region reaches the top of the queue — with a
+                // small re-queue budget per region so dense elimination
+                // graphs cannot trigger quadratic rescans.
+                let mut rank_cache: Vec<f64> = vec![0.0; n_regions];
+                let mut dirty: Vec<bool> = vec![false; n_regions];
+                let mut requeue_budget: Vec<u8> = vec![3; n_regions];
+                let rank_of = |rid: u32,
+                               store: &CellStore,
+                               det: &ProgDetermine,
+                               cache: &mut Vec<f64>|
+                 -> f64 {
+                    let region = &la.regions[rid as usize];
+                    let b = benefit::benefit(region, store, det, sigma, PROG_COUNT_VISIT_CAP);
+                    let c = cost_model.region_cost(region, store.grid()).max(1.0);
+                    let rank = b / c;
+                    cache[rid as usize] = rank;
+                    rank
+                };
+                for root in graph.roots() {
+                    let rank = rank_of(root, &store, &det, &mut rank_cache);
+                    queue.push(root, rank);
+                }
+                while graph.unresolved() > 0 {
+                    let rid = match queue.pop_entry() {
+                        Some((rid, _)) if graph.is_resolved(rid) => {
+                            let _ = rid;
+                            continue;
+                        }
+                        Some((rid, entry_rank)) => {
+                            if dirty[rid as usize] && requeue_budget[rid as usize] > 0 {
+                                dirty[rid as usize] = false;
+                                requeue_budget[rid as usize] -= 1;
+                                let fresh = rank_of(rid, &store, &det, &mut rank_cache);
+                                if fresh < entry_rank * 0.999 {
+                                    // Demoted: let a better region go first.
+                                    queue.push(rid, fresh);
+                                    continue;
+                                }
+                            }
+                            rid
+                        }
+                        None => {
+                            // Cyclic component with no root (DESIGN.md §5.2):
+                            // pick the best pending region by cached rank —
+                            // O(regions), no box scans.
+                            stats.ordering_fallbacks += 1;
+                            graph
+                                .pending()
+                                .into_iter()
+                                .max_by(|&a, &b| {
+                                    rank_cache[a as usize]
+                                        .total_cmp(&rank_cache[b as usize])
+                                        .then_with(|| b.cmp(&a))
+                                })
+                                .expect("unresolved > 0 implies pending regions")
+                        }
+                    };
+                    handle_region(
+                        rid,
+                        &mut store,
+                        &mut det,
+                        &mut stats,
+                        sink,
+                        &mut emitted,
+                        &mut batch,
+                    );
+                    let (new_roots, affected) = graph.resolve(rid);
+                    for nr in new_roots {
+                        let rank = rank_of(nr, &store, &det, &mut rank_cache);
+                        queue.push(nr, rank);
+                    }
+                    for a in affected {
+                        if queue.contains(a) {
+                            dirty[a as usize] = true;
+                        }
+                    }
+                }
+            }
+            OrderingPolicy::Random { seed } => {
+                let mut order: Vec<u32> = (0..la.regions.len() as u32).collect();
+                shuffle(&mut order, seed);
+                for rid in order {
+                    handle_region(
+                        rid,
+                        &mut store,
+                        &mut det,
+                        &mut stats,
+                        sink,
+                        &mut emitted,
+                        &mut batch,
+                    );
+                }
+            }
+            OrderingPolicy::Fifo => {
+                for rid in 0..la.regions.len() as u32 {
+                    handle_region(
+                        rid,
+                        &mut store,
+                        &mut det,
+                        &mut stats,
+                        sink,
+                        &mut emitted,
+                        &mut batch,
+                    );
+                }
+            }
+        }
+
+        // All regions resolved ⇒ every live cell must have been released.
+        debug_assert_eq!(det.live_cells(), 0, "cells left blocked after all regions resolved");
+
+        let cell_stats = store.stats();
+        stats.dominance_tests = cell_stats.dominance_tests;
+        stats.tuples_inserted = cell_stats.tuples_inserted;
+        stats.tuples_rejected_dominated = cell_stats.tuples_rejected_dominated;
+        stats.tuples_rejected_dead_cell = cell_stats.tuples_rejected_dead_cell;
+        stats.tuples_evicted = cell_stats.tuples_evicted;
+        stats.comparable_cells_visited = cell_stats.comparable_cells_visited;
+        stats.comparable_cells_max = cell_stats.comparable_cells_max;
+        stats.total_time = start.elapsed();
+        Ok(stats)
+    }
+
+    /// Convenience wrapper: run and collect all results.
+    pub fn run_collect(
+        &self,
+        r: &SourceView<'_>,
+        t: &SourceView<'_>,
+        maps: &MapSet,
+    ) -> Result<RunOutput> {
+        let mut sink = CollectSink::default();
+        let stats = self.run(r, t, maps, &mut sink)?;
+        Ok(RunOutput {
+            results: sink.results,
+            stats,
+        })
+    }
+}
+
+/// Copies the kept rows of a source, remapping join keys to dense ids.
+fn filter_source(
+    src: &SourceView<'_>,
+    kept: &[u32],
+    dense: &mut impl FnMut(u32) -> u32,
+) -> (PointStore, Vec<u32>) {
+    let mut attrs = PointStore::with_capacity(src.dims(), kept.len());
+    let mut keys = Vec::with_capacity(kept.len());
+    for &row in kept {
+        attrs.push(src.attrs_of(row as usize));
+        keys.push(dense(src.join_key_of(row as usize)));
+    }
+    (attrs, keys)
+}
+
+/// Deterministic Fisher–Yates shuffle driven by SplitMix64 (keeps `rand`
+/// out of the core crate's dependencies).
+fn shuffle(v: &mut [u32], seed: u64) {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..v.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SignatureConfig;
+    use crate::source::SourceData;
+    use progxe_skyline::{naive_skyline, Preference};
+
+    /// Oracle: full nested-loop join + map + naive skyline.
+    fn oracle(r: &SourceData, t: &SourceData, maps: &MapSet) -> Vec<(u32, u32)> {
+        let mut points = PointStore::new(maps.out_dims());
+        let mut ids = Vec::new();
+        let mut out = Vec::new();
+        for ri in 0..r.len() {
+            for ti in 0..t.len() {
+                if r.view().join_key_of(ri) != t.view().join_key_of(ti) {
+                    continue;
+                }
+                maps.eval_into(r.view().attrs_of(ri), t.view().attrs_of(ti), &mut out);
+                points.push(&out);
+                ids.push((ri as u32, ti as u32));
+            }
+        }
+        let sky = naive_skyline(&points, maps.preference());
+        let mut result: Vec<(u32, u32)> = sky.indices.iter().map(|&i| ids[i]).collect();
+        result.sort_unstable();
+        result
+    }
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    fn random_source(n: usize, dims: usize, keys: u32, seed: u64) -> SourceData {
+        let mut s = SourceData::new(dims);
+        let mut st = seed;
+        let mut row = vec![0.0; dims];
+        for _ in 0..n {
+            for v in row.iter_mut() {
+                *v = (lcg(&mut st) % 1000) as f64 / 10.0;
+            }
+            let k = (lcg(&mut st) % keys as u64) as u32;
+            s.push(&row, k);
+        }
+        s
+    }
+
+    fn run_and_sort(exec: &ProgXe, r: &SourceData, t: &SourceData, maps: &MapSet) -> Vec<(u32, u32)> {
+        let out = exec
+            .run_collect(&r.view(), &t.view(), maps)
+            .expect("run succeeds");
+        let mut ids: Vec<(u32, u32)> = out.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn matches_oracle_on_tiny_input() {
+        let r = SourceData::from_rows(2, &[(&[1.0, 5.0], 0), (&[4.0, 2.0], 1)]);
+        let t = SourceData::from_rows(2, &[(&[2.0, 3.0], 0), (&[1.0, 1.0], 1)]);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        assert_eq!(run_and_sort(&exec, &r, &t, &maps), oracle(&r, &t, &maps));
+    }
+
+    #[test]
+    fn matches_oracle_random_2d() {
+        let r = random_source(120, 2, 8, 1);
+        let t = random_source(110, 2, 8, 2);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        assert_eq!(run_and_sort(&exec, &r, &t, &maps), oracle(&r, &t, &maps));
+    }
+
+    #[test]
+    fn matches_oracle_random_3d() {
+        let r = random_source(80, 3, 5, 3);
+        let t = random_source(90, 3, 5, 4);
+        let maps = MapSet::pairwise_sum(3, Preference::all_lowest(3));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        assert_eq!(run_and_sort(&exec, &r, &t, &maps), oracle(&r, &t, &maps));
+    }
+
+    #[test]
+    fn all_orderings_agree_with_oracle() {
+        let r = random_source(100, 2, 6, 5);
+        let t = random_source(100, 2, 6, 6);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let expected = oracle(&r, &t, &maps);
+        for ordering in [
+            OrderingPolicy::ProgOrder,
+            OrderingPolicy::Random { seed: 7 },
+            OrderingPolicy::Random { seed: 99 },
+            OrderingPolicy::Fifo,
+        ] {
+            let exec = ProgXe::new(ProgXeConfig::default().with_ordering(ordering));
+            assert_eq!(
+                run_and_sort(&exec, &r, &t, &maps),
+                expected,
+                "ordering {ordering:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn push_through_preserves_results() {
+        let r = random_source(150, 2, 4, 7);
+        let t = random_source(150, 2, 4, 8);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let plain = ProgXe::new(ProgXeConfig::variation(true, false));
+        let plus = ProgXe::new(ProgXeConfig::variation(true, true));
+        assert_eq!(
+            run_and_sort(&plain, &r, &t, &maps),
+            run_and_sort(&plus, &r, &t, &maps)
+        );
+        let stats = plus
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap()
+            .stats;
+        assert!(
+            stats.push_through_pruned_r > 0,
+            "group pruning should remove something on 150×2d×4keys"
+        );
+    }
+
+    #[test]
+    fn bloom_signatures_preserve_results() {
+        let r = random_source(100, 2, 10, 9);
+        let t = random_source(100, 2, 10, 10);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exact = ProgXe::new(ProgXeConfig::default());
+        let bloom = ProgXe::new(
+            ProgXeConfig::default().with_signature(SignatureConfig::Bloom { bits: 128 }),
+        );
+        assert_eq!(
+            run_and_sort(&exact, &r, &t, &maps),
+            run_and_sort(&bloom, &r, &t, &maps)
+        );
+    }
+
+    #[test]
+    fn mixed_preference_directions() {
+        use progxe_skyline::Order;
+        let r = random_source(90, 2, 5, 11);
+        let t = random_source(90, 2, 5, 12);
+        let maps = MapSet::pairwise_sum(2, Preference::new(vec![Order::Lowest, Order::Highest]));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        assert_eq!(run_and_sort(&exec, &r, &t, &maps), oracle(&r, &t, &maps));
+    }
+
+    #[test]
+    fn no_join_matches_emits_nothing() {
+        let r = SourceData::from_rows(1, &[(&[1.0], 0)]);
+        let t = SourceData::from_rows(1, &[(&[1.0], 1)]);
+        let maps = MapSet::pairwise_sum(1, Preference::all_lowest(1));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        let out = exec.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats.results_emitted, 0);
+    }
+
+    #[test]
+    fn empty_source_is_fine() {
+        let r = SourceData::new(2);
+        let t = SourceData::from_rows(2, &[(&[1.0, 1.0], 0)]);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        let out = exec.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        assert!(out.results.is_empty());
+    }
+
+    #[test]
+    fn grid_granularity_does_not_change_results() {
+        let r = random_source(100, 2, 6, 13);
+        let t = random_source(100, 2, 6, 14);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let expected = oracle(&r, &t, &maps);
+        for (p, k) in [(1, 4), (2, 8), (3, 24), (5, 40), (8, 64)] {
+            let exec = ProgXe::new(
+                ProgXeConfig::default()
+                    .with_input_partitions(p)
+                    .with_output_cells(k),
+            );
+            assert_eq!(
+                run_and_sort(&exec, &r, &t, &maps),
+                expected,
+                "diverged at p={p} k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn emitted_results_never_duplicate() {
+        let r = random_source(150, 2, 5, 15);
+        let t = random_source(150, 2, 5, 16);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        let out = exec.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        let mut ids: Vec<(u32, u32)> = out.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let r = random_source(100, 2, 5, 17);
+        let t = random_source(100, 2, 5, 18);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        let out = exec.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        let s = &out.stats;
+        assert_eq!(s.results_emitted as usize, out.results.len());
+        assert!(s.regions_processed + s.regions_discarded_dead <= s.regions_created);
+        assert!(s.tuples_inserted >= s.results_emitted + s.tuples_evicted);
+        assert!(s.total_time >= s.lookahead_time);
+    }
+
+    #[test]
+    fn values_in_results_match_mapping() {
+        let r = SourceData::from_rows(2, &[(&[1.0, 2.0], 0)]);
+        let t = SourceData::from_rows(2, &[(&[10.0, 20.0], 0)]);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        let out = exec.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].values, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b: Vec<u32> = (0..20).collect();
+        shuffle(&mut a, 42);
+        shuffle(&mut b, 42);
+        assert_eq!(a, b);
+        let mut c: Vec<u32> = (0..20).collect();
+        shuffle(&mut c, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sparse_join_keys_are_remapped() {
+        // Huge sparse keys must not blow up signature bitsets.
+        let r = SourceData::from_rows(1, &[(&[1.0], 4_000_000_000), (&[2.0], 17)]);
+        let t = SourceData::from_rows(1, &[(&[3.0], 4_000_000_000), (&[4.0], 99)]);
+        let maps = MapSet::pairwise_sum(1, Preference::all_lowest(1));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        let out = exec.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!((out.results[0].r_idx, out.results[0].t_idx), (0, 0));
+    }
+}

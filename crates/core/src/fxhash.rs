@@ -1,0 +1,97 @@
+//! A minimal Fx-style hasher for integer-keyed maps on hot paths.
+//!
+//! The executor keys hash maps by join values and packed cell coordinates —
+//! small integers for which SipHash (std's default) is needlessly slow. This
+//! is the well-known `FxHash` multiply-rotate scheme (as used in rustc),
+//! implemented locally to keep the dependency set to the approved list.
+//! HashDoS resistance is irrelevant here: keys are derived from data we
+//! generate or grid geometry, not adversarial input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-rotate hasher specialized for small integer keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` with the Fx hasher.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 7919, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 7919)), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn distinct_keys_distinct_hashes_mostly() {
+        // Sanity: the hasher should not collapse a small integer range.
+        let mut hashes: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..10_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            hashes.insert(h.finish());
+        }
+        assert!(hashes.len() > 9_990);
+    }
+
+    #[test]
+    fn byte_writes_work() {
+        let mut h = FxHasher::default();
+        h.write(b"hello world, this is more than eight bytes");
+        assert_ne!(h.finish(), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Input-space grid partitioning (Section III).
+//!
+//! "We assume the input data sets are partitioned into a multi-dimensional
+//! grid structure." Each source is cut into `p` equal-width slices per
+//! attribute dimension; only non-empty partitions are materialized. Every
+//! partition carries (a) the row indices of its tuples, (b) a *tight*
+//! bounding box (the min/max of its members, which maps to tighter output
+//! regions than the raw cell geometry — a sound refinement), and (c) the
+//! join-value [`JoinSignature`] used to decide whether a partition pair can
+//! produce join results at all.
+
+use crate::config::SignatureConfig;
+use crate::fxhash::FxHashMap;
+use crate::signature::JoinSignature;
+use crate::source::SourceView;
+
+/// One non-empty input partition (`I^R_a` in the paper's notation).
+#[derive(Debug, Clone)]
+pub struct InputPartition {
+    /// Dense partition id within its grid.
+    pub id: u32,
+    /// Row indices of member tuples in the source.
+    pub tuples: Vec<u32>,
+    /// Tight per-dimension lower bounds of the members.
+    pub lo: Vec<f64>,
+    /// Tight per-dimension upper bounds of the members.
+    pub hi: Vec<f64>,
+    /// Join-value signature of the members.
+    pub signature: JoinSignature,
+}
+
+impl InputPartition {
+    /// Number of member tuples (`n^R_a` in Equation 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// A partition is never empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// The grid over one input source: its non-empty partitions.
+#[derive(Debug, Clone)]
+pub struct InputGrid {
+    partitions: Vec<InputPartition>,
+}
+
+impl InputGrid {
+    /// Partitions `source` into `per_dim` slices per attribute dimension.
+    ///
+    /// `join_domain` is the exclusive upper bound of join-key values
+    /// (`max key + 1`), used to size exact signatures.
+    pub fn build(
+        source: &SourceView<'_>,
+        per_dim: usize,
+        signature: SignatureConfig,
+        join_domain: usize,
+    ) -> Self {
+        assert!(per_dim > 0, "per_dim must be positive");
+        let n = source.len();
+        if n == 0 {
+            return Self {
+                partitions: Vec::new(),
+            };
+        }
+        let dims = source.dims();
+        let (lo, hi) = source
+            .attrs()
+            .bounds()
+            .expect("non-empty source has bounds");
+        // Per-dimension width; degenerate (constant) dimensions collapse to
+        // a single slice.
+        let width: Vec<f64> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| if h > l { (h - l) / per_dim as f64 } else { 1.0 })
+            .collect();
+
+        // Bucket tuples by grid cell (linear index).
+        let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for row in 0..n {
+            let p = source.attrs_of(row);
+            let mut linear: u64 = 0;
+            for d in 0..dims {
+                let slot = (((p[d] - lo[d]) / width[d]) as usize).min(per_dim - 1);
+                linear = linear * per_dim as u64 + slot as u64;
+            }
+            buckets.entry(linear).or_default().push(row as u32);
+        }
+
+        // Materialize non-empty partitions with tight bounds + signatures.
+        // Sort buckets by linear index for deterministic partition ids.
+        let mut keys: Vec<u64> = buckets.keys().copied().collect();
+        keys.sort_unstable();
+        let mut partitions = Vec::with_capacity(keys.len());
+        for (id, key) in keys.into_iter().enumerate() {
+            let tuples = buckets.remove(&key).expect("key came from the map");
+            let mut p_lo = source.attrs_of(tuples[0] as usize).to_vec();
+            let mut p_hi = p_lo.clone();
+            let mut sig = JoinSignature::empty(signature, join_domain);
+            for &row in &tuples {
+                let attrs = source.attrs_of(row as usize);
+                for d in 0..dims {
+                    p_lo[d] = p_lo[d].min(attrs[d]);
+                    p_hi[d] = p_hi[d].max(attrs[d]);
+                }
+                sig.insert(source.join_key_of(row as usize));
+            }
+            partitions.push(InputPartition {
+                id: id as u32,
+                tuples,
+                lo: p_lo,
+                hi: p_hi,
+                signature: sig,
+            });
+        }
+        Self { partitions }
+    }
+
+    /// The non-empty partitions, ordered by grid position.
+    #[inline]
+    pub fn partitions(&self) -> &[InputPartition] {
+        &self.partitions
+    }
+
+    /// Number of non-empty partitions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// True when the source was empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+    }
+
+    /// Total tuples across partitions (equals the source cardinality).
+    pub fn total_tuples(&self) -> usize {
+        self.partitions.iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceData;
+
+    fn source(rows: &[(&[f64], u32)]) -> SourceData {
+        SourceData::from_rows(rows[0].0.len(), rows)
+    }
+
+    #[test]
+    fn every_tuple_lands_in_exactly_one_partition() {
+        let s = source(&[
+            (&[1.0, 1.0], 0),
+            (&[99.0, 99.0], 1),
+            (&[50.0, 50.0], 2),
+            (&[1.0, 99.0], 3),
+            (&[99.0, 1.0], 4),
+        ]);
+        let g = InputGrid::build(&s.view(), 2, SignatureConfig::Exact, 5);
+        assert_eq!(g.total_tuples(), 5);
+        let mut seen: Vec<u32> = g
+            .partitions()
+            .iter()
+            .flat_map(|p| p.tuples.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounds_are_tight() {
+        let s = source(&[(&[10.0, 20.0], 0), (&[12.0, 22.0], 0)]);
+        let g = InputGrid::build(&s.view(), 1, SignatureConfig::Exact, 1);
+        assert_eq!(g.len(), 1);
+        let p = &g.partitions()[0];
+        assert_eq!(p.lo, vec![10.0, 20.0]);
+        assert_eq!(p.hi, vec![12.0, 22.0]);
+    }
+
+    #[test]
+    fn members_stay_inside_bounds() {
+        let s = source(&[
+            (&[1.0, 5.0], 0),
+            (&[2.0, 6.0], 0),
+            (&[80.0, 90.0], 1),
+            (&[85.0, 95.0], 1),
+            (&[40.0, 45.0], 2),
+        ]);
+        let g = InputGrid::build(&s.view(), 3, SignatureConfig::Exact, 3);
+        for p in g.partitions() {
+            for &row in &p.tuples {
+                let attrs = s.view().attrs_of(row as usize);
+                for (d, &a) in attrs.iter().enumerate() {
+                    assert!(p.lo[d] <= a && a <= p.hi[d]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_reflect_membership() {
+        let s = source(&[(&[1.0], 7), (&[2.0], 9), (&[99.0], 3)]);
+        let g = InputGrid::build(&s.view(), 2, SignatureConfig::Exact, 10);
+        let low = g
+            .partitions()
+            .iter()
+            .find(|p| p.lo[0] < 50.0)
+            .expect("low partition exists");
+        assert!(low.signature.maybe_contains(7));
+        assert!(low.signature.maybe_contains(9));
+        assert!(!low.signature.maybe_contains(3));
+    }
+
+    #[test]
+    fn constant_dimension_collapses() {
+        let s = source(&[(&[5.0, 1.0], 0), (&[5.0, 9.0], 0)]);
+        let g = InputGrid::build(&s.view(), 4, SignatureConfig::Exact, 1);
+        // dim 0 constant → one slice; dim 1 splits.
+        assert!(g.len() >= 2);
+        assert_eq!(g.total_tuples(), 2);
+    }
+
+    #[test]
+    fn empty_source_empty_grid() {
+        let s = SourceData::new(2);
+        let g = InputGrid::build(&s.view(), 3, SignatureConfig::Exact, 1);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn max_value_tuples_clamp_into_top_slice() {
+        let s = source(&[(&[0.0], 0), (&[100.0], 0)]);
+        let g = InputGrid::build(&s.view(), 4, SignatureConfig::Exact, 1);
+        assert_eq!(g.total_tuples(), 2);
+    }
+
+    #[test]
+    fn deterministic_partition_ids() {
+        let s = source(&[(&[1.0], 0), (&[99.0], 1), (&[50.0], 2)]);
+        let a = InputGrid::build(&s.view(), 3, SignatureConfig::Exact, 3);
+        let b = InputGrid::build(&s.view(), 3, SignatureConfig::Exact, 3);
+        for (pa, pb) in a.partitions().iter().zip(b.partitions()) {
+            assert_eq!(pa.id, pb.id);
+            assert_eq!(pa.tuples, pb.tuples);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! # ProgXe — progressive evaluation of SkyMapJoin queries
+//!
+//! This crate implements the paper's primary contribution: a pipelined,
+//! non-blocking execution framework for queries that join two sources, map
+//! the join results through user-defined functions, and retain the Pareto
+//! skyline of the mapped output (*SkyMapJoin* queries, Section II).
+//!
+//! The framework follows Figure 2 of the paper:
+//!
+//! 1. **Output-space look-ahead** ([`lookahead`]) — both inputs are
+//!    partitioned into multi-dimensional grids ([`grid`]); partition pairs
+//!    whose join-value [`signature`]s overlap are mapped (via interval
+//!    evaluation of the [`mapping`] functions) into *output regions*;
+//!    regions and output cells dominated at this abstraction level are
+//!    pruned before any tuple-level work.
+//! 2. **Progressive-driven ordering** ([`progorder`], [`elgraph`],
+//!    [`benefit`], [`cost`]) — an elimination graph plus a benefit/cost
+//!    model pick the region order that maximizes the early-output rate
+//!    (Algorithm 1).
+//! 3. **Tuple-level processing** ([`tuple_level`], [`cells`]) — the join,
+//!    map, and cell-restricted dominance comparisons for the chosen region.
+//! 4. **Progressive result determination** ([`progdetermine`]) — count-based
+//!    blocker bookkeeping per output cell decides when generated tuples are
+//!    *safe* to emit: no false positives, no false negatives (Algorithm 2,
+//!    Principle 1).
+//!
+//! The [`executor`] module ties the phases into the public entry point
+//! [`ProgXe`], which reports results through a [`sink::ResultSink`] as soon
+//! as they are proven final.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use progxe_core::prelude::*;
+//!
+//! // Two tiny sources: attributes + join key per tuple.
+//! let r = SourceData::from_rows(2, &[(&[1.0, 5.0][..], 0), (&[4.0, 2.0][..], 1)]);
+//! let t = SourceData::from_rows(2, &[(&[2.0, 3.0][..], 0), (&[1.0, 1.0][..], 1)]);
+//!
+//! // Q1-style query: minimize (r.0 + t.0) and (r.1 + t.1).
+//! let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+//! let exec = ProgXe::new(ProgXeConfig::default());
+//! let out = exec.run_collect(&r.view(), &t.view(), &maps).unwrap();
+//! assert_eq!(out.results.len(), 2); // both join pairs are Pareto-optimal
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benefit;
+pub mod cells;
+pub mod config;
+pub mod cost;
+pub mod elgraph;
+pub mod error;
+pub mod executor;
+pub mod fxhash;
+pub mod grid;
+pub mod lookahead;
+pub mod mapping;
+pub mod output_grid;
+pub mod progdetermine;
+pub mod progorder;
+pub mod pushthrough;
+pub mod signature;
+pub mod sink;
+pub mod source;
+pub mod stats;
+pub mod tuple_level;
+
+pub use config::{OrderingPolicy, ProgXeConfig, SignatureConfig};
+pub use error::{Error, Result};
+pub use executor::{ProgXe, RunOutput};
+pub use mapping::{GeneralMap, MapSet, MappingFunction, WeightedSum};
+pub use sink::{CollectSink, ProgressSink, ResultSink};
+pub use source::{SourceData, SourceView};
+pub use stats::{ExecStats, ProgressRecord, ResultTuple};
+
+/// One-stop imports for examples and downstream crates.
+pub mod prelude {
+    pub use crate::config::{OrderingPolicy, ProgXeConfig, SignatureConfig};
+    pub use crate::executor::{ProgXe, RunOutput};
+    pub use crate::mapping::{GeneralMap, MapSet, MappingFunction, WeightedSum};
+    pub use crate::sink::{CollectSink, ProgressSink, ResultSink};
+    pub use crate::source::{SourceData, SourceView};
+    pub use crate::stats::{ExecStats, ProgressRecord, ResultTuple};
+    pub use progxe_skyline::{Order, Preference};
+}

@@ -1,0 +1,380 @@
+//! Output-space look-ahead (Section III-A).
+//!
+//! For every pair of input partitions whose join signatures overlap, the
+//! mapping functions are evaluated over the partition *bounds* to obtain the
+//! output region the pair's join results must fall into. Region-level
+//! dominance reasoning then prunes work before a single tuple is joined:
+//!
+//! * a region whose lower-bound point is dominated by the **pessimistic
+//!   skyline** — the skyline of upper-bound points of *guaranteed-populated*
+//!   regions — can never contribute a result and is discarded (Example 2);
+//! * an output cell whose best corner is dominated by the pessimistic
+//!   skyline is marked "non-contributing" from the start (Example 3).
+//!
+//! Exact signatures make "overlap" a population *guarantee*; with Bloom
+//! signatures the executor skips region pruning (the guarantee is gone) but
+//! keeps every other mechanism.
+
+use crate::cells::CellStore;
+use crate::grid::InputGrid;
+use crate::mapping::MapSet;
+use crate::output_grid::{Coord, OutputGrid, MAX_DIMS};
+use progxe_skyline::{bnl::BnlWindow, Preference};
+
+/// An output region `R_{a,b}`: the mapped image of input partition pair
+/// `[I^R_a, I^T_b]`. All bounds are *oriented* (lower is better).
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Dense region id (index into the live-region vector).
+    pub id: u32,
+    /// Index of the R-side partition in its grid.
+    pub r_part: u32,
+    /// Index of the T-side partition in its grid.
+    pub t_part: u32,
+    /// Oriented continuous lower-bound point (`LOWER(R_{a,b})`).
+    pub lo: Vec<f64>,
+    /// Oriented continuous upper-bound point (`UPPER(R_{a,b})`).
+    pub hi: Vec<f64>,
+    /// Inclusive cell box lower corner.
+    pub cell_lo: Coord,
+    /// Inclusive cell box upper corner.
+    pub cell_hi: Coord,
+    /// Tuple count of the R-side partition (`n^R_a`).
+    pub n_r: u32,
+    /// Tuple count of the T-side partition (`n^T_b`).
+    pub n_t: u32,
+    /// Whether the region is guaranteed to produce at least one join result
+    /// (exact signatures only).
+    pub guaranteed: bool,
+}
+
+impl Region {
+    /// Total output cells in the region's box (`PartitionCount` in Eq. 2).
+    pub fn partition_count(&self, grid: &OutputGrid) -> u64 {
+        grid.box_volume(&self.cell_lo, &self.cell_hi)
+    }
+}
+
+/// Result of the look-ahead phase.
+#[derive(Debug)]
+pub struct Lookahead {
+    /// The output grid spanning all candidate regions.
+    pub grid: OutputGrid,
+    /// Live regions after abstraction-level pruning, densely re-numbered.
+    pub regions: Vec<Region>,
+    /// Partition pairs rejected by signatures ("guaranteed to not generate
+    /// any join result").
+    pub pairs_rejected_by_signature: usize,
+    /// Candidate regions pruned by region-level dominance (Example 2).
+    pub regions_pruned: usize,
+    /// Pessimistic-skyline points: oriented upper bounds of guaranteed
+    /// regions, used later to pre-mark dominated cells.
+    pub pessimistic_skyline: Vec<Vec<f64>>,
+}
+
+/// Runs the look-ahead phase over two partitioned inputs.
+pub fn run_lookahead(
+    r_grid: &InputGrid,
+    t_grid: &InputGrid,
+    maps: &MapSet,
+    output_cells_per_dim: u16,
+) -> Lookahead {
+    let out_dims = maps.out_dims();
+    assert!(out_dims <= MAX_DIMS);
+    let orders = maps.preference().orders().to_vec();
+
+    // 1. Enumerate join-compatible partition pairs and map their bounds.
+    struct Candidate {
+        r_part: u32,
+        t_part: u32,
+        lo: Vec<f64>,
+        hi: Vec<f64>,
+        n_r: u32,
+        n_t: u32,
+        guaranteed: bool,
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let mut rejected = 0usize;
+    let mut raw_lo = Vec::with_capacity(out_dims);
+    let mut raw_hi = Vec::with_capacity(out_dims);
+    for rp in r_grid.partitions() {
+        for tp in t_grid.partitions() {
+            if !rp.signature.overlaps(&tp.signature) {
+                rejected += 1;
+                continue;
+            }
+            maps.eval_bounds_into(&rp.lo, &rp.hi, &tp.lo, &tp.hi, &mut raw_lo, &mut raw_hi);
+            // Orient: negation for HIGHEST dims swaps the interval ends.
+            let mut lo = Vec::with_capacity(out_dims);
+            let mut hi = Vec::with_capacity(out_dims);
+            for j in 0..out_dims {
+                let a = orders[j].orient(raw_lo[j]);
+                let b = orders[j].orient(raw_hi[j]);
+                lo.push(a.min(b));
+                hi.push(a.max(b));
+            }
+            candidates.push(Candidate {
+                r_part: rp.id,
+                t_part: tp.id,
+                lo,
+                hi,
+                n_r: rp.len() as u32,
+                n_t: tp.len() as u32,
+                guaranteed: rp.signature.is_exact() && tp.signature.is_exact(),
+            });
+        }
+    }
+
+    // Degenerate input: no joinable pairs at all.
+    if candidates.is_empty() {
+        return Lookahead {
+            grid: OutputGrid::new(vec![0.0; out_dims], vec![1.0; out_dims], 1),
+            regions: Vec::new(),
+            pairs_rejected_by_signature: rejected,
+            regions_pruned: 0,
+            pessimistic_skyline: Vec::new(),
+        };
+    }
+
+    // 2. Global output bounding box → output grid.
+    let mut g_lo = candidates[0].lo.clone();
+    let mut g_hi = candidates[0].hi.clone();
+    for c in &candidates[1..] {
+        for j in 0..out_dims {
+            g_lo[j] = g_lo[j].min(c.lo[j]);
+            g_hi[j] = g_hi[j].max(c.hi[j]);
+        }
+    }
+    let grid = OutputGrid::new(g_lo, g_hi, output_cells_per_dim);
+
+    // 3. Pessimistic skyline over guaranteed regions' upper bounds
+    //    (Figure 3). Tags carry the owning candidate so a region is never
+    //    pruned by its own upper bound.
+    let pref = Preference::all_lowest(out_dims);
+    let mut pes: BnlWindow<usize> = BnlWindow::new(pref.clone());
+    for (i, c) in candidates.iter().enumerate() {
+        if c.guaranteed {
+            pes.offer(&c.hi, i);
+        }
+    }
+
+    // 4. Prune candidates dominated by another guaranteed region
+    //    (Example 2: UPPER(R_{1,3}) ≺ LOWER(R_{3,1}) ⇒ discard R_{3,1}).
+    let mut regions = Vec::with_capacity(candidates.len());
+    let mut pruned = 0usize;
+    for (i, c) in candidates.iter().enumerate() {
+        let dominated = pes
+            .iter()
+            .any(|(upper, &owner)| owner != i && pref.dominates(upper, &c.lo));
+        if dominated {
+            pruned += 1;
+            continue;
+        }
+        let (cell_lo, cell_hi) = grid.box_of(&c.lo, &c.hi);
+        regions.push(Region {
+            id: regions.len() as u32,
+            r_part: c.r_part,
+            t_part: c.t_part,
+            lo: c.lo.clone(),
+            hi: c.hi.clone(),
+            cell_lo,
+            cell_hi,
+            n_r: c.n_r,
+            n_t: c.n_t,
+            guaranteed: c.guaranteed,
+        });
+    }
+
+    let pessimistic_skyline: Vec<Vec<f64>> = pes.iter().map(|(p, _)| p.to_vec()).collect();
+    Lookahead {
+        grid,
+        regions,
+        pairs_rejected_by_signature: rejected,
+        regions_pruned: pruned,
+        pessimistic_skyline,
+    }
+}
+
+/// Tracks every cell of every live region's box and pre-marks cells whose
+/// best corner is dominated by the pessimistic skyline (Example 3). Returns
+/// the number of cells pre-marked dead.
+pub fn track_cells(lookahead: &Lookahead, store: &mut CellStore) -> usize {
+    let pref = Preference::all_lowest(lookahead.grid.dims());
+    let mut pre_marked = 0usize;
+    for region in &lookahead.regions {
+        for coord in lookahead.grid.iter_box(region.cell_lo, region.cell_hi) {
+            store.track(coord);
+        }
+    }
+    // Mark after tracking so shared cells are processed exactly once.
+    if !lookahead.pessimistic_skyline.is_empty() {
+        for idx in 0..store.len() as u32 {
+            let corner = store.grid().lower_corner(store.cell(idx).coord());
+            let dominated = lookahead
+                .pessimistic_skyline
+                .iter()
+                .any(|u| pref.dominates(u, &corner));
+            if dominated {
+                store.mark_dead(idx);
+                pre_marked += 1;
+            }
+        }
+    }
+    pre_marked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SignatureConfig;
+    use crate::source::SourceData;
+
+    fn setup(
+        r_rows: &[(&[f64], u32)],
+        t_rows: &[(&[f64], u32)],
+        per_dim: usize,
+        sig: SignatureConfig,
+    ) -> (SourceData, SourceData, InputGrid, InputGrid) {
+        let r = SourceData::from_rows(r_rows[0].0.len(), r_rows);
+        let t = SourceData::from_rows(t_rows[0].0.len(), t_rows);
+        let domain = 16;
+        let rg = InputGrid::build(&r.view(), per_dim, sig, domain);
+        let tg = InputGrid::build(&t.view(), per_dim, sig, domain);
+        (r, t, rg, tg)
+    }
+
+    #[test]
+    fn signature_rejects_incompatible_pairs() {
+        let (_r, _t, rg, tg) = setup(
+            &[(&[1.0, 1.0], 0), (&[99.0, 99.0], 1)],
+            &[(&[1.0, 1.0], 2), (&[99.0, 99.0], 3)],
+            2,
+            SignatureConfig::Exact,
+        );
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let la = run_lookahead(&rg, &tg, &maps, 8);
+        assert!(la.regions.is_empty());
+        assert_eq!(la.pairs_rejected_by_signature, 4);
+    }
+
+    #[test]
+    fn regions_cover_joinable_pairs() {
+        let (_r, _t, rg, tg) = setup(
+            &[(&[1.0, 1.0], 0), (&[99.0, 99.0], 0)],
+            &[(&[1.0, 1.0], 0)],
+            2,
+            SignatureConfig::Exact,
+        );
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let la = run_lookahead(&rg, &tg, &maps, 8);
+        // Low R-partition × T survives; the high one is dominated by it:
+        // UPPER(low×T) = (2+2, 2+2)=(4,4)… actually low partition is a
+        // single point (1,1): upper (2,2) dominates lower (100,100).
+        assert_eq!(la.regions.len() + la.regions_pruned, 2);
+        assert_eq!(la.regions_pruned, 1, "dominated region pruned");
+    }
+
+    #[test]
+    fn region_bounds_enclose_actual_outputs() {
+        let rows_r: Vec<(Vec<f64>, u32)> = (0..20)
+            .map(|i| (vec![(i * 5) as f64, (100 - i * 5) as f64], (i % 4) as u32))
+            .collect();
+        let rows_t: Vec<(Vec<f64>, u32)> = (0..20)
+            .map(|i| (vec![(i * 4) as f64 + 1.0, (i * 3) as f64 + 2.0], (i % 4) as u32))
+            .collect();
+        let r_refs: Vec<(&[f64], u32)> = rows_r.iter().map(|(v, k)| (v.as_slice(), *k)).collect();
+        let t_refs: Vec<(&[f64], u32)> = rows_t.iter().map(|(v, k)| (v.as_slice(), *k)).collect();
+        let (r, t, rg, tg) = setup(&r_refs, &t_refs, 3, SignatureConfig::Exact);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let la = run_lookahead(&rg, &tg, &maps, 16);
+
+        // Every actual join output must fall inside its region's bounds.
+        let mut out = Vec::new();
+        for region in &la.regions {
+            let rp = &rg.partitions()[region.r_part as usize];
+            let tp = &tg.partitions()[region.t_part as usize];
+            for &ri in &rp.tuples {
+                for &ti in &tp.tuples {
+                    if r.view().join_key_of(ri as usize) != t.view().join_key_of(ti as usize) {
+                        continue;
+                    }
+                    maps.eval_into(
+                        r.view().attrs_of(ri as usize),
+                        t.view().attrs_of(ti as usize),
+                        &mut out,
+                    );
+                    for j in 0..2 {
+                        assert!(
+                            region.lo[j] <= out[j] && out[j] <= region.hi[j],
+                            "output {out:?} escapes region [{:?}, {:?}]",
+                            region.lo,
+                            region.hi
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bloom_disables_guarantees_and_pruning() {
+        let (_r, _t, rg, tg) = setup(
+            &[(&[1.0, 1.0], 0), (&[99.0, 99.0], 0)],
+            &[(&[1.0, 1.0], 0)],
+            2,
+            SignatureConfig::Bloom { bits: 256 },
+        );
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let la = run_lookahead(&rg, &tg, &maps, 8);
+        assert_eq!(la.regions_pruned, 0, "no pruning without guarantees");
+        assert!(la.regions.iter().all(|r| !r.guaranteed));
+        assert!(la.pessimistic_skyline.is_empty());
+    }
+
+    #[test]
+    fn track_cells_marks_dominated_cells_dead() {
+        // Region A = (1,0)×T has bounds [(2,1), (2,80)]; region C =
+        // (99,20)×T has bounds [(100,21), (100,100)]. C's lower bound is
+        // *not* dominated by UPPER(A) = (2,80) (21 < 80), so C survives
+        // region pruning — but C's cells with corner y > 80 are dominated
+        // and must be pre-marked (the paper's Example 3).
+        let r = SourceData::from_rows(2, &[(&[1.0, 0.0], 0), (&[99.0, 20.0], 0)]);
+        let t = SourceData::from_rows(2, &[(&[1.0, 1.0], 0), (&[1.0, 80.0], 0)]);
+        let rg = InputGrid::build(&r.view(), 2, SignatureConfig::Exact, 1);
+        let tg = InputGrid::build(&t.view(), 1, SignatureConfig::Exact, 1);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let la = run_lookahead(&rg, &tg, &maps, 16);
+        assert_eq!(la.regions.len(), 2, "neither region fully pruned");
+        let mut store = CellStore::new(la.grid.clone());
+        let marked = track_cells(&la, &mut store);
+        assert!(!store.is_empty());
+        assert!(marked >= 2, "expected dominated cells pre-marked, got {marked}");
+    }
+
+    #[test]
+    fn empty_sources_produce_empty_lookahead() {
+        let r = SourceData::new(2);
+        let rg = InputGrid::build(&r.view(), 2, SignatureConfig::Exact, 1);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let la = run_lookahead(&rg, &rg, &maps, 8);
+        assert!(la.regions.is_empty());
+    }
+
+    #[test]
+    fn highest_preference_orients_bounds() {
+        use progxe_skyline::Order;
+        let (_r, _t, rg, tg) = setup(
+            &[(&[10.0, 20.0], 0)],
+            &[(&[1.0, 2.0], 0)],
+            1,
+            SignatureConfig::Exact,
+        );
+        let maps = MapSet::pairwise_sum(2, Preference::new(vec![Order::Lowest, Order::Highest]));
+        let la = run_lookahead(&rg, &tg, &maps, 8);
+        assert_eq!(la.regions.len(), 1);
+        let region = &la.regions[0];
+        // Raw output is (11, 22); dim 1 oriented = -22.
+        assert!(region.lo[0] <= 11.0 && 11.0 <= region.hi[0]);
+        assert!(region.lo[1] <= -22.0 && -22.0 <= region.hi[1]);
+    }
+}

@@ -1,0 +1,418 @@
+//! The Map operator µ[F, X] (Section II-B).
+//!
+//! Each mapping function `f_j` combines attributes from both join sides into
+//! one output attribute `x_j` (`tCost = R.uPrice + T.uShipCost` in Q1). The
+//! output-space look-ahead additionally needs *interval* evaluation: given
+//! the per-dimension bounds of an input partition pair, a sound enclosure of
+//! all values `f_j` can produce for tuples inside those partitions — that is
+//! how partition pairs become output regions without touching tuples.
+
+use progxe_skyline::Preference;
+
+use crate::error::{Error, Result};
+
+/// One mapping function `f_j : Dom(R-attrs) × Dom(T-attrs) → ℝ`.
+pub trait MappingFunction: Send + Sync {
+    /// Evaluates the function on one joined tuple pair.
+    fn eval(&self, r: &[f64], t: &[f64]) -> f64;
+
+    /// Sound enclosure of `eval` over the boxes `[r_lo, r_hi] × [t_lo, t_hi]`:
+    /// every tuple pair inside the boxes must map into the returned interval.
+    fn eval_bounds(
+        &self,
+        r_lo: &[f64],
+        r_hi: &[f64],
+        t_lo: &[f64],
+        t_hi: &[f64],
+    ) -> (f64, f64);
+
+    /// Optional separable decomposition for push-through pruning: a score
+    /// `g_R(r)` such that `eval(r, t)` is *non-decreasing* in `g_R(r)` for
+    /// every fixed `t`. Returning `None` disables push-through for queries
+    /// using this function (the pruning would be unsound).
+    fn r_component(&self, _r: &[f64]) -> Option<f64> {
+        None
+    }
+
+    /// Mirror of [`MappingFunction::r_component`] for the T side.
+    fn t_component(&self, _t: &[f64]) -> Option<f64> {
+        None
+    }
+
+    /// Human-readable description for plan explain output.
+    fn describe(&self) -> String {
+        "<map>".to_owned()
+    }
+}
+
+/// A linear combination `Σ αᵢ·r[i] + Σ βᵢ·t[i] + c` — the workhorse map.
+///
+/// Q1's `tCost` is `WeightedSum` with α = (1, 0, …), β = (1, 0, …); its
+/// `delay` uses α = (2, …). Interval evaluation is exact: each term takes
+/// the box corner matching its coefficient sign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSum {
+    r_weights: Vec<f64>,
+    t_weights: Vec<f64>,
+    constant: f64,
+}
+
+impl WeightedSum {
+    /// Creates a weighted sum over the given per-source weights.
+    pub fn new(r_weights: Vec<f64>, t_weights: Vec<f64>) -> Self {
+        Self {
+            r_weights,
+            t_weights,
+            constant: 0.0,
+        }
+    }
+
+    /// Adds a constant offset.
+    pub fn with_constant(mut self, c: f64) -> Self {
+        self.constant = c;
+        self
+    }
+
+    /// `r[dim] + t[dim]` over `dims`-attribute sources — the paper's
+    /// experimental mapping ("an addition operation between the attribute
+    /// values of the corresponding dimensions", Section VI-A).
+    pub fn dimension_sum(dims: usize, dim: usize) -> Self {
+        let mut r = vec![0.0; dims];
+        let mut t = vec![0.0; dims];
+        r[dim] = 1.0;
+        t[dim] = 1.0;
+        Self::new(r, t)
+    }
+
+    fn side_bounds(weights: &[f64], lo: &[f64], hi: &[f64]) -> (f64, f64) {
+        let mut min = 0.0;
+        let mut max = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if w >= 0.0 {
+                min += w * lo[i];
+                max += w * hi[i];
+            } else {
+                min += w * hi[i];
+                max += w * lo[i];
+            }
+        }
+        (min, max)
+    }
+}
+
+impl MappingFunction for WeightedSum {
+    #[inline]
+    fn eval(&self, r: &[f64], t: &[f64]) -> f64 {
+        debug_assert_eq!(r.len(), self.r_weights.len());
+        debug_assert_eq!(t.len(), self.t_weights.len());
+        let mut acc = self.constant;
+        for (i, &w) in self.r_weights.iter().enumerate() {
+            acc += w * r[i];
+        }
+        for (i, &w) in self.t_weights.iter().enumerate() {
+            acc += w * t[i];
+        }
+        acc
+    }
+
+    fn eval_bounds(&self, r_lo: &[f64], r_hi: &[f64], t_lo: &[f64], t_hi: &[f64]) -> (f64, f64) {
+        let (rmin, rmax) = Self::side_bounds(&self.r_weights, r_lo, r_hi);
+        let (tmin, tmax) = Self::side_bounds(&self.t_weights, t_lo, t_hi);
+        (rmin + tmin + self.constant, rmax + tmax + self.constant)
+    }
+
+    fn r_component(&self, r: &[f64]) -> Option<f64> {
+        // eval = g_R + g_T + c is non-decreasing in g_R.
+        Some(
+            self.r_weights
+                .iter()
+                .zip(r)
+                .map(|(w, v)| w * v)
+                .sum::<f64>(),
+        )
+    }
+
+    fn t_component(&self, t: &[f64]) -> Option<f64> {
+        Some(
+            self.t_weights
+                .iter()
+                .zip(t)
+                .map(|(w, v)| w * v)
+                .sum::<f64>(),
+        )
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "sum(r·{:?} + t·{:?} + {})",
+            self.r_weights, self.t_weights, self.constant
+        )
+    }
+}
+
+/// A user-defined map: arbitrary closure plus a caller-supplied sound bounds
+/// closure. Use this for non-linear combinations (e.g. `max`, products of
+/// positive attributes); the caller is responsible for enclosure soundness.
+pub struct GeneralMap {
+    eval: EvalFn,
+    bounds: BoundsFn,
+    label: String,
+}
+
+/// Boxed point-evaluation closure of a [`GeneralMap`].
+type EvalFn = Box<dyn Fn(&[f64], &[f64]) -> f64 + Send + Sync>;
+/// Boxed interval-enclosure closure of a [`GeneralMap`].
+type BoundsFn = Box<dyn Fn(&[f64], &[f64], &[f64], &[f64]) -> (f64, f64) + Send + Sync>;
+
+impl GeneralMap {
+    /// Wraps an evaluation closure and its interval enclosure.
+    pub fn new<E, B>(label: impl Into<String>, eval: E, bounds: B) -> Self
+    where
+        E: Fn(&[f64], &[f64]) -> f64 + Send + Sync + 'static,
+        B: Fn(&[f64], &[f64], &[f64], &[f64]) -> (f64, f64) + Send + Sync + 'static,
+    {
+        Self {
+            eval: Box::new(eval),
+            bounds: Box::new(bounds),
+            label: label.into(),
+        }
+    }
+
+    /// `max(r[r_dim], t[t_dim])` with exact interval bounds — monotone, so
+    /// the enclosure is the pairwise max of the corners.
+    pub fn max_of(r_dim: usize, t_dim: usize) -> Self {
+        Self::new(
+            format!("max(r[{r_dim}], t[{t_dim}])"),
+            move |r: &[f64], t: &[f64]| r[r_dim].max(t[t_dim]),
+            move |r_lo: &[f64], r_hi: &[f64], t_lo: &[f64], t_hi: &[f64]| {
+                (r_lo[r_dim].max(t_lo[t_dim]), r_hi[r_dim].max(t_hi[t_dim]))
+            },
+        )
+    }
+}
+
+impl MappingFunction for GeneralMap {
+    fn eval(&self, r: &[f64], t: &[f64]) -> f64 {
+        (self.eval)(r, t)
+    }
+
+    fn eval_bounds(&self, r_lo: &[f64], r_hi: &[f64], t_lo: &[f64], t_hi: &[f64]) -> (f64, f64) {
+        (self.bounds)(r_lo, r_hi, t_lo, t_hi)
+    }
+
+    fn describe(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// The full Map operator: `k` functions plus the preference over their
+/// outputs. The preference dimensionality must equal the function count.
+pub struct MapSet {
+    maps: Vec<Box<dyn MappingFunction>>,
+    pref: Preference,
+}
+
+impl MapSet {
+    /// Bundles mapping functions with the output preference.
+    pub fn new(maps: Vec<Box<dyn MappingFunction>>, pref: Preference) -> Result<Self> {
+        if maps.is_empty() || maps.len() != pref.dims() {
+            return Err(Error::PreferenceArity {
+                maps: maps.len(),
+                preference: pref.dims(),
+            });
+        }
+        Ok(Self { maps, pref })
+    }
+
+    /// The paper's experimental mapping: output dimension `j` is
+    /// `r[j] + t[j]`, for `dims` dimensions.
+    pub fn pairwise_sum(dims: usize, pref: Preference) -> Self {
+        let maps: Vec<Box<dyn MappingFunction>> = (0..dims)
+            .map(|j| Box::new(WeightedSum::dimension_sum(dims, j)) as Box<dyn MappingFunction>)
+            .collect();
+        Self::new(maps, pref).expect("pairwise_sum arity is consistent by construction")
+    }
+
+    /// Number of output dimensions (`k` in the paper).
+    #[inline]
+    pub fn out_dims(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// The output preference.
+    #[inline]
+    pub fn preference(&self) -> &Preference {
+        &self.pref
+    }
+
+    /// The individual mapping functions.
+    #[inline]
+    pub fn maps(&self) -> &[Box<dyn MappingFunction>] {
+        &self.maps
+    }
+
+    /// Maps one joined pair into `out` (cleared first).
+    #[inline]
+    pub fn eval_into(&self, r: &[f64], t: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for m in &self.maps {
+            out.push(m.eval(r, t));
+        }
+    }
+
+    /// Maps a partition-pair box into per-output-dimension intervals,
+    /// written into `lo`/`hi` (cleared first).
+    pub fn eval_bounds_into(
+        &self,
+        r_lo: &[f64],
+        r_hi: &[f64],
+        t_lo: &[f64],
+        t_hi: &[f64],
+        lo: &mut Vec<f64>,
+        hi: &mut Vec<f64>,
+    ) {
+        lo.clear();
+        hi.clear();
+        for m in &self.maps {
+            let (a, b) = m.eval_bounds(r_lo, r_hi, t_lo, t_hi);
+            debug_assert!(a <= b, "map {} produced inverted bounds", m.describe());
+            lo.push(a);
+            hi.push(b);
+        }
+    }
+
+    /// Per-source separable scores for push-through, or `None` when any map
+    /// is not separable. Returns `(g_R(r) per dim)` evaluator outputs.
+    pub fn r_components(&self, r: &[f64], out: &mut Vec<f64>) -> bool {
+        out.clear();
+        for m in &self.maps {
+            match m.r_component(r) {
+                Some(v) => out.push(v),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Mirror of [`MapSet::r_components`] for the T side.
+    pub fn t_components(&self, t: &[f64], out: &mut Vec<f64>) -> bool {
+        out.clear();
+        for m in &self.maps {
+            match m.t_component(t) {
+                Some(v) => out.push(v),
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for MapSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MapSet")
+            .field("maps", &self.maps.iter().map(|m| m.describe()).collect::<Vec<_>>())
+            .field("pref", &self.pref)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use progxe_skyline::Order;
+
+    #[test]
+    fn weighted_sum_evaluates_q1_style() {
+        // delay = 2·r.manTime + t.shipTime
+        let f = WeightedSum::new(vec![0.0, 2.0], vec![0.0, 1.0]);
+        assert_eq!(f.eval(&[9.0, 3.0], &[9.0, 4.0]), 10.0);
+    }
+
+    #[test]
+    fn weighted_sum_bounds_are_tight_for_positive_weights() {
+        let f = WeightedSum::dimension_sum(2, 0);
+        let (lo, hi) = f.eval_bounds(&[0.0, 4.0], &[1.0, 5.0], &[3.0, 1.0], &[4.0, 2.0]);
+        // Example 1 of the paper: R1 bounds [(0,4),(1,5)], T2 [(3,1),(4,2)]
+        // → tCost region [3, 5]..? dimension 0 sum: [0+3, 1+4] = [3, 5].
+        assert_eq!((lo, hi), (3.0, 5.0));
+    }
+
+    #[test]
+    fn weighted_sum_bounds_handle_negative_weights() {
+        let f = WeightedSum::new(vec![-1.0], vec![0.0]);
+        let (lo, hi) = f.eval_bounds(&[2.0], &[5.0], &[0.0], &[0.0]);
+        assert_eq!((lo, hi), (-5.0, -2.0));
+    }
+
+    #[test]
+    fn bounds_enclose_samples() {
+        let f = WeightedSum::new(vec![1.5, -0.5], vec![2.0]).with_constant(1.0);
+        let (r_lo, r_hi) = ([1.0, 2.0], [3.0, 4.0]);
+        let (t_lo, t_hi) = ([0.5], [0.9]);
+        let (lo, hi) = f.eval_bounds(&r_lo, &r_hi, &t_lo, &t_hi);
+        for ra in [1.0, 2.0, 3.0] {
+            for rb in [2.0, 3.0, 4.0] {
+                for tv in [0.5, 0.7, 0.9] {
+                    let v = f.eval(&[ra, rb], &[tv]);
+                    assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_are_separable_for_sums() {
+        let f = WeightedSum::dimension_sum(2, 1);
+        assert_eq!(f.r_component(&[3.0, 5.0]), Some(5.0));
+        assert_eq!(f.t_component(&[2.0, 7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn general_map_max() {
+        let f = GeneralMap::max_of(0, 0);
+        assert_eq!(f.eval(&[3.0], &[5.0]), 5.0);
+        let (lo, hi) = f.eval_bounds(&[1.0], &[2.0], &[3.0], &[4.0]);
+        assert_eq!((lo, hi), (3.0, 4.0));
+        assert!(f.r_component(&[1.0]).is_none(), "max is not separable by default");
+    }
+
+    #[test]
+    fn mapset_pairwise_sum_evaluates_all_dims() {
+        let ms = MapSet::pairwise_sum(3, Preference::all_lowest(3));
+        let mut out = Vec::new();
+        ms.eval_into(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0], &mut out);
+        assert_eq!(out, vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn mapset_rejects_arity_mismatch() {
+        let maps: Vec<Box<dyn MappingFunction>> =
+            vec![Box::new(WeightedSum::dimension_sum(2, 0))];
+        assert!(MapSet::new(maps, Preference::all_lowest(2)).is_err());
+    }
+
+    #[test]
+    fn mapset_component_extraction() {
+        let ms = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let mut buf = Vec::new();
+        assert!(ms.r_components(&[1.0, 2.0], &mut buf));
+        assert_eq!(buf, vec![1.0, 2.0]);
+        assert!(ms.t_components(&[5.0, 6.0], &mut buf));
+        assert_eq!(buf, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn mapset_with_non_separable_map_reports_false() {
+        let maps: Vec<Box<dyn MappingFunction>> = vec![
+            Box::new(WeightedSum::dimension_sum(1, 0)),
+            Box::new(GeneralMap::max_of(0, 0)),
+        ];
+        let ms = MapSet::new(
+            maps,
+            Preference::new(vec![Order::Lowest, Order::Lowest]),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        assert!(!ms.r_components(&[1.0], &mut buf));
+    }
+}

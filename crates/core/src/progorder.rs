@@ -1,0 +1,182 @@
+//! The ProgOrder priority queue (Section IV-D, Algorithm 1).
+//!
+//! Root regions of the EL-Graph are ranked by
+//! `rank(R) = Benefit(R) / Cost(R)` (Equation 8) and processed best-first.
+//! Rank updates use lazy invalidation: each region carries a generation
+//! counter; re-ranking pushes a fresh entry and stale pops are skipped.
+//! This keeps the queue `O(log n)` per operation without decrease-key.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry {
+    rank: f64,
+    generation: u32,
+    region: u32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on rank; deterministic tie-break on region id (lower id
+        // first) so runs are reproducible.
+        self.rank
+            .total_cmp(&other.rank)
+            .then_with(|| other.region.cmp(&self.region))
+    }
+}
+
+/// Max-priority queue over region ranks with lazy re-ranking.
+#[derive(Debug)]
+pub struct ProgOrderQueue {
+    heap: BinaryHeap<Entry>,
+    generation: Vec<u32>,
+    queued: Vec<bool>,
+}
+
+impl ProgOrderQueue {
+    /// Creates an empty queue for `n` regions.
+    pub fn new(n: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(n),
+            generation: vec![0; n],
+            queued: vec![false; n],
+        }
+    }
+
+    /// Inserts a region with its current rank (idempotent per generation).
+    pub fn push(&mut self, region: u32, rank: f64) {
+        let idx = region as usize;
+        self.generation[idx] += 1;
+        self.queued[idx] = true;
+        self.heap.push(Entry {
+            rank,
+            generation: self.generation[idx],
+            region,
+        });
+    }
+
+    /// Re-ranks a region already in the queue (Algorithm 1 line 13). The
+    /// previous entry becomes stale and is skipped on pop.
+    pub fn update(&mut self, region: u32, rank: f64) {
+        self.push(region, rank);
+    }
+
+    /// Whether the region currently has a live entry.
+    pub fn contains(&self, region: u32) -> bool {
+        self.queued[region as usize]
+    }
+
+    /// Pops the best-ranked live region, skipping stale entries.
+    pub fn pop(&mut self) -> Option<u32> {
+        self.pop_entry().map(|(region, _)| region)
+    }
+
+    /// Pops the best-ranked live region together with the rank it was
+    /// queued under (which may be stale relative to the current benefit
+    /// model — the executor rechecks dirty regions on pop).
+    pub fn pop_entry(&mut self) -> Option<(u32, f64)> {
+        while let Some(e) = self.heap.pop() {
+            let idx = e.region as usize;
+            if self.queued[idx] && e.generation == self.generation[idx] {
+                self.queued[idx] = false;
+                return Some((e.region, e.rank));
+            }
+        }
+        None
+    }
+
+    /// True when no live entry remains.
+    pub fn is_empty(&mut self) -> bool {
+        // Drain stale prefix so the answer is accurate.
+        while let Some(e) = self.heap.peek() {
+            let idx = e.region as usize;
+            if self.queued[idx] && e.generation == self.generation[idx] {
+                return false;
+            }
+            self.heap.pop();
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_rank_order() {
+        let mut q = ProgOrderQueue::new(3);
+        q.push(0, 1.0);
+        q.push(1, 5.0);
+        q.push(2, 3.0);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn update_supersedes_old_entry() {
+        let mut q = ProgOrderQueue::new(2);
+        q.push(0, 10.0);
+        q.push(1, 5.0);
+        q.update(0, 1.0); // demote region 0
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_on_region_id() {
+        let mut q = ProgOrderQueue::new(3);
+        q.push(2, 1.0);
+        q.push(0, 1.0);
+        q.push(1, 1.0);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let mut q = ProgOrderQueue::new(1);
+        assert!(!q.contains(0));
+        q.push(0, 1.0);
+        assert!(q.contains(0));
+        q.pop();
+        assert!(!q.contains(0));
+    }
+
+    #[test]
+    fn is_empty_skips_stale_entries() {
+        let mut q = ProgOrderQueue::new(1);
+        q.push(0, 1.0);
+        q.update(0, 2.0);
+        assert!(!q.is_empty());
+        assert_eq!(q.pop(), Some(0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn nan_free_ranks_assumed_but_zero_ok() {
+        let mut q = ProgOrderQueue::new(2);
+        q.push(0, 0.0);
+        q.push(1, -1.0);
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+    }
+}

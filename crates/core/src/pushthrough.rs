@@ -1,0 +1,193 @@
+//! Skyline partial push-through (Hafenrichter & Kießling; used by JF-SL+
+//! and the "+" variants of ProgXe, Section VI-B).
+//!
+//! A source tuple can be pruned when another tuple with the **same join
+//! key** is at least as good on every *mapped component* and strictly
+//! better on one: for separable monotone maps (`f_j(r,t)` non-decreasing in
+//! a per-source score `g_j`), every join partner then yields a dominated
+//! output, so the pruned tuple can never contribute a skyline result.
+//!
+//! Two classic refinements are deliberately **not** applied, because the
+//! paper shows they are unsound for SkyMapJoin queries (Section VII):
+//!
+//! * source-level pruning that ignores the join key (a "dominating" tuple
+//!   with a different key may have no join partners at all);
+//! * treating source-level skyline members as guaranteed results (mapping
+//!   functions create cross-source trade-offs).
+
+use crate::fxhash::FxHashMap;
+use crate::mapping::MapSet;
+use crate::source::SourceView;
+use progxe_skyline::Preference;
+
+/// Which side of the join to prune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The left (R) source: uses each map's `r_component`.
+    R,
+    /// The right (T) source: uses each map's `t_component`.
+    T,
+}
+
+/// Computes the rows of `source` that survive group-level push-through
+/// pruning, or `None` when any mapping function is not separable (pruning
+/// would be unsound and is skipped).
+///
+/// Surviving rows are returned in their original order.
+pub fn push_through(source: &SourceView<'_>, maps: &MapSet, side: Side) -> Option<Vec<u32>> {
+    let n = source.len();
+    let k = maps.out_dims();
+    // The local preference inherits the output orders: f_j non-decreasing in
+    // g_j means "better g_j ⇒ better f_j" in the same direction.
+    let pref = Preference::new(maps.preference().orders().to_vec());
+
+    // Compute local score vectors; bail out on non-separable maps.
+    let mut scores: Vec<f64> = Vec::with_capacity(n * k);
+    let mut buf = Vec::with_capacity(k);
+    for row in 0..n {
+        let ok = match side {
+            Side::R => maps.r_components(source.attrs_of(row), &mut buf),
+            Side::T => maps.t_components(source.attrs_of(row), &mut buf),
+        };
+        if !ok {
+            return None;
+        }
+        scores.extend_from_slice(&buf);
+    }
+    let score_of = |row: usize| &scores[row * k..(row + 1) * k];
+
+    // Group rows by join key, then keep each group's local skyline.
+    let mut groups: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    for row in 0..n {
+        groups
+            .entry(source.join_key_of(row))
+            .or_default()
+            .push(row as u32);
+    }
+
+    let mut keep = vec![true; n];
+    for rows in groups.values() {
+        // Window-based group skyline over local scores.
+        let mut window: Vec<u32> = Vec::new();
+        for &row in rows {
+            let p = score_of(row as usize);
+            let mut dominated = false;
+            let mut w = 0;
+            while w < window.len() {
+                let q = score_of(window[w] as usize);
+                if pref.dominates(q, p) {
+                    dominated = true;
+                    break;
+                }
+                if pref.dominates(p, q) {
+                    keep[window[w] as usize] = false;
+                    window.swap_remove(w);
+                } else {
+                    w += 1;
+                }
+            }
+            if dominated {
+                keep[row as usize] = false;
+            } else {
+                window.push(row);
+            }
+        }
+    }
+    Some(
+        (0..n as u32)
+            .filter(|&row| keep[row as usize])
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{GeneralMap, MappingFunction, WeightedSum};
+    use crate::source::SourceData;
+    use progxe_skyline::Order;
+
+    fn sum_maps(dims: usize) -> MapSet {
+        MapSet::pairwise_sum(dims, Preference::all_lowest(dims))
+    }
+
+    #[test]
+    fn dominated_within_group_is_pruned() {
+        let s = SourceData::from_rows(
+            2,
+            &[
+                (&[1.0, 1.0], 0), // dominates row 1 (same key)
+                (&[2.0, 2.0], 0),
+                (&[3.0, 3.0], 1), // different key: safe from row 0
+            ],
+        );
+        let kept = push_through(&s.view(), &sum_maps(2), Side::R).unwrap();
+        assert_eq!(kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn cross_group_dominance_never_prunes() {
+        let s = SourceData::from_rows(2, &[(&[1.0, 1.0], 0), (&[9.0, 9.0], 1)]);
+        let kept = push_through(&s.view(), &sum_maps(2), Side::R).unwrap();
+        assert_eq!(kept, vec![0, 1], "different join keys must both survive");
+    }
+
+    #[test]
+    fn incomparable_tuples_survive() {
+        let s = SourceData::from_rows(2, &[(&[1.0, 9.0], 0), (&[9.0, 1.0], 0)]);
+        let kept = push_through(&s.view(), &sum_maps(2), Side::R).unwrap();
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn equal_tuples_both_survive() {
+        let s = SourceData::from_rows(2, &[(&[5.0, 5.0], 0), (&[5.0, 5.0], 0)]);
+        let kept = push_through(&s.view(), &sum_maps(2), Side::R).unwrap();
+        assert_eq!(kept.len(), 2, "equal tuples never dominate each other");
+    }
+
+    #[test]
+    fn respects_highest_orders() {
+        let maps = MapSet::pairwise_sum(1, Preference::new(vec![Order::Highest]));
+        let s = SourceData::from_rows(1, &[(&[1.0], 0), (&[9.0], 0)]);
+        let kept = push_through(&s.view(), &maps, Side::R).unwrap();
+        assert_eq!(kept, vec![1], "HIGHEST keeps the larger value");
+    }
+
+    #[test]
+    fn weights_affect_local_scores() {
+        // delay-style map: 2·r[0]; r=(3) scores 6, r=(2) scores 4.
+        let maps = MapSet::new(
+            vec![Box::new(WeightedSum::new(vec![2.0], vec![1.0])) as Box<dyn MappingFunction>],
+            Preference::all_lowest(1),
+        )
+        .unwrap();
+        let s = SourceData::from_rows(1, &[(&[3.0], 0), (&[2.0], 0)]);
+        let kept = push_through(&s.view(), &maps, Side::R).unwrap();
+        assert_eq!(kept, vec![1]);
+    }
+
+    #[test]
+    fn non_separable_map_disables_pruning() {
+        let maps = MapSet::new(
+            vec![Box::new(GeneralMap::max_of(0, 0)) as Box<dyn MappingFunction>],
+            Preference::all_lowest(1),
+        )
+        .unwrap();
+        let s = SourceData::from_rows(1, &[(&[1.0], 0), (&[2.0], 0)]);
+        assert!(push_through(&s.view(), &maps, Side::R).is_none());
+    }
+
+    #[test]
+    fn t_side_uses_t_components() {
+        // Map = r[0] + 3·t[0]: T-side scores are 3·t[0].
+        let maps = MapSet::new(
+            vec![Box::new(WeightedSum::new(vec![1.0], vec![3.0])) as Box<dyn MappingFunction>],
+            Preference::all_lowest(1),
+        )
+        .unwrap();
+        let s = SourceData::from_rows(1, &[(&[2.0], 0), (&[1.0], 0)]);
+        let kept = push_through(&s.view(), &maps, Side::T).unwrap();
+        assert_eq!(kept, vec![1]);
+    }
+}

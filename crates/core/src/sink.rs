@@ -1,0 +1,164 @@
+//! Result sinks: where progressively emitted tuples go.
+//!
+//! The executor pushes *batches* of proven-final results the moment
+//! ProgDetermine releases them. Sinks decide what to do: collect, timestamp
+//! for progressiveness plots, stream to a consumer, etc.
+
+use crate::stats::{ProgressRecord, ResultTuple};
+use std::time::Instant;
+
+/// Consumer of progressively emitted results.
+pub trait ResultSink {
+    /// Called with each batch of results the moment they are proven final.
+    /// Batches are non-empty; tuples within a batch share an emission point.
+    fn emit_batch(&mut self, batch: &[ResultTuple]);
+}
+
+/// Collects all results in arrival order (emission order).
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// Results in emission order.
+    pub results: Vec<ResultTuple>,
+}
+
+impl ResultSink for CollectSink {
+    fn emit_batch(&mut self, batch: &[ResultTuple]) {
+        self.results.extend_from_slice(batch);
+    }
+}
+
+/// Collects results *and* timestamps every batch relative to a start
+/// instant — produces the progressiveness series of Figures 10–12.
+#[derive(Debug)]
+pub struct ProgressSink {
+    start: Instant,
+    cumulative: u64,
+    /// `(elapsed, cumulative)` per batch.
+    pub records: Vec<ProgressRecord>,
+    /// All results in emission order.
+    pub results: Vec<ResultTuple>,
+}
+
+impl ProgressSink {
+    /// Starts the clock now.
+    pub fn new() -> Self {
+        Self::with_start(Instant::now())
+    }
+
+    /// Starts the clock at a caller-chosen instant (e.g. before data
+    /// generation, to include setup in the timeline).
+    pub fn with_start(start: Instant) -> Self {
+        Self {
+            start,
+            cumulative: 0,
+            records: Vec::new(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Time of the first emitted result, if any.
+    pub fn first_result_at(&self) -> Option<std::time::Duration> {
+        self.records.first().map(|r| r.elapsed)
+    }
+
+    /// Total results received.
+    pub fn total(&self) -> u64 {
+        self.cumulative
+    }
+}
+
+impl Default for ProgressSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResultSink for ProgressSink {
+    fn emit_batch(&mut self, batch: &[ResultTuple]) {
+        self.cumulative += batch.len() as u64;
+        self.records.push(ProgressRecord {
+            elapsed: self.start.elapsed(),
+            cumulative: self.cumulative,
+        });
+        self.results.extend_from_slice(batch);
+    }
+}
+
+/// Adapter invoking a closure per batch.
+pub struct FnSink<F: FnMut(&[ResultTuple])>(pub F);
+
+impl<F: FnMut(&[ResultTuple])> ResultSink for FnSink<F> {
+    fn emit_batch(&mut self, batch: &[ResultTuple]) {
+        (self.0)(batch);
+    }
+}
+
+/// Counts results without storing them (cheap for huge outputs).
+#[derive(Debug, Default)]
+pub struct CountSink {
+    /// Number of results received.
+    pub count: u64,
+    /// Number of batches received.
+    pub batches: u64,
+}
+
+impl ResultSink for CountSink {
+    fn emit_batch(&mut self, batch: &[ResultTuple]) {
+        self.count += batch.len() as u64;
+        self.batches += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuple(r: u32) -> ResultTuple {
+        ResultTuple {
+            r_idx: r,
+            t_idx: 0,
+            values: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn collect_sink_accumulates_in_order() {
+        let mut s = CollectSink::default();
+        s.emit_batch(&[tuple(1), tuple(2)]);
+        s.emit_batch(&[tuple(3)]);
+        let ids: Vec<u32> = s.results.iter().map(|t| t.r_idx).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn progress_sink_records_monotone_series() {
+        let mut s = ProgressSink::new();
+        s.emit_batch(&[tuple(1)]);
+        s.emit_batch(&[tuple(2), tuple(3)]);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.records.len(), 2);
+        assert_eq!(s.records[0].cumulative, 1);
+        assert_eq!(s.records[1].cumulative, 3);
+        assert!(s.records[0].elapsed <= s.records[1].elapsed);
+        assert!(s.first_result_at().is_some());
+    }
+
+    #[test]
+    fn fn_sink_invokes_closure() {
+        let mut seen = 0usize;
+        {
+            let mut s = FnSink(|b: &[ResultTuple]| seen += b.len());
+            s.emit_batch(&[tuple(1), tuple(2)]);
+        }
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn count_sink_counts() {
+        let mut s = CountSink::default();
+        s.emit_batch(&[tuple(1)]);
+        s.emit_batch(&[tuple(2)]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.batches, 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Input-source abstraction: attribute matrix + join keys.
+
+use crate::error::{Error, Result};
+use progxe_skyline::PointStore;
+
+/// Borrowed view over one input source of a SkyMapJoin query.
+///
+/// The executor never owns input data; callers keep their relations and hand
+/// in views. `attrs` holds the mapping-relevant attributes (one row per
+/// tuple) and `join_keys` the equi-join key of each tuple, both indexed by
+/// row position.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceView<'a> {
+    attrs: &'a PointStore,
+    join_keys: &'a [u32],
+}
+
+impl<'a> SourceView<'a> {
+    /// Creates a view, validating that the two arrays are parallel.
+    pub fn new(attrs: &'a PointStore, join_keys: &'a [u32]) -> Result<Self> {
+        if attrs.len() != join_keys.len() {
+            return Err(Error::SourceShape {
+                attr_rows: attrs.len(),
+                key_rows: join_keys.len(),
+            });
+        }
+        Ok(Self { attrs, join_keys })
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.join_keys.len()
+    }
+
+    /// True when the source has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.join_keys.is_empty()
+    }
+
+    /// Attribute dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.attrs.dims()
+    }
+
+    /// Attributes of tuple `i`.
+    #[inline]
+    pub fn attrs_of(&self, i: usize) -> &'a [f64] {
+        self.attrs.point(i)
+    }
+
+    /// Join key of tuple `i`.
+    #[inline]
+    pub fn join_key_of(&self, i: usize) -> u32 {
+        self.join_keys[i]
+    }
+
+    /// The underlying attribute store.
+    #[inline]
+    pub fn attrs(&self) -> &'a PointStore {
+        self.attrs
+    }
+
+    /// The underlying join-key column.
+    #[inline]
+    pub fn join_keys(&self) -> &'a [u32] {
+        self.join_keys
+    }
+
+    /// Largest join key present, or `None` for an empty source.
+    pub fn max_join_key(&self) -> Option<u32> {
+        self.join_keys.iter().copied().max()
+    }
+}
+
+/// Owned source data — a convenience for examples and tests.
+///
+/// Library consumers with their own storage should construct [`SourceView`]s
+/// directly; `SourceData` simply bundles a [`PointStore`] with its join-key
+/// column.
+#[derive(Debug, Clone, Default)]
+pub struct SourceData {
+    /// Attribute matrix.
+    pub attrs: PointStore,
+    /// Join key per tuple.
+    pub join_keys: Vec<u32>,
+}
+
+impl SourceData {
+    /// Creates an empty source with `dims` attributes per tuple.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            attrs: PointStore::new(dims),
+            join_keys: Vec::new(),
+        }
+    }
+
+    /// Builds a source from `(attributes, join_key)` rows.
+    pub fn from_rows(dims: usize, rows: &[(&[f64], u32)]) -> Self {
+        let mut s = Self {
+            attrs: PointStore::with_capacity(dims, rows.len()),
+            join_keys: Vec::with_capacity(rows.len()),
+        };
+        for (attrs, key) in rows {
+            s.push(attrs, *key);
+        }
+        s
+    }
+
+    /// Appends one tuple; returns its row index.
+    pub fn push(&mut self, attrs: &[f64], join_key: u32) -> usize {
+        let idx = self.attrs.push(attrs);
+        self.join_keys.push(join_key);
+        idx
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.join_keys.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.join_keys.is_empty()
+    }
+
+    /// A borrowed view suitable for the executor.
+    ///
+    /// # Panics
+    /// Never panics: the arrays are parallel by construction.
+    pub fn view(&self) -> SourceView<'_> {
+        SourceView::new(&self.attrs, &self.join_keys).expect("SourceData arrays are parallel")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_validates_shape() {
+        let attrs = PointStore::from_rows(2, [[1.0, 2.0], [3.0, 4.0]]);
+        let keys = vec![1u32];
+        assert!(matches!(
+            SourceView::new(&attrs, &keys),
+            Err(Error::SourceShape { .. })
+        ));
+    }
+
+    #[test]
+    fn source_data_round_trip() {
+        let s = SourceData::from_rows(2, &[(&[1.0, 2.0], 7), (&[3.0, 4.0], 9)]);
+        let v = s.view();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.dims(), 2);
+        assert_eq!(v.attrs_of(1), &[3.0, 4.0]);
+        assert_eq!(v.join_key_of(0), 7);
+        assert_eq!(v.max_join_key(), Some(9));
+    }
+
+    #[test]
+    fn empty_source() {
+        let s = SourceData::new(3);
+        assert!(s.is_empty());
+        assert_eq!(s.view().max_join_key(), None);
+    }
+}

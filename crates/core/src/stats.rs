@@ -1,0 +1,141 @@
+//! Execution statistics and result types.
+
+use std::time::Duration;
+
+/// One final query result: a joined tuple pair with its mapped output
+/// attributes (in the caller's original value orientation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultTuple {
+    /// Row index of the R-side tuple.
+    pub r_idx: u32,
+    /// Row index of the T-side tuple.
+    pub t_idx: u32,
+    /// Mapped output attribute values (`x_1 … x_k`).
+    pub values: Vec<f64>,
+}
+
+/// A `(time, cumulative results)` sample of progressive output — the series
+/// plotted in Figures 10–12 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProgressRecord {
+    /// Time since execution start.
+    pub elapsed: Duration,
+    /// Total results emitted up to this moment.
+    pub cumulative: u64,
+}
+
+/// Counters and timings for one executor run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Wall-clock duration of the look-ahead phase (grid build, region
+    /// generation, abstraction-level pruning, cell tracking).
+    pub lookahead_time: Duration,
+    /// Total wall-clock duration of the run.
+    pub total_time: Duration,
+
+    /// Tuples pruned from source R by push-through (0 when disabled).
+    pub push_through_pruned_r: usize,
+    /// Tuples pruned from source T by push-through (0 when disabled).
+    pub push_through_pruned_t: usize,
+    /// Whether push-through was requested but skipped because a mapping
+    /// function is not separable.
+    pub push_through_skipped: bool,
+
+    /// Input partitions materialized on R.
+    pub partitions_r: usize,
+    /// Input partitions materialized on T.
+    pub partitions_t: usize,
+    /// Partition pairs rejected by join signatures.
+    pub pairs_rejected_by_signature: usize,
+    /// Candidate regions pruned by region-level dominance.
+    pub regions_pruned_lookahead: usize,
+    /// Live regions after look-ahead.
+    pub regions_created: usize,
+    /// Regions discarded during execution because newly generated tuples
+    /// dominated their whole box (Algorithm 1, line 9).
+    pub regions_discarded_dead: usize,
+    /// Regions that went through tuple-level processing.
+    pub regions_processed: usize,
+    /// Times the ordering fell back because the EL-graph had no root
+    /// (cyclic components; see DESIGN.md §5.2).
+    pub ordering_fallbacks: usize,
+
+    /// Output cells tracked.
+    pub cells_tracked: usize,
+    /// Cells pre-marked dead by the pessimistic skyline.
+    pub cells_premarked_dead: usize,
+    /// Cells whose tuples were emitted.
+    pub cells_emitted: usize,
+
+    /// Join-condition evaluations (Σ n_R·n_T over processed regions).
+    pub join_pairs_evaluated: u64,
+    /// Join results produced (and mapped).
+    pub join_matches: u64,
+    /// Pairwise dominance tests at tuple level.
+    pub dominance_tests: u64,
+    /// Tuples admitted into cells.
+    pub tuples_inserted: u64,
+    /// Tuples rejected: dominated by a live tuple.
+    pub tuples_rejected_dominated: u64,
+    /// Tuples rejected: landed in a dead cell (no comparisons needed).
+    pub tuples_rejected_dead_cell: u64,
+    /// Admitted tuples later evicted by dominating arrivals.
+    pub tuples_evicted: u64,
+    /// Populated comparable cells examined across insertions (Section
+    /// III-B's `k^d − (k−1)^d` bound, measured).
+    pub comparable_cells_visited: u64,
+    /// Largest comparable-cell set examined by one insertion.
+    pub comparable_cells_max: u64,
+
+    /// Results emitted (must equal the final skyline size).
+    pub results_emitted: u64,
+}
+
+impl ExecStats {
+    /// Fraction of partition pairs eliminated before tuple-level work.
+    pub fn signature_rejection_rate(&self) -> f64 {
+        let total = self.pairs_rejected_by_signature
+            + self.regions_created
+            + self.regions_pruned_lookahead;
+        if total == 0 {
+            0.0
+        } else {
+            self.pairs_rejected_by_signature as f64 / total as f64
+        }
+    }
+
+    /// Join matches that survived into the final result.
+    pub fn result_selectivity(&self) -> f64 {
+        if self.join_matches == 0 {
+            0.0
+        } else {
+            self.results_emitted as f64 / self.join_matches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = ExecStats::default();
+        assert_eq!(s.signature_rejection_rate(), 0.0);
+        assert_eq!(s.result_selectivity(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = ExecStats {
+            pairs_rejected_by_signature: 30,
+            regions_created: 60,
+            regions_pruned_lookahead: 10,
+            join_matches: 200,
+            results_emitted: 50,
+            ..ExecStats::default()
+        };
+        assert!((s.signature_rejection_rate() - 0.3).abs() < 1e-12);
+        assert!((s.result_selectivity() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,164 @@
+//! Tuple-level processing of one region (Section III-B).
+//!
+//! For the chosen region `R_{a,b}`: evaluate the equi-join between the
+//! tuples of `I^R_a` and `I^T_b` (hash join on the smaller side), apply the
+//! mapping functions to each match, orient the output, and insert it into
+//! the cell store — which performs the cell-restricted dominance
+//! maintenance.
+
+use crate::cells::CellStore;
+use crate::fxhash::FxHashMap;
+use crate::grid::InputPartition;
+use crate::mapping::MapSet;
+use crate::source::SourceView;
+
+/// Work counters from processing one region.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TupleLevelStats {
+    /// Join-condition probes (`n_R · n_T` upper bound; hash join probes
+    /// only actual key matches, this counts pairs *examined*).
+    pub pairs_examined: u64,
+    /// Join matches produced and mapped.
+    pub matches: u64,
+}
+
+/// Joins one partition pair, maps the matches, and inserts them.
+pub fn process_region(
+    r_part: &InputPartition,
+    t_part: &InputPartition,
+    r_src: &SourceView<'_>,
+    t_src: &SourceView<'_>,
+    maps: &MapSet,
+    store: &mut CellStore,
+) -> TupleLevelStats {
+    let mut stats = TupleLevelStats::default();
+    let orders = maps.preference().orders();
+    let mut raw = Vec::with_capacity(maps.out_dims());
+    let mut oriented = vec![0.0f64; maps.out_dims()];
+
+    // Build the hash table over the smaller partition.
+    let (build_rows, probe_rows, build_is_r) = if r_part.len() <= t_part.len() {
+        (&r_part.tuples, &t_part.tuples, true)
+    } else {
+        (&t_part.tuples, &r_part.tuples, false)
+    };
+    let build_src: &SourceView<'_> = if build_is_r { r_src } else { t_src };
+    let probe_src: &SourceView<'_> = if build_is_r { t_src } else { r_src };
+
+    let mut table: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    for &row in build_rows {
+        table
+            .entry(build_src.join_key_of(row as usize))
+            .or_default()
+            .push(row);
+    }
+
+    for &probe in probe_rows {
+        let key = probe_src.join_key_of(probe as usize);
+        let Some(matches) = table.get(&key) else {
+            continue;
+        };
+        for &build in matches {
+            stats.matches += 1;
+            let (r_row, t_row) = if build_is_r { (build, probe) } else { (probe, build) };
+            maps.eval_into(
+                r_src.attrs_of(r_row as usize),
+                t_src.attrs_of(t_row as usize),
+                &mut raw,
+            );
+            for (j, (&v, o)) in raw.iter().zip(orders).enumerate() {
+                oriented[j] = o.orient(v);
+            }
+            store.insert(r_row, t_row, &oriented);
+        }
+    }
+    // Account the full nested-pair count as "examined" for the cost model's
+    // C_join = n_R·n_T bookkeeping (hash probing avoids most of it in
+    // practice; the counter reports the logical join work of Equation 4).
+    stats.pairs_examined = r_part.len() as u64 * t_part.len() as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SignatureConfig;
+    use crate::grid::InputGrid;
+    use crate::output_grid::OutputGrid;
+    use crate::source::SourceData;
+    use progxe_skyline::Preference;
+
+    fn one_partition(src: &SourceData) -> InputPartition {
+        let grid = InputGrid::build(&src.view(), 1, SignatureConfig::Exact, 16);
+        grid.partitions()[0].clone()
+    }
+
+    fn tracked_store(grid: OutputGrid) -> CellStore {
+        let mut store = CellStore::new(grid.clone());
+        let lo = grid.cell_of(&vec![f64::NEG_INFINITY; grid.dims()]);
+        let mut hi = lo;
+        for h in hi.iter_mut().take(grid.dims()) {
+            *h = grid.cells_per_dim() - 1;
+        }
+        for c in grid.iter_box(lo, hi) {
+            store.track(c);
+        }
+        store
+    }
+
+    #[test]
+    fn equi_join_produces_only_matching_pairs() {
+        let r = SourceData::from_rows(1, &[(&[1.0], 0), (&[2.0], 1), (&[3.0], 0)]);
+        let t = SourceData::from_rows(1, &[(&[10.0], 0), (&[20.0], 2)]);
+        let rp = one_partition(&r);
+        let tp = one_partition(&t);
+        let maps = MapSet::pairwise_sum(1, Preference::all_lowest(1));
+        let mut store = tracked_store(OutputGrid::new(vec![0.0], vec![40.0], 8));
+        let stats = process_region(&rp, &tp, &r.view(), &t.view(), &maps, &mut store);
+        // Matching pairs: (r0,t0) and (r2,t0) — but 11 dominates 13 in 1-d,
+        // so only one tuple survives.
+        assert_eq!(stats.matches, 2);
+        assert_eq!(stats.pairs_examined, 6);
+        assert_eq!(store.live_tuples(), 1);
+    }
+
+    #[test]
+    fn mapped_values_are_oriented() {
+        use progxe_skyline::Order;
+        let r = SourceData::from_rows(1, &[(&[3.0], 0)]);
+        let t = SourceData::from_rows(1, &[(&[4.0], 0)]);
+        let rp = one_partition(&r);
+        let tp = one_partition(&t);
+        let maps = MapSet::pairwise_sum(1, Preference::new(vec![Order::Highest]));
+        // Oriented output = -(3+4) = -7.
+        let mut store = tracked_store(OutputGrid::new(vec![-10.0], vec![0.0], 8));
+        process_region(&rp, &tp, &r.view(), &t.view(), &maps, &mut store);
+        assert_eq!(store.live_tuples(), 1);
+        let (_, cell) = store.iter().find(|(_, c)| !c.is_empty()).unwrap();
+        assert_eq!(cell.points().point(0), &[-7.0]);
+    }
+
+    #[test]
+    fn build_side_selection_is_transparent() {
+        // Asymmetric sizes exercise both build directions; ids must stay
+        // (r, t) ordered either way.
+        let r = SourceData::from_rows(1, &[(&[1.0], 5)]);
+        let t = SourceData::from_rows(
+            1,
+            &[(&[1.0], 5), (&[2.0], 5), (&[3.0], 5), (&[4.0], 5)],
+        );
+        let maps = MapSet::pairwise_sum(1, Preference::all_lowest(1));
+        let mut store = tracked_store(OutputGrid::new(vec![0.0], vec![10.0], 8));
+        let rp = one_partition(&r);
+        let tp = one_partition(&t);
+        process_region(&rp, &tp, &r.view(), &t.view(), &maps, &mut store);
+        let (_, cell) = store.iter().find(|(_, c)| !c.is_empty()).unwrap();
+        assert_eq!(cell.ids(), &[(0, 0)], "r_idx=0, t_idx=0 regardless of build side");
+
+        // Mirrored: big R, small T.
+        let mut store2 = tracked_store(OutputGrid::new(vec![0.0], vec![10.0], 8));
+        process_region(&tp, &rp, &t.view(), &r.view(), &maps, &mut store2);
+        let (_, cell2) = store2.iter().find(|(_, c)| !c.is_empty()).unwrap();
+        assert_eq!(cell2.ids(), &[(0, 0)]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Generated relations: skyline attributes + join key per tuple.
+
+use progxe_skyline::PointStore;
+
+/// One input relation of a SkyMapJoin query.
+///
+/// Mirrors the paper's sources (`Suppliers R`, `Transporters T`): each tuple
+/// carries `dims` real-valued attributes consumed by the mapping functions
+/// and one integer join key (`country` in Q1). Tuple identity is the row
+/// index.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// Skyline-relevant attribute matrix (one row per tuple).
+    pub attrs: PointStore,
+    /// Equi-join key per tuple, parallel to `attrs`.
+    pub join_keys: Vec<u32>,
+}
+
+impl Relation {
+    /// Creates an empty relation with `dims` attributes per tuple.
+    pub fn new(dims: usize) -> Self {
+        Self {
+            attrs: PointStore::new(dims),
+            join_keys: Vec::new(),
+        }
+    }
+
+    /// Creates an empty relation with room for `cap` tuples.
+    pub fn with_capacity(dims: usize, cap: usize) -> Self {
+        Self {
+            attrs: PointStore::with_capacity(dims, cap),
+            join_keys: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends a tuple; returns its row index.
+    pub fn push(&mut self, attrs: &[f64], join_key: u32) -> usize {
+        let idx = self.attrs.push(attrs);
+        self.join_keys.push(join_key);
+        idx
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.join_keys.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.join_keys.is_empty()
+    }
+
+    /// Attribute dimensionality.
+    pub fn dims(&self) -> usize {
+        self.attrs.dims()
+    }
+
+    /// Borrow the attributes of tuple `i`.
+    pub fn attrs_of(&self, i: usize) -> &[f64] {
+        self.attrs.point(i)
+    }
+
+    /// Join key of tuple `i`.
+    pub fn join_key_of(&self, i: usize) -> u32 {
+        self.join_keys[i]
+    }
+
+    /// Builds a relation from parallel rows; panics on length mismatch.
+    pub fn from_rows<R: AsRef<[f64]>>(dims: usize, rows: &[(R, u32)]) -> Self {
+        let mut rel = Self::with_capacity(dims, rows.len());
+        for (attrs, key) in rows {
+            rel.push(attrs.as_ref(), *key);
+        }
+        rel
+    }
+
+    /// The number of distinct join-key values present.
+    pub fn distinct_join_keys(&self) -> usize {
+        let mut keys = self.join_keys.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut r = Relation::new(2);
+        r.push(&[1.0, 2.0], 7);
+        r.push(&[3.0, 4.0], 9);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dims(), 2);
+        assert_eq!(r.attrs_of(1), &[3.0, 4.0]);
+        assert_eq!(r.join_key_of(0), 7);
+    }
+
+    #[test]
+    fn from_rows_builds_parallel_arrays() {
+        let r = Relation::from_rows(2, &[([1.0, 2.0], 0), ([3.0, 4.0], 1)]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.join_key_of(1), 1);
+    }
+
+    #[test]
+    fn distinct_join_keys_counts() {
+        let r = Relation::from_rows(1, &[([1.0], 3), ([2.0], 3), ([3.0], 5)]);
+        assert_eq!(r.distinct_join_keys(), 2);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let r = Relation::new(3);
+        assert!(r.is_empty());
+        assert_eq!(r.distinct_join_keys(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end workload specification matching the paper's Section VI-A.
+
+use crate::{Distribution, Relation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one experimental workload.
+///
+/// Defaults mirror the paper's experimental setup: both sources share the
+/// cardinality `N`, attributes are real numbers in `[1, 100]`, and the join
+/// selectivity σ is realized by drawing join keys uniformly from
+/// `V = round(1/σ)` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Cardinality of source R.
+    pub n_r: usize,
+    /// Cardinality of source T.
+    pub n_t: usize,
+    /// Number of skyline dimensions `d`. Each source carries `d` attributes;
+    /// the default mapping adds corresponding dimensions pairwise.
+    pub dims: usize,
+    /// Attribute-correlation family for both sources.
+    pub distribution: Distribution,
+    /// Expected equi-join selectivity σ = |R ⋈ T| / (|R|·|T|).
+    pub selectivity: f64,
+    /// Attribute value range (inclusive low, exclusive high).
+    pub value_range: (f64, f64),
+    /// RNG seed; equal specs generate identical workloads.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec with the paper's constants (`[1,100]` values) and the given
+    /// shape parameters.
+    pub fn new(n: usize, dims: usize, distribution: Distribution, selectivity: f64) -> Self {
+        Self {
+            n_r: n,
+            n_t: n,
+            dims,
+            distribution,
+            selectivity,
+            value_range: (1.0, 100.0),
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of distinct join-key values realizing σ.
+    pub fn join_domain_size(&self) -> u32 {
+        assert!(
+            self.selectivity > 0.0 && self.selectivity <= 1.0,
+            "selectivity must be in (0, 1], got {}",
+            self.selectivity
+        );
+        ((1.0 / self.selectivity).round() as u32).max(1)
+    }
+
+    /// Generates both sources.
+    pub fn generate(&self) -> SmjWorkload {
+        assert!(self.dims > 0, "dims must be positive");
+        let v = self.join_domain_size();
+        let (lo, hi) = self.value_range;
+        assert!(hi > lo, "empty value range");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let r = self.generate_one(&mut rng, self.n_r, v, lo, hi);
+        let t = self.generate_one(&mut rng, self.n_t, v, lo, hi);
+        SmjWorkload {
+            spec: self.clone(),
+            r,
+            t,
+        }
+    }
+
+    fn generate_one(&self, rng: &mut StdRng, n: usize, v: u32, lo: f64, hi: f64) -> Relation {
+        let mut rel = Relation::with_capacity(self.dims, n);
+        let mut unit = Vec::with_capacity(self.dims);
+        let mut scaled = vec![0.0; self.dims];
+        let span = hi - lo;
+        for _ in 0..n {
+            self.distribution.sample_unit(rng, self.dims, &mut unit);
+            for (s, &u) in scaled.iter_mut().zip(unit.iter()) {
+                *s = lo + u * span;
+            }
+            let key = rng.gen_range(0..v);
+            rel.push(&scaled, key);
+        }
+        rel
+    }
+}
+
+/// A generated SkyMapJoin workload: the two sources plus their spec.
+#[derive(Debug, Clone)]
+pub struct SmjWorkload {
+    /// The spec this workload was generated from.
+    pub spec: WorkloadSpec,
+    /// Source R (e.g. `Suppliers`).
+    pub r: Relation,
+    /// Source T (e.g. `Transporters`).
+    pub t: Relation,
+}
+
+impl SmjWorkload {
+    /// Exact join cardinality of this instance (counted, not estimated).
+    pub fn exact_join_cardinality(&self) -> u64 {
+        let v = self.spec.join_domain_size() as usize;
+        let mut r_hist = vec![0u64; v];
+        for &k in &self.r.join_keys {
+            r_hist[k as usize] += 1;
+        }
+        let mut t_hist = vec![0u64; v];
+        for &k in &self.t.join_keys {
+            t_hist[k as usize] += 1;
+        }
+        r_hist.iter().zip(&t_hist).map(|(a, b)| a * b).sum()
+    }
+
+    /// Empirical selectivity of this instance.
+    pub fn exact_selectivity(&self) -> f64 {
+        self.exact_join_cardinality() as f64 / (self.r.len() as f64 * self.t.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let spec = WorkloadSpec::new(200, 3, Distribution::Independent, 0.01);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.r.attrs.raw(), b.r.attrs.raw());
+        assert_eq!(a.t.join_keys, b.t.join_keys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = WorkloadSpec::new(100, 2, Distribution::Independent, 0.1);
+        let a = spec.generate();
+        let b = spec.with_seed(42).generate();
+        assert_ne!(a.r.attrs.raw(), b.r.attrs.raw());
+    }
+
+    #[test]
+    fn values_respect_range() {
+        let spec = WorkloadSpec::new(500, 4, Distribution::AntiCorrelated, 0.01);
+        let w = spec.generate();
+        for rel in [&w.r, &w.t] {
+            for p in rel.attrs.iter() {
+                for &v in p {
+                    assert!((1.0..=100.0).contains(&v), "value {v} out of [1,100]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_domain_size_matches_sigma() {
+        let spec = WorkloadSpec::new(10, 2, Distribution::Independent, 0.001);
+        assert_eq!(spec.join_domain_size(), 1000);
+        let spec = WorkloadSpec::new(10, 2, Distribution::Independent, 0.1);
+        assert_eq!(spec.join_domain_size(), 10);
+    }
+
+    #[test]
+    fn empirical_selectivity_near_nominal() {
+        let spec = WorkloadSpec::new(5000, 2, Distribution::Independent, 0.01);
+        let w = spec.generate();
+        let sel = w.exact_selectivity();
+        assert!(
+            (sel - 0.01).abs() / 0.01 < 0.2,
+            "selectivity {sel} too far from 0.01"
+        );
+    }
+
+    #[test]
+    fn asymmetric_cardinalities() {
+        let mut spec = WorkloadSpec::new(100, 2, Distribution::Correlated, 0.05);
+        spec.n_t = 37;
+        let w = spec.generate();
+        assert_eq!(w.r.len(), 100);
+        assert_eq!(w.t.len(), 37);
+    }
+
+    #[test]
+    #[should_panic(expected = "selectivity")]
+    fn zero_selectivity_rejected() {
+        WorkloadSpec::new(10, 2, Distribution::Independent, 0.0).join_domain_size();
+    }
+}

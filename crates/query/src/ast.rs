@@ -1,0 +1,145 @@
+//! Abstract syntax for the SkyMapJoin dialect.
+
+use progxe_skyline::Order;
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Projected id columns (`R.id`, `T.id`) — metadata only.
+    pub id_columns: Vec<ColumnRef>,
+    /// Mapped output attributes: `(expr) AS name`.
+    pub outputs: Vec<OutputDef>,
+    /// The two sources with aliases, in FROM order.
+    pub sources: [SourceRef; 2],
+    /// The equi-join predicate `a.col = b.col`.
+    pub join: JoinPredicate,
+    /// Conjunctive filter predicates (`alias.col OP constant`).
+    pub filters: Vec<FilterPredicate>,
+    /// The `PREFERRING` clause: one direction per named output.
+    pub preferences: Vec<(String, Order)>,
+}
+
+/// `table alias` in the FROM clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceRef {
+    /// Table name as written.
+    pub table: String,
+    /// Binding alias (`R`, `T`).
+    pub alias: String,
+}
+
+/// A qualified column reference `alias.column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnRef {
+    /// Source alias.
+    pub alias: String,
+    /// Column name.
+    pub column: String,
+}
+
+/// One output definition `(expr) AS name`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputDef {
+    /// Output attribute name (referenced by `PREFERRING`).
+    pub name: String,
+    /// Defining expression.
+    pub expr: Expr,
+}
+
+/// Linear arithmetic over qualified columns:
+/// `term (('+'|'-') term)*` with `term := [number '*'] alias.column | number`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// `(coefficient, column)` terms.
+    pub terms: Vec<(f64, ColumnRef)>,
+    /// Additive constant.
+    pub constant: f64,
+}
+
+impl Expr {
+    /// A single-column expression with coefficient 1.
+    pub fn column(alias: impl Into<String>, column: impl Into<String>) -> Self {
+        Self {
+            terms: vec![(
+                1.0,
+                ColumnRef {
+                    alias: alias.into(),
+                    column: column.into(),
+                },
+            )],
+            constant: 0.0,
+        }
+    }
+}
+
+/// The equi-join predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPredicate {
+    /// Left column.
+    pub left: ColumnRef,
+    /// Right column.
+    pub right: ColumnRef,
+}
+
+/// Comparison operators usable in filters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComparisonOp {
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl ComparisonOp {
+    /// Applies the operator.
+    pub fn eval(self, lhs: f64, rhs: f64) -> bool {
+        match self {
+            ComparisonOp::Eq => lhs == rhs,
+            ComparisonOp::Lt => lhs < rhs,
+            ComparisonOp::Le => lhs <= rhs,
+            ComparisonOp::Gt => lhs > rhs,
+            ComparisonOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// A filter `alias.column OP constant`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilterPredicate {
+    /// Filtered column.
+    pub column: ColumnRef,
+    /// Operator.
+    pub op: ComparisonOp,
+    /// Constant right-hand side.
+    pub value: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_ops_eval() {
+        assert!(ComparisonOp::Eq.eval(1.0, 1.0));
+        assert!(ComparisonOp::Lt.eval(1.0, 2.0));
+        assert!(ComparisonOp::Le.eval(2.0, 2.0));
+        assert!(ComparisonOp::Gt.eval(3.0, 2.0));
+        assert!(ComparisonOp::Ge.eval(2.0, 2.0));
+        assert!(!ComparisonOp::Lt.eval(2.0, 2.0));
+    }
+
+    #[test]
+    fn expr_column_helper() {
+        let e = Expr::column("R", "price");
+        assert_eq!(e.terms.len(), 1);
+        assert_eq!(e.terms[0].0, 1.0);
+        assert_eq!(e.terms[0].1.column, "price");
+        assert_eq!(e.constant, 0.0);
+    }
+}

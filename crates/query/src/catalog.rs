@@ -1,0 +1,132 @@
+//! Catalog: table schemas and their bound data.
+
+use progxe_core::source::SourceData;
+use std::collections::HashMap;
+
+/// Schema of one table: ordered column names. By convention every column is
+/// numeric (`f64`) except the join key, which is an integer column stored
+/// separately (see [`BoundTable`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (matched case-insensitively in FROM clauses).
+    pub name: String,
+    /// Numeric attribute columns, in storage order.
+    pub columns: Vec<String>,
+    /// Name of the integer join-key column.
+    pub key_column: String,
+}
+
+impl TableSchema {
+    /// Creates a schema.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<String>,
+        key_column: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            columns,
+            key_column: key_column.into(),
+        }
+    }
+
+    /// Index of a numeric column.
+    pub fn column_index(&self, column: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == column)
+    }
+
+    /// Whether `column` is the join-key column.
+    pub fn is_key(&self, column: &str) -> bool {
+        self.key_column == column
+    }
+}
+
+/// A schema together with its tuples.
+#[derive(Debug, Clone)]
+pub struct BoundTable {
+    /// The schema.
+    pub schema: TableSchema,
+    /// The data: attributes (matching `schema.columns`) + join keys.
+    pub data: SourceData,
+}
+
+/// A set of named tables available to queries.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: HashMap<String, BoundTable>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table.
+    ///
+    /// # Panics
+    /// Panics when the data's attribute arity differs from the schema.
+    pub fn register(&mut self, schema: TableSchema, data: SourceData) {
+        assert_eq!(
+            schema.columns.len(),
+            if data.is_empty() { schema.columns.len() } else { data.attrs.dims() },
+            "data arity must match schema {:?}",
+            schema.name
+        );
+        self.tables
+            .insert(schema.name.to_ascii_lowercase(), BoundTable { schema, data });
+    }
+
+    /// Looks up a table case-insensitively.
+    pub fn table(&self, name: &str) -> Option<&BoundTable> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Registered table names (lower-cased), sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "Suppliers",
+            vec!["uPrice".into(), "manTime".into()],
+            "country",
+        )
+    }
+
+    #[test]
+    fn column_lookup() {
+        let s = schema();
+        assert_eq!(s.column_index("manTime"), Some(1));
+        assert_eq!(s.column_index("nope"), None);
+        assert!(s.is_key("country"));
+        assert!(!s.is_key("uPrice"));
+    }
+
+    #[test]
+    fn register_and_lookup_case_insensitive() {
+        let mut cat = Catalog::new();
+        let data = SourceData::from_rows(2, &[(&[1.0, 2.0], 0)]);
+        cat.register(schema(), data);
+        assert!(cat.table("suppliers").is_some());
+        assert!(cat.table("SUPPLIERS").is_some());
+        assert!(cat.table("transporters").is_none());
+        assert_eq!(cat.table_names(), vec!["suppliers".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut cat = Catalog::new();
+        let data = SourceData::from_rows(1, &[(&[1.0], 0)]);
+        cat.register(schema(), data);
+    }
+}

@@ -1,0 +1,532 @@
+//! Hand-rolled recursive-descent parser for the SkyMapJoin dialect.
+
+use crate::ast::{
+    ColumnRef, ComparisonOp, Expr, FilterPredicate, JoinPredicate, OutputDef, Query, SourceRef,
+};
+use progxe_skyline::Order;
+use std::fmt;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    StringLit(String),
+    Symbol(char), // ( ) , . * + - =
+    Le,
+    Ge,
+    Lt,
+    Gt,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokenize(src: &'a str) -> Result<Vec<(Tok, usize)>, ParseError> {
+        let mut lx = Lexer { src, pos: 0 };
+        let mut out = Vec::new();
+        while let Some(t) = lx.next_token()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Tok, usize)>, ParseError> {
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= bytes.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let c = bytes[self.pos] as char;
+        let tok = match c {
+            '(' | ')' | ',' | '.' | '*' | '+' | '-' | '=' => {
+                self.pos += 1;
+                Tok::Symbol(c)
+            }
+            '<' => {
+                self.pos += 1;
+                if bytes.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                self.pos += 1;
+                if bytes.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            '\'' => {
+                self.pos += 1;
+                let lit_start = self.pos;
+                while self.pos < bytes.len() && bytes[self.pos] != b'\'' {
+                    self.pos += 1;
+                }
+                if self.pos >= bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
+                }
+                let lit = self.src[lit_start..self.pos].to_owned();
+                self.pos += 1;
+                Tok::StringLit(lit)
+            }
+            c if c.is_ascii_digit() => {
+                while self.pos < bytes.len()
+                    && (bytes[self.pos].is_ascii_digit() || bytes[self.pos] == b'.')
+                {
+                    // A '.' only belongs to the number when followed by a digit
+                    // (so `R.col` style access still lexes as ident DOT ident).
+                    if bytes[self.pos] == b'.'
+                        && !bytes
+                            .get(self.pos + 1)
+                            .map(|b| b.is_ascii_digit())
+                            .unwrap_or(false)
+                    {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let text = &self.src[start..self.pos];
+                let value = text.parse::<f64>().map_err(|_| ParseError {
+                    message: format!("bad number {text:?}"),
+                    offset: start,
+                })?;
+                Tok::Number(value)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while self.pos < bytes.len()
+                    && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+                {
+                    self.pos += 1;
+                }
+                Tok::Ident(self.src[start..self.pos].to_owned())
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        };
+        Ok(Some((tok, start)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|&(_, o)| o).unwrap_or(self.end)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Symbol(s)) if *s == c => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => self.err(format!("expected {c:?}, found {other:?}")),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {kw}"))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn column_ref(&mut self) -> Result<ColumnRef, ParseError> {
+        let alias = self.ident()?;
+        self.expect_symbol('.')?;
+        let column = self.ident()?;
+        Ok(ColumnRef { alias, column })
+    }
+
+    /// `term := [number '*'] alias.column | number`
+    /// `expr := ['-'] term (('+'|'-') term)*`
+    fn linear_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = Expr {
+            terms: Vec::new(),
+            constant: 0.0,
+        };
+        let mut sign = 1.0;
+        if let Some(Tok::Symbol('-')) = self.peek() {
+            self.pos += 1;
+            sign = -1.0;
+        }
+        loop {
+            self.linear_term(&mut expr, sign)?;
+            match self.peek() {
+                Some(Tok::Symbol('+')) => {
+                    self.pos += 1;
+                    sign = 1.0;
+                }
+                Some(Tok::Symbol('-')) => {
+                    self.pos += 1;
+                    sign = -1.0;
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn linear_term(&mut self, expr: &mut Expr, sign: f64) -> Result<(), ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Number(n)) => {
+                self.pos += 1;
+                if let Some(Tok::Symbol('*')) = self.peek() {
+                    self.pos += 1;
+                    let col = self.column_ref()?;
+                    expr.terms.push((sign * n, col));
+                } else {
+                    expr.constant += sign * n;
+                }
+                Ok(())
+            }
+            Some(Tok::Ident(_)) => {
+                let col = self.column_ref()?;
+                expr.terms.push((sign, col));
+                Ok(())
+            }
+            other => self.err(format!("expected term, found {other:?}")),
+        }
+    }
+
+    fn comparison_op(&mut self) -> Result<ComparisonOp, ParseError> {
+        match self.bump() {
+            Some(Tok::Symbol('=')) => Ok(ComparisonOp::Eq),
+            Some(Tok::Lt) => Ok(ComparisonOp::Lt),
+            Some(Tok::Le) => Ok(ComparisonOp::Le),
+            Some(Tok::Gt) => Ok(ComparisonOp::Gt),
+            Some(Tok::Ge) => Ok(ComparisonOp::Ge),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected comparison operator, found {other:?}"))
+            }
+        }
+    }
+}
+
+/// Parses a query in the SkyMapJoin dialect.
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let toks = Lexer::tokenize(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        end: src.len(),
+    };
+
+    // SELECT <item>, … — items are either bare `alias.column` (id columns)
+    // or `(expr) AS name` / `expr AS name` output definitions.
+    p.expect_keyword("SELECT")?;
+    let mut id_columns = Vec::new();
+    let mut outputs = Vec::new();
+    loop {
+        let parenthesized = matches!(p.peek(), Some(Tok::Symbol('(')));
+        if parenthesized {
+            p.pos += 1;
+        }
+        let expr = p.linear_expr()?;
+        if parenthesized {
+            p.expect_symbol(')')?;
+        }
+        if p.eat_keyword("AS") {
+            let name = p.ident()?;
+            outputs.push(OutputDef { name, expr });
+        } else if expr.terms.len() == 1 && expr.terms[0].0 == 1.0 && expr.constant == 0.0 {
+            id_columns.push(expr.terms[0].1.clone());
+        } else {
+            return p.err("projection expressions must be named with AS");
+        }
+        if matches!(p.peek(), Some(Tok::Symbol(','))) {
+            p.pos += 1;
+        } else {
+            break;
+        }
+    }
+
+    // FROM table alias, table alias
+    p.expect_keyword("FROM")?;
+    let t0 = p.ident()?;
+    let a0 = p.ident()?;
+    p.expect_symbol(',')?;
+    let t1 = p.ident()?;
+    let a1 = p.ident()?;
+    let sources = [
+        SourceRef {
+            table: t0,
+            alias: a0,
+        },
+        SourceRef {
+            table: t1,
+            alias: a1,
+        },
+    ];
+
+    // WHERE join-predicate [AND filter]*
+    p.expect_keyword("WHERE")?;
+    let mut join: Option<JoinPredicate> = None;
+    let mut filters = Vec::new();
+    loop {
+        let left = p.column_ref()?;
+        let op = p.comparison_op()?;
+        match p.peek().cloned() {
+            Some(Tok::Ident(_)) if op == ComparisonOp::Eq => {
+                let right = p.column_ref()?;
+                if join.is_some() {
+                    return p.err("only one equi-join predicate is supported");
+                }
+                join = Some(JoinPredicate { left, right });
+            }
+            Some(Tok::Number(v)) => {
+                p.pos += 1;
+                filters.push(FilterPredicate {
+                    column: left,
+                    op,
+                    value: v,
+                });
+            }
+            other => return p.err(format!("expected column or number, found {other:?}")),
+        }
+        if !p.eat_keyword("AND") {
+            break;
+        }
+    }
+    let join = match join {
+        Some(j) => j,
+        None => return p.err("WHERE clause needs an equi-join predicate"),
+    };
+
+    // PREFERRING LOWEST(name) AND HIGHEST(name) …
+    p.expect_keyword("PREFERRING")?;
+    let mut preferences = Vec::new();
+    loop {
+        let dir = p.ident()?;
+        let order = if dir.eq_ignore_ascii_case("LOWEST") {
+            Order::Lowest
+        } else if dir.eq_ignore_ascii_case("HIGHEST") {
+            Order::Highest
+        } else {
+            return p.err(format!("expected LOWEST or HIGHEST, found {dir}"));
+        };
+        p.expect_symbol('(')?;
+        let name = p.ident()?;
+        p.expect_symbol(')')?;
+        preferences.push((name, order));
+        if !p.eat_keyword("AND") {
+            break;
+        }
+    }
+
+    if p.peek().is_some() {
+        return p.err("trailing input after PREFERRING clause");
+    }
+    Ok(Query {
+        id_columns,
+        outputs,
+        sources,
+        join,
+        filters,
+        preferences,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q1: &str = "SELECT R.id, T.id, \
+         (R.uPrice + T.uShipCost) AS tCost, \
+         (2 * R.manTime + T.shipTime) AS delay \
+         FROM Suppliers R, Transporters T \
+         WHERE R.country = T.country AND R.manCap >= 100 \
+         PREFERRING LOWEST(tCost) AND LOWEST(delay)";
+
+    #[test]
+    fn parses_q1() {
+        let q = parse_query(Q1).expect("Q1 parses");
+        assert_eq!(q.id_columns.len(), 2);
+        assert_eq!(q.outputs.len(), 2);
+        assert_eq!(q.outputs[0].name, "tCost");
+        assert_eq!(q.outputs[1].name, "delay");
+        assert_eq!(q.outputs[1].expr.terms[0].0, 2.0);
+        assert_eq!(q.sources[0].alias, "R");
+        assert_eq!(q.sources[1].table, "Transporters");
+        assert_eq!(q.join.left.column, "country");
+        assert_eq!(q.filters.len(), 1);
+        assert_eq!(q.filters[0].op, ComparisonOp::Ge);
+        assert_eq!(q.filters[0].value, 100.0);
+        assert_eq!(q.preferences.len(), 2);
+        assert_eq!(q.preferences[0], ("tCost".into(), Order::Lowest));
+    }
+
+    #[test]
+    fn parses_highest_and_constants() {
+        let q = parse_query(
+            "SELECT (R.a + T.b + 5) AS score FROM X R, Y T \
+             WHERE R.k = T.k PREFERRING HIGHEST(score)",
+        )
+        .unwrap();
+        assert_eq!(q.outputs[0].expr.constant, 5.0);
+        assert_eq!(q.preferences[0].1, Order::Highest);
+    }
+
+    #[test]
+    fn parses_negative_terms() {
+        let q = parse_query(
+            "SELECT (R.a - 0.5 * T.b) AS diff FROM X R, Y T \
+             WHERE R.k = T.k PREFERRING LOWEST(diff)",
+        )
+        .unwrap();
+        let e = &q.outputs[0].expr;
+        assert_eq!(e.terms.len(), 2);
+        assert_eq!(e.terms[1].0, -0.5);
+    }
+
+    #[test]
+    fn rejects_missing_join() {
+        let err = parse_query(
+            "SELECT (R.a) AS x FROM A R, B T WHERE R.a >= 1 PREFERRING LOWEST(x)",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("equi-join"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unnamed_expression() {
+        let err = parse_query(
+            "SELECT (R.a + T.b) FROM A R, B T WHERE R.k = T.k PREFERRING LOWEST(x)",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("AS"), "{err}");
+    }
+
+    #[test]
+    fn rejects_two_joins() {
+        let err = parse_query(
+            "SELECT (R.a) AS x FROM A R, B T \
+             WHERE R.k = T.k AND R.j = T.j PREFERRING LOWEST(x)",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("one equi-join"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_direction() {
+        let err = parse_query(
+            "SELECT (R.a) AS x FROM A R, B T WHERE R.k = T.k PREFERRING BEST(x)",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("LOWEST or HIGHEST"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse_query(
+            "SELECT (R.a) AS x FROM A R, B T WHERE R.k = T.k PREFERRING LOWEST(x) LIMIT 5",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn number_then_column_lexing() {
+        // `2 * R.a` and `R.a2` must both lex correctly.
+        let q = parse_query(
+            "SELECT (2 * R.a2) AS x FROM A R, B T WHERE R.k = T.k PREFERRING LOWEST(x)",
+        )
+        .unwrap();
+        assert_eq!(q.outputs[0].expr.terms[0].1.column, "a2");
+    }
+
+    #[test]
+    fn decimal_constants() {
+        let q = parse_query(
+            "SELECT (1.5 * R.a + 0.25) AS x FROM A R, B T WHERE R.k = T.k \
+             PREFERRING LOWEST(x)",
+        )
+        .unwrap();
+        assert_eq!(q.outputs[0].expr.terms[0].0, 1.5);
+        assert_eq!(q.outputs[0].expr.constant, 0.25);
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = parse_query("SELECT ?").unwrap_err();
+        assert_eq!(err.offset, 7);
+    }
+}

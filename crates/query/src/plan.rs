@@ -1,0 +1,362 @@
+//! Planner: validates a parsed [`Query`] against a [`Catalog`] and compiles
+//! it into executor-ready artifacts (filtered sources + a [`MapSet`]).
+
+use crate::ast::{ColumnRef, Expr, Query};
+use crate::catalog::{BoundTable, Catalog};
+use progxe_core::mapping::{MapSet, MappingFunction, WeightedSum};
+use progxe_core::source::SourceData;
+use progxe_skyline::{Order, Preference};
+use std::fmt;
+
+/// Planning failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// FROM references a table the catalog does not know.
+    UnknownTable(String),
+    /// An expression references an alias not bound in FROM.
+    UnknownAlias(String),
+    /// A column is not part of its table's schema.
+    UnknownColumn(String, String),
+    /// The join predicate must compare the two key columns.
+    BadJoin(String),
+    /// The key column cannot appear in arithmetic or filters.
+    KeyInExpression(String),
+    /// PREFERRING names an output that does not exist.
+    UnknownPreference(String),
+    /// An output has no PREFERRING entry (or has several).
+    PreferenceMismatch(String),
+    /// The query must define at least one output.
+    NoOutputs,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            PlanError::UnknownAlias(a) => write!(f, "unknown alias {a:?}"),
+            PlanError::UnknownColumn(t, c) => write!(f, "unknown column {t}.{c}"),
+            PlanError::BadJoin(m) => write!(f, "bad join predicate: {m}"),
+            PlanError::KeyInExpression(c) => {
+                write!(f, "join-key column {c:?} cannot be used in expressions")
+            }
+            PlanError::UnknownPreference(n) => {
+                write!(f, "PREFERRING references unknown output {n:?}")
+            }
+            PlanError::PreferenceMismatch(n) => {
+                write!(f, "output {n:?} needs exactly one PREFERRING entry")
+            }
+            PlanError::NoOutputs => write!(f, "query defines no mapped outputs"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A fully validated, executable query.
+pub struct PlannedQuery {
+    /// Filtered left source (rows surviving the R-side filters).
+    pub r: SourceData,
+    /// Filtered right source.
+    pub t: SourceData,
+    /// Original row id per filtered R row.
+    pub r_rows: Vec<u32>,
+    /// Original row id per filtered T row.
+    pub t_rows: Vec<u32>,
+    /// Compiled mapping functions + preference.
+    pub maps: MapSet,
+    /// Output attribute names, in map order.
+    pub output_names: Vec<String>,
+}
+
+/// Which side of the join an alias binds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SideOf {
+    R,
+    T,
+}
+
+/// Compiles `query` against `catalog`.
+pub fn plan(query: &Query, catalog: &Catalog) -> Result<PlannedQuery, PlanError> {
+    if query.outputs.is_empty() {
+        return Err(PlanError::NoOutputs);
+    }
+    let r_table = catalog
+        .table(&query.sources[0].table)
+        .ok_or_else(|| PlanError::UnknownTable(query.sources[0].table.clone()))?;
+    let t_table = catalog
+        .table(&query.sources[1].table)
+        .ok_or_else(|| PlanError::UnknownTable(query.sources[1].table.clone()))?;
+    let r_alias = &query.sources[0].alias;
+    let t_alias = &query.sources[1].alias;
+
+    let side_of = |alias: &str| -> Result<SideOf, PlanError> {
+        if alias == r_alias {
+            Ok(SideOf::R)
+        } else if alias == t_alias {
+            Ok(SideOf::T)
+        } else {
+            Err(PlanError::UnknownAlias(alias.to_owned()))
+        }
+    };
+    let table_of = |side: SideOf| -> &BoundTable {
+        match side {
+            SideOf::R => r_table,
+            SideOf::T => t_table,
+        }
+    };
+
+    // Validate the join predicate: key column on each side, one per side.
+    {
+        let ls = side_of(&query.join.left.alias)?;
+        let rs = side_of(&query.join.right.alias)?;
+        if ls == rs {
+            return Err(PlanError::BadJoin("both sides bind the same source".into()));
+        }
+        for (side, col) in [(ls, &query.join.left), (rs, &query.join.right)] {
+            let schema = &table_of(side).schema;
+            if !schema.is_key(&col.column) {
+                return Err(PlanError::BadJoin(format!(
+                    "{}.{} is not the join-key column ({})",
+                    col.alias, col.column, schema.key_column
+                )));
+            }
+        }
+    }
+
+    // Resolve a numeric column to (side, index).
+    let resolve = |col: &ColumnRef| -> Result<(SideOf, usize), PlanError> {
+        let side = side_of(&col.alias)?;
+        let schema = &table_of(side).schema;
+        if schema.is_key(&col.column) {
+            return Err(PlanError::KeyInExpression(col.column.clone()));
+        }
+        // `id` is implicit row identity, not a numeric attribute.
+        schema
+            .column_index(&col.column)
+            .map(|i| (side, i))
+            .ok_or_else(|| PlanError::UnknownColumn(schema.name.clone(), col.column.clone()))
+    };
+
+    // Compile outputs into weighted sums.
+    let compile_expr = |expr: &Expr| -> Result<WeightedSum, PlanError> {
+        let mut rw = vec![0.0; r_table.schema.columns.len()];
+        let mut tw = vec![0.0; t_table.schema.columns.len()];
+        for (coeff, col) in &expr.terms {
+            let (side, idx) = resolve(col)?;
+            match side {
+                SideOf::R => rw[idx] += coeff,
+                SideOf::T => tw[idx] += coeff,
+            }
+        }
+        Ok(WeightedSum::new(rw, tw).with_constant(expr.constant))
+    };
+
+    // Match PREFERRING entries to outputs (one each, any order).
+    let mut orders: Vec<Option<Order>> = vec![None; query.outputs.len()];
+    for (name, order) in &query.preferences {
+        let idx = query
+            .outputs
+            .iter()
+            .position(|o| &o.name == name)
+            .ok_or_else(|| PlanError::UnknownPreference(name.clone()))?;
+        if orders[idx].replace(*order).is_some() {
+            return Err(PlanError::PreferenceMismatch(name.clone()));
+        }
+    }
+    let mut pref_orders = Vec::with_capacity(orders.len());
+    for (o, def) in orders.iter().zip(&query.outputs) {
+        pref_orders.push(o.ok_or_else(|| PlanError::PreferenceMismatch(def.name.clone()))?);
+    }
+
+    let mut maps: Vec<Box<dyn MappingFunction>> = Vec::with_capacity(query.outputs.len());
+    for def in &query.outputs {
+        maps.push(Box::new(compile_expr(&def.expr)?));
+    }
+    let maps = MapSet::new(maps, Preference::new(pref_orders))
+        .expect("arity consistent by construction");
+
+    // Apply filters per side (selection push-down below the join).
+    let mut r_filters = Vec::new();
+    let mut t_filters = Vec::new();
+    for fp in &query.filters {
+        let (side, idx) = resolve(&fp.column)?;
+        match side {
+            SideOf::R => r_filters.push((idx, fp.op, fp.value)),
+            SideOf::T => t_filters.push((idx, fp.op, fp.value)),
+        }
+    }
+    let (r, r_rows) = apply_filters(&r_table.data, &r_filters);
+    let (t, t_rows) = apply_filters(&t_table.data, &t_filters);
+
+    Ok(PlannedQuery {
+        r,
+        t,
+        r_rows,
+        t_rows,
+        maps,
+        output_names: query.outputs.iter().map(|o| o.name.clone()).collect(),
+    })
+}
+
+fn apply_filters(
+    data: &SourceData,
+    filters: &[(usize, crate::ast::ComparisonOp, f64)],
+) -> (SourceData, Vec<u32>) {
+    if filters.is_empty() {
+        return (data.clone(), (0..data.len() as u32).collect());
+    }
+    let dims = data.attrs.dims();
+    let mut out = SourceData::new(dims);
+    let mut rows = Vec::new();
+    for row in 0..data.len() {
+        let attrs = data.attrs.point(row);
+        if filters.iter().all(|&(idx, op, v)| op.eval(attrs[idx], v)) {
+            out.push(attrs, data.join_keys[row]);
+            rows.push(row as u32);
+        }
+    }
+    (out, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::TableSchema;
+    use crate::parser::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            TableSchema::new(
+                "Suppliers",
+                vec!["uPrice".into(), "manTime".into(), "manCap".into()],
+                "country",
+            ),
+            SourceData::from_rows(
+                3,
+                &[
+                    (&[10.0, 3.0, 200.0], 0),
+                    (&[20.0, 1.0, 50.0], 0),
+                    (&[5.0, 9.0, 500.0], 1),
+                ],
+            ),
+        );
+        cat.register(
+            TableSchema::new(
+                "Transporters",
+                vec!["uShipCost".into(), "shipTime".into()],
+                "country",
+            ),
+            SourceData::from_rows(2, &[(&[2.0, 4.0], 0), (&[8.0, 1.0], 1)]),
+        );
+        cat
+    }
+
+    const Q1: &str = "SELECT R.id, T.id, \
+         (R.uPrice + T.uShipCost) AS tCost, \
+         (2 * R.manTime + T.shipTime) AS delay \
+         FROM Suppliers R, Transporters T \
+         WHERE R.country = T.country AND R.manCap >= 100 \
+         PREFERRING LOWEST(tCost) AND LOWEST(delay)";
+
+    #[test]
+    fn plans_q1() {
+        let q = parse_query(Q1).unwrap();
+        let p = plan(&q, &catalog()).unwrap();
+        assert_eq!(p.output_names, vec!["tCost", "delay"]);
+        // Filter manCap >= 100 removes supplier row 1.
+        assert_eq!(p.r_rows, vec![0, 2]);
+        assert_eq!(p.t_rows, vec![0, 1]);
+        // Compiled map evaluates like the SQL expression.
+        let mut out = Vec::new();
+        p.maps
+            .eval_into(p.r.attrs.point(0), p.t.attrs.point(0), &mut out);
+        assert_eq!(out, vec![10.0 + 2.0, 2.0 * 3.0 + 4.0]);
+    }
+
+    #[test]
+    fn unknown_table_rejected() {
+        let q = parse_query(
+            "SELECT (R.a + T.b) AS x FROM Nope R, Transporters T \
+             WHERE R.k = T.country PREFERRING LOWEST(x)",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan(&q, &catalog()),
+            Err(PlanError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let q = parse_query(
+            "SELECT (R.bogus + T.uShipCost) AS x FROM Suppliers R, Transporters T \
+             WHERE R.country = T.country PREFERRING LOWEST(x)",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan(&q, &catalog()),
+            Err(PlanError::UnknownColumn(_, _))
+        ));
+    }
+
+    #[test]
+    fn join_must_use_key_columns() {
+        let q = parse_query(
+            "SELECT (R.uPrice + T.uShipCost) AS x FROM Suppliers R, Transporters T \
+             WHERE R.uPrice = T.uShipCost PREFERRING LOWEST(x)",
+        )
+        .unwrap();
+        assert!(matches!(plan(&q, &catalog()), Err(PlanError::BadJoin(_))));
+    }
+
+    #[test]
+    fn key_in_expression_rejected() {
+        let q = parse_query(
+            "SELECT (R.country + T.uShipCost) AS x FROM Suppliers R, Transporters T \
+             WHERE R.country = T.country PREFERRING LOWEST(x)",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan(&q, &catalog()),
+            Err(PlanError::KeyInExpression(_))
+        ));
+    }
+
+    #[test]
+    fn preference_must_cover_outputs() {
+        let q = parse_query(
+            "SELECT (R.uPrice + T.uShipCost) AS a, (R.manTime + T.shipTime) AS b \
+             FROM Suppliers R, Transporters T \
+             WHERE R.country = T.country PREFERRING LOWEST(a)",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan(&q, &catalog()),
+            Err(PlanError::PreferenceMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_preference_rejected() {
+        let q = parse_query(
+            "SELECT (R.uPrice + T.uShipCost) AS a FROM Suppliers R, Transporters T \
+             WHERE R.country = T.country PREFERRING LOWEST(zzz)",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan(&q, &catalog()),
+            Err(PlanError::UnknownPreference(_))
+        ));
+    }
+
+    #[test]
+    fn self_join_alias_collision_rejected() {
+        let q = parse_query(
+            "SELECT (R.uPrice + X.uPrice) AS x FROM Suppliers R, Suppliers X \
+             WHERE R.country = R.country PREFERRING LOWEST(x)",
+        )
+        .unwrap();
+        assert!(matches!(plan(&q, &catalog()), Err(PlanError::BadJoin(_))));
+    }
+}

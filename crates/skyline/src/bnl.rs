@@ -1,0 +1,223 @@
+//! Block-Nested-Loops (BNL) skyline.
+//!
+//! The window algorithm of Börzsönyi, Kossmann & Stocker (ICDE 2001) with an
+//! unbounded in-memory window (the setting relevant for this workspace: all
+//! baselines of the paper are main-memory algorithms). Every incoming tuple
+//! is compared against the current window; dominated incomers are dropped,
+//! and incomers that dominate window entries evict them.
+
+use crate::{PointStore, Preference, SkylineResult, SkylineStats};
+
+/// Computes the skyline of `store` under `pref` with the BNL window
+/// algorithm. Output order is unspecified (window order).
+pub fn bnl_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
+    assert_eq!(store.dims(), pref.dims(), "store/preference dims mismatch");
+    let mut window: Vec<usize> = Vec::new();
+    let mut stats = SkylineStats::default();
+    for i in 0..store.len() {
+        stats.tuples_scanned += 1;
+        let p = store.point(i);
+        let mut dominated = false;
+        let mut w = 0;
+        while w < window.len() {
+            stats.dominance_tests += 1;
+            let q = store.point(window[w]);
+            if pref.dominates(q, p) {
+                dominated = true;
+                break;
+            }
+            if pref.dominates(p, q) {
+                // Evict the dominated window entry; order is irrelevant.
+                window.swap_remove(w);
+            } else {
+                w += 1;
+            }
+        }
+        if !dominated {
+            window.push(i);
+        }
+    }
+    SkylineResult {
+        indices: window,
+        stats,
+    }
+}
+
+/// Incremental BNL window over borrowed points.
+///
+/// The baselines (JF-SL, SSMJ) and ProgXe's per-cell maintenance all need a
+/// *streaming* skyline: tuples arrive one at a time and the current
+/// non-dominated set must be queryable at any moment. `BnlWindow` stores the
+/// point payloads itself (copied on admission) together with a caller-chosen
+/// tag.
+#[derive(Debug, Clone)]
+pub struct BnlWindow<T> {
+    pref: Preference,
+    points: PointStore,
+    tags: Vec<T>,
+    /// Live entries: parallel indices into `points`/`tags`. Evicted entries
+    /// are swap-removed from this list; storage is compacted lazily.
+    live: Vec<u32>,
+    stats: SkylineStats,
+}
+
+impl<T: Clone> BnlWindow<T> {
+    /// Creates an empty window for the given preference.
+    pub fn new(pref: Preference) -> Self {
+        let dims = pref.dims();
+        Self {
+            pref,
+            points: PointStore::new(dims),
+            tags: Vec::new(),
+            live: Vec::new(),
+            stats: SkylineStats::default(),
+        }
+    }
+
+    /// Offers a tuple to the window.
+    ///
+    /// Returns `true` when the tuple was admitted (i.e. it is in the skyline
+    /// of everything offered so far), `false` when it was dominated by a
+    /// current member. Admitting a tuple may evict previously admitted ones.
+    pub fn offer(&mut self, p: &[f64], tag: T) -> bool {
+        self.stats.tuples_scanned += 1;
+        let mut w = 0;
+        while w < self.live.len() {
+            self.stats.dominance_tests += 1;
+            let q = self.points.point(self.live[w] as usize);
+            if self.pref.dominates(q, p) {
+                return false;
+            }
+            if self.pref.dominates(p, q) {
+                self.live.swap_remove(w);
+            } else {
+                w += 1;
+            }
+        }
+        let idx = self.points.push(p);
+        self.tags.push(tag);
+        self.live.push(idx as u32);
+        true
+    }
+
+    /// True iff `p` is dominated by some current window member.
+    pub fn is_dominated(&mut self, p: &[f64]) -> bool {
+        for &w in &self.live {
+            self.stats.dominance_tests += 1;
+            if self.pref.dominates(self.points.point(w as usize), p) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of currently non-dominated entries.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True when no entry has been admitted (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Iterates over the current members as `(point, tag)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], &T)> {
+        self.live
+            .iter()
+            .map(move |&w| (self.points.point(w as usize), &self.tags[w as usize]))
+    }
+
+    /// Clones out the current members' tags.
+    pub fn tags(&self) -> Vec<T> {
+        self.live
+            .iter()
+            .map(|&w| self.tags[w as usize].clone())
+            .collect()
+    }
+
+    /// Work counters accumulated so far.
+    pub fn stats(&self) -> SkylineStats {
+        self.stats
+    }
+
+    /// The preference the window filters under.
+    pub fn preference(&self) -> &Preference {
+        &self.pref
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_skyline;
+
+    #[test]
+    fn matches_oracle_on_small_input() {
+        let s = PointStore::from_rows(
+            2,
+            [
+                [4.0, 1.0],
+                [1.0, 4.0],
+                [2.0, 2.0],
+                [3.0, 3.0],
+                [2.0, 3.0],
+                [5.0, 0.5],
+            ],
+        );
+        let p = Preference::all_lowest(2);
+        assert_eq!(
+            bnl_skyline(&s, &p).sorted_indices(),
+            naive_skyline(&s, &p).sorted_indices()
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = PointStore::new(2);
+        assert!(bnl_skyline(&s, &Preference::all_lowest(2)).is_empty());
+    }
+
+    #[test]
+    fn window_evicts_dominated_entries() {
+        let mut w: BnlWindow<u32> = BnlWindow::new(Preference::all_lowest(2));
+        assert!(w.offer(&[5.0, 5.0], 0));
+        assert!(w.offer(&[1.0, 1.0], 1)); // evicts (5,5)
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.tags(), vec![1]);
+    }
+
+    #[test]
+    fn window_rejects_dominated_offer() {
+        let mut w: BnlWindow<u32> = BnlWindow::new(Preference::all_lowest(2));
+        assert!(w.offer(&[1.0, 1.0], 0));
+        assert!(!w.offer(&[2.0, 2.0], 1));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn window_keeps_incomparable_offers() {
+        let mut w: BnlWindow<u32> = BnlWindow::new(Preference::all_lowest(2));
+        assert!(w.offer(&[1.0, 3.0], 0));
+        assert!(w.offer(&[3.0, 1.0], 1));
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn window_is_dominated_query() {
+        let mut w: BnlWindow<()> = BnlWindow::new(Preference::all_lowest(2));
+        w.offer(&[1.0, 1.0], ());
+        assert!(w.is_dominated(&[2.0, 2.0]));
+        assert!(!w.is_dominated(&[0.5, 3.0]));
+    }
+
+    #[test]
+    fn window_counts_work() {
+        let mut w: BnlWindow<()> = BnlWindow::new(Preference::all_lowest(2));
+        w.offer(&[1.0, 3.0], ());
+        w.offer(&[3.0, 1.0], ());
+        let st = w.stats();
+        assert_eq!(st.tuples_scanned, 2);
+        assert!(st.dominance_tests >= 1);
+    }
+}

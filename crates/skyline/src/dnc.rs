@@ -1,0 +1,197 @@
+//! Divide & conquer skyline (after Kung, Luccio & Preparata).
+//!
+//! The input is split on the median of the first dimension; skylines of the
+//! two halves are computed recursively; then members of the "worse" half are
+//! filtered against the skyline of the "better" half (points in the better
+//! half can never be dominated by points of the worse half on a
+//! median-split dimension — modulo ties, which the filter handles). The
+//! paper's cost model (Equation 6) uses Kung's average bound
+//! `O(|S|·log^α|S|)`; this module provides the executable counterpart.
+
+use crate::{PointStore, Preference, SkylineResult, SkylineStats};
+
+/// Below this size the recursion bottoms out into plain BNL.
+const LEAF_SIZE: usize = 32;
+
+/// Computes the skyline by divide & conquer on the first preference
+/// dimension. Output indices are in no particular order.
+pub fn dnc_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
+    assert_eq!(store.dims(), pref.dims(), "store/preference dims mismatch");
+    let mut idx: Vec<u32> = (0..store.len() as u32).collect();
+    let mut stats = SkylineStats {
+        tuples_scanned: store.len() as u64,
+        ..SkylineStats::default()
+    };
+    let survivors = solve(store, pref, &mut idx, &mut stats);
+    SkylineResult {
+        indices: survivors.into_iter().map(|i| i as usize).collect(),
+        stats,
+    }
+}
+
+fn solve(
+    store: &PointStore,
+    pref: &Preference,
+    idx: &mut [u32],
+    stats: &mut SkylineStats,
+) -> Vec<u32> {
+    if idx.len() <= LEAF_SIZE {
+        return leaf_bnl(store, pref, idx, stats);
+    }
+    // Median split on oriented dimension 0: "better" values first. The split
+    // must fall on a value boundary so that ties never straddle the halves —
+    // otherwise a "worse"-half point tying on dim 0 could dominate a
+    // "better"-half point and the one-directional merge would be wrong.
+    let ord0 = pref.orders()[0];
+    let key = |i: u32| ord0.orient(store.value(i as usize, 0));
+    idx.sort_by(|&a, &b| key(a).total_cmp(&key(b)));
+    let mid = match boundary_split(idx, key) {
+        Some(mid) => mid,
+        // Every point ties on dim 0; no safe split exists on this dimension.
+        None => return leaf_bnl(store, pref, idx, stats),
+    };
+    let (lo_half, hi_half) = idx.split_at_mut(mid);
+    let better = solve(store, pref, lo_half, stats);
+    let worse = solve(store, pref, hi_half, stats);
+    merge(store, pref, better, worse, stats)
+}
+
+/// Finds a split position nearest to the middle of the sorted slice such
+/// that `key` differs across the boundary. Returns `None` when all keys are
+/// equal.
+fn boundary_split(idx: &[u32], key: impl Fn(u32) -> f64) -> Option<usize> {
+    let n = idx.len();
+    let mid = n / 2;
+    // Walk outward from the midpoint looking for the closest value change.
+    for off in 0..n {
+        for cand in [mid.saturating_sub(off), mid + off] {
+            if cand > 0 && cand < n && key(idx[cand - 1]) != key(idx[cand]) {
+                return Some(cand);
+            }
+        }
+    }
+    None
+}
+
+/// Keeps all of `better`, plus the members of `worse` not dominated by any
+/// member of `better`. Members of `better` cannot be dominated by `worse`
+/// ones: they are strictly better on dim 0 (boundary split) and both sides
+/// are internally non-dominated.
+fn merge(
+    store: &PointStore,
+    pref: &Preference,
+    better: Vec<u32>,
+    worse: Vec<u32>,
+    stats: &mut SkylineStats,
+) -> Vec<u32> {
+    let mut out = better;
+    let pivot = out.len();
+    'outer: for w in worse {
+        let p = store.point(w as usize);
+        for &b in &out[..pivot] {
+            stats.dominance_tests += 1;
+            if pref.dominates(store.point(b as usize), p) {
+                continue 'outer;
+            }
+        }
+        out.push(w);
+    }
+    out
+}
+
+fn leaf_bnl(
+    store: &PointStore,
+    pref: &Preference,
+    idx: &[u32],
+    stats: &mut SkylineStats,
+) -> Vec<u32> {
+    let mut window: Vec<u32> = Vec::new();
+    for &i in idx {
+        let p = store.point(i as usize);
+        let mut dominated = false;
+        let mut w = 0;
+        while w < window.len() {
+            stats.dominance_tests += 1;
+            let q = store.point(window[w] as usize);
+            if pref.dominates(q, p) {
+                dominated = true;
+                break;
+            }
+            if pref.dominates(p, q) {
+                window.swap_remove(w);
+            } else {
+                w += 1;
+            }
+        }
+        if !dominated {
+            window.push(i);
+        }
+    }
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_skyline;
+
+    #[test]
+    fn matches_oracle_small() {
+        let s = PointStore::from_rows(
+            2,
+            [[4.0, 1.0], [1.0, 4.0], [2.0, 2.0], [3.0, 3.0], [2.0, 3.0]],
+        );
+        let p = Preference::all_lowest(2);
+        assert_eq!(
+            dnc_skyline(&s, &p).sorted_indices(),
+            naive_skyline(&s, &p).sorted_indices()
+        );
+    }
+
+    #[test]
+    fn matches_oracle_above_leaf_size() {
+        // Deterministic pseudo-random input big enough to force recursion.
+        let mut s = PointStore::new(3);
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        for _ in 0..300 {
+            let mut row = [0.0; 3];
+            for v in &mut row {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *v = ((x >> 33) % 1000) as f64;
+            }
+            s.push(&row);
+        }
+        let p = Preference::all_lowest(3);
+        assert_eq!(
+            dnc_skyline(&s, &p).sorted_indices(),
+            naive_skyline(&s, &p).sorted_indices()
+        );
+    }
+
+    #[test]
+    fn ties_on_split_dimension_handled() {
+        // Every point shares dim-0; dominance is decided on dim-1 only.
+        let rows: Vec<[f64; 2]> = (0..100).map(|i| [5.0, (100 - i) as f64]).collect();
+        let s = PointStore::from_rows(2, rows.iter());
+        let p = Preference::all_lowest(2);
+        let r = dnc_skyline(&s, &p);
+        assert_eq!(r.len(), 1);
+        assert_eq!(s.point(r.indices[0])[1], 1.0);
+    }
+
+    #[test]
+    fn highest_direction() {
+        let s = PointStore::from_rows(2, [[1.0, 1.0], [2.0, 2.0], [3.0, 0.5]]);
+        let p = Preference::all_highest(2);
+        assert_eq!(
+            dnc_skyline(&s, &p).sorted_indices(),
+            naive_skyline(&s, &p).sorted_indices()
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = PointStore::new(2);
+        assert!(dnc_skyline(&s, &Preference::all_lowest(2)).is_empty());
+    }
+}

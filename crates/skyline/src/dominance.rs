@@ -1,0 +1,53 @@
+//! Pairwise dominance classification.
+
+/// Outcome of comparing two tuples under a Pareto [`crate::Preference`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomRelation {
+    /// The left tuple dominates the right one.
+    Dominates,
+    /// The left tuple is dominated by the right one.
+    DominatedBy,
+    /// The tuples are identical on every preference dimension.
+    Equal,
+    /// Each tuple is strictly better in at least one dimension.
+    Incomparable,
+}
+
+impl DomRelation {
+    /// The same relation seen from the other tuple's perspective.
+    #[inline]
+    pub fn flip(self) -> Self {
+        match self {
+            DomRelation::Dominates => DomRelation::DominatedBy,
+            DomRelation::DominatedBy => DomRelation::Dominates,
+            other => other,
+        }
+    }
+
+    /// True when neither tuple excludes the other from a skyline.
+    #[inline]
+    pub fn is_neutral(self) -> bool {
+        matches!(self, DomRelation::Equal | DomRelation::Incomparable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_swaps_directions() {
+        assert_eq!(DomRelation::Dominates.flip(), DomRelation::DominatedBy);
+        assert_eq!(DomRelation::DominatedBy.flip(), DomRelation::Dominates);
+        assert_eq!(DomRelation::Equal.flip(), DomRelation::Equal);
+        assert_eq!(DomRelation::Incomparable.flip(), DomRelation::Incomparable);
+    }
+
+    #[test]
+    fn neutral_relations() {
+        assert!(DomRelation::Equal.is_neutral());
+        assert!(DomRelation::Incomparable.is_neutral());
+        assert!(!DomRelation::Dominates.is_neutral());
+        assert!(!DomRelation::DominatedBy.is_neutral());
+    }
+}

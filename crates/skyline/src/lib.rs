@@ -1,0 +1,44 @@
+//! Preference model and classic single-set skyline algorithms.
+//!
+//! This crate is the *substrate* layer of the ProgXe reproduction: it defines
+//! the Pareto preference model of the paper (Section II-A) and implements the
+//! classic skyline algorithms that the paper builds on or cites:
+//!
+//! * [`bnl`] — Block-Nested-Loops, the baseline window algorithm of
+//!   Börzsönyi, Kossmann & Stocker (ICDE 2001).
+//! * [`sfs`] — Sort-Filter-Skyline: presorting by a monotone score makes a
+//!   single filtering pass sufficient and the output *progressive*.
+//! * [`dnc`] — divide & conquer in the spirit of Kung, Luccio & Preparata
+//!   (J. ACM 1975), whose `O(n log^α n)` bound the paper's cost model uses.
+//! * [`salsa`] — a SaLSa-style sort-and-limit algorithm (Bartolini, Ciaccia
+//!   & Patella, CIKM 2006) that can stop before scanning the whole input.
+//!
+//! All algorithms operate on a [`PointStore`] (a dense row-major matrix of
+//! `f64` attribute values) under a [`Preference`] (per-dimension
+//! lowest/highest orders combined as an equally-important Pareto preference,
+//! Definition 1 of the paper). They return indices into the store plus
+//! [`SkylineStats`] counting the dominance tests performed, which the
+//! benchmark harness uses to validate the paper's comparison-count claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bnl;
+pub mod dnc;
+pub mod dominance;
+pub mod point;
+pub mod preference;
+pub mod reference;
+pub mod salsa;
+pub mod sfs;
+pub mod stats;
+
+pub use bnl::bnl_skyline;
+pub use dnc::dnc_skyline;
+pub use dominance::DomRelation;
+pub use point::PointStore;
+pub use preference::{Order, Preference};
+pub use reference::naive_skyline;
+pub use salsa::salsa_skyline;
+pub use sfs::sfs_skyline;
+pub use stats::{SkylineResult, SkylineStats};

@@ -1,0 +1,86 @@
+//! Naive O(n²) skyline — the correctness oracle for everything else.
+
+use crate::{PointStore, Preference, SkylineResult, SkylineStats};
+
+/// Computes the skyline by comparing every pair of points.
+///
+/// Quadratic and allocation-free beyond the result vector; used as the
+/// reference implementation in unit, integration, and property tests, and as
+/// the "naive approach" yardstick in the comparison-count experiments.
+///
+/// Duplicate points (equal on every preference dimension) are *all* kept when
+/// non-dominated, matching Definition 1: equal tuples never dominate each
+/// other.
+pub fn naive_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
+    assert_eq!(store.dims(), pref.dims(), "store/preference dims mismatch");
+    let n = store.len();
+    let mut stats = SkylineStats::default();
+    let mut indices = Vec::new();
+    'outer: for i in 0..n {
+        stats.tuples_scanned += 1;
+        let p = store.point(i);
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            stats.dominance_tests += 1;
+            if pref.dominates(store.point(j), p) {
+                continue 'outer;
+            }
+        }
+        indices.push(i);
+    }
+    SkylineResult { indices, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_2d(rows: &[[f64; 2]]) -> PointStore {
+        PointStore::from_rows(2, rows.iter())
+    }
+
+    #[test]
+    fn empty_input_empty_skyline() {
+        let s = PointStore::new(2);
+        let r = naive_skyline(&s, &Preference::all_lowest(2));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn single_point_is_skyline() {
+        let s = store_2d(&[[1.0, 2.0]]);
+        let r = naive_skyline(&s, &Preference::all_lowest(2));
+        assert_eq!(r.sorted_indices(), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_excluded() {
+        // (1,1) dominates everything else except the trade-off point (0,5).
+        let s = store_2d(&[[1.0, 1.0], [2.0, 2.0], [0.0, 5.0], [1.0, 3.0]]);
+        let r = naive_skyline(&s, &Preference::all_lowest(2));
+        assert_eq!(r.sorted_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn duplicates_all_kept() {
+        let s = store_2d(&[[1.0, 1.0], [1.0, 1.0], [2.0, 0.5]]);
+        let r = naive_skyline(&s, &Preference::all_lowest(2));
+        assert_eq!(r.sorted_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn respects_highest_direction() {
+        let s = store_2d(&[[1.0, 1.0], [2.0, 2.0]]);
+        let r = naive_skyline(&s, &Preference::all_highest(2));
+        assert_eq!(r.sorted_indices(), vec![1]);
+    }
+
+    #[test]
+    fn anti_correlated_keeps_everything() {
+        let s = store_2d(&[[0.0, 4.0], [1.0, 3.0], [2.0, 2.0], [3.0, 1.0], [4.0, 0.0]]);
+        let r = naive_skyline(&s, &Preference::all_lowest(2));
+        assert_eq!(r.len(), 5);
+    }
+}

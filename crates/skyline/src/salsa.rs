@@ -1,0 +1,141 @@
+//! SaLSa-style skyline: "computing the skyline without scanning the whole
+//! sky" (Bartolini, Ciaccia & Patella, CIKM 2006 — reference [3] of the
+//! paper).
+//!
+//! Points are sorted ascending by their *minimum* oriented coordinate
+//! (`minC`). While scanning, the algorithm maintains a *stop value*: the
+//! smallest maximum-coordinate (`maxC`) over all skyline members found so
+//! far. Once the next point's `minC` exceeds the stop value, every remaining
+//! point `t` satisfies `t[i] ≥ minC(t) > maxC(s) ≥ s[i]` for the stop point
+//! `s` in every dimension, hence is strictly dominated — the scan stops.
+
+use crate::{PointStore, Preference, SkylineResult, SkylineStats};
+
+/// Computes the skyline with sorted access and early termination.
+/// Output indices are in `minC` order.
+pub fn salsa_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
+    assert_eq!(store.dims(), pref.dims(), "store/preference dims mismatch");
+    let n = store.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by(|&a, &b| {
+        pref.min_oriented(store.point(a as usize))
+            .total_cmp(&pref.min_oriented(store.point(b as usize)))
+    });
+
+    let mut stats = SkylineStats::default();
+    let mut window: Vec<u32> = Vec::new();
+    let mut stop_value = f64::INFINITY;
+    let mut consumed = 0usize;
+    'outer: for (pos, &i) in order.iter().enumerate() {
+        let p = store.point(i as usize);
+        if pref.min_oriented(p) > stop_value {
+            stats.tuples_skipped = (n - pos) as u64;
+            consumed = pos;
+            break;
+        }
+        consumed = pos + 1;
+        stats.tuples_scanned += 1;
+        // minC-sorted input is NOT monotone-score sorted, so later points can
+        // still dominate window entries; run full BNL maintenance.
+        let mut w = 0;
+        while w < window.len() {
+            stats.dominance_tests += 1;
+            let q = store.point(window[w] as usize);
+            if pref.dominates(q, p) {
+                continue 'outer;
+            }
+            if pref.dominates(p, q) {
+                window.swap_remove(w);
+            } else {
+                w += 1;
+            }
+        }
+        window.push(i);
+        stop_value = stop_value.min(pref.max_oriented(p));
+    }
+    let _ = consumed;
+    SkylineResult {
+        indices: window.into_iter().map(|i| i as usize).collect(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_skyline;
+
+    #[test]
+    fn matches_oracle() {
+        let s = PointStore::from_rows(
+            2,
+            [
+                [4.0, 1.0],
+                [1.0, 4.0],
+                [2.0, 2.0],
+                [3.0, 3.0],
+                [9.0, 9.0],
+                [8.0, 10.0],
+            ],
+        );
+        let p = Preference::all_lowest(2);
+        assert_eq!(
+            salsa_skyline(&s, &p).sorted_indices(),
+            naive_skyline(&s, &p).sorted_indices()
+        );
+    }
+
+    #[test]
+    fn early_termination_skips_far_points() {
+        // (1,1) gives stop value 1; the cluster at (9..12)^2 has minC > 1 and
+        // must be skipped without any dominance test.
+        let mut rows = vec![[1.0, 1.0]];
+        for i in 0..50 {
+            rows.push([9.0 + (i % 4) as f64, 9.0 + (i / 4) as f64]);
+        }
+        let s = PointStore::from_rows(2, rows.iter());
+        let p = Preference::all_lowest(2);
+        let r = salsa_skyline(&s, &p);
+        assert_eq!(r.sorted_indices(), vec![0]);
+        assert!(r.stats.tuples_skipped > 0, "should stop early");
+    }
+
+    #[test]
+    fn correlated_data_terminates_very_early() {
+        let rows: Vec<[f64; 2]> = (0..1000).map(|i| [i as f64, i as f64 + 0.5]).collect();
+        let s = PointStore::from_rows(2, rows.iter());
+        let p = Preference::all_lowest(2);
+        let r = salsa_skyline(&s, &p);
+        assert_eq!(r.len(), 1);
+        assert!(r.stats.tuples_scanned < 10, "scanned {}", r.stats.tuples_scanned);
+    }
+
+    #[test]
+    fn anti_correlated_scans_everything() {
+        let rows: Vec<[f64; 2]> = (0..100).map(|i| [i as f64, (100 - i) as f64]).collect();
+        let s = PointStore::from_rows(2, rows.iter());
+        let p = Preference::all_lowest(2);
+        let r = salsa_skyline(&s, &p);
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.stats.tuples_skipped, 0);
+    }
+
+    #[test]
+    fn mixed_directions_match_oracle() {
+        let s = PointStore::from_rows(
+            2,
+            [[1.0, 9.0], [2.0, 5.0], [0.5, 2.0], [3.0, 10.0], [1.5, 9.5]],
+        );
+        let p = Preference::new(vec![crate::Order::Lowest, crate::Order::Highest]);
+        assert_eq!(
+            salsa_skyline(&s, &p).sorted_indices(),
+            naive_skyline(&s, &p).sorted_indices()
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = PointStore::new(2);
+        assert!(salsa_skyline(&s, &Preference::all_lowest(2)).is_empty());
+    }
+}

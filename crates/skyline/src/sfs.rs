@@ -1,0 +1,115 @@
+//! Sort-Filter-Skyline (SFS).
+//!
+//! Presorting the input by a monotone score guarantees that no tuple can be
+//! dominated by a tuple appearing *later* in the sorted order. A single pass
+//! with an append-only window then suffices — window entries are never
+//! evicted — and every admitted tuple is immediately *final*, which makes
+//! SFS a progressive single-set skyline algorithm (the paper's Section VII
+//! discusses this family [4], [5]).
+
+use crate::{PointStore, Preference, SkylineResult, SkylineStats};
+
+/// Computes the skyline by sorting on [`Preference::monotone_score`] and
+/// filtering in one pass. Output indices are in score order (ascending),
+/// i.e. in the order a progressive consumer would receive them.
+pub fn sfs_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
+    let mut result = SkylineResult::default();
+    sfs_skyline_with(store, pref, |idx| result.indices.push(idx), &mut result.stats);
+    result
+}
+
+/// Progressive SFS: invokes `emit(index)` the moment each skyline member is
+/// confirmed (admission order = monotone score order).
+pub fn sfs_skyline_with<F: FnMut(usize)>(
+    store: &PointStore,
+    pref: &Preference,
+    mut emit: F,
+    stats: &mut SkylineStats,
+) {
+    assert_eq!(store.dims(), pref.dims(), "store/preference dims mismatch");
+    let n = store.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // total_cmp is safe here: scores of finite inputs are finite.
+    order.sort_by(|&a, &b| {
+        pref.monotone_score(store.point(a as usize))
+            .total_cmp(&pref.monotone_score(store.point(b as usize)))
+    });
+    let mut window: Vec<u32> = Vec::new();
+    'outer: for &i in &order {
+        stats.tuples_scanned += 1;
+        let p = store.point(i as usize);
+        for &w in &window {
+            stats.dominance_tests += 1;
+            if pref.dominates(store.point(w as usize), p) {
+                continue 'outer;
+            }
+        }
+        window.push(i);
+        emit(i as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive_skyline;
+
+    #[test]
+    fn matches_oracle() {
+        let s = PointStore::from_rows(
+            3,
+            [
+                [4.0, 1.0, 2.0],
+                [1.0, 4.0, 3.0],
+                [2.0, 2.0, 2.0],
+                [3.0, 3.0, 1.0],
+                [2.0, 3.0, 4.0],
+                [5.0, 0.5, 5.0],
+            ],
+        );
+        let p = Preference::all_lowest(3);
+        assert_eq!(
+            sfs_skyline(&s, &p).sorted_indices(),
+            naive_skyline(&s, &p).sorted_indices()
+        );
+    }
+
+    #[test]
+    fn emits_in_monotone_score_order() {
+        let s = PointStore::from_rows(2, [[3.0, 3.0], [1.0, 1.0], [0.5, 4.0]]);
+        let p = Preference::all_lowest(2);
+        let r = sfs_skyline(&s, &p);
+        // (1,1) has score 2, (0.5,4) has score 4.5; (3,3) is dominated.
+        assert_eq!(r.indices, vec![1, 2]);
+    }
+
+    #[test]
+    fn mixed_directions_match_oracle() {
+        let s = PointStore::from_rows(
+            2,
+            [[1.0, 9.0], [2.0, 5.0], [0.5, 2.0], [3.0, 10.0], [1.5, 9.5]],
+        );
+        let p = Preference::new(vec![crate::Order::Lowest, crate::Order::Highest]);
+        assert_eq!(
+            sfs_skyline(&s, &p).sorted_indices(),
+            naive_skyline(&s, &p).sorted_indices()
+        );
+    }
+
+    #[test]
+    fn progressive_emission_counts() {
+        let s = PointStore::from_rows(2, [[1.0, 2.0], [2.0, 1.0], [3.0, 3.0]]);
+        let p = Preference::all_lowest(2);
+        let mut seen = Vec::new();
+        let mut stats = SkylineStats::default();
+        sfs_skyline_with(&s, &p, |i| seen.push(i), &mut stats);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(stats.tuples_scanned, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = PointStore::new(2);
+        assert!(sfs_skyline(&s, &Preference::all_lowest(2)).is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Instrumentation shared by all skyline algorithms.
+
+/// Counters exposed by every skyline algorithm run.
+///
+/// The paper's Section III-B quantifies its optimization as a reduction in
+/// the number of dominance comparisons; these counters make that claim
+/// measurable for our implementations as well.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkylineStats {
+    /// Number of pairwise dominance tests performed.
+    pub dominance_tests: u64,
+    /// Number of input tuples inspected (including dominated ones).
+    pub tuples_scanned: u64,
+    /// For algorithms with early termination (SaLSa), how many input tuples
+    /// were *never* inspected because the stop condition fired.
+    pub tuples_skipped: u64,
+}
+
+impl SkylineStats {
+    /// Merges counters from a sub-computation (e.g. a divide & conquer half).
+    pub fn absorb(&mut self, other: SkylineStats) {
+        self.dominance_tests += other.dominance_tests;
+        self.tuples_scanned += other.tuples_scanned;
+        self.tuples_skipped += other.tuples_skipped;
+    }
+}
+
+/// Result of a skyline computation: indices of the non-dominated points in
+/// the input [`crate::PointStore`], in algorithm-specific order, plus stats.
+#[derive(Debug, Clone, Default)]
+pub struct SkylineResult {
+    /// Indices (into the input store) of skyline members.
+    pub indices: Vec<usize>,
+    /// Work counters for the run.
+    pub stats: SkylineStats,
+}
+
+impl SkylineResult {
+    /// Indices sorted ascending — convenient for set comparisons in tests.
+    pub fn sorted_indices(&self) -> Vec<usize> {
+        let mut v = self.indices.clone();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of skyline members.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True when the skyline is empty (only possible for empty input).
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_counters() {
+        let mut a = SkylineStats {
+            dominance_tests: 3,
+            tuples_scanned: 5,
+            tuples_skipped: 1,
+        };
+        a.absorb(SkylineStats {
+            dominance_tests: 2,
+            tuples_scanned: 4,
+            tuples_skipped: 0,
+        });
+        assert_eq!(a.dominance_tests, 5);
+        assert_eq!(a.tuples_scanned, 9);
+        assert_eq!(a.tuples_skipped, 1);
+    }
+
+    #[test]
+    fn sorted_indices_sorts() {
+        let r = SkylineResult {
+            indices: vec![3, 1, 2],
+            stats: SkylineStats::default(),
+        };
+        assert_eq!(r.sorted_indices(), vec![1, 2, 3]);
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: evaluate a SkyMapJoin query progressively.
+//!
+//! Builds two tiny in-memory sources, defines the mapping functions and
+//! preference of a Q1-style query, and runs the ProgXe executor with a sink
+//! that prints every result the moment it is proven final.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use progxe::core::prelude::*;
+
+fn main() {
+    // Source R: suppliers with (unit price, manufacturing time), keyed by
+    // country code.
+    let mut suppliers = SourceData::new(2);
+    suppliers.push(&[10.0, 3.0], 0);
+    suppliers.push(&[14.0, 1.0], 0);
+    suppliers.push(&[7.0, 6.0], 1);
+    suppliers.push(&[22.0, 2.0], 1);
+
+    // Source T: transporters with (shipping cost, shipping time).
+    let mut transporters = SourceData::new(2);
+    transporters.push(&[3.0, 4.0], 0);
+    transporters.push(&[6.0, 1.0], 0);
+    transporters.push(&[2.0, 8.0], 1);
+
+    // Q1's mapping: tCost = uPrice + shipCost, delay = 2·manTime + shipTime;
+    // both minimized.
+    let maps = MapSet::new(
+        vec![
+            Box::new(WeightedSum::new(vec![1.0, 0.0], vec![1.0, 0.0])),
+            Box::new(WeightedSum::new(vec![0.0, 2.0], vec![0.0, 1.0])),
+        ],
+        Preference::all_lowest(2),
+    )
+    .expect("two maps, two preference dimensions");
+
+    // Stream results as they become final.
+    let mut sink = FnSinkPrinter { count: 0 };
+    let exec = ProgXe::new(ProgXeConfig::default());
+    let stats = exec
+        .run(
+            &suppliers.view(),
+            &transporters.view(),
+            &maps,
+            &mut sink,
+        )
+        .expect("valid query");
+
+    println!("---");
+    println!(
+        "{} results; {} join pairs examined, {} dominance tests, {} regions \
+         ({} pruned before any tuple work)",
+        stats.results_emitted,
+        stats.join_pairs_evaluated,
+        stats.dominance_tests,
+        stats.regions_created,
+        stats.regions_pruned_lookahead,
+    );
+}
+
+/// A sink that prints each batch as it arrives.
+struct FnSinkPrinter {
+    count: usize,
+}
+
+impl ResultSink for FnSinkPrinter {
+    fn emit_batch(&mut self, batch: &[ResultTuple]) {
+        for r in batch {
+            self.count += 1;
+            println!(
+                "#{:<2} supplier {} × transporter {} → tCost = {:>5.1}, delay = {:>5.1}",
+                self.count, r.r_idx, r.t_idx, r.values[0], r.values[1]
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # ProgXe — progressive result generation for SkyMapJoin queries
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! * [`skyline`] — preference model + classic skyline algorithms.
+//! * [`datagen`] — Börzsönyi-style synthetic workload generator.
+//! * [`core`] — the ProgXe framework (look-ahead, ProgOrder, ProgDetermine).
+//! * [`query`] — SkyMapJoin algebra, `PREFERRING` parser, planner.
+//! * [`baselines`] — JF-SL, JF-SL+, SSMJ, SAJ.
+
+#![forbid(unsafe_code)]
+
+pub use progxe_baselines as baselines;
+pub use progxe_core as core;
+pub use progxe_datagen as datagen;
+pub use progxe_query as query;
+pub use progxe_skyline as skyline;

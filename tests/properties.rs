@@ -1,0 +1,231 @@
+//! Property-based tests (proptest) for the core invariants:
+//! dominance laws, skyline-algorithm agreement, mapping enclosures, and
+//! end-to-end ProgXe correctness against the oracle.
+
+use progxe::baselines::oracle_smj;
+use progxe::core::prelude::*;
+use progxe::skyline::{
+    bnl_skyline, dnc_skyline, naive_skyline, salsa_skyline, sfs_skyline, DomRelation, PointStore,
+};
+use proptest::prelude::*;
+
+fn small_value() -> impl Strategy<Value = f64> {
+    // Small integer grid: plenty of ties and dominance chains.
+    (0i32..12).prop_map(|v| v as f64)
+}
+
+fn point(dims: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(small_value(), dims)
+}
+
+fn points(dims: usize, max: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(point(dims), 1..max)
+}
+
+fn store(rows: &[Vec<f64>], dims: usize) -> PointStore {
+    PointStore::from_rows(dims, rows.iter())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Dominance is irreflexive and antisymmetric; `compare` is consistent
+    /// with `dominates` in both directions.
+    #[test]
+    fn dominance_laws(a in point(4), b in point(4)) {
+        let pref = Preference::all_lowest(4);
+        prop_assert!(!pref.dominates(&a, &a), "irreflexive");
+        let ab = pref.dominates(&a, &b);
+        let ba = pref.dominates(&b, &a);
+        prop_assert!(!(ab && ba), "antisymmetric");
+        match pref.compare(&a, &b) {
+            DomRelation::Dominates => prop_assert!(ab && !ba),
+            DomRelation::DominatedBy => prop_assert!(ba && !ab),
+            DomRelation::Equal => {
+                prop_assert!(!ab && !ba);
+                prop_assert_eq!(&a, &b);
+            }
+            DomRelation::Incomparable => prop_assert!(!ab && !ba),
+        }
+    }
+
+    /// Dominance is transitive.
+    #[test]
+    fn dominance_transitive(a in point(3), b in point(3), c in point(3)) {
+        let pref = Preference::all_lowest(3);
+        if pref.dominates(&a, &b) && pref.dominates(&b, &c) {
+            prop_assert!(pref.dominates(&a, &c));
+        }
+    }
+
+    /// All four skyline algorithms agree with the naive oracle.
+    #[test]
+    fn skyline_algorithms_agree(rows in points(3, 60)) {
+        let s = store(&rows, 3);
+        let pref = Preference::all_lowest(3);
+        let expected = naive_skyline(&s, &pref).sorted_indices();
+        prop_assert_eq!(bnl_skyline(&s, &pref).sorted_indices(), expected.clone(), "bnl");
+        prop_assert_eq!(sfs_skyline(&s, &pref).sorted_indices(), expected.clone(), "sfs");
+        prop_assert_eq!(dnc_skyline(&s, &pref).sorted_indices(), expected.clone(), "dnc");
+        prop_assert_eq!(salsa_skyline(&s, &pref).sorted_indices(), expected, "salsa");
+    }
+
+    /// The skyline is exactly the non-dominated subset: no member is
+    /// dominated, every non-member is dominated by some member.
+    #[test]
+    fn skyline_definition_holds(rows in points(2, 40)) {
+        let s = store(&rows, 2);
+        let pref = Preference::all_lowest(2);
+        let sky = naive_skyline(&s, &pref);
+        let members: std::collections::HashSet<usize> = sky.indices.iter().copied().collect();
+        for i in 0..s.len() {
+            let dominated_by_member = sky
+                .indices
+                .iter()
+                .any(|&m| pref.dominates(s.point(m), s.point(i)));
+            if members.contains(&i) {
+                prop_assert!(!dominated_by_member, "member {i} dominated");
+            } else {
+                prop_assert!(dominated_by_member, "non-member {i} not dominated");
+            }
+        }
+    }
+
+    /// WeightedSum interval evaluation encloses every sampled evaluation.
+    #[test]
+    fn weighted_sum_enclosure(
+        rw in prop::collection::vec(-3.0f64..3.0, 2),
+        tw in prop::collection::vec(-3.0f64..3.0, 2),
+        r_lo in point(2), t_lo in point(2),
+        r_span in point(2), t_span in point(2),
+        fr in 0.0f64..1.0, ft in 0.0f64..1.0,
+    ) {
+        let f = WeightedSum::new(rw, tw);
+        let r_hi: Vec<f64> = r_lo.iter().zip(&r_span).map(|(a, s)| a + s).collect();
+        let t_hi: Vec<f64> = t_lo.iter().zip(&t_span).map(|(a, s)| a + s).collect();
+        let (lo, hi) = f.eval_bounds(&r_lo, &r_hi, &t_lo, &t_hi);
+        // Sample an interior point per box.
+        let r: Vec<f64> = r_lo.iter().zip(&r_hi).map(|(a, b)| a + (b - a) * fr).collect();
+        let t: Vec<f64> = t_lo.iter().zip(&t_hi).map(|(a, b)| a + (b - a) * ft).collect();
+        let v = f.eval(&r, &t);
+        prop_assert!(lo - 1e-9 <= v && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+    }
+}
+
+/// Rows of one random source: attributes plus a join key each.
+type SourceRows = Vec<(Vec<f64>, u32)>;
+
+/// A random SMJ instance: attribute rows plus join keys for both sources.
+fn smj_instance(
+    dims: usize,
+    max_rows: usize,
+    keys: u32,
+) -> impl Strategy<Value = (SourceRows, SourceRows)> {
+    let row = |dims: usize| (point(dims), 0..keys);
+    (
+        prop::collection::vec(row(dims), 1..max_rows),
+        prop::collection::vec(row(dims), 1..max_rows),
+    )
+}
+
+fn build_source(rows: &SourceRows, dims: usize) -> SourceData {
+    let mut s = SourceData::new(dims);
+    for (attrs, key) in rows {
+        s.push(attrs, *key);
+    }
+    s
+}
+
+fn result_ids(results: &[ResultTuple]) -> Vec<(u32, u32)> {
+    let mut v: Vec<(u32, u32)> = results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ProgXe (default config) equals the nested-loop + naive-skyline
+    /// oracle on arbitrary small instances — the headline correctness
+    /// property of the whole framework.
+    #[test]
+    fn progxe_equals_oracle((r_rows, t_rows) in smj_instance(2, 40, 4)) {
+        let r = build_source(&r_rows, 2);
+        let t = build_source(&t_rows, 2);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let expected = result_ids(&oracle_smj(&r.view(), &t.view(), &maps));
+        let out = ProgXe::new(ProgXeConfig::default())
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap();
+        prop_assert_eq!(result_ids(&out.results), expected);
+    }
+
+    /// Ordering policy never affects the result set (only its timing).
+    #[test]
+    fn ordering_invariance((r_rows, t_rows) in smj_instance(2, 30, 3), seed in any::<u64>()) {
+        let r = build_source(&r_rows, 2);
+        let t = build_source(&t_rows, 2);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let a = ProgXe::new(ProgXeConfig::default())
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap();
+        let b = ProgXe::new(
+            ProgXeConfig::default().with_ordering(OrderingPolicy::Random { seed }),
+        )
+        .run_collect(&r.view(), &t.view(), &maps)
+        .unwrap();
+        prop_assert_eq!(result_ids(&a.results), result_ids(&b.results));
+    }
+
+    /// Push-through pruning is invisible in the result set.
+    #[test]
+    fn push_through_invariance((r_rows, t_rows) in smj_instance(3, 30, 3)) {
+        let r = build_source(&r_rows, 3);
+        let t = build_source(&t_rows, 3);
+        let maps = MapSet::pairwise_sum(3, Preference::all_lowest(3));
+        let plain = ProgXe::new(ProgXeConfig::variation(true, false))
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap();
+        let plus = ProgXe::new(ProgXeConfig::variation(true, true))
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap();
+        prop_assert_eq!(result_ids(&plain.results), result_ids(&plus.results));
+    }
+
+    /// Grid granularity is invisible in the result set.
+    #[test]
+    fn granularity_invariance(
+        (r_rows, t_rows) in smj_instance(2, 30, 3),
+        p in 1usize..6,
+        k in 2usize..40,
+    ) {
+        let r = build_source(&r_rows, 2);
+        let t = build_source(&t_rows, 2);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let base = ProgXe::new(ProgXeConfig::default())
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap();
+        let other = ProgXe::new(
+            ProgXeConfig::default()
+                .with_input_partitions(p)
+                .with_output_cells(k),
+        )
+        .run_collect(&r.view(), &t.view(), &maps)
+        .unwrap();
+        prop_assert_eq!(result_ids(&base.results), result_ids(&other.results));
+    }
+
+    /// Mixed preference directions stay oracle-equal.
+    #[test]
+    fn mixed_directions_equal_oracle((r_rows, t_rows) in smj_instance(2, 30, 3)) {
+        let r = build_source(&r_rows, 2);
+        let t = build_source(&t_rows, 2);
+        let maps =
+            MapSet::pairwise_sum(2, Preference::new(vec![Order::Lowest, Order::Highest]));
+        let expected = result_ids(&oracle_smj(&r.view(), &t.view(), &maps));
+        let out = ProgXe::new(ProgXeConfig::default())
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap();
+        prop_assert_eq!(result_ids(&out.results), expected);
+    }
+}
