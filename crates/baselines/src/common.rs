@@ -143,7 +143,11 @@ pub fn hash_join_into(
             continue;
         };
         for &r_row in matches {
-            maps.eval_into(r.attrs_of(r_row as usize), t.attrs_of(t_row as usize), &mut buf);
+            maps.eval_into(
+                r.attrs_of(r_row as usize),
+                t.attrs_of(t_row as usize),
+                &mut buf,
+            );
             out.points.push(&buf);
             out.ids.push((r_row, t_row));
         }

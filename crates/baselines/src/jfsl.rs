@@ -50,15 +50,16 @@ fn run<S: ResultSink + ?Sized>(
     let mut stats = BaselineStats::default();
 
     let (r_rows, t_rows) = if push {
-        let kr = push_through(r, maps, Side::R)
-            .unwrap_or_else(|| (0..r.len() as u32).collect());
-        let kt = push_through(t, maps, Side::T)
-            .unwrap_or_else(|| (0..t.len() as u32).collect());
+        let kr = push_through(r, maps, Side::R).unwrap_or_else(|| (0..r.len() as u32).collect());
+        let kt = push_through(t, maps, Side::T).unwrap_or_else(|| (0..t.len() as u32).collect());
         stats.pruned_r = r.len() - kr.len();
         stats.pruned_t = t.len() - kt.len();
         (kr, kt)
     } else {
-        ((0..r.len() as u32).collect::<Vec<_>>(), (0..t.len() as u32).collect::<Vec<_>>())
+        (
+            (0..r.len() as u32).collect::<Vec<_>>(),
+            (0..t.len() as u32).collect::<Vec<_>>(),
+        )
     };
 
     let mut out = JoinedOutput::new(maps.out_dims());

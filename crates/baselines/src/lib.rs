@@ -15,22 +15,27 @@
 //! All baselines consume the same inputs as ProgXe ([`SourceView`],
 //! [`MapSet`]) and push [`ResultTuple`] batches through the same
 //! [`ResultSink`] abstraction, so progressiveness curves are directly
-//! comparable.
+//! comparable. The [`engine`] module additionally wraps each of them in the
+//! workspace-wide [`ProgressiveEngine`] interface, giving every baseline
+//! the same pull-based [`QuerySession`] consumption model as ProgXe.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod engine;
 pub mod jfsl;
 pub mod saj;
 pub mod ssmj;
 
 pub use common::{oracle_smj, BaselineStats, SkyAlgo};
+pub use engine::{baseline_exec_stats, JfSlEngine, SajEngine, SsmjEngine};
 pub use jfsl::{jfsl, jfsl_plus};
 pub use saj::saj;
 pub use ssmj::ssmj;
 
 pub use progxe_core::mapping::MapSet;
+pub use progxe_core::session::{ProgressiveEngine, QuerySession, ResultEvent};
 pub use progxe_core::sink::ResultSink;
 pub use progxe_core::source::SourceView;
 pub use progxe_core::stats::ResultTuple;

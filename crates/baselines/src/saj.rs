@@ -77,9 +77,10 @@ impl SortedSource {
                     .value(a as usize, j)
                     .total_cmp(&scores.value(b as usize, j))
             });
-            mins.push(list.first().map_or(f64::INFINITY, |&row| {
-                scores.value(row as usize, j)
-            }));
+            mins.push(
+                list.first()
+                    .map_or(f64::INFINITY, |&row| scores.value(row as usize, j)),
+            );
             lists.push(list);
         }
         Some(Self {
@@ -223,7 +224,17 @@ pub fn saj<S: ResultSink + ?Sized>(
                 continue;
             };
             for &t_row in partners {
-                push_pair(r, t, maps, &orders, r_row, t_row, &mut out, &mut window, &mut scratch);
+                push_pair(
+                    r,
+                    t,
+                    maps,
+                    &orders,
+                    r_row,
+                    t_row,
+                    &mut out,
+                    &mut window,
+                    &mut scratch,
+                );
             }
         }
         for &t_row in &fresh_t {
@@ -232,7 +243,17 @@ pub fn saj<S: ResultSink + ?Sized>(
                 continue;
             };
             for &r_row in partners {
-                push_pair(r, t, maps, &orders, r_row, t_row, &mut out, &mut window, &mut scratch);
+                push_pair(
+                    r,
+                    t,
+                    maps,
+                    &orders,
+                    r_row,
+                    t_row,
+                    &mut out,
+                    &mut window,
+                    &mut scratch,
+                );
             }
         }
 
@@ -348,7 +369,10 @@ mod tests {
         let stats = saj(&r.view(), &t.view(), &maps, SkyAlgo::Bnl, &mut sink);
         let expected = sorted_ids(&oracle_smj(&r.view(), &t.view(), &maps));
         assert_eq!(sorted_ids(&sink.results), expected);
-        assert_eq!(stats.accessed_r, 100, "anti-correlated defeats the threshold");
+        assert_eq!(
+            stats.accessed_r, 100,
+            "anti-correlated defeats the threshold"
+        );
     }
 
     #[test]
@@ -356,8 +380,7 @@ mod tests {
         use progxe_skyline::Order;
         let r = random_source(80, 2, 4, 5);
         let t = random_source(80, 2, 4, 6);
-        let maps =
-            MapSet::pairwise_sum(2, Preference::new(vec![Order::Lowest, Order::Highest]));
+        let maps = MapSet::pairwise_sum(2, Preference::new(vec![Order::Lowest, Order::Highest]));
         let expected = sorted_ids(&oracle_smj(&r.view(), &t.view(), &maps));
         let mut sink = CollectSink::default();
         saj(&r.view(), &t.view(), &maps, SkyAlgo::Bnl, &mut sink);

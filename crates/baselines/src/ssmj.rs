@@ -176,8 +176,7 @@ pub fn ssmj<S: ResultSink + ?Sized>(
     let phase1_sky = algo.run(&all.points, maps.preference());
     stats.dominance_tests += phase1_sky.stats.dominance_tests;
     let batch1 = results_from(&all, &phase1_sky.indices);
-    let batch1_ids: FxHashSet<(u32, u32)> =
-        batch1.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+    let batch1_ids: FxHashSet<(u32, u32)> = batch1.iter().map(|x| (x.r_idx, x.t_idx)).collect();
     stats.batch1_results = batch1.len() as u64;
     if !batch1.is_empty() {
         sink.emit_batch(&batch1);
@@ -326,10 +325,7 @@ mod tests {
     /// by (1,1) of a *different* join key, so it sits in LS(N), not LS(S)).
     #[test]
     fn batch1_false_positives_exist_under_maps() {
-        let r = SourceData::from_rows(
-            2,
-            &[(&[0.0, 10.0], 0), (&[1.0, 1.0], 0), (&[2.0, 2.0], 1)],
-        );
+        let r = SourceData::from_rows(2, &[(&[0.0, 10.0], 0), (&[1.0, 1.0], 0), (&[2.0, 2.0], 1)]);
         let t = SourceData::from_rows(2, &[(&[10.0, 0.0], 0), (&[1.0, 1.0], 1)]);
         let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
         let mut sink = CollectSink::default();

@@ -1,9 +1,8 @@
 //! Micro-benchmarks: the innermost operations — dominance tests and
 //! incremental window maintenance.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use progxe_bench::microbench::Group;
 use progxe_skyline::{bnl::BnlWindow, Preference};
-use std::hint::black_box;
 
 fn lcg(state: &mut u64) -> f64 {
     *state = state
@@ -12,11 +11,7 @@ fn lcg(state: &mut u64) -> f64 {
     ((*state >> 33) % 1000) as f64 / 10.0
 }
 
-fn bench_dominates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dominates");
-    group.sample_size(30);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_dominates(group: &mut Group) {
     for dims in [2usize, 4, 6, 8] {
         let pref = Preference::all_lowest(dims);
         let mut st = 7u64;
@@ -28,37 +23,35 @@ fn bench_dominates(c: &mut Criterion) {
                 )
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(dims), &pairs, |b, pairs| {
-            b.iter(|| {
-                let mut count = 0u32;
-                for (a, bb) in pairs {
-                    if pref.dominates(a, bb) {
-                        count += 1;
-                    }
+        group.bench(&format!("dominates/d={dims} (256 pairs)"), || {
+            let mut count = 0u32;
+            for (a, b) in &pairs {
+                if pref.dominates(a, b) {
+                    count += 1;
                 }
-                black_box(count)
-            })
+            }
+            count
         });
     }
-    group.finish();
 }
 
-fn bench_window_offer(c: &mut Criterion) {
+fn bench_window_offer(group: &mut Group) {
     let dims = 3;
     let mut st = 11u64;
     let points: Vec<Vec<f64>> = (0..2000)
         .map(|_| (0..dims).map(|_| lcg(&mut st)).collect())
         .collect();
-    c.bench_function("bnl_window_offer_2k", |b| {
-        b.iter(|| {
-            let mut w: BnlWindow<u32> = BnlWindow::new(Preference::all_lowest(dims));
-            for (i, p) in points.iter().enumerate() {
-                w.offer(p, i as u32);
-            }
-            black_box(w.len())
-        })
+    group.bench("bnl_window_offer_2k", || {
+        let mut w: BnlWindow<u32> = BnlWindow::new(Preference::all_lowest(dims));
+        for (i, p) in points.iter().enumerate() {
+            w.offer(p, i as u32);
+        }
+        w.len()
     });
 }
 
-criterion_group!(benches, bench_dominates, bench_window_offer);
-criterion_main!(benches);
+fn main() {
+    let mut group = Group::new("dominance");
+    bench_dominates(&mut group);
+    bench_window_offer(&mut group);
+}

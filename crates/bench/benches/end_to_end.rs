@@ -1,16 +1,12 @@
 //! End-to-end comparison bench: complete SkyMapJoin evaluation, ProgXe vs
 //! all baselines, on one moderate workload per distribution.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use progxe_bench::microbench::Group;
 use progxe_bench::runners::{run_algo, AlgoKind};
 use progxe_datagen::{Distribution, SmjWorkload, WorkloadSpec};
-use std::hint::black_box;
 
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.measurement_time(std::time::Duration::from_secs(3));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn main() {
+    let mut group = Group::new("end_to_end");
     for dist in Distribution::ALL {
         let w: SmjWorkload = WorkloadSpec::new(1000, 3, dist, 0.01).generate();
         for kind in [
@@ -21,15 +17,10 @@ fn bench_end_to_end(c: &mut Criterion) {
             AlgoKind::JfSlPlus,
             AlgoKind::Saj,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label().replace(' ', "_"), dist.name()),
-                &w,
-                |b, w| b.iter(|| black_box(run_algo(kind, w).results)),
+            group.bench(
+                &format!("{}/{}", kind.label().replace(' ', "_"), dist.name()),
+                || run_algo(kind, &w).results,
             );
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

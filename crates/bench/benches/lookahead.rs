@@ -1,7 +1,7 @@
 //! Micro-benchmarks: the abstraction-level machinery — input grid build,
 //! output-space look-ahead, and cell tracking.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use progxe_bench::microbench::Group;
 use progxe_core::cells::CellStore;
 use progxe_core::config::SignatureConfig;
 use progxe_core::grid::InputGrid;
@@ -10,29 +10,19 @@ use progxe_core::mapping::MapSet;
 use progxe_core::source::SourceView;
 use progxe_datagen::{Distribution, WorkloadSpec};
 use progxe_skyline::Preference;
-use std::hint::black_box;
 
-fn bench_grid_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("grid_build");
-    group.sample_size(15);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_grid_build(group: &mut Group) {
     for n in [1_000usize, 10_000, 50_000] {
         let w = WorkloadSpec::new(n, 3, Distribution::Independent, 0.01).generate();
         let view = SourceView::new(&w.r.attrs, &w.r.join_keys).unwrap();
         let domain = w.spec.join_domain_size() as usize;
-        group.bench_with_input(BenchmarkId::from_parameter(n), &view, |b, v| {
-            b.iter(|| black_box(InputGrid::build(v, 3, SignatureConfig::Exact, domain).len()))
+        group.bench(&format!("grid_build/n={n}"), || {
+            InputGrid::build(&view, 3, SignatureConfig::Exact, domain).len()
         });
     }
-    group.finish();
 }
 
-fn bench_lookahead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lookahead");
-    group.sample_size(15);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+fn bench_lookahead(group: &mut Group) {
     for dist in Distribution::ALL {
         let w = WorkloadSpec::new(10_000, 3, dist, 0.01).generate();
         let r = SourceView::new(&w.r.attrs, &w.r.join_keys).unwrap();
@@ -41,26 +31,20 @@ fn bench_lookahead(c: &mut Criterion) {
         let rg = InputGrid::build(&r, 3, SignatureConfig::Exact, domain);
         let tg = InputGrid::build(&t, 3, SignatureConfig::Exact, domain);
         let maps = MapSet::pairwise_sum(3, Preference::all_lowest(3));
-        group.bench_with_input(
-            BenchmarkId::new("regions", dist.name()),
-            &(&rg, &tg),
-            |b, (rg, tg)| b.iter(|| black_box(run_lookahead(rg, tg, &maps, 24).regions.len())),
-        );
+        group.bench(&format!("regions/{}", dist.name()), || {
+            run_lookahead(&rg, &tg, &maps, 24).regions.len()
+        });
         let la = run_lookahead(&rg, &tg, &maps, 24);
-        group.bench_with_input(
-            BenchmarkId::new("track_cells", dist.name()),
-            &la,
-            |b, la| {
-                b.iter(|| {
-                    let mut store = CellStore::new(la.grid.clone());
-                    black_box(track_cells(la, &mut store));
-                    black_box(store.len())
-                })
-            },
-        );
+        group.bench(&format!("track_cells/{}", dist.name()), || {
+            let mut store = CellStore::new(la.grid.clone());
+            track_cells(&la, &mut store);
+            store.len()
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_grid_build, bench_lookahead);
-criterion_main!(benches);
+fn main() {
+    let mut group = Group::new("lookahead");
+    bench_grid_build(&mut group);
+    bench_lookahead(&mut group);
+}

@@ -1,12 +1,12 @@
 //! Micro-benchmarks: classic skyline algorithms across the three canonical
 //! distributions (substrate for the paper's baselines and cost model).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use progxe_bench::microbench::Group;
+use progxe_datagen::rng::StdRng;
 use progxe_datagen::Distribution;
-use progxe_skyline::{bnl_skyline, dnc_skyline, salsa_skyline, sfs_skyline, PointStore, Preference};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use std::hint::black_box;
+use progxe_skyline::{
+    bnl_skyline, dnc_skyline, salsa_skyline, sfs_skyline, PointStore, Preference,
+};
 
 fn dataset(dist: Distribution, n: usize, dims: usize) -> PointStore {
     let mut rng = StdRng::seed_from_u64(0xFEED);
@@ -23,31 +23,24 @@ fn dataset(dist: Distribution, n: usize, dims: usize) -> PointStore {
     store
 }
 
-fn bench_skyline_algos(c: &mut Criterion) {
+fn main() {
     let n = 2000;
     let dims = 3;
     let pref = Preference::all_lowest(dims);
-    let mut group = c.benchmark_group("skyline_algos");
-    group.sample_size(20);
-    group.measurement_time(std::time::Duration::from_secs(2));
-    group.warm_up_time(std::time::Duration::from_millis(500));
+    let mut group = Group::new("skyline_algos");
     for dist in Distribution::ALL {
         let data = dataset(dist, n, dims);
-        group.bench_with_input(BenchmarkId::new("bnl", dist.name()), &data, |b, d| {
-            b.iter(|| black_box(bnl_skyline(d, &pref).len()))
+        group.bench(&format!("bnl/{}", dist.name()), || {
+            bnl_skyline(&data, &pref).len()
         });
-        group.bench_with_input(BenchmarkId::new("sfs", dist.name()), &data, |b, d| {
-            b.iter(|| black_box(sfs_skyline(d, &pref).len()))
+        group.bench(&format!("sfs/{}", dist.name()), || {
+            sfs_skyline(&data, &pref).len()
         });
-        group.bench_with_input(BenchmarkId::new("dnc", dist.name()), &data, |b, d| {
-            b.iter(|| black_box(dnc_skyline(d, &pref).len()))
+        group.bench(&format!("dnc/{}", dist.name()), || {
+            dnc_skyline(&data, &pref).len()
         });
-        group.bench_with_input(BenchmarkId::new("salsa", dist.name()), &data, |b, d| {
-            b.iter(|| black_box(salsa_skyline(d, &pref).len()))
+        group.bench(&format!("salsa/{}", dist.name()), || {
+            salsa_skyline(&data, &pref).len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_skyline_algos);
-criterion_main!(benches);

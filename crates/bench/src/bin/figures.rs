@@ -11,8 +11,8 @@
 //! Run in release mode: `cargo run --release -p progxe-bench --bin figures -- all`.
 
 use progxe_bench::figures::{
-    ablate_delta, ablate_order, cellbound, fig10_prog, fig10_time, fig11, fig12, fig13,
-    scaling, ssmj_soundness, ExpOptions,
+    ablate_delta, ablate_order, cellbound, fig10_prog, fig10_time, fig11, fig12, fig13, scaling,
+    ssmj_soundness, ExpOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;

@@ -17,10 +17,7 @@
 //! | Figs. 11–12 at scale | [`scaling`] | first-output latency vs N |
 
 use crate::report::{fmt_duration, fmt_opt_duration, write_csv, Table};
-use crate::runners::{
-    default_config_for, run_algo, run_algo_with_timeout, AlgoKind, RunResult,
-};
-use std::time::Duration;
+use crate::runners::{default_config_for, run_algo, run_algo_with_timeout, AlgoKind, RunResult};
 use progxe_core::config::OrderingPolicy;
 use progxe_core::executor::ProgXe;
 use progxe_core::mapping::MapSet;
@@ -29,6 +26,7 @@ use progxe_core::source::SourceView;
 use progxe_datagen::{Distribution, SmjWorkload, WorkloadSpec};
 use progxe_skyline::Preference;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Shared experiment options (CLI overrides).
 #[derive(Debug, Clone)]
@@ -76,7 +74,9 @@ impl ExpOptions {
 }
 
 fn workload(n: usize, dims: usize, dist: Distribution, sigma: f64, seed: u64) -> SmjWorkload {
-    WorkloadSpec::new(n, dims, dist, sigma).with_seed(seed).generate()
+    WorkloadSpec::new(n, dims, dist, sigma)
+        .with_seed(seed)
+        .generate()
 }
 
 fn progressiveness_rows(dist: Distribution, sigma: f64, run: &RunResult) -> Vec<Vec<String>> {
@@ -125,7 +125,9 @@ pub fn fig10_prog(opt: &ExpOptions) {
     let n = opt.pick_n(4000);
     let dims = opt.pick_dims(4);
     let sigma = opt.sigma.unwrap_or(0.001);
-    println!("== Figure 10 a–c: ProgXe variations, progressiveness (N={n}, d={dims}, sigma={sigma}) ==");
+    println!(
+        "== Figure 10 a–c: ProgXe variations, progressiveness (N={n}, d={dims}, sigma={sigma}) =="
+    );
     let mut table = Table::new(&PROG_HEADER);
     let mut series = Vec::new();
     for dist in Distribution::ALL {
@@ -144,7 +146,12 @@ pub fn fig10_prog(opt: &ExpOptions) {
 /// Figure 10 d–f: total execution time of the four ProgXe variations over
 /// the σ sweep.
 pub fn fig10_time(opt: &ExpOptions) {
-    sweep_sigma("fig10_time", "Figure 10 d–f", &AlgoKind::PROGXE_VARIATIONS, opt);
+    sweep_sigma(
+        "fig10_time",
+        "Figure 10 d–f",
+        &AlgoKind::PROGXE_VARIATIONS,
+        opt,
+    );
 }
 
 /// Figure 13 a–c: total execution time of ProgXe, ProgXe+ and SSMJ over the
@@ -346,8 +353,7 @@ pub fn cellbound(opt: &ExpOptions) {
         let t = SourceView::new(&w.t.attrs, &w.t.join_keys).unwrap();
         let mut sink = CountSink::default();
         let stats = ProgXe::new(config).run(&r, &t, &maps, &mut sink).unwrap();
-        let attempts = stats.tuples_inserted
-            + stats.tuples_rejected_dominated;
+        let attempts = stats.tuples_inserted + stats.tuples_rejected_dominated;
         let avg = if attempts == 0 {
             0.0
         } else {
@@ -376,7 +382,14 @@ pub fn cellbound(opt: &ExpOptions) {
     let path = write_csv(
         &opt.out,
         "cellbound",
-        &["d", "k", "naive_cells", "bound", "measured_avg", "measured_max"],
+        &[
+            "d",
+            "k",
+            "naive_cells",
+            "bound",
+            "measured_avg",
+            "measured_max",
+        ],
         &rows,
     )
     .unwrap();
@@ -394,7 +407,14 @@ pub fn ablate_delta(opt: &ExpOptions) {
     let maps = MapSet::pairwise_sum(dims, Preference::all_lowest(dims));
     let r = SourceView::new(&w.r.attrs, &w.r.join_keys).unwrap();
     let t = SourceView::new(&w.t.attrs, &w.t.join_keys).unwrap();
-    let mut table = Table::new(&["p (input)", "k (output)", "regions", "cells", "total", "t50"]);
+    let mut table = Table::new(&[
+        "p (input)",
+        "k (output)",
+        "regions",
+        "cells",
+        "total",
+        "t50",
+    ]);
     let mut rows = Vec::new();
     for p in [1usize, 2, 3, 4] {
         for k in [8usize, 16, 32] {
@@ -493,7 +513,14 @@ pub fn ablate_order(opt: &ExpOptions) {
     let path = write_csv(
         &opt.out,
         "ablate_order",
-        &["distribution", "policy", "results", "first_us", "t50_us", "total_us"],
+        &[
+            "distribution",
+            "policy",
+            "results",
+            "first_us",
+            "t50_us",
+            "total_us",
+        ],
         &rows,
     )
     .unwrap();
@@ -513,11 +540,7 @@ pub fn ssmj_soundness(opt: &ExpOptions) {
         for dims in [2usize, 3, 4] {
             let w = workload(n, dims, dist, sigma, opt.seed);
             let run = run_algo(AlgoKind::Ssmj, &w);
-            let batch1 = run
-                .records
-                .first()
-                .map(|r| r.cumulative)
-                .unwrap_or(0);
+            let batch1 = run.records.first().map(|r| r.cumulative).unwrap_or(0);
             table.row(vec![
                 dist.name().into(),
                 format!("{dims}"),

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod microbench;
 pub mod report;
 pub mod runners;
 

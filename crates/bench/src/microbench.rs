@@ -1,0 +1,91 @@
+//! A minimal timing harness for the `benches/` targets.
+//!
+//! The workspace builds without crates.io access, so the usual statistical
+//! harness is replaced by this deliberately small one: per benchmark it
+//! warms up, picks an iteration count targeting a fixed measurement budget,
+//! takes several samples, and reports the median ns/op. Bench targets set
+//! `harness = false` and drive it from a plain `main`.
+
+use std::time::{Duration, Instant};
+
+/// Measurement budget per benchmark (split across samples).
+const BUDGET: Duration = Duration::from_millis(600);
+/// Samples taken per benchmark; the median is reported.
+const SAMPLES: usize = 7;
+
+/// A named group of benchmarks, printed as an aligned block.
+pub struct Group {
+    name: String,
+    printed_header: bool,
+}
+
+impl Group {
+    /// Starts a group (mirrors the paper-figure naming used before).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            printed_header: false,
+        }
+    }
+
+    /// Times `f`, reporting the median ns per call under `label`.
+    ///
+    /// `f` should return something observable; the result is passed through
+    /// [`std::hint::black_box`] so the work cannot be optimized away.
+    pub fn bench<T>(&mut self, label: &str, mut f: impl FnMut() -> T) {
+        if !self.printed_header {
+            println!("{}", self.name);
+            self.printed_header = true;
+        }
+        // Warm-up and calibration: how many iterations fit one sample?
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (BUDGET / SAMPLES as u32).max(Duration::from_millis(10));
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[SAMPLES / 2];
+        println!(
+            "  {label:<40} {:>14}/iter  ({iters} iters/sample)",
+            fmt_ns(median)
+        );
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_formats() {
+        let mut g = Group::new("smoke");
+        g.bench("noop", || 1 + 1);
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+}

@@ -135,13 +135,7 @@ mod tests {
     #[test]
     fn csv_round_trip() {
         let dir = std::env::temp_dir().join("progxe-bench-test");
-        let path = write_csv(
-            &dir,
-            "test",
-            &["a", "b"],
-            &[vec!["1".into(), "2".into()]],
-        )
-        .unwrap();
+        let path = write_csv(&dir, "test", &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
         let content = std::fs::read_to_string(path).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
     }

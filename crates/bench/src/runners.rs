@@ -1,11 +1,17 @@
 //! Uniform runners: one call = one algorithm over one workload, returning
 //! the progressiveness series and summary counters.
+//!
+//! Every algorithm is driven through the workspace-wide
+//! [`ProgressiveEngine`] interface: [`AlgoKind::build`] instantiates the
+//! engine, and [`run_algo`] pulls its [`QuerySession`] to completion,
+//! turning the event stream into the `(elapsed, cumulative)` series the
+//! paper's figures plot.
 
-use progxe_baselines::{jfsl, jfsl_plus, saj, ssmj, SkyAlgo};
+use progxe_baselines::{JfSlEngine, SajEngine, SkyAlgo, SsmjEngine};
 use progxe_core::config::{OrderingPolicy, ProgXeConfig};
 use progxe_core::executor::ProgXe;
 use progxe_core::mapping::MapSet;
-use progxe_core::sink::ProgressSink;
+use progxe_core::session::{CancellationToken, ProgressiveEngine};
 use progxe_core::source::SourceView;
 use progxe_core::stats::ProgressRecord;
 use progxe_datagen::SmjWorkload;
@@ -59,6 +65,29 @@ impl AlgoKind {
 
     /// The head-to-head set of Figures 11–13.
     pub const VS_SSMJ: [AlgoKind; 3] = [AlgoKind::ProgXe, AlgoKind::ProgXePlus, AlgoKind::Ssmj];
+
+    /// Instantiates the engine this legend entry denotes; `dims` and
+    /// `sigma` parameterize the ProgXe grid configuration.
+    pub fn build(self, dims: usize, sigma: f64) -> Box<dyn ProgressiveEngine> {
+        match self {
+            AlgoKind::ProgXe
+            | AlgoKind::ProgXePlus
+            | AlgoKind::ProgXeNoOrder
+            | AlgoKind::ProgXePlusNoOrder => {
+                let push = matches!(self, AlgoKind::ProgXePlus | AlgoKind::ProgXePlusNoOrder);
+                let ordered = matches!(self, AlgoKind::ProgXe | AlgoKind::ProgXePlus);
+                let mut config = default_config_for(dims, sigma).with_push_through(push);
+                if !ordered {
+                    config = config.with_ordering(OrderingPolicy::Random { seed: 0x5EED });
+                }
+                Box::new(ProgXe::new(config))
+            }
+            AlgoKind::Ssmj => Box::new(SsmjEngine::new(SkyAlgo::Sfs)),
+            AlgoKind::JfSl => Box::new(JfSlEngine::new(SkyAlgo::Sfs)),
+            AlgoKind::JfSlPlus => Box::new(JfSlEngine::plus(SkyAlgo::Sfs)),
+            AlgoKind::Saj => Box::new(SajEngine::new(SkyAlgo::Sfs)),
+        }
+    }
 }
 
 impl FromStr for AlgoKind {
@@ -131,72 +160,77 @@ pub fn default_config_for(dims: usize, sigma: f64) -> ProgXeConfig {
 /// Runs one algorithm over a generated workload; `dims` output dimensions
 /// with the paper's pairwise-sum mapping, all minimized.
 pub fn run_algo(kind: AlgoKind, workload: &SmjWorkload) -> RunResult {
+    run_algo_observed(kind, workload, |_| {})
+}
+
+/// [`run_algo`] with a hook receiving the session's [`CancellationToken`]
+/// right after the session opens, so a supervisor can stop the run.
+fn run_algo_observed(
+    kind: AlgoKind,
+    workload: &SmjWorkload,
+    on_open: impl FnOnce(CancellationToken),
+) -> RunResult {
     let dims = workload.spec.dims;
     let sigma = workload.spec.selectivity;
     let maps = MapSet::pairwise_sum(dims, Preference::all_lowest(dims));
     let r = SourceView::new(&workload.r.attrs, &workload.r.join_keys).expect("parallel arrays");
     let t = SourceView::new(&workload.t.attrs, &workload.t.join_keys).expect("parallel arrays");
-    let mut sink = ProgressSink::new();
 
-    let (total_time, false_positives) = match kind {
-        AlgoKind::ProgXe | AlgoKind::ProgXePlus | AlgoKind::ProgXeNoOrder
-        | AlgoKind::ProgXePlusNoOrder => {
-            let push = matches!(kind, AlgoKind::ProgXePlus | AlgoKind::ProgXePlusNoOrder);
-            let ordered = matches!(kind, AlgoKind::ProgXe | AlgoKind::ProgXePlus);
-            let mut config = default_config_for(dims, sigma).with_push_through(push);
-            if !ordered {
-                config = config.with_ordering(OrderingPolicy::Random { seed: 0x5EED });
-            }
-            let stats = ProgXe::new(config)
-                .run(&r, &t, &maps, &mut sink)
-                .expect("valid configuration");
-            (stats.total_time, 0)
-        }
-        AlgoKind::Ssmj => {
-            let stats = ssmj(&r, &t, &maps, SkyAlgo::Sfs, &mut sink);
-            (stats.total_time, stats.batch1_false_positives)
-        }
-        AlgoKind::JfSl => {
-            let stats = jfsl(&r, &t, &maps, SkyAlgo::Sfs, &mut sink);
-            (stats.total_time, 0)
-        }
-        AlgoKind::JfSlPlus => {
-            let stats = jfsl_plus(&r, &t, &maps, SkyAlgo::Sfs, &mut sink);
-            (stats.total_time, 0)
-        }
-        AlgoKind::Saj => {
-            let stats = saj(&r, &t, &maps, SkyAlgo::Sfs, &mut sink);
-            (stats.total_time, 0)
-        }
-    };
+    let engine = kind.build(dims, sigma);
+    let mut session = engine.open(&r, &t, &maps).expect("valid configuration");
+    on_open(session.cancel_token());
+    let mut records = Vec::new();
+    let mut cumulative = 0u64;
+    while let Some(event) = session.next_batch() {
+        cumulative += event.tuples.len() as u64;
+        records.push(ProgressRecord {
+            elapsed: event.elapsed,
+            cumulative,
+        });
+    }
+    let stats = session.finish();
 
     RunResult {
         algo: kind.label(),
-        results: sink.total(),
-        records: sink.records,
-        total_time,
-        false_positives,
+        records,
+        total_time: stats.total_time,
+        results: cumulative,
+        false_positives: stats.results_retracted,
     }
 }
 
 /// Runs an algorithm with a wall-clock budget. Returns `None` when the run
 /// did not finish in time — mirroring the paper's Figure 12.b annotation
-/// "SSMJ did not return results (even after several hours)". The worker
-/// thread is detached; the process reaps it on exit.
+/// "SSMJ did not return results (even after several hours)". On timeout the
+/// worker's session is cancelled: ProgXe stops at its next region boundary,
+/// the blocking baselines at their next batch boundary, instead of running
+/// the whole query to completion in the background.
 pub fn run_algo_with_timeout(
     kind: AlgoKind,
     workload: &SmjWorkload,
     budget: Duration,
 ) -> Option<RunResult> {
     let (tx, rx) = std::sync::mpsc::channel();
+    let (token_tx, token_rx) = std::sync::mpsc::channel();
     let w = workload.clone();
     std::thread::Builder::new()
         .name(format!("bench-{}", kind.label()))
         .spawn(move || {
-            let _ = tx.send(run_algo(kind, &w));
+            let result = run_algo_observed(kind, &w, |token| {
+                let _ = token_tx.send(token);
+            });
+            let _ = tx.send(result);
         })
         .expect("spawn bench worker");
-    rx.recv_timeout(budget).ok()
+    match rx.recv_timeout(budget) {
+        Ok(result) => Some(result),
+        Err(_) => {
+            if let Ok(token) = token_rx.try_recv() {
+                token.cancel();
+            }
+            None
+        }
+    }
 }
 
 #[cfg(test)]

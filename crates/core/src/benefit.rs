@@ -32,12 +32,7 @@ pub fn estimate_cardinality(sigma: f64, n_r: u32, n_t: u32, d: usize) -> f64 {
 /// `visit_cap` bounds the scan for very large boxes; when the cap is hit
 /// the count is linearly extrapolated (the box cells are statistically
 /// exchangeable for this estimate).
-pub fn prog_count(
-    region: &Region,
-    store: &CellStore,
-    det: &ProgDetermine,
-    visit_cap: u64,
-) -> u64 {
+pub fn prog_count(region: &Region, store: &CellStore, det: &ProgDetermine, visit_cap: u64) -> u64 {
     let volume = region.partition_count(store.grid());
     let mut count = 0u64;
     for (visited, coord) in store

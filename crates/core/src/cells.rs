@@ -406,7 +406,11 @@ impl CellStore {
 
     /// Total surviving tuples across all cells (diagnostics).
     pub fn live_tuples(&self) -> usize {
-        self.cells.iter().filter(|c| !c.emitted).map(|c| c.len()).sum()
+        self.cells
+            .iter()
+            .filter(|c| !c.emitted)
+            .map(|c| c.len())
+            .sum()
     }
 }
 
@@ -502,7 +506,10 @@ mod tests {
         let victim = s.find(&s.grid().cell_of(&[7.5, 5.5])).unwrap();
         assert!(s.cell(victim).is_empty());
         assert_eq!(s.stats().tuples_evicted, 1);
-        assert!(!s.cell(victim).is_dead(), "partial dominance evicts tuples, not cells");
+        assert!(
+            !s.cell(victim).is_dead(),
+            "partial dominance evicts tuples, not cells"
+        );
     }
 
     #[test]
@@ -530,9 +537,13 @@ mod tests {
         let mut inserted: Vec<[f64; 2]> = Vec::new();
         let mut x: u64 = 42;
         for i in 0..300u32 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = ((x >> 33) % 100) as f64 / 10.0;
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = ((x >> 33) % 100) as f64 / 10.0;
             s.insert(i, i, &[a, b]);
             inserted.push([a, b]);
@@ -545,11 +556,7 @@ mod tests {
             }
             let expected: Vec<[f64; 2]> = inserted
                 .iter()
-                .filter(|p| {
-                    !inserted
-                        .iter()
-                        .any(|q| pref.dominates(&q[..], &p[..]))
-                })
+                .filter(|p| !inserted.iter().any(|q| pref.dominates(&q[..], &p[..])))
                 .copied()
                 .collect();
             let mut live_s = live.clone();
@@ -572,7 +579,10 @@ mod tests {
         let mut edge: Coord = [0; MAX_DIMS];
         edge[0] = 1;
         edge[1] = 5;
-        assert!(!s.region_is_dead(&edge), "shares a slab — not fully dominated");
+        assert!(
+            !s.region_is_dead(&edge),
+            "shares a slab — not fully dominated"
+        );
     }
 
     #[test]

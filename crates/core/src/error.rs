@@ -67,7 +67,10 @@ impl fmt::Display for Error {
                 "preference has {preference} dimensions but the query defines {maps} maps"
             ),
             Error::TooManyDimensions { dims, max } => {
-                write!(f, "{dims} output dimensions exceed the supported maximum {max}")
+                write!(
+                    f,
+                    "{dims} output dimensions exceed the supported maximum {max}"
+                )
             }
             Error::InvalidConfig(what) => write!(f, "invalid configuration: {what}"),
             Error::NonFiniteValue { dim } => {

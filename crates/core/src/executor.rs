@@ -3,8 +3,16 @@
 //! ```text
 //! sources ─▶ (push-through?) ─▶ input grids ─▶ output-space look-ahead
 //!        ─▶ progressive-driven ordering ─▶ tuple-level processing
-//!        ─▶ progressive result determination ─▶ sink (early, safe output)
+//!        ─▶ progressive result determination ─▶ stream (early, safe output)
 //! ```
+//!
+//! The pipeline is organized for *pull-based* consumption: [`ProgXe::session`]
+//! front-loads everything up to the look-ahead phase and returns a
+//! [`QuerySession`] whose `next_batch` steps the region loop one region at a
+//! time. The classic push entry point [`ProgXe::run`] is a thin adapter that
+//! drains a session into a [`ResultSink`]; cancellation (and `take(k)` early
+//! termination) is checked at every region boundary, so an abandoned session
+//! skips its remaining regions instead of processing and discarding them.
 //!
 //! The executor is deterministic given its configuration: grid construction,
 //! region ids, EL-graph tie-breaks, and the `Random` ordering's shuffle are
@@ -18,17 +26,19 @@ use crate::elgraph::ElGraph;
 use crate::error::{Error, Result};
 use crate::fxhash::FxHashMap;
 use crate::grid::InputGrid;
-use crate::lookahead::{run_lookahead, track_cells};
+use crate::lookahead::{run_lookahead, track_cells, Region};
 use crate::mapping::MapSet;
 use crate::output_grid::MAX_DIMS;
 use crate::progdetermine::{EmittedCell, ProgDetermine};
 use crate::progorder::ProgOrderQueue;
 use crate::pushthrough::{push_through, Side};
+use crate::session::{CancellationToken, QuerySession, ResultEvent};
 use crate::sink::{CollectSink, ResultSink};
 use crate::source::SourceView;
 use crate::stats::{ExecStats, ResultTuple};
 use crate::tuple_level::process_region;
-use progxe_skyline::PointStore;
+use progxe_skyline::{Order, PointStore};
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// Cell-visit cap for ProgCount scans on oversized region boxes.
@@ -40,7 +50,8 @@ pub struct ProgXe {
     config: ProgXeConfig,
 }
 
-/// Collected output of [`ProgXe::run_collect`].
+/// Collected output of [`ProgXe::run_collect`], [`QuerySession::collect`],
+/// and [`QuerySession::take`].
 #[derive(Debug)]
 pub struct RunOutput {
     /// All results in emission order.
@@ -51,6 +62,7 @@ pub struct RunOutput {
 
 impl ProgXe {
     /// Creates an executor with the given configuration.
+    #[must_use]
     pub fn new(config: ProgXeConfig) -> Self {
         Self { config }
     }
@@ -60,8 +72,39 @@ impl ProgXe {
         &self.config
     }
 
+    /// Opens a pull-based [`QuerySession`] over the query with a fresh
+    /// cancellation token. Validation, push-through, grid construction, and
+    /// the output-space look-ahead happen here; tuple-level work is driven
+    /// incrementally by [`QuerySession::next_batch`].
+    pub fn session<'a>(
+        &self,
+        r: &SourceView<'a>,
+        t: &SourceView<'a>,
+        maps: &'a MapSet,
+    ) -> Result<QuerySession<'a>> {
+        self.session_with_token(r, t, maps, CancellationToken::new())
+    }
+
+    /// Like [`session`](Self::session), but sharing a caller-provided
+    /// cancellation token (e.g. one watched by a timeout thread).
+    pub fn session_with_token<'a>(
+        &self,
+        r: &SourceView<'a>,
+        t: &SourceView<'a>,
+        maps: &'a MapSet,
+        token: CancellationToken,
+    ) -> Result<QuerySession<'a>> {
+        Ok(QuerySession::streaming(
+            "progxe",
+            self.open_pipeline(r, t, maps, token)?,
+        ))
+    }
+
     /// Runs the query, pushing result batches into `sink` as soon as they
     /// are proven final. Returns run statistics.
+    ///
+    /// This is the classic push API, kept as a thin adapter over the
+    /// streaming session.
     pub fn run<S: ResultSink + ?Sized>(
         &self,
         r: &SourceView<'_>,
@@ -69,6 +112,50 @@ impl ProgXe {
         maps: &MapSet,
         sink: &mut S,
     ) -> Result<ExecStats> {
+        self.run_cancellable(r, t, maps, sink, CancellationToken::new())
+    }
+
+    /// [`run`](Self::run) with an external cancellation token threaded
+    /// through the region loop: when the token fires, remaining regions are
+    /// skipped and the returned stats have [`ExecStats::cancelled`] set.
+    pub fn run_cancellable<S: ResultSink + ?Sized>(
+        &self,
+        r: &SourceView<'_>,
+        t: &SourceView<'_>,
+        maps: &MapSet,
+        sink: &mut S,
+        token: CancellationToken,
+    ) -> Result<ExecStats> {
+        let mut session = self.session_with_token(r, t, maps, token)?;
+        session.drain_into(sink);
+        Ok(session.finish())
+    }
+
+    /// Convenience wrapper: run to completion and collect all results.
+    pub fn run_collect(
+        &self,
+        r: &SourceView<'_>,
+        t: &SourceView<'_>,
+        maps: &MapSet,
+    ) -> Result<RunOutput> {
+        let mut sink = CollectSink::default();
+        let stats = self.run(r, t, maps, &mut sink)?;
+        Ok(RunOutput {
+            results: sink.results,
+            stats,
+        })
+    }
+
+    /// Builds the steppable pipeline state: everything before the region
+    /// loop. The cancellation token is checked between phases so a session
+    /// cancelled during setup stops before tuple-level work.
+    fn open_pipeline<'a>(
+        &self,
+        r: &SourceView<'a>,
+        t: &SourceView<'a>,
+        maps: &'a MapSet,
+        token: CancellationToken,
+    ) -> Result<ProgXeSession<'a>> {
         self.config.validate()?;
         if maps.out_dims() > MAX_DIMS {
             return Err(Error::TooManyDimensions {
@@ -78,9 +165,21 @@ impl ProgXe {
         }
         let start = Instant::now();
         let mut stats = ExecStats::default();
+        let empty_session = |stats: ExecStats| ProgXeSession {
+            maps,
+            start,
+            token: token.clone(),
+            stats,
+            state: None,
+            ready: VecDeque::new(),
+            done: true,
+        };
         if r.is_empty() || t.is_empty() {
-            stats.total_time = start.elapsed();
-            return Ok(stats);
+            return Ok(empty_session(stats));
+        }
+        if token.is_cancelled() {
+            stats.cancelled = true;
+            return Ok(empty_session(stats));
         }
 
         // ── Push-through (ProgXe+) ────────────────────────────────────────
@@ -115,11 +214,12 @@ impl ProgXe {
         let (r_attrs, r_keys) = filter_source(r, &kept_r, &mut dense);
         let (t_attrs, t_keys) = filter_source(t, &kept_t, &mut dense);
         let join_domain = key_ids.len();
-        let r_view = SourceView::new(&r_attrs, &r_keys)?;
-        let t_view = SourceView::new(&t_attrs, &t_keys)?;
-        if r_view.is_empty() || t_view.is_empty() {
-            stats.total_time = start.elapsed();
-            return Ok(stats);
+        if r_keys.is_empty() || t_keys.is_empty() {
+            return Ok(empty_session(stats));
+        }
+        if token.is_cancelled() {
+            stats.cancelled = true;
+            return Ok(empty_session(stats));
         }
 
         // Selectivity estimate for the benefit/cost models.
@@ -130,10 +230,16 @@ impl ProgXe {
 
         // ── Grids + output-space look-ahead ──────────────────────────────
         let per_dim = self.config.input_partitions_per_dim;
+        let r_view = SourceView::new(&r_attrs, &r_keys)?;
+        let t_view = SourceView::new(&t_attrs, &t_keys)?;
         let r_grid = InputGrid::build(&r_view, per_dim, self.config.signature, join_domain);
         let t_grid = InputGrid::build(&t_view, per_dim, self.config.signature, join_domain);
         stats.partitions_r = r_grid.len();
         stats.partitions_t = t_grid.len();
+        if token.is_cancelled() {
+            stats.cancelled = true;
+            return Ok(empty_session(stats));
+        }
 
         let la = run_lookahead(
             &r_grid,
@@ -148,28 +254,334 @@ impl ProgXe {
         let mut store = CellStore::new(la.grid.clone());
         stats.cells_premarked_dead = track_cells(&la, &mut store);
         stats.cells_tracked = store.len();
-        let mut det = ProgDetermine::new(&store, &la.regions);
+        let det = ProgDetermine::new(&store, &la.regions);
         stats.lookahead_time = start.elapsed();
 
-        // ── Region processing loop ───────────────────────────────────────
-        let orders = maps.preference().orders().to_vec();
-        let mut emitted: Vec<EmittedCell> = Vec::new();
-        let mut batch: Vec<ResultTuple> = Vec::new();
+        // ── Region schedule ──────────────────────────────────────────────
+        let regions = la.regions;
         let cost_model = CostModel {
             sigma,
             cells_per_dim: self.config.output_cells_per_dim as u16,
             dims: maps.out_dims(),
         };
-
-        let emit_round = |emitted: &mut Vec<EmittedCell>,
-                              batch: &mut Vec<ResultTuple>,
-                              stats: &mut ExecStats,
-                              sink: &mut S| {
-            if emitted.is_empty() {
-                return;
+        let schedule = match self.config.ordering {
+            OrderingPolicy::ProgOrder => {
+                let n_regions = regions.len();
+                let mut ordered = OrderedSchedule {
+                    graph: ElGraph::build(&regions, maps.out_dims()),
+                    queue: ProgOrderQueue::new(n_regions),
+                    rank_cache: vec![0.0; n_regions],
+                    dirty: vec![false; n_regions],
+                    requeue_budget: vec![3; n_regions],
+                };
+                let ctx = RankCtx {
+                    regions: &regions,
+                    store: &store,
+                    det: &det,
+                    sigma,
+                    cost_model: &cost_model,
+                };
+                for root in ordered.graph.roots() {
+                    let rank = ordered.rank_of(root, &ctx);
+                    ordered.queue.push(root, rank);
+                }
+                RegionSchedule::Ordered(ordered)
             }
-            batch.clear();
-            for cell in emitted.drain(..) {
+            OrderingPolicy::Random { seed } => {
+                let mut order: Vec<u32> = (0..regions.len() as u32).collect();
+                shuffle(&mut order, seed);
+                RegionSchedule::Static { order, pos: 0 }
+            }
+            OrderingPolicy::Fifo => RegionSchedule::Static {
+                order: (0..regions.len() as u32).collect(),
+                pos: 0,
+            },
+        };
+
+        let total_regions = regions.len();
+        Ok(ProgXeSession {
+            maps,
+            start,
+            token,
+            stats,
+            state: Some(ActiveState {
+                kept_r,
+                kept_t,
+                r_attrs,
+                r_keys,
+                t_attrs,
+                t_keys,
+                r_grid,
+                t_grid,
+                regions,
+                store,
+                det,
+                orders: maps.preference().orders().to_vec(),
+                schedule,
+                sigma,
+                cost_model,
+                resolved: 0,
+                total_regions,
+                emitted_buf: Vec::new(),
+            }),
+            ready: VecDeque::new(),
+            done: false,
+        })
+    }
+}
+
+/// Immutable context needed to (re)rank a region.
+struct RankCtx<'c> {
+    regions: &'c [Region],
+    store: &'c CellStore,
+    det: &'c ProgDetermine,
+    sigma: f64,
+    cost_model: &'c CostModel,
+}
+
+/// ProgOrder state: EL-graph, priority queue, and the lazy-rank machinery.
+struct OrderedSchedule {
+    graph: ElGraph,
+    queue: ProgOrderQueue,
+    rank_cache: Vec<f64>,
+    dirty: Vec<bool>,
+    requeue_budget: Vec<u8>,
+}
+
+impl OrderedSchedule {
+    fn rank_of(&mut self, rid: u32, ctx: &RankCtx<'_>) -> f64 {
+        let region = &ctx.regions[rid as usize];
+        let b = benefit::benefit(region, ctx.store, ctx.det, ctx.sigma, PROG_COUNT_VISIT_CAP);
+        let c = ctx
+            .cost_model
+            .region_cost(region, ctx.store.grid())
+            .max(1.0);
+        let rank = b / c;
+        self.rank_cache[rid as usize] = rank;
+        rank
+    }
+}
+
+/// Region-ordering policy state, stepped one region at a time.
+enum RegionSchedule {
+    /// The paper's ProgOrder (Algorithm 1): rank = Benefit / Cost over
+    /// EL-Graph roots, with lazy rank refresh.
+    Ordered(OrderedSchedule),
+    /// A precomputed order (Random or Fifo policies).
+    Static { order: Vec<u32>, pos: usize },
+}
+
+impl RegionSchedule {
+    /// Picks the next region to resolve, or `None` when all are resolved.
+    fn next_region(&mut self, ctx: &RankCtx<'_>, stats: &mut ExecStats) -> Option<u32> {
+        match self {
+            RegionSchedule::Static { order, pos } => {
+                let rid = order.get(*pos).copied();
+                *pos += 1;
+                rid
+            }
+            RegionSchedule::Ordered(sched) => {
+                if sched.graph.unresolved() == 0 {
+                    return None;
+                }
+                loop {
+                    match sched.queue.pop_entry() {
+                        Some((rid, _)) if sched.graph.is_resolved(rid) => continue,
+                        Some((rid, entry_rank)) => {
+                            // Benefit recomputation is the expensive part of
+                            // ordering (a box scan per region). To keep the
+                            // paper's "ordering overhead is negligible"
+                            // property, ranks are refreshed *lazily*:
+                            // affected regions are only marked dirty
+                            // (Algorithm 1 line 13 in spirit), and the
+                            // recompute happens when the region reaches the
+                            // top of the queue — with a small re-queue
+                            // budget per region so dense elimination graphs
+                            // cannot trigger quadratic rescans.
+                            if sched.dirty[rid as usize] && sched.requeue_budget[rid as usize] > 0 {
+                                sched.dirty[rid as usize] = false;
+                                sched.requeue_budget[rid as usize] -= 1;
+                                let fresh = sched.rank_of(rid, ctx);
+                                if fresh < entry_rank * 0.999 {
+                                    // Demoted: let a better region go first.
+                                    sched.queue.push(rid, fresh);
+                                    continue;
+                                }
+                            }
+                            return Some(rid);
+                        }
+                        None => {
+                            // Cyclic component with no root (DESIGN.md §5.2):
+                            // pick the best pending region by cached rank —
+                            // O(regions), no box scans.
+                            stats.ordering_fallbacks += 1;
+                            return Some(
+                                sched
+                                    .graph
+                                    .pending()
+                                    .into_iter()
+                                    .max_by(|&a, &b| {
+                                        sched.rank_cache[a as usize]
+                                            .total_cmp(&sched.rank_cache[b as usize])
+                                            .then_with(|| b.cmp(&a))
+                                    })
+                                    .expect("unresolved > 0 implies pending regions"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a resolution: new EL-graph roots enter the queue, regions
+    /// whose benefit may have changed are marked dirty.
+    fn on_resolved(&mut self, rid: u32, ctx: &RankCtx<'_>) {
+        if let RegionSchedule::Ordered(sched) = self {
+            let (new_roots, affected) = sched.graph.resolve(rid);
+            for root in new_roots {
+                let rank = sched.rank_of(root, ctx);
+                sched.queue.push(root, rank);
+            }
+            for region in affected {
+                if sched.queue.contains(region) {
+                    sched.dirty[region as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Everything the region loop touches, owned so the session can be stepped.
+struct ActiveState {
+    /// Filtered→original row-id maps (push-through survivors).
+    kept_r: Vec<u32>,
+    kept_t: Vec<u32>,
+    /// Filtered sources with dense join keys.
+    r_attrs: PointStore,
+    r_keys: Vec<u32>,
+    t_attrs: PointStore,
+    t_keys: Vec<u32>,
+    r_grid: InputGrid,
+    t_grid: InputGrid,
+    regions: Vec<Region>,
+    store: CellStore,
+    det: ProgDetermine,
+    orders: Vec<Order>,
+    schedule: RegionSchedule,
+    sigma: f64,
+    cost_model: CostModel,
+    resolved: usize,
+    total_regions: usize,
+    emitted_buf: Vec<EmittedCell>,
+}
+
+/// The steppable ProgXe pipeline behind a [`QuerySession`].
+///
+/// Holds the prepared abstraction-level state (grids, regions, cell store,
+/// ProgDetermine bookkeeping) and advances the region loop one region per
+/// [`step`](Self::step) call, queueing a [`ResultEvent`] whenever a
+/// resolution releases proven-final cells.
+pub(crate) struct ProgXeSession<'a> {
+    maps: &'a MapSet,
+    start: Instant,
+    token: CancellationToken,
+    stats: ExecStats,
+    /// `None` when the run finished trivially (empty input / cancelled
+    /// during setup).
+    state: Option<ActiveState>,
+    ready: VecDeque<ResultEvent>,
+    done: bool,
+}
+
+impl ProgXeSession<'_> {
+    pub(crate) fn token(&self) -> CancellationToken {
+        self.token.clone()
+    }
+
+    /// Pulls the next event, stepping the region loop as needed.
+    pub(crate) fn next_event(&mut self) -> Option<ResultEvent> {
+        loop {
+            if self.token.is_cancelled() {
+                return None;
+            }
+            if let Some(event) = self.ready.pop_front() {
+                return Some(event);
+            }
+            if self.done || !self.step() {
+                self.done = true;
+                return None;
+            }
+        }
+    }
+
+    /// Resolves one region: tuple-level processing (unless the region box
+    /// is dead), blocker bookkeeping, and conversion of any released cells
+    /// into a queued [`ResultEvent`]. Returns false when no regions remain.
+    fn step(&mut self) -> bool {
+        let Some(state) = self.state.as_mut() else {
+            return false;
+        };
+        let ActiveState {
+            kept_r,
+            kept_t,
+            r_attrs,
+            r_keys,
+            t_attrs,
+            t_keys,
+            r_grid,
+            t_grid,
+            regions,
+            store,
+            det,
+            orders,
+            schedule,
+            sigma,
+            cost_model,
+            resolved,
+            total_regions,
+            emitted_buf,
+        } = state;
+        let stats = &mut self.stats;
+
+        let ctx = RankCtx {
+            regions,
+            store,
+            det,
+            sigma: *sigma,
+            cost_model,
+        };
+        let Some(rid) = schedule.next_region(&ctx, stats) else {
+            return false;
+        };
+
+        let region = &regions[rid as usize];
+        if store.region_is_dead(&region.cell_lo) {
+            stats.regions_discarded_dead += 1;
+        } else {
+            let rp = &r_grid.partitions()[region.r_part as usize];
+            let tp = &t_grid.partitions()[region.t_part as usize];
+            let r_view = SourceView::new(r_attrs, r_keys).expect("filtered arrays are parallel");
+            let t_view = SourceView::new(t_attrs, t_keys).expect("filtered arrays are parallel");
+            let tl = process_region(rp, tp, &r_view, &t_view, self.maps, store);
+            stats.join_pairs_evaluated += tl.pairs_examined;
+            stats.join_matches += tl.matches;
+            stats.regions_processed += 1;
+        }
+        det.resolve_region(region, store, emitted_buf);
+        *resolved += 1;
+        let ctx = RankCtx {
+            regions,
+            store,
+            det,
+            sigma: *sigma,
+            cost_model,
+        };
+        schedule.on_resolved(rid, &ctx);
+
+        if !emitted_buf.is_empty() {
+            let mut tuples = Vec::new();
+            for cell in emitted_buf.drain(..) {
                 stats.cells_emitted += 1;
                 for (i, &(ri, ti)) in cell.ids.iter().enumerate() {
                     let oriented = cell.points.point(i);
@@ -178,185 +590,52 @@ impl ProgXe {
                         .zip(oriented)
                         .map(|(o, &v)| o.orient(v))
                         .collect();
-                    batch.push(ResultTuple {
+                    tuples.push(ResultTuple {
                         r_idx: kept_r[ri as usize],
                         t_idx: kept_t[ti as usize],
                         values,
                     });
                 }
             }
-            stats.results_emitted += batch.len() as u64;
-            sink.emit_batch(batch);
-        };
-
-        let handle_region = |rid: u32,
-                                 store: &mut CellStore,
-                                 det: &mut ProgDetermine,
-                                 stats: &mut ExecStats,
-                                 sink: &mut S,
-                                 emitted: &mut Vec<EmittedCell>,
-                                 batch: &mut Vec<ResultTuple>| {
-            let region = &la.regions[rid as usize];
-            if store.region_is_dead(&region.cell_lo) {
-                stats.regions_discarded_dead += 1;
-            } else {
-                let rp = &r_grid.partitions()[region.r_part as usize];
-                let tp = &t_grid.partitions()[region.t_part as usize];
-                let tl = process_region(rp, tp, &r_view, &t_view, maps, store);
-                stats.join_pairs_evaluated += tl.pairs_examined;
-                stats.join_matches += tl.matches;
-                stats.regions_processed += 1;
-            }
-            det.resolve_region(region, store, emitted);
-            emit_round(emitted, batch, stats, sink);
-        };
-
-        match self.config.ordering {
-            OrderingPolicy::ProgOrder => {
-                let n_regions = la.regions.len();
-                let mut graph = ElGraph::build(&la.regions, maps.out_dims());
-                let mut queue = ProgOrderQueue::new(n_regions);
-                // Benefit recomputation is the expensive part of ordering
-                // (a box scan per region). To keep the paper's "ordering
-                // overhead is negligible" property, ranks are refreshed
-                // *lazily*: affected regions are only marked dirty
-                // (Algorithm 1 line 13 in spirit), and the recompute happens
-                // when the region reaches the top of the queue — with a
-                // small re-queue budget per region so dense elimination
-                // graphs cannot trigger quadratic rescans.
-                let mut rank_cache: Vec<f64> = vec![0.0; n_regions];
-                let mut dirty: Vec<bool> = vec![false; n_regions];
-                let mut requeue_budget: Vec<u8> = vec![3; n_regions];
-                let rank_of = |rid: u32,
-                               store: &CellStore,
-                               det: &ProgDetermine,
-                               cache: &mut Vec<f64>|
-                 -> f64 {
-                    let region = &la.regions[rid as usize];
-                    let b = benefit::benefit(region, store, det, sigma, PROG_COUNT_VISIT_CAP);
-                    let c = cost_model.region_cost(region, store.grid()).max(1.0);
-                    let rank = b / c;
-                    cache[rid as usize] = rank;
-                    rank
-                };
-                for root in graph.roots() {
-                    let rank = rank_of(root, &store, &det, &mut rank_cache);
-                    queue.push(root, rank);
-                }
-                while graph.unresolved() > 0 {
-                    let rid = match queue.pop_entry() {
-                        Some((rid, _)) if graph.is_resolved(rid) => {
-                            let _ = rid;
-                            continue;
-                        }
-                        Some((rid, entry_rank)) => {
-                            if dirty[rid as usize] && requeue_budget[rid as usize] > 0 {
-                                dirty[rid as usize] = false;
-                                requeue_budget[rid as usize] -= 1;
-                                let fresh = rank_of(rid, &store, &det, &mut rank_cache);
-                                if fresh < entry_rank * 0.999 {
-                                    // Demoted: let a better region go first.
-                                    queue.push(rid, fresh);
-                                    continue;
-                                }
-                            }
-                            rid
-                        }
-                        None => {
-                            // Cyclic component with no root (DESIGN.md §5.2):
-                            // pick the best pending region by cached rank —
-                            // O(regions), no box scans.
-                            stats.ordering_fallbacks += 1;
-                            graph
-                                .pending()
-                                .into_iter()
-                                .max_by(|&a, &b| {
-                                    rank_cache[a as usize]
-                                        .total_cmp(&rank_cache[b as usize])
-                                        .then_with(|| b.cmp(&a))
-                                })
-                                .expect("unresolved > 0 implies pending regions")
-                        }
-                    };
-                    handle_region(
-                        rid,
-                        &mut store,
-                        &mut det,
-                        &mut stats,
-                        sink,
-                        &mut emitted,
-                        &mut batch,
-                    );
-                    let (new_roots, affected) = graph.resolve(rid);
-                    for nr in new_roots {
-                        let rank = rank_of(nr, &store, &det, &mut rank_cache);
-                        queue.push(nr, rank);
-                    }
-                    for a in affected {
-                        if queue.contains(a) {
-                            dirty[a as usize] = true;
-                        }
-                    }
-                }
-            }
-            OrderingPolicy::Random { seed } => {
-                let mut order: Vec<u32> = (0..la.regions.len() as u32).collect();
-                shuffle(&mut order, seed);
-                for rid in order {
-                    handle_region(
-                        rid,
-                        &mut store,
-                        &mut det,
-                        &mut stats,
-                        sink,
-                        &mut emitted,
-                        &mut batch,
-                    );
-                }
-            }
-            OrderingPolicy::Fifo => {
-                for rid in 0..la.regions.len() as u32 {
-                    handle_region(
-                        rid,
-                        &mut store,
-                        &mut det,
-                        &mut stats,
-                        sink,
-                        &mut emitted,
-                        &mut batch,
-                    );
-                }
-            }
+            stats.results_emitted += tuples.len() as u64;
+            self.ready.push_back(ResultEvent {
+                tuples,
+                proven_final: true,
+                progress_estimate: *resolved as f64 / (*total_regions).max(1) as f64,
+                elapsed: self.start.elapsed(),
+            });
         }
-
-        // All regions resolved ⇒ every live cell must have been released.
-        debug_assert_eq!(det.live_cells(), 0, "cells left blocked after all regions resolved");
-
-        let cell_stats = store.stats();
-        stats.dominance_tests = cell_stats.dominance_tests;
-        stats.tuples_inserted = cell_stats.tuples_inserted;
-        stats.tuples_rejected_dominated = cell_stats.tuples_rejected_dominated;
-        stats.tuples_rejected_dead_cell = cell_stats.tuples_rejected_dead_cell;
-        stats.tuples_evicted = cell_stats.tuples_evicted;
-        stats.comparable_cells_visited = cell_stats.comparable_cells_visited;
-        stats.comparable_cells_max = cell_stats.comparable_cells_max;
-        stats.total_time = start.elapsed();
-        Ok(stats)
+        true
     }
 
-    /// Convenience wrapper: run and collect all results.
-    pub fn run_collect(
-        &self,
-        r: &SourceView<'_>,
-        t: &SourceView<'_>,
-        maps: &MapSet,
-    ) -> Result<RunOutput> {
-        let mut sink = CollectSink::default();
-        let stats = self.run(r, t, maps, &mut sink)?;
-        Ok(RunOutput {
-            results: sink.results,
-            stats,
-        })
+    /// Closes the session: merges cell-store counters into the stats and
+    /// flags an early stop (unresolved regions or undelivered events).
+    pub(crate) fn finalize(mut self) -> ExecStats {
+        if let Some(state) = self.state.take() {
+            let unresolved = state.total_regions - state.resolved;
+            if unresolved > 0 || !self.ready.is_empty() {
+                self.stats.cancelled = true;
+                self.stats.regions_skipped = unresolved;
+            } else {
+                // All regions resolved ⇒ every live cell must have been
+                // released.
+                debug_assert_eq!(
+                    state.det.live_cells(),
+                    0,
+                    "cells left blocked after all regions resolved"
+                );
+            }
+            let cell_stats = state.store.stats();
+            self.stats.dominance_tests = cell_stats.dominance_tests;
+            self.stats.tuples_inserted = cell_stats.tuples_inserted;
+            self.stats.tuples_rejected_dominated = cell_stats.tuples_rejected_dominated;
+            self.stats.tuples_rejected_dead_cell = cell_stats.tuples_rejected_dead_cell;
+            self.stats.tuples_evicted = cell_stats.tuples_evicted;
+            self.stats.comparable_cells_visited = cell_stats.comparable_cells_visited;
+            self.stats.comparable_cells_max = cell_stats.comparable_cells_max;
+        }
+        self.stats.total_time = self.start.elapsed();
+        self.stats
     }
 }
 
@@ -396,6 +675,7 @@ fn shuffle(v: &mut [u32], seed: u64) {
 mod tests {
     use super::*;
     use crate::config::SignatureConfig;
+    use crate::session::ProgressiveEngine;
     use crate::source::SourceData;
     use progxe_skyline::{naive_skyline, Preference};
 
@@ -441,7 +721,12 @@ mod tests {
         s
     }
 
-    fn run_and_sort(exec: &ProgXe, r: &SourceData, t: &SourceData, maps: &MapSet) -> Vec<(u32, u32)> {
+    fn run_and_sort(
+        exec: &ProgXe,
+        r: &SourceData,
+        t: &SourceData,
+        maps: &MapSet,
+    ) -> Vec<(u32, u32)> {
         let out = exec
             .run_collect(&r.view(), &t.view(), maps)
             .expect("run succeeds");
@@ -509,10 +794,7 @@ mod tests {
             run_and_sort(&plain, &r, &t, &maps),
             run_and_sort(&plus, &r, &t, &maps)
         );
-        let stats = plus
-            .run_collect(&r.view(), &t.view(), &maps)
-            .unwrap()
-            .stats;
+        let stats = plus.run_collect(&r.view(), &t.view(), &maps).unwrap().stats;
         assert!(
             stats.push_through_pruned_r > 0,
             "group pruning should remove something on 150×2d×4keys"
@@ -611,6 +893,8 @@ mod tests {
         assert!(s.regions_processed + s.regions_discarded_dead <= s.regions_created);
         assert!(s.tuples_inserted >= s.results_emitted + s.tuples_evicted);
         assert!(s.total_time >= s.lookahead_time);
+        assert!(!s.cancelled);
+        assert_eq!(s.regions_skipped, 0);
     }
 
     #[test]
@@ -646,5 +930,113 @@ mod tests {
         let out = exec.run_collect(&r.view(), &t.view(), &maps).unwrap();
         assert_eq!(out.results.len(), 1);
         assert_eq!((out.results[0].r_idx, out.results[0].t_idx), (0, 0));
+    }
+
+    // ── Streaming session behaviour ──────────────────────────────────────
+
+    #[test]
+    fn stream_and_sink_paths_agree_exactly() {
+        let r = random_source(200, 2, 6, 21);
+        let t = random_source(200, 2, 6, 22);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+
+        let mut sink = CollectSink::default();
+        let sink_stats = exec.run(&r.view(), &t.view(), &maps, &mut sink).unwrap();
+
+        let mut session = exec.session(&r.view(), &t.view(), &maps).unwrap();
+        let mut streamed = Vec::new();
+        let mut last_progress = 0.0;
+        while let Some(event) = session.next_batch() {
+            assert!(event.proven_final, "every ProgXe batch is final");
+            assert!(
+                event.progress_estimate >= last_progress,
+                "progress is monotone"
+            );
+            last_progress = event.progress_estimate;
+            streamed.extend(event.tuples);
+        }
+        let stream_stats = session.finish();
+
+        // Identical results in identical emission order, identical work.
+        assert_eq!(streamed, sink.results);
+        assert_eq!(sink_stats.results_emitted, stream_stats.results_emitted);
+        assert_eq!(sink_stats.regions_processed, stream_stats.regions_processed);
+        assert_eq!(sink_stats.dominance_tests, stream_stats.dominance_tests);
+        assert!(!stream_stats.cancelled);
+    }
+
+    #[test]
+    fn take_k_stops_the_region_loop_early() {
+        let r = random_source(400, 2, 4, 31);
+        let t = random_source(400, 2, 4, 32);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+
+        let full = exec.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        assert!(full.results.len() >= 3, "workload too small for the test");
+
+        let k = 2;
+        let partial = exec.session(&r.view(), &t.view(), &maps).unwrap().take(k);
+        assert_eq!(partial.results.len(), k);
+        assert_eq!(&full.results[..k], &partial.results[..]);
+        assert!(partial.stats.cancelled);
+        assert!(
+            partial.stats.regions_processed < full.stats.regions_processed,
+            "take({k}) must process fewer regions ({} vs {})",
+            partial.stats.regions_processed,
+            full.stats.regions_processed
+        );
+        assert!(partial.stats.regions_skipped > 0);
+    }
+
+    #[test]
+    fn cancellation_token_stops_run() {
+        let r = random_source(150, 2, 5, 41);
+        let t = random_source(150, 2, 5, 42);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        let token = CancellationToken::new();
+        token.cancel();
+        let mut sink = CollectSink::default();
+        let stats = exec
+            .run_cancellable(&r.view(), &t.view(), &maps, &mut sink, token)
+            .unwrap();
+        assert!(stats.cancelled);
+        assert_eq!(stats.regions_processed, 0, "cancelled before region work");
+        assert!(sink.results.is_empty());
+    }
+
+    #[test]
+    fn session_cancel_mid_stream_skips_remaining_regions() {
+        let r = random_source(300, 2, 4, 51);
+        let t = random_source(300, 2, 4, 52);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        let full = exec.run_collect(&r.view(), &t.view(), &maps).unwrap();
+
+        let mut session = exec.session(&r.view(), &t.view(), &maps).unwrap();
+        let first = session.next_batch().expect("at least one batch");
+        assert!(!first.tuples.is_empty());
+        session.cancel();
+        assert!(session.next_batch().is_none());
+        let stats = session.finish();
+        assert!(stats.cancelled);
+        assert!(stats.regions_skipped > 0);
+        assert!(stats.results_emitted <= full.stats.results_emitted);
+    }
+
+    #[test]
+    fn engine_trait_runs_progxe() {
+        let r = random_source(80, 2, 5, 61);
+        let t = random_source(80, 2, 5, 62);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let engine: &dyn ProgressiveEngine = &ProgXe::new(ProgXeConfig::default());
+        assert_eq!(engine.name(), "progxe");
+        let out = engine.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        let direct = ProgXe::new(ProgXeConfig::default())
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap();
+        assert_eq!(out.results, direct.results);
     }
 }

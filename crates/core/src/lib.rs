@@ -25,8 +25,10 @@
 //!    Principle 1).
 //!
 //! The [`executor`] module ties the phases into the public entry point
-//! [`ProgXe`], which reports results through a [`sink::ResultSink`] as soon
-//! as they are proven final.
+//! [`ProgXe`]. Results are consumed either by pulling a streaming
+//! [`session::QuerySession`] (incremental batches, cancellation, `take(k)`
+//! early termination) or by pushing into a [`sink::ResultSink`] — the sink
+//! path is a thin adapter over the stream.
 //!
 //! ## Quick example
 //!
@@ -62,6 +64,7 @@ pub mod output_grid;
 pub mod progdetermine;
 pub mod progorder;
 pub mod pushthrough;
+pub mod session;
 pub mod signature;
 pub mod sink;
 pub mod source;
@@ -72,6 +75,7 @@ pub use config::{OrderingPolicy, ProgXeConfig, SignatureConfig};
 pub use error::{Error, Result};
 pub use executor::{ProgXe, RunOutput};
 pub use mapping::{GeneralMap, MapSet, MappingFunction, WeightedSum};
+pub use session::{CancellationToken, ProgressiveEngine, QuerySession, ResultEvent};
 pub use sink::{CollectSink, ProgressSink, ResultSink};
 pub use source::{SourceData, SourceView};
 pub use stats::{ExecStats, ProgressRecord, ResultTuple};
@@ -81,6 +85,7 @@ pub mod prelude {
     pub use crate::config::{OrderingPolicy, ProgXeConfig, SignatureConfig};
     pub use crate::executor::{ProgXe, RunOutput};
     pub use crate::mapping::{GeneralMap, MapSet, MappingFunction, WeightedSum};
+    pub use crate::session::{CancellationToken, ProgressiveEngine, QuerySession, ResultEvent};
     pub use crate::sink::{CollectSink, ProgressSink, ResultSink};
     pub use crate::source::{SourceData, SourceView};
     pub use crate::stats::{ExecStats, ProgressRecord, ResultTuple};

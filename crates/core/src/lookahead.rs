@@ -280,7 +280,12 @@ mod tests {
             .map(|i| (vec![(i * 5) as f64, (100 - i * 5) as f64], (i % 4) as u32))
             .collect();
         let rows_t: Vec<(Vec<f64>, u32)> = (0..20)
-            .map(|i| (vec![(i * 4) as f64 + 1.0, (i * 3) as f64 + 2.0], (i % 4) as u32))
+            .map(|i| {
+                (
+                    vec![(i * 4) as f64 + 1.0, (i * 3) as f64 + 2.0],
+                    (i % 4) as u32,
+                )
+            })
             .collect();
         let r_refs: Vec<(&[f64], u32)> = rows_r.iter().map(|(v, k)| (v.as_slice(), *k)).collect();
         let t_refs: Vec<(&[f64], u32)> = rows_t.iter().map(|(v, k)| (v.as_slice(), *k)).collect();
@@ -348,7 +353,10 @@ mod tests {
         let mut store = CellStore::new(la.grid.clone());
         let marked = track_cells(&la, &mut store);
         assert!(!store.is_empty());
-        assert!(marked >= 2, "expected dominated cells pre-marked, got {marked}");
+        assert!(
+            marked >= 2,
+            "expected dominated cells pre-marked, got {marked}"
+        );
     }
 
     #[test]

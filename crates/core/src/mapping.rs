@@ -18,13 +18,7 @@ pub trait MappingFunction: Send + Sync {
 
     /// Sound enclosure of `eval` over the boxes `[r_lo, r_hi] × [t_lo, t_hi]`:
     /// every tuple pair inside the boxes must map into the returned interval.
-    fn eval_bounds(
-        &self,
-        r_lo: &[f64],
-        r_hi: &[f64],
-        t_lo: &[f64],
-        t_hi: &[f64],
-    ) -> (f64, f64);
+    fn eval_bounds(&self, r_lo: &[f64], r_hi: &[f64], t_lo: &[f64], t_hi: &[f64]) -> (f64, f64);
 
     /// Optional separable decomposition for push-through pruning: a score
     /// `g_R(r)` such that `eval(r, t)` is *non-decreasing* in `g_R(r)` for
@@ -310,7 +304,10 @@ impl MapSet {
 impl std::fmt::Debug for MapSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MapSet")
-            .field("maps", &self.maps.iter().map(|m| m.describe()).collect::<Vec<_>>())
+            .field(
+                "maps",
+                &self.maps.iter().map(|m| m.describe()).collect::<Vec<_>>(),
+            )
             .field("pref", &self.pref)
             .finish()
     }
@@ -373,7 +370,10 @@ mod tests {
         assert_eq!(f.eval(&[3.0], &[5.0]), 5.0);
         let (lo, hi) = f.eval_bounds(&[1.0], &[2.0], &[3.0], &[4.0]);
         assert_eq!((lo, hi), (3.0, 4.0));
-        assert!(f.r_component(&[1.0]).is_none(), "max is not separable by default");
+        assert!(
+            f.r_component(&[1.0]).is_none(),
+            "max is not separable by default"
+        );
     }
 
     #[test]
@@ -386,8 +386,7 @@ mod tests {
 
     #[test]
     fn mapset_rejects_arity_mismatch() {
-        let maps: Vec<Box<dyn MappingFunction>> =
-            vec![Box::new(WeightedSum::dimension_sum(2, 0))];
+        let maps: Vec<Box<dyn MappingFunction>> = vec![Box::new(WeightedSum::dimension_sum(2, 0))];
         assert!(MapSet::new(maps, Preference::all_lowest(2)).is_err());
     }
 
@@ -407,11 +406,7 @@ mod tests {
             Box::new(WeightedSum::dimension_sum(1, 0)),
             Box::new(GeneralMap::max_of(0, 0)),
         ];
-        let ms = MapSet::new(
-            maps,
-            Preference::new(vec![Order::Lowest, Order::Lowest]),
-        )
-        .unwrap();
+        let ms = MapSet::new(maps, Preference::new(vec![Order::Lowest, Order::Lowest])).unwrap();
         let mut buf = Vec::new();
         assert!(!ms.r_components(&[1.0], &mut buf));
     }

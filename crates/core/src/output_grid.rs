@@ -232,7 +232,10 @@ mod tests {
         let d = 2;
         assert!(full_dominates(&coord(&[0, 0]), &coord(&[1, 1]), d));
         assert!(full_dominates(&coord(&[0, 0]), &coord(&[5, 1]), d));
-        assert!(!full_dominates(&coord(&[0, 0]), &coord(&[0, 5]), d), "tie in dim 0");
+        assert!(
+            !full_dominates(&coord(&[0, 0]), &coord(&[0, 5]), d),
+            "tie in dim 0"
+        );
         assert!(!full_dominates(&coord(&[2, 0]), &coord(&[1, 5]), d));
     }
 

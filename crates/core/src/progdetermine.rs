@@ -331,7 +331,9 @@ mod tests {
         let mut regions = Vec::new();
         let mut x: u64 = 12345;
         let mut next = |m: u16| -> u16 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((x >> 33) % m as u64) as u16
         };
         for id in 0..17u32 {
@@ -344,11 +346,14 @@ mod tests {
         for (idx, cell) in store.iter() {
             let expected = regions
                 .iter()
-                .filter(|r| {
-                    crate::output_grid::weak_leq(&r.cell_lo, cell.coord(), 2)
-                })
+                .filter(|r| crate::output_grid::weak_leq(&r.cell_lo, cell.coord(), 2))
                 .count() as u32;
-            assert_eq!(det.blockers_of(idx), expected, "cell {:?}", &cell.coord()[..2]);
+            assert_eq!(
+                det.blockers_of(idx),
+                expected,
+                "cell {:?}",
+                &cell.coord()[..2]
+            );
         }
     }
 

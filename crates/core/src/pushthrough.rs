@@ -93,11 +93,7 @@ pub fn push_through(source: &SourceView<'_>, maps: &MapSet, side: Side) -> Optio
             }
         }
     }
-    Some(
-        (0..n as u32)
-            .filter(|&row| keep[row as usize])
-            .collect(),
-    )
+    Some((0..n as u32).filter(|&row| keep[row as usize]).collect())
 }
 
 #[cfg(test)]

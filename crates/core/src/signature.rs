@@ -111,7 +111,11 @@ impl BitSet {
     /// Panics when `i >= capacity`.
     #[inline]
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
@@ -126,10 +130,7 @@ impl BitSet {
 
     /// True when any bit is set in both sets.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Number of set bits.

@@ -87,16 +87,27 @@ pub struct ExecStats {
     /// Largest comparable-cell set examined by one insertion.
     pub comparable_cells_max: u64,
 
-    /// Results emitted (must equal the final skyline size).
+    /// Results emitted (equals the final skyline size on a full run; may be
+    /// smaller when the run was cancelled).
     pub results_emitted: u64,
+
+    /// Tuples emitted in tentative (`proven_final = false`) batches that
+    /// the final result later disowned — SSMJ's batch-1 false positives.
+    /// Always 0 for engines whose every batch is proven final.
+    pub results_retracted: u64,
+
+    /// True when execution stopped early — the session was cancelled or a
+    /// `take(k)` consumer detached before every region was resolved.
+    pub cancelled: bool,
+    /// Regions left unresolved by an early stop (0 on a full run).
+    pub regions_skipped: usize,
 }
 
 impl ExecStats {
     /// Fraction of partition pairs eliminated before tuple-level work.
     pub fn signature_rejection_rate(&self) -> f64 {
-        let total = self.pairs_rejected_by_signature
-            + self.regions_created
-            + self.regions_pruned_lookahead;
+        let total =
+            self.pairs_rejected_by_signature + self.regions_created + self.regions_pruned_lookahead;
         if total == 0 {
             0.0
         } else {

@@ -60,7 +60,11 @@ pub fn process_region(
         };
         for &build in matches {
             stats.matches += 1;
-            let (r_row, t_row) = if build_is_r { (build, probe) } else { (probe, build) };
+            let (r_row, t_row) = if build_is_r {
+                (build, probe)
+            } else {
+                (probe, build)
+            };
             maps.eval_into(
                 r_src.attrs_of(r_row as usize),
                 t_src.attrs_of(t_row as usize),
@@ -143,17 +147,18 @@ mod tests {
         // Asymmetric sizes exercise both build directions; ids must stay
         // (r, t) ordered either way.
         let r = SourceData::from_rows(1, &[(&[1.0], 5)]);
-        let t = SourceData::from_rows(
-            1,
-            &[(&[1.0], 5), (&[2.0], 5), (&[3.0], 5), (&[4.0], 5)],
-        );
+        let t = SourceData::from_rows(1, &[(&[1.0], 5), (&[2.0], 5), (&[3.0], 5), (&[4.0], 5)]);
         let maps = MapSet::pairwise_sum(1, Preference::all_lowest(1));
         let mut store = tracked_store(OutputGrid::new(vec![0.0], vec![10.0], 8));
         let rp = one_partition(&r);
         let tp = one_partition(&t);
         process_region(&rp, &tp, &r.view(), &t.view(), &maps, &mut store);
         let (_, cell) = store.iter().find(|(_, c)| !c.is_empty()).unwrap();
-        assert_eq!(cell.ids(), &[(0, 0)], "r_idx=0, t_idx=0 regardless of build side");
+        assert_eq!(
+            cell.ids(),
+            &[(0, 0)],
+            "r_idx=0, t_idx=0 regardless of build side"
+        );
 
         // Mirrored: big R, small T.
         let mut store2 = tracked_store(OutputGrid::new(vec![0.0], vec![10.0], 8));

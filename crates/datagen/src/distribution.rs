@@ -1,6 +1,6 @@
 //! The three canonical attribute distributions of the skyline literature.
 
-use rand::Rng;
+use crate::rng::Rng;
 use std::f64::consts::TAU;
 use std::str::FromStr;
 
@@ -41,14 +41,14 @@ impl Distribution {
         match self {
             Distribution::Independent => {
                 for _ in 0..dims {
-                    out.push(rng.gen::<f64>());
+                    out.push(rng.gen_f64());
                 }
             }
             Distribution::Correlated => {
                 // Shared level + small per-dimension jitter. The jitter width
                 // (σ = 0.05) mirrors the tight diagonal band of the de-facto
                 // generator.
-                let level = rng.gen::<f64>();
+                let level = rng.gen_f64();
                 for _ in 0..dims {
                     let v = level + 0.05 * normal(rng);
                     out.push(v.clamp(0.0, 1.0));
@@ -76,7 +76,7 @@ impl Distribution {
                         }
                         // Max transfer keeping both coordinates in [0,1].
                         let head = (1.0 - out[j]).min(out[i]);
-                        let delta = rng.gen::<f64>() * head;
+                        let delta = rng.gen_f64() * head;
                         out[i] -= delta;
                         out[j] += delta;
                     }
@@ -93,9 +93,7 @@ impl FromStr for Distribution {
         match s.to_ascii_lowercase().as_str() {
             "independent" | "indep" | "ind" | "i" => Ok(Distribution::Independent),
             "correlated" | "corr" | "c" => Ok(Distribution::Correlated),
-            "anti-correlated" | "anticorrelated" | "anti" | "a" => {
-                Ok(Distribution::AntiCorrelated)
-            }
+            "anti-correlated" | "anticorrelated" | "anti" | "a" => Ok(Distribution::AntiCorrelated),
             other => Err(format!(
                 "unknown distribution {other:?} (expected independent|correlated|anti-correlated)"
             )),
@@ -107,15 +105,14 @@ impl FromStr for Distribution {
 /// distribution; this keeps the dependency surface minimal).
 fn normal<R: Rng>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen::<f64>();
+    let u2: f64 = rng.gen_f64();
     (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     fn sample_matrix(dist: Distribution, n: usize, dims: usize) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(7);
@@ -139,7 +136,10 @@ mod tests {
     }
 
     fn dim_columns(m: &[Vec<f64>], i: usize, j: usize) -> (Vec<f64>, Vec<f64>) {
-        (m.iter().map(|r| r[i]).collect(), m.iter().map(|r| r[j]).collect())
+        (
+            m.iter().map(|r| r[i]).collect(),
+            m.iter().map(|r| r[j]).collect(),
+        )
     }
 
     #[test]
@@ -184,9 +184,15 @@ mod tests {
 
     #[test]
     fn parse_distribution_names() {
-        assert_eq!("indep".parse::<Distribution>(), Ok(Distribution::Independent));
+        assert_eq!(
+            "indep".parse::<Distribution>(),
+            Ok(Distribution::Independent)
+        );
         assert_eq!("CORR".parse::<Distribution>(), Ok(Distribution::Correlated));
-        assert_eq!("anti".parse::<Distribution>(), Ok(Distribution::AntiCorrelated));
+        assert_eq!(
+            "anti".parse::<Distribution>(),
+            Ok(Distribution::AntiCorrelated)
+        );
         assert!("bogus".parse::<Distribution>().is_err());
     }
 

@@ -26,8 +26,10 @@
 
 pub mod distribution;
 pub mod relation;
+pub mod rng;
 pub mod workload;
 
 pub use distribution::Distribution;
 pub use relation::Relation;
+pub use rng::{Rng, StdRng};
 pub use workload::{SmjWorkload, WorkloadSpec};

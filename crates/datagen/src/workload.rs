@@ -1,8 +1,7 @@
 //! End-to-end workload specification matching the paper's Section VI-A.
 
+use crate::rng::{Rng, StdRng};
 use crate::{Distribution, Relation};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters of one experimental workload.
 ///

@@ -69,12 +69,18 @@ impl Catalog {
     pub fn register(&mut self, schema: TableSchema, data: SourceData) {
         assert_eq!(
             schema.columns.len(),
-            if data.is_empty() { schema.columns.len() } else { data.attrs.dims() },
+            if data.is_empty() {
+                schema.columns.len()
+            } else {
+                data.attrs.dims()
+            },
             "data arity must match schema {:?}",
             schema.name
         );
-        self.tables
-            .insert(schema.name.to_ascii_lowercase(), BoundTable { schema, data });
+        self.tables.insert(
+            schema.name.to_ascii_lowercase(),
+            BoundTable { schema, data },
+        );
     }
 
     /// Looks up a table case-insensitively.

@@ -1,12 +1,20 @@
-//! Query execution: dispatch a planned query to ProgXe or a baseline.
+//! Query execution: dispatch a planned query to any [`ProgressiveEngine`].
+//!
+//! [`Engine`] is a declarative strategy description (parse/CLI-friendly);
+//! [`Engine::build`] turns it into the trait object that actually executes.
+//! All consumption goes through the pull-based [`QuerySession`]: the classic
+//! sink-style [`QueryRunner::run`] is an adapter that drains a session, and
+//! [`QueryRunner::session`] exposes the stream itself — with row ids already
+//! translated back to the caller's original catalog tables.
 
 use crate::catalog::Catalog;
 use crate::parser::{parse_query, ParseError};
 use crate::plan::{plan, PlanError, PlannedQuery};
-use progxe_baselines::{jfsl, jfsl_plus, saj, ssmj, SkyAlgo};
+use progxe_baselines::{JfSlEngine, SajEngine, SkyAlgo, SsmjEngine};
 use progxe_core::config::ProgXeConfig;
 use progxe_core::executor::ProgXe;
-use progxe_core::sink::{CollectSink, ResultSink};
+use progxe_core::session::{ProgressiveEngine, QuerySession};
+use progxe_core::sink::ResultSink;
 use progxe_core::stats::ResultTuple;
 use std::fmt;
 
@@ -27,8 +35,45 @@ pub enum Engine {
 
 impl Engine {
     /// ProgXe with default configuration.
+    #[must_use]
     pub fn progxe() -> Self {
         Engine::ProgXe(Box::default())
+    }
+
+    /// ProgXe with a custom configuration.
+    #[must_use]
+    pub fn progxe_with(config: ProgXeConfig) -> Self {
+        Engine::ProgXe(Box::new(config))
+    }
+
+    /// JF-SL with block-nested-loops.
+    #[must_use]
+    pub fn jfsl_bnl() -> Self {
+        Engine::JfSl(SkyAlgo::Bnl)
+    }
+
+    /// JF-SL with sort-filter-skyline.
+    #[must_use]
+    pub fn jfsl_sfs() -> Self {
+        Engine::JfSl(SkyAlgo::Sfs)
+    }
+
+    /// JF-SL+ (push-through) with sort-filter-skyline.
+    #[must_use]
+    pub fn jfsl_plus_sfs() -> Self {
+        Engine::JfSlPlus(SkyAlgo::Sfs)
+    }
+
+    /// SSMJ with sort-filter-skyline.
+    #[must_use]
+    pub fn ssmj_sfs() -> Self {
+        Engine::Ssmj(SkyAlgo::Sfs)
+    }
+
+    /// SAJ with sort-filter-skyline.
+    #[must_use]
+    pub fn saj_sfs() -> Self {
+        Engine::Saj(SkyAlgo::Sfs)
     }
 
     /// Short name for diagnostics.
@@ -40,6 +85,26 @@ impl Engine {
             Engine::Ssmj(_) => "ssmj",
             Engine::Saj(_) => "saj",
         }
+    }
+
+    /// Instantiates the executable engine behind this description. This is
+    /// the single construction point: everything downstream — sessions,
+    /// sinks, the bench harness — talks to [`ProgressiveEngine`] only.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn ProgressiveEngine> {
+        match self {
+            Engine::ProgXe(config) => Box::new(ProgXe::new((**config).clone())),
+            Engine::JfSl(algo) => Box::new(JfSlEngine::new(*algo)),
+            Engine::JfSlPlus(algo) => Box::new(JfSlEngine::plus(*algo)),
+            Engine::Ssmj(algo) => Box::new(SsmjEngine::new(*algo)),
+            Engine::Saj(algo) => Box::new(SajEngine::new(*algo)),
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -89,27 +154,8 @@ pub struct QueryOutput {
     pub results: Vec<ResultTuple>,
     /// Output attribute names, aligned with `ResultTuple::values`.
     pub output_names: Vec<String>,
-}
-
-/// Forwards batches while translating filtered row ids back to the
-/// caller's original table rows.
-struct TranslatingSink<'a, S: ResultSink + ?Sized> {
-    inner: &'a mut S,
-    r_rows: &'a [u32],
-    t_rows: &'a [u32],
-    buf: Vec<ResultTuple>,
-}
-
-impl<S: ResultSink + ?Sized> ResultSink for TranslatingSink<'_, S> {
-    fn emit_batch(&mut self, batch: &[ResultTuple]) {
-        self.buf.clear();
-        self.buf.extend(batch.iter().map(|x| ResultTuple {
-            r_idx: self.r_rows[x.r_idx as usize],
-            t_idx: self.t_rows[x.t_idx as usize],
-            values: x.values.clone(),
-        }));
-        self.inner.emit_batch(&self.buf);
-    }
+    /// Engine statistics for the run.
+    pub stats: progxe_core::stats::ExecStats,
 }
 
 /// Parses, plans, and runs queries against a catalog.
@@ -128,14 +174,35 @@ impl QueryRunner {
         &self.catalog
     }
 
-    /// Parses and plans without executing (useful for inspection).
+    /// Parses and plans without executing. The returned [`PlannedQuery`]
+    /// owns the filtered sources, so any number of sessions can be opened
+    /// over it (see [`session`](Self::session)).
     pub fn prepare(&self, sql: &str) -> Result<PlannedQuery, QueryError> {
         let query = parse_query(sql)?;
         Ok(plan(&query, &self.catalog)?)
     }
 
+    /// Opens a pull-based [`QuerySession`] over a prepared query. Emitted
+    /// row ids are translated back to the caller's original catalog tables;
+    /// cancellation and `take(k)` behave exactly as on a raw engine
+    /// session.
+    pub fn session<'p>(
+        &self,
+        planned: &'p PlannedQuery,
+        engine: &Engine,
+    ) -> Result<QuerySession<'p>, QueryError> {
+        let session = engine
+            .build()
+            .open(&planned.r.view(), &planned.t.view(), &planned.maps)?
+            .with_id_translation(planned.r_rows.clone(), planned.t_rows.clone());
+        Ok(session)
+    }
+
     /// Runs `sql` with `engine`, streaming result batches into `sink`.
     /// Row ids in emitted tuples refer to the original catalog tables.
+    ///
+    /// Thin adapter over [`session`](Self::session), kept for sink-style
+    /// consumers.
     pub fn run<S: ResultSink + ?Sized>(
         &self,
         sql: &str,
@@ -143,42 +210,42 @@ impl QueryRunner {
         sink: &mut S,
     ) -> Result<Vec<String>, QueryError> {
         let planned = self.prepare(sql)?;
-        let r_view = planned.r.view();
-        let t_view = planned.t.view();
-        let mut translating = TranslatingSink {
-            inner: sink,
-            r_rows: &planned.r_rows,
-            t_rows: &planned.t_rows,
-            buf: Vec::new(),
-        };
-        match engine {
-            Engine::ProgXe(config) => {
-                let exec = ProgXe::new((**config).clone());
-                exec.run(&r_view, &t_view, &planned.maps, &mut translating)?;
-            }
-            Engine::JfSl(algo) => {
-                jfsl(&r_view, &t_view, &planned.maps, *algo, &mut translating);
-            }
-            Engine::JfSlPlus(algo) => {
-                jfsl_plus(&r_view, &t_view, &planned.maps, *algo, &mut translating);
-            }
-            Engine::Ssmj(algo) => {
-                ssmj(&r_view, &t_view, &planned.maps, *algo, &mut translating);
-            }
-            Engine::Saj(algo) => {
-                saj(&r_view, &t_view, &planned.maps, *algo, &mut translating);
-            }
-        }
+        let mut session = self.session(&planned, engine)?;
+        session.drain_into(sink);
+        drop(session);
         Ok(planned.output_names)
     }
 
     /// Runs and collects all results.
     pub fn run_collect(&self, sql: &str, engine: &Engine) -> Result<QueryOutput, QueryError> {
-        let mut sink = CollectSink::default();
-        let output_names = self.run(sql, engine, &mut sink)?;
+        let planned = self.prepare(sql)?;
+        let out = self.session(&planned, engine)?.collect();
         Ok(QueryOutput {
-            results: sink.results,
-            output_names,
+            results: out.results,
+            output_names: planned.output_names,
+            stats: out.stats,
+        })
+    }
+
+    /// Runs and returns only the first `k` results the engine emits,
+    /// stopping execution early (the engine skips its remaining work).
+    /// For engines with tentative batches (SSMJ), emitted tuples may
+    /// include phase-1 results the final skyline would have retracted;
+    /// consume [`session`](Self::session) directly and check
+    /// [`progxe_core::session::ResultEvent::proven_final`] when only
+    /// guaranteed-final tuples are acceptable.
+    pub fn run_take(
+        &self,
+        sql: &str,
+        engine: &Engine,
+        k: usize,
+    ) -> Result<QueryOutput, QueryError> {
+        let planned = self.prepare(sql)?;
+        let out = self.session(&planned, engine)?.take(k);
+        Ok(QueryOutput {
+            results: out.results,
+            output_names: planned.output_names,
+            stats: out.stats,
         })
     }
 }
@@ -229,16 +296,17 @@ mod tests {
         let runner = QueryRunner::new(q1_catalog());
         let engines = [
             Engine::progxe(),
-            Engine::JfSl(SkyAlgo::Bnl),
-            Engine::JfSlPlus(SkyAlgo::Sfs),
+            Engine::jfsl_bnl(),
+            Engine::jfsl_plus_sfs(),
             Engine::Ssmj(SkyAlgo::Bnl),
             Engine::Saj(SkyAlgo::Bnl),
         ];
         let mut reference: Option<Vec<(u32, u32)>> = None;
         for engine in &engines {
-            let out = runner.run_collect(Q1, engine).unwrap_or_else(|_| panic!("{}", engine.name()));
-            let mut ids: Vec<(u32, u32)> =
-                out.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+            let out = runner
+                .run_collect(Q1, engine)
+                .unwrap_or_else(|_| panic!("{engine}"));
+            let mut ids: Vec<(u32, u32)> = out.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
             ids.sort_unstable();
             // SSMJ may emit batch-1 false positives; dedup against final.
             ids.dedup();
@@ -246,7 +314,7 @@ mod tests {
                 None => reference = Some(ids),
                 Some(want) => {
                     for id in want {
-                        assert!(ids.contains(id), "{} missing {id:?}", engine.name());
+                        assert!(ids.contains(id), "{engine} missing {id:?}");
                     }
                 }
             }
@@ -275,6 +343,60 @@ mod tests {
     }
 
     #[test]
+    fn session_streams_translated_ids() {
+        let runner = QueryRunner::new(q1_catalog());
+        let planned = runner.prepare(Q1).unwrap();
+        let mut session = runner.session(&planned, &Engine::progxe()).unwrap();
+        let mut ids = Vec::new();
+        while let Some(event) = session.next_batch() {
+            assert!(event.proven_final);
+            ids.extend(event.tuples.iter().map(|x| (x.r_idx, x.t_idx)));
+        }
+        let stats = session.finish();
+        assert!(!stats.cancelled);
+        ids.sort_unstable();
+        let mut collected: Vec<(u32, u32)> = runner
+            .run_collect(Q1, &Engine::progxe())
+            .unwrap()
+            .results
+            .iter()
+            .map(|x| (x.r_idx, x.t_idx))
+            .collect();
+        collected.sort_unstable();
+        assert_eq!(ids, collected);
+        assert!(ids.iter().all(|&(r, t)| r <= 1 && t <= 1), "original ids");
+    }
+
+    #[test]
+    fn run_take_returns_first_k() {
+        let runner = QueryRunner::new(q1_catalog());
+        let full = runner.run_collect(Q1, &Engine::progxe()).unwrap();
+        assert!(!full.results.is_empty());
+        let one = runner.run_take(Q1, &Engine::progxe(), 1).unwrap();
+        assert_eq!(one.results.len(), 1);
+        assert_eq!(one.results[0], full.results[0]);
+    }
+
+    #[test]
+    fn sessions_can_reuse_a_prepared_query() {
+        let runner = QueryRunner::new(q1_catalog());
+        let planned = runner.prepare(Q1).unwrap();
+        let a = runner
+            .session(&planned, &Engine::progxe())
+            .unwrap()
+            .collect();
+        let b = runner
+            .session(&planned, &Engine::jfsl_sfs())
+            .unwrap()
+            .collect();
+        let mut a_ids: Vec<_> = a.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+        let mut b_ids: Vec<_> = b.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+        a_ids.sort_unstable();
+        b_ids.sort_unstable();
+        assert_eq!(a_ids, b_ids);
+    }
+
+    #[test]
     fn parse_errors_surface() {
         let runner = QueryRunner::new(q1_catalog());
         let err = runner.run_collect("SELECT nonsense", &Engine::progxe());
@@ -293,8 +415,11 @@ mod tests {
     }
 
     #[test]
-    fn engine_names() {
+    fn engine_names_and_display() {
         assert_eq!(Engine::progxe().name(), "progxe");
         assert_eq!(Engine::Ssmj(SkyAlgo::Bnl).name(), "ssmj");
+        assert_eq!(Engine::jfsl_plus_sfs().to_string(), "jf-sl+");
+        assert_eq!(Engine::saj_sfs().to_string(), "saj");
+        assert_eq!(Engine::ssmj_sfs().build().name(), "ssmj");
     }
 }

@@ -459,19 +459,17 @@ mod tests {
 
     #[test]
     fn rejects_missing_join() {
-        let err = parse_query(
-            "SELECT (R.a) AS x FROM A R, B T WHERE R.a >= 1 PREFERRING LOWEST(x)",
-        )
-        .unwrap_err();
+        let err =
+            parse_query("SELECT (R.a) AS x FROM A R, B T WHERE R.a >= 1 PREFERRING LOWEST(x)")
+                .unwrap_err();
         assert!(err.message.contains("equi-join"), "{err}");
     }
 
     #[test]
     fn rejects_unnamed_expression() {
-        let err = parse_query(
-            "SELECT (R.a + T.b) FROM A R, B T WHERE R.k = T.k PREFERRING LOWEST(x)",
-        )
-        .unwrap_err();
+        let err =
+            parse_query("SELECT (R.a + T.b) FROM A R, B T WHERE R.k = T.k PREFERRING LOWEST(x)")
+                .unwrap_err();
         assert!(err.message.contains("AS"), "{err}");
     }
 
@@ -487,10 +485,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_direction() {
-        let err = parse_query(
-            "SELECT (R.a) AS x FROM A R, B T WHERE R.k = T.k PREFERRING BEST(x)",
-        )
-        .unwrap_err();
+        let err = parse_query("SELECT (R.a) AS x FROM A R, B T WHERE R.k = T.k PREFERRING BEST(x)")
+            .unwrap_err();
         assert!(err.message.contains("LOWEST or HIGHEST"), "{err}");
     }
 

@@ -172,8 +172,8 @@ pub fn plan(query: &Query, catalog: &Catalog) -> Result<PlannedQuery, PlanError>
     for def in &query.outputs {
         maps.push(Box::new(compile_expr(&def.expr)?));
     }
-    let maps = MapSet::new(maps, Preference::new(pref_orders))
-        .expect("arity consistent by construction");
+    let maps =
+        MapSet::new(maps, Preference::new(pref_orders)).expect("arity consistent by construction");
 
     // Apply filters per side (selection push-down below the join).
     let mut r_filters = Vec::new();

@@ -156,7 +156,9 @@ mod tests {
         for _ in 0..300 {
             let mut row = [0.0; 3];
             for v in &mut row {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *v = ((x >> 33) % 1000) as f64;
             }
             s.push(&row);

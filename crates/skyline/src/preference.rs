@@ -240,7 +240,10 @@ mod tests {
         let p = Preference::all_lowest(2);
         assert!(p.dominates(&[1.0, 1.0], &[2.0, 2.0]));
         assert!(p.dominates(&[1.0, 2.0], &[2.0, 2.0]));
-        assert!(!p.dominates(&[2.0, 2.0], &[2.0, 2.0]), "equal never dominates");
+        assert!(
+            !p.dominates(&[2.0, 2.0], &[2.0, 2.0]),
+            "equal never dominates"
+        );
         assert!(!p.dominates(&[1.0, 3.0], &[2.0, 2.0]), "trade-off");
     }
 
@@ -255,7 +258,10 @@ mod tests {
     fn compare_classifies_all_cases() {
         let p = Preference::all_lowest(2);
         assert_eq!(p.compare(&[1.0, 1.0], &[2.0, 2.0]), DomRelation::Dominates);
-        assert_eq!(p.compare(&[2.0, 2.0], &[1.0, 1.0]), DomRelation::DominatedBy);
+        assert_eq!(
+            p.compare(&[2.0, 2.0], &[1.0, 1.0]),
+            DomRelation::DominatedBy
+        );
         assert_eq!(p.compare(&[1.0, 1.0], &[1.0, 1.0]), DomRelation::Equal);
         assert_eq!(
             p.compare(&[1.0, 2.0], &[2.0, 1.0]),

@@ -107,7 +107,11 @@ mod tests {
         let p = Preference::all_lowest(2);
         let r = salsa_skyline(&s, &p);
         assert_eq!(r.len(), 1);
-        assert!(r.stats.tuples_scanned < 10, "scanned {}", r.stats.tuples_scanned);
+        assert!(
+            r.stats.tuples_scanned < 10,
+            "scanned {}",
+            r.stats.tuples_scanned
+        );
     }
 
     #[test]

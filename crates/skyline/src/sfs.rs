@@ -14,7 +14,12 @@ use crate::{PointStore, Preference, SkylineResult, SkylineStats};
 /// i.e. in the order a progressive consumer would receive them.
 pub fn sfs_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
     let mut result = SkylineResult::default();
-    sfs_skyline_with(store, pref, |idx| result.indices.push(idx), &mut result.stats);
+    sfs_skyline_with(
+        store,
+        pref,
+        |idx| result.indices.push(idx),
+        &mut result.stats,
+    );
     result
 }
 

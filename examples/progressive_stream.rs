@@ -1,7 +1,8 @@
 //! Progressive vs blocking, live: the motivation of the whole paper.
 //!
 //! Runs the same anti-correlated workload (the skyline-hostile case) under
-//! ProgXe and under the blocking JF-SL plan, printing a timeline of result
+//! ProgXe and under the blocking JF-SL plan — both through the *same*
+//! [`ProgressiveEngine`] interface — printing a timeline of result
 //! arrivals. ProgXe streams results throughout its execution; JF-SL stays
 //! silent until everything is joined and compared.
 //!
@@ -9,10 +10,21 @@
 //! cargo run --release --example progressive_stream
 //! ```
 
-use progxe::baselines::{jfsl, SkyAlgo};
+use progxe::baselines::{JfSlEngine, SkyAlgo};
 use progxe::core::prelude::*;
-use progxe::core::sink::ProgressSink;
 use progxe::datagen::{Distribution, WorkloadSpec};
+use std::time::Duration;
+
+/// Pulls a session dry, recording `(elapsed, cumulative)` per batch.
+fn drain(mut session: QuerySession<'_>) -> (Vec<(Duration, u64)>, ExecStats) {
+    let mut records = Vec::new();
+    let mut cumulative = 0u64;
+    while let Some(event) = session.next_batch() {
+        cumulative += event.tuples.len() as u64;
+        records.push((event.elapsed, cumulative));
+    }
+    (records, session.finish())
+}
 
 fn main() {
     let spec = WorkloadSpec::new(3000, 3, Distribution::AntiCorrelated, 0.005);
@@ -25,54 +37,53 @@ fn main() {
     let r = SourceView::new(&w.r.attrs, &w.r.join_keys).unwrap();
     let t = SourceView::new(&w.t.attrs, &w.t.join_keys).unwrap();
 
-    let mut progxe_sink = ProgressSink::new();
-    let exec = ProgXe::new(
+    let progxe = ProgXe::new(
         ProgXeConfig::default()
             .with_input_partitions(3)
             .with_output_cells(24)
             .with_selectivity_hint(spec.selectivity),
     );
-    let stats = exec.run(&r, &t, &maps, &mut progxe_sink).unwrap();
+    let jfsl = JfSlEngine::new(SkyAlgo::Sfs);
 
-    let mut jfsl_sink = ProgressSink::new();
-    let jfsl_stats = jfsl(&r, &t, &maps, SkyAlgo::Sfs, &mut jfsl_sink);
+    // Both engines behind the same trait, the same pull loop.
+    let (progxe_records, progxe_stats) = drain(progxe.open(&r, &t, &maps).unwrap());
+    let (jfsl_records, jfsl_stats) = drain(jfsl.open(&r, &t, &maps).unwrap());
 
     println!("\ntimeline (cumulative results over time):");
     println!("{:>12}  {:>10}  {:>10}", "time", "ProgXe", "JF-SL");
     // Sample the two series on a shared timeline.
-    let horizon = stats.total_time.max(jfsl_stats.total_time);
+    let horizon = progxe_stats.total_time.max(jfsl_stats.total_time);
     let steps = 12u32;
     for s in 1..=steps {
         let at = horizon * s / steps;
-        let progxe_at = progxe_sink
-            .records
-            .iter()
-            .rev()
-            .find(|r| r.elapsed <= at)
-            .map_or(0, |r| r.cumulative);
-        let jfsl_at = jfsl_sink
-            .records
-            .iter()
-            .rev()
-            .find(|r| r.elapsed <= at)
-            .map_or(0, |r| r.cumulative);
+        let count_at = |records: &[(Duration, u64)]| {
+            records
+                .iter()
+                .rev()
+                .find(|(elapsed, _)| *elapsed <= at)
+                .map_or(0, |&(_, cumulative)| cumulative)
+        };
         println!(
             "{:>10.2}ms  {:>10}  {:>10}",
             at.as_secs_f64() * 1e3,
-            progxe_at,
-            jfsl_at
+            count_at(&progxe_records),
+            count_at(&jfsl_records)
         );
     }
     println!(
         "\nProgXe: first result {:.2}ms, done {:.2}ms ({} batches)",
-        progxe_sink.first_result_at().unwrap().as_secs_f64() * 1e3,
-        stats.total_time.as_secs_f64() * 1e3,
-        progxe_sink.records.len()
+        progxe_records[0].0.as_secs_f64() * 1e3,
+        progxe_stats.total_time.as_secs_f64() * 1e3,
+        progxe_records.len()
     );
     println!(
         "JF-SL : first result {:.2}ms, done {:.2}ms (single batch)",
-        jfsl_sink.first_result_at().unwrap().as_secs_f64() * 1e3,
+        jfsl_records[0].0.as_secs_f64() * 1e3,
         jfsl_stats.total_time.as_secs_f64() * 1e3,
     );
-    assert_eq!(progxe_sink.total(), jfsl_sink.total(), "same final skyline");
+    assert_eq!(
+        progxe_records.last().unwrap().1,
+        jfsl_records.last().unwrap().1,
+        "same final skyline"
+    );
 }

@@ -6,16 +6,17 @@
 //! Scenario: apartment search joining listings with commute records.
 //! The strict query (rent ≤ 900 AND commute ≤ 20min) is empty; the
 //! relaxation reports listing×commute pairs minimizing how far each
-//! criterion was violated.
+//! criterion was violated. The user abandons the search as soon as a
+//! handful of suggestions is on screen — `take(6)` stops the executor
+//! right there, and the skipped-region counters prove it.
 //!
 //! ```text
 //! cargo run --example query_refinement
 //! ```
 
-use progxe::core::prelude::*;
 use progxe::core::mapping::GeneralMap;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use progxe::core::prelude::*;
+use progxe::datagen::rng::{Rng, StdRng};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(99);
@@ -67,28 +68,42 @@ fn main() {
             .with_output_cells(32)
             .with_push_through(true), // auto-disabled: GeneralMap is not separable
     );
-    let mut sink = ProgressSink::new();
-    let stats = exec
-        .run(&listings.view(), &commutes.view(), &maps, &mut sink)
-        .expect("valid query");
 
+    // The user only looks at the first few suggestions: stop there.
+    let suggestions = exec
+        .session(&listings.view(), &commutes.view(), &maps)
+        .expect("valid query")
+        .take(6);
+    let stats = &suggestions.stats;
     println!(
-        "strict query empty — {} Pareto-closest relaxations found, first after {:.2}ms",
-        sink.total(),
-        sink.first_result_at().unwrap().as_secs_f64() * 1e3
+        "strict query empty — showing the {} Pareto-closest relaxations \
+         found after {:.2}ms",
+        suggestions.results.len(),
+        stats.total_time.as_secs_f64() * 1e3
     );
-    let mut by_rent = sink.results.clone();
+    let mut by_rent = suggestions.results.clone();
     by_rent.sort_by(|a, b| a.values[0].total_cmp(&b.values[0]));
     println!("suggested relaxations (rent overshoot €, commute overshoot min):");
-    for p in by_rent.iter().take(6) {
+    for p in &by_rent {
         println!(
             "  listing {:>4} / commute {:>4}: +€{:>6.0}, +{:>4.1} min",
             p.r_idx, p.t_idx, p.values[0], p.values[1]
         );
     }
     println!(
-        "\n(non-separable maps: push-through auto-disabled = {}, total {:.2}ms)",
-        stats.push_through_skipped,
-        stats.total_time.as_secs_f64() * 1e3
+        "\nearly stop: {} regions processed, {} skipped (cancelled = {}); \
+         push-through auto-disabled = {}",
+        stats.regions_processed, stats.regions_skipped, stats.cancelled, stats.push_through_skipped,
+    );
+
+    // For comparison: the full relaxation skyline.
+    let full = exec
+        .run_collect(&listings.view(), &commutes.view(), &maps)
+        .expect("valid query");
+    println!(
+        "full run: {} relaxations, {} regions, {:.2}ms total",
+        full.results.len(),
+        full.stats.regions_processed,
+        full.stats.total_time.as_secs_f64() * 1e3
     );
 }

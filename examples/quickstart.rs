@@ -1,8 +1,9 @@
 //! Quickstart: evaluate a SkyMapJoin query progressively.
 //!
 //! Builds two tiny in-memory sources, defines the mapping functions and
-//! preference of a Q1-style query, and runs the ProgXe executor with a sink
-//! that prints every result the moment it is proven final.
+//! preference of a Q1-style query, and consumes the result *stream*: a
+//! [`QuerySession`] is pulled batch by batch, printing every result the
+//! moment it is proven final.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -36,17 +37,29 @@ fn main() {
     )
     .expect("two maps, two preference dimensions");
 
-    // Stream results as they become final.
-    let mut sink = FnSinkPrinter { count: 0 };
+    // Pull results as they become final.
     let exec = ProgXe::new(ProgXeConfig::default());
-    let stats = exec
-        .run(
-            &suppliers.view(),
-            &transporters.view(),
-            &maps,
-            &mut sink,
-        )
+    let mut session = exec
+        .session(&suppliers.view(), &transporters.view(), &maps)
         .expect("valid query");
+
+    let mut count = 0;
+    while let Some(event) = session.next_batch() {
+        for r in &event.tuples {
+            count += 1;
+            println!(
+                "#{:<2} supplier {} × transporter {} → tCost = {:>5.1}, delay = {:>5.1}  \
+                 ({:.0}% done)",
+                count,
+                r.r_idx,
+                r.t_idx,
+                r.values[0],
+                r.values[1],
+                event.progress_estimate * 100.0
+            );
+        }
+    }
+    let stats = session.finish();
 
     println!("---");
     println!(
@@ -58,21 +71,4 @@ fn main() {
         stats.regions_created,
         stats.regions_pruned_lookahead,
     );
-}
-
-/// A sink that prints each batch as it arrives.
-struct FnSinkPrinter {
-    count: usize,
-}
-
-impl ResultSink for FnSinkPrinter {
-    fn emit_batch(&mut self, batch: &[ResultTuple]) {
-        for r in batch {
-            self.count += 1;
-            println!(
-                "#{:<2} supplier {} × transporter {} → tCost = {:>5.1}, delay = {:>5.1}",
-                self.count, r.r_idx, r.t_idx, r.values[0], r.values[1]
-            );
-        }
-    }
 }

@@ -13,18 +13,18 @@
 //! PREFERRING LOWEST(tCost) AND LOWEST(delay)
 //! ```
 //!
-//! The example runs the query on every engine and compares when each one
-//! delivered results.
+//! The query is prepared once; a [`QuerySession`] is then opened per engine
+//! over the same plan, and the pull loop records when each engine delivered
+//! results. A final `run_take` shows pull-side early termination: the first
+//! few plans cost only a fraction of the full run.
 //!
 //! ```text
 //! cargo run --example supply_chain
 //! ```
 
-use progxe::core::sink::ProgressSink;
 use progxe::core::source::SourceData;
+use progxe::datagen::rng::{Rng, StdRng};
 use progxe::query::{Catalog, Engine, QueryRunner, TableSchema};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 const Q1: &str = "SELECT R.id, T.id, \
      (R.uPrice + T.uShipCost) AS tCost, \
@@ -76,6 +76,7 @@ fn main() {
         transporters,
     );
     let runner = QueryRunner::new(catalog);
+    let planned = runner.prepare(Q1).expect("Q1 plans");
 
     println!("Q1 over 2000 suppliers × 2000 transporters, {countries} countries\n");
     println!(
@@ -84,35 +85,36 @@ fn main() {
     );
     for engine in [
         Engine::progxe(),
-        Engine::Ssmj(progxe::baselines::SkyAlgo::Sfs),
-        Engine::JfSl(progxe::baselines::SkyAlgo::Sfs),
-        Engine::JfSlPlus(progxe::baselines::SkyAlgo::Sfs),
-        Engine::Saj(progxe::baselines::SkyAlgo::Sfs),
+        Engine::ssmj_sfs(),
+        Engine::jfsl_sfs(),
+        Engine::jfsl_plus_sfs(),
+        Engine::saj_sfs(),
     ] {
-        let mut sink = ProgressSink::new();
-        runner.run(Q1, &engine, &mut sink).expect("Q1 runs");
-        let total = sink.total();
-        let first = sink.first_result_at();
-        let median = sink
-            .records
+        let mut session = runner.session(&planned, &engine).expect("Q1 runs");
+        let mut records = Vec::new();
+        let mut total = 0u64;
+        while let Some(event) = session.next_batch() {
+            total += event.tuples.len() as u64;
+            records.push((event.elapsed, total));
+        }
+        let stats = session.finish();
+        let first = records.first().map(|&(at, _)| at);
+        let median = records
             .iter()
-            .find(|r| r.cumulative * 2 >= total)
-            .map(|r| r.elapsed);
-        let last = sink.records.last().map(|r| r.elapsed);
+            .find(|&&(_, cumulative)| cumulative * 2 >= total)
+            .map(|&(at, _)| at);
         println!(
             "{:<8} {:>8} {:>12} {:>12} {:>12}",
-            engine.name(),
+            engine,
             total,
             fmt(first),
             fmt(median),
-            fmt(last),
+            fmt(Some(stats.total_time)),
         );
     }
 
     // Show the top of the plan list for the decision maker.
-    let out = runner
-        .run_collect(Q1, &Engine::progxe())
-        .expect("Q1 runs");
+    let out = runner.run_collect(Q1, &Engine::progxe()).expect("Q1 runs");
     let mut plans = out.results;
     plans.sort_by(|a, b| a.values[0].total_cmp(&b.values[0]));
     println!("\ncheapest Pareto-optimal plans (of {}):", plans.len());
@@ -122,6 +124,17 @@ fn main() {
             p.r_idx, p.t_idx, p.values[0], p.values[1]
         );
     }
+
+    // Early termination through the query layer: the first 5 proven-final
+    // plans, stopping the executor as soon as they are in hand.
+    let quick = runner.run_take(Q1, &Engine::progxe(), 5).expect("Q1 runs");
+    println!(
+        "\ntake(5): {} plans with {} of {} regions processed (cancelled = {})",
+        quick.results.len(),
+        quick.stats.regions_processed,
+        out.stats.regions_processed,
+        quick.stats.cancelled,
+    );
 }
 
 fn fmt(d: Option<std::time::Duration>) -> String {

@@ -7,13 +7,16 @@
 //! Rome distance ×1. Total price is a plain sum, and the combined hotel
 //! rating is maximized — a mixed-direction preference.
 //!
+//! An aggregator page never waits for the full Pareto set: the session is
+//! pulled incrementally, the first screenful is rendered as soon as it is
+//! proven final, and the rest streams in behind it.
+//!
 //! ```text
 //! cargo run --example travel_aggregator
 //! ```
 
 use progxe::core::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use progxe::datagen::rng::{Rng, StdRng};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(7);
@@ -63,28 +66,51 @@ fn main() {
             .with_input_partitions(3)
             .with_output_cells(24),
     );
-    let mut sink = ProgressSink::new();
-    let stats = exec
-        .run(&rome.view(), &paris.view(), &maps, &mut sink)
+
+    // First screenful: pull until 8 itineraries are proven final, then
+    // stop the executor — the remaining regions are never processed.
+    const SCREEN: usize = 8;
+    let first_page = exec
+        .session(&rome.view(), &paris.view(), &maps)
+        .expect("valid query")
+        .take(SCREEN);
+    println!(
+        "first page: {} itineraries after {:.2}ms ({} of {} regions processed)",
+        first_page.results.len(),
+        first_page.stats.total_time.as_secs_f64() * 1e3,
+        first_page.stats.regions_processed,
+        first_page.stats.regions_created,
+    );
+
+    // Full result set, streamed.
+    let mut session = exec
+        .session(&rome.view(), &paris.view(), &maps)
         .expect("valid query");
+    let mut itineraries = Vec::new();
+    let mut batches = 0;
+    let mut first_at = None;
+    while let Some(event) = session.next_batch() {
+        batches += 1;
+        first_at.get_or_insert(event.elapsed);
+        itineraries.extend(event.tuples);
+    }
+    let stats = session.finish();
 
     println!(
-        "{} Pareto-optimal itineraries out of {} hotel pairings",
-        sink.total(),
+        "\n{} Pareto-optimal itineraries out of {} hotel pairings",
+        itineraries.len(),
         stats.join_matches
     );
     println!(
-        "first itinerary after {:.2}ms; all after {:.2}ms; {} batches\n",
-        sink.first_result_at().unwrap().as_secs_f64() * 1e3,
+        "first itinerary after {:.2}ms; all after {:.2}ms; {batches} batches\n",
+        first_at.unwrap().as_secs_f64() * 1e3,
         stats.total_time.as_secs_f64() * 1e3,
-        sink.records.len()
     );
 
-    let mut best = sink.results.clone();
-    best.sort_by(|a, b| a.values[0].total_cmp(&b.values[0]));
+    itineraries.sort_by(|a, b| a.values[0].total_cmp(&b.values[0]));
     println!("a few options across the price spectrum:");
-    let step = (best.len() / 5).max(1);
-    for p in best.iter().step_by(step).take(5) {
+    let step = (itineraries.len() / 5).max(1);
+    for p in itineraries.iter().step_by(step).take(5) {
         println!(
             "  rome #{:<4} + paris #{:<4}: € {:>6.0}, walk-score {:>6.0} m, rating {:>4.1}",
             p.r_idx, p.t_idx, p.values[0], p.values[1], p.values[2]

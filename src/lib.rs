@@ -1,7 +1,8 @@
 //! # ProgXe — progressive result generation for SkyMapJoin queries
 //!
-//! Facade crate re-exporting the whole workspace. See the README for an
-//! architecture overview and `DESIGN.md` for the paper-to-module map.
+//! Facade crate re-exporting the whole workspace. See `README.md` for the
+//! architecture overview, the `QuerySession` streaming quickstart, and the
+//! paper-to-module map.
 //!
 //! * [`skyline`] — preference model + classic skyline algorithms.
 //! * [`datagen`] — Börzsönyi-style synthetic workload generator.

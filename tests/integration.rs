@@ -82,7 +82,9 @@ fn all_baselines_match_oracle() {
 #[test]
 fn progressive_output_is_sound_and_complete() {
     for dist in Distribution::ALL {
-        let w = WorkloadSpec::new(400, 3, dist, 0.03).with_seed(99).generate();
+        let w = WorkloadSpec::new(400, 3, dist, 0.03)
+            .with_seed(99)
+            .generate();
         let (r, t) = views(&w);
         let maps = MapSet::pairwise_sum(3, Preference::all_lowest(3));
         let expected = ids(&oracle_smj(&r, &t, &maps));
@@ -146,7 +148,10 @@ fn every_engine_through_the_query_layer() {
     let runner = QueryRunner::new(catalog);
     let sql = "SELECT (R.a + X.a) AS c0, (R.b + X.b) AS c1 FROM S R, T X \
                WHERE R.k = X.k PREFERRING LOWEST(c0) AND LOWEST(c1)";
-    let reference = ids(&runner.run_collect(sql, &Engine::JfSl(SkyAlgo::Bnl)).unwrap().results);
+    let reference = ids(&runner
+        .run_collect(sql, &Engine::JfSl(SkyAlgo::Bnl))
+        .unwrap()
+        .results);
     assert!(!reference.is_empty());
     for engine in [
         Engine::progxe(),
@@ -165,12 +170,10 @@ fn progxe_plus_and_signatures_do_not_change_results() {
         .generate();
     let (r, t) = views(&w);
     let maps = MapSet::pairwise_sum(3, Preference::all_lowest(3));
-    let base = ids(
-        &ProgXe::new(ProgXeConfig::default())
-            .run_collect(&r, &t, &maps)
-            .unwrap()
-            .results,
-    );
+    let base = ids(&ProgXe::new(ProgXeConfig::default())
+        .run_collect(&r, &t, &maps)
+        .unwrap()
+        .results);
     for config in [
         ProgXeConfig::variation(true, true),
         ProgXeConfig::variation(false, true),
@@ -179,7 +182,9 @@ fn progxe_plus_and_signatures_do_not_change_results() {
             .with_input_partitions(5)
             .with_output_cells(40),
     ] {
-        let out = ProgXe::new(config.clone()).run_collect(&r, &t, &maps).unwrap();
+        let out = ProgXe::new(config.clone())
+            .run_collect(&r, &t, &maps)
+            .unwrap();
         assert_eq!(ids(&out.results), base, "config {config:?}");
     }
 }

@@ -1,0 +1,246 @@
+//! Integration tests for the pull-based streaming API: stream/sink
+//! equivalence across every engine, `take(k)` early termination, and
+//! cancellation — on generated workloads, through the facade crate.
+
+use progxe::baselines::{JfSlEngine, SajEngine, SkyAlgo, SsmjEngine};
+use progxe::core::prelude::*;
+use progxe::datagen::{Distribution, SmjWorkload, WorkloadSpec};
+
+fn views(w: &SmjWorkload) -> (SourceView<'_>, SourceView<'_>) {
+    (
+        SourceView::new(&w.r.attrs, &w.r.join_keys).unwrap(),
+        SourceView::new(&w.t.attrs, &w.t.join_keys).unwrap(),
+    )
+}
+
+fn engines() -> Vec<Box<dyn ProgressiveEngine>> {
+    vec![
+        Box::new(ProgXe::new(ProgXeConfig::default())),
+        Box::new(JfSlEngine::new(SkyAlgo::Bnl)),
+        Box::new(JfSlEngine::plus(SkyAlgo::Sfs)),
+        Box::new(SsmjEngine::new(SkyAlgo::Sfs)),
+        Box::new(SajEngine::new(SkyAlgo::Sfs)),
+    ]
+}
+
+/// The stream API and the sink API must produce identical results in
+/// identical order, for ProgXe and every baseline, on a seeded
+/// anti-correlated workload (the skyline-hostile case).
+#[test]
+fn stream_and_sink_agree_for_every_engine() {
+    let w = WorkloadSpec::new(400, 2, Distribution::AntiCorrelated, 0.02)
+        .with_seed(2024)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+    for engine in engines() {
+        // Push path.
+        let mut sink = CollectSink::default();
+        let sink_stats = engine.run_sink(&r, &t, &maps, &mut sink).unwrap();
+
+        // Pull path.
+        let mut session = engine.open(&r, &t, &maps).unwrap();
+        let mut streamed = Vec::new();
+        while let Some(event) = session.next_batch() {
+            streamed.extend(event.tuples);
+        }
+        let stream_stats = session.finish();
+
+        assert_eq!(
+            streamed,
+            sink.results,
+            "{}: stream and sink diverged",
+            engine.name()
+        );
+        assert_eq!(
+            sink_stats.results_emitted,
+            stream_stats.results_emitted,
+            "{}: stats diverged",
+            engine.name()
+        );
+        assert!(!stream_stats.cancelled, "{}", engine.name());
+    }
+}
+
+/// Event metadata is coherent on every engine: progress estimates are
+/// monotone in `[0, 1]`, elapsed times are monotone, and only SSMJ may
+/// deliver batches that are not proven final.
+#[test]
+fn event_metadata_is_coherent() {
+    let w = WorkloadSpec::new(300, 3, Distribution::Independent, 0.02)
+        .with_seed(11)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(3, Preference::all_lowest(3));
+    for engine in engines() {
+        let mut session = engine.open(&r, &t, &maps).unwrap();
+        let mut last_progress = 0.0;
+        let mut last_elapsed = std::time::Duration::ZERO;
+        let mut tentative = 0;
+        while let Some(event) = session.next_batch() {
+            assert!(!event.tuples.is_empty(), "{}: empty event", engine.name());
+            assert!(
+                (0.0..=1.0).contains(&event.progress_estimate),
+                "{}: progress {} out of range",
+                engine.name(),
+                event.progress_estimate
+            );
+            assert!(
+                event.progress_estimate >= last_progress,
+                "{}: progress regressed",
+                engine.name()
+            );
+            assert!(
+                event.elapsed >= last_elapsed,
+                "{}: elapsed regressed",
+                engine.name()
+            );
+            last_progress = event.progress_estimate;
+            last_elapsed = event.elapsed;
+            if !event.proven_final {
+                tentative += 1;
+            }
+        }
+        if engine.name() != "ssmj" {
+            assert_eq!(
+                tentative,
+                0,
+                "{}: unexpected tentative batch",
+                engine.name()
+            );
+        }
+        let _ = session.finish();
+    }
+}
+
+/// The acceptance scenario: `take(k)` on a 10k-row anti-correlated
+/// workload returns exactly the first k emitted tuples and demonstrably
+/// stops before full execution — fewer regions processed, fewer join pairs
+/// evaluated, fewer dominance tests than a full run.
+#[test]
+fn take_k_terminates_early_on_10k_anticorrelated() {
+    let w = WorkloadSpec::new(10_000, 2, Distribution::AntiCorrelated, 0.002)
+        .with_seed(77)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+    let exec = ProgXe::new(
+        ProgXeConfig::default()
+            .with_input_partitions(6)
+            .with_output_cells(48)
+            .with_selectivity_hint(0.002),
+    );
+
+    let full = exec.run_collect(&r, &t, &maps).unwrap();
+    assert!(
+        full.results.len() > 20,
+        "anti-correlated workload should have a large skyline, got {}",
+        full.results.len()
+    );
+
+    let k = 10;
+    let partial = exec.session(&r, &t, &maps).unwrap().take(k);
+
+    // Exactly the first k tuples, in emission order.
+    assert_eq!(partial.results.len(), k);
+    assert_eq!(&full.results[..k], &partial.results[..]);
+
+    // And the executor really stopped: strictly less work than a full run.
+    assert!(partial.stats.cancelled);
+    assert!(partial.stats.regions_skipped > 0);
+    assert!(
+        partial.stats.regions_processed < full.stats.regions_processed,
+        "regions: {} !< {}",
+        partial.stats.regions_processed,
+        full.stats.regions_processed
+    );
+    assert!(
+        partial.stats.join_pairs_evaluated < full.stats.join_pairs_evaluated,
+        "join pairs: {} !< {}",
+        partial.stats.join_pairs_evaluated,
+        full.stats.join_pairs_evaluated
+    );
+    assert!(
+        partial.stats.dominance_tests < full.stats.dominance_tests,
+        "dominance tests: {} !< {}",
+        partial.stats.dominance_tests,
+        full.stats.dominance_tests
+    );
+}
+
+/// `take(k)` through every engine returns a prefix of that engine's own
+/// full emission order.
+#[test]
+fn take_k_is_a_prefix_for_every_engine() {
+    let w = WorkloadSpec::new(300, 2, Distribution::AntiCorrelated, 0.02)
+        .with_seed(5)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+    for engine in engines() {
+        let full = engine.run_collect(&r, &t, &maps).unwrap();
+        let k = 3.min(full.results.len());
+        let partial = engine.open(&r, &t, &maps).unwrap().take(k);
+        assert_eq!(partial.results.len(), k, "{}", engine.name());
+        assert_eq!(
+            &full.results[..k],
+            &partial.results[..],
+            "{}: take(k) is not a prefix",
+            engine.name()
+        );
+    }
+}
+
+/// A cancelled session stops every engine before (baselines) or during
+/// (ProgXe) execution.
+#[test]
+fn cancellation_stops_every_engine() {
+    let w = WorkloadSpec::new(500, 2, Distribution::Independent, 0.02)
+        .with_seed(9)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+    for engine in engines() {
+        let mut session = engine.open(&r, &t, &maps).unwrap();
+        session.cancel();
+        assert!(session.next_batch().is_none(), "{}", engine.name());
+        let stats = session.finish();
+        assert!(stats.cancelled, "{}", engine.name());
+        assert_eq!(stats.results_emitted, 0, "{}", engine.name());
+    }
+}
+
+/// A shared token cancels a ProgXe run mid-flight through the adapter API.
+#[test]
+fn shared_token_interrupts_sink_adapter() {
+    let w = WorkloadSpec::new(2_000, 2, Distribution::AntiCorrelated, 0.01)
+        .with_seed(13)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+    let exec = ProgXe::new(ProgXeConfig::default());
+    let token = CancellationToken::new();
+
+    // Cancel from inside the sink after the first batch: the region loop
+    // must stop at the next boundary.
+    struct CancellingSink {
+        token: CancellationToken,
+        batches: usize,
+    }
+    impl ResultSink for CancellingSink {
+        fn emit_batch(&mut self, _batch: &[ResultTuple]) {
+            self.batches += 1;
+            self.token.cancel();
+        }
+    }
+    let mut sink = CancellingSink {
+        token: token.clone(),
+        batches: 0,
+    };
+    let stats = exec
+        .run_cancellable(&r, &t, &maps, &mut sink, token)
+        .unwrap();
+    assert_eq!(sink.batches, 1, "cancelled after the first batch");
+    assert!(stats.cancelled);
+    assert!(stats.regions_skipped > 0, "remaining regions were skipped");
+}
