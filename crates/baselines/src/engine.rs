@@ -36,6 +36,7 @@ pub fn baseline_exec_stats(stats: &BaselineStats) -> ExecStats {
         push_through_pruned_t: stats.pruned_t,
         join_matches: stats.join_matches,
         dominance_tests: stats.dominance_tests,
+        threads_used: 1,
         ..ExecStats::default()
     }
 }

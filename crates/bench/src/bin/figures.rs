@@ -12,7 +12,7 @@
 
 use progxe_bench::figures::{
     ablate_delta, ablate_order, cellbound, fig10_prog, fig10_time, fig11, fig12, fig13, scaling,
-    ssmj_soundness, ExpOptions,
+    ssmj_soundness, threads, ExpOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +30,7 @@ experiments:
   ablate-order    Section VI-B   ordering-policy cost/benefit
   ssmj-soundness  Section VII    SSMJ batch-1 false positives
   scaling         first-output latency growth vs N (vs SSMJ, JF-SL)
+  threads         end-to-end speedup vs ProgXeConfig::threads (parallel runtime)
   all             everything above
 
 options:
@@ -96,6 +97,7 @@ fn main() -> ExitCode {
             "ablate-order" => ablate_order(opt),
             "ssmj-soundness" => ssmj_soundness(opt),
             "scaling" => scaling(opt),
+            "threads" => threads(opt),
             _ => return false,
         }
         true
@@ -114,6 +116,7 @@ fn main() -> ExitCode {
                 "ablate-order",
                 "ssmj-soundness",
                 "scaling",
+                "threads",
             ] {
                 println!();
                 run_one(name, &opt);

@@ -21,9 +21,11 @@ use crate::runners::{default_config_for, run_algo, run_algo_with_timeout, AlgoKi
 use progxe_core::config::OrderingPolicy;
 use progxe_core::executor::ProgXe;
 use progxe_core::mapping::MapSet;
+use progxe_core::session::ProgressiveEngine;
 use progxe_core::sink::CountSink;
 use progxe_core::source::SourceView;
 use progxe_datagen::{Distribution, SmjWorkload, WorkloadSpec};
+use progxe_runtime::ParallelProgXe;
 use progxe_skyline::Preference;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -321,6 +323,86 @@ pub fn scaling(opt: &ExpOptions) {
         &opt.out,
         "scaling",
         &["n", "algo", "results", "first_us", "total_us"],
+        &rows,
+    )
+    .unwrap();
+    println!("rows written to {}", path.display());
+}
+
+/// Thread scaling: end-to-end time of the 10k anti-correlated workload
+/// (the skyline-hostile case) against `ProgXeConfig::threads`. `threads=1`
+/// runs the sequential executor; higher counts run the `progxe-runtime`
+/// parallel driver with ordered progressive commit. Reports per-row
+/// speedup over the sequential baseline — the ROADMAP's "as fast as the
+/// hardware allows" tracking number.
+pub fn threads(opt: &ExpOptions) {
+    let n = opt.pick_n(10_000);
+    // Defaults pick the tuple-phase-heavy corner (d = 3, σ = 0.1): enough
+    // join matches per region that region fan-out, not the serial
+    // look-ahead front end, dominates the wall clock.
+    let dims = opt.pick_dims(3);
+    let sigma = opt.sigma.unwrap_or(0.1);
+    let counts: &[usize] = if opt.quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "== Thread scaling: total time vs threads \
+         (anti-correlated, N={n}, d={dims}, sigma={sigma}; {hw} hardware threads) =="
+    );
+    let w = workload(n, dims, Distribution::AntiCorrelated, sigma, opt.seed);
+    let maps = MapSet::pairwise_sum(dims, Preference::all_lowest(dims));
+    let r = SourceView::new(&w.r.attrs, &w.r.join_keys).expect("parallel arrays");
+    let t = SourceView::new(&w.t.attrs, &w.t.join_keys).expect("parallel arrays");
+
+    let mut table = Table::new(&["threads", "results", "first output", "total", "speedup"]);
+    let mut rows = Vec::new();
+    let mut baseline: Option<Duration> = None;
+    for &count in counts {
+        let config = default_config_for(dims, sigma).with_threads(count);
+        let engine: Box<dyn ProgressiveEngine> = if count > 1 {
+            Box::new(ParallelProgXe::new(config))
+        } else {
+            Box::new(ProgXe::new(config))
+        };
+        let mut session = engine.open(&r, &t, &maps).expect("valid configuration");
+        let mut first: Option<Duration> = None;
+        while let Some(event) = session.next_batch() {
+            if first.is_none() && !event.tuples.is_empty() {
+                first = Some(event.elapsed);
+            }
+        }
+        let stats = session.finish();
+        println!("   threads={count}: {stats}");
+        let total = stats.total_time;
+        let base = *baseline.get_or_insert(total);
+        let speedup = base.as_secs_f64() / total.as_secs_f64().max(1e-9);
+        table.row(vec![
+            format!("{count}"),
+            format!("{}", stats.results_emitted),
+            fmt_opt_duration(first),
+            fmt_duration(total),
+            format!("{speedup:.2}x"),
+        ]);
+        rows.push(vec![
+            format!("{count}"),
+            format!("{}", stats.results_emitted),
+            first.map(|d| d.as_micros().to_string()).unwrap_or_default(),
+            format!("{}", total.as_micros()),
+            format!("{speedup:.3}"),
+        ]);
+    }
+    println!("{}", table.render());
+    if hw < 4 {
+        println!(
+            "note: only {hw} hardware thread(s) available — speedups here are \
+             host-bound; run on a multi-core machine for the real curve"
+        );
+    }
+    let path = write_csv(
+        &opt.out,
+        "threads",
+        &["threads", "results", "first_us", "total_us", "speedup"],
         &rows,
     )
     .unwrap();

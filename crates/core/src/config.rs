@@ -1,6 +1,8 @@
-//! Executor configuration: grid granularity, ordering policy, signatures.
+//! Executor configuration: grid granularity, ordering policy, signatures,
+//! and the tuple-level parallelism knob.
 
 use crate::error::{Error, Result};
+use std::num::NonZeroUsize;
 
 /// How regions are ordered for tuple-level processing (Section IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +65,13 @@ pub struct ProgXeConfig {
     pub selectivity_hint: Option<f64>,
     /// Emit per-region batches even when empty (useful for tracing).
     pub emit_empty_batches: bool,
+    /// Worker threads for the tuple-level phase. `1` (the default) runs the
+    /// classic sequential region loop inside [`crate::executor::ProgXe`];
+    /// larger values are honored by the `progxe-runtime` crate's parallel
+    /// driver (and by the query layer's engine dispatch), which fans
+    /// region work units across a thread pool while a single ordered
+    /// committer preserves the progressive-emission guarantees.
+    pub threads: NonZeroUsize,
 }
 
 impl Default for ProgXeConfig {
@@ -75,6 +84,7 @@ impl Default for ProgXeConfig {
             push_through: false,
             selectivity_hint: None,
             emit_empty_batches: false,
+            threads: NonZeroUsize::MIN,
         }
     }
 }
@@ -132,6 +142,32 @@ impl ProgXeConfig {
     pub fn with_selectivity_hint(mut self, sigma: f64) -> Self {
         self.selectivity_hint = Some(sigma);
         self
+    }
+
+    /// Builder: set the tuple-level worker thread count. Values below 1
+    /// are clamped to 1.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads.max(1)).expect("max(1) is non-zero");
+        self
+    }
+
+    /// The default configuration with environment overrides applied.
+    ///
+    /// Recognized variables:
+    /// * `PROGXE_THREADS` — tuple-level worker thread count (≥ 1).
+    ///
+    /// Unset, empty, or unparsable variables leave the default untouched,
+    /// so `from_env()` is always safe to call.
+    pub fn from_env() -> Self {
+        let mut config = Self::default();
+        if let Ok(v) = std::env::var("PROGXE_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    config = config.with_threads(n);
+                }
+            }
+        }
+        config
     }
 
     /// Validates field ranges.
@@ -210,11 +246,32 @@ mod tests {
             .with_input_partitions(4)
             .with_output_cells(32)
             .with_push_through(true)
-            .with_selectivity_hint(0.01);
+            .with_selectivity_hint(0.01)
+            .with_threads(4);
         assert_eq!(c.input_partitions_per_dim, 4);
         assert_eq!(c.output_cells_per_dim, 32);
         assert!(c.push_through);
         assert_eq!(c.selectivity_hint, Some(0.01));
+        assert_eq!(c.threads.get(), 4);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn threads_clamp_to_one() {
+        assert_eq!(ProgXeConfig::default().threads.get(), 1);
+        assert_eq!(ProgXeConfig::default().with_threads(0).threads.get(), 1);
+    }
+
+    #[test]
+    fn from_env_honors_thread_override() {
+        // Serialize against any other env-reading test via a named var.
+        std::env::set_var("PROGXE_THREADS", "3");
+        assert_eq!(ProgXeConfig::from_env().threads.get(), 3);
+        std::env::set_var("PROGXE_THREADS", "not-a-number");
+        assert_eq!(ProgXeConfig::from_env().threads.get(), 1);
+        std::env::set_var("PROGXE_THREADS", "0");
+        assert_eq!(ProgXeConfig::from_env().threads.get(), 1);
+        std::env::remove_var("PROGXE_THREADS");
+        assert_eq!(ProgXeConfig::from_env(), ProgXeConfig::default());
     }
 }

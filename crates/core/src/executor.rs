@@ -11,8 +11,23 @@
 //! [`QuerySession`] whose `next_batch` steps the region loop one region at a
 //! time. The classic push entry point [`ProgXe::run`] is a thin adapter that
 //! drains a session into a [`ResultSink`]; cancellation (and `take(k)` early
-//! termination) is checked at every region boundary, so an abandoned session
-//! skips its remaining regions instead of processing and discarding them.
+//! termination) is checked at every region boundary *and* inside the
+//! tuple-level probe loop, so an abandoned session stops even mid-region.
+//!
+//! Since the parallel runtime landed, the region loop is split into two
+//! halves that this module exposes as building blocks:
+//!
+//! * [`RegionCtx`](crate::tuple_level::RegionCtx) — the immutable, owned,
+//!   `Send + Sync` context whose [`compute`](crate::tuple_level::RegionCtx::compute)
+//!   is a pure per-region work unit (join + map + local dominance filter);
+//! * [`Committer`] — the single-threaded owner of the cell store, the
+//!   region schedule, and Algorithm 2's blocker bookkeeping. All emission
+//!   decisions flow through it, in schedule order, which is what keeps
+//!   progressive output deterministic and safe (no false positives or
+//!   negatives) no matter how many workers computed the batches.
+//!
+//! [`ProgXe::prepare`] builds both; the sequential session drives them on
+//! one thread, the `progxe-runtime` crate fans the compute side out.
 //!
 //! The executor is deterministic given its configuration: grid construction,
 //! region ids, EL-graph tie-breaks, and the `Random` ordering's shuffle are
@@ -32,13 +47,14 @@ use crate::output_grid::MAX_DIMS;
 use crate::progdetermine::{EmittedCell, ProgDetermine};
 use crate::progorder::ProgOrderQueue;
 use crate::pushthrough::{push_through, Side};
-use crate::session::{CancellationToken, QuerySession, ResultEvent};
+use crate::session::{CancellationToken, QuerySession, ResultEvent, SessionStep};
 use crate::sink::{CollectSink, ResultSink};
 use crate::source::SourceView;
 use crate::stats::{ExecStats, ResultTuple};
-use crate::tuple_level::process_region;
+use crate::tuple_level::{RegionBatch, RegionCtx};
 use progxe_skyline::{Order, PointStore};
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Cell-visit cap for ProgCount scans on oversized region boxes.
@@ -52,12 +68,25 @@ pub struct ProgXe {
 
 /// Collected output of [`ProgXe::run_collect`], [`QuerySession::collect`],
 /// and [`QuerySession::take`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RunOutput {
     /// All results in emission order.
     pub results: Vec<ResultTuple>,
     /// Run statistics.
     pub stats: ExecStats,
+}
+
+/// Everything [`ProgXe::prepare`] produces: the front half of the pipeline
+/// (validation, push-through, grids, look-ahead, schedule) already done.
+pub struct Prepared {
+    /// Counters accumulated during preparation (look-ahead stats etc.).
+    pub stats: ExecStats,
+    /// The region-loop driver, or `None` when the run finished trivially
+    /// (empty input, or cancelled during setup).
+    pub committer: Option<Committer>,
+    /// The instant preparation started — the zero point of every
+    /// [`ResultEvent::elapsed`] and of [`ExecStats::total_time`].
+    pub started: Instant,
 }
 
 impl ProgXe {
@@ -94,9 +123,10 @@ impl ProgXe {
         maps: &'a MapSet,
         token: CancellationToken,
     ) -> Result<QuerySession<'a>> {
+        let prep = self.prepare(r, t, maps, token.clone())?;
         Ok(QuerySession::streaming(
             "progxe",
-            self.open_pipeline(r, t, maps, token)?,
+            ProgXeSession::new(prep, token),
         ))
     }
 
@@ -126,7 +156,8 @@ impl ProgXe {
         sink: &mut S,
         token: CancellationToken,
     ) -> Result<ExecStats> {
-        let mut session = self.session_with_token(r, t, maps, token)?;
+        let prep = self.prepare(r, t, maps, token.clone())?;
+        let mut session = QuerySession::streaming("progxe", ProgXeSession::new(prep, token));
         session.drain_into(sink);
         Ok(session.finish())
     }
@@ -146,16 +177,20 @@ impl ProgXe {
         })
     }
 
-    /// Builds the steppable pipeline state: everything before the region
+    /// Builds the front half of the pipeline: everything before the region
     /// loop. The cancellation token is checked between phases so a session
     /// cancelled during setup stops before tuple-level work.
-    fn open_pipeline<'a>(
+    ///
+    /// This is the shared entry point of the sequential session *and* the
+    /// `progxe-runtime` parallel driver: both receive the same
+    /// [`Committer`] and differ only in who computes the region batches.
+    pub fn prepare(
         &self,
-        r: &SourceView<'a>,
-        t: &SourceView<'a>,
-        maps: &'a MapSet,
+        r: &SourceView<'_>,
+        t: &SourceView<'_>,
+        maps: &MapSet,
         token: CancellationToken,
-    ) -> Result<ProgXeSession<'a>> {
+    ) -> Result<Prepared> {
         self.config.validate()?;
         if maps.out_dims() > MAX_DIMS {
             return Err(Error::TooManyDimensions {
@@ -163,23 +198,22 @@ impl ProgXe {
                 max: MAX_DIMS,
             });
         }
-        let start = Instant::now();
-        let mut stats = ExecStats::default();
-        let empty_session = |stats: ExecStats| ProgXeSession {
-            maps,
-            start,
-            token: token.clone(),
+        let started = Instant::now();
+        let mut stats = ExecStats {
+            threads_used: 1,
+            ..ExecStats::default()
+        };
+        let trivial = |stats: ExecStats| Prepared {
             stats,
-            state: None,
-            ready: VecDeque::new(),
-            done: true,
+            committer: None,
+            started,
         };
         if r.is_empty() || t.is_empty() {
-            return Ok(empty_session(stats));
+            return Ok(trivial(stats));
         }
         if token.is_cancelled() {
             stats.cancelled = true;
-            return Ok(empty_session(stats));
+            return Ok(trivial(stats));
         }
 
         // ── Push-through (ProgXe+) ────────────────────────────────────────
@@ -215,11 +249,11 @@ impl ProgXe {
         let (t_attrs, t_keys) = filter_source(t, &kept_t, &mut dense);
         let join_domain = key_ids.len();
         if r_keys.is_empty() || t_keys.is_empty() {
-            return Ok(empty_session(stats));
+            return Ok(trivial(stats));
         }
         if token.is_cancelled() {
             stats.cancelled = true;
-            return Ok(empty_session(stats));
+            return Ok(trivial(stats));
         }
 
         // Selectivity estimate for the benefit/cost models.
@@ -238,7 +272,7 @@ impl ProgXe {
         stats.partitions_t = t_grid.len();
         if token.is_cancelled() {
             stats.cancelled = true;
-            return Ok(empty_session(stats));
+            return Ok(trivial(stats));
         }
 
         let la = run_lookahead(
@@ -255,7 +289,7 @@ impl ProgXe {
         stats.cells_premarked_dead = track_cells(&la, &mut store);
         stats.cells_tracked = store.len();
         let det = ProgDetermine::new(&store, &la.regions);
-        stats.lookahead_time = start.elapsed();
+        stats.lookahead_time = started.elapsed();
 
         // ── Region schedule ──────────────────────────────────────────────
         let regions = la.regions;
@@ -299,33 +333,36 @@ impl ProgXe {
         };
 
         let total_regions = regions.len();
-        Ok(ProgXeSession {
-            maps,
-            start,
-            token,
+        let orders = maps.preference().orders().to_vec();
+        let ctx = Arc::new(RegionCtx::new(
+            maps.clone(),
+            r_attrs,
+            r_keys,
+            t_attrs,
+            t_keys,
+            r_grid,
+            t_grid,
+            regions,
+        ));
+        Ok(Prepared {
             stats,
-            state: Some(ActiveState {
+            committer: Some(Committer {
+                ctx,
                 kept_r,
                 kept_t,
-                r_attrs,
-                r_keys,
-                t_attrs,
-                t_keys,
-                r_grid,
-                t_grid,
-                regions,
                 store,
                 det,
-                orders: maps.preference().orders().to_vec(),
+                orders,
                 schedule,
                 sigma,
                 cost_model,
+                dispatched: vec![false; total_regions],
                 resolved: 0,
                 total_regions,
                 emitted_buf: Vec::new(),
+                started,
             }),
-            ready: VecDeque::new(),
-            done: false,
+            started,
         })
     }
 }
@@ -372,8 +409,18 @@ enum RegionSchedule {
 }
 
 impl RegionSchedule {
-    /// Picks the next region to resolve, or `None` when all are resolved.
-    fn next_region(&mut self, ctx: &RankCtx<'_>, stats: &mut ExecStats) -> Option<u32> {
+    /// Picks the next region to dispatch. `dispatched` marks regions handed
+    /// out but not yet resolved — on a sequential run it always equals the
+    /// resolved set, but a parallel driver keeps a window of them in
+    /// flight. Returns `None` when nothing is dispatchable *right now*
+    /// (either all regions are dispatched/resolved, or — ProgOrder with a
+    /// root-free cyclic component — every pending region is in flight).
+    fn next_region(
+        &mut self,
+        ctx: &RankCtx<'_>,
+        stats: &mut ExecStats,
+        dispatched: &[bool],
+    ) -> Option<u32> {
         match self {
             RegionSchedule::Static { order, pos } => {
                 let rid = order.get(*pos).copied();
@@ -386,7 +433,11 @@ impl RegionSchedule {
                 }
                 loop {
                     match sched.queue.pop_entry() {
-                        Some((rid, _)) if sched.graph.is_resolved(rid) => continue,
+                        Some((rid, _))
+                            if sched.graph.is_resolved(rid) || dispatched[rid as usize] =>
+                        {
+                            continue
+                        }
                         Some((rid, entry_rank)) => {
                             // Benefit recomputation is the expensive part of
                             // ordering (a box scan per region). To keep the
@@ -411,22 +462,27 @@ impl RegionSchedule {
                             return Some(rid);
                         }
                         None => {
+                            let pending = sched.graph.pending();
+                            // An empty queue with regions *in flight* is not
+                            // the cyclic-component case — the real EL-roots
+                            // are simply uncommitted. Hand out nothing and
+                            // let the committer land a batch, which either
+                            // pushes new roots or ends the run.
+                            if pending.iter().any(|&rid| dispatched[rid as usize]) {
+                                return None;
+                            }
                             // Cyclic component with no root (DESIGN.md §5.2):
                             // pick the best pending region by cached rank —
                             // O(regions), no box scans.
-                            stats.ordering_fallbacks += 1;
-                            return Some(
-                                sched
-                                    .graph
-                                    .pending()
-                                    .into_iter()
-                                    .max_by(|&a, &b| {
-                                        sched.rank_cache[a as usize]
-                                            .total_cmp(&sched.rank_cache[b as usize])
-                                            .then_with(|| b.cmp(&a))
-                                    })
-                                    .expect("unresolved > 0 implies pending regions"),
-                            );
+                            let best = pending.into_iter().max_by(|&a, &b| {
+                                sched.rank_cache[a as usize]
+                                    .total_cmp(&sched.rank_cache[b as usize])
+                                    .then_with(|| b.cmp(&a))
+                            });
+                            if best.is_some() {
+                                stats.ordering_fallbacks += 1;
+                            }
+                            return best;
                         }
                     }
                 }
@@ -452,55 +508,286 @@ impl RegionSchedule {
     }
 }
 
-/// Everything the region loop touches, owned so the session can be stepped.
-struct ActiveState {
+/// The single-threaded back half of the region loop: owns the cell store,
+/// the region schedule, and Algorithm 2's blocker bookkeeping.
+///
+/// Every region goes through exactly one of three commit paths — all of
+/// which resolve it and may release proven-final cells as a
+/// [`ResultEvent`]:
+///
+/// * [`discard_dead`](Self::discard_dead) — the region box was already
+///   fully dominated when it was popped; no tuple work at all;
+/// * [`process_and_commit`](Self::process_and_commit) — sequential path:
+///   stream the join directly into the cell store;
+/// * [`commit_batch`](Self::commit_batch) — parallel path: apply a
+///   worker-computed [`RegionBatch`].
+///
+/// Parallel drivers **must** commit batches in the order the regions were
+/// popped from [`pop_next`](Self::pop_next); combined with the
+/// cancellation-token discipline this makes parallel emission
+/// deterministic regardless of worker interleaving.
+pub struct Committer {
+    ctx: Arc<RegionCtx>,
     /// Filtered→original row-id maps (push-through survivors).
     kept_r: Vec<u32>,
     kept_t: Vec<u32>,
-    /// Filtered sources with dense join keys.
-    r_attrs: PointStore,
-    r_keys: Vec<u32>,
-    t_attrs: PointStore,
-    t_keys: Vec<u32>,
-    r_grid: InputGrid,
-    t_grid: InputGrid,
-    regions: Vec<Region>,
     store: CellStore,
     det: ProgDetermine,
     orders: Vec<Order>,
     schedule: RegionSchedule,
     sigma: f64,
     cost_model: CostModel,
+    /// Regions handed out by `pop_next` (superset of resolved).
+    dispatched: Vec<bool>,
     resolved: usize,
     total_regions: usize,
     emitted_buf: Vec<EmittedCell>,
+    started: Instant,
 }
 
-/// The steppable ProgXe pipeline behind a [`QuerySession`].
+impl Committer {
+    /// The shared work-unit context (regions, grids, filtered sources).
+    pub fn ctx(&self) -> Arc<RegionCtx> {
+        Arc::clone(&self.ctx)
+    }
+
+    /// The instant the pipeline started (zero point of event timestamps).
+    pub fn started_at(&self) -> Instant {
+        self.started
+    }
+
+    /// Regions not yet resolved.
+    pub fn unresolved(&self) -> usize {
+        self.total_regions - self.resolved
+    }
+
+    /// Picks the next region to work on, marking it dispatched. `None`
+    /// means nothing is dispatchable right now — which is final on a
+    /// sequential run, but on a parallel run may become `Some` again after
+    /// in-flight regions commit (new EL-graph roots appear).
+    pub fn pop_next(&mut self, stats: &mut ExecStats) -> Option<u32> {
+        let ctx = RankCtx {
+            regions: self.ctx.regions(),
+            store: &self.store,
+            det: &self.det,
+            sigma: self.sigma,
+            cost_model: &self.cost_model,
+        };
+        let rid = self.schedule.next_region(&ctx, stats, &self.dispatched)?;
+        debug_assert!(!self.dispatched[rid as usize], "region {rid} popped twice");
+        self.dispatched[rid as usize] = true;
+        Some(rid)
+    }
+
+    /// Whether the region's whole output box is fully dominated by results
+    /// committed so far (Algorithm 1, line 9) — its tuple work can be
+    /// skipped entirely.
+    pub fn region_box_is_dead(&self, rid: u32) -> bool {
+        self.store
+            .region_is_dead(&self.ctx.regions()[rid as usize].cell_lo)
+    }
+
+    /// Resolves a dead region without tuple-level work.
+    pub fn discard_dead(&mut self, rid: u32, stats: &mut ExecStats) -> Option<ResultEvent> {
+        stats.regions_discarded_dead += 1;
+        self.resolve(rid, stats)
+    }
+
+    /// Sequential path: joins the region, streaming inserts into the cell
+    /// store, then resolves it. Returns `None` when the token fired
+    /// mid-region — the insert set is partial, so the region is left
+    /// *unresolved* (emitting from it could produce false positives) and
+    /// the run counts as cancelled.
+    pub fn process_and_commit(
+        &mut self,
+        rid: u32,
+        token: &CancellationToken,
+        stats: &mut ExecStats,
+    ) -> Option<Option<ResultEvent>> {
+        let ctx = Arc::clone(&self.ctx);
+        let compute_started = Instant::now();
+        let (tl, completed) = ctx.process_into(rid, &mut self.store, token);
+        stats.tuple_time += compute_started.elapsed();
+        stats.join_pairs_evaluated += tl.pairs_examined;
+        stats.join_matches += tl.matches;
+        if !completed {
+            stats.cancelled = true;
+            return None;
+        }
+        stats.regions_processed += 1;
+        Some(self.resolve(rid, stats))
+    }
+
+    /// Parallel path: applies one worker-computed batch. The region box is
+    /// re-checked against results committed in the meantime (a region
+    /// dispatched early may be dead by the time its batch lands), then the
+    /// surviving tuples go through the same cell-restricted dominance
+    /// insert the sequential path uses, and the region resolves.
+    ///
+    /// # Panics
+    /// Debug-asserts that the batch completed; committing a partial batch
+    /// would break Principle 1.
+    pub fn commit_batch(
+        &mut self,
+        batch: RegionBatch,
+        stats: &mut ExecStats,
+    ) -> Option<ResultEvent> {
+        debug_assert!(batch.completed, "partial batches must not be committed");
+        let commit_started = Instant::now();
+        stats.tuple_time += batch.compute_time;
+        stats.join_pairs_evaluated += batch.stats.pairs_examined;
+        stats.join_matches += batch.stats.matches;
+        stats.dominance_tests += batch.stats.local_dominance_tests;
+        if self.region_box_is_dead(batch.rid) {
+            stats.regions_discarded_dead += 1;
+        } else {
+            stats.regions_processed += 1;
+            for (i, &(r, t)) in batch.ids.iter().enumerate() {
+                self.store.insert(r, t, batch.points.point(i));
+            }
+        }
+        let event = self.resolve(batch.rid, stats);
+        stats.commit_time += commit_started.elapsed();
+        event
+    }
+
+    /// Resolves one dispatched region: blocker bookkeeping, schedule
+    /// update, and conversion of released cells into a [`ResultEvent`].
+    fn resolve(&mut self, rid: u32, stats: &mut ExecStats) -> Option<ResultEvent> {
+        let region = &self.ctx.regions()[rid as usize];
+        self.det
+            .resolve_region(region, &mut self.store, &mut self.emitted_buf);
+        self.resolved += 1;
+        let ctx = RankCtx {
+            regions: self.ctx.regions(),
+            store: &self.store,
+            det: &self.det,
+            sigma: self.sigma,
+            cost_model: &self.cost_model,
+        };
+        self.schedule.on_resolved(rid, &ctx);
+
+        if self.emitted_buf.is_empty() {
+            return None;
+        }
+        let mut tuples = Vec::new();
+        for cell in self.emitted_buf.drain(..) {
+            stats.cells_emitted += 1;
+            for (i, &(ri, ti)) in cell.ids.iter().enumerate() {
+                let oriented = cell.points.point(i);
+                let values = self
+                    .orders
+                    .iter()
+                    .zip(oriented)
+                    .map(|(o, &v)| o.orient(v))
+                    .collect();
+                tuples.push(ResultTuple {
+                    r_idx: self.kept_r[ri as usize],
+                    t_idx: self.kept_t[ti as usize],
+                    values,
+                });
+            }
+        }
+        stats.results_emitted += tuples.len() as u64;
+        Some(ResultEvent {
+            tuples,
+            proven_final: true,
+            progress_estimate: self.resolved as f64 / self.total_regions.max(1) as f64,
+            elapsed: self.started.elapsed(),
+        })
+    }
+
+    /// Closes the region loop: merges cell-store counters into `stats` and
+    /// flags an early stop when regions were left unresolved.
+    pub fn finalize(self, stats: &mut ExecStats) {
+        let unresolved = self.total_regions - self.resolved;
+        if unresolved > 0 {
+            stats.cancelled = true;
+            stats.regions_skipped = unresolved;
+        } else {
+            // All regions resolved ⇒ every live cell must have been
+            // released.
+            debug_assert_eq!(
+                self.det.live_cells(),
+                0,
+                "cells left blocked after all regions resolved"
+            );
+        }
+        let cell_stats = self.store.stats();
+        // `+=`: worker-local pre-filter tests were already accumulated.
+        stats.dominance_tests += cell_stats.dominance_tests;
+        stats.tuples_inserted = cell_stats.tuples_inserted;
+        stats.tuples_rejected_dominated = cell_stats.tuples_rejected_dominated;
+        stats.tuples_rejected_dead_cell = cell_stats.tuples_rejected_dead_cell;
+        stats.tuples_evicted = cell_stats.tuples_evicted;
+        stats.comparable_cells_visited = cell_stats.comparable_cells_visited;
+        stats.comparable_cells_max = cell_stats.comparable_cells_max;
+    }
+}
+
+/// The steppable sequential ProgXe pipeline behind a [`QuerySession`].
 ///
-/// Holds the prepared abstraction-level state (grids, regions, cell store,
-/// ProgDetermine bookkeeping) and advances the region loop one region per
-/// [`step`](Self::step) call, queueing a [`ResultEvent`] whenever a
-/// resolution releases proven-final cells.
-pub(crate) struct ProgXeSession<'a> {
-    maps: &'a MapSet,
+/// Owns a [`Committer`] and advances the region loop one region per step,
+/// queueing a [`ResultEvent`] whenever a resolution releases proven-final
+/// cells. Owns no borrows: all query state was copied/`Arc`ed during
+/// [`ProgXe::prepare`].
+pub(crate) struct ProgXeSession {
     start: Instant,
     token: CancellationToken,
     stats: ExecStats,
-    /// `None` when the run finished trivially (empty input / cancelled
-    /// during setup).
-    state: Option<ActiveState>,
+    committer: Option<Committer>,
     ready: VecDeque<ResultEvent>,
     done: bool,
 }
 
-impl ProgXeSession<'_> {
+impl ProgXeSession {
+    pub(crate) fn new(prep: Prepared, token: CancellationToken) -> Self {
+        let done = prep.committer.is_none();
+        Self {
+            start: prep.started,
+            token,
+            stats: prep.stats,
+            committer: prep.committer,
+            ready: VecDeque::new(),
+            done,
+        }
+    }
+
     pub(crate) fn token(&self) -> CancellationToken {
         self.token.clone()
     }
 
+    /// Resolves one region: tuple-level processing (unless the region box
+    /// is dead), blocker bookkeeping, and conversion of any released cells
+    /// into a queued [`ResultEvent`]. Returns false when no regions remain
+    /// (or the token fired mid-region).
+    fn step(&mut self) -> bool {
+        let Some(committer) = self.committer.as_mut() else {
+            return false;
+        };
+        let Some(rid) = committer.pop_next(&mut self.stats) else {
+            return false;
+        };
+        if committer.region_box_is_dead(rid) {
+            if let Some(event) = committer.discard_dead(rid, &mut self.stats) {
+                self.ready.push_back(event);
+            }
+            return true;
+        }
+        match committer.process_and_commit(rid, &self.token, &mut self.stats) {
+            Some(Some(event)) => {
+                self.ready.push_back(event);
+                true
+            }
+            Some(None) => true,
+            None => false, // cancelled mid-region
+        }
+    }
+}
+
+impl SessionStep for ProgXeSession {
     /// Pulls the next event, stepping the region loop as needed.
-    pub(crate) fn next_event(&mut self) -> Option<ResultEvent> {
+    fn next_event(&mut self) -> Option<ResultEvent> {
         loop {
             if self.token.is_cancelled() {
                 return None;
@@ -515,127 +802,24 @@ impl ProgXeSession<'_> {
         }
     }
 
-    /// Resolves one region: tuple-level processing (unless the region box
-    /// is dead), blocker bookkeeping, and conversion of any released cells
-    /// into a queued [`ResultEvent`]. Returns false when no regions remain.
-    fn step(&mut self) -> bool {
-        let Some(state) = self.state.as_mut() else {
-            return false;
-        };
-        let ActiveState {
-            kept_r,
-            kept_t,
-            r_attrs,
-            r_keys,
-            t_attrs,
-            t_keys,
-            r_grid,
-            t_grid,
-            regions,
-            store,
-            det,
-            orders,
-            schedule,
-            sigma,
-            cost_model,
-            resolved,
-            total_regions,
-            emitted_buf,
-        } = state;
-        let stats = &mut self.stats;
-
-        let ctx = RankCtx {
-            regions,
-            store,
-            det,
-            sigma: *sigma,
-            cost_model,
-        };
-        let Some(rid) = schedule.next_region(&ctx, stats) else {
-            return false;
-        };
-
-        let region = &regions[rid as usize];
-        if store.region_is_dead(&region.cell_lo) {
-            stats.regions_discarded_dead += 1;
-        } else {
-            let rp = &r_grid.partitions()[region.r_part as usize];
-            let tp = &t_grid.partitions()[region.t_part as usize];
-            let r_view = SourceView::new(r_attrs, r_keys).expect("filtered arrays are parallel");
-            let t_view = SourceView::new(t_attrs, t_keys).expect("filtered arrays are parallel");
-            let tl = process_region(rp, tp, &r_view, &t_view, self.maps, store);
-            stats.join_pairs_evaluated += tl.pairs_examined;
-            stats.join_matches += tl.matches;
-            stats.regions_processed += 1;
-        }
-        det.resolve_region(region, store, emitted_buf);
-        *resolved += 1;
-        let ctx = RankCtx {
-            regions,
-            store,
-            det,
-            sigma: *sigma,
-            cost_model,
-        };
-        schedule.on_resolved(rid, &ctx);
-
-        if !emitted_buf.is_empty() {
-            let mut tuples = Vec::new();
-            for cell in emitted_buf.drain(..) {
-                stats.cells_emitted += 1;
-                for (i, &(ri, ti)) in cell.ids.iter().enumerate() {
-                    let oriented = cell.points.point(i);
-                    let values = orders
-                        .iter()
-                        .zip(oriented)
-                        .map(|(o, &v)| o.orient(v))
-                        .collect();
-                    tuples.push(ResultTuple {
-                        r_idx: kept_r[ri as usize],
-                        t_idx: kept_t[ti as usize],
-                        values,
-                    });
-                }
-            }
-            stats.results_emitted += tuples.len() as u64;
-            self.ready.push_back(ResultEvent {
-                tuples,
-                proven_final: true,
-                progress_estimate: *resolved as f64 / (*total_regions).max(1) as f64,
-                elapsed: self.start.elapsed(),
-            });
-        }
-        true
+    fn stats_snapshot(&self) -> ExecStats {
+        let mut stats = self.stats.clone();
+        stats.total_time = self.start.elapsed();
+        stats
     }
 
     /// Closes the session: merges cell-store counters into the stats and
     /// flags an early stop (unresolved regions or undelivered events).
-    pub(crate) fn finalize(mut self) -> ExecStats {
-        if let Some(state) = self.state.take() {
-            let unresolved = state.total_regions - state.resolved;
-            if unresolved > 0 || !self.ready.is_empty() {
-                self.stats.cancelled = true;
-                self.stats.regions_skipped = unresolved;
-            } else {
-                // All regions resolved ⇒ every live cell must have been
-                // released.
-                debug_assert_eq!(
-                    state.det.live_cells(),
-                    0,
-                    "cells left blocked after all regions resolved"
-                );
+    fn finalize(self: Box<Self>) -> ExecStats {
+        let mut stats = self.stats;
+        if let Some(committer) = self.committer {
+            if !self.ready.is_empty() {
+                stats.cancelled = true;
             }
-            let cell_stats = state.store.stats();
-            self.stats.dominance_tests = cell_stats.dominance_tests;
-            self.stats.tuples_inserted = cell_stats.tuples_inserted;
-            self.stats.tuples_rejected_dominated = cell_stats.tuples_rejected_dominated;
-            self.stats.tuples_rejected_dead_cell = cell_stats.tuples_rejected_dead_cell;
-            self.stats.tuples_evicted = cell_stats.tuples_evicted;
-            self.stats.comparable_cells_visited = cell_stats.comparable_cells_visited;
-            self.stats.comparable_cells_max = cell_stats.comparable_cells_max;
+            committer.finalize(&mut stats);
         }
-        self.stats.total_time = self.start.elapsed();
-        self.stats
+        stats.total_time = self.start.elapsed();
+        stats
     }
 }
 
@@ -893,6 +1077,7 @@ mod tests {
         assert!(s.regions_processed + s.regions_discarded_dead <= s.regions_created);
         assert!(s.tuples_inserted >= s.results_emitted + s.tuples_evicted);
         assert!(s.total_time >= s.lookahead_time);
+        assert_eq!(s.threads_used, 1);
         assert!(!s.cancelled);
         assert_eq!(s.regions_skipped, 0);
     }
@@ -1038,5 +1223,42 @@ mod tests {
             .run_collect(&r.view(), &t.view(), &maps)
             .unwrap();
         assert_eq!(out.results, direct.results);
+    }
+
+    #[test]
+    fn prepare_exposes_committer_for_external_drivers() {
+        // Drive the region loop by hand through the public Committer API —
+        // exactly what the parallel runtime does — and check it agrees with
+        // the sequential session.
+        let r = random_source(120, 2, 5, 71);
+        let t = random_source(120, 2, 5, 72);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let exec = ProgXe::new(ProgXeConfig::default());
+        let expected = run_and_sort(&exec, &r, &t, &maps);
+
+        let token = CancellationToken::new();
+        let prep = exec
+            .prepare(&r.view(), &t.view(), &maps, token.clone())
+            .unwrap();
+        let mut committer = prep.committer.expect("non-trivial workload");
+        let ctx = committer.ctx();
+        let mut stats = prep.stats;
+        let mut ids = Vec::new();
+        while let Some(rid) = committer.pop_next(&mut stats) {
+            let event = if committer.region_box_is_dead(rid) {
+                committer.discard_dead(rid, &mut stats)
+            } else {
+                let batch = ctx.compute(rid, &token);
+                assert!(batch.completed);
+                committer.commit_batch(batch, &mut stats)
+            };
+            if let Some(event) = event {
+                ids.extend(event.tuples.iter().map(|x| (x.r_idx, x.t_idx)));
+            }
+        }
+        committer.finalize(&mut stats);
+        assert!(!stats.cancelled);
+        ids.sort_unstable();
+        assert_eq!(ids, expected);
     }
 }

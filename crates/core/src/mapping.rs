@@ -8,6 +8,7 @@
 //! how partition pairs become output regions without touching tuples.
 
 use progxe_skyline::Preference;
+use std::sync::Arc;
 
 use crate::error::{Error, Result};
 
@@ -201,8 +202,14 @@ impl MappingFunction for GeneralMap {
 
 /// The full Map operator: `k` functions plus the preference over their
 /// outputs. The preference dimensionality must equal the function count.
+///
+/// Functions are stored behind [`Arc`], so cloning a `MapSet` is cheap
+/// (reference-count bumps) — this is what lets the parallel runtime ship
+/// the mapping functions to worker threads as `Send + 'static` work units
+/// without re-planning the query.
+#[derive(Clone)]
 pub struct MapSet {
-    maps: Vec<Box<dyn MappingFunction>>,
+    maps: Vec<Arc<dyn MappingFunction>>,
     pref: Preference,
 }
 
@@ -215,7 +222,10 @@ impl MapSet {
                 preference: pref.dims(),
             });
         }
-        Ok(Self { maps, pref })
+        Ok(Self {
+            maps: maps.into_iter().map(Arc::from).collect(),
+            pref,
+        })
     }
 
     /// The paper's experimental mapping: output dimension `j` is
@@ -241,7 +251,7 @@ impl MapSet {
 
     /// The individual mapping functions.
     #[inline]
-    pub fn maps(&self) -> &[Box<dyn MappingFunction>] {
+    pub fn maps(&self) -> &[Arc<dyn MappingFunction>] {
         &self.maps
     }
 

@@ -78,6 +78,24 @@ impl CancellationToken {
     }
 }
 
+/// An incrementally stepped query execution that a [`QuerySession`] can
+/// drive. The sequential ProgXe pipeline implements this, and so does the
+/// parallel driver in the `progxe-runtime` crate — which is exactly why the
+/// trait is public: external execution strategies plug into the same
+/// session contract through [`QuerySession::stepped`].
+pub trait SessionStep {
+    /// Produces the next result event, advancing execution as needed.
+    /// Returns `None` once the query has completed or was cancelled.
+    fn next_event(&mut self) -> Option<ResultEvent>;
+
+    /// A snapshot of the statistics accumulated so far (mid-run safe).
+    fn stats_snapshot(&self) -> ExecStats;
+
+    /// Consumes the stepper and returns final statistics. Implementations
+    /// must flag [`ExecStats::cancelled`] when work was left undone.
+    fn finalize(self: Box<Self>) -> ExecStats;
+}
+
 /// The uniform execution interface: one implementation per engine
 /// (ProgXe and each baseline), one consumption model for all of them.
 pub trait ProgressiveEngine {
@@ -132,8 +150,9 @@ struct DeferredState<'a> {
 }
 
 enum SessionInner<'a> {
-    /// Incrementally stepped ProgXe execution.
-    Stream(Box<ProgXeSession<'a>>),
+    /// Incrementally stepped execution (sequential ProgXe, or any external
+    /// [`SessionStep`] such as the parallel runtime driver).
+    Stream(Box<dyn SessionStep + 'a>),
     /// Blocking engine: the whole run happens at the first `next_batch`.
     Deferred(Box<DeferredState<'a>>),
 }
@@ -151,11 +170,13 @@ pub struct QuerySession<'a> {
     token: CancellationToken,
     remap: Option<(Vec<u32>, Vec<u32>)>,
     emitted: u64,
+    /// High-water mark enforcing monotone, `[0, 1]`-clamped progress.
+    last_progress: f64,
 }
 
 impl<'a> QuerySession<'a> {
     /// Wraps an incremental ProgXe session.
-    pub(crate) fn streaming(engine: &'static str, session: ProgXeSession<'a>) -> Self {
+    pub(crate) fn streaming(engine: &'static str, session: ProgXeSession) -> Self {
         let token = session.token();
         Self {
             engine,
@@ -163,6 +184,25 @@ impl<'a> QuerySession<'a> {
             token,
             remap: None,
             emitted: 0,
+            last_progress: 0.0,
+        }
+    }
+
+    /// Wraps an external [`SessionStep`] implementation (e.g. the parallel
+    /// runtime driver) together with the cancellation token it watches.
+    /// The token must be shared with the stepper: `cancel` relies on it.
+    pub fn stepped(
+        engine: &'static str,
+        token: CancellationToken,
+        step: Box<dyn SessionStep + 'a>,
+    ) -> Self {
+        Self {
+            engine,
+            inner: SessionInner::Stream(step),
+            token,
+            remap: None,
+            emitted: 0,
+            last_progress: 0.0,
         }
     }
 
@@ -184,6 +224,7 @@ impl<'a> QuerySession<'a> {
             token: CancellationToken::new(),
             remap: None,
             emitted: 0,
+            last_progress: 0.0,
         }
     }
 
@@ -234,6 +275,11 @@ impl<'a> QuerySession<'a> {
 
     /// Pulls the next batch of proven-final results. Returns `None` once
     /// the query has completed or the session was cancelled.
+    ///
+    /// [`ResultEvent::progress_estimate`] is normalized here, uniformly for
+    /// every engine: clamped to `[0, 1]` and made monotonically
+    /// non-decreasing across the batches of one session (non-finite
+    /// estimates degrade to the previous value).
     pub fn next_batch(&mut self) -> Option<ResultEvent> {
         if self.token.is_cancelled() {
             return None;
@@ -255,8 +301,26 @@ impl<'a> QuerySession<'a> {
                 tuple.t_idx = t_rows[tuple.t_idx as usize];
             }
         }
+        let p = event.progress_estimate;
+        let clamped = if p.is_finite() {
+            p.clamp(0.0, 1.0)
+        } else {
+            self.last_progress
+        };
+        self.last_progress = clamped.max(self.last_progress);
+        event.progress_estimate = self.last_progress;
         self.emitted += event.tuples.len() as u64;
         Some(event)
+    }
+
+    /// A snapshot of the statistics accumulated so far, without consuming
+    /// the session. For a deferred (blocking) engine that has not run yet,
+    /// this is all zeros.
+    pub fn stats_snapshot(&self) -> ExecStats {
+        match &self.inner {
+            SessionInner::Stream(session) => session.stats_snapshot(),
+            SessionInner::Deferred(deferred) => deferred.stats.clone().unwrap_or_default(),
+        }
     }
 
     /// Consumes the session and returns its statistics. If the query had

@@ -32,6 +32,16 @@ pub struct ExecStats {
     pub lookahead_time: Duration,
     /// Total wall-clock duration of the run.
     pub total_time: Duration,
+    /// Accumulated tuple-level compute time (join + map + per-region
+    /// dominance work) across all regions. On a parallel run this sums the
+    /// *worker* compute durations, so it can exceed wall-clock time.
+    pub tuple_time: Duration,
+    /// Time the ordered committer spent applying region batches (insertion
+    /// into the cell store plus blocker bookkeeping). Zero on sequential
+    /// runs, where commit work is folded into [`ExecStats::tuple_time`].
+    pub commit_time: Duration,
+    /// Worker threads used for the tuple-level phase (1 = sequential).
+    pub threads_used: usize,
 
     /// Tuples pruned from source R by push-through (0 when disabled).
     pub push_through_pruned_r: usize,
@@ -125,6 +135,30 @@ impl ExecStats {
     }
 }
 
+impl std::fmt::Display for ExecStats {
+    /// One-line human summary, used by the examples and the bench report.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} results in {:.1?} ({}/{} regions processed, {} discarded dead, \
+             {} join matches, {} dominance tests, {} thread{})",
+            self.results_emitted,
+            self.total_time,
+            self.regions_processed,
+            self.regions_created,
+            self.regions_discarded_dead,
+            self.join_matches,
+            self.dominance_tests,
+            self.threads_used.max(1),
+            if self.threads_used > 1 { "s" } else { "" },
+        )?;
+        if self.cancelled {
+            write!(f, " [cancelled, {} regions skipped]", self.regions_skipped)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +182,24 @@ mod tests {
         };
         assert!((s.signature_rejection_rate() - 0.3).abs() < 1e-12);
         assert!((s.result_selectivity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_one_line_and_mentions_cancellation() {
+        let mut s = ExecStats {
+            results_emitted: 42,
+            regions_processed: 7,
+            regions_created: 9,
+            threads_used: 4,
+            ..ExecStats::default()
+        };
+        let line = s.to_string();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("42 results"));
+        assert!(line.contains("4 threads"));
+        assert!(!line.contains("cancelled"));
+        s.cancelled = true;
+        s.regions_skipped = 2;
+        assert!(s.to_string().contains("[cancelled, 2 regions skipped]"));
     }
 }

@@ -2,15 +2,45 @@
 //!
 //! For the chosen region `R_{a,b}`: evaluate the equi-join between the
 //! tuples of `I^R_a` and `I^T_b` (hash join on the smaller side), apply the
-//! mapping functions to each match, orient the output, and insert it into
-//! the cell store — which performs the cell-restricted dominance
-//! maintenance.
+//! mapping functions to each match, orient the output, and hand every mapped
+//! tuple to a consumer — either the shared [`CellStore`] (sequential path,
+//! [`process_region`]) or a private batch buffer (parallel path,
+//! [`RegionCtx::compute`]).
+//!
+//! The parallel split follows the paper's own decomposition: everything up
+//! to the cell-restricted dominance insert is *pure* per-region work
+//! ([`RegionCtx`] is `Send + Sync` and owns all inputs), while Algorithm 2's
+//! blocker bookkeeping stays with the single ordered committer in
+//! [`crate::executor`]. Workers additionally run a bounded local skyline
+//! pre-filter over their own batch — sound because Pareto dominance is
+//! transitive, so a tuple dominated inside its batch can never survive the
+//! shared store either.
+//!
+//! Cancellation is checked *inside* the probe loop (every
+//! [`CANCEL_CHECK_INTERVAL`] probe rows), so a `take(k)` consumer or a
+//! timeout stops a huge region mid-flight instead of paying for the whole
+//! join.
 
 use crate::cells::CellStore;
 use crate::fxhash::FxHashMap;
-use crate::grid::InputPartition;
+use crate::grid::{InputGrid, InputPartition};
+use crate::lookahead::Region;
 use crate::mapping::MapSet;
+use crate::session::CancellationToken;
 use crate::source::SourceView;
+use progxe_skyline::{PointStore, Preference};
+use std::time::{Duration, Instant};
+
+/// Work items (probe rows + join matches) between cancellation-token
+/// checks inside the join loop: bounds how far a cancelled region can
+/// overshoot, even when single probe rows fan out into many matches.
+pub const CANCEL_CHECK_INTERVAL: usize = 256;
+
+/// Upper bound on the local pre-filter's comparison window. Tuples kept
+/// while the window is full are simply passed through unfiltered (sound:
+/// the committer's cell store re-checks everything), keeping worker-side
+/// filtering at `O(matches × window)`.
+const LOCAL_FILTER_WINDOW: usize = 256;
 
 /// Work counters from processing one region.
 #[derive(Debug, Clone, Copy, Default)]
@@ -20,18 +50,35 @@ pub struct TupleLevelStats {
     pub pairs_examined: u64,
     /// Join matches produced and mapped.
     pub matches: u64,
+    /// Pairwise dominance tests performed by the worker-local pre-filter
+    /// (0 on the sequential path).
+    pub local_dominance_tests: u64,
+    /// Tuples dropped by the worker-local pre-filter before reaching the
+    /// committer (0 on the sequential path).
+    pub locally_pruned: u64,
 }
 
-/// Joins one partition pair, maps the matches, and inserts them.
-pub fn process_region(
+/// The shared join + map + orient loop. Calls `emit` for every join match
+/// with `(r_row, t_row, oriented values)`. Returns the work counters and
+/// whether the region ran to completion (`false` = cancelled mid-region).
+///
+/// Generic over the consumer (not `dyn`) so both call sites — streaming
+/// insert and batch collection — keep `emit` inlinable in the hot loop.
+fn join_region<F: FnMut(u32, u32, &[f64])>(
     r_part: &InputPartition,
     t_part: &InputPartition,
     r_src: &SourceView<'_>,
     t_src: &SourceView<'_>,
     maps: &MapSet,
-    store: &mut CellStore,
-) -> TupleLevelStats {
+    token: &CancellationToken,
+    mut emit: F,
+) -> (TupleLevelStats, bool) {
     let mut stats = TupleLevelStats::default();
+    // An already-cancelled token stops the region before any join work;
+    // afterwards it is re-checked every CANCEL_CHECK_INTERVAL work items.
+    if token.is_cancelled() {
+        return (stats, false);
+    }
     let orders = maps.preference().orders();
     let mut raw = Vec::with_capacity(maps.out_dims());
     let mut oriented = vec![0.0f64; maps.out_dims()];
@@ -53,12 +100,30 @@ pub fn process_region(
             .push(row);
     }
 
-    for &probe in probe_rows {
+    let mut since_check = 0usize;
+    for (probed, &probe) in probe_rows.iter().enumerate() {
+        since_check += 1;
+        if since_check >= CANCEL_CHECK_INTERVAL {
+            since_check = 0;
+            if token.is_cancelled() {
+                // Account only the work actually performed before the stop.
+                stats.pairs_examined = probed as u64 * build_rows.len() as u64;
+                return (stats, false);
+            }
+        }
         let key = probe_src.join_key_of(probe as usize);
         let Some(matches) = table.get(&key) else {
             continue;
         };
         for &build in matches {
+            since_check += 1;
+            if since_check >= CANCEL_CHECK_INTERVAL {
+                since_check = 0;
+                if token.is_cancelled() {
+                    stats.pairs_examined = (probed as u64 + 1) * build_rows.len() as u64;
+                    return (stats, false);
+                }
+            }
             stats.matches += 1;
             let (r_row, t_row) = if build_is_r {
                 (build, probe)
@@ -73,15 +138,251 @@ pub fn process_region(
             for (j, (&v, o)) in raw.iter().zip(orders).enumerate() {
                 oriented[j] = o.orient(v);
             }
-            store.insert(r_row, t_row, &oriented);
+            emit(r_row, t_row, &oriented);
         }
     }
     // Account the full nested-pair count as "examined" for the cost model's
     // C_join = n_R·n_T bookkeeping (hash probing avoids most of it in
     // practice; the counter reports the logical join work of Equation 4).
     stats.pairs_examined = r_part.len() as u64 * t_part.len() as u64;
-    stats
+    (stats, true)
 }
+
+/// Joins one partition pair, maps the matches, and inserts them directly
+/// into the shared cell store — the sequential path. Returns the work
+/// counters and whether the region completed (`false` = cancelled
+/// mid-region; the store then holds a *partial* insert set and the region
+/// must **not** be resolved).
+pub fn process_region(
+    r_part: &InputPartition,
+    t_part: &InputPartition,
+    r_src: &SourceView<'_>,
+    t_src: &SourceView<'_>,
+    maps: &MapSet,
+    store: &mut CellStore,
+    token: &CancellationToken,
+) -> (TupleLevelStats, bool) {
+    join_region(r_part, t_part, r_src, t_src, maps, token, |r, t, o| {
+        store.insert(r, t, o);
+    })
+}
+
+/// Immutable, owned context shared by all tuple-level work units of one
+/// query: filtered sources, grids, regions, and the mapping functions.
+///
+/// `Send + Sync` by construction (everything is owned; [`MapSet`] clones
+/// are `Arc` bumps), so an `Arc<RegionCtx>` can be captured by `'static`
+/// thread-pool jobs.
+#[derive(Debug)]
+pub struct RegionCtx {
+    maps: MapSet,
+    /// Filtered sources with dense join keys (push-through survivors).
+    r_attrs: PointStore,
+    r_keys: Vec<u32>,
+    t_attrs: PointStore,
+    t_keys: Vec<u32>,
+    r_grid: InputGrid,
+    t_grid: InputGrid,
+    regions: Vec<Region>,
+    /// All-lowest preference over *oriented* values, for the local filter.
+    lowest: Preference,
+}
+
+impl RegionCtx {
+    /// Bundles the per-query immutable state. Called by the executor's
+    /// pipeline setup; `maps` is a cheap clone (`Arc`-backed).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        maps: MapSet,
+        r_attrs: PointStore,
+        r_keys: Vec<u32>,
+        t_attrs: PointStore,
+        t_keys: Vec<u32>,
+        r_grid: InputGrid,
+        t_grid: InputGrid,
+        regions: Vec<Region>,
+    ) -> Self {
+        let lowest = Preference::all_lowest(maps.out_dims());
+        Self {
+            maps,
+            r_attrs,
+            r_keys,
+            t_attrs,
+            t_keys,
+            r_grid,
+            t_grid,
+            regions,
+            lowest,
+        }
+    }
+
+    /// The query's live regions (dense ids = indices).
+    #[inline]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The mapping functions + preference of this query.
+    #[inline]
+    pub fn maps(&self) -> &MapSet {
+        &self.maps
+    }
+
+    /// Views over the filtered sources.
+    fn views(&self) -> (SourceView<'_>, SourceView<'_>) {
+        let r = SourceView::new(&self.r_attrs, &self.r_keys).expect("filtered arrays are parallel");
+        let t = SourceView::new(&self.t_attrs, &self.t_keys).expect("filtered arrays are parallel");
+        (r, t)
+    }
+
+    /// Runs region `rid` through the streaming sequential path, inserting
+    /// into `store` directly. Returns the counters and the completion flag.
+    pub(crate) fn process_into(
+        &self,
+        rid: u32,
+        store: &mut CellStore,
+        token: &CancellationToken,
+    ) -> (TupleLevelStats, bool) {
+        let region = &self.regions[rid as usize];
+        let rp = &self.r_grid.partitions()[region.r_part as usize];
+        let tp = &self.t_grid.partitions()[region.t_part as usize];
+        let (r_view, t_view) = self.views();
+        process_region(rp, tp, &r_view, &t_view, &self.maps, store, token)
+    }
+
+    /// One pure, parallelizable work unit: join + map + orient region `rid`
+    /// and pre-filter the batch down to its local skyline. The returned
+    /// batch is committed by the ordered committer; a batch with
+    /// `completed == false` (cancelled mid-region) must be discarded whole.
+    pub fn compute(&self, rid: u32, token: &CancellationToken) -> RegionBatch {
+        let started = Instant::now();
+        let region = &self.regions[rid as usize];
+        let rp = &self.r_grid.partitions()[region.r_part as usize];
+        let tp = &self.t_grid.partitions()[region.t_part as usize];
+        let (r_view, t_view) = self.views();
+
+        let mut ids: Vec<(u32, u32)> = Vec::new();
+        let mut points = PointStore::new(self.maps.out_dims());
+        let (mut stats, completed) =
+            join_region(rp, tp, &r_view, &t_view, &self.maps, token, |r, t, o| {
+                ids.push((r, t));
+                points.push(o);
+            });
+        if completed {
+            local_skyline_filter(&mut ids, &mut points, &self.lowest, &mut stats);
+        }
+        RegionBatch {
+            rid,
+            ids,
+            points,
+            stats,
+            completed,
+            compute_time: started.elapsed(),
+        }
+    }
+}
+
+/// The output of one region work unit: mapped join results (oriented, local
+/// skyline only) ready for ordered commit.
+#[derive(Debug)]
+pub struct RegionBatch {
+    /// The region this batch belongs to.
+    pub rid: u32,
+    /// `(r_row, t_row)` of surviving tuples (filtered-source row ids).
+    pub ids: Vec<(u32, u32)>,
+    /// Oriented output values, parallel to `ids`.
+    pub points: PointStore,
+    /// Work counters of the unit.
+    pub stats: TupleLevelStats,
+    /// Whether the join ran to completion. `false` means the token fired
+    /// mid-region: the batch is partial and must not be committed.
+    pub completed: bool,
+    /// Wall-clock time the worker spent computing this unit.
+    pub compute_time: Duration,
+}
+
+impl RegionBatch {
+    /// A placeholder for a work unit that did not run to completion
+    /// (cancellation, or a failed worker). Committers must treat it as a
+    /// mid-region stop: never commit it, leave the region unresolved.
+    pub fn aborted(rid: u32, dims: usize) -> Self {
+        Self {
+            rid,
+            ids: Vec::new(),
+            points: PointStore::new(dims.max(1)),
+            stats: TupleLevelStats::default(),
+            completed: false,
+            compute_time: Duration::ZERO,
+        }
+    }
+}
+
+/// Order-preserving bounded BNL filter: drops tuples dominated by another
+/// tuple of the same batch. Sound as a pre-filter because dominance is
+/// transitive; bounded by [`LOCAL_FILTER_WINDOW`] so a worker never does
+/// quadratic work on a huge region.
+fn local_skyline_filter(
+    ids: &mut Vec<(u32, u32)>,
+    points: &mut PointStore,
+    pref: &Preference,
+    stats: &mut TupleLevelStats,
+) {
+    let n = ids.len();
+    if n <= 1 {
+        return;
+    }
+    let mut keep = vec![true; n];
+    let mut window: Vec<usize> = Vec::new();
+    for i in 0..n {
+        let p = points.point(i);
+        let mut dominated = false;
+        for &j in &window {
+            stats.local_dominance_tests += 1;
+            if pref.dominates(points.point(j), p) {
+                dominated = true;
+                break;
+            }
+        }
+        if dominated {
+            keep[i] = false;
+            continue;
+        }
+        window.retain(|&j| {
+            stats.local_dominance_tests += 1;
+            if pref.dominates(p, points.point(j)) {
+                keep[j] = false;
+                false
+            } else {
+                true
+            }
+        });
+        if window.len() < LOCAL_FILTER_WINDOW {
+            window.push(i);
+        }
+    }
+    if keep.iter().all(|&k| k) {
+        return;
+    }
+    let survivors = keep.iter().filter(|&&k| k).count();
+    let mut new_ids = Vec::with_capacity(survivors);
+    let mut new_points = PointStore::with_capacity(points.dims(), survivors);
+    for i in 0..n {
+        if keep[i] {
+            new_ids.push(ids[i]);
+            new_points.push(points.point(i));
+        }
+    }
+    stats.locally_pruned += (n - survivors) as u64;
+    *ids = new_ids;
+    *points = new_points;
+}
+
+// Compile-time guarantee that work units can cross thread boundaries.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RegionCtx>();
+    assert_send_sync::<RegionBatch>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -110,6 +411,27 @@ mod tests {
         store
     }
 
+    fn run(
+        rp: &InputPartition,
+        tp: &InputPartition,
+        r: &SourceData,
+        t: &SourceData,
+        maps: &MapSet,
+        store: &mut CellStore,
+    ) -> TupleLevelStats {
+        let (stats, completed) = process_region(
+            rp,
+            tp,
+            &r.view(),
+            &t.view(),
+            maps,
+            store,
+            &CancellationToken::new(),
+        );
+        assert!(completed);
+        stats
+    }
+
     #[test]
     fn equi_join_produces_only_matching_pairs() {
         let r = SourceData::from_rows(1, &[(&[1.0], 0), (&[2.0], 1), (&[3.0], 0)]);
@@ -118,7 +440,7 @@ mod tests {
         let tp = one_partition(&t);
         let maps = MapSet::pairwise_sum(1, Preference::all_lowest(1));
         let mut store = tracked_store(OutputGrid::new(vec![0.0], vec![40.0], 8));
-        let stats = process_region(&rp, &tp, &r.view(), &t.view(), &maps, &mut store);
+        let stats = run(&rp, &tp, &r, &t, &maps, &mut store);
         // Matching pairs: (r0,t0) and (r2,t0) — but 11 dominates 13 in 1-d,
         // so only one tuple survives.
         assert_eq!(stats.matches, 2);
@@ -136,7 +458,7 @@ mod tests {
         let maps = MapSet::pairwise_sum(1, Preference::new(vec![Order::Highest]));
         // Oriented output = -(3+4) = -7.
         let mut store = tracked_store(OutputGrid::new(vec![-10.0], vec![0.0], 8));
-        process_region(&rp, &tp, &r.view(), &t.view(), &maps, &mut store);
+        run(&rp, &tp, &r, &t, &maps, &mut store);
         assert_eq!(store.live_tuples(), 1);
         let (_, cell) = store.iter().find(|(_, c)| !c.is_empty()).unwrap();
         assert_eq!(cell.points().point(0), &[-7.0]);
@@ -152,7 +474,7 @@ mod tests {
         let mut store = tracked_store(OutputGrid::new(vec![0.0], vec![10.0], 8));
         let rp = one_partition(&r);
         let tp = one_partition(&t);
-        process_region(&rp, &tp, &r.view(), &t.view(), &maps, &mut store);
+        run(&rp, &tp, &r, &t, &maps, &mut store);
         let (_, cell) = store.iter().find(|(_, c)| !c.is_empty()).unwrap();
         assert_eq!(
             cell.ids(),
@@ -162,8 +484,56 @@ mod tests {
 
         // Mirrored: big R, small T.
         let mut store2 = tracked_store(OutputGrid::new(vec![0.0], vec![10.0], 8));
-        process_region(&tp, &rp, &t.view(), &r.view(), &maps, &mut store2);
+        run(&tp, &rp, &t, &r, &maps, &mut store2);
         let (_, cell2) = store2.iter().find(|(_, c)| !c.is_empty()).unwrap();
         assert_eq!(cell2.ids(), &[(0, 0)]);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_probe() {
+        let r = SourceData::from_rows(1, &[(&[1.0], 0), (&[2.0], 0)]);
+        let t = SourceData::from_rows(1, &[(&[1.0], 0), (&[2.0], 0)]);
+        let rp = one_partition(&r);
+        let tp = one_partition(&t);
+        let maps = MapSet::pairwise_sum(1, Preference::all_lowest(1));
+        let mut store = tracked_store(OutputGrid::new(vec![0.0], vec![10.0], 8));
+        let token = CancellationToken::new();
+        token.cancel();
+        let (stats, completed) =
+            process_region(&rp, &tp, &r.view(), &t.view(), &maps, &mut store, &token);
+        assert!(!completed);
+        assert_eq!(stats.matches, 0);
+        assert_eq!(store.live_tuples(), 0);
+    }
+
+    #[test]
+    fn local_filter_keeps_exact_skyline_in_order() {
+        let pref = Preference::all_lowest(2);
+        let mut ids: Vec<(u32, u32)> = (0..5).map(|i| (i, i)).collect();
+        let mut points = PointStore::from_rows(
+            2,
+            [
+                [5.0, 5.0], // dominated by (1,1) later
+                [0.5, 7.0], // survives (best dim 0)
+                [1.0, 1.0], // survives, dominates 0 and 4
+                [7.0, 0.5], // survives (best dim 1)
+                [3.0, 3.0], // dominated
+            ],
+        );
+        let mut stats = TupleLevelStats::default();
+        local_skyline_filter(&mut ids, &mut points, &pref, &mut stats);
+        assert_eq!(ids, vec![(1, 1), (2, 2), (3, 3)], "order preserved");
+        assert_eq!(stats.locally_pruned, 2);
+        assert!(stats.local_dominance_tests > 0);
+    }
+
+    #[test]
+    fn local_filter_keeps_equal_tuples() {
+        let pref = Preference::all_lowest(1);
+        let mut ids = vec![(0, 0), (1, 1)];
+        let mut points = PointStore::from_rows(1, [[3.0], [3.0]]);
+        let mut stats = TupleLevelStats::default();
+        local_skyline_filter(&mut ids, &mut points, &pref, &mut stats);
+        assert_eq!(ids.len(), 2, "equal tuples are incomparable");
     }
 }

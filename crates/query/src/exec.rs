@@ -16,6 +16,7 @@ use progxe_core::executor::ProgXe;
 use progxe_core::session::{ProgressiveEngine, QuerySession};
 use progxe_core::sink::ResultSink;
 use progxe_core::stats::ResultTuple;
+use progxe_runtime::ParallelProgXe;
 use std::fmt;
 
 /// Which execution strategy evaluates the query.
@@ -34,16 +35,28 @@ pub enum Engine {
 }
 
 impl Engine {
-    /// ProgXe with default configuration.
+    /// ProgXe with the default configuration plus environment overrides
+    /// ([`ProgXeConfig::from_env`]) — notably `PROGXE_THREADS`, so a
+    /// deployment (or CI matrix) can turn on parallel execution for every
+    /// query without touching call sites.
     #[must_use]
     pub fn progxe() -> Self {
-        Engine::ProgXe(Box::default())
+        Engine::ProgXe(Box::new(ProgXeConfig::from_env()))
     }
 
-    /// ProgXe with a custom configuration.
+    /// ProgXe with a custom configuration. A `threads` value above 1
+    /// routes execution through the parallel runtime (see
+    /// [`Engine::build`]).
     #[must_use]
     pub fn progxe_with(config: ProgXeConfig) -> Self {
         Engine::ProgXe(Box::new(config))
+    }
+
+    /// ProgXe with `threads` tuple-level workers and otherwise default
+    /// configuration.
+    #[must_use]
+    pub fn progxe_threads(threads: usize) -> Self {
+        Engine::ProgXe(Box::new(ProgXeConfig::default().with_threads(threads)))
     }
 
     /// JF-SL with block-nested-loops.
@@ -90,9 +103,17 @@ impl Engine {
     /// Instantiates the executable engine behind this description. This is
     /// the single construction point: everything downstream — sessions,
     /// sinks, the bench harness — talks to [`ProgressiveEngine`] only.
+    ///
+    /// A ProgXe configuration with `threads > 1` builds the parallel
+    /// runtime driver ([`ParallelProgXe`]); the session contract
+    /// (`next_batch` / `take(k)` / cancellation, proven-final batches) is
+    /// identical either way.
     #[must_use]
     pub fn build(&self) -> Box<dyn ProgressiveEngine> {
         match self {
+            Engine::ProgXe(config) if config.threads.get() > 1 => {
+                Box::new(ParallelProgXe::new((**config).clone()))
+            }
             Engine::ProgXe(config) => Box::new(ProgXe::new((**config).clone())),
             Engine::JfSl(algo) => Box::new(JfSlEngine::new(*algo)),
             Engine::JfSlPlus(algo) => Box::new(JfSlEngine::plus(*algo)),
@@ -412,6 +433,36 @@ mod tests {
             &Engine::progxe(),
         );
         assert!(matches!(err, Err(QueryError::Plan(_))));
+    }
+
+    #[test]
+    fn threaded_engine_matches_sequential() {
+        let runner = QueryRunner::new(q1_catalog());
+        let seq = runner
+            .run_collect(Q1, &Engine::progxe_with(ProgXeConfig::default()))
+            .unwrap();
+        let par = runner.run_collect(Q1, &Engine::progxe_threads(4)).unwrap();
+        let mut seq_ids: Vec<(u32, u32)> = seq.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+        let mut par_ids: Vec<(u32, u32)> = par.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+        seq_ids.sort_unstable();
+        par_ids.sort_unstable();
+        assert_eq!(seq_ids, par_ids);
+        assert_eq!(par.stats.threads_used, 4);
+        assert_eq!(seq.output_names, par.output_names);
+        // Dispatch picks the parallel runtime exactly when threads > 1.
+        assert_eq!(Engine::progxe_threads(4).build().name(), "progxe-mt");
+        assert_eq!(Engine::progxe_threads(1).build().name(), "progxe");
+    }
+
+    #[test]
+    fn run_take_works_through_the_parallel_engine() {
+        let runner = QueryRunner::new(q1_catalog());
+        let engine = Engine::progxe_threads(2);
+        let full = runner.run_collect(Q1, &engine).unwrap();
+        assert!(!full.results.is_empty());
+        let one = runner.run_take(Q1, &engine, 1).unwrap();
+        assert_eq!(one.results.len(), 1);
+        assert_eq!(one.results[0], full.results[0]);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! # progxe-runtime — parallel region execution with ordered commit
+//!
+//! The paper's output-space look-ahead (§III) decomposes a SkyMapJoin query
+//! into output regions precisely so that tuple-level work is partitionable.
+//! This crate exploits that: [`pool`] provides a dependency-free
+//! work-stealing thread pool (scoped to `std::thread`, `Mutex`, and
+//! `Condvar`), and [`parallel`] provides [`parallel::ParallelProgXe`] — a
+//! drop-in [`ProgressiveEngine`](progxe_core::session::ProgressiveEngine)
+//! that fans the tuple-level phase (join + map + local dominance filtering,
+//! Figure 2 phase 3) out across regions while a single **ordered committer**
+//! applies Algorithm 2's blocker bookkeeping in schedule order.
+//!
+//! The division of labor keeps every progressive-output guarantee intact:
+//!
+//! * workers only ever touch immutable, owned state
+//!   ([`RegionCtx`](progxe_core::tuple_level::RegionCtx));
+//! * the committer — the sole owner of the cell store and the blocker
+//!   counts — applies batches strictly in the order regions were popped
+//!   from the schedule, so emission is **deterministic** regardless of
+//!   worker interleaving, and a cell still only emits once every region
+//!   that could dominate it has committed (no false positives, no false
+//!   negatives);
+//! * cancellation tokens are checked inside each worker's probe loop, so
+//!   `take(k)` and timeouts stop in-flight workers mid-region.
+//!
+//! Thread count comes from
+//! [`ProgXeConfig::threads`](progxe_core::config::ProgXeConfig) (env
+//! override: `PROGXE_THREADS`, via
+//! [`ProgXeConfig::from_env`](progxe_core::config::ProgXeConfig::from_env)).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod parallel;
+pub mod pool;
+
+pub use parallel::ParallelProgXe;
+pub use pool::ThreadPool;

@@ -1,0 +1,536 @@
+//! The parallel ProgXe driver: region fan-out, ordered progressive commit.
+//!
+//! ## Architecture
+//!
+//! [`ParallelProgXe`] reuses the whole sequential front end
+//! ([`ProgXe::prepare`]): validation, push-through, grid construction,
+//! output-space look-ahead, and the region schedule. Only the region loop
+//! changes shape:
+//!
+//! ```text
+//!           ┌─ pop ──▶ worker: ctx.compute(rid)  ─┐   (any thread, any order)
+//! schedule ─┼─ pop ──▶ worker: ctx.compute(rid)  ─┼─▶ reorder buffer
+//!           └─ pop ──▶ worker: ctx.compute(rid)  ─┘        │
+//!                                                          ▼  oldest-first
+//!                                       committer: insert + resolve + emit
+//! ```
+//!
+//! The committer pops regions from the schedule into a bounded dispatch
+//! window (`2 × threads`), hands each to the [`ThreadPool`] as a pure work
+//! unit, and then **commits strictly in pop order**, blocking on the oldest
+//! outstanding batch. Because every pop and every commit happens at a
+//! deterministic point of that loop — never "whichever worker finished
+//! first" — the emitted event sequence is a pure function of the query and
+//! its configuration, independent of worker interleaving or machine load.
+//!
+//! ## Why safety is preserved
+//!
+//! Algorithm 2's guarantee ("emit a cell only when no unresolved region can
+//! still place a tuple into a dominating cell") only cares that a region is
+//! *resolved after its tuples are in the store*. Workers never touch the
+//! store; the committer inserts a region's batch and resolves it in one
+//! step, exactly like the sequential path — in-flight regions simply stay
+//! unresolved, keeping their blocker counts up, so nothing they could still
+//! produce is ever contradicted by an early emission. Dispatch order
+//! deviating from sequential ProgOrder only shifts the *rate* optimization
+//! (Section IV), never correctness, as the paper's No-Order variation
+//! already establishes.
+//!
+//! Cancellation: workers check the shared token inside the probe loop and
+//! return partial batches flagged `completed = false`; the committer never
+//! commits those, so a cancelled query cannot emit a false positive.
+
+use crate::pool::ThreadPool;
+use progxe_core::config::ProgXeConfig;
+use progxe_core::error::Result;
+use progxe_core::executor::{Committer, ProgXe};
+use progxe_core::mapping::MapSet;
+use progxe_core::session::{
+    CancellationToken, ProgressiveEngine, QuerySession, ResultEvent, SessionStep,
+};
+use progxe_core::source::SourceView;
+use progxe_core::stats::ExecStats;
+use progxe_core::tuple_level::{RegionBatch, RegionCtx};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A [`ProgressiveEngine`] that runs ProgXe's tuple-level phase on
+/// [`ProgXeConfig::threads`] worker threads with ordered progressive
+/// commit. With `threads = 1` it still works (one worker + committer) but
+/// [`ProgXe`] itself is the better choice — the query layer dispatches
+/// accordingly.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelProgXe {
+    config: ProgXeConfig,
+}
+
+impl ParallelProgXe {
+    /// Creates a parallel executor with the given configuration.
+    #[must_use]
+    pub fn new(config: ProgXeConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProgXeConfig {
+        &self.config
+    }
+
+    /// Opens a session sharing a caller-provided cancellation token. The
+    /// token stops the committer *and* every in-flight worker.
+    pub fn session_with_token<'a>(
+        &self,
+        r: &SourceView<'a>,
+        t: &SourceView<'a>,
+        maps: &'a MapSet,
+        token: CancellationToken,
+    ) -> Result<QuerySession<'a>> {
+        let threads = self.config.threads.get();
+        let prep = ProgXe::new(self.config.clone()).prepare(r, t, maps, token.clone())?;
+        let mut stats = prep.stats;
+        stats.threads_used = threads;
+        let session =
+            ParallelSession::new(prep.started, prep.committer, stats, token.clone(), threads);
+        Ok(QuerySession::stepped("progxe-mt", token, Box::new(session)))
+    }
+}
+
+impl ProgressiveEngine for ParallelProgXe {
+    fn name(&self) -> &'static str {
+        "progxe-mt"
+    }
+
+    fn open<'a>(
+        &self,
+        r: &SourceView<'a>,
+        t: &SourceView<'a>,
+        maps: &'a MapSet,
+    ) -> Result<QuerySession<'a>> {
+        self.session_with_token(r, t, maps, CancellationToken::new())
+    }
+}
+
+/// Reorder buffer between workers and the committer: a `Mutex`/`Condvar`
+/// channel keyed by dispatch sequence number.
+struct ResultQueue {
+    slots: Mutex<BTreeMap<u64, RegionBatch>>,
+    ready: Condvar,
+}
+
+impl ResultQueue {
+    fn new() -> Self {
+        Self {
+            slots: Mutex::new(BTreeMap::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, seq: u64, batch: RegionBatch) {
+        let mut slots = self.slots.lock().expect("result queue poisoned");
+        slots.insert(seq, batch);
+        drop(slots);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the batch for `seq` arrives. Every dispatched job is
+    /// guaranteed to push exactly one entry (a [`DeliveryGuard`] reports
+    /// even on worker panic), so this cannot deadlock while the pool lives.
+    fn wait_take(&self, seq: u64) -> RegionBatch {
+        let mut slots = self.slots.lock().expect("result queue poisoned");
+        loop {
+            if let Some(batch) = slots.remove(&seq) {
+                return batch;
+            }
+            slots = self.ready.wait(slots).expect("result queue poisoned");
+        }
+    }
+}
+
+/// Ensures a dispatched work unit always reports: if the job unwinds before
+/// delivering, `Drop` pushes an aborted batch so the committer wakes up and
+/// treats the run as cancelled instead of deadlocking.
+struct DeliveryGuard {
+    queue: Arc<ResultQueue>,
+    seq: u64,
+    rid: u32,
+    dims: usize,
+    delivered: bool,
+}
+
+impl DeliveryGuard {
+    fn deliver(mut self, batch: RegionBatch) {
+        self.delivered = true;
+        self.queue.push(self.seq, batch);
+    }
+}
+
+impl Drop for DeliveryGuard {
+    fn drop(&mut self) {
+        if !self.delivered {
+            self.queue
+                .push(self.seq, RegionBatch::aborted(self.rid, self.dims));
+        }
+    }
+}
+
+/// The pull-stepped parallel session behind a [`QuerySession`].
+struct ParallelSession {
+    start: Instant,
+    token: CancellationToken,
+    stats: ExecStats,
+    committer: Option<Committer>,
+    /// `None` only for trivial runs (no committer, nothing to do).
+    pool: Option<ThreadPool>,
+    queue: Arc<ResultQueue>,
+    /// Dispatch sequence numbers of in-flight regions, oldest first.
+    inflight: VecDeque<u64>,
+    next_seq: u64,
+    /// Dispatch-window size (`2 × threads`): enough to keep workers busy
+    /// while the committer blocks on the oldest batch, small enough to
+    /// bound batch memory and stay close to the schedule's intent.
+    window: usize,
+    ready: VecDeque<ResultEvent>,
+    done: bool,
+}
+
+impl ParallelSession {
+    fn new(
+        start: Instant,
+        committer: Option<Committer>,
+        stats: ExecStats,
+        token: CancellationToken,
+        threads: usize,
+    ) -> Self {
+        let pool = committer.as_ref().map(|_| ThreadPool::new(threads));
+        let done = committer.is_none();
+        Self {
+            start,
+            token,
+            stats,
+            committer,
+            pool,
+            queue: Arc::new(ResultQueue::new()),
+            inflight: VecDeque::new(),
+            next_seq: 0,
+            window: threads.saturating_mul(2).max(1),
+            ready: VecDeque::new(),
+            done,
+        }
+    }
+
+    /// One deterministic scheduling round: top the dispatch window up, then
+    /// — unless dead-region discards already produced deliverable events —
+    /// commit the oldest in-flight batch. Returns `false` when the run is
+    /// over (schedule exhausted or cancelled mid-region).
+    fn advance(&mut self) -> bool {
+        let Some(committer) = self.committer.as_mut() else {
+            return false;
+        };
+        while self.inflight.len() < self.window {
+            let Some(rid) = committer.pop_next(&mut self.stats) else {
+                break;
+            };
+            if committer.region_box_is_dead(rid) {
+                if let Some(event) = committer.discard_dead(rid, &mut self.stats) {
+                    self.ready.push_back(event);
+                }
+                continue;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let ctx = committer.ctx();
+            let token = self.token.clone();
+            let queue = Arc::clone(&self.queue);
+            let dims = ctx.maps().out_dims();
+            self.pool
+                .as_ref()
+                .expect("pool exists whenever a committer does")
+                .execute(move || {
+                    let guard = DeliveryGuard {
+                        queue,
+                        seq,
+                        rid,
+                        dims,
+                        delivered: false,
+                    };
+                    let batch = compute_unit(&ctx, rid, &token);
+                    guard.deliver(batch);
+                });
+            self.inflight.push_back(seq);
+        }
+        if !self.ready.is_empty() {
+            // Deliver discard-produced events before blocking on a worker.
+            return true;
+        }
+        let Some(seq) = self.inflight.pop_front() else {
+            return false;
+        };
+        let batch = self.queue.wait_take(seq);
+        if !batch.completed {
+            // An incomplete batch has exactly two causes. If the shared
+            // token fired, this is an ordinary cancellation: the region
+            // stays unresolved and the run ends cancelled, never emitting
+            // from partial state. Otherwise the worker died (a panicking
+            // mapping function) and the DeliveryGuard reported for it —
+            // propagate, matching the sequential engine's behavior instead
+            // of disguising a crash as a user-initiated cancel.
+            if !self.token.is_cancelled() {
+                panic!(
+                    "progxe worker panicked while computing region {} \
+                     (see stderr for the worker's panic message)",
+                    batch.rid
+                );
+            }
+            self.stats.cancelled = true;
+            return false;
+        }
+        if let Some(event) = committer.commit_batch(batch, &mut self.stats) {
+            self.ready.push_back(event);
+        }
+        true
+    }
+}
+
+/// The worker-side job body, separated for readability.
+fn compute_unit(ctx: &RegionCtx, rid: u32, token: &CancellationToken) -> RegionBatch {
+    ctx.compute(rid, token)
+}
+
+impl SessionStep for ParallelSession {
+    fn next_event(&mut self) -> Option<ResultEvent> {
+        loop {
+            if self.token.is_cancelled() {
+                return None;
+            }
+            if let Some(event) = self.ready.pop_front() {
+                return Some(event);
+            }
+            if self.done {
+                return None;
+            }
+            if !self.advance() {
+                self.done = true;
+            }
+        }
+    }
+
+    fn stats_snapshot(&self) -> ExecStats {
+        let mut stats = self.stats.clone();
+        stats.total_time = self.start.elapsed();
+        stats
+    }
+
+    fn finalize(mut self: Box<Self>) -> ExecStats {
+        // Finishing with regions in flight means their work is *skipped*,
+        // not awaited: fire the token so workers bail at their next check,
+        // then join them (queued jobs are discarded by the pool's Drop).
+        // Cancelling the shared token here is the parallel equivalent of
+        // the sequential session abandoning its remaining regions.
+        if !self.inflight.is_empty() {
+            self.token.cancel();
+        }
+        let mut stats = std::mem::take(&mut self.stats);
+        drop(self.pool.take());
+        if let Some(committer) = self.committer.take() {
+            if !self.ready.is_empty() || !self.inflight.is_empty() {
+                stats.cancelled = true;
+            }
+            committer.finalize(&mut stats);
+        }
+        stats.total_time = self.start.elapsed();
+        stats
+    }
+}
+
+impl Drop for ParallelSession {
+    /// A session dropped without `finish()` must not stall joining workers
+    /// that are computing doomed regions: fire the token first (field drop
+    /// order then joins the pool, whose in-flight jobs exit at their next
+    /// token check).
+    fn drop(&mut self) {
+        if !self.inflight.is_empty() {
+            self.token.cancel();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use progxe_core::source::SourceData;
+    use progxe_skyline::Preference;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    fn random_source(n: usize, dims: usize, keys: u32, seed: u64) -> SourceData {
+        let mut s = SourceData::new(dims);
+        let mut st = seed;
+        let mut row = vec![0.0; dims];
+        for _ in 0..n {
+            for v in row.iter_mut() {
+                *v = (lcg(&mut st) % 1000) as f64 / 10.0;
+            }
+            let k = (lcg(&mut st) % keys as u64) as u32;
+            s.push(&row, k);
+        }
+        s
+    }
+
+    fn sorted_ids(results: &[progxe_core::stats::ResultTuple]) -> Vec<(u32, u32)> {
+        let mut ids: Vec<(u32, u32)> = results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        let r = random_source(300, 2, 6, 1);
+        let t = random_source(300, 2, 6, 2);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let seq = ProgXe::new(ProgXeConfig::default())
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap();
+        let par = ParallelProgXe::new(ProgXeConfig::default().with_threads(4))
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap();
+        assert_eq!(sorted_ids(&seq.results), sorted_ids(&par.results));
+        assert_eq!(par.stats.threads_used, 4);
+        assert!(!par.stats.cancelled);
+        assert_eq!(seq.stats.results_emitted, par.stats.results_emitted);
+    }
+
+    #[test]
+    fn parallel_run_is_self_deterministic() {
+        // Same query twice: identical event-by-event output, including
+        // batch boundaries — worker interleaving must not leak through.
+        let r = random_source(250, 2, 5, 3);
+        let t = random_source(250, 2, 5, 4);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(4));
+        let run = || {
+            let mut session = engine.open(&r.view(), &t.view(), &maps).unwrap();
+            let mut batches = Vec::new();
+            while let Some(event) = session.next_batch() {
+                assert!(event.proven_final);
+                batches.push(event.tuples);
+            }
+            batches
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_take_k_cancels_workers() {
+        let r = random_source(400, 2, 4, 5);
+        let t = random_source(400, 2, 4, 6);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(4));
+        let full = engine.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        assert!(full.results.len() >= 3);
+        let partial = engine.open(&r.view(), &t.view(), &maps).unwrap().take(2);
+        assert_eq!(partial.results.len(), 2);
+        assert_eq!(&full.results[..2], &partial.results[..]);
+        assert!(partial.stats.cancelled);
+        assert!(partial.stats.regions_skipped > 0);
+    }
+
+    #[test]
+    fn finish_without_explicit_cancel_stops_inflight_workers() {
+        let r = random_source(400, 2, 4, 20);
+        let t = random_source(400, 2, 4, 21);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(4));
+        let mut session = engine.open(&r.view(), &t.view(), &maps).unwrap();
+        assert!(session.next_batch().is_some());
+        // No cancel() call: finish() itself must skip the remaining work
+        // (firing the token for in-flight workers) rather than await it.
+        let stats = session.finish();
+        assert!(stats.cancelled);
+        assert!(stats.regions_skipped > 0);
+    }
+
+    #[test]
+    fn pre_cancelled_parallel_session_does_nothing() {
+        let r = random_source(100, 2, 5, 7);
+        let t = random_source(100, 2, 5, 8);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(2));
+        let token = CancellationToken::new();
+        token.cancel();
+        let mut session = engine
+            .session_with_token(&r.view(), &t.view(), &maps, token)
+            .unwrap();
+        assert!(session.next_batch().is_none());
+        let stats = session.finish();
+        assert!(stats.cancelled);
+        assert_eq!(stats.regions_processed, 0);
+    }
+
+    #[test]
+    fn empty_inputs_are_trivial() {
+        let r = SourceData::new(2);
+        let t = random_source(10, 2, 2, 9);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(4));
+        let out = engine.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        assert!(out.results.is_empty());
+        assert!(!out.stats.cancelled);
+    }
+
+    #[test]
+    #[should_panic(expected = "progxe worker panicked while computing region")]
+    fn worker_panic_propagates_instead_of_masquerading_as_cancel() {
+        use progxe_core::mapping::{GeneralMap, MappingFunction};
+        let r = random_source(50, 1, 1, 12);
+        let t = random_source(50, 1, 1, 13);
+        let exploding = GeneralMap::new(
+            "exploding",
+            |_r: &[f64], _t: &[f64]| panic!("user mapping function failed"),
+            |r_lo: &[f64], r_hi: &[f64], t_lo: &[f64], t_hi: &[f64]| {
+                (r_lo[0] + t_lo[0], r_hi[0] + t_hi[0])
+            },
+        );
+        let maps = MapSet::new(
+            vec![Box::new(exploding) as Box<dyn MappingFunction>],
+            Preference::all_lowest(1),
+        )
+        .unwrap();
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(2));
+        let mut session = engine.open(&r.view(), &t.view(), &maps).unwrap();
+        while session.next_batch().is_some() {}
+    }
+
+    #[test]
+    fn parallel_works_across_orderings() {
+        use progxe_core::config::OrderingPolicy;
+        let r = random_source(200, 2, 5, 10);
+        let t = random_source(200, 2, 5, 11);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let reference = ProgXe::new(ProgXeConfig::default())
+            .run_collect(&r.view(), &t.view(), &maps)
+            .unwrap();
+        for ordering in [
+            OrderingPolicy::ProgOrder,
+            OrderingPolicy::Random { seed: 1 },
+            OrderingPolicy::Fifo,
+        ] {
+            let engine = ParallelProgXe::new(
+                ProgXeConfig::default()
+                    .with_ordering(ordering)
+                    .with_threads(3),
+            );
+            let out = engine.run_collect(&r.view(), &t.view(), &maps).unwrap();
+            assert_eq!(
+                sorted_ids(&reference.results),
+                sorted_ids(&out.results),
+                "{ordering:?}"
+            );
+        }
+    }
+}

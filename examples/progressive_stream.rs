@@ -1,18 +1,21 @@
 //! Progressive vs blocking, live: the motivation of the whole paper.
 //!
 //! Runs the same anti-correlated workload (the skyline-hostile case) under
-//! ProgXe and under the blocking JF-SL plan — both through the *same*
-//! [`ProgressiveEngine`] interface — printing a timeline of result
+//! ProgXe — sequential *and* parallel (`PROGXE_THREADS`, default 4) — and
+//! under the blocking JF-SL plan, all through the *same*
+//! [`ProgressiveEngine`] interface, printing a timeline of result
 //! arrivals. ProgXe streams results throughout its execution; JF-SL stays
 //! silent until everything is joined and compared.
 //!
 //! ```text
 //! cargo run --release --example progressive_stream
+//! PROGXE_THREADS=8 cargo run --release --example progressive_stream
 //! ```
 
 use progxe::baselines::{JfSlEngine, SkyAlgo};
 use progxe::core::prelude::*;
 use progxe::datagen::{Distribution, WorkloadSpec};
+use progxe::runtime::ParallelProgXe;
 use std::time::Duration;
 
 /// Pulls a session dry, recording `(elapsed, cumulative)` per batch.
@@ -45,8 +48,17 @@ fn main() {
     );
     let jfsl = JfSlEngine::new(SkyAlgo::Sfs);
 
-    // Both engines behind the same trait, the same pull loop.
+    // The parallel driver honors PROGXE_THREADS; unset, default to 4.
+    let threads = if std::env::var_os("PROGXE_THREADS").is_some() {
+        ProgXeConfig::from_env().threads.get()
+    } else {
+        4
+    };
+    let parallel = ParallelProgXe::new(progxe.config().clone().with_threads(threads));
+
+    // All engines behind the same trait, the same pull loop.
     let (progxe_records, progxe_stats) = drain(progxe.open(&r, &t, &maps).unwrap());
+    let (parallel_records, parallel_stats) = drain(parallel.open(&r, &t, &maps).unwrap());
     let (jfsl_records, jfsl_stats) = drain(jfsl.open(&r, &t, &maps).unwrap());
 
     println!("\ntimeline (cumulative results over time):");
@@ -81,9 +93,18 @@ fn main() {
         jfsl_records[0].0.as_secs_f64() * 1e3,
         jfsl_stats.total_time.as_secs_f64() * 1e3,
     );
+    println!("\nper-engine stats (ExecStats one-liners):");
+    println!("  progxe       {progxe_stats}");
+    println!("  progxe-mt    {parallel_stats}");
+    println!("  jf-sl        {jfsl_stats}");
     assert_eq!(
         progxe_records.last().unwrap().1,
         jfsl_records.last().unwrap().1,
         "same final skyline"
+    );
+    assert_eq!(
+        parallel_records.last().unwrap().1,
+        jfsl_records.last().unwrap().1,
+        "parallel run produces the same final skyline"
     );
 }

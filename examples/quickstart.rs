@@ -62,13 +62,10 @@ fn main() {
     let stats = session.finish();
 
     println!("---");
+    // `ExecStats` implements `Display`: the canonical one-line summary.
+    println!("{stats}");
     println!(
-        "{} results; {} join pairs examined, {} dominance tests, {} regions \
-         ({} pruned before any tuple work)",
-        stats.results_emitted,
-        stats.join_pairs_evaluated,
-        stats.dominance_tests,
-        stats.regions_created,
-        stats.regions_pruned_lookahead,
+        "({} join pairs examined, {} regions pruned before any tuple work)",
+        stats.join_pairs_evaluated, stats.regions_pruned_lookahead,
     );
 }

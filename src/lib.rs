@@ -7,6 +7,7 @@
 //! * [`skyline`] — preference model + classic skyline algorithms.
 //! * [`datagen`] — Börzsönyi-style synthetic workload generator.
 //! * [`core`] — the ProgXe framework (look-ahead, ProgOrder, ProgDetermine).
+//! * [`runtime`] — work-stealing thread pool + parallel ProgXe driver.
 //! * [`query`] — SkyMapJoin algebra, `PREFERRING` parser, planner.
 //! * [`baselines`] — JF-SL, JF-SL+, SSMJ, SAJ.
 
@@ -16,4 +17,5 @@ pub use progxe_baselines as baselines;
 pub use progxe_core as core;
 pub use progxe_datagen as datagen;
 pub use progxe_query as query;
+pub use progxe_runtime as runtime;
 pub use progxe_skyline as skyline;

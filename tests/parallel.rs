@@ -1,0 +1,278 @@
+//! Integration tests for the parallel runtime: sequential/parallel
+//! equivalence across workload distributions and seeds, the proven-final
+//! (no-retraction) guarantee under parallel commit, self-determinism of
+//! parallel emission, env-driven thread configuration, and mid-region
+//! cancellation promptness.
+
+use progxe::core::config::ProgXeConfig;
+use progxe::core::mapping::{GeneralMap, MapSet, MappingFunction};
+use progxe::core::prelude::*;
+use progxe::core::session::CancellationToken;
+use progxe::datagen::{Distribution, SmjWorkload, WorkloadSpec};
+use progxe::runtime::ParallelProgXe;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn views(w: &SmjWorkload) -> (SourceView<'_>, SourceView<'_>) {
+    (
+        SourceView::new(&w.r.attrs, &w.r.join_keys).unwrap(),
+        SourceView::new(&w.t.attrs, &w.t.join_keys).unwrap(),
+    )
+}
+
+/// A result id + values key usable for set comparison (values are exact
+/// f64 copies of the same computation, so bitwise comparison is sound).
+fn result_key(t: &progxe::core::stats::ResultTuple) -> (u32, u32, Vec<u64>) {
+    (
+        t.r_idx,
+        t.t_idx,
+        t.values.iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+/// For each workload distribution and several seeds: the parallel session's
+/// final result set must equal the sequential run's (set equality), and
+/// every batch the parallel session marks `proven_final` must already be a
+/// subset of that final set — i.e. nothing a parallel run emits is ever
+/// retracted (Principle 1 survives the fan-out).
+#[test]
+fn parallel_matches_sequential_across_distributions_and_seeds() {
+    for dist in [
+        Distribution::Correlated,
+        Distribution::Independent,
+        Distribution::AntiCorrelated,
+    ] {
+        for seed in [7u64, 4242] {
+            let w = WorkloadSpec::new(500, 2, dist, 0.02)
+                .with_seed(seed)
+                .generate();
+            let (r, t) = views(&w);
+            let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+
+            let sequential = ProgXe::new(ProgXeConfig::default())
+                .run_collect(&r, &t, &maps)
+                .unwrap();
+            let final_set: BTreeSet<_> = sequential.results.iter().map(result_key).collect();
+            assert!(!final_set.is_empty(), "{dist:?}/{seed}: empty workload");
+
+            let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(4));
+            let mut session = engine.open(&r, &t, &maps).unwrap();
+            let mut emitted = BTreeSet::new();
+            while let Some(event) = session.next_batch() {
+                assert!(event.proven_final, "{dist:?}/{seed}: tentative batch");
+                for tuple in &event.tuples {
+                    let key = result_key(tuple);
+                    assert!(
+                        final_set.contains(&key),
+                        "{dist:?}/{seed}: parallel emitted {key:?} which the \
+                         sequential final result does not contain (false positive)"
+                    );
+                    assert!(emitted.insert(key), "{dist:?}/{seed}: duplicate emission");
+                }
+            }
+            let stats = session.finish();
+            assert!(!stats.cancelled, "{dist:?}/{seed}: spurious cancellation");
+            assert_eq!(
+                emitted, final_set,
+                "{dist:?}/{seed}: parallel final set diverged (false negatives)"
+            );
+        }
+    }
+}
+
+/// Two identical parallel runs must produce the *identical* event stream —
+/// same batches, same order — because the committer's pop/commit discipline
+/// is deterministic regardless of worker timing.
+#[test]
+fn parallel_emission_is_deterministic_across_runs() {
+    let w = WorkloadSpec::new(600, 2, Distribution::AntiCorrelated, 0.02)
+        .with_seed(99)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+    let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(4));
+    let run = || {
+        let mut session = engine.open(&r, &t, &maps).unwrap();
+        let mut batches = Vec::new();
+        while let Some(event) = session.next_batch() {
+            batches.push(event.tuples);
+        }
+        batches
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "event stream depends on worker interleaving");
+}
+
+/// `ProgXeConfig::from_env` + the query dispatch rule means the CI matrix
+/// (PROGXE_THREADS=4) runs this very test through the parallel engine.
+#[test]
+fn env_configured_thread_count_preserves_results() {
+    let config = ProgXeConfig::from_env();
+    let w = WorkloadSpec::new(400, 3, Distribution::Independent, 0.05)
+        .with_seed(11)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(3, Preference::all_lowest(3));
+    let reference = ProgXe::new(ProgXeConfig::default())
+        .run_collect(&r, &t, &maps)
+        .unwrap();
+    let out = if config.threads.get() > 1 {
+        ParallelProgXe::new(config.clone())
+            .run_collect(&r, &t, &maps)
+            .unwrap()
+    } else {
+        ProgXe::new(config.clone())
+            .run_collect(&r, &t, &maps)
+            .unwrap()
+    };
+    let expect: BTreeSet<_> = reference.results.iter().map(result_key).collect();
+    let got: BTreeSet<_> = out.results.iter().map(result_key).collect();
+    assert_eq!(expect, got, "threads={}", config.threads.get());
+    assert_eq!(out.stats.threads_used, config.threads.get());
+}
+
+/// Builds a 2-d workload that collapses into a single huge region
+/// (1 partition per dimension, every tuple shares one join key), with a
+/// mapping function that cancels the session token after `fuse` evaluations.
+/// Lets us measure how promptly the tuple-level loop honors cancellation.
+fn single_region_run(n: usize, fuse: u64) -> (u64, ExecStats) {
+    let mut r = SourceData::new(2);
+    let mut t = SourceData::new(2);
+    let mut x: u64 = 5;
+    let mut next = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((x >> 33) % 1000) as f64 / 10.0
+    };
+    for _ in 0..n {
+        r.push(&[next(), next()], 0);
+        t.push(&[next(), next()], 0);
+    }
+
+    let token = CancellationToken::new();
+    let evals = Arc::new(AtomicU64::new(0));
+    let fuse_token = token.clone();
+    let fuse_evals = Arc::clone(&evals);
+    let counting = GeneralMap::new(
+        "fused-sum",
+        move |r: &[f64], t: &[f64]| {
+            if fuse_evals.fetch_add(1, Ordering::Relaxed) + 1 == fuse {
+                fuse_token.cancel();
+            }
+            r[0] + t[0]
+        },
+        |r_lo: &[f64], r_hi: &[f64], t_lo: &[f64], t_hi: &[f64]| {
+            (r_lo[0] + t_lo[0], r_hi[0] + t_hi[0])
+        },
+    );
+    let plain = GeneralMap::new(
+        "sum1",
+        |r: &[f64], t: &[f64]| r[1] + t[1],
+        |r_lo: &[f64], r_hi: &[f64], t_lo: &[f64], t_hi: &[f64]| {
+            (r_lo[1] + t_lo[1], r_hi[1] + t_hi[1])
+        },
+    );
+    let maps = MapSet::new(
+        vec![
+            Box::new(counting) as Box<dyn MappingFunction>,
+            Box::new(plain),
+        ],
+        Preference::all_lowest(2),
+    )
+    .unwrap();
+
+    let config = ProgXeConfig::default().with_input_partitions(1);
+    let exec = ProgXe::new(config);
+    let mut session = exec
+        .session_with_token(&r.view(), &t.view(), &maps, token)
+        .unwrap();
+    assert!(session.next_batch().is_none(), "cancel fires mid-region");
+    let stats = session.finish();
+    (evals.load(Ordering::Relaxed), stats)
+}
+
+/// Satellite: cancelling during one huge region must stop the join loop
+/// within the token-check interval, not at the region boundary. With
+/// n = 300 (90 000 matches in the single region), a fuse of 5 000 map
+/// evaluations must stop the loop long before the region completes.
+#[test]
+fn cancel_during_a_single_huge_region_stops_promptly() {
+    let n = 300u64;
+    let full_matches = n * n; // one region, one join key ⇒ n² matches
+    let (evals, stats) = single_region_run(n as usize, 5_000);
+    assert!(stats.cancelled, "run must report cancellation");
+    assert_eq!(stats.results_emitted, 0, "nothing may be emitted");
+    assert_eq!(
+        stats.regions_skipped, 1,
+        "the single region stays unresolved"
+    );
+    assert!(
+        stats.join_matches < full_matches / 4,
+        "join stopped late: {} of {} matches processed",
+        stats.join_matches,
+        full_matches
+    );
+    // The map runs once per match (plus interval evaluations during
+    // look-ahead); the overshoot past the fuse must stay within a few
+    // token-check intervals, not scale with the region.
+    assert!(
+        evals < 5_000 + 4 * 256 * 2,
+        "tuple loop overshot the cancellation fuse: {evals} evaluations"
+    );
+}
+
+/// The same property holds through the parallel driver: the in-flight
+/// worker observes the token mid-region and the session ends cancelled.
+#[test]
+fn parallel_worker_stops_mid_region_on_cancel() {
+    let n = 300usize;
+    let mut r = SourceData::new(2);
+    let mut t = SourceData::new(2);
+    for i in 0..n {
+        let v = (i % 97) as f64;
+        r.push(&[v, 100.0 - v], 0);
+        t.push(&[100.0 - v, v], 0);
+    }
+    let token = CancellationToken::new();
+    let fuse_token = token.clone();
+    let evals = Arc::new(AtomicU64::new(0));
+    let fuse_evals = Arc::clone(&evals);
+    let counting = GeneralMap::new(
+        "fused-sum",
+        move |r: &[f64], t: &[f64]| {
+            if fuse_evals.fetch_add(1, Ordering::Relaxed) + 1 == 2_000 {
+                fuse_token.cancel();
+            }
+            r[0] + t[0]
+        },
+        |r_lo: &[f64], r_hi: &[f64], t_lo: &[f64], t_hi: &[f64]| {
+            (r_lo[0] + t_lo[0], r_hi[0] + t_hi[0])
+        },
+    );
+    let maps = MapSet::new(
+        vec![Box::new(counting) as Box<dyn MappingFunction>],
+        Preference::all_lowest(1),
+    )
+    .unwrap();
+    let engine = ParallelProgXe::new(
+        ProgXeConfig::default()
+            .with_input_partitions(1)
+            .with_threads(2),
+    );
+    let mut session = engine
+        .session_with_token(&r.view(), &t.view(), &maps, token)
+        .unwrap();
+    assert!(session.next_batch().is_none());
+    let stats = session.finish();
+    assert!(stats.cancelled);
+    assert_eq!(stats.results_emitted, 0);
+    assert!(
+        stats.join_matches < (n * n) as u64 / 4,
+        "worker ignored the token mid-region ({} matches)",
+        stats.join_matches
+    );
+}

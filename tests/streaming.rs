@@ -16,6 +16,9 @@ fn views(w: &SmjWorkload) -> (SourceView<'_>, SourceView<'_>) {
 fn engines() -> Vec<Box<dyn ProgressiveEngine>> {
     vec![
         Box::new(ProgXe::new(ProgXeConfig::default())),
+        Box::new(progxe::runtime::ParallelProgXe::new(
+            ProgXeConfig::default().with_threads(4),
+        )),
         Box::new(JfSlEngine::new(SkyAlgo::Bnl)),
         Box::new(JfSlEngine::plus(SkyAlgo::Sfs)),
         Box::new(SsmjEngine::new(SkyAlgo::Sfs)),
@@ -243,4 +246,71 @@ fn shared_token_interrupts_sink_adapter() {
     assert_eq!(sink.batches, 1, "cancelled after the first batch");
     assert!(stats.cancelled);
     assert!(stats.regions_skipped > 0, "remaining regions were skipped");
+}
+
+/// Regression (progress normalization): `QuerySession::next_batch` clamps
+/// `progress_estimate` to `[0, 1]` and makes it monotone non-decreasing —
+/// even when the underlying engine reports garbage (negative, > 1, NaN,
+/// or regressing values).
+#[test]
+fn progress_estimates_are_clamped_and_monotone() {
+    use progxe::core::session::QuerySession;
+    use std::time::Duration;
+
+    let raw = [-0.5, 0.2, f64::NAN, 7.0, 0.4, f64::INFINITY];
+    let mut session = QuerySession::deferred("rogue", move || {
+        let events = raw
+            .iter()
+            .map(|&p| ResultEvent {
+                tuples: vec![ResultTuple {
+                    r_idx: 0,
+                    t_idx: 0,
+                    values: vec![0.0],
+                }],
+                proven_final: true,
+                progress_estimate: p,
+                elapsed: Duration::ZERO,
+            })
+            .collect();
+        (events, ExecStats::default())
+    });
+    let mut seen = Vec::new();
+    while let Some(event) = session.next_batch() {
+        seen.push(event.progress_estimate);
+    }
+    assert_eq!(seen.len(), raw.len());
+    let mut last = 0.0;
+    for (i, &p) in seen.iter().enumerate() {
+        assert!((0.0..=1.0).contains(&p), "event {i}: {p} out of range");
+        assert!(p >= last, "event {i}: progress regressed ({p} < {last})");
+        last = p;
+    }
+    // NaN degrades to the previous value; 7.0 clamps to the 1.0 ceiling.
+    assert_eq!(seen[2], seen[1]);
+    assert_eq!(seen[3], 1.0);
+    assert_eq!(seen[4], 1.0, "monotonicity holds after the ceiling");
+}
+
+/// Mid-run statistics snapshots: available without consuming the session,
+/// and coherent with the final numbers.
+#[test]
+fn stats_snapshot_mid_run_is_coherent() {
+    let w = WorkloadSpec::new(600, 2, Distribution::AntiCorrelated, 0.02)
+        .with_seed(21)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+    let exec = ProgXe::new(ProgXeConfig::default());
+    let mut session = exec.session(&r, &t, &maps).unwrap();
+    assert!(session.next_batch().is_some());
+    let mid = session.stats_snapshot();
+    assert!(mid.results_emitted > 0);
+    assert!(
+        !mid.cancelled,
+        "snapshot must not flag a live run cancelled"
+    );
+    while session.next_batch().is_some() {}
+    let fin = session.finish();
+    assert!(fin.results_emitted >= mid.results_emitted);
+    assert!(fin.regions_processed >= mid.regions_processed);
 }
