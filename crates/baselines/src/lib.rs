@@ -1,14 +1,14 @@
 //! State-of-the-art baselines for skyline-over-join evaluation
 //! (Section VI-A of the paper).
 //!
-//! * [`jfsl`] — **JF-SL**: the traditional blocking plan (Figure 1.b):
+//! * [`jfsl`](mod@jfsl) — **JF-SL**: the traditional blocking plan (Figure 1.b):
 //!   hash join → map → skyline, one output batch at the very end. **JF-SL+**
 //!   adds skyline partial push-through pruning on each source.
-//! * [`ssmj`] — **SSMJ** (Jin et al., "The multi-relational skyline
+//! * [`ssmj`](mod@ssmj) — **SSMJ** (Jin et al., "The multi-relational skyline
 //!   operator", ICDE 2007), as characterized in the paper: per-source
 //!   source-level (`LS(S)`) and group-level (`LS(N)`) lists, four join
 //!   phases, and results reported in *two batches*.
-//! * [`saj`] — **SAJ**: a Fagin/threshold-style algorithm over per-dimension
+//! * [`saj`](mod@saj) — **SAJ**: a Fagin/threshold-style algorithm over per-dimension
 //!   sorted access, following the join-first/skyline-later paradigm
 //!   (blocking output, but with early termination of data access).
 //!

@@ -1,7 +1,7 @@
 //! SAJ — a Fagin/threshold-style skyline-over-join algorithm.
 //!
 //! The paper describes SAJ only as "extended the popular Fagin technique
-//! [15] following the JF-SL paradigm" (Section VI-A); we reconstruct a
+//! \[15\] following the JF-SL paradigm" (Section VI-A); we reconstruct a
 //! sound variant (DESIGN.md §5.7):
 //!
 //! * each source keeps one list per output dimension, sorted ascending by

@@ -16,7 +16,9 @@
 //! | Sec. VII claim | [`ssmj_soundness`] | SSMJ batch-1 false positives |
 //! | Figs. 11–12 at scale | [`scaling`] | first-output latency vs N |
 
-use crate::report::{fmt_duration, fmt_opt_duration, write_csv, Table};
+use crate::report::{
+    fmt_duration, fmt_opt_duration, json_object, json_str, write_csv, write_json, Table,
+};
 use crate::runners::{default_config_for, run_algo, run_algo_with_timeout, AlgoKind, RunResult};
 use progxe_core::config::OrderingPolicy;
 use progxe_core::executor::ProgXe;
@@ -331,10 +333,17 @@ pub fn scaling(opt: &ExpOptions) {
 
 /// Thread scaling: end-to-end time of the 10k anti-correlated workload
 /// (the skyline-hostile case) against `ProgXeConfig::threads`. `threads=1`
-/// runs the sequential executor; higher counts run the `progxe-runtime`
-/// parallel driver with ordered progressive commit. Reports per-row
-/// speedup over the sequential baseline — the ROADMAP's "as fast as the
-/// hardware allows" tracking number.
+/// runs the unified driver's `Inline` backend; higher counts run its
+/// `Pooled` backend over the engine's shared runtime. Reports per-row
+/// speedup over the inline baseline — the ROADMAP's "as fast as the
+/// hardware allows" tracking number — and additionally measures the inline
+/// local-skyline pre-filter against the pre-filter-free streaming
+/// arrangement (mode `inline-nofilter`), the measurement behind
+/// `ProgXeConfig::prefilter_min_pairs`.
+///
+/// Besides the CSV, writes machine-readable `BENCH_threads.json`
+/// (workload, per-run threads / wall-ms / first-result-ms) so the perf
+/// trajectory is tracked across PRs; CI uploads it as an artifact.
 pub fn threads(opt: &ExpOptions) {
     let n = opt.pick_n(10_000);
     // Defaults pick the tuple-phase-heavy corner (d = 3, σ = 0.1): enough
@@ -355,16 +364,7 @@ pub fn threads(opt: &ExpOptions) {
     let r = SourceView::new(&w.r.attrs, &w.r.join_keys).expect("parallel arrays");
     let t = SourceView::new(&w.t.attrs, &w.t.join_keys).expect("parallel arrays");
 
-    let mut table = Table::new(&["threads", "results", "first output", "total", "speedup"]);
-    let mut rows = Vec::new();
-    let mut baseline: Option<Duration> = None;
-    for &count in counts {
-        let config = default_config_for(dims, sigma).with_threads(count);
-        let engine: Box<dyn ProgressiveEngine> = if count > 1 {
-            Box::new(ParallelProgXe::new(config))
-        } else {
-            Box::new(ProgXe::new(config))
-        };
+    let run_engine = |engine: Box<dyn ProgressiveEngine>| {
         let mut session = engine.open(&r, &t, &maps).expect("valid configuration");
         let mut first: Option<Duration> = None;
         while let Some(event) = session.next_batch() {
@@ -372,25 +372,104 @@ pub fn threads(opt: &ExpOptions) {
                 first = Some(event.elapsed);
             }
         }
-        let stats = session.finish();
-        println!("   threads={count}: {stats}");
-        let total = stats.total_time;
-        let base = *baseline.get_or_insert(total);
-        let speedup = base.as_secs_f64() / total.as_secs_f64().max(1e-9);
+        (first, session.finish())
+    };
+
+    struct Run {
+        mode: &'static str,
+        threads: usize,
+        first: Option<Duration>,
+        stats: progxe_core::stats::ExecStats,
+    }
+    let base_cfg = default_config_for(dims, sigma);
+    let mut runs: Vec<Run> = Vec::new();
+    // Discarded warm-up: first-touch allocation and CPU ramp must not be
+    // charged to whichever measured arrangement happens to run first.
+    let _ = run_engine(Box::new(ProgXe::new(base_cfg.clone())));
+    // Pre-filter measurement: the pre-filter-free streaming arrangement
+    // (the old sequential hot path) against the Inline default below.
+    {
+        let config = base_cfg.clone().with_prefilter_min_pairs(usize::MAX);
+        let (first, stats) = run_engine(Box::new(ProgXe::new(config)));
+        runs.push(Run {
+            mode: "inline-nofilter",
+            threads: 1,
+            first,
+            stats,
+        });
+    }
+    for &count in counts {
+        let config = base_cfg.clone().with_threads(count);
+        let (mode, engine): (_, Box<dyn ProgressiveEngine>) = if count > 1 {
+            ("pooled", Box::new(ParallelProgXe::new(config)))
+        } else {
+            ("inline", Box::new(ProgXe::new(config)))
+        };
+        let (first, stats) = run_engine(engine);
+        runs.push(Run {
+            mode,
+            threads: count,
+            first,
+            stats,
+        });
+    }
+
+    // Speedups are relative to the inline (threads = 1, default
+    // pre-filter gate) run.
+    let baseline = runs
+        .iter()
+        .find(|r| r.mode == "inline")
+        .map(|r| r.stats.total_time)
+        .expect("counts always include 1");
+    let mut table = Table::new(&[
+        "mode",
+        "threads",
+        "results",
+        "first output",
+        "total",
+        "speedup",
+    ]);
+    let mut rows = Vec::new();
+    let mut json_runs = Vec::new();
+    for run in &runs {
+        println!("   {}/threads={}: {}", run.mode, run.threads, run.stats);
+        let total = run.stats.total_time;
+        let speedup = baseline.as_secs_f64() / total.as_secs_f64().max(1e-9);
         table.row(vec![
-            format!("{count}"),
-            format!("{}", stats.results_emitted),
-            fmt_opt_duration(first),
+            run.mode.to_string(),
+            format!("{}", run.threads),
+            format!("{}", run.stats.results_emitted),
+            fmt_opt_duration(run.first),
             fmt_duration(total),
             format!("{speedup:.2}x"),
         ]);
         rows.push(vec![
-            format!("{count}"),
-            format!("{}", stats.results_emitted),
-            first.map(|d| d.as_micros().to_string()).unwrap_or_default(),
+            run.mode.to_string(),
+            format!("{}", run.threads),
+            format!("{}", run.stats.results_emitted),
+            run.first
+                .map(|d| d.as_micros().to_string())
+                .unwrap_or_default(),
             format!("{}", total.as_micros()),
             format!("{speedup:.3}"),
         ]);
+        json_runs.push(json_object(&[
+            ("mode", json_str(run.mode)),
+            ("threads", format!("{}", run.threads)),
+            ("wall_ms", format!("{:.3}", total.as_secs_f64() * 1e3)),
+            (
+                "first_result_ms",
+                run.first
+                    .map(|d| format!("{:.3}", d.as_secs_f64() * 1e3))
+                    .unwrap_or_else(|| "null".into()),
+            ),
+            ("results", format!("{}", run.stats.results_emitted)),
+            (
+                "tuples_prefiltered",
+                format!("{}", run.stats.tuples_prefiltered),
+            ),
+            ("speedup_vs_inline", format!("{speedup:.3}")),
+        ]));
     }
     println!("{}", table.render());
     if hw < 4 {
@@ -402,11 +481,33 @@ pub fn threads(opt: &ExpOptions) {
     let path = write_csv(
         &opt.out,
         "threads",
-        &["threads", "results", "first_us", "total_us", "speedup"],
+        &[
+            "mode", "threads", "results", "first_us", "total_us", "speedup",
+        ],
         &rows,
     )
     .unwrap();
     println!("rows written to {}", path.display());
+    let json = json_object(&[
+        (
+            "workload",
+            json_object(&[
+                ("distribution", json_str("anti-correlated")),
+                ("n", format!("{n}")),
+                ("dims", format!("{dims}")),
+                ("sigma", format!("{sigma}")),
+                ("seed", format!("{}", opt.seed)),
+            ]),
+        ),
+        ("hardware_threads", format!("{hw}")),
+        (
+            "prefilter_min_pairs",
+            format!("{}", base_cfg.prefilter_min_pairs),
+        ),
+        ("runs", format!("[{}]", json_runs.join(", "))),
+    ]);
+    let path = write_json(&opt.out, "BENCH_threads", &json).unwrap();
+    println!("json written to {}", path.display());
 }
 
 /// Section III-B: the comparable-cell bound. For each new tuple, dominance
@@ -688,5 +789,25 @@ mod tests {
         let opt = quick_opts("progxe-cellbound");
         cellbound(&opt);
         assert!(opt.out.join("cellbound.csv").exists());
+    }
+
+    #[test]
+    fn threads_quick_writes_machine_readable_json() {
+        let opt = quick_opts("progxe-threads");
+        threads(&opt);
+        assert!(opt.out.join("threads.csv").exists());
+        let json = std::fs::read_to_string(opt.out.join("BENCH_threads.json")).unwrap();
+        // Sanity over the contract the CI artifact consumers rely on.
+        for key in [
+            "\"workload\"",
+            "\"threads\"",
+            "\"wall_ms\"",
+            "\"first_result_ms\"",
+            "\"prefilter_min_pairs\"",
+            "\"inline-nofilter\"",
+            "\"pooled\"",
+        ] {
+            assert!(json.contains(key), "BENCH_threads.json missing {key}");
+        }
     }
 }

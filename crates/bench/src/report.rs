@@ -22,6 +22,33 @@ pub fn write_csv(
     Ok(path)
 }
 
+/// Writes a pre-rendered JSON document to `dir/name.json` (no external
+/// JSON crates: callers build the string with the helpers below). Used for
+/// the machine-readable `BENCH_*.json` artifacts CI uploads so the perf
+/// trajectory is trackable across PRs.
+pub fn write_json(dir: &Path, name: &str, json: &str) -> std::io::Result<std::path::PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Renders a JSON object from key → already-rendered-value pairs.
+pub fn json_object(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {v}"))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Renders a JSON string literal (the benches only emit identifier-like
+/// strings; quotes/backslashes are escaped for safety, control characters
+/// do not occur).
+pub fn json_str(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
 /// A simple aligned text table for stdout reporting.
 #[derive(Debug, Default)]
 pub struct Table {
@@ -138,5 +165,16 @@ mod tests {
         let path = write_csv(&dir, "test", &["a", "b"], &[vec!["1".into(), "2".into()]]).unwrap();
         let content = std::fs::read_to_string(path).unwrap();
         assert_eq!(content, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn json_helpers_render() {
+        assert_eq!(json_str("anti\"corr"), "\"anti\\\"corr\"");
+        let obj = json_object(&[("a", "1".into()), ("b", json_str("x"))]);
+        assert_eq!(obj, "{\"a\": 1, \"b\": \"x\"}");
+        let dir = std::env::temp_dir().join("progxe-bench-test");
+        let path = write_json(&dir, "BENCH_test", &obj).unwrap();
+        assert!(path.ends_with("BENCH_test.json"));
+        assert_eq!(std::fs::read_to_string(path).unwrap(), obj);
     }
 }

@@ -3,7 +3,8 @@
 //!
 //! Every algorithm is driven through the workspace-wide
 //! [`ProgressiveEngine`] interface: [`AlgoKind::build`] instantiates the
-//! engine, and [`run_algo`] pulls its [`QuerySession`] to completion,
+//! engine, and [`run_algo`] pulls its
+//! [`QuerySession`](progxe_core::session::QuerySession) to completion,
 //! turning the event stream into the `(elapsed, cumulative)` series the
 //! paper's figures plot.
 

@@ -66,13 +66,34 @@ pub struct ProgXeConfig {
     /// Emit per-region batches even when empty (useful for tracing).
     pub emit_empty_batches: bool,
     /// Worker threads for the tuple-level phase. `1` (the default) runs the
-    /// classic sequential region loop inside [`crate::executor::ProgXe`];
-    /// larger values are honored by the `progxe-runtime` crate's parallel
-    /// driver (and by the query layer's engine dispatch), which fans
-    /// region work units across a thread pool while a single ordered
-    /// committer preserves the progressive-emission guarantees.
+    /// unified region driver on its `Inline` backend inside
+    /// [`crate::executor::ProgXe`]; larger values are honored by the
+    /// `progxe-runtime` crate's pooled driver (and by the query layer's
+    /// engine dispatch), which fans region work units across a shared
+    /// thread pool while a single ordered committer preserves the
+    /// progressive-emission guarantees.
     pub threads: NonZeroUsize,
+    /// Join-pair bound (`n_R · n_T` of a region's partition pair) at which
+    /// the `Inline` backend materializes the region batch and runs the
+    /// bounded local skyline pre-filter before cell-store insertion —
+    /// the arrangement that measured ~1.8× on the 10k anti-correlated
+    /// d=3 σ=0.1 workload. Regions below the bound stream their matches
+    /// straight into the store, avoiding the batch allocation. `0` forces
+    /// the batch path everywhere; `usize::MAX` disables it (the pre-PR
+    /// streaming behavior). Pool workers always pre-filter.
+    pub prefilter_min_pairs: usize,
 }
+
+/// Default [`ProgXeConfig::prefilter_min_pairs`]: regions at or above this
+/// join-pair bound take the batch + local-skyline pre-filter path on the
+/// `Inline` backend. Measured on the `figures -- threads` workload (10k
+/// anti-correlated, d=3, σ=0.1, see `BENCH_threads.json`): the pre-filter
+/// arrangement beats the streaming insert ~1.8× end to end, and gate
+/// values from 0 to 4096 are indistinguishable there (the workload is
+/// dominated by large regions). 4096 is chosen so that *small* regions —
+/// the latency-sensitive case the big workload cannot see — keep the
+/// allocation-free streaming path.
+pub const DEFAULT_PREFILTER_MIN_PAIRS: usize = 4_096;
 
 impl Default for ProgXeConfig {
     fn default() -> Self {
@@ -85,6 +106,7 @@ impl Default for ProgXeConfig {
             selectivity_hint: None,
             emit_empty_batches: false,
             threads: NonZeroUsize::MIN,
+            prefilter_min_pairs: DEFAULT_PREFILTER_MIN_PAIRS,
         }
     }
 }
@@ -151,20 +173,36 @@ impl ProgXeConfig {
         self
     }
 
+    /// Builder: set the `Inline` backend's local-skyline pre-filter gate
+    /// (see [`ProgXeConfig::prefilter_min_pairs`]).
+    pub fn with_prefilter_min_pairs(mut self, min_pairs: usize) -> Self {
+        self.prefilter_min_pairs = min_pairs;
+        self
+    }
+
     /// The default configuration with environment overrides applied.
     ///
     /// Recognized variables:
     /// * `PROGXE_THREADS` — tuple-level worker thread count (≥ 1).
     ///
-    /// Unset, empty, or unparsable variables leave the default untouched,
-    /// so `from_env()` is always safe to call.
+    /// `from_env()` never errors or panics: an unset or empty variable is
+    /// silently ignored, and a malformed or zero value falls back to the
+    /// default thread count with a note on stderr — a bad deployment
+    /// environment must degrade to sequential execution, not take the
+    /// query layer down.
     pub fn from_env() -> Self {
         let mut config = Self::default();
         if let Ok(v) = std::env::var("PROGXE_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    config = config.with_threads(n);
-                }
+            if v.trim().is_empty() {
+                return config;
+            }
+            match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => config = config.with_threads(n),
+                _ => eprintln!(
+                    "progxe: ignoring invalid PROGXE_THREADS={v:?} \
+                     (expected an integer >= 1); using default ({})",
+                    config.threads
+                ),
             }
         }
         config
@@ -263,15 +301,43 @@ mod tests {
     }
 
     #[test]
-    fn from_env_honors_thread_override() {
-        // Serialize against any other env-reading test via a named var.
+    fn from_env_honors_thread_override_and_survives_bad_values() {
+        // One test fn for every PROGXE_THREADS case: env mutation is
+        // process-global, so the cases must not run in parallel.
         std::env::set_var("PROGXE_THREADS", "3");
         assert_eq!(ProgXeConfig::from_env().threads.get(), 3);
+        // Malformed value: falls back to the default (with a stderr note),
+        // never errors or panics.
         std::env::set_var("PROGXE_THREADS", "not-a-number");
         assert_eq!(ProgXeConfig::from_env().threads.get(), 1);
+        std::env::set_var("PROGXE_THREADS", "-2");
+        assert_eq!(ProgXeConfig::from_env().threads.get(), 1);
+        std::env::set_var("PROGXE_THREADS", "4.5");
+        assert_eq!(ProgXeConfig::from_env().threads.get(), 1);
+        // Zero: NonZeroUsize cannot hold it; falls back to the default.
         std::env::set_var("PROGXE_THREADS", "0");
         assert_eq!(ProgXeConfig::from_env().threads.get(), 1);
+        // Whitespace-padded valid value still parses.
+        std::env::set_var("PROGXE_THREADS", " 2 ");
+        assert_eq!(ProgXeConfig::from_env().threads.get(), 2);
+        // Empty and unset are silently the default.
+        std::env::set_var("PROGXE_THREADS", "");
+        assert_eq!(ProgXeConfig::from_env(), ProgXeConfig::default());
         std::env::remove_var("PROGXE_THREADS");
         assert_eq!(ProgXeConfig::from_env(), ProgXeConfig::default());
+    }
+
+    #[test]
+    fn prefilter_gate_builder() {
+        let c = ProgXeConfig::default();
+        assert_eq!(c.prefilter_min_pairs, DEFAULT_PREFILTER_MIN_PAIRS);
+        assert_eq!(
+            c.with_prefilter_min_pairs(usize::MAX).prefilter_min_pairs,
+            usize::MAX
+        );
+        assert!(ProgXeConfig::default()
+            .with_prefilter_min_pairs(0)
+            .validate()
+            .is_ok());
     }
 }

@@ -1,0 +1,995 @@
+//! The unified region driver: one schedule-pop → tuple-level phase →
+//! ordered-commit loop for every execution backend.
+//!
+//! Before this module existed the repo implemented the ProgXe region loop
+//! twice — a sequential loop inside `executor.rs` and a parallel one in the
+//! `progxe-runtime` crate — with divergent hot paths. [`RegionDriver`]
+//! collapses them: the loop lives here exactly once, parameterized by an
+//! [`ExecutorBackend`]:
+//!
+//! * [`ExecutorBackend::Inline`] — `threads = 1`. Regions are computed on
+//!   the calling thread, one per step. Large regions (join-pair bound at or
+//!   above [`ProgXeConfig::prefilter_min_pairs`](crate::config::ProgXeConfig))
+//!   go through [`RegionCtx::compute`] and therefore inherit the
+//!   worker-side bounded local skyline pre-filter; small regions stream
+//!   their matches straight into the cell store, skipping the batch
+//!   materialization.
+//! * [`ExecutorBackend::Pooled`] — `threads > 1`. Regions are fanned out as
+//!   pure work units through a [`TaskSpawner`] (the `progxe-runtime` crate
+//!   implements it for its shared thread pool) into a bounded dispatch
+//!   window, and batches are committed **strictly in pop order** via a
+//!   reorder buffer — the discipline that keeps parallel emission
+//!   deterministic regardless of worker interleaving.
+//!
+//! ```text
+//!             ┌─ Inline:  compute on this thread ──────────────┐
+//! schedule ───┤                                                ├─▶ ordered
+//!             └─ Pooled:  spawner ─▶ workers ─▶ reorder buffer ─┘   commit
+//! ```
+//!
+//! Both backends share [`Committer`] — the single-threaded owner of the
+//! cell store, the region schedule, and Algorithm 2's blocker bookkeeping.
+//! All emission decisions flow through it in schedule order, which is what
+//! keeps progressive output safe (no false positives or negatives) no
+//! matter who computed the batches.
+
+use crate::benefit;
+use crate::cells::CellStore;
+use crate::cost::CostModel;
+use crate::elgraph::ElGraph;
+use crate::executor::Prepared;
+use crate::lookahead::Region;
+use crate::progdetermine::{EmittedCell, ProgDetermine};
+use crate::progorder::ProgOrderQueue;
+use crate::session::{CancellationToken, ResultEvent, SessionStep};
+use crate::stats::{ExecStats, ResultTuple};
+use crate::tuple_level::{RegionBatch, RegionCtx};
+use progxe_skyline::Order;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Cell-visit cap for ProgCount scans on oversized region boxes.
+const PROG_COUNT_VISIT_CAP: u64 = 4_096;
+
+/// Immutable context needed to (re)rank a region.
+struct RankCtx<'c> {
+    regions: &'c [Region],
+    store: &'c CellStore,
+    det: &'c ProgDetermine,
+    sigma: f64,
+    cost_model: &'c CostModel,
+}
+
+/// ProgOrder state: EL-graph, priority queue, and the lazy-rank machinery.
+struct OrderedSchedule {
+    graph: ElGraph,
+    queue: ProgOrderQueue,
+    rank_cache: Vec<f64>,
+    dirty: Vec<bool>,
+    requeue_budget: Vec<u8>,
+}
+
+impl OrderedSchedule {
+    fn rank_of(&mut self, rid: u32, ctx: &RankCtx<'_>) -> f64 {
+        let region = &ctx.regions[rid as usize];
+        let b = benefit::benefit(region, ctx.store, ctx.det, ctx.sigma, PROG_COUNT_VISIT_CAP);
+        let c = ctx
+            .cost_model
+            .region_cost(region, ctx.store.grid())
+            .max(1.0);
+        let rank = b / c;
+        self.rank_cache[rid as usize] = rank;
+        rank
+    }
+}
+
+/// Region-ordering policy state, stepped one region at a time.
+enum RegionSchedule {
+    /// The paper's ProgOrder (Algorithm 1): rank = Benefit / Cost over
+    /// EL-Graph roots, with lazy rank refresh.
+    Ordered(OrderedSchedule),
+    /// A precomputed order (Random or Fifo policies).
+    Static { order: Vec<u32>, pos: usize },
+}
+
+impl RegionSchedule {
+    /// Picks the next region to dispatch. `dispatched` marks regions handed
+    /// out but not yet resolved — on an inline run it always equals the
+    /// resolved set, but the pooled backend keeps a window of them in
+    /// flight. Returns `None` when nothing is dispatchable *right now*
+    /// (either all regions are dispatched/resolved, or — ProgOrder with a
+    /// root-free cyclic component — every pending region is in flight).
+    fn next_region(
+        &mut self,
+        ctx: &RankCtx<'_>,
+        stats: &mut ExecStats,
+        dispatched: &[bool],
+    ) -> Option<u32> {
+        match self {
+            RegionSchedule::Static { order, pos } => {
+                let rid = order.get(*pos).copied();
+                *pos += 1;
+                rid
+            }
+            RegionSchedule::Ordered(sched) => {
+                if sched.graph.unresolved() == 0 {
+                    return None;
+                }
+                loop {
+                    match sched.queue.pop_entry() {
+                        Some((rid, _))
+                            if sched.graph.is_resolved(rid) || dispatched[rid as usize] =>
+                        {
+                            continue
+                        }
+                        Some((rid, entry_rank)) => {
+                            // Benefit recomputation is the expensive part of
+                            // ordering (a box scan per region). To keep the
+                            // paper's "ordering overhead is negligible"
+                            // property, ranks are refreshed *lazily*:
+                            // affected regions are only marked dirty
+                            // (Algorithm 1 line 13 in spirit), and the
+                            // recompute happens when the region reaches the
+                            // top of the queue — with a small re-queue
+                            // budget per region so dense elimination graphs
+                            // cannot trigger quadratic rescans.
+                            if sched.dirty[rid as usize] && sched.requeue_budget[rid as usize] > 0 {
+                                sched.dirty[rid as usize] = false;
+                                sched.requeue_budget[rid as usize] -= 1;
+                                let fresh = sched.rank_of(rid, ctx);
+                                if fresh < entry_rank * 0.999 {
+                                    // Demoted: let a better region go first.
+                                    sched.queue.push(rid, fresh);
+                                    continue;
+                                }
+                            }
+                            return Some(rid);
+                        }
+                        None => {
+                            let pending = sched.graph.pending();
+                            // An empty queue with regions *in flight* is not
+                            // the cyclic-component case — the real EL-roots
+                            // are simply uncommitted. Hand out nothing and
+                            // let the committer land a batch, which either
+                            // pushes new roots or ends the run.
+                            if pending.iter().any(|&rid| dispatched[rid as usize]) {
+                                return None;
+                            }
+                            // Cyclic component with no root (DESIGN.md §5.2):
+                            // pick the best pending region by cached rank —
+                            // O(regions), no box scans.
+                            let best = pending.into_iter().max_by(|&a, &b| {
+                                sched.rank_cache[a as usize]
+                                    .total_cmp(&sched.rank_cache[b as usize])
+                                    .then_with(|| b.cmp(&a))
+                            });
+                            if best.is_some() {
+                                stats.ordering_fallbacks += 1;
+                            }
+                            return best;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Records a resolution: new EL-graph roots enter the queue, regions
+    /// whose benefit may have changed are marked dirty.
+    fn on_resolved(&mut self, rid: u32, ctx: &RankCtx<'_>) {
+        if let RegionSchedule::Ordered(sched) = self {
+            let (new_roots, affected) = sched.graph.resolve(rid);
+            for root in new_roots {
+                let rank = sched.rank_of(root, ctx);
+                sched.queue.push(root, rank);
+            }
+            for region in affected {
+                if sched.queue.contains(region) {
+                    sched.dirty[region as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+/// The single-threaded back half of the region loop: owns the cell store,
+/// the region schedule, and Algorithm 2's blocker bookkeeping.
+///
+/// Every region goes through exactly one of three commit paths — all of
+/// which resolve it and may release proven-final cells as a
+/// [`ResultEvent`]:
+///
+/// * [`discard_dead`](Self::discard_dead) — the region box was already
+///   fully dominated when it was popped; no tuple work at all;
+/// * [`process_and_commit`](Self::process_and_commit) — streaming path
+///   (small regions on the inline backend): the join inserts directly into
+///   the cell store;
+/// * [`commit_batch`](Self::commit_batch) — batch path: apply a
+///   [`RegionBatch`], whether a pool worker or the inline backend computed
+///   it.
+///
+/// Drivers **must** commit batches in the order the regions were popped
+/// from [`pop_next`](Self::pop_next); combined with the cancellation-token
+/// discipline this makes emission deterministic regardless of worker
+/// interleaving.
+pub struct Committer {
+    ctx: Arc<RegionCtx>,
+    /// Filtered→original row-id maps (push-through survivors).
+    kept_r: Vec<u32>,
+    kept_t: Vec<u32>,
+    store: CellStore,
+    det: ProgDetermine,
+    orders: Vec<Order>,
+    schedule: RegionSchedule,
+    sigma: f64,
+    cost_model: CostModel,
+    /// Regions handed out by `pop_next` (superset of resolved).
+    dispatched: Vec<bool>,
+    resolved: usize,
+    total_regions: usize,
+    emitted_buf: Vec<EmittedCell>,
+    started: Instant,
+}
+
+/// Everything the executor's `prepare` hands over to build a [`Committer`].
+/// Crate-internal: external callers receive the committer ready-made inside
+/// [`Prepared`].
+pub(crate) struct CommitterParts {
+    pub ctx: Arc<RegionCtx>,
+    pub kept_r: Vec<u32>,
+    pub kept_t: Vec<u32>,
+    pub store: CellStore,
+    pub det: ProgDetermine,
+    pub orders: Vec<Order>,
+    pub sigma: f64,
+    pub cost_model: CostModel,
+    pub started: Instant,
+}
+
+impl Committer {
+    /// Assembles a committer over prepared pipeline state, building the
+    /// region schedule for the configured ordering policy.
+    pub(crate) fn new(parts: CommitterParts, ordering: crate::config::OrderingPolicy) -> Self {
+        use crate::config::OrderingPolicy;
+        let regions = parts.ctx.regions();
+        let total_regions = regions.len();
+        let schedule = match ordering {
+            OrderingPolicy::ProgOrder => {
+                let mut ordered = OrderedSchedule {
+                    graph: ElGraph::build(regions, parts.ctx.maps().out_dims()),
+                    queue: ProgOrderQueue::new(total_regions),
+                    rank_cache: vec![0.0; total_regions],
+                    dirty: vec![false; total_regions],
+                    requeue_budget: vec![3; total_regions],
+                };
+                let ctx = RankCtx {
+                    regions,
+                    store: &parts.store,
+                    det: &parts.det,
+                    sigma: parts.sigma,
+                    cost_model: &parts.cost_model,
+                };
+                for root in ordered.graph.roots() {
+                    let rank = ordered.rank_of(root, &ctx);
+                    ordered.queue.push(root, rank);
+                }
+                RegionSchedule::Ordered(ordered)
+            }
+            OrderingPolicy::Random { seed } => {
+                let mut order: Vec<u32> = (0..total_regions as u32).collect();
+                crate::executor::shuffle(&mut order, seed);
+                RegionSchedule::Static { order, pos: 0 }
+            }
+            OrderingPolicy::Fifo => RegionSchedule::Static {
+                order: (0..total_regions as u32).collect(),
+                pos: 0,
+            },
+        };
+        Self {
+            ctx: parts.ctx,
+            kept_r: parts.kept_r,
+            kept_t: parts.kept_t,
+            store: parts.store,
+            det: parts.det,
+            orders: parts.orders,
+            schedule,
+            sigma: parts.sigma,
+            cost_model: parts.cost_model,
+            dispatched: vec![false; total_regions],
+            resolved: 0,
+            total_regions,
+            emitted_buf: Vec::new(),
+            started: parts.started,
+        }
+    }
+
+    /// The shared work-unit context (regions, grids, filtered sources).
+    pub fn ctx(&self) -> Arc<RegionCtx> {
+        Arc::clone(&self.ctx)
+    }
+
+    /// The instant the pipeline started (zero point of event timestamps).
+    pub fn started_at(&self) -> Instant {
+        self.started
+    }
+
+    /// Regions not yet resolved.
+    pub fn unresolved(&self) -> usize {
+        self.total_regions - self.resolved
+    }
+
+    /// Upper bound on the region's join work: `n_R · n_T` of its partition
+    /// pair. The inline backend gates the local-skyline pre-filter on this.
+    pub fn pair_bound(&self, rid: u32) -> u64 {
+        let region = &self.ctx.regions()[rid as usize];
+        u64::from(region.n_r) * u64::from(region.n_t)
+    }
+
+    /// Picks the next region to work on, marking it dispatched. `None`
+    /// means nothing is dispatchable right now — which is final on an
+    /// inline run, but on a pooled run may become `Some` again after
+    /// in-flight regions commit (new EL-graph roots appear).
+    pub fn pop_next(&mut self, stats: &mut ExecStats) -> Option<u32> {
+        let ctx = RankCtx {
+            regions: self.ctx.regions(),
+            store: &self.store,
+            det: &self.det,
+            sigma: self.sigma,
+            cost_model: &self.cost_model,
+        };
+        let rid = self.schedule.next_region(&ctx, stats, &self.dispatched)?;
+        debug_assert!(!self.dispatched[rid as usize], "region {rid} popped twice");
+        self.dispatched[rid as usize] = true;
+        Some(rid)
+    }
+
+    /// Whether the region's whole output box is fully dominated by results
+    /// committed so far (Algorithm 1, line 9) — its tuple work can be
+    /// skipped entirely.
+    pub fn region_box_is_dead(&self, rid: u32) -> bool {
+        self.store
+            .region_is_dead(&self.ctx.regions()[rid as usize].cell_lo)
+    }
+
+    /// Resolves a dead region without tuple-level work.
+    pub fn discard_dead(&mut self, rid: u32, stats: &mut ExecStats) -> Option<ResultEvent> {
+        stats.regions_discarded_dead += 1;
+        self.resolve(rid, stats)
+    }
+
+    /// Streaming path: joins the region, streaming inserts into the cell
+    /// store, then resolves it. Returns `None` when the token fired
+    /// mid-region — the insert set is partial, so the region is left
+    /// *unresolved* (emitting from it could produce false positives) and
+    /// the run counts as cancelled.
+    pub fn process_and_commit(
+        &mut self,
+        rid: u32,
+        token: &CancellationToken,
+        stats: &mut ExecStats,
+    ) -> Option<Option<ResultEvent>> {
+        let ctx = Arc::clone(&self.ctx);
+        let compute_started = Instant::now();
+        let (tl, completed) = ctx.process_into(rid, &mut self.store, token);
+        stats.tuple_time += compute_started.elapsed();
+        stats.join_pairs_evaluated += tl.pairs_examined;
+        stats.join_matches += tl.matches;
+        if !completed {
+            stats.cancelled = true;
+            return None;
+        }
+        stats.regions_processed += 1;
+        Some(self.resolve(rid, stats))
+    }
+
+    /// Batch path: applies one computed batch. The region box is re-checked
+    /// against results committed in the meantime (a region dispatched early
+    /// may be dead by the time its batch lands), then the surviving tuples
+    /// go through the same cell-restricted dominance insert the streaming
+    /// path uses, and the region resolves.
+    ///
+    /// # Panics
+    /// Debug-asserts that the batch completed; committing a partial batch
+    /// would break Principle 1.
+    pub fn commit_batch(
+        &mut self,
+        batch: RegionBatch,
+        stats: &mut ExecStats,
+    ) -> Option<ResultEvent> {
+        debug_assert!(batch.completed, "partial batches must not be committed");
+        let commit_started = Instant::now();
+        stats.tuple_time += batch.compute_time;
+        stats.join_pairs_evaluated += batch.stats.pairs_examined;
+        stats.join_matches += batch.stats.matches;
+        stats.dominance_tests += batch.stats.local_dominance_tests;
+        stats.tuples_prefiltered += batch.stats.locally_pruned;
+        if self.region_box_is_dead(batch.rid) {
+            stats.regions_discarded_dead += 1;
+        } else {
+            stats.regions_processed += 1;
+            for (i, &(r, t)) in batch.ids.iter().enumerate() {
+                self.store.insert(r, t, batch.points.point(i));
+            }
+        }
+        let event = self.resolve(batch.rid, stats);
+        stats.commit_time += commit_started.elapsed();
+        event
+    }
+
+    /// Resolves one dispatched region: blocker bookkeeping, schedule
+    /// update, and conversion of released cells into a [`ResultEvent`].
+    fn resolve(&mut self, rid: u32, stats: &mut ExecStats) -> Option<ResultEvent> {
+        let region = &self.ctx.regions()[rid as usize];
+        self.det
+            .resolve_region(region, &mut self.store, &mut self.emitted_buf);
+        self.resolved += 1;
+        let ctx = RankCtx {
+            regions: self.ctx.regions(),
+            store: &self.store,
+            det: &self.det,
+            sigma: self.sigma,
+            cost_model: &self.cost_model,
+        };
+        self.schedule.on_resolved(rid, &ctx);
+
+        if self.emitted_buf.is_empty() {
+            return None;
+        }
+        let mut tuples = Vec::new();
+        for cell in self.emitted_buf.drain(..) {
+            stats.cells_emitted += 1;
+            for (i, &(ri, ti)) in cell.ids.iter().enumerate() {
+                let oriented = cell.points.point(i);
+                let values = self
+                    .orders
+                    .iter()
+                    .zip(oriented)
+                    .map(|(o, &v)| o.orient(v))
+                    .collect();
+                tuples.push(ResultTuple {
+                    r_idx: self.kept_r[ri as usize],
+                    t_idx: self.kept_t[ti as usize],
+                    values,
+                });
+            }
+        }
+        stats.results_emitted += tuples.len() as u64;
+        Some(ResultEvent {
+            tuples,
+            proven_final: true,
+            progress_estimate: self.resolved as f64 / self.total_regions.max(1) as f64,
+            elapsed: self.started.elapsed(),
+        })
+    }
+
+    /// Closes the region loop: merges cell-store counters into `stats` and
+    /// flags an early stop when regions were left unresolved.
+    pub fn finalize(self, stats: &mut ExecStats) {
+        let unresolved = self.total_regions - self.resolved;
+        if unresolved > 0 {
+            stats.cancelled = true;
+            stats.regions_skipped = unresolved;
+        } else {
+            // All regions resolved ⇒ every live cell must have been
+            // released.
+            debug_assert_eq!(
+                self.det.live_cells(),
+                0,
+                "cells left blocked after all regions resolved"
+            );
+        }
+        let cell_stats = self.store.stats();
+        // `+=`: worker-local pre-filter tests were already accumulated.
+        stats.dominance_tests += cell_stats.dominance_tests;
+        stats.tuples_inserted = cell_stats.tuples_inserted;
+        stats.tuples_rejected_dominated = cell_stats.tuples_rejected_dominated;
+        stats.tuples_rejected_dead_cell = cell_stats.tuples_rejected_dead_cell;
+        stats.tuples_evicted = cell_stats.tuples_evicted;
+        stats.comparable_cells_visited = cell_stats.comparable_cells_visited;
+        stats.comparable_cells_max = cell_stats.comparable_cells_max;
+    }
+}
+
+/// Something that can run `'static` jobs on worker threads. The
+/// `progxe-runtime` crate implements this for its shared thread pool;
+/// keeping the trait here lets [`RegionDriver`] stay pool-agnostic while
+/// the whole region loop lives in one place.
+pub trait TaskSpawner: Send + Sync {
+    /// Enqueues a job for execution on some worker thread.
+    fn spawn_task(&self, job: Box<dyn FnOnce() + Send + 'static>);
+}
+
+/// How [`RegionDriver`] executes the tuple-level phase.
+pub enum ExecutorBackend {
+    /// Compute regions on the calling thread, one per step.
+    Inline,
+    /// Fan region work units out through a [`TaskSpawner`] with a bounded
+    /// dispatch window of `2 × threads`.
+    Pooled {
+        /// Executes the work units (e.g. a shared thread pool handle).
+        spawner: Arc<dyn TaskSpawner>,
+        /// Worker count behind the spawner — sizes the dispatch window.
+        threads: usize,
+    },
+}
+
+impl std::fmt::Debug for ExecutorBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutorBackend::Inline => f.write_str("Inline"),
+            ExecutorBackend::Pooled { threads, .. } => f
+                .debug_struct("Pooled")
+                .field("threads", threads)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// Reorder buffer between workers and the committer: a `Mutex`/`Condvar`
+/// channel keyed by dispatch sequence number.
+struct ResultQueue {
+    slots: Mutex<BTreeMap<u64, RegionBatch>>,
+    ready: Condvar,
+}
+
+impl ResultQueue {
+    fn new() -> Self {
+        Self {
+            slots: Mutex::new(BTreeMap::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, seq: u64, batch: RegionBatch) {
+        let mut slots = self.slots.lock().expect("result queue poisoned");
+        slots.insert(seq, batch);
+        drop(slots);
+        self.ready.notify_all();
+    }
+
+    /// Blocks until the batch for `seq` arrives. Every dispatched job is
+    /// guaranteed to push exactly one entry (a [`DeliveryGuard`] reports
+    /// even on worker panic), so this cannot deadlock.
+    fn wait_take(&self, seq: u64) -> RegionBatch {
+        let mut slots = self.slots.lock().expect("result queue poisoned");
+        loop {
+            if let Some(batch) = slots.remove(&seq) {
+                return batch;
+            }
+            slots = self.ready.wait(slots).expect("result queue poisoned");
+        }
+    }
+
+    /// Takes the batch for `seq` only if it has already been delivered.
+    /// Used by the cancelled-run scavenge, which must never block on the
+    /// shared pool.
+    fn try_take(&self, seq: u64) -> Option<RegionBatch> {
+        self.slots
+            .lock()
+            .expect("result queue poisoned")
+            .remove(&seq)
+    }
+}
+
+/// Ensures a dispatched work unit always reports: if the job unwinds before
+/// delivering, `Drop` pushes an aborted batch so the committer wakes up and
+/// treats the run as failed instead of deadlocking.
+struct DeliveryGuard {
+    queue: Arc<ResultQueue>,
+    seq: u64,
+    rid: u32,
+    dims: usize,
+    delivered: bool,
+}
+
+impl DeliveryGuard {
+    fn deliver(mut self, batch: RegionBatch) {
+        self.delivered = true;
+        self.queue.push(self.seq, batch);
+    }
+}
+
+impl Drop for DeliveryGuard {
+    fn drop(&mut self) {
+        if !self.delivered {
+            self.queue
+                .push(self.seq, RegionBatch::aborted(self.rid, self.dims));
+        }
+    }
+}
+
+/// The one region-execution loop of the codebase, behind a
+/// [`QuerySession`](crate::session::QuerySession) via [`SessionStep`].
+///
+/// Owns a [`Committer`] and advances the region loop, queueing a
+/// [`ResultEvent`] whenever a resolution releases proven-final cells. Owns
+/// no borrows: all query state was copied/`Arc`ed during
+/// [`ProgXe::prepare`](crate::executor::ProgXe::prepare).
+pub struct RegionDriver {
+    start: Instant,
+    token: CancellationToken,
+    stats: ExecStats,
+    committer: Option<Committer>,
+    backend: ExecutorBackend,
+    /// Join-pair bound at which the inline backend switches from streaming
+    /// insert to batch compute + local skyline pre-filter.
+    prefilter_min_pairs: u64,
+    queue: Arc<ResultQueue>,
+    /// Dispatch sequence numbers of in-flight regions, oldest first
+    /// (pooled backend only; always empty on inline).
+    inflight: VecDeque<u64>,
+    next_seq: u64,
+    /// Dispatch-window size: 1 inline; `2 × threads` pooled — enough to
+    /// keep workers busy while the committer blocks on the oldest batch,
+    /// small enough to bound batch memory and stay close to the schedule's
+    /// intent.
+    window: usize,
+    ready: VecDeque<ResultEvent>,
+    done: bool,
+}
+
+impl RegionDriver {
+    /// Builds the driver over a prepared pipeline. `prefilter_min_pairs`
+    /// comes from [`ProgXeConfig`](crate::config::ProgXeConfig) and only
+    /// affects the inline backend (pool workers always pre-filter).
+    pub fn new(
+        prep: Prepared,
+        token: CancellationToken,
+        backend: ExecutorBackend,
+        prefilter_min_pairs: usize,
+    ) -> Self {
+        let window = match &backend {
+            ExecutorBackend::Inline => 1,
+            ExecutorBackend::Pooled { threads, .. } => threads.saturating_mul(2).max(1),
+        };
+        let done = prep.committer.is_none();
+        // `usize::MAX` is the documented "filter disabled" sentinel; map it
+        // to `u64::MAX` explicitly so a 32-bit `usize::MAX` (2^32−1, which
+        // real pair bounds can exceed) still disables the filter.
+        let prefilter_min_pairs = if prefilter_min_pairs == usize::MAX {
+            u64::MAX
+        } else {
+            prefilter_min_pairs as u64
+        };
+        Self {
+            start: prep.started,
+            token,
+            stats: prep.stats,
+            committer: prep.committer,
+            backend,
+            prefilter_min_pairs,
+            queue: Arc::new(ResultQueue::new()),
+            inflight: VecDeque::new(),
+            next_seq: 0,
+            window,
+            ready: VecDeque::new(),
+            done,
+        }
+    }
+
+    /// One deterministic scheduling round. Inline: pop one region, compute
+    /// it here (streaming or batch per the pre-filter gate), commit.
+    /// Pooled: top the dispatch window up, then — unless dead-region
+    /// discards already produced deliverable events — commit the oldest
+    /// in-flight batch. Returns `false` when the run is over (schedule
+    /// exhausted or cancelled mid-region).
+    fn advance(&mut self) -> bool {
+        let Some(committer) = self.committer.as_mut() else {
+            return false;
+        };
+        while self.inflight.len() < self.window {
+            let Some(rid) = committer.pop_next(&mut self.stats) else {
+                break;
+            };
+            if committer.region_box_is_dead(rid) {
+                if let Some(event) = committer.discard_dead(rid, &mut self.stats) {
+                    self.ready.push_back(event);
+                    // Inline delivers the released cells before touching
+                    // the next region (one region per step, like the
+                    // pre-refactor sequential loop); the pooled arm keeps
+                    // filling its window and delivers via the ready-check
+                    // below, before blocking on a worker.
+                    if matches!(self.backend, ExecutorBackend::Inline) {
+                        return true;
+                    }
+                }
+                continue;
+            }
+            match &self.backend {
+                ExecutorBackend::Inline => {
+                    return if committer.pair_bound(rid) < self.prefilter_min_pairs {
+                        // Small region: stream matches straight into the
+                        // cell store, no batch materialization.
+                        match committer.process_and_commit(rid, &self.token, &mut self.stats) {
+                            Some(Some(event)) => {
+                                self.ready.push_back(event);
+                                true
+                            }
+                            Some(None) => true,
+                            None => false, // cancelled mid-region
+                        }
+                    } else {
+                        // Large region: batch compute + bounded local
+                        // skyline pre-filter before cell-store insertion.
+                        let batch = committer.ctx().compute(rid, &self.token);
+                        if !batch.completed {
+                            // Never committed, but its partial work is
+                            // real: account it so cancelled-run stats
+                            // reflect the pairs actually evaluated.
+                            Self::absorb_partial_batch(&mut self.stats, &batch);
+                            self.stats.cancelled = true;
+                            false
+                        } else {
+                            if let Some(event) = committer.commit_batch(batch, &mut self.stats) {
+                                self.ready.push_back(event);
+                            }
+                            true
+                        }
+                    };
+                }
+                ExecutorBackend::Pooled { spawner, .. } => {
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    let ctx = committer.ctx();
+                    let token = self.token.clone();
+                    let queue = Arc::clone(&self.queue);
+                    let dims = ctx.maps().out_dims();
+                    spawner.spawn_task(Box::new(move || {
+                        let guard = DeliveryGuard {
+                            queue,
+                            seq,
+                            rid,
+                            dims,
+                            delivered: false,
+                        };
+                        let batch = ctx.compute(rid, &token);
+                        guard.deliver(batch);
+                    }));
+                    self.inflight.push_back(seq);
+                }
+            }
+        }
+        if !self.ready.is_empty() {
+            // Deliver discard-produced events before blocking on a worker.
+            return true;
+        }
+        let Some(seq) = self.inflight.pop_front() else {
+            return false;
+        };
+        let batch = self.queue.wait_take(seq);
+        if !batch.completed {
+            // An incomplete batch has exactly two causes. If the shared
+            // token fired, this is an ordinary cancellation: the region
+            // stays unresolved and the run ends cancelled, never emitting
+            // from partial state. Otherwise the worker died (a panicking
+            // mapping function) and the DeliveryGuard reported for it —
+            // propagate, matching the inline backend's behavior instead of
+            // disguising a crash as a user-initiated cancel.
+            if !self.token.is_cancelled() {
+                panic!(
+                    "progxe worker panicked while computing region {} \
+                     (see stderr for the worker's panic message)",
+                    batch.rid
+                );
+            }
+            Self::absorb_partial_batch(&mut self.stats, &batch);
+            self.stats.cancelled = true;
+            return false;
+        }
+        if let Some(event) = committer.commit_batch(batch, &mut self.stats) {
+            self.ready.push_back(event);
+        }
+        true
+    }
+
+    /// Folds the work counters of a batch that will never be committed
+    /// (token fired mid-region) into the run stats. The streaming path
+    /// records its partial work the same way inside
+    /// [`Committer::process_and_commit`]; skipping it here would
+    /// under-report a cancelled run's actual cost.
+    fn absorb_partial_batch(stats: &mut ExecStats, batch: &RegionBatch) {
+        stats.tuple_time += batch.compute_time;
+        stats.join_pairs_evaluated += batch.stats.pairs_examined;
+        stats.join_matches += batch.stats.matches;
+        // Today both filter counters are 0 on an incomplete batch (the
+        // local filter only runs after a completed join); absorbed anyway
+        // so the helper stays field-for-field consistent with commit_batch.
+        stats.dominance_tests += batch.stats.local_dominance_tests;
+        stats.tuples_prefiltered += batch.stats.locally_pruned;
+    }
+}
+
+impl SessionStep for RegionDriver {
+    /// Pulls the next event, stepping the region loop as needed.
+    fn next_event(&mut self) -> Option<ResultEvent> {
+        loop {
+            if self.token.is_cancelled() {
+                return None;
+            }
+            if let Some(event) = self.ready.pop_front() {
+                return Some(event);
+            }
+            if self.done {
+                return None;
+            }
+            if !self.advance() {
+                self.done = true;
+            }
+        }
+    }
+
+    fn stats_snapshot(&self) -> ExecStats {
+        let mut stats = self.stats.clone();
+        stats.total_time = self.start.elapsed();
+        stats
+    }
+
+    /// Closes the session: fires the token for any in-flight workers
+    /// (their regions are *skipped*, not awaited — abandoned queries must
+    /// stop burning shared-pool CPU), merges cell-store counters into the
+    /// stats, and flags an early stop (unresolved regions or undelivered
+    /// events).
+    fn finalize(mut self: Box<Self>) -> ExecStats {
+        if !self.inflight.is_empty() {
+            self.token.cancel();
+        }
+        let mut stats = std::mem::take(&mut self.stats);
+        // Scavenge whatever in-flight batches have already been delivered:
+        // their regions are skipped (never committed), but the work
+        // happened and belongs in the cancelled run's counters. Strictly
+        // non-blocking — a still-running worker's stats are forfeited
+        // rather than stalling finish() behind the shared pool.
+        for seq in self.inflight.drain(..) {
+            if let Some(batch) = self.queue.try_take(seq) {
+                Self::absorb_partial_batch(&mut stats, &batch);
+            }
+        }
+        if let Some(committer) = self.committer.take() {
+            if !self.ready.is_empty() || committer.unresolved() > 0 {
+                stats.cancelled = true;
+            }
+            committer.finalize(&mut stats);
+        }
+        stats.total_time = self.start.elapsed();
+        stats
+    }
+}
+
+impl Drop for RegionDriver {
+    /// A session dropped without `finish()` must not leave pool workers
+    /// computing doomed regions on a *shared* pool: fire the token so
+    /// in-flight jobs exit at their next check. The jobs own all the state
+    /// they touch (`Arc`s of context, token, and reorder buffer), so no
+    /// join is needed.
+    fn drop(&mut self) {
+        if !self.inflight.is_empty() {
+            self.token.cancel();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProgXeConfig;
+    use crate::executor::ProgXe;
+    use crate::mapping::MapSet;
+    use crate::session::QuerySession;
+    use crate::source::SourceData;
+    use progxe_skyline::Preference;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    fn random_source(n: usize, dims: usize, keys: u32, seed: u64) -> SourceData {
+        let mut s = SourceData::new(dims);
+        let mut st = seed;
+        let mut row = vec![0.0; dims];
+        for _ in 0..n {
+            for v in row.iter_mut() {
+                *v = (lcg(&mut st) % 1000) as f64 / 10.0;
+            }
+            let k = (lcg(&mut st) % keys as u64) as u32;
+            s.push(&row, k);
+        }
+        s
+    }
+
+    /// A minimal spawner: one OS thread per job. Exercises the pooled
+    /// code path without depending on the runtime crate.
+    struct ThreadPerTask;
+    impl TaskSpawner for ThreadPerTask {
+        fn spawn_task(&self, job: Box<dyn FnOnce() + Send + 'static>) {
+            std::thread::spawn(job);
+        }
+    }
+
+    fn drive(
+        config: &ProgXeConfig,
+        r: &SourceData,
+        t: &SourceData,
+        maps: &MapSet,
+        backend: ExecutorBackend,
+    ) -> Vec<(u32, u32)> {
+        let token = CancellationToken::new();
+        let prep = ProgXe::new(config.clone())
+            .prepare(&r.view(), &t.view(), maps, token.clone())
+            .unwrap();
+        let driver = RegionDriver::new(prep, token.clone(), backend, config.prefilter_min_pairs);
+        let mut session = QuerySession::stepped("test", token, Box::new(driver));
+        let mut ids = Vec::new();
+        while let Some(event) = session.next_batch() {
+            assert!(event.proven_final);
+            ids.extend(event.tuples.iter().map(|x| (x.r_idx, x.t_idx)));
+        }
+        assert!(!session.finish().cancelled);
+        ids.sort_unstable();
+        ids
+    }
+
+    #[test]
+    fn inline_streaming_and_batch_paths_agree() {
+        let r = random_source(200, 2, 6, 1);
+        let t = random_source(200, 2, 6, 2);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let streaming = ProgXeConfig::default().with_prefilter_min_pairs(usize::MAX);
+        let batch = ProgXeConfig::default().with_prefilter_min_pairs(0);
+        assert_eq!(
+            drive(&streaming, &r, &t, &maps, ExecutorBackend::Inline),
+            drive(&batch, &r, &t, &maps, ExecutorBackend::Inline),
+        );
+    }
+
+    #[test]
+    fn pooled_backend_matches_inline_through_any_spawner() {
+        let r = random_source(180, 2, 5, 3);
+        let t = random_source(180, 2, 5, 4);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let config = ProgXeConfig::default();
+        let inline = drive(&config, &r, &t, &maps, ExecutorBackend::Inline);
+        let pooled = drive(
+            &config,
+            &r,
+            &t,
+            &maps,
+            ExecutorBackend::Pooled {
+                spawner: Arc::new(ThreadPerTask),
+                threads: 3,
+            },
+        );
+        assert!(!inline.is_empty());
+        assert_eq!(inline, pooled);
+    }
+
+    #[test]
+    fn inline_prefilter_prunes_and_counts() {
+        // Anti-correlated-ish duplicates in one region: the batch path must
+        // report pre-filter work in the stats.
+        let r = random_source(300, 2, 2, 5);
+        let t = random_source(300, 2, 2, 6);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let config = ProgXeConfig::default().with_prefilter_min_pairs(0);
+        let token = CancellationToken::new();
+        let prep = ProgXe::new(config.clone())
+            .prepare(&r.view(), &t.view(), &maps, token.clone())
+            .unwrap();
+        let driver = RegionDriver::new(
+            prep,
+            token.clone(),
+            ExecutorBackend::Inline,
+            config.prefilter_min_pairs,
+        );
+        let mut session = QuerySession::stepped("test", token, Box::new(driver));
+        while session.next_batch().is_some() {}
+        let stats = session.finish();
+        assert!(
+            stats.tuples_prefiltered > 0,
+            "local pre-filter should prune on dense regions"
+        );
+    }
+}

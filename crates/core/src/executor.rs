@@ -14,51 +14,42 @@
 //! termination) is checked at every region boundary *and* inside the
 //! tuple-level probe loop, so an abandoned session stops even mid-region.
 //!
-//! Since the parallel runtime landed, the region loop is split into two
-//! halves that this module exposes as building blocks:
-//!
-//! * [`RegionCtx`](crate::tuple_level::RegionCtx) — the immutable, owned,
-//!   `Send + Sync` context whose [`compute`](crate::tuple_level::RegionCtx::compute)
-//!   is a pure per-region work unit (join + map + local dominance filter);
-//! * [`Committer`] — the single-threaded owner of the cell store, the
-//!   region schedule, and Algorithm 2's blocker bookkeeping. All emission
-//!   decisions flow through it, in schedule order, which is what keeps
-//!   progressive output deterministic and safe (no false positives or
-//!   negatives) no matter how many workers computed the batches.
-//!
-//! [`ProgXe::prepare`] builds both; the sequential session drives them on
-//! one thread, the `progxe-runtime` crate fans the compute side out.
+//! This module is the pipeline *front end* only: validation, push-through,
+//! grid construction, the output-space look-ahead, and the region schedule
+//! — everything [`ProgXe::prepare`] produces. The region loop itself —
+//! schedule pop, tuple-level phase, ordered commit — lives exactly once in
+//! [`crate::driver`]: the sequential path is the
+//! [`Inline`](crate::driver::ExecutorBackend::Inline) instantiation of
+//! [`crate::driver::RegionDriver`], and the `progxe-runtime`
+//! crate supplies the [`Pooled`](crate::driver::ExecutorBackend::Pooled)
+//! backend for `threads > 1`.
 //!
 //! The executor is deterministic given its configuration: grid construction,
 //! region ids, EL-graph tie-breaks, and the `Random` ordering's shuffle are
 //! all seeded or ordinal.
 
-use crate::benefit;
 use crate::cells::CellStore;
-use crate::config::{OrderingPolicy, ProgXeConfig};
+use crate::config::ProgXeConfig;
 use crate::cost::CostModel;
-use crate::elgraph::ElGraph;
+use crate::driver::{CommitterParts, ExecutorBackend, RegionDriver};
 use crate::error::{Error, Result};
 use crate::fxhash::FxHashMap;
 use crate::grid::InputGrid;
-use crate::lookahead::{run_lookahead, track_cells, Region};
+use crate::lookahead::{run_lookahead, track_cells};
 use crate::mapping::MapSet;
 use crate::output_grid::MAX_DIMS;
-use crate::progdetermine::{EmittedCell, ProgDetermine};
-use crate::progorder::ProgOrderQueue;
+use crate::progdetermine::ProgDetermine;
 use crate::pushthrough::{push_through, Side};
-use crate::session::{CancellationToken, QuerySession, ResultEvent, SessionStep};
+use crate::session::{CancellationToken, QuerySession};
 use crate::sink::{CollectSink, ResultSink};
 use crate::source::SourceView;
 use crate::stats::{ExecStats, ResultTuple};
-use crate::tuple_level::{RegionBatch, RegionCtx};
-use progxe_skyline::{Order, PointStore};
-use std::collections::VecDeque;
+use crate::tuple_level::RegionCtx;
+use progxe_skyline::PointStore;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Cell-visit cap for ProgCount scans on oversized region boxes.
-const PROG_COUNT_VISIT_CAP: u64 = 4_096;
+pub use crate::driver::Committer;
 
 /// The progressive SkyMapJoin executor.
 #[derive(Debug, Clone, Default)]
@@ -81,11 +72,12 @@ pub struct RunOutput {
 pub struct Prepared {
     /// Counters accumulated during preparation (look-ahead stats etc.).
     pub stats: ExecStats,
-    /// The region-loop driver, or `None` when the run finished trivially
+    /// The region-loop committer, or `None` when the run finished trivially
     /// (empty input, or cancelled during setup).
     pub committer: Option<Committer>,
     /// The instant preparation started — the zero point of every
-    /// [`ResultEvent::elapsed`] and of [`ExecStats::total_time`].
+    /// [`ResultEvent::elapsed`](crate::session::ResultEvent::elapsed) and
+    /// of [`ExecStats::total_time`].
     pub started: Instant,
 }
 
@@ -124,10 +116,13 @@ impl ProgXe {
         token: CancellationToken,
     ) -> Result<QuerySession<'a>> {
         let prep = self.prepare(r, t, maps, token.clone())?;
-        Ok(QuerySession::streaming(
-            "progxe",
-            ProgXeSession::new(prep, token),
-        ))
+        let driver = RegionDriver::new(
+            prep,
+            token.clone(),
+            ExecutorBackend::Inline,
+            self.config.prefilter_min_pairs,
+        );
+        Ok(QuerySession::stepped("progxe", token, Box::new(driver)))
     }
 
     /// Runs the query, pushing result batches into `sink` as soon as they
@@ -156,8 +151,7 @@ impl ProgXe {
         sink: &mut S,
         token: CancellationToken,
     ) -> Result<ExecStats> {
-        let prep = self.prepare(r, t, maps, token.clone())?;
-        let mut session = QuerySession::streaming("progxe", ProgXeSession::new(prep, token));
+        let mut session = self.session_with_token(r, t, maps, token)?;
         session.drain_into(sink);
         Ok(session.finish())
     }
@@ -181,8 +175,8 @@ impl ProgXe {
     /// loop. The cancellation token is checked between phases so a session
     /// cancelled during setup stops before tuple-level work.
     ///
-    /// This is the shared entry point of the sequential session *and* the
-    /// `progxe-runtime` parallel driver: both receive the same
+    /// This is the shared entry point of every backend: the inline session
+    /// *and* the `progxe-runtime` pooled driver receive the same
     /// [`Committer`] and differ only in who computes the region batches.
     pub fn prepare(
         &self,
@@ -291,48 +285,12 @@ impl ProgXe {
         let det = ProgDetermine::new(&store, &la.regions);
         stats.lookahead_time = started.elapsed();
 
-        // ── Region schedule ──────────────────────────────────────────────
-        let regions = la.regions;
+        // ── Committer (region schedule + blocker bookkeeping) ────────────
         let cost_model = CostModel {
             sigma,
             cells_per_dim: self.config.output_cells_per_dim as u16,
             dims: maps.out_dims(),
         };
-        let schedule = match self.config.ordering {
-            OrderingPolicy::ProgOrder => {
-                let n_regions = regions.len();
-                let mut ordered = OrderedSchedule {
-                    graph: ElGraph::build(&regions, maps.out_dims()),
-                    queue: ProgOrderQueue::new(n_regions),
-                    rank_cache: vec![0.0; n_regions],
-                    dirty: vec![false; n_regions],
-                    requeue_budget: vec![3; n_regions],
-                };
-                let ctx = RankCtx {
-                    regions: &regions,
-                    store: &store,
-                    det: &det,
-                    sigma,
-                    cost_model: &cost_model,
-                };
-                for root in ordered.graph.roots() {
-                    let rank = ordered.rank_of(root, &ctx);
-                    ordered.queue.push(root, rank);
-                }
-                RegionSchedule::Ordered(ordered)
-            }
-            OrderingPolicy::Random { seed } => {
-                let mut order: Vec<u32> = (0..regions.len() as u32).collect();
-                shuffle(&mut order, seed);
-                RegionSchedule::Static { order, pos: 0 }
-            }
-            OrderingPolicy::Fifo => RegionSchedule::Static {
-                order: (0..regions.len() as u32).collect(),
-                pos: 0,
-            },
-        };
-
-        let total_regions = regions.len();
         let orders = maps.preference().orders().to_vec();
         let ctx = Arc::new(RegionCtx::new(
             maps.clone(),
@@ -342,484 +300,27 @@ impl ProgXe {
             t_keys,
             r_grid,
             t_grid,
-            regions,
+            la.regions,
         ));
-        Ok(Prepared {
-            stats,
-            committer: Some(Committer {
+        let committer = Committer::new(
+            CommitterParts {
                 ctx,
                 kept_r,
                 kept_t,
                 store,
                 det,
                 orders,
-                schedule,
                 sigma,
                 cost_model,
-                dispatched: vec![false; total_regions],
-                resolved: 0,
-                total_regions,
-                emitted_buf: Vec::new(),
                 started,
-            }),
+            },
+            self.config.ordering,
+        );
+        Ok(Prepared {
+            stats,
+            committer: Some(committer),
             started,
         })
-    }
-}
-
-/// Immutable context needed to (re)rank a region.
-struct RankCtx<'c> {
-    regions: &'c [Region],
-    store: &'c CellStore,
-    det: &'c ProgDetermine,
-    sigma: f64,
-    cost_model: &'c CostModel,
-}
-
-/// ProgOrder state: EL-graph, priority queue, and the lazy-rank machinery.
-struct OrderedSchedule {
-    graph: ElGraph,
-    queue: ProgOrderQueue,
-    rank_cache: Vec<f64>,
-    dirty: Vec<bool>,
-    requeue_budget: Vec<u8>,
-}
-
-impl OrderedSchedule {
-    fn rank_of(&mut self, rid: u32, ctx: &RankCtx<'_>) -> f64 {
-        let region = &ctx.regions[rid as usize];
-        let b = benefit::benefit(region, ctx.store, ctx.det, ctx.sigma, PROG_COUNT_VISIT_CAP);
-        let c = ctx
-            .cost_model
-            .region_cost(region, ctx.store.grid())
-            .max(1.0);
-        let rank = b / c;
-        self.rank_cache[rid as usize] = rank;
-        rank
-    }
-}
-
-/// Region-ordering policy state, stepped one region at a time.
-enum RegionSchedule {
-    /// The paper's ProgOrder (Algorithm 1): rank = Benefit / Cost over
-    /// EL-Graph roots, with lazy rank refresh.
-    Ordered(OrderedSchedule),
-    /// A precomputed order (Random or Fifo policies).
-    Static { order: Vec<u32>, pos: usize },
-}
-
-impl RegionSchedule {
-    /// Picks the next region to dispatch. `dispatched` marks regions handed
-    /// out but not yet resolved — on a sequential run it always equals the
-    /// resolved set, but a parallel driver keeps a window of them in
-    /// flight. Returns `None` when nothing is dispatchable *right now*
-    /// (either all regions are dispatched/resolved, or — ProgOrder with a
-    /// root-free cyclic component — every pending region is in flight).
-    fn next_region(
-        &mut self,
-        ctx: &RankCtx<'_>,
-        stats: &mut ExecStats,
-        dispatched: &[bool],
-    ) -> Option<u32> {
-        match self {
-            RegionSchedule::Static { order, pos } => {
-                let rid = order.get(*pos).copied();
-                *pos += 1;
-                rid
-            }
-            RegionSchedule::Ordered(sched) => {
-                if sched.graph.unresolved() == 0 {
-                    return None;
-                }
-                loop {
-                    match sched.queue.pop_entry() {
-                        Some((rid, _))
-                            if sched.graph.is_resolved(rid) || dispatched[rid as usize] =>
-                        {
-                            continue
-                        }
-                        Some((rid, entry_rank)) => {
-                            // Benefit recomputation is the expensive part of
-                            // ordering (a box scan per region). To keep the
-                            // paper's "ordering overhead is negligible"
-                            // property, ranks are refreshed *lazily*:
-                            // affected regions are only marked dirty
-                            // (Algorithm 1 line 13 in spirit), and the
-                            // recompute happens when the region reaches the
-                            // top of the queue — with a small re-queue
-                            // budget per region so dense elimination graphs
-                            // cannot trigger quadratic rescans.
-                            if sched.dirty[rid as usize] && sched.requeue_budget[rid as usize] > 0 {
-                                sched.dirty[rid as usize] = false;
-                                sched.requeue_budget[rid as usize] -= 1;
-                                let fresh = sched.rank_of(rid, ctx);
-                                if fresh < entry_rank * 0.999 {
-                                    // Demoted: let a better region go first.
-                                    sched.queue.push(rid, fresh);
-                                    continue;
-                                }
-                            }
-                            return Some(rid);
-                        }
-                        None => {
-                            let pending = sched.graph.pending();
-                            // An empty queue with regions *in flight* is not
-                            // the cyclic-component case — the real EL-roots
-                            // are simply uncommitted. Hand out nothing and
-                            // let the committer land a batch, which either
-                            // pushes new roots or ends the run.
-                            if pending.iter().any(|&rid| dispatched[rid as usize]) {
-                                return None;
-                            }
-                            // Cyclic component with no root (DESIGN.md §5.2):
-                            // pick the best pending region by cached rank —
-                            // O(regions), no box scans.
-                            let best = pending.into_iter().max_by(|&a, &b| {
-                                sched.rank_cache[a as usize]
-                                    .total_cmp(&sched.rank_cache[b as usize])
-                                    .then_with(|| b.cmp(&a))
-                            });
-                            if best.is_some() {
-                                stats.ordering_fallbacks += 1;
-                            }
-                            return best;
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// Records a resolution: new EL-graph roots enter the queue, regions
-    /// whose benefit may have changed are marked dirty.
-    fn on_resolved(&mut self, rid: u32, ctx: &RankCtx<'_>) {
-        if let RegionSchedule::Ordered(sched) = self {
-            let (new_roots, affected) = sched.graph.resolve(rid);
-            for root in new_roots {
-                let rank = sched.rank_of(root, ctx);
-                sched.queue.push(root, rank);
-            }
-            for region in affected {
-                if sched.queue.contains(region) {
-                    sched.dirty[region as usize] = true;
-                }
-            }
-        }
-    }
-}
-
-/// The single-threaded back half of the region loop: owns the cell store,
-/// the region schedule, and Algorithm 2's blocker bookkeeping.
-///
-/// Every region goes through exactly one of three commit paths — all of
-/// which resolve it and may release proven-final cells as a
-/// [`ResultEvent`]:
-///
-/// * [`discard_dead`](Self::discard_dead) — the region box was already
-///   fully dominated when it was popped; no tuple work at all;
-/// * [`process_and_commit`](Self::process_and_commit) — sequential path:
-///   stream the join directly into the cell store;
-/// * [`commit_batch`](Self::commit_batch) — parallel path: apply a
-///   worker-computed [`RegionBatch`].
-///
-/// Parallel drivers **must** commit batches in the order the regions were
-/// popped from [`pop_next`](Self::pop_next); combined with the
-/// cancellation-token discipline this makes parallel emission
-/// deterministic regardless of worker interleaving.
-pub struct Committer {
-    ctx: Arc<RegionCtx>,
-    /// Filtered→original row-id maps (push-through survivors).
-    kept_r: Vec<u32>,
-    kept_t: Vec<u32>,
-    store: CellStore,
-    det: ProgDetermine,
-    orders: Vec<Order>,
-    schedule: RegionSchedule,
-    sigma: f64,
-    cost_model: CostModel,
-    /// Regions handed out by `pop_next` (superset of resolved).
-    dispatched: Vec<bool>,
-    resolved: usize,
-    total_regions: usize,
-    emitted_buf: Vec<EmittedCell>,
-    started: Instant,
-}
-
-impl Committer {
-    /// The shared work-unit context (regions, grids, filtered sources).
-    pub fn ctx(&self) -> Arc<RegionCtx> {
-        Arc::clone(&self.ctx)
-    }
-
-    /// The instant the pipeline started (zero point of event timestamps).
-    pub fn started_at(&self) -> Instant {
-        self.started
-    }
-
-    /// Regions not yet resolved.
-    pub fn unresolved(&self) -> usize {
-        self.total_regions - self.resolved
-    }
-
-    /// Picks the next region to work on, marking it dispatched. `None`
-    /// means nothing is dispatchable right now — which is final on a
-    /// sequential run, but on a parallel run may become `Some` again after
-    /// in-flight regions commit (new EL-graph roots appear).
-    pub fn pop_next(&mut self, stats: &mut ExecStats) -> Option<u32> {
-        let ctx = RankCtx {
-            regions: self.ctx.regions(),
-            store: &self.store,
-            det: &self.det,
-            sigma: self.sigma,
-            cost_model: &self.cost_model,
-        };
-        let rid = self.schedule.next_region(&ctx, stats, &self.dispatched)?;
-        debug_assert!(!self.dispatched[rid as usize], "region {rid} popped twice");
-        self.dispatched[rid as usize] = true;
-        Some(rid)
-    }
-
-    /// Whether the region's whole output box is fully dominated by results
-    /// committed so far (Algorithm 1, line 9) — its tuple work can be
-    /// skipped entirely.
-    pub fn region_box_is_dead(&self, rid: u32) -> bool {
-        self.store
-            .region_is_dead(&self.ctx.regions()[rid as usize].cell_lo)
-    }
-
-    /// Resolves a dead region without tuple-level work.
-    pub fn discard_dead(&mut self, rid: u32, stats: &mut ExecStats) -> Option<ResultEvent> {
-        stats.regions_discarded_dead += 1;
-        self.resolve(rid, stats)
-    }
-
-    /// Sequential path: joins the region, streaming inserts into the cell
-    /// store, then resolves it. Returns `None` when the token fired
-    /// mid-region — the insert set is partial, so the region is left
-    /// *unresolved* (emitting from it could produce false positives) and
-    /// the run counts as cancelled.
-    pub fn process_and_commit(
-        &mut self,
-        rid: u32,
-        token: &CancellationToken,
-        stats: &mut ExecStats,
-    ) -> Option<Option<ResultEvent>> {
-        let ctx = Arc::clone(&self.ctx);
-        let compute_started = Instant::now();
-        let (tl, completed) = ctx.process_into(rid, &mut self.store, token);
-        stats.tuple_time += compute_started.elapsed();
-        stats.join_pairs_evaluated += tl.pairs_examined;
-        stats.join_matches += tl.matches;
-        if !completed {
-            stats.cancelled = true;
-            return None;
-        }
-        stats.regions_processed += 1;
-        Some(self.resolve(rid, stats))
-    }
-
-    /// Parallel path: applies one worker-computed batch. The region box is
-    /// re-checked against results committed in the meantime (a region
-    /// dispatched early may be dead by the time its batch lands), then the
-    /// surviving tuples go through the same cell-restricted dominance
-    /// insert the sequential path uses, and the region resolves.
-    ///
-    /// # Panics
-    /// Debug-asserts that the batch completed; committing a partial batch
-    /// would break Principle 1.
-    pub fn commit_batch(
-        &mut self,
-        batch: RegionBatch,
-        stats: &mut ExecStats,
-    ) -> Option<ResultEvent> {
-        debug_assert!(batch.completed, "partial batches must not be committed");
-        let commit_started = Instant::now();
-        stats.tuple_time += batch.compute_time;
-        stats.join_pairs_evaluated += batch.stats.pairs_examined;
-        stats.join_matches += batch.stats.matches;
-        stats.dominance_tests += batch.stats.local_dominance_tests;
-        if self.region_box_is_dead(batch.rid) {
-            stats.regions_discarded_dead += 1;
-        } else {
-            stats.regions_processed += 1;
-            for (i, &(r, t)) in batch.ids.iter().enumerate() {
-                self.store.insert(r, t, batch.points.point(i));
-            }
-        }
-        let event = self.resolve(batch.rid, stats);
-        stats.commit_time += commit_started.elapsed();
-        event
-    }
-
-    /// Resolves one dispatched region: blocker bookkeeping, schedule
-    /// update, and conversion of released cells into a [`ResultEvent`].
-    fn resolve(&mut self, rid: u32, stats: &mut ExecStats) -> Option<ResultEvent> {
-        let region = &self.ctx.regions()[rid as usize];
-        self.det
-            .resolve_region(region, &mut self.store, &mut self.emitted_buf);
-        self.resolved += 1;
-        let ctx = RankCtx {
-            regions: self.ctx.regions(),
-            store: &self.store,
-            det: &self.det,
-            sigma: self.sigma,
-            cost_model: &self.cost_model,
-        };
-        self.schedule.on_resolved(rid, &ctx);
-
-        if self.emitted_buf.is_empty() {
-            return None;
-        }
-        let mut tuples = Vec::new();
-        for cell in self.emitted_buf.drain(..) {
-            stats.cells_emitted += 1;
-            for (i, &(ri, ti)) in cell.ids.iter().enumerate() {
-                let oriented = cell.points.point(i);
-                let values = self
-                    .orders
-                    .iter()
-                    .zip(oriented)
-                    .map(|(o, &v)| o.orient(v))
-                    .collect();
-                tuples.push(ResultTuple {
-                    r_idx: self.kept_r[ri as usize],
-                    t_idx: self.kept_t[ti as usize],
-                    values,
-                });
-            }
-        }
-        stats.results_emitted += tuples.len() as u64;
-        Some(ResultEvent {
-            tuples,
-            proven_final: true,
-            progress_estimate: self.resolved as f64 / self.total_regions.max(1) as f64,
-            elapsed: self.started.elapsed(),
-        })
-    }
-
-    /// Closes the region loop: merges cell-store counters into `stats` and
-    /// flags an early stop when regions were left unresolved.
-    pub fn finalize(self, stats: &mut ExecStats) {
-        let unresolved = self.total_regions - self.resolved;
-        if unresolved > 0 {
-            stats.cancelled = true;
-            stats.regions_skipped = unresolved;
-        } else {
-            // All regions resolved ⇒ every live cell must have been
-            // released.
-            debug_assert_eq!(
-                self.det.live_cells(),
-                0,
-                "cells left blocked after all regions resolved"
-            );
-        }
-        let cell_stats = self.store.stats();
-        // `+=`: worker-local pre-filter tests were already accumulated.
-        stats.dominance_tests += cell_stats.dominance_tests;
-        stats.tuples_inserted = cell_stats.tuples_inserted;
-        stats.tuples_rejected_dominated = cell_stats.tuples_rejected_dominated;
-        stats.tuples_rejected_dead_cell = cell_stats.tuples_rejected_dead_cell;
-        stats.tuples_evicted = cell_stats.tuples_evicted;
-        stats.comparable_cells_visited = cell_stats.comparable_cells_visited;
-        stats.comparable_cells_max = cell_stats.comparable_cells_max;
-    }
-}
-
-/// The steppable sequential ProgXe pipeline behind a [`QuerySession`].
-///
-/// Owns a [`Committer`] and advances the region loop one region per step,
-/// queueing a [`ResultEvent`] whenever a resolution releases proven-final
-/// cells. Owns no borrows: all query state was copied/`Arc`ed during
-/// [`ProgXe::prepare`].
-pub(crate) struct ProgXeSession {
-    start: Instant,
-    token: CancellationToken,
-    stats: ExecStats,
-    committer: Option<Committer>,
-    ready: VecDeque<ResultEvent>,
-    done: bool,
-}
-
-impl ProgXeSession {
-    pub(crate) fn new(prep: Prepared, token: CancellationToken) -> Self {
-        let done = prep.committer.is_none();
-        Self {
-            start: prep.started,
-            token,
-            stats: prep.stats,
-            committer: prep.committer,
-            ready: VecDeque::new(),
-            done,
-        }
-    }
-
-    pub(crate) fn token(&self) -> CancellationToken {
-        self.token.clone()
-    }
-
-    /// Resolves one region: tuple-level processing (unless the region box
-    /// is dead), blocker bookkeeping, and conversion of any released cells
-    /// into a queued [`ResultEvent`]. Returns false when no regions remain
-    /// (or the token fired mid-region).
-    fn step(&mut self) -> bool {
-        let Some(committer) = self.committer.as_mut() else {
-            return false;
-        };
-        let Some(rid) = committer.pop_next(&mut self.stats) else {
-            return false;
-        };
-        if committer.region_box_is_dead(rid) {
-            if let Some(event) = committer.discard_dead(rid, &mut self.stats) {
-                self.ready.push_back(event);
-            }
-            return true;
-        }
-        match committer.process_and_commit(rid, &self.token, &mut self.stats) {
-            Some(Some(event)) => {
-                self.ready.push_back(event);
-                true
-            }
-            Some(None) => true,
-            None => false, // cancelled mid-region
-        }
-    }
-}
-
-impl SessionStep for ProgXeSession {
-    /// Pulls the next event, stepping the region loop as needed.
-    fn next_event(&mut self) -> Option<ResultEvent> {
-        loop {
-            if self.token.is_cancelled() {
-                return None;
-            }
-            if let Some(event) = self.ready.pop_front() {
-                return Some(event);
-            }
-            if self.done || !self.step() {
-                self.done = true;
-                return None;
-            }
-        }
-    }
-
-    fn stats_snapshot(&self) -> ExecStats {
-        let mut stats = self.stats.clone();
-        stats.total_time = self.start.elapsed();
-        stats
-    }
-
-    /// Closes the session: merges cell-store counters into the stats and
-    /// flags an early stop (unresolved regions or undelivered events).
-    fn finalize(self: Box<Self>) -> ExecStats {
-        let mut stats = self.stats;
-        if let Some(committer) = self.committer {
-            if !self.ready.is_empty() {
-                stats.cancelled = true;
-            }
-            committer.finalize(&mut stats);
-        }
-        stats.total_time = self.start.elapsed();
-        stats
     }
 }
 
@@ -840,7 +341,7 @@ fn filter_source(
 
 /// Deterministic Fisher–Yates shuffle driven by SplitMix64 (keeps `rand`
 /// out of the core crate's dependencies).
-fn shuffle(v: &mut [u32], seed: u64) {
+pub(crate) fn shuffle(v: &mut [u32], seed: u64) {
     let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut next = || {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -858,7 +359,8 @@ fn shuffle(v: &mut [u32], seed: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SignatureConfig;
+    use crate::config::{OrderingPolicy, SignatureConfig};
+    use crate::mapping::MapSet;
     use crate::session::ProgressiveEngine;
     use crate::source::SourceData;
     use progxe_skyline::{naive_skyline, Preference};
@@ -1228,8 +730,8 @@ mod tests {
     #[test]
     fn prepare_exposes_committer_for_external_drivers() {
         // Drive the region loop by hand through the public Committer API —
-        // exactly what the parallel runtime does — and check it agrees with
-        // the sequential session.
+        // exactly what a custom backend would do — and check it agrees with
+        // the standard session.
         let r = random_source(120, 2, 5, 71);
         let t = random_source(120, 2, 5, 72);
         let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));

@@ -24,8 +24,10 @@
 //!    *safe* to emit: no false positives, no false negatives (Algorithm 2,
 //!    Principle 1).
 //!
-//! The [`executor`] module ties the phases into the public entry point
-//! [`ProgXe`]. Results are consumed either by pulling a streaming
+//! The [`executor`] module builds the pipeline front end behind the public
+//! entry point [`ProgXe`]; the [`driver`] module owns the single region
+//! loop ([`driver::RegionDriver`]) that every backend — inline or pooled —
+//! executes. Results are consumed either by pulling a streaming
 //! [`session::QuerySession`] (incremental batches, cancellation, `take(k)`
 //! early termination) or by pushing into a [`sink::ResultSink`] — the sink
 //! path is a thin adapter over the stream.
@@ -53,6 +55,7 @@ pub mod benefit;
 pub mod cells;
 pub mod config;
 pub mod cost;
+pub mod driver;
 pub mod elgraph;
 pub mod error;
 pub mod executor;
@@ -72,6 +75,7 @@ pub mod stats;
 pub mod tuple_level;
 
 pub use config::{OrderingPolicy, ProgXeConfig, SignatureConfig};
+pub use driver::{Committer, ExecutorBackend, RegionDriver, TaskSpawner};
 pub use error::{Error, Result};
 pub use executor::{ProgXe, RunOutput};
 pub use mapping::{GeneralMap, MapSet, MappingFunction, WeightedSum};

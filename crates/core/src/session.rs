@@ -18,13 +18,13 @@
 //!   and terminates early; [`QuerySession::finish`] reports [`ExecStats`].
 //!
 //! For the truly progressive ProgXe executor the session steps the region
-//! loop incrementally (see `executor::ProgXeSession`). The blocking
+//! loop incrementally (see [`crate::driver::RegionDriver`]). The blocking
 //! baselines cannot produce anything before their final (or, for SSMJ,
 //! phase-1) skyline pass, so their sessions defer the whole run to the
 //! first pull — cancelling an unpulled baseline session costs nothing.
 
 use crate::error::Result;
-use crate::executor::{ProgXe, ProgXeSession, RunOutput};
+use crate::executor::{ProgXe, RunOutput};
 use crate::mapping::MapSet;
 use crate::sink::ResultSink;
 use crate::source::SourceView;
@@ -150,8 +150,9 @@ struct DeferredState<'a> {
 }
 
 enum SessionInner<'a> {
-    /// Incrementally stepped execution (sequential ProgXe, or any external
-    /// [`SessionStep`] such as the parallel runtime driver).
+    /// Incrementally stepped execution (the unified
+    /// [`RegionDriver`](crate::driver::RegionDriver), or any external
+    /// [`SessionStep`]).
     Stream(Box<dyn SessionStep + 'a>),
     /// Blocking engine: the whole run happens at the first `next_batch`.
     Deferred(Box<DeferredState<'a>>),
@@ -175,22 +176,11 @@ pub struct QuerySession<'a> {
 }
 
 impl<'a> QuerySession<'a> {
-    /// Wraps an incremental ProgXe session.
-    pub(crate) fn streaming(engine: &'static str, session: ProgXeSession) -> Self {
-        let token = session.token();
-        Self {
-            engine,
-            inner: SessionInner::Stream(Box::new(session)),
-            token,
-            remap: None,
-            emitted: 0,
-            last_progress: 0.0,
-        }
-    }
-
-    /// Wraps an external [`SessionStep`] implementation (e.g. the parallel
-    /// runtime driver) together with the cancellation token it watches.
-    /// The token must be shared with the stepper: `cancel` relies on it.
+    /// Wraps a [`SessionStep`] implementation (the core
+    /// [`RegionDriver`](crate::driver::RegionDriver) on either backend, or
+    /// any external stepper) together with the cancellation token it
+    /// watches. The token must be shared with the stepper: `cancel` relies
+    /// on it.
     pub fn stepped(
         engine: &'static str,
         token: CancellationToken,

@@ -37,8 +37,9 @@ pub struct ExecStats {
     /// *worker* compute durations, so it can exceed wall-clock time.
     pub tuple_time: Duration,
     /// Time the ordered committer spent applying region batches (insertion
-    /// into the cell store plus blocker bookkeeping). Zero on sequential
-    /// runs, where commit work is folded into [`ExecStats::tuple_time`].
+    /// into the cell store plus blocker bookkeeping). Zero for regions that
+    /// took the streaming path, whose commit work is folded into
+    /// [`ExecStats::tuple_time`].
     pub commit_time: Duration,
     /// Worker threads used for the tuple-level phase (1 = sequential).
     pub threads_used: usize,
@@ -91,6 +92,11 @@ pub struct ExecStats {
     pub tuples_rejected_dead_cell: u64,
     /// Admitted tuples later evicted by dominating arrivals.
     pub tuples_evicted: u64,
+    /// Tuples dropped by the bounded local skyline pre-filter before ever
+    /// reaching the cell store (batch path only: pool workers always, the
+    /// `Inline` backend when the region's join-pair bound is at or above
+    /// [`ProgXeConfig::prefilter_min_pairs`](crate::config::ProgXeConfig)).
+    pub tuples_prefiltered: u64,
     /// Populated comparable cells examined across insertions (Section
     /// III-B's `k^d − (k−1)^d` bound, measured).
     pub comparable_cells_visited: u64,

@@ -3,18 +3,20 @@
 //! For the chosen region `R_{a,b}`: evaluate the equi-join between the
 //! tuples of `I^R_a` and `I^T_b` (hash join on the smaller side), apply the
 //! mapping functions to each match, orient the output, and hand every mapped
-//! tuple to a consumer — either the shared [`CellStore`] (sequential path,
-//! [`process_region`]) or a private batch buffer (parallel path,
-//! [`RegionCtx::compute`]).
+//! tuple to a consumer — either the shared [`CellStore`] (streaming path,
+//! [`process_region`]; small regions on the driver's `Inline` backend) or a
+//! private batch buffer ([`RegionCtx::compute`]; pool workers always, and
+//! large inline regions per
+//! [`ProgXeConfig::prefilter_min_pairs`](crate::config::ProgXeConfig)).
 //!
-//! The parallel split follows the paper's own decomposition: everything up
+//! The batch split follows the paper's own decomposition: everything up
 //! to the cell-restricted dominance insert is *pure* per-region work
 //! ([`RegionCtx`] is `Send + Sync` and owns all inputs), while Algorithm 2's
 //! blocker bookkeeping stays with the single ordered committer in
-//! [`crate::executor`]. Workers additionally run a bounded local skyline
-//! pre-filter over their own batch — sound because Pareto dominance is
-//! transitive, so a tuple dominated inside its batch can never survive the
-//! shared store either.
+//! [`crate::driver`]. Batch producers additionally run a bounded local
+//! skyline pre-filter over their own batch — sound because Pareto dominance
+//! is transitive, so a tuple dominated inside its batch can never survive
+//! the shared store either.
 //!
 //! Cancellation is checked *inside* the probe loop (every
 //! [`CANCEL_CHECK_INTERVAL`] probe rows), so a `take(k)` consumer or a

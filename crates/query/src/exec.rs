@@ -16,14 +16,31 @@ use progxe_core::executor::ProgXe;
 use progxe_core::session::{ProgressiveEngine, QuerySession};
 use progxe_core::sink::ResultSink;
 use progxe_core::stats::ResultTuple;
-use progxe_runtime::ParallelProgXe;
+use progxe_runtime::{EngineRuntime, ParallelProgXe};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which execution strategy evaluates the query.
 #[derive(Debug, Clone)]
 pub enum Engine {
-    /// The paper's progressive framework.
-    ProgXe(Box<ProgXeConfig>),
+    /// The paper's progressive framework. Construct via
+    /// [`Engine::progxe`]/[`Engine::progxe_with`]/[`Engine::progxe_threads`],
+    /// which size the runtime to `config.threads`; the variant is
+    /// `#[non_exhaustive]` so external code cannot *construct* a
+    /// mismatched pairing. For pooled sessions the runtime's worker count
+    /// is authoritative (it sizes the pool, the dispatch window, and
+    /// `threads_used`) — mutating `config.threads` on an existing engine
+    /// does not resize an already-shared pool.
+    #[non_exhaustive]
+    ProgXe {
+        /// Executor configuration; `threads > 1` routes through the
+        /// parallel runtime.
+        config: Box<ProgXeConfig>,
+        /// The engine's long-lived execution runtime: one lazily-spawned
+        /// thread pool shared by every session this `Engine` (and every
+        /// clone of it) opens. Never spawned while `threads == 1`.
+        runtime: Arc<EngineRuntime>,
+    },
     /// Join-first/skyline-later (blocking).
     JfSl(SkyAlgo),
     /// JF-SL with push-through pruning.
@@ -41,22 +58,36 @@ impl Engine {
     /// query without touching call sites.
     #[must_use]
     pub fn progxe() -> Self {
-        Engine::ProgXe(Box::new(ProgXeConfig::from_env()))
+        Self::progxe_with(ProgXeConfig::from_env())
     }
 
     /// ProgXe with a custom configuration. A `threads` value above 1
     /// routes execution through the parallel runtime (see
-    /// [`Engine::build`]).
+    /// [`Engine::build`]); all sessions of this `Engine` value share one
+    /// lazily-spawned worker pool.
     #[must_use]
     pub fn progxe_with(config: ProgXeConfig) -> Self {
-        Engine::ProgXe(Box::new(config))
+        let runtime = Arc::new(EngineRuntime::new(config.threads.get()));
+        Engine::ProgXe {
+            config: Box::new(config),
+            runtime,
+        }
     }
 
     /// ProgXe with `threads` tuple-level workers and otherwise default
     /// configuration.
     #[must_use]
     pub fn progxe_threads(threads: usize) -> Self {
-        Engine::ProgXe(Box::new(ProgXeConfig::default().with_threads(threads)))
+        Self::progxe_with(ProgXeConfig::default().with_threads(threads))
+    }
+
+    /// The shared execution runtime, for ProgXe engines (`None` for the
+    /// baselines, which are single-threaded by design).
+    pub fn runtime(&self) -> Option<&Arc<EngineRuntime>> {
+        match self {
+            Engine::ProgXe { runtime, .. } => Some(runtime),
+            _ => None,
+        }
     }
 
     /// JF-SL with block-nested-loops.
@@ -92,7 +123,7 @@ impl Engine {
     /// Short name for diagnostics.
     pub fn name(&self) -> &'static str {
         match self {
-            Engine::ProgXe(_) => "progxe",
+            Engine::ProgXe { .. } => "progxe",
             Engine::JfSl(_) => "jf-sl",
             Engine::JfSlPlus(_) => "jf-sl+",
             Engine::Ssmj(_) => "ssmj",
@@ -105,16 +136,18 @@ impl Engine {
     /// sinks, the bench harness — talks to [`ProgressiveEngine`] only.
     ///
     /// A ProgXe configuration with `threads > 1` builds the parallel
-    /// runtime driver ([`ParallelProgXe`]); the session contract
-    /// (`next_batch` / `take(k)` / cancellation, proven-final batches) is
-    /// identical either way.
+    /// engine ([`ParallelProgXe`]) *borrowing this `Engine`'s shared
+    /// [`EngineRuntime`]* — repeated `build()` calls (one per session in
+    /// [`QueryRunner::session`]) keep reusing the same worker pool. The
+    /// session contract (`next_batch` / `take(k)` / cancellation,
+    /// proven-final batches) is identical either way.
     #[must_use]
     pub fn build(&self) -> Box<dyn ProgressiveEngine> {
         match self {
-            Engine::ProgXe(config) if config.threads.get() > 1 => {
-                Box::new(ParallelProgXe::new((**config).clone()))
-            }
-            Engine::ProgXe(config) => Box::new(ProgXe::new((**config).clone())),
+            Engine::ProgXe { config, runtime } if config.threads.get() > 1 => Box::new(
+                ParallelProgXe::with_runtime((**config).clone(), Arc::clone(runtime)),
+            ),
+            Engine::ProgXe { config, .. } => Box::new(ProgXe::new((**config).clone())),
             Engine::JfSl(algo) => Box::new(JfSlEngine::new(*algo)),
             Engine::JfSlPlus(algo) => Box::new(JfSlEngine::plus(*algo)),
             Engine::Ssmj(algo) => Box::new(SsmjEngine::new(*algo)),
@@ -452,6 +485,40 @@ mod tests {
         // Dispatch picks the parallel runtime exactly when threads > 1.
         assert_eq!(Engine::progxe_threads(4).build().name(), "progxe-mt");
         assert_eq!(Engine::progxe_threads(1).build().name(), "progxe");
+    }
+
+    #[test]
+    fn one_engine_shares_one_pool_across_sessions() {
+        let runner = QueryRunner::new(q1_catalog());
+        let engine = Engine::progxe_threads(3);
+        let runtime = engine.runtime().expect("progxe has a runtime").clone();
+        assert_eq!(runtime.pools_spawned(), 0, "runtime spawns lazily");
+        let a = runner.run_collect(Q1, &engine).unwrap();
+        let b = runner.run_collect(Q1, &engine).unwrap();
+        assert_eq!(a.results, b.results);
+        assert_eq!(
+            runtime.pools_spawned(),
+            1,
+            "every session of one Engine must reuse its pool"
+        );
+        // Engine clones share the runtime too.
+        let clone = engine.clone();
+        let _ = runner.run_collect(Q1, &clone).unwrap();
+        assert_eq!(runtime.pools_spawned(), 1);
+        // Dropping every owner shuts the pool down (workers joined).
+        let watch = runtime.pool_watch().expect("pool spawned");
+        drop(engine);
+        drop(clone);
+        drop(runtime);
+        assert!(watch.upgrade().is_none(), "pool must die with its engine");
+    }
+
+    #[test]
+    fn sequential_engine_never_spawns_a_pool() {
+        let runner = QueryRunner::new(q1_catalog());
+        let engine = Engine::progxe_with(ProgXeConfig::default());
+        let _ = runner.run_collect(Q1, &engine).unwrap();
+        assert_eq!(engine.runtime().unwrap().pools_spawned(), 0);
     }
 
     #[test]

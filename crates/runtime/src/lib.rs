@@ -1,14 +1,23 @@
-//! # progxe-runtime — parallel region execution with ordered commit
+//! # progxe-runtime — shared execution runtime for parallel ProgXe
 //!
 //! The paper's output-space look-ahead (§III) decomposes a SkyMapJoin query
 //! into output regions precisely so that tuple-level work is partitionable.
-//! This crate exploits that: [`pool`] provides a dependency-free
-//! work-stealing thread pool (scoped to `std::thread`, `Mutex`, and
-//! `Condvar`), and [`parallel`] provides [`parallel::ParallelProgXe`] — a
-//! drop-in [`ProgressiveEngine`](progxe_core::session::ProgressiveEngine)
-//! that fans the tuple-level phase (join + map + local dominance filtering,
-//! Figure 2 phase 3) out across regions while a single **ordered committer**
-//! applies Algorithm 2's blocker bookkeeping in schedule order.
+//! This crate exploits that with three pieces:
+//!
+//! * [`pool`] — a dependency-free work-stealing thread pool (scoped to
+//!   `std::thread`, `Mutex`, and `Condvar`) whose workers survive
+//!   panicking user code;
+//! * [`runtime`] — [`EngineRuntime`], the per-engine lifecycle: one
+//!   lazily-spawned, long-lived pool shared by every session of an engine
+//!   (and by every clone of it), so high-QPS serving pays thread
+//!   spawn/join once per engine instead of once per query;
+//! * [`parallel`] — [`parallel::ParallelProgXe`], a drop-in
+//!   [`ProgressiveEngine`](progxe_core::session::ProgressiveEngine) that
+//!   instantiates the core's unified
+//!   [`RegionDriver`](progxe_core::driver::RegionDriver) on its `Pooled`
+//!   backend. The region loop itself lives in `progxe-core` — this crate
+//!   only provides the [`TaskSpawner`](progxe_core::driver::TaskSpawner)
+//!   implementation and the pool lifecycle.
 //!
 //! The division of labor keeps every progressive-output guarantee intact:
 //!
@@ -21,7 +30,8 @@
 //!   that could dominate it has committed (no false positives, no false
 //!   negatives);
 //! * cancellation tokens are checked inside each worker's probe loop, so
-//!   `take(k)` and timeouts stop in-flight workers mid-region.
+//!   `take(k)` and timeouts stop in-flight workers mid-region — and vacate
+//!   the shared pool for other sessions' work.
 //!
 //! Thread count comes from
 //! [`ProgXeConfig::threads`](progxe_core::config::ProgXeConfig) (env
@@ -33,6 +43,8 @@
 
 pub mod parallel;
 pub mod pool;
+pub mod runtime;
 
 pub use parallel::ParallelProgXe;
 pub use pool::ThreadPool;
+pub use runtime::EngineRuntime;

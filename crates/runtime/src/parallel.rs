@@ -1,11 +1,15 @@
-//! The parallel ProgXe driver: region fan-out, ordered progressive commit.
+//! The parallel ProgXe engine: the pooled instantiation of the core's
+//! unified region driver.
 //!
 //! ## Architecture
 //!
-//! [`ParallelProgXe`] reuses the whole sequential front end
+//! [`ParallelProgXe`] reuses the whole pipeline front end
 //! ([`ProgXe::prepare`]): validation, push-through, grid construction,
-//! output-space look-ahead, and the region schedule. Only the region loop
-//! changes shape:
+//! output-space look-ahead, and the region schedule. The region loop itself
+//! is **not** implemented here — it lives exactly once, in
+//! [`progxe_core::driver::RegionDriver`]; this crate merely supplies the
+//! [`Pooled`](progxe_core::driver::ExecutorBackend::Pooled) backend: a
+//! handle to the engine's shared [`EngineRuntime`] pool.
 //!
 //! ```text
 //!           ┌─ pop ──▶ worker: ctx.compute(rid)  ─┐   (any thread, any order)
@@ -15,8 +19,8 @@
 //!                                       committer: insert + resolve + emit
 //! ```
 //!
-//! The committer pops regions from the schedule into a bounded dispatch
-//! window (`2 × threads`), hands each to the [`ThreadPool`] as a pure work
+//! The driver pops regions from the schedule into a bounded dispatch
+//! window (`2 × threads`), hands each to the shared pool as a pure work
 //! unit, and then **commits strictly in pop order**, blocking on the oldest
 //! outstanding batch. Because every pop and every commit happens at a
 //! deterministic point of that loop — never "whichever worker finished
@@ -29,52 +33,77 @@
 //! still place a tuple into a dominating cell") only cares that a region is
 //! *resolved after its tuples are in the store*. Workers never touch the
 //! store; the committer inserts a region's batch and resolves it in one
-//! step, exactly like the sequential path — in-flight regions simply stay
+//! step, exactly like the inline backend — in-flight regions simply stay
 //! unresolved, keeping their blocker counts up, so nothing they could still
 //! produce is ever contradicted by an early emission. Dispatch order
 //! deviating from sequential ProgOrder only shifts the *rate* optimization
 //! (Section IV), never correctness, as the paper's No-Order variation
 //! already establishes.
 //!
-//! Cancellation: workers check the shared token inside the probe loop and
-//! return partial batches flagged `completed = false`; the committer never
-//! commits those, so a cancelled query cannot emit a false positive.
+//! ## Pool lifecycle
+//!
+//! Sessions **never construct a pool**: they borrow the engine's
+//! [`EngineRuntime`], which lazily spawns one long-lived
+//! [`ThreadPool`](crate::ThreadPool) on the first session and shares it
+//! with every subsequent one — per-query spawn/join latency is paid once per engine,
+//! not once per query. Cancellation: workers check the shared token inside
+//! the probe loop and return partial batches flagged `completed = false`;
+//! the committer never commits those, so a cancelled query cannot emit a
+//! false positive, and its leftover jobs vacate the shared pool at their
+//! first token check.
 
-use crate::pool::ThreadPool;
+use crate::runtime::EngineRuntime;
 use progxe_core::config::ProgXeConfig;
+use progxe_core::driver::{ExecutorBackend, RegionDriver, TaskSpawner};
 use progxe_core::error::Result;
-use progxe_core::executor::{Committer, ProgXe};
+use progxe_core::executor::ProgXe;
 use progxe_core::mapping::MapSet;
-use progxe_core::session::{
-    CancellationToken, ProgressiveEngine, QuerySession, ResultEvent, SessionStep,
-};
+use progxe_core::session::{CancellationToken, ProgressiveEngine, QuerySession};
 use progxe_core::source::SourceView;
-use progxe_core::stats::ExecStats;
-use progxe_core::tuple_level::{RegionBatch, RegionCtx};
-use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::Arc;
 
 /// A [`ProgressiveEngine`] that runs ProgXe's tuple-level phase on
-/// [`ProgXeConfig::threads`] worker threads with ordered progressive
+/// [`ProgXeConfig::threads`] shared worker threads with ordered progressive
 /// commit. With `threads = 1` it still works (one worker + committer) but
 /// [`ProgXe`] itself is the better choice — the query layer dispatches
 /// accordingly.
-#[derive(Debug, Clone, Default)]
+///
+/// Cloning shares the [`EngineRuntime`]: clones and their sessions all use
+/// the same pool.
+#[derive(Debug, Clone)]
 pub struct ParallelProgXe {
     config: ProgXeConfig,
+    runtime: Arc<EngineRuntime>,
 }
 
 impl ParallelProgXe {
-    /// Creates a parallel executor with the given configuration.
+    /// Creates a parallel executor with the given configuration and a
+    /// fresh (lazily-spawned) runtime sized to `config.threads`.
     #[must_use]
     pub fn new(config: ProgXeConfig) -> Self {
-        Self { config }
+        let threads = config.threads.get();
+        Self {
+            config,
+            runtime: Arc::new(EngineRuntime::new(threads)),
+        }
+    }
+
+    /// Creates a parallel executor borrowing an existing shared runtime —
+    /// the query layer uses this so every engine clone and every session
+    /// of one query-layer `Engine` description reuses one pool.
+    #[must_use]
+    pub fn with_runtime(config: ProgXeConfig, runtime: Arc<EngineRuntime>) -> Self {
+        Self { config, runtime }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &ProgXeConfig {
         &self.config
+    }
+
+    /// The shared execution runtime backing this engine's sessions.
+    pub fn runtime(&self) -> &Arc<EngineRuntime> {
+        &self.runtime
     }
 
     /// Opens a session sharing a caller-provided cancellation token. The
@@ -86,13 +115,27 @@ impl ParallelProgXe {
         maps: &'a MapSet,
         token: CancellationToken,
     ) -> Result<QuerySession<'a>> {
-        let threads = self.config.threads.get();
-        let prep = ProgXe::new(self.config.clone()).prepare(r, t, maps, token.clone())?;
-        let mut stats = prep.stats;
-        stats.threads_used = threads;
-        let session =
-            ParallelSession::new(prep.started, prep.committer, stats, token.clone(), threads);
-        Ok(QuerySession::stepped("progxe-mt", token, Box::new(session)))
+        let mut prep = ProgXe::new(self.config.clone()).prepare(r, t, maps, token.clone())?;
+        prep.stats.threads_used = self.runtime.threads();
+        // Trivial runs (empty input, cancelled setup) must not spawn the
+        // lazily-created pool.
+        let backend = if prep.committer.is_some() {
+            let pool = self.runtime.handle();
+            let threads = pool.threads();
+            ExecutorBackend::Pooled {
+                spawner: pool as Arc<dyn TaskSpawner>,
+                threads,
+            }
+        } else {
+            ExecutorBackend::Inline
+        };
+        let driver = RegionDriver::new(
+            prep,
+            token.clone(),
+            backend,
+            self.config.prefilter_min_pairs,
+        );
+        Ok(QuerySession::stepped("progxe-mt", token, Box::new(driver)))
     }
 }
 
@@ -108,250 +151,6 @@ impl ProgressiveEngine for ParallelProgXe {
         maps: &'a MapSet,
     ) -> Result<QuerySession<'a>> {
         self.session_with_token(r, t, maps, CancellationToken::new())
-    }
-}
-
-/// Reorder buffer between workers and the committer: a `Mutex`/`Condvar`
-/// channel keyed by dispatch sequence number.
-struct ResultQueue {
-    slots: Mutex<BTreeMap<u64, RegionBatch>>,
-    ready: Condvar,
-}
-
-impl ResultQueue {
-    fn new() -> Self {
-        Self {
-            slots: Mutex::new(BTreeMap::new()),
-            ready: Condvar::new(),
-        }
-    }
-
-    fn push(&self, seq: u64, batch: RegionBatch) {
-        let mut slots = self.slots.lock().expect("result queue poisoned");
-        slots.insert(seq, batch);
-        drop(slots);
-        self.ready.notify_all();
-    }
-
-    /// Blocks until the batch for `seq` arrives. Every dispatched job is
-    /// guaranteed to push exactly one entry (a [`DeliveryGuard`] reports
-    /// even on worker panic), so this cannot deadlock while the pool lives.
-    fn wait_take(&self, seq: u64) -> RegionBatch {
-        let mut slots = self.slots.lock().expect("result queue poisoned");
-        loop {
-            if let Some(batch) = slots.remove(&seq) {
-                return batch;
-            }
-            slots = self.ready.wait(slots).expect("result queue poisoned");
-        }
-    }
-}
-
-/// Ensures a dispatched work unit always reports: if the job unwinds before
-/// delivering, `Drop` pushes an aborted batch so the committer wakes up and
-/// treats the run as cancelled instead of deadlocking.
-struct DeliveryGuard {
-    queue: Arc<ResultQueue>,
-    seq: u64,
-    rid: u32,
-    dims: usize,
-    delivered: bool,
-}
-
-impl DeliveryGuard {
-    fn deliver(mut self, batch: RegionBatch) {
-        self.delivered = true;
-        self.queue.push(self.seq, batch);
-    }
-}
-
-impl Drop for DeliveryGuard {
-    fn drop(&mut self) {
-        if !self.delivered {
-            self.queue
-                .push(self.seq, RegionBatch::aborted(self.rid, self.dims));
-        }
-    }
-}
-
-/// The pull-stepped parallel session behind a [`QuerySession`].
-struct ParallelSession {
-    start: Instant,
-    token: CancellationToken,
-    stats: ExecStats,
-    committer: Option<Committer>,
-    /// `None` only for trivial runs (no committer, nothing to do).
-    pool: Option<ThreadPool>,
-    queue: Arc<ResultQueue>,
-    /// Dispatch sequence numbers of in-flight regions, oldest first.
-    inflight: VecDeque<u64>,
-    next_seq: u64,
-    /// Dispatch-window size (`2 × threads`): enough to keep workers busy
-    /// while the committer blocks on the oldest batch, small enough to
-    /// bound batch memory and stay close to the schedule's intent.
-    window: usize,
-    ready: VecDeque<ResultEvent>,
-    done: bool,
-}
-
-impl ParallelSession {
-    fn new(
-        start: Instant,
-        committer: Option<Committer>,
-        stats: ExecStats,
-        token: CancellationToken,
-        threads: usize,
-    ) -> Self {
-        let pool = committer.as_ref().map(|_| ThreadPool::new(threads));
-        let done = committer.is_none();
-        Self {
-            start,
-            token,
-            stats,
-            committer,
-            pool,
-            queue: Arc::new(ResultQueue::new()),
-            inflight: VecDeque::new(),
-            next_seq: 0,
-            window: threads.saturating_mul(2).max(1),
-            ready: VecDeque::new(),
-            done,
-        }
-    }
-
-    /// One deterministic scheduling round: top the dispatch window up, then
-    /// — unless dead-region discards already produced deliverable events —
-    /// commit the oldest in-flight batch. Returns `false` when the run is
-    /// over (schedule exhausted or cancelled mid-region).
-    fn advance(&mut self) -> bool {
-        let Some(committer) = self.committer.as_mut() else {
-            return false;
-        };
-        while self.inflight.len() < self.window {
-            let Some(rid) = committer.pop_next(&mut self.stats) else {
-                break;
-            };
-            if committer.region_box_is_dead(rid) {
-                if let Some(event) = committer.discard_dead(rid, &mut self.stats) {
-                    self.ready.push_back(event);
-                }
-                continue;
-            }
-            let seq = self.next_seq;
-            self.next_seq += 1;
-            let ctx = committer.ctx();
-            let token = self.token.clone();
-            let queue = Arc::clone(&self.queue);
-            let dims = ctx.maps().out_dims();
-            self.pool
-                .as_ref()
-                .expect("pool exists whenever a committer does")
-                .execute(move || {
-                    let guard = DeliveryGuard {
-                        queue,
-                        seq,
-                        rid,
-                        dims,
-                        delivered: false,
-                    };
-                    let batch = compute_unit(&ctx, rid, &token);
-                    guard.deliver(batch);
-                });
-            self.inflight.push_back(seq);
-        }
-        if !self.ready.is_empty() {
-            // Deliver discard-produced events before blocking on a worker.
-            return true;
-        }
-        let Some(seq) = self.inflight.pop_front() else {
-            return false;
-        };
-        let batch = self.queue.wait_take(seq);
-        if !batch.completed {
-            // An incomplete batch has exactly two causes. If the shared
-            // token fired, this is an ordinary cancellation: the region
-            // stays unresolved and the run ends cancelled, never emitting
-            // from partial state. Otherwise the worker died (a panicking
-            // mapping function) and the DeliveryGuard reported for it —
-            // propagate, matching the sequential engine's behavior instead
-            // of disguising a crash as a user-initiated cancel.
-            if !self.token.is_cancelled() {
-                panic!(
-                    "progxe worker panicked while computing region {} \
-                     (see stderr for the worker's panic message)",
-                    batch.rid
-                );
-            }
-            self.stats.cancelled = true;
-            return false;
-        }
-        if let Some(event) = committer.commit_batch(batch, &mut self.stats) {
-            self.ready.push_back(event);
-        }
-        true
-    }
-}
-
-/// The worker-side job body, separated for readability.
-fn compute_unit(ctx: &RegionCtx, rid: u32, token: &CancellationToken) -> RegionBatch {
-    ctx.compute(rid, token)
-}
-
-impl SessionStep for ParallelSession {
-    fn next_event(&mut self) -> Option<ResultEvent> {
-        loop {
-            if self.token.is_cancelled() {
-                return None;
-            }
-            if let Some(event) = self.ready.pop_front() {
-                return Some(event);
-            }
-            if self.done {
-                return None;
-            }
-            if !self.advance() {
-                self.done = true;
-            }
-        }
-    }
-
-    fn stats_snapshot(&self) -> ExecStats {
-        let mut stats = self.stats.clone();
-        stats.total_time = self.start.elapsed();
-        stats
-    }
-
-    fn finalize(mut self: Box<Self>) -> ExecStats {
-        // Finishing with regions in flight means their work is *skipped*,
-        // not awaited: fire the token so workers bail at their next check,
-        // then join them (queued jobs are discarded by the pool's Drop).
-        // Cancelling the shared token here is the parallel equivalent of
-        // the sequential session abandoning its remaining regions.
-        if !self.inflight.is_empty() {
-            self.token.cancel();
-        }
-        let mut stats = std::mem::take(&mut self.stats);
-        drop(self.pool.take());
-        if let Some(committer) = self.committer.take() {
-            if !self.ready.is_empty() || !self.inflight.is_empty() {
-                stats.cancelled = true;
-            }
-            committer.finalize(&mut stats);
-        }
-        stats.total_time = self.start.elapsed();
-        stats
-    }
-}
-
-impl Drop for ParallelSession {
-    /// A session dropped without `finish()` must not stall joining workers
-    /// that are computing doomed regions: fire the token first (field drop
-    /// order then joins the pool, whose in-flight jobs exit at their next
-    /// token check).
-    fn drop(&mut self) {
-        if !self.inflight.is_empty() {
-            self.token.cancel();
-        }
     }
 }
 
@@ -426,6 +225,38 @@ mod tests {
     }
 
     #[test]
+    fn sessions_share_one_pool() {
+        let r = random_source(200, 2, 5, 30);
+        let t = random_source(200, 2, 5, 31);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(3));
+        assert_eq!(engine.runtime().pools_spawned(), 0, "runtime is lazy");
+        let a = engine.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        let b = engine.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        assert_eq!(sorted_ids(&a.results), sorted_ids(&b.results));
+        assert_eq!(
+            engine.runtime().pools_spawned(),
+            1,
+            "both sessions must reuse the engine's pool"
+        );
+    }
+
+    #[test]
+    fn dropping_the_engine_shuts_the_pool_down() {
+        let r = random_source(150, 2, 5, 40);
+        let t = random_source(150, 2, 5, 41);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(2));
+        let _ = engine.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        let watch = engine.runtime().pool_watch().expect("pool spawned");
+        drop(engine);
+        assert!(
+            watch.upgrade().is_none(),
+            "engine drop must join the shared pool's workers"
+        );
+    }
+
+    #[test]
     fn parallel_take_k_cancels_workers() {
         let r = random_source(400, 2, 4, 5);
         let t = random_source(400, 2, 4, 6);
@@ -470,6 +301,10 @@ mod tests {
         let stats = session.finish();
         assert!(stats.cancelled);
         assert_eq!(stats.regions_processed, 0);
+        assert!(
+            !engine.runtime().is_running(),
+            "a trivial session must not spawn the pool"
+        );
     }
 
     #[test]
@@ -481,6 +316,7 @@ mod tests {
         let out = engine.run_collect(&r.view(), &t.view(), &maps).unwrap();
         assert!(out.results.is_empty());
         assert!(!out.stats.cancelled);
+        assert!(!engine.runtime().is_running());
     }
 
     #[test]
@@ -504,6 +340,36 @@ mod tests {
         let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(2));
         let mut session = engine.open(&r.view(), &t.view(), &maps).unwrap();
         while session.next_batch().is_some() {}
+    }
+
+    #[test]
+    fn pool_survives_a_query_with_panicking_maps() {
+        use progxe_core::mapping::{GeneralMap, MappingFunction};
+        let r = random_source(50, 1, 1, 14);
+        let t = random_source(50, 1, 1, 15);
+        let exploding = GeneralMap::new(
+            "exploding",
+            |_r: &[f64], _t: &[f64]| panic!("user mapping function failed"),
+            |r_lo: &[f64], r_hi: &[f64], t_lo: &[f64], t_hi: &[f64]| {
+                (r_lo[0] + t_lo[0], r_hi[0] + t_hi[0])
+            },
+        );
+        let maps = MapSet::new(
+            vec![Box::new(exploding) as Box<dyn MappingFunction>],
+            Preference::all_lowest(1),
+        )
+        .unwrap();
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(2));
+        let failed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut session = engine.open(&r.view(), &t.view(), &maps).unwrap();
+            while session.next_batch().is_some() {}
+        }));
+        assert!(failed.is_err(), "the failing query must propagate");
+        // The *shared* pool must still serve healthy queries afterwards.
+        let good = MapSet::pairwise_sum(1, Preference::all_lowest(1));
+        let out = engine.run_collect(&r.view(), &t.view(), &good).unwrap();
+        assert!(!out.stats.cancelled);
+        assert_eq!(engine.runtime().pools_spawned(), 1);
     }
 
     #[test]

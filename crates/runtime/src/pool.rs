@@ -81,6 +81,13 @@ impl ThreadPool {
 
     /// Enqueues a job. Jobs are distributed round-robin across worker
     /// deques; idle workers steal, so any worker may end up running it.
+    ///
+    /// A panicking job is **caught and swallowed** by the worker (the pool
+    /// is shared across queries and must keep serving): the global panic
+    /// hook still prints the payload to stderr, but `execute` offers no
+    /// success/failure signal. Callers that need to observe failure must
+    /// report through the job's own channel — see the region driver's
+    /// `DeliveryGuard` for the pattern.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
         let mut state = self.shared.state.lock().expect("pool state poisoned");
         debug_assert!(!state.shutdown, "execute after shutdown");
@@ -110,8 +117,9 @@ impl Drop for ThreadPool {
         }
         self.shared.work.notify_all();
         for worker in self.workers.drain(..) {
-            // A worker that panicked already delivered its poison via the
-            // job's own reporting channel; joining best-effort is enough.
+            // Workers catch job panics and keep running, so this join
+            // normally succeeds; best-effort is still the right call on
+            // the shutdown path.
             let _ = worker.join();
         }
     }
@@ -130,7 +138,13 @@ fn worker_loop(shared: &Shared, me: usize) {
     loop {
         if let Some(job) = take_job(&mut state, me) {
             drop(state);
-            job();
+            // A pool shared across sessions of one engine must survive a
+            // panicking job (a user mapping function): catch the unwind so
+            // the worker keeps serving other queries. The job's own
+            // reporting channel (the driver's DeliveryGuard) surfaces the
+            // failure to the session that dispatched it, and the panic
+            // hook has already printed the payload to stderr.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
             state = shared.state.lock().expect("pool state poisoned");
             continue;
         }
@@ -208,6 +222,22 @@ mod tests {
             .collect();
         got.sort_unstable();
         assert_eq!(got, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_survive_panicking_jobs() {
+        // A shared pool must keep serving after a user job panics.
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("job explodes"));
+        let (tx, rx) = mpsc::channel();
+        pool.execute(move || {
+            let _ = tx.send(7);
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)),
+            Ok(7),
+            "worker died with the panicking job"
+        );
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! SaLSa-style skyline: "computing the skyline without scanning the whole
-//! sky" (Bartolini, Ciaccia & Patella, CIKM 2006 — reference [3] of the
+//! sky" (Bartolini, Ciaccia & Patella, CIKM 2006 — reference \[3\] of the
 //! paper).
 //!
 //! Points are sorted ascending by their *minimum* oriented coordinate

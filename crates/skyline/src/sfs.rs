@@ -5,7 +5,7 @@
 //! with an append-only window then suffices — window entries are never
 //! evicted — and every admitted tuple is immediately *final*, which makes
 //! SFS a progressive single-set skyline algorithm (the paper's Section VII
-//! discusses this family [4], [5]).
+//! discusses this family \[4\], \[5\]).
 
 use crate::{PointStore, Preference, SkylineResult, SkylineStats};
 

@@ -1,8 +1,9 @@
-//! Integration tests for the parallel runtime: sequential/parallel
-//! equivalence across workload distributions and seeds, the proven-final
-//! (no-retraction) guarantee under parallel commit, self-determinism of
-//! parallel emission, env-driven thread configuration, and mid-region
-//! cancellation promptness.
+//! Integration tests for the unified region driver and the shared runtime:
+//! Inline/Pooled equivalence (against a naive oracle) across workload
+//! distributions and seeds, the proven-final (no-retraction) guarantee
+//! under parallel commit, self-determinism of parallel emission,
+//! env-driven thread configuration, pool sharing across the sessions of
+//! one engine, and mid-region cancellation promptness on both backends.
 
 use progxe::core::config::ProgXeConfig;
 use progxe::core::mapping::{GeneralMap, MapSet, MappingFunction};
@@ -10,6 +11,7 @@ use progxe::core::prelude::*;
 use progxe::core::session::CancellationToken;
 use progxe::datagen::{Distribution, SmjWorkload, WorkloadSpec};
 use progxe::runtime::ParallelProgXe;
+use progxe::skyline::naive_skyline;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -81,6 +83,83 @@ fn parallel_matches_sequential_across_distributions_and_seeds() {
     }
 }
 
+/// The driver-independent reference: full nested-loop join + map + naive
+/// skyline. This is what the pre-refactor executor was verified against,
+/// so agreement here pins today's unified driver to the pre-PR behavior.
+fn oracle_ids(w: &SmjWorkload, maps: &MapSet) -> BTreeSet<(u32, u32)> {
+    let (r, t) = views(w);
+    let mut points = progxe::skyline::PointStore::new(maps.out_dims());
+    let mut ids = Vec::new();
+    let mut out = Vec::new();
+    for ri in 0..r.len() {
+        for ti in 0..t.len() {
+            if r.join_key_of(ri) != t.join_key_of(ti) {
+                continue;
+            }
+            maps.eval_into(r.attrs_of(ri), t.attrs_of(ti), &mut out);
+            points.push(&out);
+            ids.push((ri as u32, ti as u32));
+        }
+    }
+    let sky = naive_skyline(&points, maps.preference());
+    sky.indices.iter().map(|&i| ids[i]).collect()
+}
+
+/// The tentpole's equivalence matrix: for each datagen distribution and
+/// several seeds, the unified driver must produce the oracle's result set
+/// on *every* backend/path combination — Inline with the default
+/// pre-filter gate, Inline forced onto the batch path, Inline forced onto
+/// the streaming path (the pre-PR sequential arrangement), and Pooled.
+#[test]
+fn unified_driver_matches_oracle_on_every_backend() {
+    for dist in [
+        Distribution::Correlated,
+        Distribution::Independent,
+        Distribution::AntiCorrelated,
+    ] {
+        for seed in [3u64, 77] {
+            let w = WorkloadSpec::new(250, 2, dist, 0.03)
+                .with_seed(seed)
+                .generate();
+            let (r, t) = views(&w);
+            let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+            let expected = oracle_ids(&w, &maps);
+            assert!(!expected.is_empty(), "{dist:?}/{seed}: empty oracle");
+
+            let run_ids = |out: &progxe::core::RunOutput| -> BTreeSet<(u32, u32)> {
+                out.results.iter().map(|x| (x.r_idx, x.t_idx)).collect()
+            };
+            for (label, config) in [
+                ("inline-default", ProgXeConfig::default()),
+                (
+                    "inline-batch",
+                    ProgXeConfig::default().with_prefilter_min_pairs(0),
+                ),
+                (
+                    "inline-streaming",
+                    ProgXeConfig::default().with_prefilter_min_pairs(usize::MAX),
+                ),
+            ] {
+                let out = ProgXe::new(config).run_collect(&r, &t, &maps).unwrap();
+                assert!(!out.stats.cancelled);
+                assert_eq!(
+                    run_ids(&out),
+                    expected,
+                    "{dist:?}/{seed}: {label} diverged from the oracle"
+                );
+            }
+            let pooled = ParallelProgXe::new(ProgXeConfig::default().with_threads(3))
+                .run_collect(&r, &t, &maps)
+                .unwrap();
+            assert_eq!(
+                run_ids(&pooled),
+                expected,
+                "{dist:?}/{seed}: pooled diverged from the oracle"
+            );
+        }
+    }
+}
+
 /// Two identical parallel runs must produce the *identical* event stream —
 /// same batches, same order — because the committer's pop/commit discipline
 /// is deterministic regardless of worker timing.
@@ -138,7 +217,14 @@ fn env_configured_thread_count_preserves_results() {
 /// (1 partition per dimension, every tuple shares one join key), with a
 /// mapping function that cancels the session token after `fuse` evaluations.
 /// Lets us measure how promptly the tuple-level loop honors cancellation.
+/// With the default config the region's 90 000-pair bound routes it through
+/// the Inline *batch* (pre-filter) path; callers can pin the streaming path
+/// via [`ProgXeConfig::prefilter_min_pairs`].
 fn single_region_run(n: usize, fuse: u64) -> (u64, ExecStats) {
+    single_region_run_with(n, fuse, ProgXeConfig::default().with_input_partitions(1))
+}
+
+fn single_region_run_with(n: usize, fuse: u64, config: ProgXeConfig) -> (u64, ExecStats) {
     let mut r = SourceData::new(2);
     let mut t = SourceData::new(2);
     let mut x: u64 = 5;
@@ -185,7 +271,6 @@ fn single_region_run(n: usize, fuse: u64) -> (u64, ExecStats) {
     )
     .unwrap();
 
-    let config = ProgXeConfig::default().with_input_partitions(1);
     let exec = ProgXe::new(config);
     let mut session = exec
         .session_with_token(&r.view(), &t.view(), &maps, token)
@@ -210,6 +295,12 @@ fn cancel_during_a_single_huge_region_stops_promptly() {
         stats.regions_skipped, 1,
         "the single region stays unresolved"
     );
+    // Partial work must be *accounted* (non-zero) yet bounded: the batch
+    // path absorbs a cancelled region's counters without committing it.
+    assert!(
+        stats.join_matches > 0,
+        "cancelled-run stats must reflect the partial join work"
+    );
     assert!(
         stats.join_matches < full_matches / 4,
         "join stopped late: {} of {} matches processed",
@@ -222,6 +313,86 @@ fn cancel_during_a_single_huge_region_stops_promptly() {
     assert!(
         evals < 5_000 + 4 * 256 * 2,
         "tuple loop overshot the cancellation fuse: {evals} evaluations"
+    );
+}
+
+/// The same mid-region promptness holds when the Inline backend is pinned
+/// to the *streaming* path (pre-filter disabled): the probe loop's token
+/// checks are shared by both arrangements.
+#[test]
+fn cancel_mid_region_is_prompt_on_the_streaming_path_too() {
+    let n = 300u64;
+    let full_matches = n * n;
+    let (evals, stats) = single_region_run_with(
+        n as usize,
+        5_000,
+        ProgXeConfig::default()
+            .with_input_partitions(1)
+            .with_prefilter_min_pairs(usize::MAX),
+    );
+    assert!(stats.cancelled);
+    assert_eq!(stats.results_emitted, 0);
+    assert!(
+        stats.join_matches < full_matches / 4,
+        "streaming join stopped late: {} of {full_matches}",
+        stats.join_matches
+    );
+    assert!(evals < 5_000 + 4 * 256 * 2, "overshot: {evals} evaluations");
+}
+
+/// `take(k)` through the Inline backend's batch (pre-filter) path: the
+/// session stops early, skips the remaining regions, and still returns the
+/// exact prefix a full run would have produced.
+#[test]
+fn take_k_stops_early_on_the_inline_batch_path() {
+    let w = WorkloadSpec::new(600, 2, Distribution::AntiCorrelated, 0.02)
+        .with_seed(5)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+    // Force every region through batch compute + local pre-filter.
+    let exec = ProgXe::new(ProgXeConfig::default().with_prefilter_min_pairs(0));
+    let full = exec.run_collect(&r, &t, &maps).unwrap();
+    assert!(full.results.len() >= 3, "workload too small");
+    let k = 2;
+    let partial = exec.session(&r, &t, &maps).unwrap().take(k);
+    assert_eq!(partial.results.len(), k);
+    assert_eq!(&full.results[..k], &partial.results[..]);
+    assert!(partial.stats.cancelled);
+    assert!(
+        partial.stats.regions_skipped > 0,
+        "remaining regions skipped"
+    );
+    assert!(partial.stats.regions_processed < full.stats.regions_processed);
+}
+
+/// Pool sharing end to end: the sessions of one parallel engine reuse a
+/// single lazily-spawned pool, and dropping the engine joins its workers.
+#[test]
+fn engine_runtime_is_shared_and_shuts_down() {
+    let w = WorkloadSpec::new(300, 2, Distribution::Independent, 0.03)
+        .with_seed(9)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+    let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(3));
+    assert_eq!(engine.runtime().pools_spawned(), 0, "runtime spawns lazily");
+    let a = engine.run_collect(&r, &t, &maps).unwrap();
+    let b = engine.run_collect(&r, &t, &maps).unwrap();
+    assert_eq!(
+        a.results, b.results,
+        "shared-pool sessions must stay deterministic"
+    );
+    assert_eq!(
+        engine.runtime().pools_spawned(),
+        1,
+        "second session must reuse the first session's pool"
+    );
+    let watch = engine.runtime().pool_watch().expect("pool spawned");
+    drop(engine);
+    assert!(
+        watch.upgrade().is_none(),
+        "dropping the engine must join the shared pool"
     );
 }
 
