@@ -11,8 +11,8 @@
 //! Run in release mode: `cargo run --release -p progxe-bench --bin figures -- all`.
 
 use progxe_bench::figures::{
-    ablate_delta, ablate_order, cellbound, fig10_prog, fig10_time, fig11, fig12, fig13, scaling,
-    ssmj_soundness, threads, ExpOptions,
+    ablate_delta, ablate_order, cellbound, fig10_prog, fig10_time, fig11, fig12, fig13, ingest,
+    scaling, ssmj_soundness, threads, ExpOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -31,6 +31,7 @@ experiments:
   ssmj-soundness  Section VII    SSMJ batch-1 false positives
   scaling         first-output latency growth vs N (vs SSMJ, JF-SL)
   threads         end-to-end speedup vs ProgXeConfig::threads (parallel runtime)
+  ingest          streaming ingestion: first-result latency vs arrival rate
   all             everything above
 
 options:
@@ -98,6 +99,7 @@ fn main() -> ExitCode {
             "ssmj-soundness" => ssmj_soundness(opt),
             "scaling" => scaling(opt),
             "threads" => threads(opt),
+            "ingest" => ingest(opt),
             _ => return false,
         }
         true
@@ -117,6 +119,7 @@ fn main() -> ExitCode {
                 "ssmj-soundness",
                 "scaling",
                 "threads",
+                "ingest",
             ] {
                 println!();
                 run_one(name, &opt);

@@ -93,28 +93,57 @@ enum RegionSchedule {
     Static { order: Vec<u32>, pos: usize },
 }
 
+/// Outcome of one schedule-pop attempt (see [`Committer::pop_gated`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Popped {
+    /// The next region to work on, marked dispatched.
+    Region(u32),
+    /// The schedule's next region exists but its input is not ready yet
+    /// (streaming ingestion only): nothing was popped, and the *same*
+    /// region will be offered again once its cells seal. Stalling — rather
+    /// than skipping to a ready region — is what keeps the commit sequence,
+    /// and with it the emission order, independent of the arrival schedule.
+    Stalled,
+    /// Nothing is dispatchable: all regions are resolved or in flight.
+    Exhausted,
+}
+
 impl RegionSchedule {
     /// Picks the next region to dispatch. `dispatched` marks regions handed
     /// out but not yet resolved — on an inline run it always equals the
     /// resolved set, but the pooled backend keeps a window of them in
-    /// flight. Returns `None` when nothing is dispatchable *right now*
-    /// (either all regions are dispatched/resolved, or — ProgOrder with a
-    /// root-free cyclic component — every pending region is in flight).
+    /// flight. Returns [`Popped::Exhausted`] when nothing is dispatchable
+    /// *right now* (either all regions are dispatched/resolved, or —
+    /// ProgOrder with a root-free cyclic component — every pending region
+    /// is in flight).
+    ///
+    /// `ready` is the streaming-ingestion readiness gate: when it rejects
+    /// the region the schedule would hand out next, the pop *stalls* — the
+    /// schedule state is left so the identical region is offered again on
+    /// the next call. Order preservation under the gate is what makes
+    /// streaming emission bit-identical to the all-at-once run.
     fn next_region(
         &mut self,
         ctx: &RankCtx<'_>,
         stats: &mut ExecStats,
         dispatched: &[bool],
-    ) -> Option<u32> {
+        ready: Option<&dyn Fn(u32) -> bool>,
+    ) -> Popped {
+        let is_ready = |rid: u32| ready.is_none_or(|f| f(rid));
         match self {
             RegionSchedule::Static { order, pos } => {
-                let rid = order.get(*pos).copied();
+                let Some(rid) = order.get(*pos).copied() else {
+                    return Popped::Exhausted;
+                };
+                if !is_ready(rid) {
+                    return Popped::Stalled;
+                }
                 *pos += 1;
-                rid
+                Popped::Region(rid)
             }
             RegionSchedule::Ordered(sched) => {
                 if sched.graph.unresolved() == 0 {
-                    return None;
+                    return Popped::Exhausted;
                 }
                 loop {
                     match sched.queue.pop_entry() {
@@ -134,6 +163,7 @@ impl RegionSchedule {
                             // top of the queue — with a small re-queue
                             // budget per region so dense elimination graphs
                             // cannot trigger quadratic rescans.
+                            let mut rank = entry_rank;
                             if sched.dirty[rid as usize] && sched.requeue_budget[rid as usize] > 0 {
                                 sched.dirty[rid as usize] = false;
                                 sched.requeue_budget[rid as usize] -= 1;
@@ -143,8 +173,16 @@ impl RegionSchedule {
                                     sched.queue.push(rid, fresh);
                                     continue;
                                 }
+                                rank = fresh;
                             }
-                            return Some(rid);
+                            if !is_ready(rid) {
+                                // Park the winner at its settled rank; the
+                                // refresh bookkeeping above already ran, so
+                                // re-offering it later is a pure re-pop.
+                                sched.queue.update(rid, rank);
+                                return Popped::Stalled;
+                            }
+                            return Popped::Region(rid);
                         }
                         None => {
                             let pending = sched.graph.pending();
@@ -154,7 +192,7 @@ impl RegionSchedule {
                             // let the committer land a batch, which either
                             // pushes new roots or ends the run.
                             if pending.iter().any(|&rid| dispatched[rid as usize]) {
-                                return None;
+                                return Popped::Exhausted;
                             }
                             // Cyclic component with no root (DESIGN.md §5.2):
                             // pick the best pending region by cached rank —
@@ -164,10 +202,18 @@ impl RegionSchedule {
                                     .total_cmp(&sched.rank_cache[b as usize])
                                     .then_with(|| b.cmp(&a))
                             });
-                            if best.is_some() {
-                                stats.ordering_fallbacks += 1;
+                            let Some(best) = best else {
+                                return Popped::Exhausted;
+                            };
+                            if !is_ready(best) {
+                                // The deterministic fallback choice stalls
+                                // like any other pop: picking a different
+                                // pending region instead would make the
+                                // commit order arrival-dependent.
+                                return Popped::Stalled;
                             }
-                            return best;
+                            stats.ordering_fallbacks += 1;
+                            return Popped::Region(best);
                         }
                     }
                 }
@@ -193,6 +239,43 @@ impl RegionSchedule {
     }
 }
 
+/// How emitted `(r, t)` tuple ids map back to the caller's row ids.
+///
+/// The batch pipeline inserts *filtered-source* row ids into the cell
+/// store and translates them through the push-through survivor tables on
+/// emission; the streaming-ingestion pipeline inserts caller row ids
+/// directly, so no table exists.
+#[derive(Debug)]
+pub(crate) enum RowIds {
+    /// Emitted ids are already the caller's (streaming ingestion).
+    Identity,
+    /// Translate through filtered→original row tables (batch pipeline).
+    Table {
+        /// Original R row id per filtered row.
+        r: Vec<u32>,
+        /// Original T row id per filtered row.
+        t: Vec<u32>,
+    },
+}
+
+impl RowIds {
+    #[inline]
+    fn map_r(&self, i: u32) -> u32 {
+        match self {
+            RowIds::Identity => i,
+            RowIds::Table { r, .. } => r[i as usize],
+        }
+    }
+
+    #[inline]
+    fn map_t(&self, i: u32) -> u32 {
+        match self {
+            RowIds::Identity => i,
+            RowIds::Table { t, .. } => t[i as usize],
+        }
+    }
+}
+
 /// The single-threaded back half of the region loop: owns the cell store,
 /// the region schedule, and Algorithm 2's blocker bookkeeping.
 ///
@@ -214,10 +297,10 @@ impl RegionSchedule {
 /// discipline this makes emission deterministic regardless of worker
 /// interleaving.
 pub struct Committer {
-    ctx: Arc<RegionCtx>,
-    /// Filtered→original row-id maps (push-through survivors).
-    kept_r: Vec<u32>,
-    kept_t: Vec<u32>,
+    /// The query's live regions (shared with the compute side's context).
+    regions: Arc<[Region]>,
+    /// Emitted-id translation (push-through survivor tables, or identity).
+    row_ids: RowIds,
     store: CellStore,
     det: ProgDetermine,
     orders: Vec<Order>,
@@ -232,13 +315,14 @@ pub struct Committer {
     started: Instant,
 }
 
-/// Everything the executor's `prepare` hands over to build a [`Committer`].
+/// Everything a pipeline front end (the executor's `prepare`, or the
+/// streaming-ingestion setup) hands over to build a [`Committer`].
 /// Crate-internal: external callers receive the committer ready-made inside
 /// [`Prepared`].
 pub(crate) struct CommitterParts {
-    pub ctx: Arc<RegionCtx>,
-    pub kept_r: Vec<u32>,
-    pub kept_t: Vec<u32>,
+    pub regions: Arc<[Region]>,
+    pub out_dims: usize,
+    pub row_ids: RowIds,
     pub store: CellStore,
     pub det: ProgDetermine,
     pub orders: Vec<Order>,
@@ -252,19 +336,18 @@ impl Committer {
     /// region schedule for the configured ordering policy.
     pub(crate) fn new(parts: CommitterParts, ordering: crate::config::OrderingPolicy) -> Self {
         use crate::config::OrderingPolicy;
-        let regions = parts.ctx.regions();
-        let total_regions = regions.len();
+        let total_regions = parts.regions.len();
         let schedule = match ordering {
             OrderingPolicy::ProgOrder => {
                 let mut ordered = OrderedSchedule {
-                    graph: ElGraph::build(regions, parts.ctx.maps().out_dims()),
+                    graph: ElGraph::build(&parts.regions, parts.out_dims),
                     queue: ProgOrderQueue::new(total_regions),
                     rank_cache: vec![0.0; total_regions],
                     dirty: vec![false; total_regions],
                     requeue_budget: vec![3; total_regions],
                 };
                 let ctx = RankCtx {
-                    regions,
+                    regions: &parts.regions,
                     store: &parts.store,
                     det: &parts.det,
                     sigma: parts.sigma,
@@ -287,9 +370,8 @@ impl Committer {
             },
         };
         Self {
-            ctx: parts.ctx,
-            kept_r: parts.kept_r,
-            kept_t: parts.kept_t,
+            regions: parts.regions,
+            row_ids: parts.row_ids,
             store: parts.store,
             det: parts.det,
             orders: parts.orders,
@@ -304,11 +386,6 @@ impl Committer {
         }
     }
 
-    /// The shared work-unit context (regions, grids, filtered sources).
-    pub fn ctx(&self) -> Arc<RegionCtx> {
-        Arc::clone(&self.ctx)
-    }
-
     /// The instant the pipeline started (zero point of event timestamps).
     pub fn started_at(&self) -> Instant {
         self.started
@@ -321,8 +398,10 @@ impl Committer {
 
     /// Upper bound on the region's join work: `n_R · n_T` of its partition
     /// pair. The inline backend gates the local-skyline pre-filter on this.
+    /// Streaming-ingestion regions carry zero counts (sizes are unknowable
+    /// before arrival), so they always take the streaming-insert path.
     pub fn pair_bound(&self, rid: u32) -> u64 {
-        let region = &self.ctx.regions()[rid as usize];
+        let region = &self.regions[rid as usize];
         u64::from(region.n_r) * u64::from(region.n_t)
     }
 
@@ -331,17 +410,38 @@ impl Committer {
     /// inline run, but on a pooled run may become `Some` again after
     /// in-flight regions commit (new EL-graph roots appear).
     pub fn pop_next(&mut self, stats: &mut ExecStats) -> Option<u32> {
+        match self.pop_gated(stats, None) {
+            Popped::Region(rid) => Some(rid),
+            Popped::Stalled | Popped::Exhausted => None,
+        }
+    }
+
+    /// [`pop_next`](Self::pop_next) with a readiness gate: when `ready`
+    /// rejects the region the schedule would hand out, the pop returns
+    /// [`Popped::Stalled`] and the schedule is left positioned on that same
+    /// region. The streaming-ingestion driver stalls until watermarks or a
+    /// source close seal the region's input cells; order preservation under
+    /// the gate keeps emission identical to the all-at-once run.
+    pub fn pop_gated(
+        &mut self,
+        stats: &mut ExecStats,
+        ready: Option<&dyn Fn(u32) -> bool>,
+    ) -> Popped {
         let ctx = RankCtx {
-            regions: self.ctx.regions(),
+            regions: &self.regions,
             store: &self.store,
             det: &self.det,
             sigma: self.sigma,
             cost_model: &self.cost_model,
         };
-        let rid = self.schedule.next_region(&ctx, stats, &self.dispatched)?;
-        debug_assert!(!self.dispatched[rid as usize], "region {rid} popped twice");
-        self.dispatched[rid as usize] = true;
-        Some(rid)
+        let popped = self
+            .schedule
+            .next_region(&ctx, stats, &self.dispatched, ready);
+        if let Popped::Region(rid) = popped {
+            debug_assert!(!self.dispatched[rid as usize], "region {rid} popped twice");
+            self.dispatched[rid as usize] = true;
+        }
+        popped
     }
 
     /// Whether the region's whole output box is fully dominated by results
@@ -349,7 +449,7 @@ impl Committer {
     /// skipped entirely.
     pub fn region_box_is_dead(&self, rid: u32) -> bool {
         self.store
-            .region_is_dead(&self.ctx.regions()[rid as usize].cell_lo)
+            .region_is_dead(&self.regions[rid as usize].cell_lo)
     }
 
     /// Resolves a dead region without tuple-level work.
@@ -358,20 +458,28 @@ impl Committer {
         self.resolve(rid, stats)
     }
 
-    /// Streaming path: joins the region, streaming inserts into the cell
-    /// store, then resolves it. Returns `None` when the token fired
-    /// mid-region — the insert set is partial, so the region is left
-    /// *unresolved* (emitting from it could produce false positives) and
-    /// the run counts as cancelled.
-    pub fn process_and_commit(
+    /// Streaming path: joins the region through `run` (which inserts
+    /// directly into the cell store), then resolves it. Returns `None` when
+    /// the token fired mid-region — the insert set is partial, so the
+    /// region is left *unresolved* (emitting from it could produce false
+    /// positives) and the run counts as cancelled.
+    ///
+    /// `run` is the compute half supplied by the driver's work source —
+    /// the [`RegionCtx`] streaming insert for the batch pipeline, the
+    /// sealed-partition join for streaming ingestion — and must report
+    /// `(counters, completed)` exactly like
+    /// [`crate::tuple_level::process_region`].
+    pub fn process_and_commit<F>(
         &mut self,
         rid: u32,
-        token: &CancellationToken,
         stats: &mut ExecStats,
-    ) -> Option<Option<ResultEvent>> {
-        let ctx = Arc::clone(&self.ctx);
+        run: F,
+    ) -> Option<Option<ResultEvent>>
+    where
+        F: FnOnce(&mut CellStore) -> (crate::tuple_level::TupleLevelStats, bool),
+    {
         let compute_started = Instant::now();
-        let (tl, completed) = ctx.process_into(rid, &mut self.store, token);
+        let (tl, completed) = run(&mut self.store);
         stats.tuple_time += compute_started.elapsed();
         stats.join_pairs_evaluated += tl.pairs_examined;
         stats.join_matches += tl.matches;
@@ -420,12 +528,12 @@ impl Committer {
     /// Resolves one dispatched region: blocker bookkeeping, schedule
     /// update, and conversion of released cells into a [`ResultEvent`].
     fn resolve(&mut self, rid: u32, stats: &mut ExecStats) -> Option<ResultEvent> {
-        let region = &self.ctx.regions()[rid as usize];
+        let region = &self.regions[rid as usize];
         self.det
             .resolve_region(region, &mut self.store, &mut self.emitted_buf);
         self.resolved += 1;
         let ctx = RankCtx {
-            regions: self.ctx.regions(),
+            regions: &self.regions,
             store: &self.store,
             det: &self.det,
             sigma: self.sigma,
@@ -448,8 +556,8 @@ impl Committer {
                     .map(|(o, &v)| o.orient(v))
                     .collect();
                 tuples.push(ResultTuple {
-                    r_idx: self.kept_r[ri as usize],
-                    t_idx: self.kept_t[ti as usize],
+                    r_idx: self.row_ids.map_r(ri),
+                    t_idx: self.row_ids.map_t(ti),
                     values,
                 });
             }
@@ -599,19 +707,90 @@ impl Drop for DeliveryGuard {
     }
 }
 
+/// Where the driver's tuple-level compute comes from.
+///
+/// Cloning is cheap (`Arc` bumps); pooled work units capture a clone.
+#[derive(Clone)]
+pub(crate) enum WorkSource {
+    /// The batch pipeline: fully materialized filtered sources
+    /// ([`RegionCtx`]).
+    Query(Arc<RegionCtx>),
+    /// Streaming ingestion: sealed stream partitions behind the shared
+    /// ingest state ([`crate::ingest::IngestCtx`]); regions gate on cell
+    /// readiness.
+    Ingest(Arc<crate::ingest::IngestCtx>),
+}
+
+impl WorkSource {
+    fn compute(&self, rid: u32, token: &CancellationToken) -> RegionBatch {
+        match self {
+            WorkSource::Query(ctx) => ctx.compute(rid, token),
+            WorkSource::Ingest(ctx) => ctx.compute(rid, token),
+        }
+    }
+
+    fn process_into(
+        &self,
+        rid: u32,
+        store: &mut CellStore,
+        token: &CancellationToken,
+    ) -> (crate::tuple_level::TupleLevelStats, bool) {
+        match self {
+            WorkSource::Query(ctx) => ctx.process_into(rid, store, token),
+            WorkSource::Ingest(ctx) => ctx.process_into(rid, store, token),
+        }
+    }
+
+    fn out_dims(&self) -> usize {
+        match self {
+            WorkSource::Query(ctx) => ctx.maps().out_dims(),
+            WorkSource::Ingest(ctx) => ctx.out_dims(),
+        }
+    }
+}
+
+/// Outcome of one [`RegionDriver::poll_next`] call.
+#[derive(Debug)]
+pub enum DriverPoll {
+    /// A batch of proven-final results.
+    Event(ResultEvent),
+    /// Streaming ingestion only: the next scheduled region's input cells
+    /// are not sealed yet — push more rows, advance a watermark, or close a
+    /// source, then poll again.
+    Stalled,
+    /// The run is over (all regions resolved, or cancelled).
+    Finished,
+}
+
+/// Internal outcome of one scheduling round.
+enum Advance {
+    /// Work happened (events may be queued); poll again.
+    Progressed,
+    /// Readiness-gated schedule is waiting for input (ingestion only).
+    Stalled,
+    /// Schedule exhausted or cancelled mid-region.
+    Finished,
+}
+
 /// The one region-execution loop of the codebase, behind a
-/// [`QuerySession`](crate::session::QuerySession) via [`SessionStep`].
+/// [`QuerySession`](crate::session::QuerySession) via [`SessionStep`] (batch
+/// pipeline) or polled directly by an
+/// [`IngestSession`](crate::ingest::IngestSession) (streaming pipeline).
 ///
 /// Owns a [`Committer`] and advances the region loop, queueing a
 /// [`ResultEvent`] whenever a resolution releases proven-final cells. Owns
 /// no borrows: all query state was copied/`Arc`ed during
-/// [`ProgXe::prepare`](crate::executor::ProgXe::prepare).
+/// [`ProgXe::prepare`](crate::executor::ProgXe::prepare) (or the ingest
+/// setup).
 pub struct RegionDriver {
     start: Instant,
     token: CancellationToken,
     stats: ExecStats,
     committer: Option<Committer>,
     backend: ExecutorBackend,
+    work: Option<WorkSource>,
+    /// Whether pops go through the ingest readiness gate (streaming runs).
+    gated: bool,
     /// Join-pair bound at which the inline backend switches from streaming
     /// insert to batch compute + local skyline pre-filter.
     prefilter_min_pairs: u64,
@@ -623,7 +802,10 @@ pub struct RegionDriver {
     /// Dispatch-window size: 1 inline; `2 × threads` pooled — enough to
     /// keep workers busy while the committer blocks on the oldest batch,
     /// small enough to bound batch memory and stay close to the schedule's
-    /// intent.
+    /// intent. Readiness-gated (streaming) runs force 1 on either backend:
+    /// popping ahead of the commit frontier would interleave pops and
+    /// commits differently per arrival schedule and break emission-order
+    /// invariance.
     window: usize,
     ready: VecDeque<ResultEvent>,
     done: bool,
@@ -639,11 +821,64 @@ impl RegionDriver {
         backend: ExecutorBackend,
         prefilter_min_pairs: usize,
     ) -> Self {
-        let window = match &backend {
-            ExecutorBackend::Inline => 1,
-            ExecutorBackend::Pooled { threads, .. } => threads.saturating_mul(2).max(1),
+        let work = prep.ctx.map(WorkSource::Query);
+        Self::from_parts(
+            prep.committer,
+            work,
+            prep.stats,
+            prep.started,
+            token,
+            backend,
+            prefilter_min_pairs,
+            false,
+        )
+    }
+
+    /// Builds a readiness-gated driver for streaming ingestion. Pops stall
+    /// until the ingest state seals the scheduled region's input cells, and
+    /// the dispatch window is forced to 1 (see [`RegionDriver::window`]).
+    pub(crate) fn for_ingest(
+        committer: Committer,
+        ctx: Arc<crate::ingest::IngestCtx>,
+        stats: ExecStats,
+        started: Instant,
+        token: CancellationToken,
+        backend: ExecutorBackend,
+    ) -> Self {
+        Self::from_parts(
+            Some(committer),
+            Some(WorkSource::Ingest(ctx)),
+            stats,
+            started,
+            token,
+            backend,
+            // Streaming regions have pair bound 0 and always stream-insert
+            // on the inline backend; the gate value is irrelevant.
+            usize::MAX,
+            true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn from_parts(
+        committer: Option<Committer>,
+        work: Option<WorkSource>,
+        stats: ExecStats,
+        started: Instant,
+        token: CancellationToken,
+        backend: ExecutorBackend,
+        prefilter_min_pairs: usize,
+        gated: bool,
+    ) -> Self {
+        let window = if gated {
+            1
+        } else {
+            match &backend {
+                ExecutorBackend::Inline => 1,
+                ExecutorBackend::Pooled { threads, .. } => threads.saturating_mul(2).max(1),
+            }
         };
-        let done = prep.committer.is_none();
+        let done = committer.is_none();
         // `usize::MAX` is the documented "filter disabled" sentinel; map it
         // to `u64::MAX` explicitly so a 32-bit `usize::MAX` (2^32−1, which
         // real pair bounds can exceed) still disables the filter.
@@ -653,11 +888,13 @@ impl RegionDriver {
             prefilter_min_pairs as u64
         };
         Self {
-            start: prep.started,
+            start: started,
             token,
-            stats: prep.stats,
-            committer: prep.committer,
+            stats,
+            committer,
             backend,
+            work,
+            gated,
             prefilter_min_pairs,
             queue: Arc::new(ResultQueue::new()),
             inflight: VecDeque::new(),
@@ -668,19 +905,58 @@ impl RegionDriver {
         }
     }
 
+    /// Pulls the next driver outcome: an event, a stall (gated runs only),
+    /// or the end of the run. The streaming-ingestion session polls this
+    /// directly; [`SessionStep::next_event`] wraps it for batch sessions.
+    pub fn poll_next(&mut self) -> DriverPoll {
+        loop {
+            if self.token.is_cancelled() {
+                return DriverPoll::Finished;
+            }
+            if let Some(event) = self.ready.pop_front() {
+                return DriverPoll::Event(event);
+            }
+            if self.done {
+                return DriverPoll::Finished;
+            }
+            match self.advance() {
+                Advance::Progressed => continue,
+                Advance::Stalled => return DriverPoll::Stalled,
+                Advance::Finished => self.done = true,
+            }
+        }
+    }
+
     /// One deterministic scheduling round. Inline: pop one region, compute
     /// it here (streaming or batch per the pre-filter gate), commit.
     /// Pooled: top the dispatch window up, then — unless dead-region
     /// discards already produced deliverable events — commit the oldest
-    /// in-flight batch. Returns `false` when the run is over (schedule
-    /// exhausted or cancelled mid-region).
-    fn advance(&mut self) -> bool {
+    /// in-flight batch. Gated (ingestion) runs additionally stall when the
+    /// scheduled region's input is not sealed yet.
+    fn advance(&mut self) -> Advance {
         let Some(committer) = self.committer.as_mut() else {
-            return false;
+            return Advance::Finished;
         };
+        let work = self
+            .work
+            .as_ref()
+            .expect("a committer implies a work source");
+        let ready_gate: Option<Box<dyn Fn(u32) -> bool>> = match (self.gated, work) {
+            (true, WorkSource::Ingest(ctx)) => {
+                let ctx = Arc::clone(ctx);
+                Some(Box::new(move |rid| ctx.is_ready(rid)))
+            }
+            _ => None,
+        };
+        let mut stalled = false;
         while self.inflight.len() < self.window {
-            let Some(rid) = committer.pop_next(&mut self.stats) else {
-                break;
+            let rid = match committer.pop_gated(&mut self.stats, ready_gate.as_deref()) {
+                Popped::Region(rid) => rid,
+                Popped::Stalled => {
+                    stalled = true;
+                    break;
+                }
+                Popped::Exhausted => break,
             };
             if committer.region_box_is_dead(rid) {
                 if let Some(event) = committer.discard_dead(rid, &mut self.stats) {
@@ -691,7 +967,7 @@ impl RegionDriver {
                     // filling its window and delivers via the ready-check
                     // below, before blocking on a worker.
                     if matches!(self.backend, ExecutorBackend::Inline) {
-                        return true;
+                        return Advance::Progressed;
                     }
                 }
                 continue;
@@ -701,40 +977,43 @@ impl RegionDriver {
                     return if committer.pair_bound(rid) < self.prefilter_min_pairs {
                         // Small region: stream matches straight into the
                         // cell store, no batch materialization.
-                        match committer.process_and_commit(rid, &self.token, &mut self.stats) {
+                        let token = &self.token;
+                        match committer.process_and_commit(rid, &mut self.stats, |store| {
+                            work.process_into(rid, store, token)
+                        }) {
                             Some(Some(event)) => {
                                 self.ready.push_back(event);
-                                true
+                                Advance::Progressed
                             }
-                            Some(None) => true,
-                            None => false, // cancelled mid-region
+                            Some(None) => Advance::Progressed,
+                            None => Advance::Finished, // cancelled mid-region
                         }
                     } else {
                         // Large region: batch compute + bounded local
                         // skyline pre-filter before cell-store insertion.
-                        let batch = committer.ctx().compute(rid, &self.token);
+                        let batch = work.compute(rid, &self.token);
                         if !batch.completed {
                             // Never committed, but its partial work is
                             // real: account it so cancelled-run stats
                             // reflect the pairs actually evaluated.
                             Self::absorb_partial_batch(&mut self.stats, &batch);
                             self.stats.cancelled = true;
-                            false
+                            Advance::Finished
                         } else {
                             if let Some(event) = committer.commit_batch(batch, &mut self.stats) {
                                 self.ready.push_back(event);
                             }
-                            true
+                            Advance::Progressed
                         }
                     };
                 }
                 ExecutorBackend::Pooled { spawner, .. } => {
                     let seq = self.next_seq;
                     self.next_seq += 1;
-                    let ctx = committer.ctx();
+                    let work = work.clone();
                     let token = self.token.clone();
                     let queue = Arc::clone(&self.queue);
-                    let dims = ctx.maps().out_dims();
+                    let dims = work.out_dims();
                     spawner.spawn_task(Box::new(move || {
                         let guard = DeliveryGuard {
                             queue,
@@ -743,7 +1022,7 @@ impl RegionDriver {
                             dims,
                             delivered: false,
                         };
-                        let batch = ctx.compute(rid, &token);
+                        let batch = work.compute(rid, &token);
                         guard.deliver(batch);
                     }));
                     self.inflight.push_back(seq);
@@ -752,10 +1031,14 @@ impl RegionDriver {
         }
         if !self.ready.is_empty() {
             // Deliver discard-produced events before blocking on a worker.
-            return true;
+            return Advance::Progressed;
         }
         let Some(seq) = self.inflight.pop_front() else {
-            return false;
+            return if stalled {
+                Advance::Stalled
+            } else {
+                Advance::Finished
+            };
         };
         let batch = self.queue.wait_take(seq);
         if !batch.completed {
@@ -775,12 +1058,12 @@ impl RegionDriver {
             }
             Self::absorb_partial_batch(&mut self.stats, &batch);
             self.stats.cancelled = true;
-            return false;
+            return Advance::Finished;
         }
         if let Some(event) = committer.commit_batch(batch, &mut self.stats) {
             self.ready.push_back(event);
         }
-        true
+        Advance::Progressed
     }
 
     /// Folds the work counters of a batch that will never be committed
@@ -803,18 +1086,14 @@ impl RegionDriver {
 impl SessionStep for RegionDriver {
     /// Pulls the next event, stepping the region loop as needed.
     fn next_event(&mut self) -> Option<ResultEvent> {
-        loop {
-            if self.token.is_cancelled() {
-                return None;
-            }
-            if let Some(event) = self.ready.pop_front() {
-                return Some(event);
-            }
-            if self.done {
-                return None;
-            }
-            if !self.advance() {
-                self.done = true;
+        match self.poll_next() {
+            DriverPoll::Event(event) => Some(event),
+            DriverPoll::Finished => None,
+            DriverPoll::Stalled => {
+                // Unreachable through QuerySession: only ingest drivers are
+                // gated, and they are polled directly via `poll_next`.
+                debug_assert!(false, "ungated driver stalled");
+                None
             }
         }
     }

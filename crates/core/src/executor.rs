@@ -75,6 +75,11 @@ pub struct Prepared {
     /// The region-loop committer, or `None` when the run finished trivially
     /// (empty input, or cancelled during setup).
     pub committer: Option<Committer>,
+    /// The shared tuple-level work context (regions, grids, filtered
+    /// sources), present exactly when `committer` is. Backends call
+    /// [`RegionCtx::compute`]/`process_into` on it; the committer itself
+    /// only keeps the region metadata.
+    pub ctx: Option<Arc<RegionCtx>>,
     /// The instant preparation started — the zero point of every
     /// [`ResultEvent::elapsed`](crate::session::ResultEvent::elapsed) and
     /// of [`ExecStats::total_time`].
@@ -200,6 +205,7 @@ impl ProgXe {
         let trivial = |stats: ExecStats| Prepared {
             stats,
             committer: None,
+            ctx: None,
             started,
         };
         if r.is_empty() || t.is_empty() {
@@ -282,7 +288,8 @@ impl ProgXe {
         let mut store = CellStore::new(la.grid.clone());
         stats.cells_premarked_dead = track_cells(&la, &mut store);
         stats.cells_tracked = store.len();
-        let det = ProgDetermine::new(&store, &la.regions);
+        let regions: Arc<[crate::lookahead::Region]> = la.regions.into();
+        let det = ProgDetermine::new(&store, &regions);
         stats.lookahead_time = started.elapsed();
 
         // ── Committer (region schedule + blocker bookkeeping) ────────────
@@ -300,13 +307,16 @@ impl ProgXe {
             t_keys,
             r_grid,
             t_grid,
-            la.regions,
+            Arc::clone(&regions),
         ));
         let committer = Committer::new(
             CommitterParts {
-                ctx,
-                kept_r,
-                kept_t,
+                regions,
+                out_dims: maps.out_dims(),
+                row_ids: crate::driver::RowIds::Table {
+                    r: kept_r,
+                    t: kept_t,
+                },
                 store,
                 det,
                 orders,
@@ -319,6 +329,7 @@ impl ProgXe {
         Ok(Prepared {
             stats,
             committer: Some(committer),
+            ctx: Some(ctx),
             started,
         })
     }
@@ -743,7 +754,7 @@ mod tests {
             .prepare(&r.view(), &t.view(), &maps, token.clone())
             .unwrap();
         let mut committer = prep.committer.expect("non-trivial workload");
-        let ctx = committer.ctx();
+        let ctx = prep.ctx.expect("non-trivial workload has a context");
         let mut stats = prep.stats;
         let mut ids = Vec::new();
         while let Some(rid) = committer.pop_next(&mut stats) {

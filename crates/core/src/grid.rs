@@ -14,6 +14,108 @@ use crate::fxhash::FxHashMap;
 use crate::signature::JoinSignature;
 use crate::source::SourceView;
 
+/// Fixed slicing geometry of one input grid: `per_dim` equal-width slices
+/// per attribute dimension over a bounding box.
+///
+/// The batch pipeline derives the box from the observed data
+/// ([`InputGrid::build`]); the streaming pipeline ([`crate::ingest`]) uses
+/// *declared* bounds instead, so that the cell a tuple lands in — and with
+/// it the whole region structure — is independent of arrival order.
+#[derive(Debug, Clone)]
+pub struct GridGeometry {
+    lo: Vec<f64>,
+    width: Vec<f64>,
+    per_dim: usize,
+}
+
+impl GridGeometry {
+    /// Geometry over the box `[lo, hi]` with `per_dim` slices per
+    /// dimension. Degenerate (zero-extent) dimensions collapse to a single
+    /// effective slice.
+    pub fn from_bounds(lo: &[f64], hi: &[f64], per_dim: usize) -> Self {
+        assert!(per_dim > 0, "per_dim must be positive");
+        assert_eq!(lo.len(), hi.len(), "bounds must be parallel");
+        let width = lo
+            .iter()
+            .zip(hi)
+            .map(|(&l, &h)| if h > l { (h - l) / per_dim as f64 } else { 1.0 })
+            .collect();
+        Self {
+            lo: lo.to_vec(),
+            width,
+            per_dim,
+        }
+    }
+
+    /// Attribute dimensionality.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Slices per dimension.
+    #[inline]
+    pub fn per_dim(&self) -> usize {
+        self.per_dim
+    }
+
+    /// Total cell count (`per_dim ^ dims`), or `None` on overflow.
+    pub fn cell_count(&self) -> Option<usize> {
+        self.per_dim.checked_pow(self.dims() as u32)
+    }
+
+    /// Slice index of value `v` along dimension `d` (clamped into range).
+    #[inline]
+    pub fn slot(&self, d: usize, v: f64) -> usize {
+        (((v - self.lo[d]) / self.width[d]) as usize).min(self.per_dim - 1)
+    }
+
+    /// Linear cell index of a point (row-major, dimension 0 most
+    /// significant — matches [`InputGrid::build`]'s bucketing).
+    pub fn linear_of(&self, p: &[f64]) -> usize {
+        let mut linear = 0usize;
+        for (d, &v) in p.iter().enumerate().take(self.dims()) {
+            linear = linear * self.per_dim + self.slot(d, v);
+        }
+        linear
+    }
+
+    /// Slice index along dimension `d` of the cell with linear index
+    /// `linear`.
+    pub fn slot_of_linear(&self, linear: usize, d: usize) -> usize {
+        let mut rest = linear;
+        let mut slot = 0;
+        for dim in 0..self.dims() {
+            slot = rest / self.per_dim.pow((self.dims() - 1 - dim) as u32);
+            rest %= self.per_dim.pow((self.dims() - 1 - dim) as u32);
+            if dim == d {
+                return slot;
+            }
+        }
+        slot
+    }
+
+    /// Geometric bounds of the cell with linear index `linear`
+    /// (`[slice_lo, slice_hi]` per dimension).
+    pub fn slice_bounds(&self, linear: usize) -> (Vec<f64>, Vec<f64>) {
+        let dims = self.dims();
+        let mut lo = Vec::with_capacity(dims);
+        let mut hi = Vec::with_capacity(dims);
+        for d in 0..dims {
+            let slot = self.slot_of_linear(linear, d) as f64;
+            lo.push(self.lo[d] + slot * self.width[d]);
+            hi.push(self.lo[d] + (slot + 1.0) * self.width[d]);
+        }
+        (lo, hi)
+    }
+
+    /// Upper geometric bound of slice `slot` along dimension `d`.
+    #[inline]
+    pub fn slice_hi(&self, d: usize, slot: usize) -> f64 {
+        self.lo[d] + (slot as f64 + 1.0) * self.width[d]
+    }
+}
+
 /// One non-empty input partition (`I^R_a` in the paper's notation).
 #[derive(Debug, Clone)]
 pub struct InputPartition {
@@ -72,23 +174,12 @@ impl InputGrid {
             .attrs()
             .bounds()
             .expect("non-empty source has bounds");
-        // Per-dimension width; degenerate (constant) dimensions collapse to
-        // a single slice.
-        let width: Vec<f64> = lo
-            .iter()
-            .zip(&hi)
-            .map(|(&l, &h)| if h > l { (h - l) / per_dim as f64 } else { 1.0 })
-            .collect();
+        let geo = GridGeometry::from_bounds(&lo, &hi, per_dim);
 
         // Bucket tuples by grid cell (linear index).
         let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         for row in 0..n {
-            let p = source.attrs_of(row);
-            let mut linear: u64 = 0;
-            for d in 0..dims {
-                let slot = (((p[d] - lo[d]) / width[d]) as usize).min(per_dim - 1);
-                linear = linear * per_dim as u64 + slot as u64;
-            }
+            let linear = geo.linear_of(source.attrs_of(row)) as u64;
             buckets.entry(linear).or_default().push(row as u32);
         }
 
@@ -239,6 +330,55 @@ mod tests {
         let s = source(&[(&[0.0], 0), (&[100.0], 0)]);
         let g = InputGrid::build(&s.view(), 4, SignatureConfig::Exact, 1);
         assert_eq!(g.total_tuples(), 2);
+    }
+
+    #[test]
+    fn geometry_slices_round_trip() {
+        let geo = GridGeometry::from_bounds(&[0.0, 10.0], &[100.0, 20.0], 4);
+        assert_eq!(geo.dims(), 2);
+        assert_eq!(geo.per_dim(), 4);
+        assert_eq!(geo.cell_count(), Some(16));
+        // Point (30, 17): slots (1, 2) → linear 1*4 + 2 = 6.
+        let linear = geo.linear_of(&[30.0, 17.0]);
+        assert_eq!(linear, 6);
+        assert_eq!(geo.slot_of_linear(linear, 0), 1);
+        assert_eq!(geo.slot_of_linear(linear, 1), 2);
+        let (lo, hi) = geo.slice_bounds(linear);
+        assert!(lo[0] <= 30.0 && 30.0 <= hi[0]);
+        assert!(lo[1] <= 17.0 && 17.0 <= hi[1]);
+        assert_eq!(geo.slice_hi(0, 1), 50.0);
+    }
+
+    #[test]
+    fn geometry_clamps_and_collapses_degenerate_dims() {
+        let geo = GridGeometry::from_bounds(&[0.0, 5.0], &[10.0, 5.0], 3);
+        // Values at and past the upper bound stay in the top slice.
+        assert_eq!(geo.slot(0, 10.0), 2);
+        assert_eq!(geo.slot(0, 999.0), 2);
+        // Degenerate dim: everything in slot 0 (width 1 fallback).
+        assert_eq!(geo.slot(1, 5.0), 0);
+    }
+
+    #[test]
+    fn geometry_matches_input_grid_bucketing() {
+        // The refactored InputGrid::build must bucket exactly as before:
+        // every member tuple of a partition shares the partition's linear
+        // cell under the data-bounds geometry.
+        let s = source(&[
+            (&[1.0, 5.0], 0),
+            (&[2.0, 6.0], 0),
+            (&[80.0, 90.0], 1),
+            (&[40.0, 45.0], 2),
+        ]);
+        let (lo, hi) = s.view().attrs().bounds().unwrap();
+        let geo = GridGeometry::from_bounds(&lo, &hi, 3);
+        let g = InputGrid::build(&s.view(), 3, SignatureConfig::Exact, 3);
+        for p in g.partitions() {
+            let cell = geo.linear_of(s.view().attrs_of(p.tuples[0] as usize));
+            for &row in &p.tuples {
+                assert_eq!(geo.linear_of(s.view().attrs_of(row as usize)), cell);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1318 @@
+//! Streaming source ingestion: progressive execution over incrementally
+//! arriving inputs.
+//!
+//! The batch pipeline ([`crate::executor::ProgXe`]) demands both sources
+//! fully materialized before `prepare()`. In the paper's motivating
+//! federated/web setting, inputs arrive in batches over the network — and
+//! the first skyline results should be emitted long before the slowest
+//! source finishes. This module makes first-result latency bounded by
+//! *data arrival*, not data completeness:
+//!
+//! * [`IngestSession`] accepts per-source row batches
+//!   ([`push`](IngestSession::push)), optional per-dimension
+//!   [watermarks](IngestSession::set_watermark) ("all future rows of this
+//!   source are ≥ these values"), and a [`close`](IngestSession::close)
+//!   signal per source.
+//! * The input grids are built from **declared bounds**
+//!   ([`StreamSpec`]), so the cell a row lands in — and with it the entire
+//!   region/EL-graph/blocker structure — is fixed up front and independent
+//!   of arrival order. Cells fill incrementally; a cell **seals** once its
+//!   source closed or a watermark passed the cell's slice, guaranteeing it
+//!   can receive no more rows.
+//! * A region becomes **ready** when both of its input cells are sealed.
+//!   The [`RegionDriver`] runs with a
+//!   readiness gate: the schedule *stalls* on its next region until that
+//!   region is ready (it never skips ahead to a different ready region).
+//!   Stalling preserves ProgOrder's pop order exactly, so the commit
+//!   sequence — and with it Algorithm 2's blocker bookkeeping and the
+//!   emitted result stream — is **bit-identical** to the all-at-once run,
+//!   for every arrival schedule, on both the Inline and Pooled backends.
+//!
+//! ## Why emission stays safe and schedule-independent
+//!
+//! Soundness is inherited unchanged: the committer resolves a region only
+//! after its (complete, sealed) tuples are in the cell store, and cells
+//! release only when every potentially-contributing region resolved — the
+//! paper's Principle 1. Schedule-independence holds because every input to
+//! the scheduling decision is a deterministic function of the *commit
+//! history*, never of arrival timing: region geometry comes from declared
+//! bounds, region tuple counts are pinned to zero (sizes are unknowable
+//! before arrival), sealed partitions present their rows sorted by caller
+//! row id, and a stalled pop re-offers the identical region later. The
+//! price is head-of-line blocking — a not-yet-ready region parks ready
+//! ones behind it — which is the deliberate trade recorded in ROADMAP.md.
+
+use crate::cells::CellStore;
+use crate::config::{ProgXeConfig, SignatureConfig};
+use crate::cost::CostModel;
+use crate::driver::{Committer, CommitterParts, DriverPoll, ExecutorBackend, RegionDriver, RowIds};
+use crate::error::{Error, Result};
+use crate::fxhash::FxHashMap;
+use crate::grid::{GridGeometry, InputPartition};
+use crate::lookahead::Region;
+use crate::mapping::MapSet;
+use crate::output_grid::{OutputGrid, MAX_DIMS};
+use crate::progdetermine::ProgDetermine;
+use crate::session::{CancellationToken, ResultEvent};
+use crate::signature::JoinSignature;
+use crate::source::SourceView;
+use crate::stats::ExecStats;
+use crate::tuple_level::{join_region, local_skyline_filter, RegionBatch, TupleLevelStats};
+use progxe_skyline::{PointStore, Preference};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Upper bound on `r_cells × t_cells` for a streaming session. The
+/// streaming pipeline enumerates *every* potential cell pair up front
+/// (signatures and emptiness are unknown before arrival), and the EL-graph
+/// build is quadratic in the region count — this cap keeps session setup
+/// well under a second. Lower `input_partitions_per_dim` to stay inside it
+/// at higher dimensionality.
+pub const MAX_STREAM_REGIONS: usize = 16_384;
+
+/// Benefit-model selectivity used when
+/// [`ProgXeConfig::selectivity_hint`] is unset on a streaming session. The
+/// batch pipeline estimates σ from the observed join-key domain, which a
+/// streaming session cannot know up front. The value only feeds the
+/// (count-free) rank constant, so it shifts no scheduling decision.
+const STREAM_DEFAULT_SIGMA: f64 = 0.01;
+
+/// Declared shape of one streaming source: attribute dimensionality plus
+/// per-dimension value bounds. The bounds fix the input-grid geometry
+/// before any row arrives; rows outside them are rejected
+/// ([`IngestError::OutOfBounds`]) because they could land in a cell whose
+/// output region was not provisioned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpec {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl StreamSpec {
+    /// Declares a source whose rows lie inside `[lo, hi]` per dimension.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Result<Self> {
+        if lo.is_empty() || lo.len() != hi.len() {
+            return Err(Error::InvalidConfig(
+                "stream spec bounds must be non-empty and parallel",
+            ));
+        }
+        for (l, h) in lo.iter().zip(&hi) {
+            if !l.is_finite() || !h.is_finite() || l > h {
+                return Err(Error::InvalidConfig(
+                    "stream spec bounds must be finite with lo <= hi",
+                ));
+            }
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Attribute dimensionality.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Declared per-dimension lower bounds.
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Declared per-dimension upper bounds.
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+}
+
+/// Which streaming source an ingest operation addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceId {
+    /// The left (R) source.
+    R,
+    /// The right (T) source.
+    T,
+}
+
+impl std::fmt::Display for SourceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SourceId::R => "R",
+            SourceId::T => "T",
+        })
+    }
+}
+
+/// Typed ingestion failures. Every error is *atomic*: the offending call
+/// mutates nothing, so session state (cell contents, seals, readiness)
+/// stays exactly as before the call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IngestError {
+    /// A pushed row's attribute count disagrees with the source's declared
+    /// dimensionality.
+    Arity {
+        /// The source addressed.
+        source: SourceId,
+        /// Declared dimensionality.
+        expected: usize,
+        /// Attributes in the offending row.
+        got: usize,
+    },
+    /// A pushed row lies outside the source's declared bounds (or has a
+    /// non-finite attribute).
+    OutOfBounds {
+        /// The source addressed.
+        source: SourceId,
+        /// Offending dimension.
+        dim: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A pushed row arrived *below* the source's declared watermark — the
+    /// producer broke its ordering promise. Admitting the row could land it
+    /// in an already-sealed cell and corrupt region readiness, so the whole
+    /// batch is rejected instead.
+    RowBelowWatermark {
+        /// The source addressed.
+        source: SourceId,
+        /// Dimension where the promise broke.
+        dim: usize,
+        /// The declared watermark in that dimension.
+        watermark: f64,
+        /// The offending row value.
+        value: f64,
+    },
+    /// A watermark update moved backwards in some dimension.
+    WatermarkRetreat {
+        /// The source addressed.
+        source: SourceId,
+        /// Offending dimension.
+        dim: usize,
+        /// Previously declared watermark.
+        from: f64,
+        /// Attempted (lower) watermark.
+        to: f64,
+    },
+    /// A watermark vector's length disagrees with the source
+    /// dimensionality, or a component is NaN.
+    BadWatermark {
+        /// The source addressed.
+        source: SourceId,
+    },
+    /// A row id was pushed twice for the same source. Row ids are the
+    /// caller's stable identities; duplicates would make results ambiguous.
+    DuplicateRow {
+        /// The source addressed.
+        source: SourceId,
+        /// The duplicated id.
+        row_id: u32,
+    },
+    /// Rows or watermarks were pushed to a source after `close(source)`.
+    SourceClosed(SourceId),
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Arity {
+                source,
+                expected,
+                got,
+            } => write!(
+                f,
+                "ingest arity mismatch on source {source}: declared {expected} \
+                 attribute dimension(s), row has {got}"
+            ),
+            IngestError::OutOfBounds { source, dim, value } => write!(
+                f,
+                "row value {value} escapes source {source}'s declared bounds in dimension {dim}"
+            ),
+            IngestError::RowBelowWatermark {
+                source,
+                dim,
+                watermark,
+                value,
+            } => write!(
+                f,
+                "watermark regression on source {source}: row value {value} in dimension {dim} \
+                 is below the declared watermark {watermark}"
+            ),
+            IngestError::WatermarkRetreat {
+                source,
+                dim,
+                from,
+                to,
+            } => write!(
+                f,
+                "watermark retreat on source {source}: dimension {dim} cannot move from {from} \
+                 back to {to}"
+            ),
+            IngestError::BadWatermark { source } => write!(
+                f,
+                "watermark for source {source} must match its dimensionality and be NaN-free"
+            ),
+            IngestError::DuplicateRow { source, row_id } => {
+                write!(f, "row id {row_id} pushed twice on source {source}")
+            }
+            IngestError::SourceClosed(source) => {
+                write!(f, "source {source} is closed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Outcome of one [`IngestSession::poll`] call.
+#[derive(Debug)]
+pub enum IngestPoll {
+    /// A batch of proven-final results (never retracted).
+    Batch(ResultEvent),
+    /// The next scheduled region is still waiting for input: push more
+    /// rows, advance a watermark, or close a source, then poll again.
+    NeedInput,
+    /// The query finished (all regions resolved) or was cancelled.
+    Complete,
+}
+
+/// One sealed input cell: its member rows frozen in canonical (row-id)
+/// order, ready for lock-free joining.
+pub(crate) struct SealedPart {
+    /// Local partition view (tuples are 0..n local indices).
+    part: InputPartition,
+    attrs: PointStore,
+    keys: Vec<u32>,
+    /// Caller row id per local index.
+    rows: Vec<u32>,
+}
+
+impl SealedPart {
+    fn view(&self) -> SourceView<'_> {
+        SourceView::new(&self.attrs, &self.keys).expect("sealed arrays are parallel")
+    }
+}
+
+/// Mutable per-source ingestion state.
+struct SourceState {
+    dims: usize,
+    spec: StreamSpec,
+    geo: GridGeometry,
+    /// Arrival-ordered row store (attrs ∥ keys ∥ caller ids).
+    attrs: PointStore,
+    keys: Vec<u32>,
+    ids: Vec<u32>,
+    /// Row-store indices per grid cell (arrival order; sorted by caller id
+    /// at seal time).
+    buckets: Vec<Vec<u32>>,
+    /// `Some` once the cell sealed (closed source, or watermark passed the
+    /// cell's slice in some dimension).
+    sealed: Vec<Option<Arc<SealedPart>>>,
+    /// Count of sealed cells (= number of `Some` entries above).
+    sealed_count: usize,
+    watermark: Vec<f64>,
+    closed: bool,
+    seen: FxHashMap<u32, ()>,
+    /// Next auto-assigned row id (callers may also pass explicit ids).
+    auto_id: u32,
+}
+
+impl SourceState {
+    fn new(spec: StreamSpec, per_dim: usize) -> Self {
+        let dims = spec.dims();
+        let geo = GridGeometry::from_bounds(spec.lo(), spec.hi(), per_dim);
+        let cells = geo.cell_count().expect("cell count validated at open");
+        Self {
+            dims,
+            spec,
+            geo,
+            attrs: PointStore::new(dims),
+            keys: Vec::new(),
+            ids: Vec::new(),
+            buckets: vec![Vec::new(); cells],
+            sealed: (0..cells).map(|_| None).collect(),
+            sealed_count: 0,
+            watermark: vec![f64::NEG_INFINITY; dims],
+            closed: false,
+            seen: FxHashMap::default(),
+            auto_id: 0,
+        }
+    }
+
+    /// Whether cell `cell` can provably receive no more rows.
+    fn cell_is_final(&self, cell: usize) -> bool {
+        if self.closed {
+            return true;
+        }
+        // A watermark seals every slice strictly below its own slot:
+        // future rows are ≥ the watermark in *every* dimension and
+        // `GridGeometry::slot` is monotone in the value, so one passed
+        // dimension suffices. Deciding with `slot(watermark)` — the same
+        // arithmetic that places rows — rather than comparing against a
+        // recomputed slice boundary keeps sealing and placement consistent
+        // at floating-point boundary values (a row admitted by the
+        // watermark check can never land in a sealed cell). The top slice
+        // only seals on close, since `slot` clamps into it.
+        (0..self.dims)
+            .any(|d| self.geo.slot(d, self.watermark[d]) > self.geo.slot_of_linear(cell, d))
+    }
+
+    /// Freezes one cell into a [`SealedPart`] (rows sorted by caller id,
+    /// making the partition content independent of arrival order).
+    fn seal_cell(&mut self, cell: usize) {
+        debug_assert!(self.sealed[cell].is_none());
+        let mut members = std::mem::take(&mut self.buckets[cell]);
+        members.sort_unstable_by_key(|&idx| self.ids[idx as usize]);
+        let n = members.len();
+        let mut attrs = PointStore::with_capacity(self.dims, n);
+        let mut keys = Vec::with_capacity(n);
+        let mut rows = Vec::with_capacity(n);
+        for &idx in &members {
+            attrs.push(self.attrs.point(idx as usize));
+            keys.push(self.keys[idx as usize]);
+            rows.push(self.ids[idx as usize]);
+        }
+        let (lo, hi) = self.geo.slice_bounds(cell);
+        let part = InputPartition {
+            id: cell as u32,
+            tuples: (0..n as u32).collect(),
+            lo,
+            hi,
+            // The streaming join never consults signatures (pair pruning
+            // needs full-source knowledge); an empty exact signature keeps
+            // the partition type uniform.
+            signature: JoinSignature::empty(SignatureConfig::Exact, 0),
+        };
+        self.sealed[cell] = Some(Arc::new(SealedPart {
+            part,
+            attrs,
+            keys,
+            rows,
+        }));
+        self.sealed_count += 1;
+    }
+}
+
+/// Shared mutable ingestion state: both sources plus region readiness.
+struct IngestInner {
+    r: SourceState,
+    t: SourceState,
+    t_cells: usize,
+    /// Per-region readiness flag (`rid = r_cell · t_cells + t_cell`).
+    ready: Vec<bool>,
+    regions_unlocked: usize,
+    tuples_ingested: u64,
+}
+
+impl IngestInner {
+    fn source(&mut self, id: SourceId) -> &mut SourceState {
+        match id {
+            SourceId::R => &mut self.r,
+            SourceId::T => &mut self.t,
+        }
+    }
+
+    /// Seals every cell of `side` that became final, then unlocks regions
+    /// whose opposite cell is already sealed.
+    fn reseal(&mut self, side: SourceId) {
+        let newly: Vec<usize> = {
+            let src = self.source(side);
+            (0..src.sealed.len())
+                .filter(|&c| src.sealed[c].is_none() && src.cell_is_final(c))
+                .collect()
+        };
+        for &cell in &newly {
+            self.source(side).seal_cell(cell);
+        }
+        for &cell in &newly {
+            match side {
+                SourceId::R => {
+                    for t_cell in 0..self.t_cells {
+                        if self.t.sealed[t_cell].is_some() {
+                            self.unlock(cell * self.t_cells + t_cell);
+                        }
+                    }
+                }
+                SourceId::T => {
+                    for r_cell in 0..self.r.sealed.len() {
+                        if self.r.sealed[r_cell].is_some() {
+                            self.unlock(r_cell * self.t_cells + cell);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn unlock(&mut self, rid: usize) {
+        if !self.ready[rid] {
+            self.ready[rid] = true;
+            self.regions_unlocked += 1;
+        }
+    }
+
+    /// Validates a whole batch, then applies it — atomically: a batch with
+    /// any bad row changes nothing.
+    fn push_batch(
+        &mut self,
+        side: SourceId,
+        rows: &[(u32, &[f64], u32)],
+    ) -> std::result::Result<(), IngestError> {
+        let src = self.source(side);
+        if src.closed {
+            return Err(IngestError::SourceClosed(side));
+        }
+        let mut batch_ids: FxHashMap<u32, ()> = FxHashMap::default();
+        for &(id, attrs, _key) in rows {
+            if attrs.len() != src.dims {
+                return Err(IngestError::Arity {
+                    source: side,
+                    expected: src.dims,
+                    got: attrs.len(),
+                });
+            }
+            for (d, &v) in attrs.iter().enumerate() {
+                if !v.is_finite() || v < src.spec.lo()[d] || v > src.spec.hi()[d] {
+                    return Err(IngestError::OutOfBounds {
+                        source: side,
+                        dim: d,
+                        value: v,
+                    });
+                }
+                if v < src.watermark[d] {
+                    return Err(IngestError::RowBelowWatermark {
+                        source: side,
+                        dim: d,
+                        watermark: src.watermark[d],
+                        value: v,
+                    });
+                }
+            }
+            if src.seen.contains_key(&id) || batch_ids.insert(id, ()).is_some() {
+                return Err(IngestError::DuplicateRow {
+                    source: side,
+                    row_id: id,
+                });
+            }
+        }
+        for &(id, attrs, key) in rows {
+            let idx = src.ids.len() as u32;
+            src.attrs.push(attrs);
+            src.keys.push(key);
+            src.ids.push(id);
+            src.seen.insert(id, ());
+            let cell = src.geo.linear_of(attrs);
+            debug_assert!(
+                src.sealed[cell].is_none(),
+                "watermark check admitted a row into a sealed cell"
+            );
+            src.buckets[cell].push(idx);
+        }
+        src.auto_id = src.auto_id.max(
+            rows.iter()
+                .map(|r| r.0.saturating_add(1))
+                .max()
+                .unwrap_or(0),
+        );
+        self.tuples_ingested += rows.len() as u64;
+        Ok(())
+    }
+
+    fn set_watermark(
+        &mut self,
+        side: SourceId,
+        wm: &[f64],
+    ) -> std::result::Result<(), IngestError> {
+        let src = self.source(side);
+        if src.closed {
+            return Err(IngestError::SourceClosed(side));
+        }
+        if wm.len() != src.dims || wm.iter().any(|v| v.is_nan()) {
+            return Err(IngestError::BadWatermark { source: side });
+        }
+        for (d, (&new, &old)) in wm.iter().zip(&src.watermark).enumerate() {
+            if new < old {
+                return Err(IngestError::WatermarkRetreat {
+                    source: side,
+                    dim: d,
+                    from: old,
+                    to: new,
+                });
+            }
+        }
+        src.watermark.copy_from_slice(wm);
+        self.reseal(side);
+        Ok(())
+    }
+
+    fn close(&mut self, side: SourceId) {
+        let src = self.source(side);
+        if src.closed {
+            return; // idempotent
+        }
+        src.closed = true;
+        self.reseal(side);
+    }
+}
+
+/// The compute-side context of a streaming session: regions plus the
+/// shared ingest state. `Send + Sync`; pooled work units capture it in an
+/// `Arc` exactly like the batch pipeline's
+/// [`RegionCtx`](crate::tuple_level::RegionCtx).
+pub struct IngestCtx {
+    maps: MapSet,
+    regions: Arc<[Region]>,
+    inner: Arc<Mutex<IngestInner>>,
+    lowest: Preference,
+}
+
+impl IngestCtx {
+    /// Whether both input cells of `rid` are sealed — the driver's
+    /// readiness gate.
+    pub fn is_ready(&self, rid: u32) -> bool {
+        self.inner.lock().expect("ingest state poisoned").ready[rid as usize]
+    }
+
+    /// Output dimensionality of the query.
+    pub fn out_dims(&self) -> usize {
+        self.maps.out_dims()
+    }
+
+    /// The two sealed partitions of a ready region. Holds the state lock
+    /// only long enough to clone two `Arc`s; the join itself is lock-free.
+    fn sealed_pair(&self, rid: u32) -> (Arc<SealedPart>, Arc<SealedPart>) {
+        let region = &self.regions[rid as usize];
+        let inner = self.inner.lock().expect("ingest state poisoned");
+        let rp = inner.r.sealed[region.r_part as usize]
+            .as_ref()
+            .expect("region popped before its R cell sealed")
+            .clone();
+        let tp = inner.t.sealed[region.t_part as usize]
+            .as_ref()
+            .expect("region popped before its T cell sealed")
+            .clone();
+        (rp, tp)
+    }
+
+    /// Streaming-insert path: joins the sealed pair straight into the cell
+    /// store, emitting **caller row ids**.
+    pub(crate) fn process_into(
+        &self,
+        rid: u32,
+        store: &mut CellStore,
+        token: &CancellationToken,
+    ) -> (TupleLevelStats, bool) {
+        let (rp, tp) = self.sealed_pair(rid);
+        join_region(
+            &rp.part,
+            &tp.part,
+            &rp.view(),
+            &tp.view(),
+            &self.maps,
+            token,
+            |r, t, o| {
+                store.insert(rp.rows[r as usize], tp.rows[t as usize], o);
+            },
+        )
+    }
+
+    /// Batch path (pool workers): join + map + orient + bounded local
+    /// skyline pre-filter, ids already translated to caller row ids.
+    pub(crate) fn compute(&self, rid: u32, token: &CancellationToken) -> RegionBatch {
+        let started = Instant::now();
+        let (rp, tp) = self.sealed_pair(rid);
+        let mut ids: Vec<(u32, u32)> = Vec::new();
+        let mut points = PointStore::new(self.maps.out_dims());
+        let (mut stats, completed) = join_region(
+            &rp.part,
+            &tp.part,
+            &rp.view(),
+            &tp.view(),
+            &self.maps,
+            token,
+            |r, t, o| {
+                ids.push((rp.rows[r as usize], tp.rows[t as usize]));
+                points.push(o);
+            },
+        );
+        if completed {
+            local_skyline_filter(&mut ids, &mut points, &self.lowest, &mut stats);
+        }
+        RegionBatch {
+            rid,
+            ids,
+            points,
+            stats,
+            completed,
+            compute_time: started.elapsed(),
+        }
+    }
+}
+
+/// A progressive query over two incrementally arriving sources.
+///
+/// Obtain one from [`IngestSession::open`] (Inline backend) or
+/// [`IngestSession::open_with_backend`] (e.g. the runtime crate's pooled
+/// backend). Feed it with [`push`](Self::push) /
+/// [`set_watermark`](Self::set_watermark) / [`close`](Self::close), and
+/// interleave [`poll`](Self::poll) calls to drain proven-final result
+/// batches as regions unlock. Emitted `r_idx`/`t_idx` are the caller's row
+/// ids.
+#[must_use = "an ingest session does no work until it is polled"]
+pub struct IngestSession {
+    driver: RegionDriver,
+    inner: Arc<Mutex<IngestInner>>,
+    token: CancellationToken,
+    emitted: u64,
+    /// High-water mark enforcing monotone, `[0, 1]`-clamped progress.
+    last_progress: f64,
+}
+
+impl IngestSession {
+    /// Opens an inline (single-threaded) streaming session.
+    pub fn open(
+        config: &ProgXeConfig,
+        maps: &MapSet,
+        r_spec: StreamSpec,
+        t_spec: StreamSpec,
+    ) -> Result<IngestSession> {
+        Self::open_with_backend(
+            config,
+            maps,
+            r_spec,
+            t_spec,
+            ExecutorBackend::Inline,
+            CancellationToken::new(),
+        )
+    }
+
+    /// Opens a streaming session on an explicit executor backend with a
+    /// caller-provided cancellation token. The `progxe-runtime` crate uses
+    /// this to run ingestion over its shared thread pool.
+    pub fn open_with_backend(
+        config: &ProgXeConfig,
+        maps: &MapSet,
+        r_spec: StreamSpec,
+        t_spec: StreamSpec,
+        backend: ExecutorBackend,
+        token: CancellationToken,
+    ) -> Result<IngestSession> {
+        config.validate()?;
+        let out_dims = maps.out_dims();
+        if out_dims > MAX_DIMS {
+            return Err(Error::TooManyDimensions {
+                dims: out_dims,
+                max: MAX_DIMS,
+            });
+        }
+        let started = Instant::now();
+        let per_dim = config.input_partitions_per_dim;
+        let r_geo = GridGeometry::from_bounds(r_spec.lo(), r_spec.hi(), per_dim);
+        let t_geo = GridGeometry::from_bounds(t_spec.lo(), t_spec.hi(), per_dim);
+        let (Some(r_cells), Some(t_cells)) = (r_geo.cell_count(), t_geo.cell_count()) else {
+            return Err(Error::InvalidConfig(
+                "streaming grid cell count overflows; reduce input_partitions_per_dim",
+            ));
+        };
+        let total_regions = r_cells
+            .checked_mul(t_cells)
+            .filter(|&n| n <= MAX_STREAM_REGIONS);
+        if total_regions.is_none() {
+            return Err(Error::InvalidConfig(
+                "streaming session would create too many potential regions; \
+                 reduce input_partitions_per_dim (see ingest::MAX_STREAM_REGIONS)",
+            ));
+        }
+
+        // ── All potential regions from the declared geometry ─────────────
+        // Every cell pair is provisioned: emptiness and join signatures are
+        // unknowable before arrival, and a region missing here could later
+        // deliver a tuple into a cell another region already released —
+        // exactly the false positive Principle 1 forbids.
+        let orders = maps.preference().orders().to_vec();
+        let mut candidates: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(r_cells * t_cells);
+        let mut raw_lo = Vec::with_capacity(out_dims);
+        let mut raw_hi = Vec::with_capacity(out_dims);
+        for r_cell in 0..r_cells {
+            let (r_lo, r_hi) = r_geo.slice_bounds(r_cell);
+            for t_cell in 0..t_cells {
+                let (t_lo, t_hi) = t_geo.slice_bounds(t_cell);
+                maps.eval_bounds_into(&r_lo, &r_hi, &t_lo, &t_hi, &mut raw_lo, &mut raw_hi);
+                let mut lo = Vec::with_capacity(out_dims);
+                let mut hi = Vec::with_capacity(out_dims);
+                for j in 0..out_dims {
+                    let a = orders[j].orient(raw_lo[j]);
+                    let b = orders[j].orient(raw_hi[j]);
+                    lo.push(a.min(b));
+                    hi.push(a.max(b));
+                }
+                candidates.push((lo, hi));
+            }
+        }
+        let mut g_lo = candidates[0].0.clone();
+        let mut g_hi = candidates[0].1.clone();
+        for (lo, hi) in &candidates[1..] {
+            for j in 0..out_dims {
+                g_lo[j] = g_lo[j].min(lo[j]);
+                g_hi[j] = g_hi[j].max(hi[j]);
+            }
+        }
+        let grid = OutputGrid::new(g_lo, g_hi, config.output_cells_per_dim as u16);
+        let regions: Arc<[Region]> = candidates
+            .into_iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| {
+                let (cell_lo, cell_hi) = grid.box_of(&lo, &hi);
+                Region {
+                    id: i as u32,
+                    r_part: (i / t_cells) as u32,
+                    t_part: (i % t_cells) as u32,
+                    lo,
+                    hi,
+                    cell_lo,
+                    cell_hi,
+                    // Counts are unknowable before arrival; zero pins the
+                    // benefit/cost rank to geometry + commit state only,
+                    // which is what keeps the schedule arrival-independent.
+                    n_r: 0,
+                    n_t: 0,
+                    guaranteed: false,
+                }
+            })
+            .collect();
+
+        // ── Cell tracking + blocker counts (Algorithm 2, unchanged) ──────
+        let mut store = CellStore::new(grid.clone());
+        for region in regions.iter() {
+            for coord in grid.iter_box(region.cell_lo, region.cell_hi) {
+                store.track(coord);
+            }
+        }
+        let det = ProgDetermine::new(&store, &regions);
+
+        let mut stats = ExecStats {
+            threads_used: match &backend {
+                ExecutorBackend::Inline => 1,
+                ExecutorBackend::Pooled { threads, .. } => *threads,
+            },
+            regions_created: regions.len(),
+            cells_tracked: store.len(),
+            partitions_r: r_cells,
+            partitions_t: t_cells,
+            ..ExecStats::default()
+        };
+        stats.lookahead_time = started.elapsed();
+
+        let sigma = config.selectivity_hint.unwrap_or(STREAM_DEFAULT_SIGMA);
+        let cost_model = CostModel {
+            sigma,
+            cells_per_dim: config.output_cells_per_dim as u16,
+            dims: out_dims,
+        };
+        let committer = Committer::new(
+            CommitterParts {
+                regions: Arc::clone(&regions),
+                out_dims,
+                row_ids: RowIds::Identity,
+                store,
+                det,
+                orders,
+                sigma,
+                cost_model,
+                started,
+            },
+            config.ordering,
+        );
+
+        let inner = Arc::new(Mutex::new(IngestInner {
+            r: SourceState::new(r_spec, per_dim),
+            t: SourceState::new(t_spec, per_dim),
+            t_cells,
+            ready: vec![false; regions.len()],
+            regions_unlocked: 0,
+            tuples_ingested: 0,
+        }));
+        let ctx = Arc::new(IngestCtx {
+            maps: maps.clone(),
+            regions,
+            inner: Arc::clone(&inner),
+            lowest: Preference::all_lowest(out_dims),
+        });
+        let driver =
+            RegionDriver::for_ingest(committer, ctx, stats, started, token.clone(), backend);
+        Ok(IngestSession {
+            driver,
+            inner,
+            token,
+            emitted: 0,
+            last_progress: 0.0,
+        })
+    }
+
+    /// Pushes a batch of `(attrs, join_key)` rows, auto-assigning
+    /// consecutive row ids per source (the arrival position, matching the
+    /// row-id convention of a materialized table). Returns the first
+    /// assigned id. Atomic: a batch with any invalid row changes nothing.
+    pub fn push(
+        &mut self,
+        source: SourceId,
+        rows: &[(&[f64], u32)],
+    ) -> std::result::Result<u32, IngestError> {
+        let base = {
+            let inner = self.inner.lock().expect("ingest state poisoned");
+            match source {
+                SourceId::R => inner.r.auto_id,
+                SourceId::T => inner.t.auto_id,
+            }
+        };
+        let with_ids: Vec<(u32, &[f64], u32)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(attrs, key))| (base + i as u32, attrs, key))
+            .collect();
+        self.push_with_ids(source, &with_ids)?;
+        Ok(base)
+    }
+
+    /// Pushes a batch of `(row_id, attrs, join_key)` rows with
+    /// caller-chosen stable row ids. Results reference these ids, and the
+    /// emission order of the whole session depends only on the id/attr/key
+    /// content — never on how rows were batched or interleaved. Atomic: a
+    /// batch with any invalid row changes nothing.
+    pub fn push_with_ids(
+        &mut self,
+        source: SourceId,
+        rows: &[(u32, &[f64], u32)],
+    ) -> std::result::Result<(), IngestError> {
+        self.inner
+            .lock()
+            .expect("ingest state poisoned")
+            .push_batch(source, rows)
+    }
+
+    /// Declares that every future row of `source` is ≥ `watermark` in every
+    /// dimension. Cells whose slice lies strictly below the watermark in
+    /// some dimension seal immediately, unlocking their regions. Watermarks
+    /// must be monotone per dimension.
+    pub fn set_watermark(
+        &mut self,
+        source: SourceId,
+        watermark: &[f64],
+    ) -> std::result::Result<(), IngestError> {
+        self.inner
+            .lock()
+            .expect("ingest state poisoned")
+            .set_watermark(source, watermark)
+    }
+
+    /// Declares `source` complete: all of its cells seal, and every region
+    /// whose opposite cell is sealed unlocks. Idempotent.
+    pub fn close(&mut self, source: SourceId) {
+        self.inner
+            .lock()
+            .expect("ingest state poisoned")
+            .close(source);
+    }
+
+    /// Pulls the next result batch, advancing the readiness-gated region
+    /// loop as far as the ingested data allows.
+    ///
+    /// Progress estimates are normalized exactly like
+    /// [`QuerySession::next_batch`](crate::session::QuerySession::next_batch):
+    /// clamped to `[0, 1]` and monotone across the session.
+    pub fn poll(&mut self) -> IngestPoll {
+        if self.token.is_cancelled() {
+            return IngestPoll::Complete;
+        }
+        match self.driver.poll_next() {
+            DriverPoll::Event(mut event) => {
+                event.normalize_progress(&mut self.last_progress);
+                self.emitted += event.tuples.len() as u64;
+                IngestPoll::Batch(event)
+            }
+            DriverPoll::Stalled => IngestPoll::NeedInput,
+            DriverPoll::Finished => IngestPoll::Complete,
+        }
+    }
+
+    /// Drains every batch that is currently deliverable (stops at the
+    /// first stall or at completion).
+    pub fn drain_ready(&mut self) -> Vec<ResultEvent> {
+        let mut out = Vec::new();
+        while let IngestPoll::Batch(event) = self.poll() {
+            out.push(event);
+        }
+        out
+    }
+
+    /// Total tuples delivered so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// A shareable handle to this session's cancellation flag.
+    pub fn cancel_token(&self) -> CancellationToken {
+        self.token.clone()
+    }
+
+    /// Requests cancellation: `poll` returns [`IngestPoll::Complete`] from
+    /// then on, remaining regions are skipped, and in-flight pool workers
+    /// stop at their next token check. Safe at any time — including on a
+    /// session whose sources were never closed.
+    pub fn cancel(&mut self) {
+        self.token.cancel();
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.token.is_cancelled()
+    }
+
+    /// A snapshot of the statistics accumulated so far (mid-ingest safe).
+    pub fn stats_snapshot(&self) -> ExecStats {
+        let mut stats = crate::session::SessionStep::stats_snapshot(&self.driver);
+        self.fold_ingest_counters(&mut stats);
+        stats
+    }
+
+    /// Consumes the session and returns its statistics. Unresolved regions
+    /// (sources never closed, or an early cancel) flag
+    /// [`ExecStats::cancelled`].
+    pub fn finish(self) -> ExecStats {
+        let inner = self.inner;
+        let mut stats = crate::session::SessionStep::finalize(Box::new(self.driver));
+        let guard = inner.lock().expect("ingest state poisoned");
+        stats.tuples_ingested = guard.tuples_ingested;
+        stats.regions_unlocked = guard.regions_unlocked;
+        stats
+    }
+
+    fn fold_ingest_counters(&self, stats: &mut ExecStats) {
+        let inner = self.inner.lock().expect("ingest state poisoned");
+        stats.tuples_ingested = inner.tuples_ingested;
+        stats.regions_unlocked = inner.regions_unlocked;
+    }
+}
+
+impl std::fmt::Debug for IngestSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IngestSession")
+            .field("emitted", &self.emitted)
+            .field("cancelled", &self.token.is_cancelled())
+            .finish_non_exhaustive()
+    }
+}
+
+// Compile-time guarantee that pooled ingest work units can cross threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<IngestCtx>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::ProgXe;
+    use crate::source::SourceData;
+
+    fn lcg(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *state >> 33
+    }
+
+    fn random_rows(n: usize, dims: usize, keys: u32, seed: u64) -> Vec<(Vec<f64>, u32)> {
+        let mut st = seed;
+        (0..n)
+            .map(|_| {
+                let row: Vec<f64> = (0..dims)
+                    .map(|_| (lcg(&mut st) % 1000) as f64 / 10.0)
+                    .collect();
+                let k = (lcg(&mut st) % keys as u64) as u32;
+                (row, k)
+            })
+            .collect()
+    }
+
+    fn spec(dims: usize) -> StreamSpec {
+        StreamSpec::new(vec![0.0; dims], vec![100.0; dims]).unwrap()
+    }
+
+    fn batch_oracle(
+        rows_r: &[(Vec<f64>, u32)],
+        rows_t: &[(Vec<f64>, u32)],
+        maps: &MapSet,
+    ) -> Vec<(u32, u32)> {
+        let mut r = SourceData::new(rows_r[0].0.len());
+        for (a, k) in rows_r {
+            r.push(a, *k);
+        }
+        let mut t = SourceData::new(rows_t[0].0.len());
+        for (a, k) in rows_t {
+            t.push(a, *k);
+        }
+        let out = ProgXe::new(ProgXeConfig::default())
+            .run_collect(&r.view(), &t.view(), maps)
+            .unwrap();
+        let mut ids: Vec<(u32, u32)> = out.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn drain_all(session: &mut IngestSession) -> Vec<(u32, u32)> {
+        session
+            .drain_ready()
+            .iter()
+            .flat_map(|e| e.tuples.iter().map(|t| (t.r_idx, t.t_idx)))
+            .collect()
+    }
+
+    #[test]
+    fn all_at_once_matches_batch_engine_result_set() {
+        let rows_r = random_rows(150, 2, 5, 1);
+        let rows_t = random_rows(150, 2, 5, 2);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let mut session =
+            IngestSession::open(&ProgXeConfig::default(), &maps, spec(2), spec(2)).unwrap();
+        let r_refs: Vec<(&[f64], u32)> = rows_r.iter().map(|(a, k)| (a.as_slice(), *k)).collect();
+        let t_refs: Vec<(&[f64], u32)> = rows_t.iter().map(|(a, k)| (a.as_slice(), *k)).collect();
+        session.push(SourceId::R, &r_refs).unwrap();
+        session.push(SourceId::T, &t_refs).unwrap();
+        session.close(SourceId::R);
+        session.close(SourceId::T);
+        let mut ids = drain_all(&mut session);
+        assert!(matches!(session.poll(), IngestPoll::Complete));
+        let stats = session.finish();
+        assert!(!stats.cancelled);
+        assert_eq!(stats.tuples_ingested, 300);
+        assert!(stats.regions_unlocked > 0);
+        ids.sort_unstable();
+        assert_eq!(ids, batch_oracle(&rows_r, &rows_t, &maps));
+    }
+
+    #[test]
+    fn results_flow_before_sources_finish_under_watermarks() {
+        // Sorted-by-sum arrival with watermarks: the low cells seal early,
+        // so proven-final results must emerge before either close().
+        let mut rows_r = random_rows(300, 2, 3, 3);
+        let mut rows_t = random_rows(300, 2, 3, 4);
+        let by_min = |a: &(Vec<f64>, u32)| a.0.iter().cloned().fold(f64::INFINITY, f64::min);
+        rows_r.sort_by(|a, b| by_min(a).total_cmp(&by_min(b)));
+        rows_t.sort_by(|a, b| by_min(a).total_cmp(&by_min(b)));
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let mut session =
+            IngestSession::open(&ProgXeConfig::default(), &maps, spec(2), spec(2)).unwrap();
+
+        // Push 80% first: the suffix minimum (the tightest sound watermark)
+        // then clears the first grid-slice boundary, sealing the low cells.
+        let half = 240;
+        for side in [SourceId::R, SourceId::T] {
+            let rows = if side == SourceId::R {
+                &rows_r
+            } else {
+                &rows_t
+            };
+            let refs: Vec<(&[f64], u32)> = rows[..half]
+                .iter()
+                .map(|(a, k)| (a.as_slice(), *k))
+                .collect();
+            session.push(side, &refs).unwrap();
+            // Everything still to come is ≥ the per-dim min of the suffix.
+            let mut wm = vec![f64::INFINITY; 2];
+            for (a, _) in &rows[half..] {
+                for d in 0..2 {
+                    wm[d] = wm[d].min(a[d]);
+                }
+            }
+            session.set_watermark(side, &wm).unwrap();
+        }
+        let mut ids = drain_all(&mut session);
+        assert!(
+            !ids.is_empty(),
+            "watermarks must unlock results before close"
+        );
+
+        for side in [SourceId::R, SourceId::T] {
+            let rows = if side == SourceId::R {
+                &rows_r
+            } else {
+                &rows_t
+            };
+            let refs: Vec<(&[f64], u32)> = rows[half..]
+                .iter()
+                .map(|(a, k)| (a.as_slice(), *k))
+                .collect();
+            session.push(side, &refs).unwrap();
+            session.close(side);
+        }
+        ids.extend(drain_all(&mut session));
+        assert!(matches!(session.poll(), IngestPoll::Complete));
+        assert!(!session.finish().cancelled);
+        ids.sort_unstable();
+        // `push` auto-ids are arrival positions — which match row indices
+        // of the (sorted) vectors the oracle materializes.
+        assert_eq!(ids.len(), batch_oracle(&rows_r, &rows_t, &maps).len());
+        assert_eq!(ids, batch_oracle(&rows_r, &rows_t, &maps));
+    }
+
+    #[test]
+    fn typed_errors_leave_the_session_usable() {
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let mut session =
+            IngestSession::open(&ProgXeConfig::default(), &maps, spec(2), spec(2)).unwrap();
+
+        // Arity.
+        assert!(matches!(
+            session.push(SourceId::R, &[(&[1.0][..], 0)]),
+            Err(IngestError::Arity {
+                expected: 2,
+                got: 1,
+                ..
+            })
+        ));
+        // Out of declared bounds / non-finite.
+        assert!(matches!(
+            session.push(SourceId::R, &[(&[1.0, 200.0][..], 0)]),
+            Err(IngestError::OutOfBounds { dim: 1, .. })
+        ));
+        assert!(matches!(
+            session.push(SourceId::R, &[(&[f64::NAN, 1.0][..], 0)]),
+            Err(IngestError::OutOfBounds { dim: 0, .. })
+        ));
+        // Watermark regression: declare wm then push below it.
+        session.set_watermark(SourceId::R, &[50.0, 0.0]).unwrap();
+        assert!(matches!(
+            session.push(SourceId::R, &[(&[10.0, 5.0][..], 0)]),
+            Err(IngestError::RowBelowWatermark { dim: 0, watermark, .. }) if watermark == 50.0
+        ));
+        // Watermark retreat.
+        assert!(matches!(
+            session.set_watermark(SourceId::R, &[40.0, 0.0]),
+            Err(IngestError::WatermarkRetreat { dim: 0, .. })
+        ));
+        // Duplicate row ids.
+        session
+            .push_with_ids(SourceId::T, &[(7, &[1.0, 1.0][..], 0)])
+            .unwrap();
+        assert!(matches!(
+            session.push_with_ids(SourceId::T, &[(7, &[2.0, 2.0][..], 0)]),
+            Err(IngestError::DuplicateRow { row_id: 7, .. })
+        ));
+        // Closed source.
+        session.close(SourceId::T);
+        assert!(matches!(
+            session.push(SourceId::T, &[(&[1.0, 1.0][..], 0)]),
+            Err(IngestError::SourceClosed(SourceId::T))
+        ));
+
+        // The session still runs to a correct result afterwards.
+        session.push(SourceId::R, &[(&[60.0, 1.0][..], 0)]).unwrap();
+        session.close(SourceId::R);
+        let ids = drain_all(&mut session);
+        assert!(matches!(session.poll(), IngestPoll::Complete));
+        assert!(!session.finish().cancelled);
+        // R row (auto id 0 of R) joins T row id 7 on key 0.
+        assert_eq!(ids, vec![(0, 7)]);
+    }
+
+    #[test]
+    fn poll_needs_input_until_data_arrives() {
+        let maps = MapSet::pairwise_sum(1, Preference::all_lowest(1));
+        let mut session = IngestSession::open(
+            &ProgXeConfig::default(),
+            &maps,
+            StreamSpec::new(vec![0.0], vec![10.0]).unwrap(),
+            StreamSpec::new(vec![0.0], vec![10.0]).unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(session.poll(), IngestPoll::NeedInput));
+        session.push(SourceId::R, &[(&[1.0][..], 0)]).unwrap();
+        assert!(matches!(session.poll(), IngestPoll::NeedInput));
+        session.close(SourceId::R);
+        session.push(SourceId::T, &[(&[2.0][..], 0)]).unwrap();
+        session.close(SourceId::T);
+        let ids = drain_all(&mut session);
+        assert_eq!(ids, vec![(0, 0)]);
+        assert!(!session.finish().cancelled);
+    }
+
+    #[test]
+    fn cancel_on_never_closed_source_finishes_cleanly() {
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let mut session =
+            IngestSession::open(&ProgXeConfig::default(), &maps, spec(2), spec(2)).unwrap();
+        session.push(SourceId::R, &[(&[1.0, 1.0][..], 0)]).unwrap();
+        assert!(matches!(session.poll(), IngestPoll::NeedInput));
+        session.cancel();
+        assert!(matches!(session.poll(), IngestPoll::Complete));
+        let stats = session.finish();
+        assert!(stats.cancelled);
+        assert!(stats.regions_skipped > 0);
+    }
+
+    #[test]
+    fn watermark_on_a_float_slice_boundary_never_swallows_rows() {
+        // Regression: sealing used to compare the watermark against a
+        // *recomputed* slice boundary (lo + (s+1)·width), which at float
+        // boundaries can sit below the exact value — sealing slot 0 while
+        // `slot()` still placed a legal watermark-equal row into it,
+        // silently dropping the row from every join. Sealing now uses
+        // `slot(watermark)` itself, so admitted rows can never land in a
+        // sealed cell.
+        let maps = MapSet::pairwise_sum(1, Preference::all_lowest(1));
+        let config = ProgXeConfig::default().with_input_partitions(10);
+        let lo = 0.1f64;
+        let hi = 1.1f64;
+        let boundary = lo + (hi - lo) / 10.0; // fl(0.2) = 0.19999999999999998
+        let s = || StreamSpec::new(vec![lo], vec![hi]).unwrap();
+        let mut session = IngestSession::open(&config, &maps, s(), s()).unwrap();
+        session.set_watermark(SourceId::R, &[boundary]).unwrap();
+        // Legal (== watermark) row exactly on the computed boundary.
+        session.push(SourceId::R, &[(&[boundary][..], 0)]).unwrap();
+        session.close(SourceId::R);
+        session.push(SourceId::T, &[(&[0.5][..], 0)]).unwrap();
+        session.close(SourceId::T);
+        let ids = drain_all(&mut session);
+        assert_eq!(ids, vec![(0, 0)], "boundary row must survive to the join");
+        assert!(!session.finish().cancelled);
+    }
+
+    #[test]
+    fn max_row_id_does_not_overflow_auto_ids() {
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let mut session =
+            IngestSession::open(&ProgXeConfig::default(), &maps, spec(2), spec(2)).unwrap();
+        session
+            .push_with_ids(SourceId::R, &[(u32::MAX, &[1.0, 1.0][..], 0)])
+            .unwrap();
+        // A later auto-id push saturates instead of wrapping to 0 and
+        // colliding; the collision surfaces as a typed error, not a panic.
+        assert!(matches!(
+            session.push(SourceId::R, &[(&[2.0, 2.0][..], 0)]),
+            Err(IngestError::DuplicateRow {
+                row_id: u32::MAX,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn open_rejects_oversized_streaming_grids() {
+        let maps = MapSet::pairwise_sum(4, Preference::all_lowest(4));
+        let err = IngestSession::open(
+            &ProgXeConfig::default().with_input_partitions(8),
+            &maps,
+            spec(4),
+            spec(4),
+        );
+        assert!(matches!(err, Err(Error::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn stream_spec_validation() {
+        assert!(StreamSpec::new(vec![], vec![]).is_err());
+        assert!(StreamSpec::new(vec![0.0], vec![0.0, 1.0]).is_err());
+        assert!(StreamSpec::new(vec![2.0], vec![1.0]).is_err());
+        assert!(StreamSpec::new(vec![f64::NAN], vec![1.0]).is_err());
+        assert!(StreamSpec::new(vec![0.0], vec![f64::INFINITY]).is_err());
+        let s = StreamSpec::new(vec![0.0, 1.0], vec![5.0, 1.0]).unwrap();
+        assert_eq!(s.dims(), 2);
+    }
+}

@@ -30,7 +30,11 @@
 //! executes. Results are consumed either by pulling a streaming
 //! [`session::QuerySession`] (incremental batches, cancellation, `take(k)`
 //! early termination) or by pushing into a [`sink::ResultSink`] — the sink
-//! path is a thin adapter over the stream.
+//! path is a thin adapter over the stream. Sources that *arrive*
+//! incrementally (the paper's federated/web setting) go through the
+//! [`ingest`] module instead: an [`ingest::IngestSession`] accepts row
+//! batches, watermarks, and per-source close signals, and emits
+//! proven-final results while data is still in flight.
 //!
 //! ## Quick example
 //!
@@ -61,6 +65,7 @@ pub mod error;
 pub mod executor;
 pub mod fxhash;
 pub mod grid;
+pub mod ingest;
 pub mod lookahead;
 pub mod mapping;
 pub mod output_grid;
@@ -75,9 +80,10 @@ pub mod stats;
 pub mod tuple_level;
 
 pub use config::{OrderingPolicy, ProgXeConfig, SignatureConfig};
-pub use driver::{Committer, ExecutorBackend, RegionDriver, TaskSpawner};
+pub use driver::{Committer, DriverPoll, ExecutorBackend, Popped, RegionDriver, TaskSpawner};
 pub use error::{Error, Result};
 pub use executor::{ProgXe, RunOutput};
+pub use ingest::{IngestError, IngestPoll, IngestSession, SourceId, StreamSpec};
 pub use mapping::{GeneralMap, MapSet, MappingFunction, WeightedSum};
 pub use session::{CancellationToken, ProgressiveEngine, QuerySession, ResultEvent};
 pub use sink::{CollectSink, ProgressSink, ResultSink};
@@ -88,6 +94,7 @@ pub use stats::{ExecStats, ProgressRecord, ResultTuple};
 pub mod prelude {
     pub use crate::config::{OrderingPolicy, ProgXeConfig, SignatureConfig};
     pub use crate::executor::{ProgXe, RunOutput};
+    pub use crate::ingest::{IngestError, IngestPoll, IngestSession, SourceId, StreamSpec};
     pub use crate::mapping::{GeneralMap, MapSet, MappingFunction, WeightedSum};
     pub use crate::session::{CancellationToken, ProgressiveEngine, QuerySession, ResultEvent};
     pub use crate::sink::{CollectSink, ProgressSink, ResultSink};

@@ -71,6 +71,12 @@ impl ProgOrderQueue {
 
     /// Re-ranks a region already in the queue (Algorithm 1 line 13). The
     /// previous entry becomes stale and is skipped on pop.
+    ///
+    /// Also serves the readiness-gated schedule's *stall*: a just-popped
+    /// region whose input cells are not sealed yet is pushed back at its
+    /// unchanged rank. Rank and the id tie-break being equal, it wins the
+    /// next pop again (unless a genuinely better region arrived meanwhile),
+    /// so stalls never reorder the schedule.
     pub fn update(&mut self, region: u32, rank: f64) {
         self.push(region, rank);
     }
@@ -169,6 +175,21 @@ mod tests {
         assert!(!q.is_empty());
         assert_eq!(q.pop(), Some(0));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stalled_pop_requeue_preserves_pop_position() {
+        let mut q = ProgOrderQueue::new(3);
+        q.push(0, 1.0);
+        q.push(1, 5.0);
+        q.push(2, 3.0);
+        // Park the winner (a stalled gated pop) and pop again: same winner.
+        let (top, rank) = q.pop_entry().unwrap();
+        assert_eq!(top, 1);
+        q.update(top, rank);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(0));
     }
 
     #[test]

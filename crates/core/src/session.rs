@@ -53,6 +53,25 @@ pub struct ResultEvent {
     pub elapsed: Duration,
 }
 
+impl ResultEvent {
+    /// Normalizes the progress estimate against a session high-water mark:
+    /// clamped to `[0, 1]`, monotone non-decreasing, with non-finite
+    /// estimates degrading to the previous value. Shared by
+    /// [`QuerySession::next_batch`] and
+    /// [`IngestSession::poll`](crate::ingest::IngestSession::poll) so both
+    /// session types keep the same progress contract.
+    pub(crate) fn normalize_progress(&mut self, high_water: &mut f64) {
+        let p = self.progress_estimate;
+        let clamped = if p.is_finite() {
+            p.clamp(0.0, 1.0)
+        } else {
+            *high_water
+        };
+        *high_water = clamped.max(*high_water);
+        self.progress_estimate = *high_water;
+    }
+}
+
 /// Shareable cancellation flag threaded through the executor's phase loop.
 ///
 /// Cloning yields a handle to the *same* flag, so a consumer (or a timeout
@@ -291,14 +310,7 @@ impl<'a> QuerySession<'a> {
                 tuple.t_idx = t_rows[tuple.t_idx as usize];
             }
         }
-        let p = event.progress_estimate;
-        let clamped = if p.is_finite() {
-            p.clamp(0.0, 1.0)
-        } else {
-            self.last_progress
-        };
-        self.last_progress = clamped.max(self.last_progress);
-        event.progress_estimate = self.last_progress;
+        event.normalize_progress(&mut self.last_progress);
         self.emitted += event.tuples.len() as u64;
         Some(event)
     }

@@ -110,7 +110,22 @@ impl SourceData {
     }
 
     /// Appends one tuple; returns its row index.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when `attrs.len()` disagrees with
+    /// the source's declared dimensionality — previously this surfaced as
+    /// an opaque point-store assertion deep in the insert path.
     pub fn push(&mut self, attrs: &[f64], join_key: u32) -> usize {
+        assert_eq!(
+            attrs.len(),
+            self.attrs.dims(),
+            "SourceData::push arity mismatch: source declares {} attribute \
+             dimension(s) but the pushed row has {} (join_key {join_key}, \
+             row index {})",
+            self.attrs.dims(),
+            attrs.len(),
+            self.join_keys.len(),
+        );
         let idx = self.attrs.push(attrs);
         self.join_keys.push(join_key);
         idx
@@ -158,6 +173,21 @@ mod tests {
         assert_eq!(v.attrs_of(1), &[3.0, 4.0]);
         assert_eq!(v.join_key_of(0), 7);
         assert_eq!(v.max_join_key(), Some(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "SourceData::push arity mismatch: source declares 2")]
+    fn push_rejects_wrong_arity_with_context() {
+        let mut s = SourceData::new(2);
+        s.push(&[1.0, 2.0], 0);
+        s.push(&[1.0, 2.0, 3.0], 7); // 3 attrs into a 2-d source
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn from_rows_rejects_wrong_arity() {
+        // from_rows goes through push, so the diagnostic applies there too.
+        SourceData::from_rows(1, &[(&[1.0, 2.0], 0)]);
     }
 
     #[test]

@@ -103,6 +103,14 @@ pub struct ExecStats {
     /// Largest comparable-cell set examined by one insertion.
     pub comparable_cells_max: u64,
 
+    /// Rows accepted through streaming ingestion (both sources; 0 for
+    /// batch runs, whose inputs are materialized before `prepare`).
+    pub tuples_ingested: u64,
+    /// Regions whose input cells were sealed by watermarks or source close
+    /// during streaming ingestion, unlocking them for the readiness-gated
+    /// schedule (0 for batch runs — every region is born ready).
+    pub regions_unlocked: usize,
+
     /// Results emitted (equals the final skyline size on a full run; may be
     /// smaller when the run was cancelled).
     pub results_emitted: u64,

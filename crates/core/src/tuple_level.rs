@@ -66,7 +66,9 @@ pub struct TupleLevelStats {
 ///
 /// Generic over the consumer (not `dyn`) so both call sites — streaming
 /// insert and batch collection — keep `emit` inlinable in the hot loop.
-fn join_region<F: FnMut(u32, u32, &[f64])>(
+/// Crate-visible: the [`crate::ingest`] work units run the same loop over
+/// sealed stream partitions.
+pub(crate) fn join_region<F: FnMut(u32, u32, &[f64])>(
     r_part: &InputPartition,
     t_part: &InputPartition,
     r_src: &SourceView<'_>,
@@ -185,7 +187,9 @@ pub struct RegionCtx {
     t_keys: Vec<u32>,
     r_grid: InputGrid,
     t_grid: InputGrid,
-    regions: Vec<Region>,
+    /// Shared with the committer (which owns the schedule over the same
+    /// region vector) — an `Arc` slice so neither side copies it.
+    regions: std::sync::Arc<[Region]>,
     /// All-lowest preference over *oriented* values, for the local filter.
     lowest: Preference,
 }
@@ -202,7 +206,7 @@ impl RegionCtx {
         t_keys: Vec<u32>,
         r_grid: InputGrid,
         t_grid: InputGrid,
-        regions: Vec<Region>,
+        regions: std::sync::Arc<[Region]>,
     ) -> Self {
         let lowest = Preference::all_lowest(maps.out_dims());
         Self {
@@ -322,8 +326,9 @@ impl RegionBatch {
 /// Order-preserving bounded BNL filter: drops tuples dominated by another
 /// tuple of the same batch. Sound as a pre-filter because dominance is
 /// transitive; bounded by [`LOCAL_FILTER_WINDOW`] so a worker never does
-/// quadratic work on a huge region.
-fn local_skyline_filter(
+/// quadratic work on a huge region. Shared with the [`crate::ingest`]
+/// batch path.
+pub(crate) fn local_skyline_filter(
     ids: &mut Vec<(u32, u32)>,
     points: &mut PointStore,
     pref: &Preference,

@@ -1,0 +1,305 @@
+//! Arrival-schedule generators for streaming-ingestion experiments.
+//!
+//! The streaming engine (`progxe_core::ingest`) consumes per-source row
+//! batches plus optional per-dimension watermarks. This module turns a
+//! materialized [`Relation`] into an [`ArrivalSchedule`]: an ordered list
+//! of batches (row indices into the relation) with, optionally, the
+//! **tightest sound watermark** after each batch — the per-dimension
+//! minimum over every row still to come, which is valid for *any* row
+//! order. Under sorted arrival that watermark advances steadily and seals
+//! input-grid cells early; under a uniform shuffle it hugs the global
+//! minimum until the stream is nearly drained — the two ends of the
+//! "remote source friendliness" spectrum the ingest benchmarks sweep.
+//!
+//! Generators are deterministic given their seed, like everything in this
+//! crate.
+
+use crate::rng::{Rng, StdRng};
+use crate::Relation;
+
+/// In what order the relation's rows enter the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// Rows arrive in relation order (whatever the generator produced).
+    Original,
+    /// A seeded uniform shuffle — the adversarial case for watermarks.
+    UniformShuffle,
+    /// Rows sorted ascending by their per-row minimum attribute — the
+    /// friendly case: suffix minima rise, cells seal early, and (for
+    /// all-LOWEST preferences) the most result-relevant rows front-load.
+    AttrSorted,
+}
+
+/// How the ordered row stream is cut into batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Batching {
+    /// Fixed-size batches (the last one may be short).
+    Fixed(usize),
+    /// Seeded alternation of tiny and large batches: mostly `small`, with
+    /// roughly one in four batches jumping to `large`.
+    Bursty {
+        /// Size of the frequent small batches.
+        small: usize,
+        /// Size of the occasional large batches.
+        large: usize,
+    },
+}
+
+/// A full arrival-schedule specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalSpec {
+    /// Row order of the stream.
+    pub order: ArrivalOrder,
+    /// Batch sizing.
+    pub batching: Batching,
+    /// Emit a watermark after every `n`-th batch (`None` = never). The
+    /// watermark is always the tightest sound one (suffix minimum).
+    pub watermark_every: Option<usize>,
+    /// Seed for the shuffle and the bursty batch sizing.
+    pub seed: u64,
+}
+
+impl ArrivalSpec {
+    /// The adversarial baseline: seeded uniform shuffle, fixed batches,
+    /// watermarks after every batch (they will barely move).
+    pub fn uniform_shuffle(seed: u64, batch: usize) -> Self {
+        Self {
+            order: ArrivalOrder::UniformShuffle,
+            batching: Batching::Fixed(batch),
+            watermark_every: Some(1),
+            seed,
+        }
+    }
+
+    /// The friendly case: attribute-sorted arrival with per-batch
+    /// watermarks.
+    pub fn attr_sorted(batch: usize) -> Self {
+        Self {
+            order: ArrivalOrder::AttrSorted,
+            batching: Batching::Fixed(batch),
+            watermark_every: Some(1),
+            seed: 0,
+        }
+    }
+
+    /// Bursty arrival: sorted rows, alternating tiny/large batches,
+    /// watermarks after every batch.
+    pub fn bursty(seed: u64, small: usize, large: usize) -> Self {
+        Self {
+            order: ArrivalOrder::AttrSorted,
+            batching: Batching::Bursty { small, large },
+            watermark_every: Some(1),
+            seed,
+        }
+    }
+
+    /// The slow-remote-source workload: sorted arrival in many small
+    /// batches of `batch` rows with a watermark after each — first results
+    /// should appear long before the stream drains.
+    pub fn trickle(batch: usize) -> Self {
+        Self {
+            order: ArrivalOrder::AttrSorted,
+            batching: Batching::Fixed(batch.max(1)),
+            watermark_every: Some(1),
+            seed: 0,
+        }
+    }
+
+    /// Materializes the schedule for one relation.
+    pub fn schedule(&self, relation: &Relation) -> ArrivalSchedule {
+        let n = relation.len();
+        let dims = relation.dims();
+        let mut rows: Vec<u32> = (0..n as u32).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xA881_55C3_D1F0_9B2E);
+        match self.order {
+            ArrivalOrder::Original => {}
+            ArrivalOrder::UniformShuffle => {
+                for i in (1..rows.len()).rev() {
+                    let j = rng.gen_range(0..i + 1);
+                    rows.swap(i, j);
+                }
+            }
+            ArrivalOrder::AttrSorted => {
+                rows.sort_by(|&a, &b| {
+                    let min_of = |r: u32| {
+                        relation
+                            .attrs_of(r as usize)
+                            .iter()
+                            .cloned()
+                            .fold(f64::INFINITY, f64::min)
+                    };
+                    min_of(a).total_cmp(&min_of(b)).then_with(|| a.cmp(&b))
+                });
+            }
+        }
+
+        // Suffix minima: the tightest watermark valid after each prefix.
+        // suffix_min[i][d] = min over rows[i..] of attr d.
+        let mut suffix_min: Vec<Vec<f64>> = vec![vec![f64::INFINITY; dims]; n + 1];
+        for i in (0..n).rev() {
+            let attrs = relation.attrs_of(rows[i] as usize);
+            for d in 0..dims {
+                suffix_min[i][d] = suffix_min[i + 1][d].min(attrs[d]);
+            }
+        }
+
+        let mut batches = Vec::new();
+        let mut pos = 0usize;
+        let mut batch_index = 0usize;
+        while pos < n {
+            let size = match self.batching {
+                Batching::Fixed(s) => s.max(1),
+                Batching::Bursty { small, large } => {
+                    if rng.gen_range(0..4u32) == 0 {
+                        large.max(1)
+                    } else {
+                        small.max(1)
+                    }
+                }
+            };
+            let end = (pos + size).min(n);
+            let watermark = match self.watermark_every {
+                Some(every) if every > 0 && (batch_index + 1).is_multiple_of(every) && end < n => {
+                    // The suffix min can be -inf-free by construction; at
+                    // the end of the stream there is nothing left to
+                    // promise, so no watermark is emitted (close() covers
+                    // it).
+                    Some(suffix_min[end].clone())
+                }
+                _ => None,
+            };
+            batches.push(ArrivalBatch {
+                rows: rows[pos..end].to_vec(),
+                watermark,
+            });
+            pos = end;
+            batch_index += 1;
+        }
+        ArrivalSchedule { batches }
+    }
+}
+
+/// One arrival step: rows (indices into the source relation) and an
+/// optional watermark that becomes valid *after* the batch is pushed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalBatch {
+    /// Row indices of this batch, in arrival order.
+    pub rows: Vec<u32>,
+    /// Per-dimension lower bound on every later row, or `None`.
+    pub watermark: Option<Vec<f64>>,
+}
+
+/// A complete arrival schedule for one source relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalSchedule {
+    /// The batches, in arrival order. Every relation row appears exactly
+    /// once across them.
+    pub batches: Vec<ArrivalBatch>,
+}
+
+impl ArrivalSchedule {
+    /// Total rows across all batches.
+    pub fn total_rows(&self) -> usize {
+        self.batches.iter().map(|b| b.rows.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Distribution, WorkloadSpec};
+
+    fn relation() -> Relation {
+        WorkloadSpec::new(200, 3, Distribution::Independent, 0.05)
+            .with_seed(7)
+            .generate()
+            .r
+    }
+
+    fn covers_all_rows_once(schedule: &ArrivalSchedule, n: usize) {
+        let mut seen: Vec<u32> = schedule
+            .batches
+            .iter()
+            .flat_map(|b| b.rows.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn every_schedule_is_a_permutation() {
+        let rel = relation();
+        for spec in [
+            ArrivalSpec::uniform_shuffle(3, 17),
+            ArrivalSpec::attr_sorted(32),
+            ArrivalSpec::bursty(9, 5, 60),
+            ArrivalSpec::trickle(7),
+        ] {
+            let s = spec.schedule(&rel);
+            covers_all_rows_once(&s, rel.len());
+            assert_eq!(s.total_rows(), rel.len());
+        }
+    }
+
+    #[test]
+    fn watermarks_are_sound_for_any_order() {
+        let rel = relation();
+        for spec in [
+            ArrivalSpec::uniform_shuffle(11, 23),
+            ArrivalSpec::attr_sorted(25),
+            ArrivalSpec::bursty(2, 7, 40),
+        ] {
+            let s = spec.schedule(&rel);
+            for (i, batch) in s.batches.iter().enumerate() {
+                let Some(wm) = &batch.watermark else { continue };
+                for later in &s.batches[i + 1..] {
+                    for &row in &later.rows {
+                        for (d, &w) in wm.iter().enumerate() {
+                            assert!(
+                                rel.attrs_of(row as usize)[d] >= w,
+                                "row {row} violates watermark {wm:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_watermarks_actually_advance() {
+        let rel = relation();
+        let s = ArrivalSpec::attr_sorted(20).schedule(&rel);
+        let first = s.batches.first().and_then(|b| b.watermark.clone()).unwrap();
+        let late = s.batches[s.batches.len() / 2]
+            .watermark
+            .clone()
+            .expect("mid-stream watermark");
+        assert!(
+            late.iter().zip(&first).any(|(l, f)| l > f),
+            "sorted arrival must raise the watermark"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rel = relation();
+        let a = ArrivalSpec::uniform_shuffle(42, 13).schedule(&rel);
+        let b = ArrivalSpec::uniform_shuffle(42, 13).schedule(&rel);
+        assert_eq!(a, b);
+        let c = ArrivalSpec::uniform_shuffle(43, 13).schedule(&rel);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn watermark_cadence_respected() {
+        let rel = relation();
+        let mut spec = ArrivalSpec::attr_sorted(10);
+        spec.watermark_every = Some(3);
+        let s = spec.schedule(&rel);
+        for (i, b) in s.batches.iter().enumerate() {
+            let expect = (i + 1) % 3 == 0 && i + 1 < s.batches.len();
+            assert_eq!(b.watermark.is_some(), expect, "batch {i}");
+        }
+    }
+}

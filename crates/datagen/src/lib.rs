@@ -24,11 +24,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod distribution;
 pub mod relation;
 pub mod rng;
 pub mod workload;
 
+pub use arrival::{ArrivalBatch, ArrivalOrder, ArrivalSchedule, ArrivalSpec, Batching};
 pub use distribution::Distribution;
 pub use relation::Relation;
 pub use rng::{Rng, StdRng};

@@ -50,10 +50,25 @@ pub struct BoundTable {
     pub data: SourceData,
 }
 
+/// A schema registered for streaming ingestion: no materialized rows, but
+/// declared per-column value bounds. The bounds fix the streaming input
+/// grid's geometry before any row arrives (see `progxe_core::ingest`);
+/// rows pushed outside them are rejected.
+#[derive(Debug, Clone)]
+pub struct StreamTable {
+    /// The schema.
+    pub schema: TableSchema,
+    /// Declared per-column lower bounds (aligned with `schema.columns`).
+    pub lo: Vec<f64>,
+    /// Declared per-column upper bounds (aligned with `schema.columns`).
+    pub hi: Vec<f64>,
+}
+
 /// A set of named tables available to queries.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, BoundTable>,
+    streams: HashMap<String, StreamTable>,
 }
 
 impl Catalog {
@@ -88,9 +103,50 @@ impl Catalog {
         self.tables.get(&name.to_ascii_lowercase())
     }
 
+    /// Registers (or replaces) a streaming table: a schema whose rows will
+    /// arrive incrementally through a
+    /// [`StreamingQuery`](crate::exec::StreamingQuery), plus declared
+    /// per-column value bounds.
+    ///
+    /// # Panics
+    /// Panics when the bounds' arity differs from the schema, or a bound
+    /// pair is non-finite / inverted.
+    pub fn register_streaming(&mut self, schema: TableSchema, lo: Vec<f64>, hi: Vec<f64>) {
+        assert_eq!(
+            schema.columns.len(),
+            lo.len(),
+            "declared bounds arity must match schema {:?}",
+            schema.name
+        );
+        assert_eq!(lo.len(), hi.len(), "bounds must be parallel");
+        for (l, h) in lo.iter().zip(&hi) {
+            assert!(
+                l.is_finite() && h.is_finite() && l <= h,
+                "streaming bounds must be finite with lo <= hi ({:?})",
+                schema.name
+            );
+        }
+        self.streams.insert(
+            schema.name.to_ascii_lowercase(),
+            StreamTable { schema, lo, hi },
+        );
+    }
+
+    /// Looks up a streaming table case-insensitively.
+    pub fn streaming(&self, name: &str) -> Option<&StreamTable> {
+        self.streams.get(&name.to_ascii_lowercase())
+    }
+
     /// Registered table names (lower-cased), sorted.
     pub fn table_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Registered streaming-table names (lower-cased), sorted.
+    pub fn streaming_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.streams.keys().cloned().collect();
         names.sort();
         names
     }

@@ -9,13 +9,14 @@
 
 use crate::catalog::Catalog;
 use crate::parser::{parse_query, ParseError};
-use crate::plan::{plan, PlanError, PlannedQuery};
+use crate::plan::{plan, plan_streaming, PlanError, PlannedQuery, SideFilter};
 use progxe_baselines::{JfSlEngine, SajEngine, SkyAlgo, SsmjEngine};
 use progxe_core::config::ProgXeConfig;
 use progxe_core::executor::ProgXe;
+use progxe_core::ingest::{IngestError, IngestPoll, IngestSession, SourceId, StreamSpec};
 use progxe_core::session::{ProgressiveEngine, QuerySession};
 use progxe_core::sink::ResultSink;
-use progxe_core::stats::ResultTuple;
+use progxe_core::stats::{ExecStats, ResultTuple};
 use progxe_runtime::{EngineRuntime, ParallelProgXe};
 use std::fmt;
 use std::sync::Arc;
@@ -171,6 +172,11 @@ pub enum QueryError {
     Plan(PlanError),
     /// Executor failure.
     Exec(progxe_core::error::Error),
+    /// Streaming-ingestion failure (bad batch, watermark regression, …).
+    Ingest(IngestError),
+    /// The requested engine cannot serve this consumption model (e.g.
+    /// streaming ingestion on a blocking baseline).
+    Unsupported(&'static str),
 }
 
 impl fmt::Display for QueryError {
@@ -179,6 +185,8 @@ impl fmt::Display for QueryError {
             QueryError::Parse(e) => write!(f, "{e}"),
             QueryError::Plan(e) => write!(f, "{e}"),
             QueryError::Exec(e) => write!(f, "{e}"),
+            QueryError::Ingest(e) => write!(f, "{e}"),
+            QueryError::Unsupported(what) => write!(f, "unsupported: {what}"),
         }
     }
 }
@@ -198,6 +206,107 @@ impl From<PlanError> for QueryError {
 impl From<progxe_core::error::Error> for QueryError {
     fn from(e: progxe_core::error::Error) -> Self {
         QueryError::Exec(e)
+    }
+}
+impl From<IngestError> for QueryError {
+    fn from(e: IngestError) -> Self {
+        QueryError::Ingest(e)
+    }
+}
+
+/// A running streaming SkyMapJoin query over two streaming-registered
+/// tables (see
+/// [`Catalog::register_streaming`](crate::catalog::Catalog::register_streaming)).
+///
+/// Wraps a core [`IngestSession`]: pushed rows first pass the plan's WHERE
+/// filters (selection push-down, applied per batch instead of per table),
+/// then enter the engine with their *table row ids* — the arrival position
+/// per source, exactly the ids a materialized run would report. Filtered
+/// rows still consume an id, keeping ids stable under filtering.
+pub struct StreamingQuery {
+    session: IngestSession,
+    output_names: Vec<String>,
+    r_filters: Vec<SideFilter>,
+    t_filters: Vec<SideFilter>,
+    /// Declared column count per side (arity-checked before filtering).
+    dims: [usize; 2],
+    /// Next arrival-position row id per side.
+    next_id: [u32; 2],
+}
+
+impl StreamingQuery {
+    /// Output attribute names, aligned with emitted
+    /// [`ResultTuple::values`].
+    pub fn output_names(&self) -> &[String] {
+        &self.output_names
+    }
+
+    /// Pushes a batch of `(attrs, join_key)` rows for `source`. Rows
+    /// failing the plan's WHERE filters are dropped (but still consume a
+    /// row id). Atomic per batch, like [`IngestSession::push_with_ids`].
+    pub fn push(&mut self, source: SourceId, rows: &[(&[f64], u32)]) -> Result<(), QueryError> {
+        let (filters, slot) = match source {
+            SourceId::R => (&self.r_filters, 0),
+            SourceId::T => (&self.t_filters, 1),
+        };
+        // Arity is validated here, before filtering: a malformed row must
+        // surface as a typed error even when a WHERE filter would have
+        // dropped it (the filter could otherwise mask the defect by
+        // reading past the short row's end).
+        for &(attrs, _key) in rows {
+            if attrs.len() != self.dims[slot] {
+                return Err(QueryError::Ingest(
+                    progxe_core::ingest::IngestError::Arity {
+                        source,
+                        expected: self.dims[slot],
+                        got: attrs.len(),
+                    },
+                ));
+            }
+        }
+        let base = self.next_id[slot];
+        let mut kept: Vec<(u32, &[f64], u32)> = Vec::with_capacity(rows.len());
+        for (i, &(attrs, key)) in rows.iter().enumerate() {
+            if filters.iter().all(|&(idx, op, v)| op.eval(attrs[idx], v)) {
+                kept.push((base + i as u32, attrs, key));
+            }
+        }
+        self.session.push_with_ids(source, &kept)?;
+        // Ids advance only once the batch is accepted (atomicity).
+        self.next_id[slot] = base + rows.len() as u32;
+        Ok(())
+    }
+
+    /// Declares that all future rows of `source` are ≥ `watermark` per
+    /// column (pre-filter values).
+    pub fn set_watermark(&mut self, source: SourceId, watermark: &[f64]) -> Result<(), QueryError> {
+        Ok(self.session.set_watermark(source, watermark)?)
+    }
+
+    /// Declares `source` complete. Idempotent.
+    pub fn close(&mut self, source: SourceId) {
+        self.session.close(source);
+    }
+
+    /// Pulls the next proven-final result batch (row ids refer to the
+    /// streamed tables' arrival positions).
+    pub fn poll(&mut self) -> IngestPoll {
+        self.session.poll()
+    }
+
+    /// Drains every currently deliverable batch.
+    pub fn drain_ready(&mut self) -> Vec<progxe_core::session::ResultEvent> {
+        self.session.drain_ready()
+    }
+
+    /// Requests cancellation.
+    pub fn cancel(&mut self) {
+        self.session.cancel();
+    }
+
+    /// Consumes the query and returns its statistics.
+    pub fn finish(self) -> ExecStats {
+        self.session.finish()
     }
 }
 
@@ -278,6 +387,46 @@ impl QueryRunner {
             results: out.results,
             output_names: planned.output_names,
             stats: out.stats,
+        })
+    }
+
+    /// Opens a streaming SkyMapJoin query: parses and plans `sql` against
+    /// the catalog's *streaming* tables, then starts a readiness-gated
+    /// ingest session on `engine` (ProgXe only — the blocking baselines
+    /// cannot produce anything before their inputs complete, which is the
+    /// exact failure mode streaming ingestion exists to avoid).
+    ///
+    /// `threads > 1` on the engine routes region compute through its
+    /// shared worker pool; results are identical to the inline backend.
+    pub fn ingest_session(&self, sql: &str, engine: &Engine) -> Result<StreamingQuery, QueryError> {
+        let query = parse_query(sql)?;
+        let streaming = plan_streaming(&query, &self.catalog)?;
+        let Engine::ProgXe { config, runtime } = engine else {
+            return Err(QueryError::Unsupported(
+                "streaming ingestion requires the progxe engine",
+            ));
+        };
+        let r_spec = StreamSpec::new(streaming.r.lo.clone(), streaming.r.hi.clone())?;
+        let t_spec = StreamSpec::new(streaming.t.lo.clone(), streaming.t.hi.clone())?;
+        let dims = [r_spec.dims(), t_spec.dims()];
+        // Pooled-backend construction lives in one place: the runtime
+        // crate's engine (same dispatch shape as `Engine::build`).
+        let session = if config.threads.get() > 1 {
+            ParallelProgXe::with_runtime((**config).clone(), Arc::clone(runtime)).open_ingest(
+                &streaming.compiled.maps,
+                r_spec,
+                t_spec,
+            )?
+        } else {
+            IngestSession::open(config, &streaming.compiled.maps, r_spec, t_spec)?
+        };
+        Ok(StreamingQuery {
+            session,
+            output_names: streaming.compiled.output_names,
+            r_filters: streaming.compiled.r_filters,
+            t_filters: streaming.compiled.t_filters,
+            dims,
+            next_id: [0, 0],
         })
     }
 
@@ -530,6 +679,97 @@ mod tests {
         let one = runner.run_take(Q1, &engine, 1).unwrap();
         assert_eq!(one.results.len(), 1);
         assert_eq!(one.results[0], full.results[0]);
+    }
+
+    #[test]
+    fn streaming_query_matches_batch_run() {
+        // Register the same logical tables both ways; stream the rows in
+        // two batches and compare against the materialized run.
+        let mut cat = q1_catalog();
+        let sup = cat.table("suppliers").unwrap().clone();
+        let tra = cat.table("transporters").unwrap().clone();
+        cat.register_streaming(sup.schema.clone(), vec![0.0; 3], vec![1000.0; 3]);
+        cat.register_streaming(tra.schema.clone(), vec![0.0; 2], vec![1000.0; 2]);
+        let runner = QueryRunner::new(cat);
+        let batch = runner.run_collect(Q1, &Engine::progxe()).unwrap();
+
+        for engine in [Engine::progxe(), Engine::progxe_threads(3)] {
+            let mut q = runner.ingest_session(Q1, &engine).unwrap();
+            assert_eq!(q.output_names(), &["tCost", "delay"]);
+            // Supplier rows one at a time (row 2 fails manCap >= 100 and
+            // must still consume id 2).
+            for row in 0..sup.data.len() {
+                q.push(
+                    SourceId::R,
+                    &[(sup.data.attrs.point(row), sup.data.join_keys[row])],
+                )
+                .unwrap();
+            }
+            q.close(SourceId::R);
+            q.push(
+                SourceId::T,
+                &(0..tra.data.len())
+                    .map(|i| (tra.data.attrs.point(i), tra.data.join_keys[i]))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+            q.close(SourceId::T);
+            let mut streamed: Vec<(u32, u32)> = q
+                .drain_ready()
+                .iter()
+                .flat_map(|e| e.tuples.iter().map(|t| (t.r_idx, t.t_idx)))
+                .collect();
+            let stats = q.finish();
+            assert!(!stats.cancelled, "{engine}");
+            assert_eq!(stats.tuples_ingested, 4, "filtered row never ingested");
+            streamed.sort_unstable();
+            let mut expected: Vec<(u32, u32)> =
+                batch.results.iter().map(|t| (t.r_idx, t.t_idx)).collect();
+            expected.sort_unstable();
+            assert_eq!(streamed, expected, "{engine}");
+        }
+    }
+
+    #[test]
+    fn streaming_push_surfaces_arity_errors_even_under_filters() {
+        // Q1 filters on Suppliers column 2 (manCap >= 100); a short row
+        // must be a typed Arity error, never a silent filter-drop.
+        let mut cat = q1_catalog();
+        let sup = cat.table("suppliers").unwrap().schema.clone();
+        let tra = cat.table("transporters").unwrap().schema.clone();
+        cat.register_streaming(sup, vec![0.0; 3], vec![1000.0; 3]);
+        cat.register_streaming(tra, vec![0.0; 2], vec![1000.0; 2]);
+        let runner = QueryRunner::new(cat);
+        let mut q = runner.ingest_session(Q1, &Engine::progxe()).unwrap();
+        let err = q.push(SourceId::R, &[(&[1.0, 2.0][..], 0)]);
+        assert!(matches!(
+            err,
+            Err(QueryError::Ingest(IngestError::Arity {
+                expected: 3,
+                got: 2,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn streaming_query_rejects_baselines_and_unregistered_tables() {
+        let mut cat = q1_catalog();
+        let sup = cat.table("suppliers").unwrap().schema.clone();
+        let tra = cat.table("transporters").unwrap().schema.clone();
+        let runner = QueryRunner::new(cat.clone());
+        // Registered as batch tables only → NotStreaming.
+        assert!(matches!(
+            runner.ingest_session(Q1, &Engine::progxe()),
+            Err(QueryError::Plan(crate::plan::PlanError::NotStreaming(_)))
+        ));
+        cat.register_streaming(sup, vec![0.0; 3], vec![1000.0; 3]);
+        cat.register_streaming(tra, vec![0.0; 2], vec![1000.0; 2]);
+        let runner = QueryRunner::new(cat);
+        assert!(matches!(
+            runner.ingest_session(Q1, &Engine::jfsl_sfs()),
+            Err(QueryError::Unsupported(_))
+        ));
     }
 
     #[test]

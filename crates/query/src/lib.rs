@@ -27,7 +27,7 @@ pub mod parser;
 pub mod plan;
 
 pub use ast::{ComparisonOp, Expr, Query};
-pub use catalog::{Catalog, TableSchema};
-pub use exec::{Engine, QueryRunner};
+pub use catalog::{Catalog, StreamTable, TableSchema};
+pub use exec::{Engine, QueryRunner, StreamingQuery};
 pub use parser::{parse_query, ParseError};
-pub use plan::{PlanError, PlannedQuery};
+pub use plan::{CompiledQuery, PlanError, PlannedQuery, StreamingPlan};

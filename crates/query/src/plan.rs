@@ -1,8 +1,8 @@
 //! Planner: validates a parsed [`Query`] against a [`Catalog`] and compiles
 //! it into executor-ready artifacts (filtered sources + a [`MapSet`]).
 
-use crate::ast::{ColumnRef, Expr, Query};
-use crate::catalog::{BoundTable, Catalog};
+use crate::ast::{ColumnRef, ComparisonOp, Expr, Query};
+use crate::catalog::{Catalog, StreamTable, TableSchema};
 use progxe_core::mapping::{MapSet, MappingFunction, WeightedSum};
 use progxe_core::source::SourceData;
 use progxe_skyline::{Order, Preference};
@@ -13,6 +13,8 @@ use std::fmt;
 pub enum PlanError {
     /// FROM references a table the catalog does not know.
     UnknownTable(String),
+    /// A streaming plan references a table that is not streaming-registered.
+    NotStreaming(String),
     /// An expression references an alias not bound in FROM.
     UnknownAlias(String),
     /// A column is not part of its table's schema.
@@ -33,6 +35,11 @@ impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanError::UnknownTable(t) => write!(f, "unknown table {t:?}"),
+            PlanError::NotStreaming(t) => write!(
+                f,
+                "table {t:?} is not registered for streaming ingestion \
+                 (use Catalog::register_streaming)"
+            ),
             PlanError::UnknownAlias(a) => write!(f, "unknown alias {a:?}"),
             PlanError::UnknownColumn(t, c) => write!(f, "unknown column {t}.{c}"),
             PlanError::BadJoin(m) => write!(f, "bad join predicate: {m}"),
@@ -75,17 +82,33 @@ enum SideOf {
     T,
 }
 
-/// Compiles `query` against `catalog`.
-pub fn plan(query: &Query, catalog: &Catalog) -> Result<PlannedQuery, PlanError> {
+/// One compiled side filter: `(column index, comparison, literal)`.
+pub type SideFilter = (usize, ComparisonOp, f64);
+
+/// The data-independent part of a plan: compiled maps, preference, output
+/// names, and per-side filters. The batch planner applies the filters to
+/// materialized data; the streaming runner applies them per pushed batch.
+pub struct CompiledQuery {
+    /// Compiled mapping functions + preference.
+    pub maps: MapSet,
+    /// Output attribute names, in map order.
+    pub output_names: Vec<String>,
+    /// Filters on the R side (selection push-down below the join).
+    pub r_filters: Vec<SideFilter>,
+    /// Filters on the T side.
+    pub t_filters: Vec<SideFilter>,
+}
+
+/// Validates and compiles `query` against the two source schemas — the
+/// shared front half of [`plan`] and [`plan_streaming`].
+pub fn compile(
+    query: &Query,
+    r_schema: &TableSchema,
+    t_schema: &TableSchema,
+) -> Result<CompiledQuery, PlanError> {
     if query.outputs.is_empty() {
         return Err(PlanError::NoOutputs);
     }
-    let r_table = catalog
-        .table(&query.sources[0].table)
-        .ok_or_else(|| PlanError::UnknownTable(query.sources[0].table.clone()))?;
-    let t_table = catalog
-        .table(&query.sources[1].table)
-        .ok_or_else(|| PlanError::UnknownTable(query.sources[1].table.clone()))?;
     let r_alias = &query.sources[0].alias;
     let t_alias = &query.sources[1].alias;
 
@@ -98,10 +121,10 @@ pub fn plan(query: &Query, catalog: &Catalog) -> Result<PlannedQuery, PlanError>
             Err(PlanError::UnknownAlias(alias.to_owned()))
         }
     };
-    let table_of = |side: SideOf| -> &BoundTable {
+    let schema_of = |side: SideOf| -> &TableSchema {
         match side {
-            SideOf::R => r_table,
-            SideOf::T => t_table,
+            SideOf::R => r_schema,
+            SideOf::T => t_schema,
         }
     };
 
@@ -113,7 +136,7 @@ pub fn plan(query: &Query, catalog: &Catalog) -> Result<PlannedQuery, PlanError>
             return Err(PlanError::BadJoin("both sides bind the same source".into()));
         }
         for (side, col) in [(ls, &query.join.left), (rs, &query.join.right)] {
-            let schema = &table_of(side).schema;
+            let schema = schema_of(side);
             if !schema.is_key(&col.column) {
                 return Err(PlanError::BadJoin(format!(
                     "{}.{} is not the join-key column ({})",
@@ -126,7 +149,7 @@ pub fn plan(query: &Query, catalog: &Catalog) -> Result<PlannedQuery, PlanError>
     // Resolve a numeric column to (side, index).
     let resolve = |col: &ColumnRef| -> Result<(SideOf, usize), PlanError> {
         let side = side_of(&col.alias)?;
-        let schema = &table_of(side).schema;
+        let schema = schema_of(side);
         if schema.is_key(&col.column) {
             return Err(PlanError::KeyInExpression(col.column.clone()));
         }
@@ -139,8 +162,8 @@ pub fn plan(query: &Query, catalog: &Catalog) -> Result<PlannedQuery, PlanError>
 
     // Compile outputs into weighted sums.
     let compile_expr = |expr: &Expr| -> Result<WeightedSum, PlanError> {
-        let mut rw = vec![0.0; r_table.schema.columns.len()];
-        let mut tw = vec![0.0; t_table.schema.columns.len()];
+        let mut rw = vec![0.0; r_schema.columns.len()];
+        let mut tw = vec![0.0; t_schema.columns.len()];
         for (coeff, col) in &expr.terms {
             let (side, idx) = resolve(col)?;
             match side {
@@ -175,7 +198,7 @@ pub fn plan(query: &Query, catalog: &Catalog) -> Result<PlannedQuery, PlanError>
     let maps =
         MapSet::new(maps, Preference::new(pref_orders)).expect("arity consistent by construction");
 
-    // Apply filters per side (selection push-down below the join).
+    // Compile filters per side (selection push-down below the join).
     let mut r_filters = Vec::new();
     let mut t_filters = Vec::new();
     for fp in &query.filters {
@@ -185,23 +208,74 @@ pub fn plan(query: &Query, catalog: &Catalog) -> Result<PlannedQuery, PlanError>
             SideOf::T => t_filters.push((idx, fp.op, fp.value)),
         }
     }
-    let (r, r_rows) = apply_filters(&r_table.data, &r_filters);
-    let (t, t_rows) = apply_filters(&t_table.data, &t_filters);
+
+    Ok(CompiledQuery {
+        maps,
+        output_names: query.outputs.iter().map(|o| o.name.clone()).collect(),
+        r_filters,
+        t_filters,
+    })
+}
+
+/// Compiles `query` against `catalog`.
+pub fn plan(query: &Query, catalog: &Catalog) -> Result<PlannedQuery, PlanError> {
+    let r_table = catalog
+        .table(&query.sources[0].table)
+        .ok_or_else(|| PlanError::UnknownTable(query.sources[0].table.clone()))?;
+    let t_table = catalog
+        .table(&query.sources[1].table)
+        .ok_or_else(|| PlanError::UnknownTable(query.sources[1].table.clone()))?;
+    let compiled = compile(query, &r_table.schema, &t_table.schema)?;
+
+    let (r, r_rows) = apply_filters(&r_table.data, &compiled.r_filters);
+    let (t, t_rows) = apply_filters(&t_table.data, &compiled.t_filters);
 
     Ok(PlannedQuery {
         r,
         t,
         r_rows,
         t_rows,
-        maps,
-        output_names: query.outputs.iter().map(|o| o.name.clone()).collect(),
+        maps: compiled.maps,
+        output_names: compiled.output_names,
     })
 }
 
-fn apply_filters(
-    data: &SourceData,
-    filters: &[(usize, crate::ast::ComparisonOp, f64)],
-) -> (SourceData, Vec<u32>) {
+/// A compiled query over two *streaming* tables: everything the batch plan
+/// carries except materialized data, plus the declared value bounds that
+/// fix the streaming grid geometry.
+pub struct StreamingPlan {
+    /// The data-independent compiled artifacts.
+    pub compiled: CompiledQuery,
+    /// The R-side streaming table (schema + declared bounds).
+    pub r: StreamTable,
+    /// The T-side streaming table.
+    pub t: StreamTable,
+}
+
+/// Compiles `query` against the catalog's *streaming* tables. Both FROM
+/// tables must have been registered with
+/// [`Catalog::register_streaming`](crate::catalog::Catalog::register_streaming).
+pub fn plan_streaming(query: &Query, catalog: &Catalog) -> Result<StreamingPlan, PlanError> {
+    let lookup = |name: &str| -> Result<&StreamTable, PlanError> {
+        catalog.streaming(name).ok_or_else(|| {
+            if catalog.table(name).is_some() {
+                PlanError::NotStreaming(name.to_owned())
+            } else {
+                PlanError::UnknownTable(name.to_owned())
+            }
+        })
+    };
+    let r_table = lookup(&query.sources[0].table)?;
+    let t_table = lookup(&query.sources[1].table)?;
+    let compiled = compile(query, &r_table.schema, &t_table.schema)?;
+    Ok(StreamingPlan {
+        compiled,
+        r: r_table.clone(),
+        t: t_table.clone(),
+    })
+}
+
+fn apply_filters(data: &SourceData, filters: &[SideFilter]) -> (SourceData, Vec<u32>) {
     if filters.is_empty() {
         return (data.clone(), (0..data.len() as u32).collect());
     }
