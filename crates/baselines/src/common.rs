@@ -6,8 +6,8 @@ use progxe_core::mapping::MapSet;
 use progxe_core::source::SourceView;
 use progxe_core::stats::ResultTuple;
 use progxe_skyline::{
-    bnl_skyline, dnc_skyline, naive_skyline, salsa_skyline, sfs_skyline, PointStore, Preference,
-    SkylineResult,
+    bnl_skyline, bnl_skyline_under, dnc_skyline, naive_skyline, salsa_skyline, sfs_skyline,
+    sfs_skyline_under, PointStore, Preference, SkylineResult,
 };
 use std::str::FromStr;
 use std::time::Duration;
@@ -34,6 +34,32 @@ impl SkyAlgo {
             SkyAlgo::Sfs => sfs_skyline(store, pref),
             SkyAlgo::Dnc => dnc_skyline(store, pref),
             SkyAlgo::Salsa => salsa_skyline(store, pref),
+        }
+    }
+
+    /// Runs the selected algorithm under the query's [`MapSet`] dominance
+    /// model. Pareto queries take the historical path unchanged. Under a
+    /// flexible model, BNL and SFS run **natively** on the model (both
+    /// only need a strict partial order / a strictly monotone presort
+    /// score); D&C and SaLSa — whose internals lean on coordinate-wise
+    /// Pareto geometry — compute the Pareto skyline first and then apply
+    /// the F-dominance filter, which is exact by the composition property
+    /// (see `progxe_core::fdom`): every F-dominator of a Pareto-skyline
+    /// member either is itself a member or is Pareto-dominated by one that
+    /// also F-dominates.
+    pub fn run_model(self, store: &PointStore, maps: &MapSet) -> SkylineResult {
+        if maps.dominance().is_pareto() {
+            return self.run(store, maps.preference());
+        }
+        let view = maps.dominance_view();
+        match self {
+            SkyAlgo::Bnl => bnl_skyline_under(store, &view),
+            SkyAlgo::Sfs => sfs_skyline_under(store, &view),
+            SkyAlgo::Dnc | SkyAlgo::Salsa => {
+                let mut pareto = self.run(store, maps.preference());
+                fdom_filter_members(store, maps, &mut pareto);
+                pareto
+            }
         }
     }
 
@@ -166,8 +192,22 @@ pub fn results_from(out: &JoinedOutput, indices: &[usize]) -> Vec<ResultTuple> {
         .collect()
 }
 
-/// Reference answer: full nested-loop join + naive skyline. The correctness
-/// oracle for every algorithm in the workspace.
+/// Exact flexible-skyline filter over the members of a Pareto skyline:
+/// keeps member `i` iff no *member* F-dominates it. Complete by the
+/// composition property (every evicted F-dominator is represented by a
+/// surviving Pareto dominator that also F-dominates).
+fn fdom_filter_members(store: &PointStore, maps: &MapSet, sky: &mut SkylineResult) {
+    let members = sky.indices.clone();
+    sky.indices.retain(|&i| {
+        !members
+            .iter()
+            .any(|&j| j != i && maps.result_dominates(store.point(j), store.point(i)))
+    });
+}
+
+/// Reference answer: full nested-loop join + naive skyline under the
+/// query's dominance model (Pareto by default, F-dominance for flexible
+/// queries). The correctness oracle for every algorithm in the workspace.
 pub fn oracle_smj(r: &SourceView<'_>, t: &SourceView<'_>, maps: &MapSet) -> Vec<ResultTuple> {
     let mut out = JoinedOutput::new(maps.out_dims());
     let mut buf = Vec::new();
@@ -181,7 +221,11 @@ pub fn oracle_smj(r: &SourceView<'_>, t: &SourceView<'_>, maps: &MapSet) -> Vec<
             out.ids.push((ri as u32, ti as u32));
         }
     }
-    let sky = naive_skyline(&out.points, maps.preference());
+    let sky = if maps.dominance().is_pareto() {
+        naive_skyline(&out.points, maps.preference())
+    } else {
+        progxe_skyline::naive_skyline_under(&out.points, &maps.dominance_view())
+    };
     let mut res = results_from(&out, &sky.indices);
     res.sort_by_key(|x| (x.r_idx, x.t_idx));
     res
@@ -235,6 +279,51 @@ mod tests {
         let maps = MapSet::pairwise_sum(1, Preference::all_lowest(1));
         let res = oracle_smj(&r.view(), &t.view(), &maps);
         assert_eq!(sorted_ids(&res), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn run_model_agrees_across_algorithms_under_fdominance() {
+        use progxe_core::fdom::{DominanceModel, FDominance, WeightConstraint};
+        use progxe_skyline::naive_skyline_under;
+
+        let mut rows = Vec::new();
+        let mut x: u64 = 31;
+        let mut next = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) % 100) as f64 / 10.0
+        };
+        for _ in 0..80 {
+            rows.push([next(), next()]);
+        }
+        let store = PointStore::from_rows(2, rows.iter());
+        let fdom = FDominance::new(
+            2,
+            vec![
+                WeightConstraint::at_least(2, 0, 0.3),
+                WeightConstraint::at_most(2, 0, 0.7),
+            ],
+        )
+        .unwrap();
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2))
+            .with_dominance(DominanceModel::flexible(fdom))
+            .unwrap();
+        let expected = naive_skyline_under(&store, &maps.dominance_view()).sorted_indices();
+        let pareto = naive_skyline(&store, maps.preference()).sorted_indices();
+        assert!(
+            expected.len() < pareto.len(),
+            "constraints should shrink the skyline ({} vs {})",
+            expected.len(),
+            pareto.len()
+        );
+        for algo in [SkyAlgo::Bnl, SkyAlgo::Sfs, SkyAlgo::Dnc, SkyAlgo::Salsa] {
+            assert_eq!(
+                algo.run_model(&store, &maps).sorted_indices(),
+                expected,
+                "{algo:?} diverged under the flexible model"
+            );
+        }
     }
 
     #[test]

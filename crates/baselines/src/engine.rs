@@ -300,6 +300,46 @@ mod tests {
     }
 
     #[test]
+    fn all_baselines_compute_the_flexible_skyline() {
+        use progxe_core::fdom::{DominanceModel, FDominance, WeightConstraint};
+        let r = random_source(120, 2, 4, 11);
+        let t = random_source(120, 2, 4, 12);
+        let fdom = FDominance::new(
+            2,
+            vec![
+                WeightConstraint::at_least(2, 0, 0.35),
+                WeightConstraint::at_most(2, 0, 0.65),
+            ],
+        )
+        .unwrap();
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2))
+            .with_dominance(DominanceModel::flexible(fdom))
+            .unwrap();
+        let pareto_maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let expected = sorted_ids(&oracle_smj(&r.view(), &t.view(), &maps));
+        let pareto = sorted_ids(&oracle_smj(&r.view(), &t.view(), &pareto_maps));
+        assert!(
+            expected.len() < pareto.len(),
+            "weight constraints should shrink the answer ({} vs {})",
+            expected.len(),
+            pareto.len()
+        );
+        for engine in engines() {
+            let out = engine.run_collect(&r.view(), &t.view(), &maps).unwrap();
+            let mut emitted = sorted_ids(&out.results);
+            emitted.dedup(); // SSMJ batch-1 may repeat final tuples
+                             // Emitted must cover the F-skyline; surplus only from SSMJ's
+                             // tentative batch 1.
+            for id in &expected {
+                assert!(emitted.contains(id), "{} missing {id:?}", engine.name());
+            }
+            if engine.name() != "ssmj" {
+                assert_eq!(emitted, expected, "{}", engine.name());
+            }
+        }
+    }
+
+    #[test]
     fn ssmj_first_batch_is_tentative() {
         // The Section VII construction: batch 1 contains a tuple the final
         // skyline disowns, so the stream must not mark it proven final.

@@ -73,7 +73,7 @@ fn run<S: ResultSink + ?Sized>(
     );
     stats.join_matches = out.len() as u64;
 
-    let sky = algo.run(&out.points, maps.preference());
+    let sky = algo.run_model(&out.points, maps);
     stats.dominance_tests = sky.stats.dominance_tests;
     let results = results_from(&out, &sky.indices);
     stats.results = results.len() as u64;

@@ -269,7 +269,12 @@ pub fn saj<S: ResultSink + ?Sized>(
     stats.accessed_r = sr.seen_count;
     stats.accessed_t = st.seen_count;
     stats.join_matches = out.len() as u64;
-    let sky = algo.run(&out.points, maps.preference());
+    // The threshold stop above is Pareto-based and stays sound under a
+    // flexible model: a generated pair that Pareto-dominates τ also
+    // F-dominates every unseen-involved pair (Pareto ⇒ F-dominance), so
+    // none of them can enter the F-skyline either. The final pass then
+    // runs under the query's model.
+    let sky = algo.run_model(&out.points, maps);
     stats.dominance_tests = sky.stats.dominance_tests + window.stats().dominance_tests;
     let results = results_from(&out, &sky.indices);
     stats.results = results.len() as u64;

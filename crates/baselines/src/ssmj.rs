@@ -173,7 +173,7 @@ pub fn ssmj<S: ResultSink + ?Sized>(
         maps,
         &mut all,
     );
-    let phase1_sky = algo.run(&all.points, maps.preference());
+    let phase1_sky = algo.run_model(&all.points, maps);
     stats.dominance_tests += phase1_sky.stats.dominance_tests;
     let batch1 = results_from(&all, &phase1_sky.indices);
     let batch1_ids: FxHashSet<(u32, u32)> = batch1.iter().map(|x| (x.r_idx, x.t_idx)).collect();
@@ -210,8 +210,9 @@ pub fn ssmj<S: ResultSink + ?Sized>(
     );
     stats.join_matches = all.len() as u64;
 
-    // Final skyline over every generated candidate (correct result set).
-    let final_sky = algo.run(&all.points, maps.preference());
+    // Final skyline over every generated candidate (correct result set,
+    // under the query's dominance model).
+    let final_sky = algo.run_model(&all.points, maps);
     stats.dominance_tests += final_sky.stats.dominance_tests;
     let final_ids: FxHashSet<(u32, u32)> = final_sky
         .indices

@@ -11,8 +11,8 @@
 //! Run in release mode: `cargo run --release -p progxe-bench --bin figures -- all`.
 
 use progxe_bench::figures::{
-    ablate_delta, ablate_order, cellbound, fig10_prog, fig10_time, fig11, fig12, fig13, ingest,
-    scaling, ssmj_soundness, threads, ExpOptions,
+    ablate_delta, ablate_order, cellbound, fdom, fig10_prog, fig10_time, fig11, fig12, fig13,
+    ingest, scaling, ssmj_soundness, threads, ExpOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,6 +32,7 @@ experiments:
   scaling         first-output latency growth vs N (vs SSMJ, JF-SL)
   threads         end-to-end speedup vs ProgXeConfig::threads (parallel runtime)
   ingest          streaming ingestion: first-result latency vs arrival rate
+  fdom            flexible skylines: shrinkage + latency vs constraint tightness
   all             everything above
 
 options:
@@ -100,6 +101,7 @@ fn main() -> ExitCode {
             "scaling" => scaling(opt),
             "threads" => threads(opt),
             "ingest" => ingest(opt),
+            "fdom" => fdom(opt),
             _ => return false,
         }
         true
@@ -120,6 +122,7 @@ fn main() -> ExitCode {
                 "scaling",
                 "threads",
                 "ingest",
+                "fdom",
             ] {
                 println!();
                 run_one(name, &opt);

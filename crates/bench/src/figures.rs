@@ -798,6 +798,211 @@ pub fn ingest_measurements(opt: &ExpOptions) -> Vec<IngestRun> {
     runs
 }
 
+/// One measured flexible-skyline run (see [`fdom`]).
+pub struct FdomRun {
+    /// Workload distribution family.
+    pub distribution: &'static str,
+    /// Constraint tightness `t` of the weight band (0 = whole simplex ≡
+    /// Pareto; → 1 pins equal weights). `None` marks the Pareto baseline.
+    pub tightness: Option<f64>,
+    /// Final result-set size.
+    pub results: u64,
+    /// Pareto skyline size of the same workload (the shrinkage baseline).
+    pub pareto_results: u64,
+    /// First proven-final result latency.
+    pub first_result_ms: Option<f64>,
+    /// End-to-end wall time.
+    pub wall_ms: f64,
+    /// Pareto-optimal tuples removed by the emission filter.
+    pub fdom_filtered: u64,
+}
+
+/// Flexible skylines: result-set shrinkage and first-result latency vs
+/// weight-constraint tightness, across the three distributions.
+///
+/// For each distribution the ProgXe engine runs once under Pareto and once
+/// per tightness step of the nested `simplex_band` family
+/// (`progxe_datagen::weights`). As the band tightens the admissible
+/// scoring weights shrink, more trade-off pairs become F-dominated, and
+/// the answer interpolates from the full skyline toward a top-1-style
+/// result — the shrinkage column. Writes `fdom.csv` and machine-readable
+/// `BENCH_fdom.json`; CI uploads the JSON next to the threads/ingest
+/// artifacts.
+pub fn fdom(opt: &ExpOptions) {
+    let runs = fdom_measurements(opt);
+    write_fdom_outputs(opt, &runs);
+}
+
+/// The measured core of [`fdom`], separated so tests can assert on the
+/// numbers (tightness 0 ≡ Pareto; counts non-increasing along the nested
+/// sweep) without re-running the sweep for the writer.
+pub fn fdom_measurements(opt: &ExpOptions) -> Vec<FdomRun> {
+    use progxe_core::fdom::flexible_model;
+    use progxe_datagen::simplex_band;
+
+    let n = opt.pick_n(4_000);
+    let dims = opt.pick_dims(3);
+    let sigma = opt.sigma.unwrap_or(0.01);
+    let tightnesses: &[f64] = if opt.quick {
+        &[0.0, 0.5, 0.9]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 0.9]
+    };
+    println!(
+        "== Flexible skylines: shrinkage + first-result latency vs constraint tightness \
+         (N={n}, d={dims}, sigma={sigma}) =="
+    );
+    let config = default_config_for(dims, sigma);
+    let run_once = |maps: &MapSet, r: &SourceView<'_>, t: &SourceView<'_>| {
+        let mut session = ProgXe::new(config.clone())
+            .open(r, t, maps)
+            .expect("valid configuration");
+        let mut first: Option<Duration> = None;
+        while let Some(event) = session.next_batch() {
+            if first.is_none() && !event.tuples.is_empty() {
+                first = Some(event.elapsed);
+            }
+        }
+        (first, session.finish())
+    };
+
+    let mut runs = Vec::new();
+    for dist in Distribution::ALL {
+        let w = workload(n, dims, dist, sigma, opt.seed);
+        let r = SourceView::new(&w.r.attrs, &w.r.join_keys).expect("parallel arrays");
+        let t = SourceView::new(&w.t.attrs, &w.t.join_keys).expect("parallel arrays");
+        let pareto_maps = MapSet::pairwise_sum(dims, Preference::all_lowest(dims));
+        let (p_first, p_stats) = run_once(&pareto_maps, &r, &t);
+        let pareto_results = p_stats.results_emitted;
+        runs.push(FdomRun {
+            distribution: dist.name(),
+            tightness: None,
+            results: pareto_results,
+            pareto_results,
+            first_result_ms: p_first.map(|d| d.as_secs_f64() * 1e3),
+            wall_ms: p_stats.total_time.as_secs_f64() * 1e3,
+            fdom_filtered: 0,
+        });
+        for &tight in tightnesses {
+            let model = flexible_model(dims, simplex_band(dims, tight)).expect("band is non-empty");
+            let maps = MapSet::pairwise_sum(dims, Preference::all_lowest(dims))
+                .with_dominance(model)
+                .expect("dims match");
+            let (first, stats) = run_once(&maps, &r, &t);
+            runs.push(FdomRun {
+                distribution: dist.name(),
+                tightness: Some(tight),
+                results: stats.results_emitted,
+                pareto_results,
+                first_result_ms: first.map(|d| d.as_secs_f64() * 1e3),
+                wall_ms: stats.total_time.as_secs_f64() * 1e3,
+                fdom_filtered: stats.tuples_fdom_filtered,
+            });
+        }
+    }
+    runs
+}
+
+/// Renders + persists one set of [`FdomRun`]s (`fdom.csv`,
+/// `BENCH_fdom.json`).
+fn write_fdom_outputs(opt: &ExpOptions, runs: &[FdomRun]) {
+    let mut table = Table::new(&[
+        "distribution",
+        "tightness",
+        "results",
+        "shrinkage",
+        "filtered",
+        "first",
+        "total",
+    ]);
+    let mut rows = Vec::new();
+    let mut json_runs = Vec::new();
+    for run in runs {
+        let tightness = run
+            .tightness
+            .map(|t| format!("{t}"))
+            .unwrap_or_else(|| "pareto".into());
+        let shrinkage = if run.pareto_results == 0 {
+            1.0
+        } else {
+            run.results as f64 / run.pareto_results as f64
+        };
+        table.row(vec![
+            run.distribution.to_string(),
+            tightness.clone(),
+            format!("{}", run.results),
+            format!("{shrinkage:.3}"),
+            format!("{}", run.fdom_filtered),
+            run.first_result_ms
+                .map(|v| format!("{v:.1}ms"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.1}ms", run.wall_ms),
+        ]);
+        rows.push(vec![
+            run.distribution.to_string(),
+            tightness.clone(),
+            format!("{}", run.results),
+            format!("{shrinkage:.4}"),
+            format!("{}", run.fdom_filtered),
+            run.first_result_ms
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_default(),
+            format!("{:.3}", run.wall_ms),
+        ]);
+        json_runs.push(json_object(&[
+            ("distribution", json_str(run.distribution)),
+            (
+                "tightness",
+                run.tightness
+                    .map(|t| format!("{t}"))
+                    .unwrap_or_else(|| "null".into()),
+            ),
+            ("results", format!("{}", run.results)),
+            ("pareto_results", format!("{}", run.pareto_results)),
+            ("shrinkage", format!("{shrinkage:.4}")),
+            ("fdom_filtered", format!("{}", run.fdom_filtered)),
+            (
+                "first_result_ms",
+                run.first_result_ms
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "null".into()),
+            ),
+            ("wall_ms", format!("{:.3}", run.wall_ms)),
+        ]));
+    }
+    println!("{}", table.render());
+    let path = write_csv(
+        &opt.out,
+        "fdom",
+        &[
+            "distribution",
+            "tightness",
+            "results",
+            "shrinkage",
+            "fdom_filtered",
+            "first_ms",
+            "total_ms",
+        ],
+        &rows,
+    )
+    .unwrap();
+    println!("rows written to {}", path.display());
+    let json = json_object(&[
+        (
+            "workload",
+            json_object(&[
+                ("n", format!("{}", opt.pick_n(4_000))),
+                ("dims", format!("{}", opt.pick_dims(3))),
+                ("sigma", format!("{}", opt.sigma.unwrap_or(0.01))),
+                ("seed", format!("{}", opt.seed)),
+            ]),
+        ),
+        ("runs", format!("[{}]", json_runs.join(", "))),
+    ]);
+    let path = write_json(&opt.out, "BENCH_fdom", &json).unwrap();
+    println!("json written to {}", path.display());
+}
+
 /// Section III-B: the comparable-cell bound. For each new tuple, dominance
 /// comparisons are confined to at most `k^d − (k−1)^d` of the `k^d` output
 /// cells; this experiment reports the *measured* average candidate cells
@@ -1131,6 +1336,64 @@ mod tests {
             "\"pooled\"",
         ] {
             assert!(json.contains(key), "BENCH_ingest.json missing {key}");
+        }
+    }
+
+    #[test]
+    fn fdom_quick_shrinks_monotonically_and_writes_json() {
+        let opt = quick_opts("progxe-fdom");
+        let runs = fdom_measurements(&opt);
+        for dist in Distribution::ALL {
+            let of_dist: Vec<&FdomRun> = runs
+                .iter()
+                .filter(|r| r.distribution == dist.name())
+                .collect();
+            let pareto = of_dist
+                .iter()
+                .find(|r| r.tightness.is_none())
+                .expect("pareto baseline present");
+            assert!(pareto.results > 0, "{dist:?}: empty baseline");
+            // t = 0 is the whole simplex: identical to Pareto.
+            let loose = of_dist
+                .iter()
+                .find(|r| r.tightness == Some(0.0))
+                .expect("t=0 leg present");
+            assert_eq!(
+                loose.results, pareto.results,
+                "{dist:?}: unconstrained family must equal Pareto"
+            );
+            assert_eq!(loose.fdom_filtered, 0, "{dist:?}: nothing to filter at t=0");
+            // Nested families: results non-increasing along the sweep.
+            let mut last = u64::MAX;
+            for run in of_dist.iter().filter(|r| r.tightness.is_some()) {
+                assert!(
+                    run.results <= last,
+                    "{dist:?}: tightening grew the answer ({} > {last})",
+                    run.results
+                );
+                assert!(run.results <= run.pareto_results);
+                last = run.results;
+            }
+            // The tightest leg must demonstrably shrink the answer.
+            assert!(
+                last < pareto.results,
+                "{dist:?}: tightest band never shrank the skyline"
+            );
+        }
+
+        write_fdom_outputs(&opt, &runs);
+        assert!(opt.out.join("fdom.csv").exists());
+        let json = std::fs::read_to_string(opt.out.join("BENCH_fdom.json")).unwrap();
+        for key in [
+            "\"workload\"",
+            "\"tightness\"",
+            "\"results\"",
+            "\"shrinkage\"",
+            "\"fdom_filtered\"",
+            "\"first_result_ms\"",
+            "\"wall_ms\"",
+        ] {
+            assert!(json.contains(key), "BENCH_fdom.json missing {key}");
         }
     }
 

@@ -18,6 +18,7 @@
 //! Slab indices over *populated* cells keep each insertion's candidate set
 //! close to the theoretical bound instead of scanning the whole grid.
 
+use crate::fdom::DominanceModel;
 use crate::fxhash::FxHashMap;
 use crate::output_grid::{full_dominates, pack, weak_leq, Coord, OutputGrid};
 use progxe_skyline::{PointStore, Preference};
@@ -43,6 +44,10 @@ pub struct CellStats {
     pub comparable_cells_visited: u64,
     /// Largest comparable-cell set examined by a single insertion.
     pub comparable_cells_max: u64,
+    /// Pareto-optimal tuples removed from emission by the flexible-model
+    /// filter (0 under the Pareto model) — the measured result-set
+    /// shrinkage of a flexible skyline.
+    pub tuples_fdom_filtered: u64,
 }
 
 /// One tracked output cell (`O_h` in the paper).
@@ -127,6 +132,12 @@ impl Cell {
 pub struct CellStore {
     grid: OutputGrid,
     pref: Preference,
+    /// The query's dominance model. The live-set invariant is maintained
+    /// under **Pareto** regardless (a sound superset for any flexible
+    /// model, since Pareto dominance implies F-dominance); a flexible
+    /// model additionally filters tuples at emission time
+    /// ([`CellStore::filter_emitted`]).
+    model: DominanceModel,
     cells: Vec<Cell>,
     by_key: FxHashMap<u128, u32>,
     /// Per-dimension slab index: coordinate value → populated cell indices.
@@ -141,18 +152,28 @@ pub struct CellStore {
     scratch_candidates: Vec<u32>,
     /// Monotone visit counter paired with `Cell::last_visit`.
     visit_epoch: u64,
+    /// Cached per-cell lower-corner vertex projections for the flexible
+    /// emission filter (`cells × vertex_count`, rebuilt when stale).
+    fdom_cell_proj: Vec<f64>,
 }
 
 impl CellStore {
-    /// Creates a store over the given oriented grid. `pref` must be the
-    /// all-lowest preference of matching dimensionality (values are
-    /// oriented before insertion); it is taken as a parameter so dominance
-    /// accounting stays in one place.
+    /// Creates a store over the given oriented grid, under classical
+    /// Pareto dominance.
     pub fn new(grid: OutputGrid) -> Self {
+        Self::with_model(grid, DominanceModel::Pareto)
+    }
+
+    /// Creates a store over the given oriented grid under an explicit
+    /// dominance model. Internal skyline maintenance always runs under
+    /// Pareto (the sound superset); the model drives the emission-time
+    /// filter for flexible skylines.
+    pub fn with_model(grid: OutputGrid, model: DominanceModel) -> Self {
         let dims = grid.dims();
         Self {
             grid,
             pref: Preference::all_lowest(dims),
+            model,
             cells: Vec::new(),
             by_key: FxHashMap::default(),
             slabs: vec![FxHashMap::default(); dims],
@@ -161,7 +182,14 @@ impl CellStore {
             stats: CellStats::default(),
             scratch_candidates: Vec::new(),
             visit_epoch: 0,
+            fdom_cell_proj: Vec::new(),
         }
+    }
+
+    /// The dominance model the store emits under.
+    #[inline]
+    pub fn model(&self) -> &DominanceModel {
+        &self.model
     }
 
     /// The underlying grid.
@@ -244,6 +272,87 @@ impl CellStore {
         debug_assert!(!cell.emitted, "cell emitted twice");
         cell.emitted = true;
         (cell.ids.clone(), cell.points.clone())
+    }
+
+    /// Flexible-model emission filter: drops tuples of an about-to-emit
+    /// cell that are **F-dominated** by some live tuple of the store. A
+    /// no-op under the Pareto model (where live already means
+    /// non-dominated).
+    ///
+    /// Correctness rests on the composition property (see [`crate::fdom`]):
+    /// every produced tuple that F-dominates an emission candidate is
+    /// either live itself or Pareto-dominated by a live tuple that also
+    /// F-dominates the candidate — so testing against the live set is
+    /// complete. The strengthened blocker counts of
+    /// [`crate::progdetermine::ProgDetermine`] guarantee no *future* tuple
+    /// can F-dominate anything emitted here, preserving no-retraction.
+    ///
+    /// Unlike Pareto maintenance, F-dominance is not confined to the
+    /// coordinate slabs (a dominator may sit in a Pareto-incomparable
+    /// cell), so the scan covers every non-empty cell — pre-screened by a
+    /// per-cell vertex-projection bound (`∃k: vₖ·corner(cell) > vₖ·t` ⇒ no
+    /// member of the cell can weakly F-dominate `t`).
+    pub fn filter_emitted(&mut self, ids: &mut Vec<(u32, u32)>, points: &mut PointStore) {
+        let fdom = match &self.model {
+            DominanceModel::Pareto => return,
+            DominanceModel::Flexible(f) => std::sync::Arc::clone(f),
+        };
+        let k = fdom.vertex_count();
+        // (Re)build the per-cell lower-corner projections when cells were
+        // tracked since the last filter call (all tracking happens during
+        // setup, so in practice this runs once per query).
+        if self.fdom_cell_proj.len() != self.cells.len() * k {
+            let mut proj = Vec::with_capacity(self.cells.len() * k);
+            let mut buf = Vec::with_capacity(k);
+            for cell in &self.cells {
+                let corner = self.grid.lower_corner(&cell.coord);
+                fdom.project_into(&corner, &mut buf);
+                proj.extend_from_slice(&buf);
+            }
+            self.fdom_cell_proj = proj;
+        }
+
+        let n = ids.len();
+        let mut keep = vec![true; n];
+        let mut pt = Vec::with_capacity(k);
+        let mut dropped = 0usize;
+        for (i, flag) in keep.iter_mut().enumerate() {
+            let t = points.point(i);
+            fdom.project_into(t, &mut pt);
+            'cells: for (ci, cell) in self.cells.iter().enumerate() {
+                if cell.points.is_empty() {
+                    continue;
+                }
+                let cproj = &self.fdom_cell_proj[ci * k..(ci + 1) * k];
+                if cproj.iter().zip(&pt).any(|(c, p)| c > p) {
+                    // No member of this cell can weakly F-dominate t.
+                    continue;
+                }
+                for u in cell.points.iter() {
+                    self.stats.dominance_tests += 1;
+                    if fdom.dominates_oriented(u, t) {
+                        *flag = false;
+                        dropped += 1;
+                        break 'cells;
+                    }
+                }
+            }
+        }
+        if dropped == 0 {
+            return;
+        }
+        self.stats.tuples_fdom_filtered += dropped as u64;
+        let survivors = n - dropped;
+        let mut new_ids = Vec::with_capacity(survivors);
+        let mut new_points = PointStore::with_capacity(points.dims(), survivors);
+        for i in 0..n {
+            if keep[i] {
+                new_ids.push(ids[i]);
+                new_points.push(points.point(i));
+            }
+        }
+        *ids = new_ids;
+        *points = new_points;
     }
 
     /// Whether an (unprocessed) region with the given box lower corner is
@@ -595,6 +704,58 @@ mod tests {
         assert!(s.drain_fresh_skyline().is_empty());
         s.insert(2, 2, &[2.5, 7.5]); // new cell
         assert_eq!(s.drain_fresh_skyline().len(), 1);
+    }
+
+    #[test]
+    fn flexible_filter_drops_fdominated_emissions() {
+        use crate::fdom::{DominanceModel, FDominance, WeightConstraint};
+        // Weights confined near (0.5, 0.5): (2, 2.5) F-dominates (8, 0.5)
+        // (scores ~2.25 vs ~4.25) although the two are Pareto-incomparable
+        // and live in slab-incomparable cells.
+        let fdom = FDominance::new(
+            2,
+            vec![
+                WeightConstraint::at_least(2, 0, 0.45),
+                WeightConstraint::at_most(2, 0, 0.55),
+            ],
+        )
+        .unwrap();
+        let grid = OutputGrid::new(vec![0.0, 0.0], vec![10.0, 10.0], 10);
+        let mut s = CellStore::with_model(grid.clone(), DominanceModel::flexible(fdom));
+        for x in 0..10u16 {
+            for y in 0..10u16 {
+                let mut c: Coord = [0; MAX_DIMS];
+                c[0] = x;
+                c[1] = y;
+                s.track(c);
+            }
+        }
+        assert!(s.insert(0, 0, &[2.0, 2.5]));
+        assert!(s.insert(1, 1, &[8.0, 0.5]), "Pareto keeps the trade-off");
+
+        let idx = s.find(&s.grid().cell_of(&[8.0, 0.5])).unwrap();
+        let (mut ids, mut points) = s.take_emitted(idx);
+        s.filter_emitted(&mut ids, &mut points);
+        assert!(ids.is_empty(), "F-dominated tuple must not be emitted");
+        assert_eq!(s.stats().tuples_fdom_filtered, 1);
+
+        let idx = s.find(&s.grid().cell_of(&[2.0, 2.5])).unwrap();
+        let (mut ids, mut points) = s.take_emitted(idx);
+        s.filter_emitted(&mut ids, &mut points);
+        assert_eq!(ids, vec![(0, 0)], "the dominator itself survives");
+    }
+
+    #[test]
+    fn pareto_filter_is_a_no_op() {
+        let mut s = store_10x10();
+        assert!(s.insert(0, 0, &[2.5, 7.5]));
+        let idx = s.find(&s.grid().cell_of(&[2.5, 7.5])).unwrap();
+        let (mut ids, mut points) = s.take_emitted(idx);
+        let tests_before = s.stats().dominance_tests;
+        s.filter_emitted(&mut ids, &mut points);
+        assert_eq!(ids, vec![(0, 0)]);
+        assert_eq!(s.stats().dominance_tests, tests_before);
+        assert_eq!(s.stats().tuples_fdom_filtered, 0);
     }
 
     #[test]

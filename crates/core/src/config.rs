@@ -47,6 +47,14 @@ pub enum SignatureConfig {
 /// input grid granularity and `output_cells_per_dim` its output partition
 /// size δ (expressed as a cell count, since the output extent is data-
 /// dependent).
+///
+/// Deliberately **not** here: the dominance relation. A flexible-skyline
+/// weight family ([`crate::fdom::DominanceModel`]) has the query's output
+/// dimensionality baked in, so it travels with the query on
+/// [`MapSet::with_dominance`](crate::mapping::MapSet::with_dominance)
+/// (set by the planner's `WITH WEIGHTS` clause) rather than on this
+/// engine-lifetime configuration — one engine serves Pareto and flexible
+/// queries interchangeably.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProgXeConfig {
     /// Grid partitions per attribute dimension on each input source.

@@ -596,6 +596,7 @@ impl Committer {
         stats.tuples_evicted = cell_stats.tuples_evicted;
         stats.comparable_cells_visited = cell_stats.comparable_cells_visited;
         stats.comparable_cells_max = cell_stats.comparable_cells_max;
+        stats.tuples_fdom_filtered = cell_stats.tuples_fdom_filtered;
     }
 }
 

@@ -42,6 +42,9 @@ pub enum Error {
         /// Output dimension that misbehaved.
         dim: usize,
     },
+    /// A flexible-dominance weight family is degenerate or mismatched
+    /// (see [`crate::fdom::FdomError`]).
+    Dominance(crate::fdom::FdomError),
 }
 
 impl fmt::Display for Error {
@@ -76,6 +79,7 @@ impl fmt::Display for Error {
             Error::NonFiniteValue { dim } => {
                 write!(f, "mapping function {dim} produced a non-finite value")
             }
+            Error::Dominance(e) => write!(f, "dominance model: {e}"),
         }
     }
 }

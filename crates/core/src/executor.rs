@@ -285,7 +285,12 @@ impl ProgXe {
         stats.regions_pruned_lookahead = la.regions_pruned;
         stats.regions_created = la.regions.len();
 
-        let mut store = CellStore::new(la.grid.clone());
+        // The store maintains its live set under Pareto regardless of the
+        // model (sound superset — Pareto dominance implies F-dominance);
+        // a flexible model additionally strengthens blocker counts and
+        // filters emissions. Region/cell pruning in `track_cells` stays
+        // Pareto-based and therefore sound for any model.
+        let mut store = CellStore::with_model(la.grid.clone(), maps.dominance().clone());
         stats.cells_premarked_dead = track_cells(&la, &mut store);
         stats.cells_tracked = store.len();
         let regions: Arc<[crate::lookahead::Region]> = la.regions.into();

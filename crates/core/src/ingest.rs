@@ -58,7 +58,7 @@ use crate::signature::JoinSignature;
 use crate::source::SourceView;
 use crate::stats::ExecStats;
 use crate::tuple_level::{join_region, local_skyline_filter, RegionBatch, TupleLevelStats};
-use progxe_skyline::{PointStore, Preference};
+use progxe_skyline::PointStore;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -559,7 +559,6 @@ pub struct IngestCtx {
     maps: MapSet,
     regions: Arc<[Region]>,
     inner: Arc<Mutex<IngestInner>>,
-    lowest: Preference,
 }
 
 impl IngestCtx {
@@ -632,7 +631,7 @@ impl IngestCtx {
             },
         );
         if completed {
-            local_skyline_filter(&mut ids, &mut points, &self.lowest, &mut stats);
+            local_skyline_filter(&mut ids, &mut points, self.maps.dominance(), &mut stats);
         }
         RegionBatch {
             rid,
@@ -777,8 +776,9 @@ impl IngestSession {
             })
             .collect();
 
-        // ── Cell tracking + blocker counts (Algorithm 2, unchanged) ──────
-        let mut store = CellStore::new(grid.clone());
+        // ── Cell tracking + blocker counts (Algorithm 2; blocker geometry
+        // switches to vertex projections under a flexible model) ─────────
+        let mut store = CellStore::with_model(grid.clone(), maps.dominance().clone());
         for region in regions.iter() {
             for coord in grid.iter_box(region.cell_lo, region.cell_hi) {
                 store.track(coord);
@@ -832,7 +832,6 @@ impl IngestSession {
             maps: maps.clone(),
             regions,
             inner: Arc::clone(&inner),
-            lowest: Preference::all_lowest(out_dims),
         });
         let driver =
             RegionDriver::for_ingest(committer, ctx, stats, started, token.clone(), backend);
@@ -1010,6 +1009,7 @@ mod tests {
     use super::*;
     use crate::executor::ProgXe;
     use crate::source::SourceData;
+    use progxe_skyline::Preference;
 
     fn lcg(state: &mut u64) -> u64 {
         *state = state

@@ -63,6 +63,7 @@ pub mod driver;
 pub mod elgraph;
 pub mod error;
 pub mod executor;
+pub mod fdom;
 pub mod fxhash;
 pub mod grid;
 pub mod ingest;
@@ -83,6 +84,7 @@ pub use config::{OrderingPolicy, ProgXeConfig, SignatureConfig};
 pub use driver::{Committer, DriverPoll, ExecutorBackend, Popped, RegionDriver, TaskSpawner};
 pub use error::{Error, Result};
 pub use executor::{ProgXe, RunOutput};
+pub use fdom::{DominanceModel, FDominance, FdomError, QueryDominance, WeightConstraint};
 pub use ingest::{IngestError, IngestPoll, IngestSession, SourceId, StreamSpec};
 pub use mapping::{GeneralMap, MapSet, MappingFunction, WeightedSum};
 pub use session::{CancellationToken, ProgressiveEngine, QuerySession, ResultEvent};
@@ -94,6 +96,7 @@ pub use stats::{ExecStats, ProgressRecord, ResultTuple};
 pub mod prelude {
     pub use crate::config::{OrderingPolicy, ProgXeConfig, SignatureConfig};
     pub use crate::executor::{ProgXe, RunOutput};
+    pub use crate::fdom::{DominanceModel, FDominance, FdomError, WeightConstraint};
     pub use crate::ingest::{IngestError, IngestPoll, IngestSession, SourceId, StreamSpec};
     pub use crate::mapping::{GeneralMap, MapSet, MappingFunction, WeightedSum};
     pub use crate::session::{CancellationToken, ProgressiveEngine, QuerySession, ResultEvent};

@@ -11,6 +11,7 @@ use progxe_skyline::Preference;
 use std::sync::Arc;
 
 use crate::error::{Error, Result};
+use crate::fdom::{DominanceModel, QueryDominance};
 
 /// One mapping function `f_j : Dom(R-attrs) × Dom(T-attrs) → ℝ`.
 pub trait MappingFunction: Send + Sync {
@@ -211,10 +212,15 @@ impl MappingFunction for GeneralMap {
 pub struct MapSet {
     maps: Vec<Arc<dyn MappingFunction>>,
     pref: Preference,
+    /// Dominance relation over the mapped output: Pareto (default) or a
+    /// flexible F-dominance weight family. Travels with the query through
+    /// every engine and layer.
+    dominance: DominanceModel,
 }
 
 impl MapSet {
-    /// Bundles mapping functions with the output preference.
+    /// Bundles mapping functions with the output preference (classical
+    /// Pareto dominance).
     pub fn new(maps: Vec<Box<dyn MappingFunction>>, pref: Preference) -> Result<Self> {
         if maps.is_empty() || maps.len() != pref.dims() {
             return Err(Error::PreferenceArity {
@@ -225,7 +231,42 @@ impl MapSet {
         Ok(Self {
             maps: maps.into_iter().map(Arc::from).collect(),
             pref,
+            dominance: DominanceModel::Pareto,
         })
+    }
+
+    /// Replaces the dominance relation (flexible-skyline queries). The
+    /// model's weight dimensionality must equal the output dimensionality;
+    /// degenerate families were already rejected when the model was built.
+    pub fn with_dominance(mut self, dominance: DominanceModel) -> Result<Self> {
+        dominance
+            .check_dims(self.out_dims())
+            .map_err(Error::Dominance)?;
+        self.dominance = dominance;
+        Ok(self)
+    }
+
+    /// The dominance relation of this query (Pareto unless configured).
+    #[inline]
+    pub fn dominance(&self) -> &DominanceModel {
+        &self.dominance
+    }
+
+    /// Raw-orientation dominance test between two mapped result rows,
+    /// under this query's model — the single entry point the baselines and
+    /// the test oracles use.
+    #[inline]
+    pub fn result_dominates(&self, a: &[f64], b: &[f64]) -> bool {
+        use progxe_skyline::Dominance as _;
+        self.dominance_view().dominates(a, b)
+    }
+
+    /// A raw-orientation [`progxe_skyline::Dominance`] view over this
+    /// query's orders + model, for the skyline crate's model-generic
+    /// algorithms.
+    #[inline]
+    pub fn dominance_view(&self) -> QueryDominance<'_> {
+        QueryDominance::new(self.pref.orders(), &self.dominance)
     }
 
     /// The paper's experimental mapping: output dimension `j` is
@@ -319,6 +360,7 @@ impl std::fmt::Debug for MapSet {
                 &self.maps.iter().map(|m| m.describe()).collect::<Vec<_>>(),
             )
             .field("pref", &self.pref)
+            .field("dominance", &self.dominance)
             .finish()
     }
 }
@@ -392,6 +434,33 @@ mod tests {
         let mut out = Vec::new();
         ms.eval_into(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0], &mut out);
         assert_eq!(out, vec![11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn mapset_defaults_to_pareto_and_accepts_a_flexible_model() {
+        use crate::fdom::{DominanceModel, FDominance};
+        let ms = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        assert!(ms.dominance().is_pareto());
+        assert!(ms.result_dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(!ms.result_dominates(&[1.0, 3.0], &[2.0, 2.0]));
+
+        let model = DominanceModel::flexible(FDominance::simplex(2).unwrap());
+        let ms = ms.with_dominance(model).unwrap();
+        assert!(!ms.dominance().is_pareto());
+        // Unconstrained simplex ≡ Pareto.
+        assert!(ms.result_dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(!ms.result_dominates(&[1.0, 3.0], &[2.0, 2.0]));
+    }
+
+    #[test]
+    fn mapset_rejects_mismatched_dominance_dims() {
+        use crate::fdom::{DominanceModel, FDominance};
+        let ms = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let model = DominanceModel::flexible(FDominance::simplex(3).unwrap());
+        assert!(matches!(
+            ms.with_dominance(model),
+            Err(crate::error::Error::Dominance(_))
+        ));
     }
 
     #[test]

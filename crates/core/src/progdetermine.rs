@@ -19,6 +19,25 @@
 //!
 //! When the last blocker of a live, non-dead cell resolves, its surviving
 //! tuples are final skyline members — they are emitted immediately.
+//!
+//! ## Flexible skylines (F-dominance)
+//!
+//! Under a flexible model (see [`crate::fdom`]) the geometric blocker test
+//! above is **incomplete**: an F-dominator may come from a region whose box
+//! is Pareto-incomparable to the cell (trade-offs are exactly what weight
+//! constraints permit). The blocker relation is therefore strengthened:
+//! region `R'` blocks cell `c` iff a tuple of `R'` could *weakly
+//! F-dominate* some tuple of `c` — conservatively, iff
+//! `vₖ·LOWER(R') ≤ vₖ·upper_corner(c)` at **every** vertex `vₖ` of the
+//! weight polytope (weights are non-negative, so the box corners bound the
+//! dot products). Component-wise `≤` between vertex projections is exactly
+//! weak F-dominance, so blocker counting stays a dominance count — just in
+//! projection space. Every Pareto blocker is an F-blocker (unit-vector
+//! reasoning), so cells emit no earlier than under Pareto: emission stays
+//! no-retraction, merely later. On release the cell's survivors pass
+//! [`CellStore::filter_emitted`], which removes F-dominated tuples; by the
+//! strengthened counts no unresolved region can still deliver an
+//! F-dominator for anything emitted.
 
 use crate::cells::CellStore;
 use crate::lookahead::Region;
@@ -36,6 +55,28 @@ pub struct EmittedCell {
     pub points: PointStore,
 }
 
+/// Precomputed vertex projections realizing the flexible blocker relation:
+/// region `rid` blocks cell `c` iff
+/// `region_proj[rid·k ..][j] ≤ cell_proj[c·k ..][j]` for every vertex `j`.
+#[derive(Debug)]
+struct FdomBlockerIndex {
+    /// Vertices of the weight polytope.
+    k: usize,
+    /// `regions × k` projections of each region's oriented lower bound.
+    region_proj: Vec<f64>,
+    /// `cells × k` projections of each cell's oriented upper corner.
+    cell_proj: Vec<f64>,
+}
+
+impl FdomBlockerIndex {
+    #[inline]
+    fn blocks(&self, rid: u32, cell_idx: u32) -> bool {
+        let r = &self.region_proj[rid as usize * self.k..(rid as usize + 1) * self.k];
+        let c = &self.cell_proj[cell_idx as usize * self.k..(cell_idx as usize + 1) * self.k];
+        r.iter().zip(c).all(|(x, y)| x <= y)
+    }
+}
+
 /// Count-based progressive-determination state.
 #[derive(Debug)]
 pub struct ProgDetermine {
@@ -43,6 +84,10 @@ pub struct ProgDetermine {
     blockers: Vec<u32>,
     /// Cells not yet emitted or confirmed dead, scanned at each resolution.
     live: Vec<u32>,
+    /// Flexible-model blocker geometry (`None` under Pareto). The same
+    /// projections decide both the initial counts and every decrement, so
+    /// the two can never disagree.
+    fdom: Option<FdomBlockerIndex>,
     emitted_cells: usize,
     emitted_tuples: usize,
 }
@@ -60,6 +105,58 @@ impl ProgDetermine {
     /// `O(cells × regions)` double loop (kept as a fallback for very fine
     /// grids).
     pub fn new(store: &CellStore, regions: &[Region]) -> Self {
+        // Flexible model: blockers are counted in vertex-projection space
+        // (see the module docs) — the dense-prefix trick below is
+        // coordinate-Pareto-specific and does not apply.
+        if let Some(fdom) = store.model().as_flexible() {
+            let k = fdom.vertex_count();
+            let mut region_proj = Vec::with_capacity(regions.len() * k);
+            let mut buf = Vec::with_capacity(k);
+            for (i, region) in regions.iter().enumerate() {
+                // `blocks()` is indexed by `region.id` (that is what
+                // `resolve_region` receives), so the slice must be densely
+                // id-ordered — enforced here in release builds too, since a
+                // mismatch would silently corrupt blocker counts.
+                assert_eq!(
+                    region.id as usize, i,
+                    "ProgDetermine requires regions in dense id order"
+                );
+                fdom.project_into(&region.lo, &mut buf);
+                region_proj.extend_from_slice(&buf);
+            }
+            let mut cell_proj = Vec::with_capacity(store.len() * k);
+            for (_, cell) in store.iter() {
+                let corner = store.grid().upper_corner(cell.coord());
+                fdom.project_into(&corner, &mut buf);
+                cell_proj.extend_from_slice(&buf);
+            }
+            let index = FdomBlockerIndex {
+                k,
+                region_proj,
+                cell_proj,
+            };
+            let mut blockers = vec![0u32; store.len()];
+            for region in regions {
+                for (idx, _) in store.iter() {
+                    if index.blocks(region.id, idx) {
+                        blockers[idx as usize] += 1;
+                    }
+                }
+            }
+            let live: Vec<u32> = store
+                .iter()
+                .filter(|(_, c)| !c.is_dead())
+                .map(|(i, _)| i)
+                .collect();
+            return Self {
+                blockers,
+                live,
+                fdom: Some(index),
+                emitted_cells: 0,
+                emitted_tuples: 0,
+            };
+        }
+
         let grid = store.grid();
         let dims = grid.dims();
         let k = grid.cells_per_dim() as u64;
@@ -113,6 +210,7 @@ impl ProgDetermine {
         Self {
             blockers,
             live,
+            fdom: None,
             emitted_cells: 0,
             emitted_tuples: 0,
         }
@@ -162,7 +260,13 @@ impl ProgDetermine {
                 self.live.swap_remove(i);
                 continue;
             }
-            if !weak_leq(&region.cell_lo, cell.coord(), dims) {
+            // The decrement predicate must be *identical* to the one the
+            // initial counts were computed with.
+            let blocks = match &self.fdom {
+                Some(index) => index.blocks(region.id, idx),
+                None => weak_leq(&region.cell_lo, cell.coord(), dims),
+            };
+            if !blocks {
                 i += 1;
                 continue;
             }
@@ -171,7 +275,12 @@ impl ProgDetermine {
             *count -= 1;
             if *count == 0 {
                 self.live.swap_remove(i);
-                let (ids, points) = store.take_emitted(idx);
+                let (mut ids, mut points) = store.take_emitted(idx);
+                // Flexible model: drop F-dominated survivors (no-op under
+                // Pareto). Everything that could still F-dominate them is
+                // already in the store — that is what the strengthened
+                // blocker counts guarantee.
+                store.filter_emitted(&mut ids, &mut points);
                 if !ids.is_empty() {
                     self.emitted_cells += 1;
                     self.emitted_tuples += ids.len();
@@ -322,6 +431,58 @@ mod tests {
         det.resolve_region(&a, &mut store, &mut out);
         let all: Vec<(u32, u32)> = out.iter().flat_map(|e| e.ids.iter().copied()).collect();
         assert_eq!(all, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn flexible_model_blocks_across_pareto_incomparable_boxes() {
+        use crate::fdom::{DominanceModel, FDominance, WeightConstraint};
+        use crate::output_grid::OutputGrid;
+        // A at cells (0,8)-(1,9), B at (8,0)-(9,1): Pareto-independent
+        // (each emits without waiting for the other — see
+        // `non_overlapping_regions_emit_independently`). Under weights
+        // confined to w₀ ∈ [0.45, 0.55] a tuple of A *can* F-dominate a
+        // tuple of B — (0.5, 8.5) scores {4.9, 4.1} at the two vertices
+        // against (9.5, 1.5)'s {5.1, 5.9} — so under the flexible model
+        // B's cells must additionally wait for A.
+        let fdom = FDominance::new(
+            2,
+            vec![
+                WeightConstraint::at_least(2, 0, 0.45),
+                WeightConstraint::at_most(2, 0, 0.55),
+            ],
+        )
+        .unwrap();
+        let a = region(0, (0, 8), (1, 9));
+        let b = region(1, (8, 0), (9, 1));
+        let regions = [a.clone(), b.clone()];
+        let grid = OutputGrid::new(vec![0.0, 0.0], vec![10.0, 10.0], 10);
+        let mut store = CellStore::with_model(grid.clone(), DominanceModel::flexible(fdom));
+        for r in &regions {
+            for c in grid.iter_box(r.cell_lo, r.cell_hi) {
+                store.track(c);
+            }
+        }
+        let mut det = ProgDetermine::new(&store, &regions);
+        let b_cell = store.find(&coord(8, 0)).unwrap();
+        assert_eq!(
+            det.blockers_of(b_cell),
+            2,
+            "flexible model: A must block B's best cell"
+        );
+
+        // B's tuple is F-dominated by A's; emission must reflect that.
+        assert!(store.insert(0, 0, &[0.5, 8.5])); // region A's box
+        assert!(store.insert(1, 1, &[9.5, 1.5])); // region B's box
+        let mut out = Vec::new();
+        det.resolve_region(&b, &mut store, &mut out);
+        assert!(out.is_empty(), "B's cells still wait for A");
+        det.resolve_region(&a, &mut store, &mut out);
+        let emitted: Vec<(u32, u32)> = out.iter().flat_map(|e| e.ids.iter().copied()).collect();
+        assert!(emitted.contains(&(0, 0)), "A's tuple is F-optimal");
+        assert!(
+            !emitted.contains(&(1, 1)),
+            "B's tuple is F-dominated by A's and must be filtered"
+        );
     }
 
     #[test]

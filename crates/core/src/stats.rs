@@ -102,6 +102,10 @@ pub struct ExecStats {
     pub comparable_cells_visited: u64,
     /// Largest comparable-cell set examined by one insertion.
     pub comparable_cells_max: u64,
+    /// Pareto-optimal tuples removed at emission by the flexible-dominance
+    /// filter (always 0 under the default Pareto model) — the measured
+    /// result-set shrinkage of an F-skyline query.
+    pub tuples_fdom_filtered: u64,
 
     /// Rows accepted through streaming ingestion (both sources; 0 for
     /// batch runs, whose inputs are materialized before `prepare`).

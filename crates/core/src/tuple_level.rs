@@ -24,13 +24,14 @@
 //! join.
 
 use crate::cells::CellStore;
+use crate::fdom::DominanceModel;
 use crate::fxhash::FxHashMap;
 use crate::grid::{InputGrid, InputPartition};
 use crate::lookahead::Region;
 use crate::mapping::MapSet;
 use crate::session::CancellationToken;
 use crate::source::SourceView;
-use progxe_skyline::{PointStore, Preference};
+use progxe_skyline::PointStore;
 use std::time::{Duration, Instant};
 
 /// Work items (probe rows + join matches) between cancellation-token
@@ -190,8 +191,6 @@ pub struct RegionCtx {
     /// Shared with the committer (which owns the schedule over the same
     /// region vector) — an `Arc` slice so neither side copies it.
     regions: std::sync::Arc<[Region]>,
-    /// All-lowest preference over *oriented* values, for the local filter.
-    lowest: Preference,
 }
 
 impl RegionCtx {
@@ -208,7 +207,6 @@ impl RegionCtx {
         t_grid: InputGrid,
         regions: std::sync::Arc<[Region]>,
     ) -> Self {
-        let lowest = Preference::all_lowest(maps.out_dims());
         Self {
             maps,
             r_attrs,
@@ -218,7 +216,6 @@ impl RegionCtx {
             r_grid,
             t_grid,
             regions,
-            lowest,
         }
     }
 
@@ -275,7 +272,7 @@ impl RegionCtx {
                 points.push(o);
             });
         if completed {
-            local_skyline_filter(&mut ids, &mut points, &self.lowest, &mut stats);
+            local_skyline_filter(&mut ids, &mut points, self.maps.dominance(), &mut stats);
         }
         RegionBatch {
             rid,
@@ -323,15 +320,19 @@ impl RegionBatch {
     }
 }
 
-/// Order-preserving bounded BNL filter: drops tuples dominated by another
-/// tuple of the same batch. Sound as a pre-filter because dominance is
-/// transitive; bounded by [`LOCAL_FILTER_WINDOW`] so a worker never does
+/// Order-preserving bounded BNL filter: drops tuples dominated (under the
+/// query's [`DominanceModel`], over oriented values) by another tuple of
+/// the same batch. Sound as a pre-filter because the relation is a
+/// transitive strict partial order — a tuple dominated inside its batch
+/// can never belong to the final (flexible) skyline, and its dominator
+/// (or a dominator of that) survives to reject whatever it would have
+/// rejected. Bounded by [`LOCAL_FILTER_WINDOW`] so a worker never does
 /// quadratic work on a huge region. Shared with the [`crate::ingest`]
 /// batch path.
 pub(crate) fn local_skyline_filter(
     ids: &mut Vec<(u32, u32)>,
     points: &mut PointStore,
-    pref: &Preference,
+    model: &DominanceModel,
     stats: &mut TupleLevelStats,
 ) {
     let n = ids.len();
@@ -345,7 +346,7 @@ pub(crate) fn local_skyline_filter(
         let mut dominated = false;
         for &j in &window {
             stats.local_dominance_tests += 1;
-            if pref.dominates(points.point(j), p) {
+            if model.dominates_oriented(points.point(j), p) {
                 dominated = true;
                 break;
             }
@@ -356,7 +357,7 @@ pub(crate) fn local_skyline_filter(
         }
         window.retain(|&j| {
             stats.local_dominance_tests += 1;
-            if pref.dominates(p, points.point(j)) {
+            if model.dominates_oriented(p, points.point(j)) {
                 keep[j] = false;
                 false
             } else {
@@ -515,7 +516,7 @@ mod tests {
 
     #[test]
     fn local_filter_keeps_exact_skyline_in_order() {
-        let pref = Preference::all_lowest(2);
+        let pref = DominanceModel::Pareto;
         let mut ids: Vec<(u32, u32)> = (0..5).map(|i| (i, i)).collect();
         let mut points = PointStore::from_rows(
             2,
@@ -536,11 +537,33 @@ mod tests {
 
     #[test]
     fn local_filter_keeps_equal_tuples() {
-        let pref = Preference::all_lowest(1);
+        let pref = DominanceModel::Pareto;
         let mut ids = vec![(0, 0), (1, 1)];
         let mut points = PointStore::from_rows(1, [[3.0], [3.0]]);
         let mut stats = TupleLevelStats::default();
         local_skyline_filter(&mut ids, &mut points, &pref, &mut stats);
         assert_eq!(ids.len(), 2, "equal tuples are incomparable");
+    }
+
+    #[test]
+    fn local_filter_prunes_more_under_a_flexible_model() {
+        use crate::fdom::{DominanceModel, FDominance, WeightConstraint};
+        let fdom = FDominance::new(
+            2,
+            vec![
+                WeightConstraint::at_least(2, 0, 0.45),
+                WeightConstraint::at_most(2, 0, 0.55),
+            ],
+        )
+        .unwrap();
+        let model = DominanceModel::flexible(fdom);
+        // Pareto-incomparable pair where the second is F-dominated
+        // (vertex scores {4.9, 4.1} vs {5.1, 5.9}).
+        let mut ids = vec![(0, 0), (1, 1)];
+        let mut points = PointStore::from_rows(2, [[0.5, 8.5], [9.5, 1.5]]);
+        let mut stats = TupleLevelStats::default();
+        local_skyline_filter(&mut ids, &mut points, &model, &mut stats);
+        assert_eq!(ids, vec![(0, 0)], "F-dominated batch member dropped");
+        assert_eq!(stats.locally_pruned, 1);
     }
 }

@@ -28,10 +28,12 @@ pub mod arrival;
 pub mod distribution;
 pub mod relation;
 pub mod rng;
+pub mod weights;
 pub mod workload;
 
 pub use arrival::{ArrivalBatch, ArrivalOrder, ArrivalSchedule, ArrivalSpec, Batching};
 pub use distribution::Distribution;
 pub use relation::Relation;
 pub use rng::{Rng, StdRng};
+pub use weights::simplex_band;
 pub use workload::{SmjWorkload, WorkloadSpec};

@@ -1,0 +1,88 @@
+//! Weight-constraint families for flexible-skyline experiments.
+//!
+//! The `figures -- fdom` experiment sweeps result-set shrinkage and
+//! first-result latency against *constraint tightness*; this module
+//! produces the parameterized families as plain `(coefficients, bound)`
+//! rows (meaning `coeffs · w ≤ bound` over the weight simplex), keeping
+//! the generator crate free of core-crate types — the bench harness feeds
+//! them to `progxe_core::fdom::FDominance`.
+
+/// One linear weight constraint: `coeffs · w ≤ bound`.
+pub type WeightRow = (Vec<f64>, f64);
+
+/// A per-dimension band around the equal-weights center:
+/// `w_d ∈ [t/d, 1 − t·(1 − 1/d)]` for tightness `t ∈ [0, 1]`.
+///
+/// * `t = 0` — the bounds are `w_d ∈ [0, 1]`: the whole simplex, where
+///   F-dominance coincides with Pareto dominance (no shrinkage).
+/// * `t = 1` — the bounds collapse onto `w_d = 1/d`: a single weight
+///   vector, the top-1-style extreme.
+///
+/// Families are **nested** in `t` (larger `t` ⇒ smaller polytope), so the
+/// F-skyline is non-increasing along the sweep — the property the fdom
+/// figure asserts.
+///
+/// # Panics
+/// Panics when `dims == 0` or `t` is outside `[0, 1]`.
+pub fn simplex_band(dims: usize, tightness: f64) -> Vec<WeightRow> {
+    assert!(dims > 0, "band needs at least one dimension");
+    assert!(
+        (0.0..=1.0).contains(&tightness),
+        "tightness must lie in [0, 1], got {tightness}"
+    );
+    let lo = tightness / dims as f64;
+    let hi = 1.0 - tightness * (1.0 - 1.0 / dims as f64);
+    let mut rows = Vec::with_capacity(2 * dims);
+    for d in 0..dims {
+        // w_d ≥ lo  ⇔  −w_d ≤ −lo
+        let mut ge = vec![0.0; dims];
+        ge[d] = -1.0;
+        rows.push((ge, -lo));
+        // w_d ≤ hi
+        let mut le = vec![0.0; dims];
+        le[d] = 1.0;
+        rows.push((le, hi));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_bounds_interpolate() {
+        let rows = simplex_band(2, 0.0);
+        assert_eq!(rows.len(), 4);
+        // t = 0: lo = 0, hi = 1 (non-binding).
+        assert_eq!(rows[0].1, 0.0);
+        assert_eq!(rows[1].1, 1.0);
+        // t = 1: lo = hi = 1/d.
+        let rows = simplex_band(2, 1.0);
+        assert_eq!(rows[0].1, -0.5);
+        assert_eq!(rows[1].1, 0.5);
+    }
+
+    #[test]
+    fn bands_are_nested_in_tightness() {
+        // lo grows and hi shrinks monotonically with t.
+        let lo_of = |t: f64| -simplex_band(3, t)[0].1;
+        let hi_of = |t: f64| simplex_band(3, t)[1].1;
+        let mut last_lo = -1.0;
+        let mut last_hi = 2.0;
+        for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!(
+                lo_of(t) >= last_lo && hi_of(t) <= last_hi,
+                "not nested at {t}"
+            );
+            last_lo = lo_of(t);
+            last_hi = hi_of(t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tightness")]
+    fn out_of_range_tightness_panics() {
+        let _ = simplex_band(2, 1.5);
+    }
+}

@@ -17,6 +17,54 @@ pub struct Query {
     pub filters: Vec<FilterPredicate>,
     /// The `PREFERRING` clause: one direction per named output.
     pub preferences: Vec<(String, Order)>,
+    /// Optional flexible-skyline clause:
+    /// `WITH WEIGHTS (w1, …) [CONSTRAIN lin-expr {<=|>=|=} number [AND …]]`.
+    /// `None` runs classical Pareto dominance.
+    pub weights: Option<WeightsClause>,
+}
+
+/// The `WITH WEIGHTS` clause of a flexible-skyline query: named scoring
+/// weights (bound positionally to the SELECT outputs) plus linear
+/// constraints on them. Non-negativity and `Σw = 1` are implicit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightsClause {
+    /// Weight names, one per mapped output, in SELECT order.
+    pub names: Vec<String>,
+    /// `CONSTRAIN` conjuncts.
+    pub constraints: Vec<WeightPredicate>,
+}
+
+/// A linear expression over weight names:
+/// `term (('+'|'-') term)*` with `term := [number '*'] name | number`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightExpr {
+    /// `(coefficient, weight name)` terms.
+    pub terms: Vec<(f64, String)>,
+    /// Additive constant.
+    pub constant: f64,
+}
+
+/// Comparison operators allowed in weight constraints. The weight polytope
+/// must be closed, so strict `<` / `>` are rejected at parse time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightCmp {
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+/// One `CONSTRAIN` conjunct: `expr OP constant`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightPredicate {
+    /// Linear left-hand side over the declared weight names.
+    pub lhs: WeightExpr,
+    /// Comparison.
+    pub op: WeightCmp,
+    /// Constant right-hand side.
+    pub value: f64,
 }
 
 /// `table alias` in the FROM clause.

@@ -525,6 +525,104 @@ mod tests {
         }
     }
 
+    const Q1_FLEX: &str = "SELECT R.id, T.id, \
+         (R.uPrice + T.uShipCost) AS tCost, \
+         (2 * R.manTime + T.shipTime) AS delay \
+         FROM Suppliers R, Transporters T \
+         WHERE R.country = T.country AND R.manCap >= 100 \
+         PREFERRING LOWEST(tCost) AND LOWEST(delay) \
+         WITH WEIGHTS (wc, wd) CONSTRAIN wc >= 0.45 AND wc <= 0.55";
+
+    #[test]
+    fn flexible_query_dispatches_through_every_engine() {
+        let runner = QueryRunner::new(q1_catalog());
+        let engines = [
+            Engine::progxe(),
+            Engine::progxe_threads(3),
+            Engine::jfsl_bnl(),
+            Engine::jfsl_plus_sfs(),
+            Engine::Ssmj(SkyAlgo::Sfs),
+            Engine::Saj(SkyAlgo::Bnl),
+        ];
+        let pareto = runner.run_collect(Q1, &Engine::progxe()).unwrap();
+        let pareto_ids: Vec<(u32, u32)> =
+            pareto.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+        let mut reference: Option<Vec<(u32, u32)>> = None;
+        for engine in &engines {
+            let out = runner
+                .run_collect(Q1_FLEX, engine)
+                .unwrap_or_else(|e| panic!("{engine}: {e}"));
+            let mut ids: Vec<(u32, u32)> = out.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+            ids.sort_unstable();
+            ids.dedup(); // SSMJ batch-1 may repeat
+                         // The flexible answer is a subset of the Pareto skyline.
+            for id in &ids {
+                assert!(pareto_ids.contains(id), "{engine}: {id:?} not Pareto");
+            }
+            match &reference {
+                None => reference = Some(ids),
+                Some(want) => assert_eq!(&ids, want, "{engine} diverged"),
+            }
+        }
+        assert!(!reference.unwrap().is_empty());
+    }
+
+    #[test]
+    fn flexible_streaming_ingest_matches_the_batch_run() {
+        let mut cat = q1_catalog();
+        let sup = cat.table("suppliers").unwrap().clone();
+        let tra = cat.table("transporters").unwrap().clone();
+        cat.register_streaming(sup.schema.clone(), vec![0.0; 3], vec![1000.0; 3]);
+        cat.register_streaming(tra.schema.clone(), vec![0.0; 2], vec![1000.0; 2]);
+        let runner = QueryRunner::new(cat);
+        let batch = runner.run_collect(Q1_FLEX, &Engine::progxe()).unwrap();
+
+        let mut q = runner.ingest_session(Q1_FLEX, &Engine::progxe()).unwrap();
+        for row in 0..sup.data.len() {
+            q.push(
+                SourceId::R,
+                &[(sup.data.attrs.point(row), sup.data.join_keys[row])],
+            )
+            .unwrap();
+        }
+        q.close(SourceId::R);
+        q.push(
+            SourceId::T,
+            &(0..tra.data.len())
+                .map(|i| (tra.data.attrs.point(i), tra.data.join_keys[i]))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        q.close(SourceId::T);
+        let mut streamed: Vec<(u32, u32)> = q
+            .drain_ready()
+            .iter()
+            .flat_map(|e| e.tuples.iter().map(|t| (t.r_idx, t.t_idx)))
+            .collect();
+        assert!(!q.finish().cancelled);
+        streamed.sort_unstable();
+        let mut expected: Vec<(u32, u32)> =
+            batch.results.iter().map(|t| (t.r_idx, t.t_idx)).collect();
+        expected.sort_unstable();
+        assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn degenerate_weights_surface_as_plan_errors() {
+        let runner = QueryRunner::new(q1_catalog());
+        let err = runner.run_collect(
+            "SELECT (R.uPrice + T.uShipCost) AS a, (R.manTime + T.shipTime) AS b \
+             FROM Suppliers R, Transporters T WHERE R.country = T.country \
+             PREFERRING LOWEST(a) AND LOWEST(b) \
+             WITH WEIGHTS (u, v) CONSTRAIN u >= 0.9 AND u <= 0.1",
+            &Engine::progxe(),
+        );
+        assert!(matches!(
+            err,
+            Err(QueryError::Plan(PlanError::BadWeights(_)))
+        ));
+    }
+
     #[test]
     fn row_ids_refer_to_original_tables() {
         // Supplier row 2 is filtered out; surviving results must reference

@@ -2,6 +2,7 @@
 
 use crate::ast::{
     ColumnRef, ComparisonOp, Expr, FilterPredicate, JoinPredicate, OutputDef, Query, SourceRef,
+    WeightCmp, WeightExpr, WeightPredicate, WeightsClause,
 };
 use progxe_skyline::Order;
 use std::fmt;
@@ -266,6 +267,109 @@ impl Parser {
         }
     }
 
+    /// `wexpr := ['-'] wterm (('+'|'-') wterm)*`
+    /// `wterm := [number '*'] name | number`
+    fn weight_expr(&mut self) -> Result<WeightExpr, ParseError> {
+        let mut expr = WeightExpr {
+            terms: Vec::new(),
+            constant: 0.0,
+        };
+        let mut sign = 1.0;
+        if let Some(Tok::Symbol('-')) = self.peek() {
+            self.pos += 1;
+            sign = -1.0;
+        }
+        loop {
+            match self.peek().cloned() {
+                Some(Tok::Number(n)) => {
+                    self.pos += 1;
+                    if let Some(Tok::Symbol('*')) = self.peek() {
+                        self.pos += 1;
+                        let name = self.ident()?;
+                        expr.terms.push((sign * n, name));
+                    } else {
+                        expr.constant += sign * n;
+                    }
+                }
+                Some(Tok::Ident(_)) => {
+                    let name = self.ident()?;
+                    expr.terms.push((sign, name));
+                }
+                other => return self.err(format!("expected weight term, found {other:?}")),
+            }
+            match self.peek() {
+                Some(Tok::Symbol('+')) => {
+                    self.pos += 1;
+                    sign = 1.0;
+                }
+                Some(Tok::Symbol('-')) => {
+                    self.pos += 1;
+                    sign = -1.0;
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    /// `WITH WEIGHTS (w1, …) [CONSTRAIN wexpr {<=|>=|=} number [AND …]]`
+    /// — `WITH` already consumed.
+    fn weights_clause(&mut self) -> Result<WeightsClause, ParseError> {
+        self.expect_keyword("WEIGHTS")?;
+        self.expect_symbol('(')?;
+        let mut names = vec![self.ident()?];
+        while matches!(self.peek(), Some(Tok::Symbol(','))) {
+            self.pos += 1;
+            names.push(self.ident()?);
+        }
+        self.expect_symbol(')')?;
+        let mut constraints = Vec::new();
+        if self.eat_keyword("CONSTRAIN") {
+            loop {
+                let lhs = self.weight_expr()?;
+                let op = match self.bump() {
+                    Some(Tok::Le) => WeightCmp::Le,
+                    Some(Tok::Ge) => WeightCmp::Ge,
+                    Some(Tok::Symbol('=')) => WeightCmp::Eq,
+                    Some(Tok::Lt) | Some(Tok::Gt) => {
+                        self.pos -= 1;
+                        return self.err(
+                            "weight constraints must use <=, >= or = \
+                             (the weight polytope is closed)",
+                        );
+                    }
+                    other => {
+                        self.pos -= 1;
+                        return self.err(format!(
+                            "expected weight comparison (<=, >=, =), found {other:?}"
+                        ));
+                    }
+                };
+                let value = match self.bump() {
+                    Some(Tok::Number(v)) => v,
+                    Some(Tok::Symbol('-')) => match self.bump() {
+                        Some(Tok::Number(v)) => -v,
+                        other => {
+                            self.pos -= 1;
+                            return self.err(format!("expected number, found {other:?}"));
+                        }
+                    },
+                    other => {
+                        self.pos -= 1;
+                        return self.err(format!(
+                            "expected constant right-hand side, found {other:?}"
+                        ));
+                    }
+                };
+                constraints.push(WeightPredicate { lhs, op, value });
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+        Ok(WeightsClause { names, constraints })
+    }
+
     fn comparison_op(&mut self) -> Result<ComparisonOp, ParseError> {
         match self.bump() {
             Some(Tok::Symbol('=')) => Ok(ComparisonOp::Eq),
@@ -392,6 +496,14 @@ pub fn parse_query(src: &str) -> Result<Query, ParseError> {
         }
     }
 
+    // Optional flexible-skyline clause:
+    // WITH WEIGHTS (w1, …) [CONSTRAIN …].
+    let weights = if p.eat_keyword("WITH") {
+        Some(p.weights_clause()?)
+    } else {
+        None
+    };
+
     if p.peek().is_some() {
         return p.err("trailing input after PREFERRING clause");
     }
@@ -402,6 +514,7 @@ pub fn parse_query(src: &str) -> Result<Query, ParseError> {
         join,
         filters,
         preferences,
+        weights,
     })
 }
 
@@ -524,5 +637,85 @@ mod tests {
     fn error_carries_offset() {
         let err = parse_query("SELECT ?").unwrap_err();
         assert_eq!(err.offset, 7);
+    }
+
+    const Q1_FLEX: &str = "SELECT R.id, T.id, \
+         (R.uPrice + T.uShipCost) AS tCost, \
+         (2 * R.manTime + T.shipTime) AS delay \
+         FROM Suppliers R, Transporters T \
+         WHERE R.country = T.country \
+         PREFERRING LOWEST(tCost) AND LOWEST(delay) \
+         WITH WEIGHTS (wc, wd) \
+         CONSTRAIN wc >= 0.3 AND wc - 0.5 * wd <= 0.4 AND wc + wd = 1";
+
+    #[test]
+    fn parses_with_weights_clause() {
+        let q = parse_query(Q1_FLEX).expect("flexible Q1 parses");
+        let w = q.weights.expect("weights clause present");
+        assert_eq!(w.names, vec!["wc", "wd"]);
+        assert_eq!(w.constraints.len(), 3);
+        assert_eq!(w.constraints[0].op, WeightCmp::Ge);
+        assert_eq!(w.constraints[0].value, 0.3);
+        assert_eq!(
+            w.constraints[1].lhs.terms,
+            vec![(1.0, "wc".into()), (-0.5, "wd".into())]
+        );
+        assert_eq!(w.constraints[1].op, WeightCmp::Le);
+        assert_eq!(w.constraints[2].op, WeightCmp::Eq);
+        assert_eq!(w.constraints[2].value, 1.0);
+    }
+
+    #[test]
+    fn weights_clause_is_optional() {
+        let q = parse_query(
+            "SELECT (R.a + T.b) AS x FROM A R, B T WHERE R.k = T.k PREFERRING LOWEST(x)",
+        )
+        .unwrap();
+        assert!(q.weights.is_none());
+    }
+
+    #[test]
+    fn weights_without_constraints_parse() {
+        let q = parse_query(
+            "SELECT (R.a + T.b) AS x FROM A R, B T WHERE R.k = T.k \
+             PREFERRING LOWEST(x) WITH WEIGHTS (w)",
+        )
+        .unwrap();
+        let w = q.weights.unwrap();
+        assert_eq!(w.names, vec!["w"]);
+        assert!(w.constraints.is_empty());
+    }
+
+    #[test]
+    fn weight_constraints_allow_negative_bounds() {
+        let q = parse_query(
+            "SELECT (R.a + T.b) AS x, (R.a - T.b) AS y FROM A R, B T WHERE R.k = T.k \
+             PREFERRING LOWEST(x) AND LOWEST(y) \
+             WITH WEIGHTS (u, v) CONSTRAIN u - v >= -0.25",
+        )
+        .unwrap();
+        let w = q.weights.unwrap();
+        assert_eq!(w.constraints[0].op, WeightCmp::Ge);
+        assert_eq!(w.constraints[0].value, -0.25);
+    }
+
+    #[test]
+    fn strict_weight_comparisons_rejected() {
+        let err = parse_query(
+            "SELECT (R.a + T.b) AS x FROM A R, B T WHERE R.k = T.k \
+             PREFERRING LOWEST(x) WITH WEIGHTS (w) CONSTRAIN w < 0.5",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("closed"), "{err}");
+    }
+
+    #[test]
+    fn weights_clause_requires_parentheses() {
+        let err = parse_query(
+            "SELECT (R.a + T.b) AS x FROM A R, B T WHERE R.k = T.k \
+             PREFERRING LOWEST(x) WITH WEIGHTS w",
+        )
+        .unwrap_err();
+        assert!(err.message.contains('('), "{err}");
     }
 }

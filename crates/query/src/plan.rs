@@ -1,8 +1,9 @@
 //! Planner: validates a parsed [`Query`] against a [`Catalog`] and compiles
 //! it into executor-ready artifacts (filtered sources + a [`MapSet`]).
 
-use crate::ast::{ColumnRef, ComparisonOp, Expr, Query};
+use crate::ast::{ColumnRef, ComparisonOp, Expr, Query, WeightCmp, WeightsClause};
 use crate::catalog::{Catalog, StreamTable, TableSchema};
+use progxe_core::fdom::{DominanceModel, FDominance, FdomError, WeightConstraint};
 use progxe_core::mapping::{MapSet, MappingFunction, WeightedSum};
 use progxe_core::source::SourceData;
 use progxe_skyline::{Order, Preference};
@@ -29,6 +30,21 @@ pub enum PlanError {
     PreferenceMismatch(String),
     /// The query must define at least one output.
     NoOutputs,
+    /// `WITH WEIGHTS` declares a different number of weights than outputs.
+    WeightArity {
+        /// Weights declared.
+        weights: usize,
+        /// Mapped outputs defined.
+        outputs: usize,
+    },
+    /// A weight name is declared twice.
+    DuplicateWeight(String),
+    /// A `CONSTRAIN` clause references an undeclared weight name.
+    UnknownWeight(String),
+    /// The declared weight family is degenerate (empty polytope, NaN
+    /// bounds, …) — rejected at plan time so execution can never panic on
+    /// it (see [`FdomError`]).
+    BadWeights(FdomError),
 }
 
 impl fmt::Display for PlanError {
@@ -53,6 +69,16 @@ impl fmt::Display for PlanError {
                 write!(f, "output {n:?} needs exactly one PREFERRING entry")
             }
             PlanError::NoOutputs => write!(f, "query defines no mapped outputs"),
+            PlanError::WeightArity { weights, outputs } => write!(
+                f,
+                "WITH WEIGHTS declares {weights} weight(s) but the query defines \
+                 {outputs} output(s) — weights bind positionally to outputs"
+            ),
+            PlanError::DuplicateWeight(n) => write!(f, "weight {n:?} declared twice"),
+            PlanError::UnknownWeight(n) => {
+                write!(f, "CONSTRAIN references undeclared weight {n:?}")
+            }
+            PlanError::BadWeights(e) => write!(f, "bad weight family: {e}"),
         }
     }
 }
@@ -195,8 +221,18 @@ pub fn compile(
     for def in &query.outputs {
         maps.push(Box::new(compile_expr(&def.expr)?));
     }
-    let maps =
+    let mut maps =
         MapSet::new(maps, Preference::new(pref_orders)).expect("arity consistent by construction");
+
+    // WITH WEIGHTS: compile the flexible-dominance model. Degenerate
+    // families (empty polytope, NaN/negative-infeasible bounds) surface as
+    // typed plan errors here — execution can never hit them.
+    if let Some(clause) = &query.weights {
+        let model = compile_weights(clause, query.outputs.len())?;
+        maps = maps
+            .with_dominance(model)
+            .expect("weight dimensionality checked in compile_weights");
+    }
 
     // Compile filters per side (selection push-down below the join).
     let mut r_filters = Vec::new();
@@ -273,6 +309,59 @@ pub fn plan_streaming(query: &Query, catalog: &Catalog) -> Result<StreamingPlan,
         r: r_table.clone(),
         t: t_table.clone(),
     })
+}
+
+/// Compiles a `WITH WEIGHTS` clause into a [`DominanceModel`]: weight
+/// names bind positionally to the SELECT outputs, `CONSTRAIN` conjuncts
+/// become `A·w ≤ b` rows (`≥` negated, `=` a pair of inequalities), and
+/// the weight polytope's vertices are enumerated eagerly so degeneracies
+/// are plan-time errors.
+fn compile_weights(clause: &WeightsClause, outputs: usize) -> Result<DominanceModel, PlanError> {
+    if clause.names.len() != outputs {
+        return Err(PlanError::WeightArity {
+            weights: clause.names.len(),
+            outputs,
+        });
+    }
+    for (i, name) in clause.names.iter().enumerate() {
+        if clause.names[..i].contains(name) {
+            return Err(PlanError::DuplicateWeight(name.clone()));
+        }
+    }
+    let index_of = |name: &str| -> Result<usize, PlanError> {
+        clause
+            .names
+            .iter()
+            .position(|n| n == name)
+            .ok_or_else(|| PlanError::UnknownWeight(name.to_owned()))
+    };
+
+    let k = clause.names.len();
+    let mut constraints = Vec::new();
+    for pred in &clause.constraints {
+        let mut coeffs = vec![0.0; k];
+        for (c, name) in &pred.lhs.terms {
+            coeffs[index_of(name)?] += c;
+        }
+        // Move the lhs constant to the rhs: terms·w + c OP v ⇔ terms·w OP v − c.
+        let bound = pred.value - pred.lhs.constant;
+        match pred.op {
+            WeightCmp::Le => constraints.push(WeightConstraint::le(coeffs, bound)),
+            WeightCmp::Ge => constraints.push(WeightConstraint::le(
+                coeffs.iter().map(|c| -c).collect(),
+                -bound,
+            )),
+            WeightCmp::Eq => {
+                constraints.push(WeightConstraint::le(
+                    coeffs.iter().map(|c| -c).collect(),
+                    -bound,
+                ));
+                constraints.push(WeightConstraint::le(coeffs, bound));
+            }
+        }
+    }
+    let fdom = FDominance::new(k, constraints).map_err(PlanError::BadWeights)?;
+    Ok(DominanceModel::flexible(fdom))
 }
 
 fn apply_filters(data: &SourceData, filters: &[SideFilter]) -> (SourceData, Vec<u32>) {
@@ -422,6 +511,124 @@ mod tests {
             plan(&q, &catalog()),
             Err(PlanError::UnknownPreference(_))
         ));
+    }
+
+    const Q1_FLEX: &str = "SELECT R.id, T.id, \
+         (R.uPrice + T.uShipCost) AS tCost, \
+         (2 * R.manTime + T.shipTime) AS delay \
+         FROM Suppliers R, Transporters T \
+         WHERE R.country = T.country \
+         PREFERRING LOWEST(tCost) AND LOWEST(delay) \
+         WITH WEIGHTS (wc, wd) CONSTRAIN wc >= 0.3 AND wc <= 0.7";
+
+    #[test]
+    fn plans_flexible_weights_into_a_model() {
+        let q = parse_query(Q1_FLEX).unwrap();
+        let p = plan(&q, &catalog()).unwrap();
+        let fdom = p.maps.dominance().as_flexible().expect("flexible model");
+        assert_eq!(fdom.dims(), 2);
+        assert_eq!(fdom.vertex_count(), 2, "band in 2-d has two vertices");
+        // Vertices are (0.3, 0.7) and (0.7, 0.3) up to order.
+        let mut firsts: Vec<f64> = fdom.vertices().map(|v| v[0]).collect();
+        firsts.sort_by(f64::total_cmp);
+        assert!((firsts[0] - 0.3).abs() < 1e-9);
+        assert!((firsts[1] - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn queries_without_weights_stay_pareto() {
+        let q = parse_query(Q1).unwrap();
+        let p = plan(&q, &catalog()).unwrap();
+        assert!(p.maps.dominance().is_pareto());
+    }
+
+    #[test]
+    fn weight_arity_mismatch_rejected() {
+        let q = parse_query(
+            "SELECT (R.uPrice + T.uShipCost) AS a FROM Suppliers R, Transporters T \
+             WHERE R.country = T.country PREFERRING LOWEST(a) WITH WEIGHTS (u, v)",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan(&q, &catalog()),
+            Err(PlanError::WeightArity {
+                weights: 2,
+                outputs: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_weights_rejected() {
+        let q = parse_query(
+            "SELECT (R.uPrice + T.uShipCost) AS a, (R.manTime + T.shipTime) AS b \
+             FROM Suppliers R, Transporters T WHERE R.country = T.country \
+             PREFERRING LOWEST(a) AND LOWEST(b) WITH WEIGHTS (w, w)",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan(&q, &catalog()),
+            Err(PlanError::DuplicateWeight(_))
+        ));
+        let q = parse_query(
+            "SELECT (R.uPrice + T.uShipCost) AS a, (R.manTime + T.shipTime) AS b \
+             FROM Suppliers R, Transporters T WHERE R.country = T.country \
+             PREFERRING LOWEST(a) AND LOWEST(b) \
+             WITH WEIGHTS (u, v) CONSTRAIN zz <= 0.5",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan(&q, &catalog()),
+            Err(PlanError::UnknownWeight(_))
+        ));
+    }
+
+    #[test]
+    fn degenerate_weight_families_are_plan_errors_not_panics() {
+        // Empty polytope: u >= 0.9 and u <= 0.1.
+        let q = parse_query(
+            "SELECT (R.uPrice + T.uShipCost) AS a, (R.manTime + T.shipTime) AS b \
+             FROM Suppliers R, Transporters T WHERE R.country = T.country \
+             PREFERRING LOWEST(a) AND LOWEST(b) \
+             WITH WEIGHTS (u, v) CONSTRAIN u >= 0.9 AND u <= 0.1",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan(&q, &catalog()),
+            Err(PlanError::BadWeights(
+                progxe_core::fdom::FdomError::EmptyPolytope
+            ))
+        ));
+        // Negative bound conflicting with w ≥ 0.
+        let q = parse_query(
+            "SELECT (R.uPrice + T.uShipCost) AS a, (R.manTime + T.shipTime) AS b \
+             FROM Suppliers R, Transporters T WHERE R.country = T.country \
+             PREFERRING LOWEST(a) AND LOWEST(b) \
+             WITH WEIGHTS (u, v) CONSTRAIN u <= -0.5",
+        )
+        .unwrap();
+        assert!(matches!(
+            plan(&q, &catalog()),
+            Err(PlanError::BadWeights(
+                progxe_core::fdom::FdomError::EmptyPolytope
+            ))
+        ));
+    }
+
+    #[test]
+    fn equality_weight_constraint_pins_the_family() {
+        // u = 0.5 leaves a single weight vector: the flexible skyline
+        // degenerates to the argmin of that weighted sum.
+        let q = parse_query(
+            "SELECT (R.uPrice + T.uShipCost) AS a, (R.manTime + T.shipTime) AS b \
+             FROM Suppliers R, Transporters T WHERE R.country = T.country \
+             PREFERRING LOWEST(a) AND LOWEST(b) \
+             WITH WEIGHTS (u, v) CONSTRAIN u = 0.5",
+        )
+        .unwrap();
+        let p = plan(&q, &catalog()).unwrap();
+        let fdom = p.maps.dominance().as_flexible().unwrap();
+        assert_eq!(fdom.vertex_count(), 1);
     }
 
     #[test]

@@ -6,12 +6,20 @@
 //! is compared against the current window; dominated incomers are dropped,
 //! and incomers that dominate window entries evict them.
 
+use crate::dominance::Dominance;
 use crate::{PointStore, Preference, SkylineResult, SkylineStats};
 
 /// Computes the skyline of `store` under `pref` with the BNL window
 /// algorithm. Output order is unspecified (window order).
 pub fn bnl_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
-    assert_eq!(store.dims(), pref.dims(), "store/preference dims mismatch");
+    bnl_skyline_under(store, pref)
+}
+
+/// [`bnl_skyline`] generalized over any [`Dominance`] model. BNL's window
+/// maintenance only needs the relation to be a strict partial order, so the
+/// same single pass computes flexible (F-dominance) skylines.
+pub fn bnl_skyline_under<D: Dominance>(store: &PointStore, dom: &D) -> SkylineResult {
+    assert_eq!(store.dims(), dom.dims(), "store/dominance dims mismatch");
     let mut window: Vec<usize> = Vec::new();
     let mut stats = SkylineStats::default();
     for i in 0..store.len() {
@@ -22,11 +30,11 @@ pub fn bnl_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
         while w < window.len() {
             stats.dominance_tests += 1;
             let q = store.point(window[w]);
-            if pref.dominates(q, p) {
+            if dom.dominates(q, p) {
                 dominated = true;
                 break;
             }
-            if pref.dominates(p, q) {
+            if dom.dominates(p, q) {
                 // Evict the dominated window entry; order is irrelevant.
                 window.swap_remove(w);
             } else {

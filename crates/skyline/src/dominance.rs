@@ -1,4 +1,52 @@
-//! Pairwise dominance classification.
+//! Pairwise dominance classification and the pluggable dominance test.
+
+use crate::preference::Preference;
+
+/// A pluggable tuple-level dominance test over raw attribute values.
+///
+/// The classic algorithms of this crate were written against the Pareto
+/// [`Preference`] model (Definition 1 of the paper). Flexible-skyline
+/// workloads (F-dominance over a constrained family of scoring weights —
+/// arXiv:2202.09857, arXiv:2201.04899) need the *same* algorithms under a
+/// different, strictly stronger dominance relation. This trait is the seam:
+/// [`crate::bnl::bnl_skyline_under`], [`crate::sfs::sfs_skyline_under`], and
+/// [`crate::reference::naive_skyline_under`] are generic over it, and
+/// `Preference` implements it with its existing semantics, so the historical
+/// entry points behave bit-for-bit as before.
+///
+/// Implementations must be a **strict partial order** (irreflexive,
+/// transitive, antisymmetric); BNL-style window maintenance is unsound
+/// otherwise.
+pub trait Dominance {
+    /// Number of attribute dimensions the test expects.
+    fn dims(&self) -> usize;
+
+    /// True iff `a` dominates `b`.
+    fn dominates(&self, a: &[f64], b: &[f64]) -> bool;
+
+    /// A score that is strictly monotone with respect to the relation: if
+    /// `a` dominates `b` then `monotone_score(a) < monotone_score(b)`.
+    /// Presorting algorithms (SFS) rely on this to guarantee that no tuple
+    /// is dominated by a later one in ascending score order.
+    fn monotone_score(&self, a: &[f64]) -> f64;
+}
+
+impl Dominance for Preference {
+    #[inline]
+    fn dims(&self) -> usize {
+        Preference::dims(self)
+    }
+
+    #[inline]
+    fn dominates(&self, a: &[f64], b: &[f64]) -> bool {
+        Preference::dominates(self, a, b)
+    }
+
+    #[inline]
+    fn monotone_score(&self, a: &[f64]) -> f64 {
+        Preference::monotone_score(self, a)
+    }
+}
 
 /// Outcome of comparing two tuples under a Pareto [`crate::Preference`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -33,12 +33,12 @@ pub mod salsa;
 pub mod sfs;
 pub mod stats;
 
-pub use bnl::bnl_skyline;
+pub use bnl::{bnl_skyline, bnl_skyline_under};
 pub use dnc::dnc_skyline;
-pub use dominance::DomRelation;
+pub use dominance::{DomRelation, Dominance};
 pub use point::PointStore;
 pub use preference::{Order, Preference};
-pub use reference::naive_skyline;
+pub use reference::{naive_skyline, naive_skyline_under};
 pub use salsa::salsa_skyline;
-pub use sfs::sfs_skyline;
+pub use sfs::{sfs_skyline, sfs_skyline_under};
 pub use stats::{SkylineResult, SkylineStats};

@@ -1,5 +1,6 @@
 //! Naive O(n²) skyline — the correctness oracle for everything else.
 
+use crate::dominance::Dominance;
 use crate::{PointStore, Preference, SkylineResult, SkylineStats};
 
 /// Computes the skyline by comparing every pair of points.
@@ -12,7 +13,13 @@ use crate::{PointStore, Preference, SkylineResult, SkylineStats};
 /// non-dominated, matching Definition 1: equal tuples never dominate each
 /// other.
 pub fn naive_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
-    assert_eq!(store.dims(), pref.dims(), "store/preference dims mismatch");
+    naive_skyline_under(store, pref)
+}
+
+/// [`naive_skyline`] generalized over any [`Dominance`] model — the oracle
+/// for flexible-skyline (F-dominance) tests.
+pub fn naive_skyline_under<D: Dominance>(store: &PointStore, dom: &D) -> SkylineResult {
+    assert_eq!(store.dims(), dom.dims(), "store/dominance dims mismatch");
     let n = store.len();
     let mut stats = SkylineStats::default();
     let mut indices = Vec::new();
@@ -24,7 +31,7 @@ pub fn naive_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
                 continue;
             }
             stats.dominance_tests += 1;
-            if pref.dominates(store.point(j), p) {
+            if dom.dominates(store.point(j), p) {
                 continue 'outer;
             }
         }

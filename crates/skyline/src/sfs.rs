@@ -7,16 +7,25 @@
 //! SFS a progressive single-set skyline algorithm (the paper's Section VII
 //! discusses this family \[4\], \[5\]).
 
+use crate::dominance::Dominance;
 use crate::{PointStore, Preference, SkylineResult, SkylineStats};
 
 /// Computes the skyline by sorting on [`Preference::monotone_score`] and
 /// filtering in one pass. Output indices are in score order (ascending),
 /// i.e. in the order a progressive consumer would receive them.
 pub fn sfs_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
+    sfs_skyline_under(store, pref)
+}
+
+/// [`sfs_skyline`] generalized over any [`Dominance`] model. Correct for
+/// any model whose [`Dominance::monotone_score`] honors the strict-monotone
+/// contract — a dominated tuple always sorts after some dominator, so the
+/// append-only window stays sufficient.
+pub fn sfs_skyline_under<D: Dominance>(store: &PointStore, dom: &D) -> SkylineResult {
     let mut result = SkylineResult::default();
-    sfs_skyline_with(
+    sfs_skyline_with_under(
         store,
-        pref,
+        dom,
         |idx| result.indices.push(idx),
         &mut result.stats,
     );
@@ -28,16 +37,26 @@ pub fn sfs_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
 pub fn sfs_skyline_with<F: FnMut(usize)>(
     store: &PointStore,
     pref: &Preference,
+    emit: F,
+    stats: &mut SkylineStats,
+) {
+    sfs_skyline_with_under(store, pref, emit, stats)
+}
+
+/// [`sfs_skyline_with`] generalized over any [`Dominance`] model.
+pub fn sfs_skyline_with_under<D: Dominance, F: FnMut(usize)>(
+    store: &PointStore,
+    dom: &D,
     mut emit: F,
     stats: &mut SkylineStats,
 ) {
-    assert_eq!(store.dims(), pref.dims(), "store/preference dims mismatch");
+    assert_eq!(store.dims(), dom.dims(), "store/dominance dims mismatch");
     let n = store.len();
     let mut order: Vec<u32> = (0..n as u32).collect();
     // total_cmp is safe here: scores of finite inputs are finite.
     order.sort_by(|&a, &b| {
-        pref.monotone_score(store.point(a as usize))
-            .total_cmp(&pref.monotone_score(store.point(b as usize)))
+        dom.monotone_score(store.point(a as usize))
+            .total_cmp(&dom.monotone_score(store.point(b as usize)))
     });
     let mut window: Vec<u32> = Vec::new();
     'outer: for &i in &order {
@@ -45,7 +64,7 @@ pub fn sfs_skyline_with<F: FnMut(usize)>(
         let p = store.point(i as usize);
         for &w in &window {
             stats.dominance_tests += 1;
-            if pref.dominates(store.point(w as usize), p) {
+            if dom.dominates(store.point(w as usize), p) {
                 continue 'outer;
             }
         }

@@ -1,0 +1,5 @@
+//! Shared helpers for the integration suites. Each test binary compiles
+//! this module independently and uses a subset of it.
+#![allow(dead_code)]
+
+pub mod oracle;

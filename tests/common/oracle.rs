@@ -1,0 +1,44 @@
+//! The one brute-force reference every integration suite checks against:
+//! full nested-loop join + map + skyline under the query's
+//! [`DominanceModel`](progxe::core::fdom::DominanceModel) — classical
+//! Pareto by default, F-dominance when the [`MapSet`] carries a flexible
+//! weight family. Replaces the per-suite oracles that used to be
+//! duplicated across `tests/parallel.rs`, `tests/ingest.rs`, and
+//! `tests/streaming.rs`.
+
+use progxe::core::mapping::MapSet;
+use progxe::core::source::SourceView;
+use progxe::datagen::SmjWorkload;
+use std::collections::BTreeSet;
+
+/// Brute-force result-id set of a SkyMapJoin query under `maps`'s
+/// dominance model: every join match is materialized and a tuple survives
+/// iff no other match dominates it ([`MapSet::result_dominates`]).
+pub fn oracle_ids(r: &SourceView<'_>, t: &SourceView<'_>, maps: &MapSet) -> BTreeSet<(u32, u32)> {
+    let mut points: Vec<Vec<f64>> = Vec::new();
+    let mut ids: Vec<(u32, u32)> = Vec::new();
+    let mut buf = Vec::new();
+    for ri in 0..r.len() {
+        for ti in 0..t.len() {
+            if r.join_key_of(ri) != t.join_key_of(ti) {
+                continue;
+            }
+            maps.eval_into(r.attrs_of(ri), t.attrs_of(ti), &mut buf);
+            points.push(buf.clone());
+            ids.push((ri as u32, ti as u32));
+        }
+    }
+    (0..ids.len())
+        .filter(|&i| {
+            !(0..ids.len()).any(|j| j != i && maps.result_dominates(&points[j], &points[i]))
+        })
+        .map(|i| ids[i])
+        .collect()
+}
+
+/// [`oracle_ids`] over a generated workload's two relations.
+pub fn workload_oracle_ids(w: &SmjWorkload, maps: &MapSet) -> BTreeSet<(u32, u32)> {
+    let r = SourceView::new(&w.r.attrs, &w.r.join_keys).expect("parallel arrays");
+    let t = SourceView::new(&w.t.attrs, &w.t.join_keys).expect("parallel arrays");
+    oracle_ids(&r, &t, maps)
+}

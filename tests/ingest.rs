@@ -10,6 +10,8 @@
 //! `[0, 1]` and monotone, every batch proven-final, and no tuple ever
 //! emitted twice (no retraction).
 
+mod common;
+
 use progxe::core::ingest::{IngestPoll, IngestSession, SourceId, StreamSpec};
 use progxe::core::prelude::*;
 use progxe::datagen::{ArrivalSchedule, ArrivalSpec, Batching, Distribution, WorkloadSpec};
@@ -135,6 +137,14 @@ fn batch_ids(w: &progxe::datagen::SmjWorkload) -> Vec<(u32, u32)> {
     ids
 }
 
+/// The shared brute-force oracle's result set (tests/common/oracle.rs).
+fn naive_ids(w: &progxe::datagen::SmjWorkload) -> Vec<(u32, u32)> {
+    let maps = MapSet::pairwise_sum(DIMS, Preference::all_lowest(DIMS));
+    common::oracle::workload_oracle_ids(w, &maps)
+        .into_iter()
+        .collect()
+}
+
 /// The sampled schedule grid: 3 orders × 3 batchings/cadences = 9 specs.
 fn schedule_specs(seed: u64) -> Vec<ArrivalSpec> {
     let mut specs = Vec::new();
@@ -200,10 +210,12 @@ fn arrival_order_fuzz(pooled: bool) {
                 reference.iter().map(|b| b.len()).sum::<usize>() > 0,
                 "workload produced no results — fuzz would be vacuous"
             );
-            // Result-set equality with the *batch engine*.
+            // Result-set equality with the *batch engine* and with the
+            // shared brute-force oracle.
             let mut flat: Vec<(u32, u32)> = reference.iter().flatten().copied().collect();
             flat.sort_unstable();
             assert_eq!(flat, batch_ids(&w), "{dist:?}/{seed}: oracle vs batch");
+            assert_eq!(flat, naive_ids(&w), "{dist:?}/{seed}: oracle vs naive");
 
             for (si, spec) in schedule_specs(seed).into_iter().enumerate() {
                 // R and T follow differently-seeded variants of the same

@@ -5,13 +5,14 @@
 //! env-driven thread configuration, pool sharing across the sessions of
 //! one engine, and mid-region cancellation promptness on both backends.
 
+mod common;
+
 use progxe::core::config::ProgXeConfig;
 use progxe::core::mapping::{GeneralMap, MapSet, MappingFunction};
 use progxe::core::prelude::*;
 use progxe::core::session::CancellationToken;
 use progxe::datagen::{Distribution, SmjWorkload, WorkloadSpec};
 use progxe::runtime::ParallelProgXe;
-use progxe::skyline::naive_skyline;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -83,28 +84,6 @@ fn parallel_matches_sequential_across_distributions_and_seeds() {
     }
 }
 
-/// The driver-independent reference: full nested-loop join + map + naive
-/// skyline. This is what the pre-refactor executor was verified against,
-/// so agreement here pins today's unified driver to the pre-PR behavior.
-fn oracle_ids(w: &SmjWorkload, maps: &MapSet) -> BTreeSet<(u32, u32)> {
-    let (r, t) = views(w);
-    let mut points = progxe::skyline::PointStore::new(maps.out_dims());
-    let mut ids = Vec::new();
-    let mut out = Vec::new();
-    for ri in 0..r.len() {
-        for ti in 0..t.len() {
-            if r.join_key_of(ri) != t.join_key_of(ti) {
-                continue;
-            }
-            maps.eval_into(r.attrs_of(ri), t.attrs_of(ti), &mut out);
-            points.push(&out);
-            ids.push((ri as u32, ti as u32));
-        }
-    }
-    let sky = naive_skyline(&points, maps.preference());
-    sky.indices.iter().map(|&i| ids[i]).collect()
-}
-
 /// The tentpole's equivalence matrix: for each datagen distribution and
 /// several seeds, the unified driver must produce the oracle's result set
 /// on *every* backend/path combination — Inline with the default
@@ -123,7 +102,10 @@ fn unified_driver_matches_oracle_on_every_backend() {
                 .generate();
             let (r, t) = views(&w);
             let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
-            let expected = oracle_ids(&w, &maps);
+            // Shared brute-force reference (tests/common/oracle.rs): full
+            // nested-loop join + map + model-aware skyline — what the
+            // pre-refactor executor was verified against.
+            let expected = common::oracle::workload_oracle_ids(&w, &maps);
             assert!(!expected.is_empty(), "{dist:?}/{seed}: empty oracle");
 
             let run_ids = |out: &progxe::core::RunOutput| -> BTreeSet<(u32, u32)> {

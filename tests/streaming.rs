@@ -2,6 +2,8 @@
 //! equivalence across every engine, `take(k)` early termination, and
 //! cancellation — on generated workloads, through the facade crate.
 
+mod common;
+
 use progxe::baselines::{JfSlEngine, SajEngine, SkyAlgo, SsmjEngine};
 use progxe::core::prelude::*;
 use progxe::datagen::{Distribution, SmjWorkload, WorkloadSpec};
@@ -36,10 +38,21 @@ fn stream_and_sink_agree_for_every_engine() {
         .generate();
     let (r, t) = views(&w);
     let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+    // Shared brute-force reference (tests/common/oracle.rs): every engine's
+    // final set must cover it; non-tentative engines must equal it.
+    let expected = common::oracle::workload_oracle_ids(&w, &maps);
     for engine in engines() {
         // Push path.
         let mut sink = CollectSink::default();
         let sink_stats = engine.run_sink(&r, &t, &maps, &mut sink).unwrap();
+        let emitted: std::collections::BTreeSet<(u32, u32)> =
+            sink.results.iter().map(|x| (x.r_idx, x.t_idx)).collect();
+        for id in &expected {
+            assert!(emitted.contains(id), "{}: missing {id:?}", engine.name());
+        }
+        if engine.name() != "ssmj" {
+            assert_eq!(emitted, expected, "{}: oracle mismatch", engine.name());
+        }
 
         // Pull path.
         let mut session = engine.open(&r, &t, &maps).unwrap();
