@@ -12,7 +12,7 @@
 
 use progxe_bench::figures::{
     ablate_delta, ablate_order, cellbound, fdom, fig10_prog, fig10_time, fig11, fig12, fig13,
-    ingest, scaling, ssmj_soundness, threads, ExpOptions,
+    ingest, obs, scaling, ssmj_soundness, threads, ExpOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -33,6 +33,7 @@ experiments:
   threads         end-to-end speedup vs ProgXeConfig::threads (parallel runtime)
   ingest          streaming ingestion: first-result latency vs arrival rate
   fdom            flexible skylines: shrinkage + latency vs constraint tightness
+  obs             tracing overhead: recorder off / null / ring (gated)
   all             everything above
 
 options:
@@ -102,6 +103,7 @@ fn main() -> ExitCode {
             "threads" => threads(opt),
             "ingest" => ingest(opt),
             "fdom" => fdom(opt),
+            "obs" => obs(opt),
             _ => return false,
         }
         true
@@ -123,6 +125,7 @@ fn main() -> ExitCode {
                 "threads",
                 "ingest",
                 "fdom",
+                "obs",
             ] {
                 println!();
                 run_one(name, &opt);

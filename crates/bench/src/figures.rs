@@ -1003,6 +1003,233 @@ fn write_fdom_outputs(opt: &ExpOptions, runs: &[FdomRun]) {
     println!("json written to {}", path.display());
 }
 
+/// One measured tracing-overhead run (see [`obs`]).
+pub struct ObsRun {
+    /// Recorder mode: `"off"` (no recorder attached), `"null"` (a
+    /// [`progxe_obs::NullRecorder`] — attached but disabled), or `"ring"`
+    /// (full event capture into a [`progxe_obs::RingRecorder`]).
+    pub mode: &'static str,
+    /// End-to-end wall time of the best (min-wall) repeat.
+    pub wall_ms: f64,
+    /// First proven-final result latency of that repeat.
+    pub first_result_ms: Option<f64>,
+    /// Final result count — identical across modes by Principle 1 (tracing
+    /// must never change what is emitted).
+    pub results: u64,
+    /// Events recorded by the ring (0 for off/null).
+    pub events: u64,
+    /// Events dropped on ring overflow (0 for off/null).
+    pub dropped: u64,
+}
+
+/// Ring capacity used by the `ring` leg — the recorder default, large
+/// enough that the reference workload never overflows (asserted).
+pub const OBS_RING_CAPACITY: usize = 64 * 1024;
+
+/// The ring-vs-null overhead bound enforced by [`obs`]: full runs gate at
+/// 3%; quick (CI smoke) runs use a generous 25% margin because their
+/// millisecond-scale walls are noise-dominated on shared runners.
+pub fn obs_overhead_gate(quick: bool) -> f64 {
+    if quick {
+        0.25
+    } else {
+        0.03
+    }
+}
+
+/// Tracing overhead: wall time and first-result latency of the reference
+/// progressive workload (anti-correlated, d = 3, σ = 0.1) with the
+/// recorder off, attached-but-null, and fully recording into a bounded
+/// ring. Writes `obs.csv` and machine-readable `BENCH_obs.json`; CI
+/// uploads the JSON next to the threads/ingest/fdom artifacts.
+///
+/// **Gate**: the `ring` leg's wall time must stay within
+/// [`obs_overhead_gate`] of the `null` leg's — panics otherwise, so a
+/// regression that makes tracing expensive fails the build instead of
+/// silently taxing every traced session.
+pub fn obs(opt: &ExpOptions) {
+    let runs = obs_measurements(opt);
+    let gate = obs_overhead_gate(opt.quick);
+    assert_obs_overhead(&runs, gate);
+    write_obs_outputs(opt, &runs, gate);
+}
+
+fn obs_wall(runs: &[ObsRun], mode: &str) -> f64 {
+    runs.iter()
+        .find(|r| r.mode == mode)
+        .map(|r| r.wall_ms)
+        .expect("mode measured")
+}
+
+fn assert_obs_overhead(runs: &[ObsRun], gate: f64) {
+    let null = obs_wall(runs, "null");
+    let ring = obs_wall(runs, "ring");
+    let overhead = (ring - null) / null;
+    assert!(
+        overhead <= gate,
+        "ring-recorder overhead {:.1}% exceeds the {:.0}% gate \
+         (null={null:.2}ms, ring={ring:.2}ms)",
+        overhead * 100.0,
+        gate * 100.0,
+    );
+}
+
+/// The measured core of [`obs`], separated so tests can assert on the
+/// numbers (modes agree on results; the ring never drops) without
+/// re-running the sweep for the writer.
+pub fn obs_measurements(opt: &ExpOptions) -> Vec<ObsRun> {
+    use progxe_obs::{NullRecorder, Recorder, RingRecorder};
+    use std::sync::Arc;
+
+    let n = opt.pick_n(10_000);
+    let dims = opt.pick_dims(3);
+    let sigma = opt.sigma.unwrap_or(0.1);
+    let repeats = if opt.quick { 3 } else { 5 };
+    println!(
+        "== Tracing overhead: recorder off / null / ring \
+         (anti-correlated, N={n}, d={dims}, sigma={sigma}, min of {repeats}) =="
+    );
+    let w = workload(n, dims, Distribution::AntiCorrelated, sigma, opt.seed);
+    let maps = MapSet::pairwise_sum(dims, Preference::all_lowest(dims));
+    let config = default_config_for(dims, sigma);
+    let r = SourceView::new(&w.r.attrs, &w.r.join_keys).expect("parallel arrays");
+    let t = SourceView::new(&w.t.attrs, &w.t.join_keys).expect("parallel arrays");
+
+    let run_once = |recorder: Option<Arc<dyn Recorder>>| {
+        let mut session = ProgXe::new(config.clone())
+            .with_recorder_opt(recorder)
+            .open(&r, &t, &maps)
+            .expect("valid configuration");
+        let mut first: Option<Duration> = None;
+        while let Some(event) = session.next_batch() {
+            if first.is_none() && !event.tuples.is_empty() {
+                first = Some(event.elapsed);
+            }
+        }
+        (first, session.finish())
+    };
+
+    // Warm-up, discarded: first-touch page faults and lazy allocations
+    // must not land on whichever mode happens to run first.
+    let _ = run_once(None);
+
+    let mut runs = Vec::new();
+    for mode in ["off", "null", "ring"] {
+        let mut best: Option<ObsRun> = None;
+        for _ in 0..repeats {
+            let ring =
+                (mode == "ring").then(|| Arc::new(RingRecorder::with_capacity(OBS_RING_CAPACITY)));
+            let recorder: Option<Arc<dyn Recorder>> = match mode {
+                "off" => None,
+                "null" => Some(Arc::new(NullRecorder)),
+                _ => ring.clone().map(|r| r as Arc<dyn Recorder>),
+            };
+            let (first, stats) = run_once(recorder);
+            assert!(!stats.cancelled);
+            let run = ObsRun {
+                mode,
+                wall_ms: stats.total_time.as_secs_f64() * 1e3,
+                first_result_ms: first.map(|d| d.as_secs_f64() * 1e3),
+                results: stats.results_emitted,
+                events: ring.as_ref().map(|r| r.recorded()).unwrap_or(0),
+                dropped: ring.as_ref().map(|r| r.dropped()).unwrap_or(0),
+            };
+            if best.as_ref().is_none_or(|b| run.wall_ms < b.wall_ms) {
+                best = Some(run);
+            }
+        }
+        runs.push(best.expect("repeats >= 1"));
+    }
+    runs
+}
+
+/// Renders + persists one set of [`ObsRun`]s (`obs.csv`,
+/// `BENCH_obs.json`).
+fn write_obs_outputs(opt: &ExpOptions, runs: &[ObsRun], gate: f64) {
+    let mut table = Table::new(&["mode", "wall", "first", "results", "events", "dropped"]);
+    let mut rows = Vec::new();
+    let mut json_runs = Vec::new();
+    for run in runs {
+        table.row(vec![
+            run.mode.to_string(),
+            format!("{:.1}ms", run.wall_ms),
+            run.first_result_ms
+                .map(|v| format!("{v:.1}ms"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{}", run.results),
+            format!("{}", run.events),
+            format!("{}", run.dropped),
+        ]);
+        rows.push(vec![
+            run.mode.to_string(),
+            format!("{:.3}", run.wall_ms),
+            run.first_result_ms
+                .map(|v| format!("{v:.3}"))
+                .unwrap_or_default(),
+            format!("{}", run.results),
+            format!("{}", run.events),
+            format!("{}", run.dropped),
+        ]);
+        json_runs.push(json_object(&[
+            ("mode", json_str(run.mode)),
+            ("wall_ms", format!("{:.3}", run.wall_ms)),
+            (
+                "first_result_ms",
+                run.first_result_ms
+                    .map(|v| format!("{v:.3}"))
+                    .unwrap_or_else(|| "null".into()),
+            ),
+            ("results", format!("{}", run.results)),
+            ("events", format!("{}", run.events)),
+            ("dropped", format!("{}", run.dropped)),
+        ]));
+    }
+    println!("{}", table.render());
+    let null = obs_wall(runs, "null");
+    let off = obs_wall(runs, "off");
+    let ring = obs_wall(runs, "ring");
+    let ring_pct = (ring - null) / null * 100.0;
+    let null_pct = (null - off) / off * 100.0;
+    println!(
+        "ring-vs-null overhead: {ring_pct:+.2}% (gate {:.0}%)",
+        gate * 100.0
+    );
+    let path = write_csv(
+        &opt.out,
+        "obs",
+        &[
+            "mode", "wall_ms", "first_ms", "results", "events", "dropped",
+        ],
+        &rows,
+    )
+    .unwrap();
+    println!("rows written to {}", path.display());
+    let json = json_object(&[
+        (
+            "workload",
+            json_object(&[
+                ("distribution", json_str("anti-correlated")),
+                ("n", format!("{}", opt.pick_n(10_000))),
+                ("dims", format!("{}", opt.pick_dims(3))),
+                ("sigma", format!("{}", opt.sigma.unwrap_or(0.1))),
+                ("seed", format!("{}", opt.seed)),
+                ("ring_capacity", format!("{OBS_RING_CAPACITY}")),
+            ]),
+        ),
+        (
+            "overhead",
+            json_object(&[
+                ("gate_pct", format!("{:.1}", gate * 100.0)),
+                ("ring_vs_null_pct", format!("{ring_pct:.2}")),
+                ("null_vs_off_pct", format!("{null_pct:.2}")),
+            ]),
+        ),
+        ("runs", format!("[{}]", json_runs.join(", "))),
+    ]);
+    let path = write_json(&opt.out, "BENCH_obs", &json).unwrap();
+    println!("json written to {}", path.display());
+}
+
 /// Section III-B: the comparable-cell bound. For each new tuple, dominance
 /// comparisons are confined to at most `k^d − (k−1)^d` of the `k^d` output
 /// cells; this experiment reports the *measured* average candidate cells
@@ -1394,6 +1621,51 @@ mod tests {
             "\"wall_ms\"",
         ] {
             assert!(json.contains(key), "BENCH_fdom.json missing {key}");
+        }
+    }
+
+    #[test]
+    fn obs_quick_measures_all_modes_and_writes_json() {
+        let opt = quick_opts("progxe-obs");
+        let runs = obs_measurements(&opt);
+        assert_eq!(runs.len(), 3);
+        let results: Vec<u64> = runs.iter().map(|r| r.results).collect();
+        assert!(
+            results.windows(2).all(|w| w[0] == w[1]),
+            "tracing must not change what is emitted: {results:?}"
+        );
+        let ring = runs.iter().find(|r| r.mode == "ring").unwrap();
+        assert!(ring.results > 0);
+        assert!(ring.events > 0, "ring leg captured nothing");
+        assert_eq!(ring.dropped, 0, "reference workload must fit the ring");
+        for off_mode in ["off", "null"] {
+            let run = runs.iter().find(|r| r.mode == off_mode).unwrap();
+            assert_eq!(run.events, 0, "{off_mode} leg must not record");
+        }
+
+        // The writer runs on the same measurements (no second sweep). The
+        // overhead gate itself is exercised by `figures -- obs` in CI; at
+        // smoke-test scale (parallel test threads, ~ms walls) the ratio is
+        // pure noise, so it is not asserted here.
+        write_obs_outputs(&opt, &runs, obs_overhead_gate(true));
+        assert!(opt.out.join("obs.csv").exists());
+        let json = std::fs::read_to_string(opt.out.join("BENCH_obs.json")).unwrap();
+        for key in [
+            "\"workload\"",
+            "\"ring_capacity\"",
+            "\"overhead\"",
+            "\"gate_pct\"",
+            "\"ring_vs_null_pct\"",
+            "\"mode\"",
+            "\"wall_ms\"",
+            "\"first_result_ms\"",
+            "\"events\"",
+            "\"dropped\"",
+            "\"off\"",
+            "\"null\"",
+            "\"ring\"",
+        ] {
+            assert!(json.contains(key), "BENCH_obs.json missing {key}");
         }
     }
 

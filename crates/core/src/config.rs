@@ -195,9 +195,9 @@ impl ProgXeConfig {
     ///
     /// `from_env()` never errors or panics: an unset or empty variable is
     /// silently ignored, and a malformed or zero value falls back to the
-    /// default thread count with a note on stderr — a bad deployment
-    /// environment must degrade to sequential execution, not take the
-    /// query layer down.
+    /// default thread count with a `progxe_obs::log` warning (filterable
+    /// via `PROGXE_LOG`) — a bad deployment environment must degrade to
+    /// sequential execution, not take the query layer down.
     pub fn from_env() -> Self {
         let mut config = Self::default();
         if let Ok(v) = std::env::var("PROGXE_THREADS") {
@@ -206,11 +206,11 @@ impl ProgXeConfig {
             }
             match v.trim().parse::<usize>() {
                 Ok(n) if n >= 1 => config = config.with_threads(n),
-                _ => eprintln!(
-                    "progxe: ignoring invalid PROGXE_THREADS={v:?} \
+                _ => progxe_obs::log::warn(&format!(
+                    "ignoring invalid PROGXE_THREADS={v:?} \
                      (expected an integer >= 1); using default ({})",
                     config.threads
-                ),
+                )),
             }
         }
         config

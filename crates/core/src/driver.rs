@@ -44,6 +44,7 @@ use crate::progorder::ProgOrderQueue;
 use crate::session::{CancellationToken, ResultEvent, SessionStep};
 use crate::stats::{ExecStats, ResultTuple};
 use crate::tuple_level::{RegionBatch, RegionCtx};
+use progxe_obs::{Point, Span, Trace};
 use progxe_skyline::Order;
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
@@ -313,6 +314,10 @@ pub struct Committer {
     total_regions: usize,
     emitted_buf: Vec<EmittedCell>,
     started: Instant,
+    /// The session's trace handle (disabled unless a recorder was wired in
+    /// at prepare time). Commit-side events are recorded here; the driver
+    /// and pool workers clone it for their own spans.
+    trace: Trace,
 }
 
 /// Everything a pipeline front end (the executor's `prepare`, or the
@@ -329,6 +334,7 @@ pub(crate) struct CommitterParts {
     pub sigma: f64,
     pub cost_model: CostModel,
     pub started: Instant,
+    pub trace: Trace,
 }
 
 impl Committer {
@@ -383,12 +389,19 @@ impl Committer {
             total_regions,
             emitted_buf: Vec::new(),
             started: parts.started,
+            trace: parts.trace,
         }
     }
 
     /// The instant the pipeline started (zero point of event timestamps).
     pub fn started_at(&self) -> Instant {
         self.started
+    }
+
+    /// The session's trace handle (cheap to clone; disabled when no
+    /// recorder was attached).
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Regions not yet resolved.
@@ -427,6 +440,7 @@ impl Committer {
         stats: &mut ExecStats,
         ready: Option<&dyn Fn(u32) -> bool>,
     ) -> Popped {
+        let _span = self.trace.span(Span::RegionPop);
         let ctx = RankCtx {
             regions: &self.regions,
             store: &self.store,
@@ -440,6 +454,9 @@ impl Committer {
         if let Popped::Region(rid) = popped {
             debug_assert!(!self.dispatched[rid as usize], "region {rid} popped twice");
             self.dispatched[rid as usize] = true;
+        }
+        if matches!(popped, Popped::Stalled) {
+            self.trace.point(Point::Stall);
         }
         popped
     }
@@ -478,9 +495,16 @@ impl Committer {
     where
         F: FnOnce(&mut CellStore) -> (crate::tuple_level::TupleLevelStats, bool),
     {
+        let span = self.trace.span(Span::TuplePhase {
+            region_id: u64::from(rid),
+            pairs: self.pair_bound(rid),
+        });
         let compute_started = Instant::now();
         let (tl, completed) = run(&mut self.store);
-        stats.tuple_time += compute_started.elapsed();
+        let compute_elapsed = compute_started.elapsed();
+        span.end();
+        stats.tuple_time += compute_elapsed;
+        stats.region_latency.record(compute_elapsed);
         stats.join_pairs_evaluated += tl.pairs_examined;
         stats.join_matches += tl.matches;
         if !completed {
@@ -506,7 +530,11 @@ impl Committer {
         stats: &mut ExecStats,
     ) -> Option<ResultEvent> {
         debug_assert!(batch.completed, "partial batches must not be committed");
+        let span = self.trace.span(Span::Commit {
+            region_id: u64::from(batch.rid),
+        });
         let commit_started = Instant::now();
+        stats.region_latency.record(batch.compute_time);
         stats.tuple_time += batch.compute_time;
         stats.join_pairs_evaluated += batch.stats.pairs_examined;
         stats.join_matches += batch.stats.matches;
@@ -521,7 +549,10 @@ impl Committer {
             }
         }
         let event = self.resolve(batch.rid, stats);
-        stats.commit_time += commit_started.elapsed();
+        let commit_elapsed = commit_started.elapsed();
+        span.end();
+        stats.commit_time += commit_elapsed;
+        stats.commit_latency.record(commit_elapsed);
         event
     }
 
@@ -540,6 +571,10 @@ impl Committer {
             cost_model: &self.cost_model,
         };
         self.schedule.on_resolved(rid, &ctx);
+        self.trace.gauge(
+            "progress_estimate",
+            self.resolved as f64 / self.total_regions.max(1) as f64,
+        );
 
         if self.emitted_buf.is_empty() {
             return None;
@@ -547,6 +582,11 @@ impl Committer {
         let mut tuples = Vec::new();
         for cell in self.emitted_buf.drain(..) {
             stats.cells_emitted += 1;
+            self.trace.point(Point::Emit {
+                cell: u64::from(cell.cell_idx),
+                n: cell.ids.len() as u64,
+                proven_final: true,
+            });
             for (i, &(ri, ti)) in cell.ids.iter().enumerate() {
                 let oriented = cell.points.point(i);
                 let values = self
@@ -563,6 +603,7 @@ impl Committer {
             }
         }
         stats.results_emitted += tuples.len() as u64;
+        self.trace.counter("results_emitted", tuples.len() as u64);
         Some(ResultEvent {
             tuples,
             proven_final: true,
@@ -810,6 +851,11 @@ pub struct RegionDriver {
     window: usize,
     ready: VecDeque<ResultEvent>,
     done: bool,
+    /// Clone of the committer's trace handle, used for driver-side events
+    /// (inline compute spans, the pooled arm's worker spans, cancellation).
+    trace: Trace,
+    /// Whether the `cancel` point was already recorded (once per session).
+    cancel_noted: bool,
 }
 
 impl RegionDriver {
@@ -880,6 +926,10 @@ impl RegionDriver {
             }
         };
         let done = committer.is_none();
+        let trace = committer
+            .as_ref()
+            .map(|c| c.trace().clone())
+            .unwrap_or_default();
         // `usize::MAX` is the documented "filter disabled" sentinel; map it
         // to `u64::MAX` explicitly so a 32-bit `usize::MAX` (2^32−1, which
         // real pair bounds can exceed) still disables the filter.
@@ -903,6 +953,8 @@ impl RegionDriver {
             window,
             ready: VecDeque::new(),
             done,
+            trace,
+            cancel_noted: false,
         }
     }
 
@@ -912,6 +964,10 @@ impl RegionDriver {
     pub fn poll_next(&mut self) -> DriverPoll {
         loop {
             if self.token.is_cancelled() {
+                if !self.cancel_noted {
+                    self.cancel_noted = true;
+                    self.trace.point(Point::Cancel);
+                }
                 return DriverPoll::Finished;
             }
             if let Some(event) = self.ready.pop_front() {
@@ -992,7 +1048,12 @@ impl RegionDriver {
                     } else {
                         // Large region: batch compute + bounded local
                         // skyline pre-filter before cell-store insertion.
+                        let span = self.trace.span(Span::TuplePhase {
+                            region_id: u64::from(rid),
+                            pairs: committer.pair_bound(rid),
+                        });
                         let batch = work.compute(rid, &self.token);
+                        span.end();
                         if !batch.completed {
                             // Never committed, but its partial work is
                             // real: account it so cancelled-run stats
@@ -1015,6 +1076,8 @@ impl RegionDriver {
                     let token = self.token.clone();
                     let queue = Arc::clone(&self.queue);
                     let dims = work.out_dims();
+                    let trace = self.trace.clone();
+                    let pairs = committer.pair_bound(rid);
                     spawner.spawn_task(Box::new(move || {
                         let guard = DeliveryGuard {
                             queue,
@@ -1023,7 +1086,15 @@ impl RegionDriver {
                             dims,
                             delivered: false,
                         };
+                        // Declared after the guard so an unwinding compute
+                        // still closes the span *before* the aborted batch
+                        // is delivered (drop order is reverse declaration).
+                        let span = trace.span(Span::TuplePhase {
+                            region_id: u64::from(rid),
+                            pairs,
+                        });
                         let batch = work.compute(rid, &token);
+                        span.end();
                         guard.deliver(batch);
                     }));
                     self.inflight.push_back(seq);
@@ -1113,6 +1184,12 @@ impl SessionStep for RegionDriver {
     fn finalize(mut self: Box<Self>) -> ExecStats {
         if !self.inflight.is_empty() {
             self.token.cancel();
+        }
+        // A `take(k)`-style early finish cancels the token and never polls
+        // again, so the poll-loop observation point would miss it.
+        if self.token.is_cancelled() && !self.cancel_noted {
+            self.cancel_noted = true;
+            self.trace.point(Point::Cancel);
         }
         let mut stats = std::mem::take(&mut self.stats);
         // Scavenge whatever in-flight batches have already been delivered:

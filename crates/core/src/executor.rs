@@ -45,6 +45,7 @@ use crate::sink::{CollectSink, ResultSink};
 use crate::source::SourceView;
 use crate::stats::{ExecStats, ResultTuple};
 use crate::tuple_level::RegionCtx;
+use progxe_obs::{Recorder, Span, Trace};
 use progxe_skyline::PointStore;
 use std::sync::Arc;
 use std::time::Instant;
@@ -55,6 +56,9 @@ pub use crate::driver::Committer;
 #[derive(Debug, Clone, Default)]
 pub struct ProgXe {
     config: ProgXeConfig,
+    /// Optional trace sink. `None` (the default) costs one branch per
+    /// instrumentation site; see [`ProgXe::with_recorder`].
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 /// Collected output of [`ProgXe::run_collect`], [`QuerySession::collect`],
@@ -90,7 +94,28 @@ impl ProgXe {
     /// Creates an executor with the given configuration.
     #[must_use]
     pub fn new(config: ProgXeConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            recorder: None,
+        }
+    }
+
+    /// Attaches a trace recorder: every session opened by this executor
+    /// emits span/point/counter events into it (see the `progxe-obs`
+    /// crate's taxonomy). Keep a clone of the `Arc` to drain the events.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// [`with_recorder`](Self::with_recorder) accepting an optional sink —
+    /// convenient when the caller itself was configured with an
+    /// `Option<Arc<dyn Recorder>>`.
+    #[must_use]
+    pub fn with_recorder_opt(mut self, recorder: Option<Arc<dyn Recorder>>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The active configuration.
@@ -198,6 +223,10 @@ impl ProgXe {
             });
         }
         let started = Instant::now();
+        let trace = Trace::from_recorder(self.recorder.clone(), started);
+        // Closed when `lookahead_time` is recorded below; the trivial early
+        // returns close it by RAII.
+        let lookahead_span = trace.span(Span::Lookahead);
         let mut stats = ExecStats {
             threads_used: 1,
             ..ExecStats::default()
@@ -296,6 +325,8 @@ impl ProgXe {
         let regions: Arc<[crate::lookahead::Region]> = la.regions.into();
         let det = ProgDetermine::new(&store, &regions);
         stats.lookahead_time = started.elapsed();
+        lookahead_span.end();
+        trace.counter("regions_created", stats.regions_created as u64);
 
         // ── Committer (region schedule + blocker bookkeeping) ────────────
         let cost_model = CostModel {
@@ -328,6 +359,7 @@ impl ProgXe {
                 sigma,
                 cost_model,
                 started,
+                trace,
             },
             self.config.ordering,
         );

@@ -58,6 +58,7 @@ use crate::signature::JoinSignature;
 use crate::source::SourceView;
 use crate::stats::ExecStats;
 use crate::tuple_level::{join_region, local_skyline_filter, RegionBatch, TupleLevelStats};
+use progxe_obs::{Histogram, Point, Recorder, Span, Trace};
 use progxe_skyline::PointStore;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -137,6 +138,15 @@ impl std::fmt::Display for SourceId {
             SourceId::R => "R",
             SourceId::T => "T",
         })
+    }
+}
+
+impl From<SourceId> for progxe_obs::Source {
+    fn from(id: SourceId) -> Self {
+        match id {
+            SourceId::R => progxe_obs::Source::R,
+            SourceId::T => progxe_obs::Source::T,
+        }
     }
 }
 
@@ -398,6 +408,13 @@ struct IngestInner {
     ready: Vec<bool>,
     regions_unlocked: usize,
     tuples_ingested: u64,
+    /// The session's trace handle (ingest-side events: batch spans, seal
+    /// points).
+    trace: Trace,
+    /// Arrival instant of the last accepted batch (either source).
+    last_batch_at: Option<Instant>,
+    /// Inter-arrival time between accepted batches.
+    interarrival: Histogram,
 }
 
 impl IngestInner {
@@ -419,6 +436,10 @@ impl IngestInner {
         };
         for &cell in &newly {
             self.source(side).seal_cell(cell);
+            self.trace.point(Point::Seal {
+                source: side.into(),
+                cell: cell as u64,
+            });
         }
         for &cell in &newly {
             match side {
@@ -491,6 +512,13 @@ impl IngestInner {
                 });
             }
         }
+        // Validation passed: the batch is accepted. The span covers the apply
+        // loop only, so failed batches leave no trace events behind.
+        let span = self.trace.span(Span::IngestBatch {
+            source: side.into(),
+            rows: rows.len() as u64,
+        });
+        let src = self.source(side);
         for &(id, attrs, key) in rows {
             let idx = src.ids.len() as u32;
             src.attrs.push(attrs);
@@ -511,6 +539,13 @@ impl IngestInner {
                 .unwrap_or(0),
         );
         self.tuples_ingested += rows.len() as u64;
+        span.end();
+        let now = Instant::now();
+        if let Some(prev) = self.last_batch_at {
+            self.interarrival
+                .record(now.saturating_duration_since(prev));
+        }
+        self.last_batch_at = Some(now);
         Ok(())
     }
 
@@ -692,6 +727,22 @@ impl IngestSession {
         backend: ExecutorBackend,
         token: CancellationToken,
     ) -> Result<IngestSession> {
+        Self::open_observed(config, maps, r_spec, t_spec, backend, token, None)
+    }
+
+    /// Like [`IngestSession::open_with_backend`], but attaches a
+    /// [`Recorder`] so the session emits trace events: `lookahead` /
+    /// `ingest_batch` spans, `seal` / `stall` points, and the driver-side
+    /// span taxonomy shared with materialized execution.
+    pub fn open_observed(
+        config: &ProgXeConfig,
+        maps: &MapSet,
+        r_spec: StreamSpec,
+        t_spec: StreamSpec,
+        backend: ExecutorBackend,
+        token: CancellationToken,
+        recorder: Option<Arc<dyn Recorder>>,
+    ) -> Result<IngestSession> {
         config.validate()?;
         let out_dims = maps.out_dims();
         if out_dims > MAX_DIMS {
@@ -701,6 +752,8 @@ impl IngestSession {
             });
         }
         let started = Instant::now();
+        let trace = Trace::from_recorder(recorder, started);
+        let lookahead_span = trace.span(Span::Lookahead);
         let per_dim = config.input_partitions_per_dim;
         let r_geo = GridGeometry::from_bounds(r_spec.lo(), r_spec.hi(), per_dim);
         let t_geo = GridGeometry::from_bounds(t_spec.lo(), t_spec.hi(), per_dim);
@@ -798,6 +851,8 @@ impl IngestSession {
             ..ExecStats::default()
         };
         stats.lookahead_time = started.elapsed();
+        lookahead_span.end();
+        trace.counter("regions_created", stats.regions_created as u64);
 
         let sigma = config.selectivity_hint.unwrap_or(STREAM_DEFAULT_SIGMA);
         let cost_model = CostModel {
@@ -816,6 +871,7 @@ impl IngestSession {
                 sigma,
                 cost_model,
                 started,
+                trace: trace.clone(),
             },
             config.ordering,
         );
@@ -827,6 +883,9 @@ impl IngestSession {
             ready: vec![false; regions.len()],
             regions_unlocked: 0,
             tuples_ingested: 0,
+            trace,
+            last_batch_at: None,
+            interarrival: Histogram::default(),
         }));
         let ctx = Arc::new(IngestCtx {
             maps: maps.clone(),
@@ -979,6 +1038,7 @@ impl IngestSession {
         let guard = inner.lock().expect("ingest state poisoned");
         stats.tuples_ingested = guard.tuples_ingested;
         stats.regions_unlocked = guard.regions_unlocked;
+        stats.batch_interarrival.merge(&guard.interarrival);
         stats
     }
 
@@ -986,6 +1046,7 @@ impl IngestSession {
         let inner = self.inner.lock().expect("ingest state poisoned");
         stats.tuples_ingested = inner.tuples_ingested;
         stats.regions_unlocked = inner.regions_unlocked;
+        stats.batch_interarrival.merge(&inner.interarrival);
     }
 }
 

@@ -1,5 +1,6 @@
 //! Execution statistics and result types.
 
+use progxe_obs::{Histogram, Report, Value};
 use std::time::Duration;
 
 /// One final query result: a joined tuple pair with its mapped output
@@ -129,6 +130,14 @@ pub struct ExecStats {
     pub cancelled: bool,
     /// Regions left unresolved by an early stop (0 on a full run).
     pub regions_skipped: usize,
+
+    /// Per-region tuple-level latency (join + map + dominance per region).
+    pub region_latency: Histogram,
+    /// Ordered-commit latency per committed batch (batch path only).
+    pub commit_latency: Histogram,
+    /// Inter-arrival time between accepted ingest batches (streaming runs
+    /// only; empty for batch runs).
+    pub batch_interarrival: Histogram,
 }
 
 impl ExecStats {
@@ -151,6 +160,57 @@ impl ExecStats {
             self.results_emitted as f64 / self.join_matches as f64
         }
     }
+
+    /// The stats as a structured [`Report`] — the exportable view over the
+    /// same counters this struct has always carried. `report().to_json()`
+    /// is the machine encoding; the report's `Display` is the multi-line
+    /// human one (the one-line `Display` on `ExecStats` itself is
+    /// unchanged). Empty histograms and zero-valued streaming counters are
+    /// skipped so batch runs export no streaming noise.
+    pub fn report(&self) -> Report {
+        let mut r = Report::new("exec stats");
+        r.push("results_emitted", Value::U64(self.results_emitted))
+            .push("total_ms", Value::DurationMs(self.total_time))
+            .push("lookahead_ms", Value::DurationMs(self.lookahead_time))
+            .push("tuple_ms", Value::DurationMs(self.tuple_time))
+            .push("commit_ms", Value::DurationMs(self.commit_time))
+            .push("threads_used", Value::U64(self.threads_used.max(1) as u64))
+            .push("regions_created", Value::U64(self.regions_created as u64))
+            .push(
+                "regions_processed",
+                Value::U64(self.regions_processed as u64),
+            )
+            .push(
+                "regions_discarded_dead",
+                Value::U64(self.regions_discarded_dead as u64),
+            )
+            .push("cells_tracked", Value::U64(self.cells_tracked as u64))
+            .push("cells_emitted", Value::U64(self.cells_emitted as u64))
+            .push(
+                "join_pairs_evaluated",
+                Value::U64(self.join_pairs_evaluated),
+            )
+            .push("join_matches", Value::U64(self.join_matches))
+            .push("dominance_tests", Value::U64(self.dominance_tests))
+            .push("cancelled", Value::Bool(self.cancelled));
+        if self.tuples_ingested > 0 || self.regions_unlocked > 0 {
+            r.push("tuples_ingested", Value::U64(self.tuples_ingested))
+                .push("regions_unlocked", Value::U64(self.regions_unlocked as u64));
+        }
+        if !self.region_latency.is_empty() {
+            r.push("region_latency", Value::hist(self.region_latency.clone()));
+        }
+        if !self.commit_latency.is_empty() {
+            r.push("commit_latency", Value::hist(self.commit_latency.clone()));
+        }
+        if !self.batch_interarrival.is_empty() {
+            r.push(
+                "batch_interarrival",
+                Value::hist(self.batch_interarrival.clone()),
+            );
+        }
+        r
+    }
 }
 
 impl std::fmt::Display for ExecStats {
@@ -170,6 +230,13 @@ impl std::fmt::Display for ExecStats {
             self.threads_used.max(1),
             if self.threads_used > 1 { "s" } else { "" },
         )?;
+        if self.tuples_ingested > 0 || self.regions_unlocked > 0 {
+            write!(
+                f,
+                " [{} tuples ingested, {} regions unlocked]",
+                self.tuples_ingested, self.regions_unlocked
+            )?;
+        }
         if self.cancelled {
             write!(f, " [cancelled, {} regions skipped]", self.regions_skipped)?;
         }
@@ -219,5 +286,49 @@ mod tests {
         s.cancelled = true;
         s.regions_skipped = 2;
         assert!(s.to_string().contains("[cancelled, 2 regions skipped]"));
+    }
+
+    #[test]
+    fn display_includes_ingest_counters_when_streaming() {
+        let mut s = ExecStats {
+            results_emitted: 5,
+            ..ExecStats::default()
+        };
+        assert!(
+            !s.to_string().contains("ingested"),
+            "batch runs stay ingest-silent"
+        );
+        s.tuples_ingested = 120;
+        s.regions_unlocked = 7;
+        let line = s.to_string();
+        assert!(!line.contains('\n'));
+        assert!(
+            line.contains("[120 tuples ingested, 7 regions unlocked]"),
+            "{line}"
+        );
+        // The ingest note precedes a cancellation note.
+        s.cancelled = true;
+        let line = s.to_string();
+        let ingest_at = line.find("tuples ingested").unwrap();
+        let cancel_at = line.find("cancelled").unwrap();
+        assert!(ingest_at < cancel_at, "{line}");
+    }
+
+    #[test]
+    fn report_view_skips_empty_sections() {
+        let mut s = ExecStats {
+            results_emitted: 9,
+            threads_used: 2,
+            ..ExecStats::default()
+        };
+        let json = s.report().to_json();
+        assert!(json.contains("\"results_emitted\": 9"), "{json}");
+        assert!(!json.contains("region_latency"), "{json}");
+        assert!(!json.contains("tuples_ingested"), "{json}");
+        s.region_latency.record_us(100);
+        s.tuples_ingested = 3;
+        let json = s.report().to_json();
+        assert!(json.contains("\"region_latency\": {\"count\":1"), "{json}");
+        assert!(json.contains("\"tuples_ingested\": 3"), "{json}");
     }
 }

@@ -1,0 +1,197 @@
+//! Fixed log-bucket latency histograms — no dependencies, mergeable, and
+//! cheap enough to live inside per-session stats.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Number of power-of-two buckets. 32 is the largest array length with a
+/// derivable `Default`, and 2³¹ µs ≈ 35 minutes comfortably covers any
+/// single-phase latency the engine produces.
+const BUCKETS: usize = 32;
+
+/// A power-of-two-bucket histogram over microsecond durations.
+///
+/// Bucket `i` covers `[2^i, 2^{i+1})` µs, with bucket 0 also absorbing
+/// sub-microsecond samples and the top bucket clamping everything larger.
+/// Recording is branch-light (`ilog2` + two adds); merging is element-wise,
+/// which is how parallel runs fold worker-side observations into one view.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl Histogram {
+    /// An empty histogram (same as `Default`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us == 0 {
+            0
+        } else {
+            (us.ilog2() as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&mut self, d: Duration) {
+        self.record_us(d.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one sample in microseconds.
+    pub fn record_us(&mut self, us: u64) {
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us = self.sum_us.saturating_add(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_us = self.sum_us.saturating_add(other.sum_us);
+        self.max_us = self.max_us.max(other.max_us);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample in microseconds (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Largest sample in microseconds.
+    pub fn max_us(&self) -> u64 {
+        self.max_us
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile,
+    /// `0.0 ≤ q ≤ 1.0`. Log-bucket resolution: the answer is within 2× of
+    /// the true quantile, which is plenty for latency triage.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // The top bucket clamps arbitrarily large samples, so its
+                // only honest upper bound is the observed max.
+                if i + 1 >= BUCKETS {
+                    return self.max_us;
+                }
+                return (1u64 << (i + 1)).min(self.max_us.max(1));
+            }
+        }
+        self.max_us
+    }
+
+    /// Compact JSON fragment: `{"count":N,"mean_us":…,"p50_us":…,…}`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            self.count,
+            self.mean_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            self.max_us
+        )
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return f.write_str("(no samples)");
+        }
+        write!(
+            f,
+            "n={} mean={}µs p50≤{}µs p99≤{}µs max={}µs",
+            self.count,
+            self.mean_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            self.max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean_us(), 0);
+        assert_eq!(h.quantile_us(0.5), 0);
+        assert_eq!(h.to_string(), "(no samples)");
+    }
+
+    #[test]
+    fn buckets_and_stats() {
+        let mut h = Histogram::new();
+        for us in [0, 1, 2, 3, 100, 1000, 1_000_000] {
+            h.record_us(us);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.max_us(), 1_000_000);
+        assert_eq!(h.mean_us(), (1 + 2 + 3 + 100 + 1000 + 1_000_000) / 7);
+        // Median falls in the [2,4) bucket → upper bound 4.
+        assert_eq!(h.quantile_us(0.5), 4);
+        // p100 hits the max sample's bucket, clamped to max.
+        assert_eq!(h.quantile_us(1.0), 1_000_000);
+        let line = h.to_string();
+        assert!(line.contains("n=7"), "{line}");
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = Histogram::new();
+        a.record(Duration::from_micros(10));
+        let mut b = Histogram::new();
+        b.record(Duration::from_micros(5000));
+        b.record(Duration::from_micros(7));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_us(), 5000);
+        assert_eq!(a.mean_us(), (10 + 5000 + 7) / 3);
+    }
+
+    #[test]
+    fn huge_samples_clamp_into_top_bucket() {
+        let mut h = Histogram::new();
+        h.record_us(u64::MAX);
+        h.record(Duration::from_secs(40 * 60));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile_us(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn json_fragment_shape() {
+        let mut h = Histogram::new();
+        h.record_us(8);
+        let json = h.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"max_us\":8"));
+    }
+}

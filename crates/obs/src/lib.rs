@@ -1,0 +1,60 @@
+//! # progxe-obs — tracing and metrics for the ProgXe engine
+//!
+//! A std-only, zero-dependency observability layer. The engine's core claim
+//! is *progressive* delivery, so the unit of observation is the timeline of
+//! a single session: when did look-ahead end, when did each region run, when
+//! did each output cell prove final. This crate supplies:
+//!
+//! * [`Recorder`] — the sink trait. [`NullRecorder`] discards everything at
+//!   near-zero cost; [`RingRecorder`] keeps a bounded in-memory ring of
+//!   [`Event`]s (atomic counters + one `Mutex` drain path, the same
+//!   discipline as the runtime's thread pool).
+//! * [`Trace`] — the per-session handle the engine threads through its
+//!   phases. It timestamps events against one monotonic epoch (the
+//!   session's start instant) and hands out RAII [`SpanGuard`]s so spans
+//!   close even on early return or unwind.
+//! * [`Span`]/[`Point`] — the engine-wide taxonomy: `lookahead`,
+//!   `region_pop`, `tuple_phase`, `commit`, `ingest_batch` spans;
+//!   `emit`, `seal`, `stall`, `cancel` points.
+//! * [`Histogram`] — fixed log-bucket latency histograms (no deps), used
+//!   per session for region/commit latency and batch inter-arrival.
+//! * [`MetricsRegistry`] — a process-wide named counter/histogram store
+//!   (queue-wait vs run time from the worker pool lands here), exportable
+//!   as JSON or a human [`Report`].
+//! * [`log`] — a tiny leveled stderr logger gated by `PROGXE_LOG`, so the
+//!   engine's diagnostics share one filter instead of ad-hoc `eprintln!`.
+//!
+//! ## Wiring
+//!
+//! ```
+//! use progxe_obs::{Event, EventKind, Point, RingRecorder, Span, Trace};
+//! use std::sync::Arc;
+//!
+//! let ring = Arc::new(RingRecorder::new());
+//! let trace = Trace::new(ring.clone());
+//! {
+//!     let _span = trace.span(Span::Lookahead);
+//!     trace.point(Point::Emit { cell: 3, n: 2, proven_final: true });
+//! } // span closes here
+//! let events = ring.drain();
+//! assert_eq!(events.len(), 3); // begin, point, end
+//! assert!(matches!(events[0].kind, EventKind::SpanBegin { .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod hist;
+pub mod log;
+mod recorder;
+mod registry;
+mod report;
+mod trace;
+
+pub use event::{Event, EventKind, Point, Source, Span, SpanId};
+pub use hist::Histogram;
+pub use recorder::{NullRecorder, Recorder, RingRecorder};
+pub use registry::MetricsRegistry;
+pub use report::{Report, Value};
+pub use trace::{SpanGuard, Trace};

@@ -1,0 +1,131 @@
+//! A tiny leveled stderr logger, filtered by the `PROGXE_LOG` environment
+//! variable (`off`, `error`, `warn`, `info`, `debug`; default `warn`).
+//!
+//! This replaces the engine's ad-hoc `eprintln!` diagnostics with one
+//! shared filter: set `PROGXE_LOG=off` to silence everything,
+//! `PROGXE_LOG=debug` to hear it all. The variable is read once per
+//! process (first log call) — changing it afterwards has no effect.
+
+use std::sync::OnceLock;
+
+/// Verbosity levels, in increasing order of chattiness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Nothing is printed.
+    Off,
+    /// Unrecoverable or data-affecting problems.
+    Error,
+    /// Suspicious-but-survivable conditions (the default threshold).
+    Warn,
+    /// Lifecycle notes.
+    Info,
+    /// Everything.
+    Debug,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Parses a `PROGXE_LOG` value. Case-insensitive; numeric aliases 0–4 are
+/// accepted. `None` for anything unrecognized (caller falls back to the
+/// default).
+pub fn parse_level(s: &str) -> Option<Level> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "off" | "none" | "0" => Some(Level::Off),
+        "error" | "1" => Some(Level::Error),
+        "warn" | "warning" | "2" => Some(Level::Warn),
+        "info" | "3" => Some(Level::Info),
+        "debug" | "trace" | "4" => Some(Level::Debug),
+        _ => None,
+    }
+}
+
+/// The active threshold: `PROGXE_LOG` parsed once, defaulting to
+/// [`Level::Warn`] when unset or unrecognized.
+pub fn max_level() -> Level {
+    static LEVEL: OnceLock<Level> = OnceLock::new();
+    *LEVEL.get_or_init(|| {
+        std::env::var("PROGXE_LOG")
+            .ok()
+            .and_then(|v| parse_level(&v))
+            .unwrap_or(Level::Warn)
+    })
+}
+
+/// Whether a message at `level` would be printed.
+pub fn enabled(level: Level) -> bool {
+    level != Level::Off && level <= max_level()
+}
+
+fn log(level: Level, msg: &str) {
+    if enabled(level) {
+        eprintln!("progxe[{}] {msg}", level.tag());
+    }
+}
+
+/// Logs at [`Level::Error`].
+pub fn error(msg: &str) {
+    log(Level::Error, msg);
+}
+
+/// Logs at [`Level::Warn`].
+pub fn warn(msg: &str) {
+    log(Level::Warn, msg);
+}
+
+/// Logs at [`Level::Info`].
+pub fn info(msg: &str) {
+    log(Level::Info, msg);
+}
+
+/// Logs at [`Level::Debug`].
+pub fn debug(msg: &str) {
+    log(Level::Debug, msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order() {
+        assert!(Level::Off < Level::Error);
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+
+    #[test]
+    fn parse_accepts_names_and_numbers() {
+        assert_eq!(parse_level("off"), Some(Level::Off));
+        assert_eq!(parse_level("NONE"), Some(Level::Off));
+        assert_eq!(parse_level(" Error "), Some(Level::Error));
+        assert_eq!(parse_level("warning"), Some(Level::Warn));
+        assert_eq!(parse_level("info"), Some(Level::Info));
+        assert_eq!(parse_level("trace"), Some(Level::Debug));
+        assert_eq!(parse_level("3"), Some(Level::Info));
+        assert_eq!(parse_level("verbose"), None);
+        assert_eq!(parse_level(""), None);
+    }
+
+    #[test]
+    fn logging_at_any_level_does_not_panic() {
+        // The OnceLock threshold is process-wide, so this only smoke-tests
+        // the call path; filtering is covered via `parse_level` + ordering.
+        error("test error message");
+        warn("test warn message");
+        info("test info message");
+        debug("test debug message");
+        let _ = enabled(Level::Error);
+        assert!(!enabled(Level::Off), "Off is never printable");
+    }
+}

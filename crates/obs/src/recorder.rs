@@ -1,0 +1,193 @@
+//! Recorder implementations: the null sink and the bounded ring buffer.
+
+use crate::event::Event;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A sink for trace events. Implementations must be cheap when disabled:
+/// [`Trace`](crate::Trace) checks [`Recorder::enabled`] before constructing
+/// an event, so a recorder that returns `false` costs one virtual call per
+/// site and nothing else.
+pub trait Recorder: Send + Sync + std::fmt::Debug {
+    /// Whether events should be constructed and delivered at all.
+    fn enabled(&self) -> bool;
+    /// Accepts one event. Called from whichever thread hit the
+    /// instrumentation site, so implementations must be thread-safe.
+    fn record(&self, event: Event);
+}
+
+/// Discards everything. The default when observability is wired but not
+/// wanted: the `enabled()` check short-circuits every site before any event
+/// is built.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+    fn record(&self, _event: Event) {}
+}
+
+/// Interior of the ring: sequence assignment and the bounded buffer live
+/// under one lock so `seq` order equals buffer order.
+#[derive(Debug)]
+struct Ring {
+    next_seq: u64,
+    events: VecDeque<Event>,
+}
+
+/// A bounded in-memory ring of events.
+///
+/// Concurrency discipline matches `runtime::pool`: hot-path totals are
+/// lock-free atomics ([`RingRecorder::recorded`]/[`RingRecorder::dropped`]),
+/// while the buffer itself sits behind one short-critical-section `Mutex`
+/// whose only long operation is the consumer-side [`RingRecorder::drain`].
+/// When the ring is full the *oldest* event is dropped — a live timeline
+/// cares about the recent past, and `dropped()` reports the loss honestly.
+#[derive(Debug)]
+pub struct RingRecorder {
+    capacity: usize,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+    buf: Mutex<Ring>,
+}
+
+impl RingRecorder {
+    /// Default capacity: 64Ki events (a few MiB), enough for a full trace
+    /// of the bench workloads without overflow.
+    pub const DEFAULT_CAPACITY: usize = 64 * 1024;
+
+    /// Ring with [`RingRecorder::DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Ring holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingRecorder {
+            capacity,
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            buf: Mutex::new(Ring {
+                next_seq: 0,
+                events: VecDeque::with_capacity(capacity.min(1024)),
+            }),
+        }
+    }
+
+    /// Removes and returns every buffered event, oldest first. Sequence
+    /// numbers keep increasing across drains, so a consumer can stitch
+    /// successive drains into one stream (and spot overflow gaps).
+    pub fn drain(&self) -> Vec<Event> {
+        let mut ring = self.buf.lock().expect("obs ring poisoned");
+        ring.events.drain(..).collect()
+    }
+
+    /// Buffered events right now.
+    pub fn len(&self) -> usize {
+        self.buf.lock().expect("obs ring poisoned").events.len()
+    }
+
+    /// Whether the buffer is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever accepted (including ones later dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted by overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for RingRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, mut event: Event) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.buf.lock().expect("obs ring poisoned");
+        event.seq = ring.next_seq;
+        ring.next_seq += 1;
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.events.push_back(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Point};
+    use std::time::Duration;
+
+    fn stall(at_ms: u64) -> Event {
+        Event {
+            at: Duration::from_millis(at_ms),
+            seq: 0,
+            kind: EventKind::Point(Point::Stall),
+        }
+    }
+
+    #[test]
+    fn ring_assigns_contiguous_seq_and_drains_in_order() {
+        let ring = RingRecorder::with_capacity(8);
+        assert!(ring.enabled());
+        for i in 0..5 {
+            ring.record(stall(i));
+        }
+        assert_eq!(ring.len(), 5);
+        let events = ring.drain();
+        assert!(ring.is_empty());
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        // Seq keeps increasing across drains.
+        ring.record(stall(9));
+        assert_eq!(ring.drain()[0].seq, 5);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let ring = RingRecorder::with_capacity(3);
+        for i in 0..5 {
+            ring.record(stall(i));
+        }
+        assert_eq!(ring.recorded(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let events = ring.drain();
+        assert_eq!(events.len(), 3);
+        // The oldest two (seq 0, 1) were evicted.
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let null = NullRecorder;
+        assert!(!null.enabled());
+        null.record(stall(0)); // no-op, must not panic
+    }
+
+    #[test]
+    fn ring_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<RingRecorder>();
+        check::<NullRecorder>();
+    }
+}

@@ -1,0 +1,109 @@
+//! Process-wide named counters and histograms.
+//!
+//! Unlike a [`Trace`](crate::Trace) — which is per-session and opt-in —
+//! the registry aggregates cross-session runtime health (worker queue-wait
+//! vs run time, jobs executed) that has no single session to belong to.
+//! Observation is a short `Mutex` critical section per sample; reading is
+//! a [`snapshot`](MetricsRegistry::snapshot) into a [`Report`].
+
+use crate::hist::Histogram;
+use crate::report::{Report, Value};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Histogram>,
+}
+
+/// A named metrics store. Use [`MetricsRegistry::global`] for the
+/// process-wide instance; tests construct their own with
+/// [`MetricsRegistry::new`].
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty, private registry (for tests and scoped measurements).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static MetricsRegistry {
+        static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(MetricsRegistry::new)
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn incr(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        *inner.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Records one duration into the named histogram (creating it empty).
+    pub fn observe(&self, name: &'static str, sample: Duration) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.hists.entry(name).or_default().record(sample);
+    }
+
+    /// Current value of a counter (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A copy of the named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.hists.get(name).cloned()
+    }
+
+    /// Snapshot of every metric as a [`Report`] (counters first, then
+    /// histograms, each alphabetically). Use `report.to_json()` for the
+    /// machine encoding or `Display` for the human one.
+    pub fn snapshot(&self) -> Report {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut report = Report::new("metrics");
+        for (&name, &v) in &inner.counters {
+            report.push(name, Value::U64(v));
+        }
+        for (&name, h) in &inner.hists {
+            report.push(name, Value::hist(h.clone()));
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let reg = MetricsRegistry::new();
+        reg.incr("pool.jobs", 2);
+        reg.incr("pool.jobs", 3);
+        reg.observe("pool.run", Duration::from_micros(50));
+        assert_eq!(reg.counter("pool.jobs"), 5);
+        assert_eq!(reg.counter("missing"), 0);
+        assert_eq!(reg.histogram("pool.run").unwrap().count(), 1);
+        assert!(reg.histogram("missing").is_none());
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("\"pool.jobs\": 5"), "{json}");
+        assert!(json.contains("\"pool.run\": {\"count\":1"), "{json}");
+        let text = snap.to_string();
+        assert!(text.contains("pool.jobs: 5"), "{text}");
+    }
+
+    #[test]
+    fn global_registry_is_a_singleton() {
+        let a = MetricsRegistry::global() as *const _;
+        let b = MetricsRegistry::global() as *const _;
+        assert_eq!(a, b);
+    }
+}

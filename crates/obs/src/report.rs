@@ -1,0 +1,172 @@
+//! The shared report shape: an insertion-ordered list of named values with
+//! one JSON encoding and one human `Display`. Both the process-wide
+//! registry snapshot and the core crate's `ExecStats` view render through
+//! this type, so every exported surface agrees on formatting.
+
+use crate::hist::Histogram;
+use std::fmt;
+use std::time::Duration;
+
+/// One reportable value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An integer counter.
+    U64(u64),
+    /// A floating-point measure (rates, estimates).
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// Free text (engine names, modes).
+    Text(String),
+    /// A duration, exported as fractional milliseconds.
+    DurationMs(Duration),
+    /// A latency histogram (exported as its summary object). Boxed: the
+    /// bucket array would otherwise dominate every `Value`'s size.
+    Hist(Box<Histogram>),
+}
+
+impl Value {
+    /// Convenience constructor boxing a histogram.
+    pub fn hist(h: Histogram) -> Self {
+        Value::Hist(Box::new(h))
+    }
+}
+
+/// A titled, ordered collection of named values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Report heading (`Display` prints it; JSON ignores it).
+    pub title: String,
+    fields: Vec<(String, Value)>,
+}
+
+/// Minimal JSON string escaper — enough for the static names and engine
+/// labels this crate emits (control characters, quotes, backslashes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Report {
+    /// An empty report with the given title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Report {
+            title: title.into(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Appends a field, preserving insertion order.
+    pub fn push(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        self.fields.push((name.into(), value));
+        self
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// Looks up a field by name (first match).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Encodes the fields as one flat JSON object.
+    pub fn to_json(&self) -> String {
+        let mut parts = Vec::with_capacity(self.fields.len());
+        for (name, value) in &self.fields {
+            let v = match value {
+                Value::U64(n) => n.to_string(),
+                Value::F64(x) => {
+                    if x.is_finite() {
+                        format!("{x}")
+                    } else {
+                        "null".to_string()
+                    }
+                }
+                Value::Bool(b) => b.to_string(),
+                Value::Text(s) => format!("\"{}\"", escape(s)),
+                Value::DurationMs(d) => format!("{:.3}", d.as_secs_f64() * 1e3),
+                Value::Hist(h) => h.to_json(),
+            };
+            parts.push(format!("\"{}\": {v}", escape(name)));
+        }
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.title.is_empty() {
+            writeln!(f, "{}", self.title)?;
+        }
+        for (name, value) in &self.fields {
+            match value {
+                Value::U64(n) => writeln!(f, "  {name}: {n}")?,
+                Value::F64(x) => writeln!(f, "  {name}: {x:.4}")?,
+                Value::Bool(b) => writeln!(f, "  {name}: {b}")?,
+                Value::Text(s) => writeln!(f, "  {name}: {s}")?,
+                Value::DurationMs(d) => writeln!(f, "  {name}: {d:.1?}")?,
+                Value::Hist(h) => writeln!(f, "  {name}: {h}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_and_display_agree_on_fields() {
+        let mut hist = Histogram::new();
+        hist.record_us(100);
+        let mut report = Report::new("test report");
+        report
+            .push("runs", Value::U64(3))
+            .push("rate", Value::F64(0.5))
+            .push("cancelled", Value::Bool(false))
+            .push("engine", Value::Text("progxe".into()))
+            .push("wall", Value::DurationMs(Duration::from_millis(1500)))
+            .push("latency", Value::hist(hist));
+        let json = report.to_json();
+        assert!(json.contains("\"runs\": 3"), "{json}");
+        assert!(json.contains("\"rate\": 0.5"), "{json}");
+        assert!(json.contains("\"cancelled\": false"), "{json}");
+        assert!(json.contains("\"engine\": \"progxe\""), "{json}");
+        assert!(json.contains("\"wall\": 1500.000"), "{json}");
+        assert!(json.contains("\"latency\": {\"count\":1"), "{json}");
+        let text = report.to_string();
+        assert!(text.starts_with("test report\n"));
+        assert!(text.contains("  engine: progxe"));
+        assert_eq!(report.get("runs"), Some(&Value::U64(3)));
+        assert_eq!(report.get("missing"), None);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut report = Report::new("");
+        report.push("s", Value::Text("a\"b\\c\nd".into()));
+        assert_eq!(report.to_json(), "{\"s\": \"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn non_finite_floats_export_as_null() {
+        let mut report = Report::new("");
+        report.push("x", Value::F64(f64::NAN));
+        assert_eq!(report.to_json(), "{\"x\": null}");
+    }
+}

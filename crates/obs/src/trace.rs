@@ -1,0 +1,276 @@
+//! The per-session trace handle and its RAII span guard.
+
+use crate::event::{Event, EventKind, Point, Span, SpanId};
+use crate::recorder::Recorder;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct TraceInner {
+    recorder: Arc<dyn Recorder>,
+    /// All event timestamps are offsets from this instant — the session's
+    /// start — so trace times line up with `ResultEvent::elapsed`.
+    epoch: Instant,
+    next_span: AtomicU64,
+}
+
+/// The handle the engine threads through its phases. Cloning is cheap
+/// (one `Arc`); clones share the epoch and span-id counter, so spans opened
+/// on pool workers interleave correctly with the committer's events.
+///
+/// Three cost tiers, checked in order at every site:
+///
+/// 1. **off** — [`Trace::disabled`] holds no recorder at all; each site is
+///    one `Option` branch.
+/// 2. **null** — a recorder whose `enabled()` returns `false`; one virtual
+///    call per site, no event construction, no clock read.
+/// 3. **on** — events are timestamped and delivered.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    inner: Option<Arc<TraceInner>>,
+}
+
+impl Trace {
+    /// A trace that records nothing and reads no clocks.
+    pub fn disabled() -> Self {
+        Trace { inner: None }
+    }
+
+    /// A trace whose epoch is "now".
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        Self::new_at(recorder, Instant::now())
+    }
+
+    /// A trace with an explicit epoch — pass the session's start instant so
+    /// event times match the session's own elapsed clock.
+    pub fn new_at(recorder: Arc<dyn Recorder>, epoch: Instant) -> Self {
+        Trace {
+            inner: Some(Arc::new(TraceInner {
+                recorder,
+                epoch,
+                next_span: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// Builds from an optional recorder: `None` means [`Trace::disabled`].
+    pub fn from_recorder(recorder: Option<Arc<dyn Recorder>>, epoch: Instant) -> Self {
+        match recorder {
+            Some(r) => Self::new_at(r, epoch),
+            None => Self::disabled(),
+        }
+    }
+
+    /// Whether events would actually be delivered (off and null tiers both
+    /// answer `false`). Use to skip *computing* expensive attributes; the
+    /// record methods already self-gate.
+    pub fn is_enabled(&self) -> bool {
+        match &self.inner {
+            Some(inner) => inner.recorder.enabled(),
+            None => false,
+        }
+    }
+
+    /// Time since the trace epoch; `Duration::ZERO` when disabled (avoid
+    /// using the value for anything but event alignment).
+    pub fn elapsed(&self) -> Duration {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed(),
+            None => Duration::ZERO,
+        }
+    }
+
+    fn emit(&self, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            if inner.recorder.enabled() {
+                inner.recorder.record(Event {
+                    at: inner.epoch.elapsed(),
+                    seq: 0, // assigned by the recorder
+                    kind,
+                });
+            }
+        }
+    }
+
+    /// Opens a span; the returned guard emits the matching end event when
+    /// dropped (including on unwind), or explicitly via
+    /// [`SpanGuard::end`].
+    #[must_use = "dropping the guard immediately closes the span"]
+    pub fn span(&self, span: Span) -> SpanGuard {
+        let id = match &self.inner {
+            Some(inner) if inner.recorder.enabled() => {
+                let id = SpanId(inner.next_span.fetch_add(1, Ordering::Relaxed));
+                inner.recorder.record(Event {
+                    at: inner.epoch.elapsed(),
+                    seq: 0,
+                    kind: EventKind::SpanBegin { id, span },
+                });
+                Some(id)
+            }
+            _ => None,
+        };
+        SpanGuard {
+            trace: self.clone(),
+            id,
+        }
+    }
+
+    /// Records an instantaneous event.
+    pub fn point(&self, point: Point) {
+        self.emit(EventKind::Point(point));
+    }
+
+    /// Adds `delta` to the named counter stream.
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        self.emit(EventKind::Counter { name, delta });
+    }
+
+    /// Samples the named gauge.
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        self.emit(EventKind::Gauge { name, value });
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Closes its span on drop. Hold it across the phase; unwinds (worker
+/// panics) still close the span, which is what keeps trace streams
+/// well-formed under `catch_unwind` in the pool.
+#[derive(Debug)]
+pub struct SpanGuard {
+    trace: Trace,
+    /// `None` when the trace was disabled at open time (nothing to close).
+    id: Option<SpanId>,
+}
+
+impl SpanGuard {
+    /// Ends the span now (equivalent to dropping the guard).
+    pub fn end(self) {}
+
+    /// The span's id, if the trace was enabled when it opened.
+    pub fn id(&self) -> Option<SpanId> {
+        self.id
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(id) = self.id.take() {
+            self.trace.emit(EventKind::SpanEnd { id });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Source;
+    use crate::recorder::{NullRecorder, RingRecorder};
+
+    #[test]
+    fn disabled_trace_is_inert() {
+        let trace = Trace::disabled();
+        assert!(!trace.is_enabled());
+        assert_eq!(trace.elapsed(), Duration::ZERO);
+        let guard = trace.span(Span::Lookahead);
+        assert_eq!(guard.id(), None);
+        drop(guard);
+        trace.point(Point::Stall);
+        trace.counter("x", 1);
+        trace.gauge("y", 0.5);
+    }
+
+    #[test]
+    fn null_recorder_never_builds_events() {
+        let trace = Trace::new(Arc::new(NullRecorder));
+        assert!(!trace.is_enabled());
+        let guard = trace.span(Span::RegionPop);
+        assert_eq!(guard.id(), None, "null tier must not allocate span ids");
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_drop_order() {
+        let ring = Arc::new(RingRecorder::new());
+        let trace = Trace::new(ring.clone());
+        assert!(trace.is_enabled());
+        let outer = trace.span(Span::Lookahead);
+        {
+            let _inner = trace.span(Span::Commit { region_id: 4 });
+            trace.point(Point::Seal {
+                source: Source::R,
+                cell: 2,
+            });
+        }
+        outer.end();
+        let events = ring.drain();
+        assert_eq!(events.len(), 5);
+        let EventKind::SpanBegin { id: outer_id, span } = events[0].kind else {
+            panic!("expected outer begin, got {:?}", events[0].kind);
+        };
+        assert_eq!(span, Span::Lookahead);
+        let EventKind::SpanBegin { id: inner_id, .. } = events[1].kind else {
+            panic!("expected inner begin");
+        };
+        assert_ne!(outer_id, inner_id);
+        assert!(matches!(
+            events[2].kind,
+            EventKind::Point(Point::Seal { .. })
+        ));
+        assert_eq!(events[3].kind, EventKind::SpanEnd { id: inner_id });
+        assert_eq!(events[4].kind, EventKind::SpanEnd { id: outer_id });
+        // Timestamps are monotone non-decreasing within one thread.
+        for pair in events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn clones_share_the_span_counter() {
+        let ring = Arc::new(RingRecorder::new());
+        let trace = Trace::new(ring.clone());
+        let clone = trace.clone();
+        let a = trace.span(Span::RegionPop);
+        let b = clone.span(Span::RegionPop);
+        assert_ne!(a.id(), b.id(), "ids must be unique across clones");
+        drop((a, b));
+        assert_eq!(ring.drain().len(), 4);
+    }
+
+    #[test]
+    fn epoch_alignment() {
+        let ring = Arc::new(RingRecorder::new());
+        let epoch = Instant::now();
+        let trace = Trace::new_at(ring.clone(), epoch);
+        trace.point(Point::Cancel);
+        let events = ring.drain();
+        assert!(events[0].at <= epoch.elapsed());
+    }
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        let ring = Arc::new(RingRecorder::new());
+        let trace = Trace::new(ring.clone());
+        trace.counter("results_emitted", 3);
+        trace.gauge("progress_estimate", 0.25);
+        let events = ring.drain();
+        assert_eq!(
+            events[0].kind,
+            EventKind::Counter {
+                name: "results_emitted",
+                delta: 3
+            }
+        );
+        assert_eq!(
+            events[1].kind,
+            EventKind::Gauge {
+                name: "progress_estimate",
+                value: 0.25
+            }
+        );
+    }
+}

@@ -12,11 +12,13 @@ use crate::parser::{parse_query, ParseError};
 use crate::plan::{plan, plan_streaming, PlanError, PlannedQuery, SideFilter};
 use progxe_baselines::{JfSlEngine, SajEngine, SkyAlgo, SsmjEngine};
 use progxe_core::config::ProgXeConfig;
+use progxe_core::driver::ExecutorBackend;
 use progxe_core::executor::ProgXe;
 use progxe_core::ingest::{IngestError, IngestPoll, IngestSession, SourceId, StreamSpec};
-use progxe_core::session::{ProgressiveEngine, QuerySession};
+use progxe_core::session::{CancellationToken, ProgressiveEngine, QuerySession};
 use progxe_core::sink::ResultSink;
 use progxe_core::stats::{ExecStats, ResultTuple};
+use progxe_obs::Recorder;
 use progxe_runtime::{EngineRuntime, ParallelProgXe};
 use std::fmt;
 use std::sync::Arc;
@@ -41,6 +43,10 @@ pub enum Engine {
         /// thread pool shared by every session this `Engine` (and every
         /// clone of it) opens. Never spawned while `threads == 1`.
         runtime: Arc<EngineRuntime>,
+        /// Optional trace recorder attached via [`Engine::with_recorder`]:
+        /// every session (batch or streaming) this engine opens emits its
+        /// span/point/counter events into it. `None` keeps tracing off.
+        recorder: Option<Arc<dyn Recorder>>,
     },
     /// Join-first/skyline-later (blocking).
     JfSl(SkyAlgo),
@@ -72,6 +78,7 @@ impl Engine {
         Engine::ProgXe {
             config: Box::new(config),
             runtime,
+            recorder: None,
         }
     }
 
@@ -89,6 +96,18 @@ impl Engine {
             Engine::ProgXe { runtime, .. } => Some(runtime),
             _ => None,
         }
+    }
+
+    /// Attaches a trace [`Recorder`] (see `progxe_obs`): every session the
+    /// engine opens afterwards — batch or streaming — emits span, point,
+    /// and counter events into it. A no-op on the baselines, which predate
+    /// the span taxonomy and report through [`ExecStats`] only.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: Arc<dyn Recorder>) -> Self {
+        if let Engine::ProgXe { recorder, .. } = &mut self {
+            *recorder = Some(rec);
+        }
+        self
     }
 
     /// JF-SL with block-nested-loops.
@@ -145,10 +164,17 @@ impl Engine {
     #[must_use]
     pub fn build(&self) -> Box<dyn ProgressiveEngine> {
         match self {
-            Engine::ProgXe { config, runtime } if config.threads.get() > 1 => Box::new(
-                ParallelProgXe::with_runtime((**config).clone(), Arc::clone(runtime)),
+            Engine::ProgXe {
+                config,
+                runtime,
+                recorder,
+            } if config.threads.get() > 1 => Box::new(
+                ParallelProgXe::with_runtime((**config).clone(), Arc::clone(runtime))
+                    .with_recorder_opt(recorder.clone()),
             ),
-            Engine::ProgXe { config, .. } => Box::new(ProgXe::new((**config).clone())),
+            Engine::ProgXe {
+                config, recorder, ..
+            } => Box::new(ProgXe::new((**config).clone()).with_recorder_opt(recorder.clone())),
             Engine::JfSl(algo) => Box::new(JfSlEngine::new(*algo)),
             Engine::JfSlPlus(algo) => Box::new(JfSlEngine::plus(*algo)),
             Engine::Ssmj(algo) => Box::new(SsmjEngine::new(*algo)),
@@ -401,7 +427,12 @@ impl QueryRunner {
     pub fn ingest_session(&self, sql: &str, engine: &Engine) -> Result<StreamingQuery, QueryError> {
         let query = parse_query(sql)?;
         let streaming = plan_streaming(&query, &self.catalog)?;
-        let Engine::ProgXe { config, runtime } = engine else {
+        let Engine::ProgXe {
+            config,
+            runtime,
+            recorder,
+        } = engine
+        else {
             return Err(QueryError::Unsupported(
                 "streaming ingestion requires the progxe engine",
             ));
@@ -412,13 +443,19 @@ impl QueryRunner {
         // Pooled-backend construction lives in one place: the runtime
         // crate's engine (same dispatch shape as `Engine::build`).
         let session = if config.threads.get() > 1 {
-            ParallelProgXe::with_runtime((**config).clone(), Arc::clone(runtime)).open_ingest(
+            ParallelProgXe::with_runtime((**config).clone(), Arc::clone(runtime))
+                .with_recorder_opt(recorder.clone())
+                .open_ingest(&streaming.compiled.maps, r_spec, t_spec)?
+        } else {
+            IngestSession::open_observed(
+                config,
                 &streaming.compiled.maps,
                 r_spec,
                 t_spec,
+                ExecutorBackend::Inline,
+                CancellationToken::new(),
+                recorder.clone(),
             )?
-        } else {
-            IngestSession::open(config, &streaming.compiled.maps, r_spec, t_spec)?
         };
         Ok(StreamingQuery {
             session,
@@ -868,6 +905,83 @@ mod tests {
             runner.ingest_session(Q1, &Engine::jfsl_sfs()),
             Err(QueryError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn recorder_captures_query_layer_sessions() {
+        use progxe_obs::{EventKind, Point, RingRecorder};
+        let runner = QueryRunner::new(q1_catalog());
+        for threads in [1, 3] {
+            let ring = Arc::new(RingRecorder::new());
+            let engine = Engine::progxe_with(ProgXeConfig::default().with_threads(threads))
+                .with_recorder(ring.clone());
+            let out = runner.run_collect(Q1, &engine).unwrap();
+            assert!(!out.results.is_empty());
+            let events = ring.drain();
+            let emitted: u64 = events
+                .iter()
+                .map(|e| match e.kind {
+                    EventKind::Point(Point::Emit { n, .. }) => n,
+                    _ => 0,
+                })
+                .sum();
+            assert_eq!(
+                emitted,
+                out.results.len() as u64,
+                "threads={threads}: emit points must account for every result"
+            );
+            assert_eq!(ring.dropped(), 0);
+        }
+    }
+
+    #[test]
+    fn recorder_captures_streaming_sessions() {
+        use progxe_obs::{EventKind, RingRecorder, Span};
+        let mut cat = q1_catalog();
+        let sup = cat.table("suppliers").unwrap().clone();
+        let tra = cat.table("transporters").unwrap().clone();
+        cat.register_streaming(sup.schema.clone(), vec![0.0; 3], vec![1000.0; 3]);
+        cat.register_streaming(tra.schema.clone(), vec![0.0; 2], vec![1000.0; 2]);
+        let runner = QueryRunner::new(cat);
+        let ring = Arc::new(RingRecorder::new());
+        let engine = Engine::progxe().with_recorder(ring.clone());
+        let mut q = runner.ingest_session(Q1, &engine).unwrap();
+        for row in 0..sup.data.len() {
+            q.push(
+                SourceId::R,
+                &[(sup.data.attrs.point(row), sup.data.join_keys[row])],
+            )
+            .unwrap();
+        }
+        q.close(SourceId::R);
+        q.push(
+            SourceId::T,
+            &(0..tra.data.len())
+                .map(|i| (tra.data.attrs.point(i), tra.data.join_keys[i]))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        q.close(SourceId::T);
+        let _ = q.drain_ready();
+        assert!(!q.finish().cancelled);
+        let events = ring.drain();
+        let batches = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::SpanBegin {
+                        span: Span::IngestBatch { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        // One per accepted push: 3 single-row R pushes + 1 T batch. The
+        // filtered supplier row is dropped by the WHERE filter *before*
+        // ingestion but the push itself is still an accepted (possibly
+        // empty) batch.
+        assert_eq!(batches, 4);
     }
 
     #[test]

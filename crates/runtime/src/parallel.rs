@@ -61,6 +61,7 @@ use progxe_core::ingest::{IngestSession, StreamSpec};
 use progxe_core::mapping::MapSet;
 use progxe_core::session::{CancellationToken, ProgressiveEngine, QuerySession};
 use progxe_core::source::SourceView;
+use progxe_obs::Recorder;
 use std::sync::Arc;
 
 /// A [`ProgressiveEngine`] that runs ProgXe's tuple-level phase on
@@ -75,6 +76,7 @@ use std::sync::Arc;
 pub struct ParallelProgXe {
     config: ProgXeConfig,
     runtime: Arc<EngineRuntime>,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl ParallelProgXe {
@@ -86,6 +88,7 @@ impl ParallelProgXe {
         Self {
             config,
             runtime: Arc::new(EngineRuntime::new(threads)),
+            recorder: None,
         }
     }
 
@@ -94,7 +97,27 @@ impl ParallelProgXe {
     /// of one query-layer `Engine` description reuses one pool.
     #[must_use]
     pub fn with_runtime(config: ProgXeConfig, runtime: Arc<EngineRuntime>) -> Self {
-        Self { config, runtime }
+        Self {
+            config,
+            runtime,
+            recorder: None,
+        }
+    }
+
+    /// Attaches a trace [`Recorder`]; every session opened afterwards
+    /// emits span/point/counter events into it (see `progxe_obs`).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// [`with_recorder`](Self::with_recorder) taking an optional recorder —
+    /// `None` leaves tracing off (the zero-cost default).
+    #[must_use]
+    pub fn with_recorder_opt(mut self, recorder: Option<Arc<dyn Recorder>>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The active configuration.
@@ -116,7 +139,9 @@ impl ParallelProgXe {
         maps: &'a MapSet,
         token: CancellationToken,
     ) -> Result<QuerySession<'a>> {
-        let mut prep = ProgXe::new(self.config.clone()).prepare(r, t, maps, token.clone())?;
+        let mut prep = ProgXe::new(self.config.clone())
+            .with_recorder_opt(self.recorder.clone())
+            .prepare(r, t, maps, token.clone())?;
         prep.stats.threads_used = self.runtime.threads();
         // Trivial runs (empty input, cancelled setup) must not spawn the
         // lazily-created pool.
@@ -164,7 +189,7 @@ impl ParallelProgXe {
     ) -> Result<IngestSession> {
         let pool = self.runtime.handle();
         let threads = pool.threads();
-        IngestSession::open_with_backend(
+        IngestSession::open_observed(
             &self.config,
             maps,
             r_spec,
@@ -174,6 +199,7 @@ impl ParallelProgXe {
                 threads,
             },
             token,
+            self.recorder.clone(),
         )
     }
 }

@@ -24,9 +24,11 @@
 //! the parallel committer rely on "every dispatched job eventually reports"
 //! while the pool is alive.
 
+use progxe_obs::MetricsRegistry;
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -89,11 +91,25 @@ impl ThreadPool {
     /// report through the job's own channel — see the region driver's
     /// `DeliveryGuard` for the pattern.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        // Process-wide pool telemetry: queue-wait (enqueue → dequeue) vs
+        // run time, per job. The registry is two relaxed-contention mutex
+        // touches per job — noise next to a region join — so it stays
+        // unconditional rather than plumbing a recorder into every pool
+        // user.
+        let enqueued = Instant::now();
+        let wrapped = move || {
+            let registry = MetricsRegistry::global();
+            registry.observe("pool.queue_wait", enqueued.elapsed());
+            let run_started = Instant::now();
+            job();
+            registry.observe("pool.run", run_started.elapsed());
+            registry.incr("pool.jobs", 1);
+        };
         let mut state = self.shared.state.lock().expect("pool state poisoned");
         debug_assert!(!state.shutdown, "execute after shutdown");
         let slot = state.next % state.queues.len();
         state.next = state.next.wrapping_add(1);
-        state.queues[slot].push_back(Box::new(job));
+        state.queues[slot].push_back(Box::new(wrapped));
         drop(state);
         self.shared.work.notify_one();
     }
@@ -238,6 +254,36 @@ mod tests {
             Ok(7),
             "worker died with the panicking job"
         );
+    }
+
+    #[test]
+    fn pool_jobs_feed_the_global_metrics_registry() {
+        // The registry is process-wide and other tests run concurrently,
+        // so assert monotone growth, not exact counts.
+        let before = MetricsRegistry::global().counter("pool.jobs");
+        {
+            let pool = ThreadPool::new(2);
+            let (tx, rx) = mpsc::channel();
+            for _ in 0..10 {
+                let tx = tx.clone();
+                pool.execute(move || {
+                    let _ = tx.send(());
+                });
+            }
+            for _ in 0..10 {
+                rx.recv_timeout(Duration::from_secs(10)).expect("job ran");
+            }
+            // Drop joins the workers, so every metric write has landed.
+        }
+        let after = MetricsRegistry::global().counter("pool.jobs");
+        assert!(after >= before + 10, "before={before} after={after}");
+        let run = MetricsRegistry::global()
+            .histogram("pool.run")
+            .expect("run histogram exists");
+        assert!(run.count() >= 10);
+        assert!(MetricsRegistry::global()
+            .histogram("pool.queue_wait")
+            .is_some());
     }
 
     #[test]

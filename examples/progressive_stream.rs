@@ -15,7 +15,9 @@
 use progxe::baselines::{JfSlEngine, SkyAlgo};
 use progxe::core::prelude::*;
 use progxe::datagen::{Distribution, WorkloadSpec};
+use progxe::obs::{EventKind, MetricsRegistry, Point, Recorder, RingRecorder};
 use progxe::runtime::ParallelProgXe;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Pulls a session dry, recording `(elapsed, cumulative)` per batch.
@@ -97,6 +99,65 @@ fn main() {
     println!("  progxe       {progxe_stats}");
     println!("  progxe-mt    {parallel_stats}");
     println!("  jf-sl        {jfsl_stats}");
+
+    // ── Observability: the same query again, traced live ────────────────
+    // A RingRecorder is attached to the engine; draining it between
+    // `next_batch` calls yields a per-batch timeline — emit points and the
+    // committer's progress-estimate gauge — without touching the results.
+    let ring = Arc::new(RingRecorder::new());
+    let mut session = ProgXe::new(progxe.config().clone())
+        .with_recorder(ring.clone() as Arc<dyn Recorder>)
+        .open(&r, &t, &maps)
+        .unwrap();
+    println!("\nlive trace timeline (ring drained between batches):");
+    println!(
+        "{:>10}  {:>5}  {:>10}  {:>8}  batch",
+        "time", "batch", "cumulative", "progress"
+    );
+    let mut cumulative = 0u64;
+    let mut progress = 0.0f64;
+    let mut batch_no = 0u32;
+    while let Some(event) = session.next_batch() {
+        batch_no += 1;
+        cumulative += event.tuples.len() as u64;
+        // Everything recorded since the previous batch, in order.
+        let mut emit_points = 0usize;
+        for ev in ring.drain() {
+            match ev.kind {
+                EventKind::Gauge {
+                    name: "progress_estimate",
+                    value,
+                } => progress = value,
+                EventKind::Point(Point::Emit { .. }) => emit_points += 1,
+                _ => {}
+            }
+        }
+        println!(
+            "{:>8.2}ms  {:>5}  {:>10}  {:>7.0}%  +{} tuples / {} emit points{}",
+            event.elapsed.as_secs_f64() * 1e3,
+            batch_no,
+            cumulative,
+            progress * 100.0,
+            event.tuples.len(),
+            emit_points,
+            if event.proven_final {
+                " (proven final)"
+            } else {
+                ""
+            },
+        );
+    }
+    let traced_stats = session.finish();
+    println!(
+        "\nExecStats as a structured report:\n{}",
+        traced_stats.report()
+    );
+    println!(
+        "process-wide metrics (pool telemetry from the parallel run):\n{}",
+        MetricsRegistry::global().snapshot()
+    );
+    assert_eq!(cumulative, traced_stats.results_emitted, "trace vs stats");
+
     assert_eq!(
         progxe_records.last().unwrap().1,
         jfsl_records.last().unwrap().1,

@@ -5,6 +5,7 @@
 //! paper-to-module map.
 //!
 //! * [`skyline`] — preference model + classic skyline algorithms.
+//! * [`obs`] — tracing/metrics: spans, counters, histograms, `PROGXE_LOG`.
 //! * [`datagen`] — Börzsönyi-style synthetic workload generator.
 //! * [`core`] — the ProgXe framework (look-ahead, ProgOrder, ProgDetermine).
 //! * [`runtime`] — work-stealing thread pool + parallel ProgXe driver.
@@ -16,6 +17,7 @@
 pub use progxe_baselines as baselines;
 pub use progxe_core as core;
 pub use progxe_datagen as datagen;
+pub use progxe_obs as obs;
 pub use progxe_query as query;
 pub use progxe_runtime as runtime;
 pub use progxe_skyline as skyline;
