@@ -12,7 +12,7 @@
 
 use progxe_bench::figures::{
     ablate_delta, ablate_order, cellbound, fdom, fig10_prog, fig10_time, fig11, fig12, fig13,
-    ingest, obs, scaling, ssmj_soundness, threads, ExpOptions,
+    ingest, kernels, obs, scaling, ssmj_soundness, threads, ExpOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,6 +34,7 @@ experiments:
   ingest          streaming ingestion: first-result latency vs arrival rate
   fdom            flexible skylines: shrinkage + latency vs constraint tightness
   obs             tracing overhead: recorder off / null / ring (gated)
+  kernels         columnar dominance kernels: batched vs scalar, blocker index vs naive (gated)
   all             everything above
 
 options:
@@ -104,6 +105,7 @@ fn main() -> ExitCode {
             "ingest" => ingest(opt),
             "fdom" => fdom(opt),
             "obs" => obs(opt),
+            "kernels" => kernels(opt),
             _ => return false,
         }
         true
@@ -126,6 +128,7 @@ fn main() -> ExitCode {
                 "ingest",
                 "fdom",
                 "obs",
+                "kernels",
             ] {
                 println!();
                 run_one(name, &opt);

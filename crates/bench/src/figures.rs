@@ -1003,6 +1003,376 @@ fn write_fdom_outputs(opt: &ExpOptions, runs: &[FdomRun]) {
     println!("json written to {}", path.display());
 }
 
+/// One measured kernel-vs-scalar comparison (see [`kernels`]).
+pub struct KernelRun {
+    /// `"mask"` (batched dominated-mask vs per-row scalar loop) or
+    /// `"blocker"` (kd-tree flexible blocker counts vs the retired
+    /// `regions × cells` double loop).
+    pub kind: &'static str,
+    /// Value dimensions (mask rows) / polytope vertices (blocker rows).
+    pub dims: usize,
+    /// Batch rows (mask) / region count (blocker).
+    pub n: usize,
+    /// Query points (mask) / tracked cells (blocker).
+    pub queries: usize,
+    /// Best-of-repeats wall time of the scalar/naive side.
+    pub scalar_ms: f64,
+    /// Best-of-repeats wall time of the batched/indexed side.
+    pub batched_ms: f64,
+    /// `scalar_ms / batched_ms`.
+    pub speedup: f64,
+    /// Scalar throughput in million pair-tests per second.
+    pub scalar_mpairs_s: f64,
+    /// Batched throughput in million pair-tests per second.
+    pub batched_mpairs_s: f64,
+    /// Work the index actually did (blocker rows: tree node visits + leaf
+    /// tests; mask rows: equals `naive_ops` — the mask has no early exit).
+    pub index_ops: u64,
+    /// Work the retired implementation would do (`n × queries`).
+    pub naive_ops: u64,
+}
+
+/// Columnar-kernel microbenchmarks: batched dominated-mask throughput vs
+/// the one-pair-at-a-time scalar loop across dims × batch sizes
+/// (anti-correlated data — the dominance-heavy worst case), and the
+/// kd-tree flexible blocker index vs the retired `regions × cells` loop at
+/// growing region counts. Both sides are verified to produce identical
+/// answers before timing is reported. Writes `kernels.csv` and
+/// machine-readable `BENCH_kernels.json`; panics (failing CI) if the
+/// batched kernel loses to scalar or the blocker index fails to do less
+/// work than the naive loop.
+pub fn kernels(opt: &ExpOptions) {
+    let runs = kernel_measurements(opt);
+    assert_kernel_gates(&runs, opt.quick);
+    write_kernel_outputs(opt, &runs);
+}
+
+/// The measured core of [`kernels`], separated so tests can assert on the
+/// numbers without re-running the sweep for the writer.
+pub fn kernel_measurements(opt: &ExpOptions) -> Vec<KernelRun> {
+    use progxe_skyline::kernel;
+    use std::time::Instant;
+
+    let queries = 64usize;
+    let repeats = 5usize;
+    let dims_list: &[usize] = if opt.quick { &[2, 3, 8] } else { &[2, 3, 5, 8] };
+    let sizes: &[usize] = if opt.quick {
+        &[512, 4_096]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+    println!("== Columnar dominance kernels: batched vs scalar (anti-correlated) ==");
+
+    let mut runs = Vec::new();
+    for &d in dims_list {
+        for &n in sizes {
+            // Anti-correlated points: the dominance-heavy regime where the
+            // window stays large and every pair is genuinely tested.
+            let w = workload(n + queries, d, Distribution::AntiCorrelated, 0.01, opt.seed);
+            let batch = &w.r.attrs.raw()[..n * d];
+            let qs = &w.t.attrs.raw()[..queries * d];
+            let mut mask = vec![false; n];
+
+            let mut scalar_hits = 0u64;
+            let mut scalar_ms = f64::INFINITY;
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                let mut hits = 0u64;
+                for q in qs.chunks_exact(d) {
+                    for row in batch.chunks_exact(d) {
+                        hits += u64::from(kernel::dominates_scalar(q, row));
+                    }
+                }
+                scalar_ms = scalar_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                scalar_hits = hits;
+            }
+
+            let mut batched_hits = 0u64;
+            let mut batched_ms = f64::INFINITY;
+            let mut pairs = 0u64;
+            for _ in 0..repeats {
+                let t0 = Instant::now();
+                let mut hits = 0u64;
+                for q in qs.chunks_exact(d) {
+                    hits += kernel::dominated_mask(d, batch, q, &mut mask, &mut pairs) as u64;
+                }
+                batched_ms = batched_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                batched_hits = hits;
+            }
+            assert_eq!(
+                scalar_hits, batched_hits,
+                "d={d} n={n}: batched kernel diverged from scalar"
+            );
+
+            let total_pairs = (n * queries) as u64;
+            runs.push(KernelRun {
+                kind: "mask",
+                dims: d,
+                n,
+                queries,
+                scalar_ms,
+                batched_ms,
+                speedup: scalar_ms / batched_ms,
+                scalar_mpairs_s: total_pairs as f64 / (scalar_ms * 1e3),
+                batched_mpairs_s: total_pairs as f64 / (batched_ms * 1e3),
+                index_ops: total_pairs,
+                naive_ops: total_pairs,
+            });
+        }
+    }
+
+    runs.extend(blocker_measurements(opt));
+    runs
+}
+
+/// Blocker-index half of [`kernel_measurements`]: kd-tree dominance counts
+/// vs the retired naive double loop, identical counts verified per cell.
+fn blocker_measurements(opt: &ExpOptions) -> Vec<KernelRun> {
+    use progxe_core::cells::CellStore;
+    use progxe_core::fdom::flexible_model;
+    use progxe_core::lookahead::Region;
+    use progxe_core::output_grid::OutputGrid;
+    use progxe_core::progdetermine::ProgDetermine;
+    use progxe_datagen::simplex_band;
+    use std::time::Instant;
+
+    let region_counts: &[usize] = if opt.quick {
+        &[100, 400]
+    } else {
+        &[400, 1_600, 6_400]
+    };
+    let cells_per_dim: u16 = if opt.quick { 16 } else { 32 };
+    println!("== Flexible blocker counting: kd-tree index vs naive double loop ==");
+
+    let model = flexible_model(2, simplex_band(2, 0.5)).expect("band is non-empty");
+    let fdom = model.as_flexible().expect("flexible by construction");
+    let k = fdom.vertex_count();
+
+    let mut runs = Vec::new();
+    for &n_regions in region_counts {
+        // Deterministic pseudo-random region boxes over a [0,64)² space.
+        let mut x: u64 = opt.seed | 1;
+        let mut next = |m: f64| -> f64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((x >> 33) as f64 / (1u64 << 31) as f64) * m
+        };
+        let grid = OutputGrid::new(vec![0.0, 0.0], vec![64.0, 64.0], cells_per_dim);
+        let mut regions = Vec::with_capacity(n_regions);
+        for id in 0..n_regions as u32 {
+            let lo = vec![next(60.0), next(60.0)];
+            let hi = vec![lo[0] + next(4.0), lo[1] + next(4.0)];
+            let (cell_lo, cell_hi) = grid.box_of(&lo, &hi);
+            regions.push(Region {
+                id,
+                r_part: 0,
+                t_part: 0,
+                lo,
+                hi,
+                cell_lo,
+                cell_hi,
+                n_r: 1,
+                n_t: 1,
+                guaranteed: true,
+            });
+        }
+        let mut store = CellStore::with_model(grid.clone(), model.clone());
+        for r in &regions {
+            for c in grid.iter_box(r.cell_lo, r.cell_hi) {
+                store.track(c);
+            }
+        }
+        let cells = store.len();
+
+        // Indexed side: ProgDetermine::new projects everything and answers
+        // each cell through the kd-tree.
+        let t0 = Instant::now();
+        let det = ProgDetermine::new(&store, &regions);
+        let batched_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        // Naive side (the retired PR 5 implementation): same projections,
+        // then the full regions × cells double loop.
+        let t0 = Instant::now();
+        let mut buf = Vec::with_capacity(k);
+        let mut region_proj = Vec::with_capacity(n_regions * k);
+        for r in &regions {
+            fdom.project_into(&r.lo, &mut buf);
+            region_proj.extend_from_slice(&buf);
+        }
+        let mut cell_proj = Vec::with_capacity(cells * k);
+        let mut corner = Vec::new();
+        for (_, cell) in store.iter() {
+            grid.upper_corner_into(cell.coord(), &mut corner);
+            fdom.project_into(&corner, &mut buf);
+            cell_proj.extend_from_slice(&buf);
+        }
+        let mut naive = vec![0u32; cells];
+        for r in 0..n_regions {
+            let rp = &region_proj[r * k..(r + 1) * k];
+            for (c, counter) in naive.iter_mut().enumerate() {
+                let cp = &cell_proj[c * k..(c + 1) * k];
+                if rp.iter().zip(cp).all(|(a, b)| a <= b) {
+                    *counter += 1;
+                }
+            }
+        }
+        let scalar_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        for (idx, _) in store.iter() {
+            assert_eq!(
+                det.blockers_of(idx),
+                naive[idx as usize],
+                "regions={n_regions}: kd-tree count diverged from naive on cell {idx}"
+            );
+        }
+
+        let naive_ops = (n_regions * cells) as u64;
+        runs.push(KernelRun {
+            kind: "blocker",
+            dims: k,
+            n: n_regions,
+            queries: cells,
+            scalar_ms,
+            batched_ms,
+            speedup: scalar_ms / batched_ms,
+            scalar_mpairs_s: naive_ops as f64 / (scalar_ms * 1e3),
+            batched_mpairs_s: naive_ops as f64 / (batched_ms * 1e3),
+            index_ops: det.flexible_blocker_ops(),
+            naive_ops,
+        });
+    }
+    runs
+}
+
+/// The CI gates behind `BENCH_kernels.json`: the batched mask kernel must
+/// never lose to the scalar loop; on the full-size run the flagship
+/// configuration (d=3, N=10k, anti-correlated) must win by ≥ 1.5×; and the
+/// blocker index must do strictly less work than `regions × cells`.
+///
+/// Wall-clock gates are release-only: the batched win comes from
+/// autovectorization, which debug builds don't perform, and the in-process
+/// unit test runs in debug under full-suite core contention. The ops-based
+/// blocker gate (and every differential equality check in the measurement
+/// loops) stays on everywhere. CI enforces the timing gates via the release
+/// `figures -- kernels --quick` step.
+fn assert_kernel_gates(runs: &[KernelRun], quick: bool) {
+    let timing = !cfg!(debug_assertions);
+    for run in runs {
+        match run.kind {
+            "mask" => assert!(
+                !timing || run.speedup >= 1.0,
+                "batched kernel lost to scalar at d={} n={}: {:.2}x",
+                run.dims,
+                run.n,
+                run.speedup
+            ),
+            "blocker" => assert!(
+                run.index_ops < run.naive_ops,
+                "blocker index did {} ops, naive bound is {}",
+                run.index_ops,
+                run.naive_ops
+            ),
+            other => unreachable!("unknown kernel run kind {other}"),
+        }
+    }
+    if !quick {
+        let flagship = runs
+            .iter()
+            .find(|r| r.kind == "mask" && r.dims == 3 && r.n == 10_000)
+            .expect("full sweep includes d=3 N=10k");
+        assert!(
+            !timing || flagship.speedup >= 1.5,
+            "flagship d=3 N=10k speedup {:.2}x below the 1.5x acceptance bar",
+            flagship.speedup
+        );
+    }
+}
+
+/// Renders + persists one set of [`KernelRun`]s (`kernels.csv`,
+/// `BENCH_kernels.json`).
+fn write_kernel_outputs(opt: &ExpOptions, runs: &[KernelRun]) {
+    let mut table = Table::new(&[
+        "kind", "dims", "n", "queries", "scalar", "batched", "speedup", "ops", "naive",
+    ]);
+    let mut rows = Vec::new();
+    let mut json_runs = Vec::new();
+    for run in runs {
+        table.row(vec![
+            run.kind.to_string(),
+            format!("{}", run.dims),
+            format!("{}", run.n),
+            format!("{}", run.queries),
+            format!("{:.2}ms", run.scalar_ms),
+            format!("{:.2}ms", run.batched_ms),
+            format!("{:.2}x", run.speedup),
+            format!("{}", run.index_ops),
+            format!("{}", run.naive_ops),
+        ]);
+        rows.push(vec![
+            run.kind.to_string(),
+            format!("{}", run.dims),
+            format!("{}", run.n),
+            format!("{}", run.queries),
+            format!("{:.4}", run.scalar_ms),
+            format!("{:.4}", run.batched_ms),
+            format!("{:.3}", run.speedup),
+            format!("{:.2}", run.scalar_mpairs_s),
+            format!("{:.2}", run.batched_mpairs_s),
+            format!("{}", run.index_ops),
+            format!("{}", run.naive_ops),
+        ]);
+        json_runs.push(json_object(&[
+            ("kind", json_str(run.kind)),
+            ("dims", format!("{}", run.dims)),
+            ("n", format!("{}", run.n)),
+            ("queries", format!("{}", run.queries)),
+            ("scalar_ms", format!("{:.4}", run.scalar_ms)),
+            ("batched_ms", format!("{:.4}", run.batched_ms)),
+            ("speedup", format!("{:.3}", run.speedup)),
+            ("scalar_mpairs_s", format!("{:.2}", run.scalar_mpairs_s)),
+            ("batched_mpairs_s", format!("{:.2}", run.batched_mpairs_s)),
+            ("index_ops", format!("{}", run.index_ops)),
+            ("naive_ops", format!("{}", run.naive_ops)),
+        ]));
+    }
+    println!("{}", table.render());
+    let path = write_csv(
+        &opt.out,
+        "kernels",
+        &[
+            "kind",
+            "dims",
+            "n",
+            "queries",
+            "scalar_ms",
+            "batched_ms",
+            "speedup",
+            "scalar_mpairs_s",
+            "batched_mpairs_s",
+            "index_ops",
+            "naive_ops",
+        ],
+        &rows,
+    )
+    .unwrap();
+    println!("rows written to {}", path.display());
+    let json = json_object(&[
+        (
+            "workload",
+            json_object(&[
+                ("distribution", json_str("anti-correlated")),
+                ("queries", "64".into()),
+                ("seed", format!("{}", opt.seed)),
+                ("quick", format!("{}", opt.quick)),
+            ]),
+        ),
+        ("runs", format!("[{}]", json_runs.join(", "))),
+    ]);
+    let path = write_json(&opt.out, "BENCH_kernels", &json).unwrap();
+    println!("json written to {}", path.display());
+}
+
 /// One measured tracing-overhead run (see [`obs`]).
 pub struct ObsRun {
     /// Recorder mode: `"off"` (no recorder attached), `"null"` (a
@@ -1563,6 +1933,32 @@ mod tests {
             "\"pooled\"",
         ] {
             assert!(json.contains(key), "BENCH_ingest.json missing {key}");
+        }
+    }
+
+    #[test]
+    fn kernels_quick_passes_gates_and_writes_json() {
+        let opt = quick_opts("progxe-kernels");
+        let runs = kernel_measurements(&opt);
+        assert_kernel_gates(&runs, true);
+        assert!(runs.iter().any(|r| r.kind == "mask"), "mask sweep missing");
+        assert!(
+            runs.iter().any(|r| r.kind == "blocker"),
+            "blocker sweep missing"
+        );
+        write_kernel_outputs(&opt, &runs);
+        assert!(opt.out.join("kernels.csv").exists());
+        let json = std::fs::read_to_string(opt.out.join("BENCH_kernels.json")).unwrap();
+        for key in [
+            "\"kind\"",
+            "\"speedup\"",
+            "\"batched_mpairs_s\"",
+            "\"index_ops\"",
+            "\"naive_ops\"",
+            "\"mask\"",
+            "\"blocker\"",
+        ] {
+            assert!(json.contains(key), "BENCH_kernels.json missing {key}");
         }
     }
 

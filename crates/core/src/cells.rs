@@ -21,7 +21,7 @@
 use crate::fdom::DominanceModel;
 use crate::fxhash::FxHashMap;
 use crate::output_grid::{full_dominates, pack, weak_leq, Coord, OutputGrid};
-use progxe_skyline::{PointStore, Preference};
+use progxe_skyline::{kernel, PointStore};
 
 /// Work counters for tuple-level processing.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -48,6 +48,18 @@ pub struct CellStats {
     /// filter (0 under the Pareto model) — the measured result-set
     /// shrinkage of a flexible skyline.
     pub tuples_fdom_filtered: u64,
+    /// Pairwise tests evaluated through the batched kernels (a subset of
+    /// `dominance_tests`); advances at chunk granularity on early-exit
+    /// scans.
+    pub dominance_pairs: u64,
+    /// Vertex dot products evaluated for flexible-model projections
+    /// (emission filter; 0 under Pareto).
+    pub fdom_vertex_evals: u64,
+    /// Cells whose members the flexible emission filter actually compared
+    /// against (i.e. that survived the projection-bound prefix + guard).
+    /// Bounded above by populated cells × filter calls; the slab index
+    /// keeps it far below that.
+    pub fdom_filter_cells_visited: u64,
 }
 
 /// One tracked output cell (`O_h` in the paper).
@@ -131,7 +143,6 @@ impl Cell {
 #[derive(Debug)]
 pub struct CellStore {
     grid: OutputGrid,
-    pref: Preference,
     /// The query's dominance model. The live-set invariant is maintained
     /// under **Pareto** regardless (a sound superset for any flexible
     /// model, since Pareto dominance implies F-dominance); a flexible
@@ -155,6 +166,22 @@ pub struct CellStore {
     /// Cached per-cell lower-corner vertex projections for the flexible
     /// emission filter (`cells × vertex_count`, rebuilt when stale).
     fdom_cell_proj: Vec<f64>,
+    /// Cell indices sorted by first projected corner coordinate — the
+    /// emission filter's prefix bound (rebuilt with `fdom_cell_proj`).
+    fdom_filter_order: Vec<u32>,
+    /// First projected corner coordinate per `fdom_filter_order` entry,
+    /// ascending, for binary-searching the reachable prefix.
+    fdom_filter_keys: Vec<f64>,
+    /// Reused eviction mask for the batched dominated-row scans.
+    scratch_mask: Vec<bool>,
+    /// Reused keep flags for the emission filter.
+    scratch_keep: Vec<bool>,
+    /// Reused candidate-tuple projections for the emission filter.
+    fdom_tuple_proj: Vec<f64>,
+    /// Reused per-cell member projections for the emission filter.
+    fdom_member_proj: Vec<f64>,
+    /// Reused single-point projection buffer.
+    proj_tmp: Vec<f64>,
 }
 
 impl CellStore {
@@ -172,7 +199,6 @@ impl CellStore {
         let dims = grid.dims();
         Self {
             grid,
-            pref: Preference::all_lowest(dims),
             model,
             cells: Vec::new(),
             by_key: FxHashMap::default(),
@@ -183,6 +209,13 @@ impl CellStore {
             scratch_candidates: Vec::new(),
             visit_epoch: 0,
             fdom_cell_proj: Vec::new(),
+            fdom_filter_order: Vec::new(),
+            fdom_filter_keys: Vec::new(),
+            scratch_mask: Vec::new(),
+            scratch_keep: Vec::new(),
+            fdom_tuple_proj: Vec::new(),
+            fdom_member_proj: Vec::new(),
+            proj_tmp: Vec::new(),
         }
     }
 
@@ -239,6 +272,14 @@ impl CellStore {
         self.stats
     }
 
+    /// Credits batched dominance work done on the store's behalf by other
+    /// phases (e.g. look-ahead cell pre-marking) so it shows up in the
+    /// same counters as the store's own kernel passes.
+    pub(crate) fn note_dominance_pairs(&mut self, pairs: u64) {
+        self.stats.dominance_tests += pairs;
+        self.stats.dominance_pairs += pairs;
+    }
+
     /// Current populated-cell skyline size (diagnostics).
     pub fn skyline_len(&self) -> usize {
         self.cell_skyline.len()
@@ -289,70 +330,143 @@ impl CellStore {
     ///
     /// Unlike Pareto maintenance, F-dominance is not confined to the
     /// coordinate slabs (a dominator may sit in a Pareto-incomparable
-    /// cell), so the scan covers every non-empty cell — pre-screened by a
-    /// per-cell vertex-projection bound (`∃k: vₖ·corner(cell) > vₖ·t` ⇒ no
-    /// member of the cell can weakly F-dominate `t`).
+    /// cell), so candidate dominators are found through a *vertex-projection
+    /// slab index*: cells sorted by their lower corner's first projected
+    /// coordinate. Weights are non-negative, so every member of a cell
+    /// projects component-wise ≥ the cell's projected corner; a cell whose
+    /// first corner projection exceeds every candidate's first tuple
+    /// projection can hold no weak F-dominator and the sorted order cuts
+    /// the scan to a binary-searched prefix. Cells inside the prefix are
+    /// still pre-screened per tuple on the remaining projected coordinates,
+    /// and only cells that pass for some tuple have their members projected
+    /// and compared (batched, counted in
+    /// [`CellStats::fdom_filter_cells_visited`]).
     pub fn filter_emitted(&mut self, ids: &mut Vec<(u32, u32)>, points: &mut PointStore) {
         let fdom = match &self.model {
             DominanceModel::Pareto => return,
             DominanceModel::Flexible(f) => std::sync::Arc::clone(f),
         };
         let k = fdom.vertex_count();
-        // (Re)build the per-cell lower-corner projections when cells were
-        // tracked since the last filter call (all tracking happens during
-        // setup, so in practice this runs once per query).
+        // (Re)build the per-cell lower-corner projections and the sorted
+        // first-coordinate index when cells were tracked since the last
+        // filter call (all tracking happens during setup, so in practice
+        // this runs once per query). Cell geometry is immutable, so the
+        // index never goes stale otherwise.
         if self.fdom_cell_proj.len() != self.cells.len() * k {
             let mut proj = Vec::with_capacity(self.cells.len() * k);
             let mut buf = Vec::with_capacity(k);
+            let mut corner = Vec::new();
             for cell in &self.cells {
-                let corner = self.grid.lower_corner(&cell.coord);
+                self.grid.lower_corner_into(&cell.coord, &mut corner);
                 fdom.project_into(&corner, &mut buf);
                 proj.extend_from_slice(&buf);
             }
             self.fdom_cell_proj = proj;
+            let mut order: Vec<u32> = (0..self.cells.len() as u32).collect();
+            order.sort_by(|&a, &b| {
+                self.fdom_cell_proj[a as usize * k].total_cmp(&self.fdom_cell_proj[b as usize * k])
+            });
+            self.fdom_filter_keys = order
+                .iter()
+                .map(|&ci| self.fdom_cell_proj[ci as usize * k])
+                .collect();
+            self.fdom_filter_order = order;
         }
 
         let n = ids.len();
-        let mut keep = vec![true; n];
-        let mut pt = Vec::with_capacity(k);
+        // Project every candidate once.
+        let mut tuple_proj = std::mem::take(&mut self.fdom_tuple_proj);
+        let mut tmp = std::mem::take(&mut self.proj_tmp);
+        tuple_proj.clear();
+        tuple_proj.reserve(n * k);
+        for t in points.iter() {
+            fdom.project_into(t, &mut tmp);
+            tuple_proj.extend_from_slice(&tmp);
+        }
+        let mut vertex_evals = (n * k) as u64;
+
+        // Reachable prefix: a cell can weakly F-dominate some candidate
+        // only if its first corner projection is ≤ the max first tuple
+        // projection. NaN projections (NaN-valued tuples) disable the
+        // bound rather than mis-pruning.
+        let mut max0 = f64::NEG_INFINITY;
+        let mut has_nan = false;
+        for i in 0..n {
+            let v = tuple_proj[i * k];
+            if v.is_nan() {
+                has_nan = true;
+            } else {
+                max0 = max0.max(v);
+            }
+        }
+        let prefix = if has_nan {
+            self.fdom_filter_order.len()
+        } else {
+            self.fdom_filter_keys.partition_point(|&key| key <= max0)
+        };
+
+        let mut keep = std::mem::take(&mut self.scratch_keep);
+        keep.clear();
+        keep.resize(n, true);
+        let mut member_proj = std::mem::take(&mut self.fdom_member_proj);
         let mut dropped = 0usize;
-        for (i, flag) in keep.iter_mut().enumerate() {
-            let t = points.point(i);
-            fdom.project_into(t, &mut pt);
-            'cells: for (ci, cell) in self.cells.iter().enumerate() {
-                if cell.points.is_empty() {
+        let mut pairs = 0u64;
+        let mut cells_visited = 0u64;
+        for &ci in &self.fdom_filter_order[..prefix] {
+            if dropped == n {
+                break;
+            }
+            let cell = &self.cells[ci as usize];
+            if cell.points.is_empty() {
+                continue;
+            }
+            let cproj = &self.fdom_cell_proj[ci as usize * k..(ci as usize + 1) * k];
+            let mut projected = false;
+            for i in 0..n {
+                if !keep[i] {
                     continue;
                 }
-                let cproj = &self.fdom_cell_proj[ci * k..(ci + 1) * k];
-                if cproj.iter().zip(&pt).any(|(c, p)| c > p) {
+                let pt = &tuple_proj[i * k..(i + 1) * k];
+                if cproj.iter().zip(pt).any(|(c, p)| c > p) {
                     // No member of this cell can weakly F-dominate t.
                     continue;
                 }
-                for u in cell.points.iter() {
-                    self.stats.dominance_tests += 1;
-                    if fdom.dominates_oriented(u, t) {
-                        *flag = false;
-                        dropped += 1;
-                        break 'cells;
+                if !projected {
+                    projected = true;
+                    cells_visited += 1;
+                    member_proj.clear();
+                    member_proj.reserve(cell.points.len() * k);
+                    for u in cell.points.iter() {
+                        fdom.project_into(u, &mut tmp);
+                        member_proj.extend_from_slice(&tmp);
                     }
+                    vertex_evals += (cell.points.len() * k) as u64;
+                }
+                if kernel::any_dominates(k, &member_proj, pt, &mut pairs) {
+                    keep[i] = false;
+                    dropped += 1;
                 }
             }
         }
-        if dropped == 0 {
-            return;
+        self.stats.dominance_tests += pairs;
+        self.stats.dominance_pairs += pairs;
+        self.stats.fdom_vertex_evals += vertex_evals;
+        self.stats.fdom_filter_cells_visited += cells_visited;
+        self.fdom_tuple_proj = tuple_proj;
+        self.fdom_member_proj = member_proj;
+        self.proj_tmp = tmp;
+
+        if dropped > 0 {
+            self.stats.tuples_fdom_filtered += dropped as u64;
+            let mut next = 0usize;
+            ids.retain(|_| {
+                let keep_it = keep[next];
+                next += 1;
+                keep_it
+            });
+            points.compact(&keep);
         }
-        self.stats.tuples_fdom_filtered += dropped as u64;
-        let survivors = n - dropped;
-        let mut new_ids = Vec::with_capacity(survivors);
-        let mut new_points = PointStore::with_capacity(points.dims(), survivors);
-        for i in 0..n {
-            if keep[i] {
-                new_ids.push(ids[i]);
-                new_points.push(points.point(i));
-            }
-        }
-        *ids = new_ids;
-        *points = new_points;
+        self.scratch_keep = keep;
     }
 
     /// Whether an (unprocessed) region with the given box lower corner is
@@ -433,24 +547,26 @@ impl CellStore {
         }
         let mut rejected = false;
         let mut cells_examined = 0u64;
-        'check: for &cand in &candidates {
+        let mut pairs = 0u64;
+        for &cand in &candidates {
             let cell = &self.cells[cand as usize];
             if cell.dead || !weak_leq(&cell.coord, &coord, dims) {
                 continue;
             }
             cells_examined += 1;
-            for p in cell.points.iter() {
-                self.stats.dominance_tests += 1;
-                if self.pref.dominates(p, oriented) {
-                    rejected = true;
-                    break 'check;
-                }
+            // Cell tuples are stored oriented (all-lowest), so the batched
+            // many-vs-one kernel scans the cell's flat buffer directly.
+            if kernel::any_dominates(dims, cell.points.raw(), oriented, &mut pairs) {
+                rejected = true;
+                break;
             }
         }
         self.stats.comparable_cells_visited += cells_examined;
         self.stats.comparable_cells_max = self.stats.comparable_cells_max.max(cells_examined);
         if rejected {
             self.scratch_candidates = candidates;
+            self.stats.dominance_tests += pairs;
+            self.stats.dominance_pairs += pairs;
             self.stats.tuples_rejected_dominated += 1;
             return false;
         }
@@ -458,24 +574,37 @@ impl CellStore {
         // 4. Evict live tuples the new one dominates (reverse slab scan).
         //    Emitted cells are skipped: their tuples are proven final, so
         //    nothing can dominate them (and their ids are already shipped).
+        //    One batched dominated-mask per cell; the mask is replayed as
+        //    left-to-right `swap_remove`s, reproducing the historical
+        //    scan-with-retest order of the cell's survivors exactly.
+        let mut mask = std::mem::take(&mut self.scratch_mask);
         for &cand in &candidates {
             let cell = &mut self.cells[cand as usize];
             if cell.dead || cell.emitted || !weak_leq(&coord, &cell.coord, dims) {
                 continue;
             }
-            let mut i = 0;
-            while i < cell.points.len() {
-                self.stats.dominance_tests += 1;
-                if self.pref.dominates(oriented, cell.points.point(i)) {
-                    cell.points.swap_remove(i);
-                    cell.ids.swap_remove(i);
-                    self.stats.tuples_evicted += 1;
-                } else {
-                    i += 1;
+            mask.clear();
+            mask.resize(cell.points.len(), false);
+            let hits =
+                kernel::dominated_mask(dims, cell.points.raw(), oriented, &mut mask, &mut pairs);
+            if hits > 0 {
+                let mut i = 0;
+                while i < mask.len() {
+                    if mask[i] {
+                        mask.swap_remove(i);
+                        cell.points.swap_remove(i);
+                        cell.ids.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
                 }
+                self.stats.tuples_evicted += hits as u64;
             }
         }
+        self.scratch_mask = mask;
         self.scratch_candidates = candidates;
+        self.stats.dominance_tests += pairs;
+        self.stats.dominance_pairs += pairs;
 
         // 5. Admit the tuple; on first population update slab indices and
         //    the populated-cell skyline (killing fully dominated cells).
@@ -642,7 +771,7 @@ mod tests {
         // Deterministic pseudo-random stress: after each insert, the live
         // tuples must equal the skyline of everything inserted so far.
         let mut s = store_10x10();
-        let pref = Preference::all_lowest(2);
+        let pref = progxe_skyline::Preference::all_lowest(2);
         let mut inserted: Vec<[f64; 2]> = Vec::new();
         let mut x: u64 = 42;
         for i in 0..300u32 {
@@ -743,6 +872,53 @@ mod tests {
         let (mut ids, mut points) = s.take_emitted(idx);
         s.filter_emitted(&mut ids, &mut points);
         assert_eq!(ids, vec![(0, 0)], "the dominator itself survives");
+    }
+
+    #[test]
+    fn flexible_filter_prunes_unreachable_cells() {
+        use crate::fdom::{DominanceModel, FDominance, WeightConstraint};
+        // Populate a diagonal band of mutually Pareto-incomparable cells,
+        // then filter a candidate from the *best* corner of the band. Cells
+        // whose projected corner already exceeds the candidate's projection
+        // sit beyond the prefix bound and must never be visited — the
+        // retired PR 5 implementation scanned every populated cell instead.
+        let fdom = FDominance::new(
+            2,
+            vec![
+                WeightConstraint::at_least(2, 0, 0.45),
+                WeightConstraint::at_most(2, 0, 0.55),
+            ],
+        )
+        .unwrap();
+        let grid = OutputGrid::new(vec![0.0, 0.0], vec![32.0, 32.0], 32);
+        let mut s = CellStore::with_model(grid.clone(), DominanceModel::flexible(fdom));
+        for x in 0..32u16 {
+            for y in 0..32u16 {
+                let mut c: Coord = [0; MAX_DIMS];
+                c[0] = x;
+                c[1] = y;
+                s.track(c);
+            }
+        }
+        let mut populated = 0u64;
+        for i in 0..32u32 {
+            let v = i as f64 + 0.5;
+            if s.insert(i, i, &[v, 32.0 - v]) {
+                populated += 1;
+            }
+        }
+        assert!(populated >= 16, "anti-diagonal must co-exist under Pareto");
+        // Candidate near the low corner: only similarly-projected cells can
+        // hold an F-dominator for it.
+        let idx = s.find(&s.grid().cell_of(&[0.5, 31.5])).unwrap();
+        let (mut ids, mut points) = s.take_emitted(idx);
+        let visited_before = s.stats().fdom_filter_cells_visited;
+        s.filter_emitted(&mut ids, &mut points);
+        let visited = s.stats().fdom_filter_cells_visited - visited_before;
+        assert!(
+            visited < populated,
+            "prefix bound degenerated to a full scan: {visited} of {populated} cells"
+        );
     }
 
     #[test]

@@ -539,6 +539,9 @@ impl Committer {
         stats.join_pairs_evaluated += batch.stats.pairs_examined;
         stats.join_matches += batch.stats.matches;
         stats.dominance_tests += batch.stats.local_dominance_tests;
+        // The local pre-filter runs entirely on the batched kernels.
+        stats.dominance_pairs += batch.stats.local_dominance_tests;
+        stats.fdom_vertex_evals += batch.stats.fdom_vertex_evals;
         stats.tuples_prefiltered += batch.stats.locally_pruned;
         if self.region_box_is_dead(batch.rid) {
             stats.regions_discarded_dead += 1;
@@ -631,6 +634,8 @@ impl Committer {
         let cell_stats = self.store.stats();
         // `+=`: worker-local pre-filter tests were already accumulated.
         stats.dominance_tests += cell_stats.dominance_tests;
+        stats.dominance_pairs += cell_stats.dominance_pairs;
+        stats.fdom_vertex_evals += cell_stats.fdom_vertex_evals;
         stats.tuples_inserted = cell_stats.tuples_inserted;
         stats.tuples_rejected_dominated = cell_stats.tuples_rejected_dominated;
         stats.tuples_rejected_dead_cell = cell_stats.tuples_rejected_dead_cell;
@@ -1151,6 +1156,8 @@ impl RegionDriver {
         // local filter only runs after a completed join); absorbed anyway
         // so the helper stays field-for-field consistent with commit_batch.
         stats.dominance_tests += batch.stats.local_dominance_tests;
+        stats.dominance_pairs += batch.stats.local_dominance_tests;
+        stats.fdom_vertex_evals += batch.stats.fdom_vertex_evals;
         stats.tuples_prefiltered += batch.stats.locally_pruned;
     }
 }

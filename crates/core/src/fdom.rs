@@ -59,7 +59,7 @@
 
 use crate::error::{Error, Result};
 use crate::output_grid::MAX_DIMS;
-use progxe_skyline::{Dominance, Order};
+use progxe_skyline::{kernel, Dominance, Order};
 use std::fmt;
 use std::sync::Arc;
 
@@ -314,26 +314,23 @@ impl FDominance {
 
     /// True iff `a` F-dominates `b`, both **oriented** (lower-is-better):
     /// `v·a ≤ v·b` at every vertex, strictly at one.
+    ///
+    /// The per-vertex dot products accumulate in the same order as
+    /// [`project_into`](Self::project_into), so deciding F-dominance on
+    /// pre-computed projections is bit-identical to this fused test.
     #[inline]
     pub fn dominates_oriented(&self, a: &[f64], b: &[f64]) -> bool {
         debug_assert_eq!(a.len(), self.dims);
         debug_assert_eq!(b.len(), self.dims);
-        let mut strict = false;
-        for v in self.vertices.chunks_exact(self.dims) {
+        kernel::fold_dominates(self.vertices.chunks_exact(self.dims).map(|v| {
             let mut da = 0.0;
             let mut db = 0.0;
             for j in 0..self.dims {
                 da += v[j] * a[j];
                 db += v[j] * b[j];
             }
-            if da > db {
-                return false;
-            }
-            if da < db {
-                strict = true;
-            }
-        }
-        strict
+            (da, db)
+        }))
     }
 
     /// True iff `a` F-dominates `b` in **raw** orientation, using the
@@ -341,22 +338,15 @@ impl FDominance {
     #[inline]
     pub fn dominates_raw(&self, orders: &[Order], a: &[f64], b: &[f64]) -> bool {
         debug_assert_eq!(orders.len(), self.dims);
-        let mut strict = false;
-        for v in self.vertices.chunks_exact(self.dims) {
+        kernel::fold_dominates(self.vertices.chunks_exact(self.dims).map(|v| {
             let mut da = 0.0;
             let mut db = 0.0;
             for j in 0..self.dims {
                 da += v[j] * orders[j].orient(a[j]);
                 db += v[j] * orders[j].orient(b[j]);
             }
-            if da > db {
-                return false;
-            }
-            if da < db {
-                strict = true;
-            }
-        }
-        strict
+            (da, db)
+        }))
     }
 
     /// Writes the vertex projections `v_k · p` of an oriented point into
@@ -367,6 +357,22 @@ impl FDominance {
         out.clear();
         for v in self.vertices.chunks_exact(self.dims) {
             out.push(v.iter().zip(p).map(|(x, y)| x * y).sum());
+        }
+    }
+
+    /// Like [`project_into`](Self::project_into) but for a **raw** point,
+    /// folding the query's orientation into the dot products with the same
+    /// accumulation order as [`dominates_raw`](Self::dominates_raw), so
+    /// projection-space Pareto tests reproduce it bit-for-bit.
+    pub fn project_raw_into(&self, orders: &[Order], p: &[f64], out: &mut Vec<f64>) {
+        debug_assert_eq!(orders.len(), self.dims);
+        out.clear();
+        for v in self.vertices.chunks_exact(self.dims) {
+            let mut s = 0.0;
+            for j in 0..self.dims {
+                s += v[j] * orders[j].orient(p[j]);
+            }
+            out.push(s);
         }
     }
 }
@@ -597,17 +603,7 @@ impl DominanceModel {
 /// engine used before the model became pluggable.
 #[inline]
 pub(crate) fn pareto_lowest_dominates(a: &[f64], b: &[f64]) -> bool {
-    debug_assert_eq!(a.len(), b.len());
-    let mut strict = false;
-    for (x, y) in a.iter().zip(b) {
-        if x > y {
-            return false;
-        }
-        if x < y {
-            strict = true;
-        }
-    }
-    strict
+    kernel::dominates_scalar(a, b)
 }
 
 /// Raw-orientation [`Dominance`] view of a query's model, for the skyline
@@ -635,19 +631,9 @@ impl Dominance for QueryDominance<'_> {
     #[inline]
     fn dominates(&self, a: &[f64], b: &[f64]) -> bool {
         match self.model {
-            DominanceModel::Pareto => {
-                // Definition 1 under the query's orders — identical to
-                // `Preference::dominates`.
-                let mut strict = false;
-                for (j, o) in self.orders.iter().enumerate() {
-                    match o.cmp_values(a[j], b[j]) {
-                        std::cmp::Ordering::Greater => return false,
-                        std::cmp::Ordering::Less => strict = true,
-                        std::cmp::Ordering::Equal => {}
-                    }
-                }
-                strict
-            }
+            // Definition 1 under the query's orders — the shared scalar
+            // kernel, identical to `Preference::dominates`.
+            DominanceModel::Pareto => kernel::dominates_ordered(self.orders, a, b),
             DominanceModel::Flexible(f) => f.dominates_raw(self.orders, a, b),
         }
     }
@@ -667,6 +653,27 @@ impl Dominance for QueryDominance<'_> {
                     .sum()
             }
         }
+    }
+
+    #[inline]
+    fn kernel_dims(&self) -> usize {
+        match self.model {
+            DominanceModel::Pareto => self.orders.len(),
+            DominanceModel::Flexible(f) => f.vertex_count(),
+        }
+    }
+
+    #[inline]
+    fn project_kernel(&self, a: &[f64], out: &mut Vec<f64>) {
+        match self.model {
+            DominanceModel::Pareto => kernel::orient_into(self.orders, a, out),
+            DominanceModel::Flexible(f) => f.project_raw_into(self.orders, a, out),
+        }
+    }
+
+    #[inline]
+    fn kernel_is_identity(&self) -> bool {
+        self.model.is_pareto() && self.orders.iter().all(|o| *o == Order::Lowest)
     }
 }
 

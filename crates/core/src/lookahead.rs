@@ -19,7 +19,7 @@ use crate::cells::CellStore;
 use crate::grid::InputGrid;
 use crate::mapping::MapSet;
 use crate::output_grid::{Coord, OutputGrid, MAX_DIMS};
-use progxe_skyline::{bnl::BnlWindow, Preference};
+use progxe_skyline::{bnl::BnlWindow, kernel, Preference};
 
 /// An output region `R_{a,b}`: the mapped image of input partition pair
 /// `[I^R_a, I^T_b]`. All bounds are *oriented* (lower is better).
@@ -151,7 +151,7 @@ pub fn run_lookahead(
     //    (Figure 3). Tags carry the owning candidate so a region is never
     //    pruned by its own upper bound.
     let pref = Preference::all_lowest(out_dims);
-    let mut pes: BnlWindow<usize> = BnlWindow::new(pref.clone());
+    let mut pes: BnlWindow<usize> = BnlWindow::new(pref);
     for (i, c) in candidates.iter().enumerate() {
         if c.guaranteed {
             pes.offer(&c.hi, i);
@@ -160,13 +160,21 @@ pub fn run_lookahead(
 
     // 4. Prune candidates dominated by another guaranteed region
     //    (Example 2: UPPER(R_{1,3}) ≺ LOWER(R_{3,1}) ⇒ discard R_{3,1}).
+    //    The window is flattened once so each candidate runs one batched
+    //    many-vs-one pass. No owner exclusion is needed: a region's own
+    //    upper bound can never *strictly* dominate its own lower bound
+    //    (`lo[j] ≤ hi[j]` by construction rules out any `hi[j] < lo[j]`,
+    //    and NaN bounds compare as ties), so dropping the old
+    //    `owner != i` guard is behavior-preserving.
+    let mut pes_flat: Vec<f64> = Vec::new();
+    for (p, _) in pes.iter() {
+        pes_flat.extend_from_slice(p);
+    }
     let mut regions = Vec::with_capacity(candidates.len());
     let mut pruned = 0usize;
-    for (i, c) in candidates.iter().enumerate() {
-        let dominated = pes
-            .iter()
-            .any(|(upper, &owner)| owner != i && pref.dominates(upper, &c.lo));
-        if dominated {
+    let mut pairs = 0u64;
+    for c in candidates.iter() {
+        if kernel::any_dominates(out_dims, &pes_flat, &c.lo, &mut pairs) {
             pruned += 1;
             continue;
         }
@@ -199,26 +207,34 @@ pub fn run_lookahead(
 /// best corner is dominated by the pessimistic skyline (Example 3). Returns
 /// the number of cells pre-marked dead.
 pub fn track_cells(lookahead: &Lookahead, store: &mut CellStore) -> usize {
-    let pref = Preference::all_lowest(lookahead.grid.dims());
     let mut pre_marked = 0usize;
     for region in &lookahead.regions {
         for coord in lookahead.grid.iter_box(region.cell_lo, region.cell_hi) {
             store.track(coord);
         }
     }
-    // Mark after tracking so shared cells are processed exactly once.
+    // Mark after tracking so shared cells are processed exactly once. The
+    // pessimistic skyline is flattened into one dense batch so each corner
+    // runs a single many-vs-one kernel pass; the corner buffer is reused
+    // across cells.
     if !lookahead.pessimistic_skyline.is_empty() {
+        let d = lookahead.grid.dims();
+        let mut pes_flat: Vec<f64> = Vec::with_capacity(lookahead.pessimistic_skyline.len() * d);
+        for p in &lookahead.pessimistic_skyline {
+            pes_flat.extend_from_slice(p);
+        }
+        let mut corner = Vec::with_capacity(d);
+        let mut pairs = 0u64;
         for idx in 0..store.len() as u32 {
-            let corner = store.grid().lower_corner(store.cell(idx).coord());
-            let dominated = lookahead
-                .pessimistic_skyline
-                .iter()
-                .any(|u| pref.dominates(u, &corner));
-            if dominated {
+            store
+                .grid()
+                .lower_corner_into(store.cell(idx).coord(), &mut corner);
+            if kernel::any_dominates(d, &pes_flat, &corner, &mut pairs) {
                 store.mark_dead(idx);
                 pre_marked += 1;
             }
         }
+        store.note_dominance_pairs(pairs);
     }
     pre_marked
 }

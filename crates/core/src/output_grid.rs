@@ -141,16 +141,32 @@ impl OutputGrid {
 
     /// Oriented lower corner of a cell.
     pub fn lower_corner(&self, c: &Coord) -> Vec<f64> {
-        (0..self.dims)
-            .map(|d| self.lo[d] + c[d] as f64 * self.width[d])
-            .collect()
+        let mut out = Vec::new();
+        self.lower_corner_into(c, &mut out);
+        out
+    }
+
+    /// [`Self::lower_corner`] into a caller-provided buffer (cleared
+    /// first) — the hot-loop variant that avoids a per-cell allocation.
+    #[inline]
+    pub fn lower_corner_into(&self, c: &Coord, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.dims).map(|d| self.lo[d] + c[d] as f64 * self.width[d]));
     }
 
     /// Oriented upper corner of a cell.
     pub fn upper_corner(&self, c: &Coord) -> Vec<f64> {
-        (0..self.dims)
-            .map(|d| self.lo[d] + (c[d] + 1) as f64 * self.width[d])
-            .collect()
+        let mut out = Vec::new();
+        self.upper_corner_into(c, &mut out);
+        out
+    }
+
+    /// [`Self::upper_corner`] into a caller-provided buffer (cleared
+    /// first) — the hot-loop variant that avoids a per-cell allocation.
+    #[inline]
+    pub fn upper_corner_into(&self, c: &Coord, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.dims).map(|d| self.lo[d] + (c[d] + 1) as f64 * self.width[d]));
     }
 
     /// Number of cells in the inclusive coordinate box `[lo, hi]`.

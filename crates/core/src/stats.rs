@@ -85,6 +85,15 @@ pub struct ExecStats {
     pub join_matches: u64,
     /// Pairwise dominance tests at tuple level.
     pub dominance_tests: u64,
+    /// Subset of [`ExecStats::dominance_tests`] executed through the
+    /// batched columnar kernels ([`progxe_skyline::kernel`]) rather than
+    /// one-at-a-time scalar calls. Early-exit probes charge whole chunks,
+    /// so this counts work done, not logical comparisons.
+    pub dominance_pairs: u64,
+    /// Vertex dot products evaluated for flexible (F-dominance) models:
+    /// batch projections into vertex space plus emission-filter projection
+    /// work. Always 0 under the Pareto model.
+    pub fdom_vertex_evals: u64,
     /// Tuples admitted into cells.
     pub tuples_inserted: u64,
     /// Tuples rejected: dominated by a live tuple.
@@ -193,6 +202,12 @@ impl ExecStats {
             .push("join_matches", Value::U64(self.join_matches))
             .push("dominance_tests", Value::U64(self.dominance_tests))
             .push("cancelled", Value::Bool(self.cancelled));
+        if self.dominance_pairs > 0 {
+            r.push("dominance_pairs", Value::U64(self.dominance_pairs));
+        }
+        if self.fdom_vertex_evals > 0 {
+            r.push("fdom_vertex_evals", Value::U64(self.fdom_vertex_evals));
+        }
         if self.tuples_ingested > 0 || self.regions_unlocked > 0 {
             r.push("tuples_ingested", Value::U64(self.tuples_ingested))
                 .push("regions_unlocked", Value::U64(self.regions_unlocked as u64));
@@ -230,6 +245,13 @@ impl std::fmt::Display for ExecStats {
             self.threads_used.max(1),
             if self.threads_used > 1 { "s" } else { "" },
         )?;
+        if self.dominance_pairs > 0 {
+            write!(f, " [{} kernel pairs", self.dominance_pairs)?;
+            if self.fdom_vertex_evals > 0 {
+                write!(f, ", {} vertex evals", self.fdom_vertex_evals)?;
+            }
+            write!(f, "]")?;
+        }
         if self.tuples_ingested > 0 || self.regions_unlocked > 0 {
             write!(
                 f,
@@ -312,6 +334,27 @@ mod tests {
         let ingest_at = line.find("tuples ingested").unwrap();
         let cancel_at = line.find("cancelled").unwrap();
         assert!(ingest_at < cancel_at, "{line}");
+    }
+
+    #[test]
+    fn display_and_report_surface_kernel_counters_when_nonzero() {
+        let mut s = ExecStats {
+            results_emitted: 1,
+            dominance_tests: 10,
+            ..ExecStats::default()
+        };
+        assert!(!s.to_string().contains("kernel pairs"));
+        assert!(!s.report().to_json().contains("dominance_pairs"));
+        s.dominance_pairs = 8;
+        let line = s.to_string();
+        assert!(line.contains("[8 kernel pairs]"), "{line}");
+        assert!(!line.contains("vertex evals"), "{line}");
+        s.fdom_vertex_evals = 24;
+        let line = s.to_string();
+        assert!(line.contains("[8 kernel pairs, 24 vertex evals]"), "{line}");
+        let json = s.report().to_json();
+        assert!(json.contains("\"dominance_pairs\": 8"), "{json}");
+        assert!(json.contains("\"fdom_vertex_evals\": 24"), "{json}");
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::lookahead::Region;
 use crate::mapping::MapSet;
 use crate::session::CancellationToken;
 use crate::source::SourceView;
-use progxe_skyline::PointStore;
+use progxe_skyline::{kernel, PointStore};
 use std::time::{Duration, Instant};
 
 /// Work items (probe rows + join matches) between cancellation-token
@@ -54,11 +54,15 @@ pub struct TupleLevelStats {
     /// Join matches produced and mapped.
     pub matches: u64,
     /// Pairwise dominance tests performed by the worker-local pre-filter
-    /// (0 on the sequential path).
+    /// (0 on the sequential path). The pre-filter runs on the batched
+    /// kernels, so this advances at chunk granularity.
     pub local_dominance_tests: u64,
     /// Tuples dropped by the worker-local pre-filter before reaching the
     /// committer (0 on the sequential path).
     pub locally_pruned: u64,
+    /// Vertex dot products evaluated while projecting batches into the
+    /// flexible model's vertex space (0 under Pareto).
+    pub fdom_vertex_evals: u64,
 }
 
 /// The shared join + map + orient loop. Calls `emit` for every join match
@@ -339,50 +343,76 @@ pub(crate) fn local_skyline_filter(
     if n <= 1 {
         return;
     }
-    let mut keep = vec![true; n];
-    let mut window: Vec<usize> = Vec::new();
-    for i in 0..n {
-        let p = points.point(i);
-        let mut dominated = false;
-        for &j in &window {
-            stats.local_dominance_tests += 1;
-            if model.dominates_oriented(points.point(j), p) {
-                dominated = true;
-                break;
+    // Kernel space for the whole batch: the oriented values themselves
+    // under Pareto (no copy), or one up-front vertex projection under a
+    // flexible model — after which every dominance decision is a flat
+    // all-lowest Pareto kernel call (k compares per pair instead of k·d
+    // multiplies).
+    let (kd, projected) = match model {
+        DominanceModel::Pareto => (points.dims(), None),
+        DominanceModel::Flexible(f) => {
+            let k = f.vertex_count();
+            let mut buf = Vec::with_capacity(n * k);
+            let mut tmp = Vec::with_capacity(k);
+            for p in points.iter() {
+                f.project_into(p, &mut tmp);
+                buf.extend_from_slice(&tmp);
             }
+            stats.fdom_vertex_evals += (n * k) as u64;
+            (k, Some(buf))
         }
-        if dominated {
+    };
+    let kdata: &[f64] = projected.as_deref().unwrap_or(points.raw());
+    let mut keep = vec![true; n];
+    let mut window: Vec<u32> = Vec::new();
+    let mut wpoints = PointStore::new(kd);
+    let mut mask: Vec<bool> = Vec::new();
+    for i in 0..n {
+        let p = &kdata[i * kd..(i + 1) * kd];
+        if kernel::any_dominates(kd, wpoints.raw(), p, &mut stats.local_dominance_tests) {
             keep[i] = false;
             continue;
         }
-        window.retain(|&j| {
-            stats.local_dominance_tests += 1;
-            if model.dominates_oriented(p, points.point(j)) {
-                keep[j] = false;
-                false
-            } else {
-                true
+        mask.clear();
+        mask.resize(window.len(), false);
+        if kernel::dominated_mask(
+            kd,
+            wpoints.raw(),
+            p,
+            &mut mask,
+            &mut stats.local_dominance_tests,
+        ) > 0
+        {
+            let mut w = 0;
+            while w < window.len() {
+                if mask[w] {
+                    keep[window[w] as usize] = false;
+                    mask.swap_remove(w);
+                    window.swap_remove(w);
+                    wpoints.swap_remove(w);
+                } else {
+                    w += 1;
+                }
             }
-        });
-        if window.len() < LOCAL_FILTER_WINDOW {
-            window.push(i);
         }
-    }
-    if keep.iter().all(|&k| k) {
-        return;
+        if window.len() < LOCAL_FILTER_WINDOW {
+            window.push(i as u32);
+            wpoints.push(p);
+        }
     }
     let survivors = keep.iter().filter(|&&k| k).count();
-    let mut new_ids = Vec::with_capacity(survivors);
-    let mut new_points = PointStore::with_capacity(points.dims(), survivors);
-    for i in 0..n {
-        if keep[i] {
-            new_ids.push(ids[i]);
-            new_points.push(points.point(i));
-        }
+    if survivors == n {
+        return;
     }
+    // Compact survivors in place, preserving order — no reallocation.
+    let mut next = 0usize;
+    ids.retain(|_| {
+        let k = keep[next];
+        next += 1;
+        k
+    });
+    points.compact(&keep);
     stats.locally_pruned += (n - survivors) as u64;
-    *ids = new_ids;
-    *points = new_points;
 }
 
 // Compile-time guarantee that work units can cross thread boundaries.

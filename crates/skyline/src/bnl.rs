@@ -7,7 +7,7 @@
 //! and incomers that dominate window entries evict them.
 
 use crate::dominance::Dominance;
-use crate::{PointStore, Preference, SkylineResult, SkylineStats};
+use crate::{kernel, PointStore, Preference, SkylineResult, SkylineStats};
 
 /// Computes the skyline of `store` under `pref` with the BNL window
 /// algorithm. Output order is unspecified (window order).
@@ -18,32 +18,47 @@ pub fn bnl_skyline(store: &PointStore, pref: &Preference) -> SkylineResult {
 /// [`bnl_skyline`] generalized over any [`Dominance`] model. BNL's window
 /// maintenance only needs the relation to be a strict partial order, so the
 /// same single pass computes flexible (F-dominance) skylines.
+///
+/// The whole input is projected into the model's kernel space once, then the
+/// window scan runs on the batched kernels of [`crate::kernel`] — a
+/// dominated-incomer probe followed, only for survivors, by a one-shot
+/// eviction mask. The window invariant (members are mutually non-dominated)
+/// means a dominated incomer can never evict anyone, so probing first is
+/// exactly equivalent to the classic interleaved scan, and replaying the
+/// eviction mask left-to-right with `swap_remove` reproduces the classic
+/// window order bit-for-bit.
 pub fn bnl_skyline_under<D: Dominance>(store: &PointStore, dom: &D) -> SkylineResult {
     assert_eq!(store.dims(), dom.dims(), "store/dominance dims mismatch");
+    let kd = dom.kernel_dims();
+    let mut kbuf = Vec::new();
+    let kdata = kernel::project_store(dom, store, &mut kbuf);
     let mut window: Vec<usize> = Vec::new();
+    // Kernel-space payloads of the live window, compacted in lockstep.
+    let mut wpoints = PointStore::new(kd);
+    let mut mask: Vec<bool> = Vec::new();
     let mut stats = SkylineStats::default();
     for i in 0..store.len() {
         stats.tuples_scanned += 1;
-        let p = store.point(i);
-        let mut dominated = false;
-        let mut w = 0;
-        while w < window.len() {
-            stats.dominance_tests += 1;
-            let q = store.point(window[w]);
-            if dom.dominates(q, p) {
-                dominated = true;
-                break;
-            }
-            if dom.dominates(p, q) {
-                // Evict the dominated window entry; order is irrelevant.
-                window.swap_remove(w);
-            } else {
-                w += 1;
+        let p = &kdata[i * kd..(i + 1) * kd];
+        if kernel::any_dominates(kd, wpoints.raw(), p, &mut stats.dominance_tests) {
+            continue;
+        }
+        mask.clear();
+        mask.resize(window.len(), false);
+        if kernel::dominated_mask(kd, wpoints.raw(), p, &mut mask, &mut stats.dominance_tests) > 0 {
+            let mut w = 0;
+            while w < window.len() {
+                if mask[w] {
+                    mask.swap_remove(w);
+                    window.swap_remove(w);
+                    wpoints.swap_remove(w);
+                } else {
+                    w += 1;
+                }
             }
         }
-        if !dominated {
-            window.push(i);
-        }
+        window.push(i);
+        wpoints.push(p);
     }
     SkylineResult {
         indices: window,
@@ -66,6 +81,11 @@ pub struct BnlWindow<T> {
     /// Live entries: parallel indices into `points`/`tags`. Evicted entries
     /// are swap-removed from this list; storage is compacted lazily.
     live: Vec<u32>,
+    /// Oriented (kernel-space) payloads of the live entries, compacted in
+    /// lockstep with `live` so the batched kernels can scan them flat.
+    kpoints: PointStore,
+    scratch: Vec<f64>,
+    mask: Vec<bool>,
     stats: SkylineStats,
 }
 
@@ -78,6 +98,9 @@ impl<T: Clone> BnlWindow<T> {
             points: PointStore::new(dims),
             tags: Vec::new(),
             live: Vec::new(),
+            kpoints: PointStore::new(dims),
+            scratch: Vec::new(),
+            mask: Vec::new(),
             stats: SkylineStats::default(),
         }
     }
@@ -89,34 +112,53 @@ impl<T: Clone> BnlWindow<T> {
     /// current member. Admitting a tuple may evict previously admitted ones.
     pub fn offer(&mut self, p: &[f64], tag: T) -> bool {
         self.stats.tuples_scanned += 1;
-        let mut w = 0;
-        while w < self.live.len() {
-            self.stats.dominance_tests += 1;
-            let q = self.points.point(self.live[w] as usize);
-            if self.pref.dominates(q, p) {
-                return false;
-            }
-            if self.pref.dominates(p, q) {
-                self.live.swap_remove(w);
-            } else {
-                w += 1;
+        let kd = self.kpoints.dims();
+        kernel::orient_into(self.pref.orders(), p, &mut self.scratch);
+        if kernel::any_dominates(
+            kd,
+            self.kpoints.raw(),
+            &self.scratch,
+            &mut self.stats.dominance_tests,
+        ) {
+            return false;
+        }
+        self.mask.clear();
+        self.mask.resize(self.live.len(), false);
+        if kernel::dominated_mask(
+            kd,
+            self.kpoints.raw(),
+            &self.scratch,
+            &mut self.mask,
+            &mut self.stats.dominance_tests,
+        ) > 0
+        {
+            let mut w = 0;
+            while w < self.live.len() {
+                if self.mask[w] {
+                    self.mask.swap_remove(w);
+                    self.live.swap_remove(w);
+                    self.kpoints.swap_remove(w);
+                } else {
+                    w += 1;
+                }
             }
         }
         let idx = self.points.push(p);
         self.tags.push(tag);
         self.live.push(idx as u32);
+        self.kpoints.push(&self.scratch);
         true
     }
 
     /// True iff `p` is dominated by some current window member.
     pub fn is_dominated(&mut self, p: &[f64]) -> bool {
-        for &w in &self.live {
-            self.stats.dominance_tests += 1;
-            if self.pref.dominates(self.points.point(w as usize), p) {
-                return true;
-            }
-        }
-        false
+        kernel::orient_into(self.pref.orders(), p, &mut self.scratch);
+        kernel::any_dominates(
+            self.kpoints.dims(),
+            self.kpoints.raw(),
+            &self.scratch,
+            &mut self.stats.dominance_tests,
+        )
     }
 
     /// Number of currently non-dominated entries.

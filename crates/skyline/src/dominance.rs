@@ -29,6 +29,28 @@ pub trait Dominance {
     /// Presorting algorithms (SFS) rely on this to guarantee that no tuple
     /// is dominated by a later one in ascending score order.
     fn monotone_score(&self, a: &[f64]) -> f64;
+
+    /// Dimensionality of the relation's *kernel space*: a space in which
+    /// this relation is exactly all-lowest Pareto dominance, so the batched
+    /// kernels in [`crate::kernel`] apply. For Pareto this is `dims()`
+    /// (orientation); for F-dominance it is the number of weight-polytope
+    /// vertices (vertex projection).
+    fn kernel_dims(&self) -> usize;
+
+    /// Projects a raw tuple into kernel space, clearing and filling `out`
+    /// (length becomes [`kernel_dims`](Self::kernel_dims)).
+    ///
+    /// Contract: `dominates(a, b)` must equal
+    /// `kernel::dominates_scalar(project(a), project(b))` **exactly** —
+    /// including on ties and NaN — so algorithms may run either path and
+    /// produce identical output.
+    fn project_kernel(&self, a: &[f64], out: &mut Vec<f64>);
+
+    /// True when [`project_kernel`](Self::project_kernel) is the identity
+    /// map, letting algorithms borrow the raw buffer instead of copying.
+    fn kernel_is_identity(&self) -> bool {
+        false
+    }
 }
 
 impl Dominance for Preference {
@@ -45,6 +67,21 @@ impl Dominance for Preference {
     #[inline]
     fn monotone_score(&self, a: &[f64]) -> f64 {
         Preference::monotone_score(self, a)
+    }
+
+    #[inline]
+    fn kernel_dims(&self) -> usize {
+        Preference::dims(self)
+    }
+
+    #[inline]
+    fn project_kernel(&self, a: &[f64], out: &mut Vec<f64>) {
+        crate::kernel::orient_into(self.orders(), a, out);
+    }
+
+    #[inline]
+    fn kernel_is_identity(&self) -> bool {
+        self.orders().iter().all(|o| *o == crate::Order::Lowest)
     }
 }
 

@@ -26,6 +26,7 @@
 pub mod bnl;
 pub mod dnc;
 pub mod dominance;
+pub mod kernel;
 pub mod point;
 pub mod preference;
 pub mod reference;

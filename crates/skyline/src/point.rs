@@ -132,21 +132,56 @@ impl PointStore {
         self.data.truncate(last * self.dims);
     }
 
+    /// Keeps only the points whose `keep` flag is set, preserving order.
+    /// In-place and allocation-free: O(len × dims) forward copy.
+    ///
+    /// # Panics
+    /// Panics if `keep.len() != self.len()`.
+    pub fn compact(&mut self, keep: &[bool]) {
+        assert_eq!(keep.len(), self.len(), "keep mask must cover the store");
+        let dims = self.dims;
+        let mut w = 0usize;
+        for (i, &k) in keep.iter().enumerate() {
+            if k {
+                if i != w {
+                    self.data.copy_within(i * dims..(i + 1) * dims, w * dims);
+                }
+                w += 1;
+            }
+        }
+        self.data.truncate(w * dims);
+    }
+
     /// Per-dimension minima and maxima over all stored points, or `None`
     /// when the store is empty. Used to size grid structures.
     pub fn bounds(&self) -> Option<(Vec<f64>, Vec<f64>)> {
-        if self.is_empty() {
-            return None;
+        let mut lo = Vec::new();
+        let mut hi = Vec::new();
+        if self.bounds_into(&mut lo, &mut hi) {
+            Some((lo, hi))
+        } else {
+            None
         }
-        let mut lo = self.point(0).to_vec();
-        let mut hi = lo.clone();
+    }
+
+    /// Like [`bounds`](Self::bounds) but writing into caller-provided
+    /// buffers, so repeated calls on the hot path do not allocate. Returns
+    /// `false` (leaving the buffers empty) when the store is empty.
+    pub fn bounds_into(&self, lo: &mut Vec<f64>, hi: &mut Vec<f64>) -> bool {
+        lo.clear();
+        hi.clear();
+        if self.is_empty() {
+            return false;
+        }
+        lo.extend_from_slice(self.point(0));
+        hi.extend_from_slice(self.point(0));
         for p in self.iter().skip(1) {
             for d in 0..self.dims {
                 lo[d] = lo[d].min(p[d]);
                 hi[d] = hi[d].max(p[d]);
             }
         }
-        Some((lo, hi))
+        true
     }
 }
 
@@ -213,6 +248,29 @@ mod tests {
     fn swap_remove_out_of_bounds_panics() {
         let mut s = PointStore::from_rows(2, [[1.0, 2.0]]);
         s.swap_remove(1);
+    }
+
+    #[test]
+    fn compact_preserves_order() {
+        let mut s = PointStore::from_rows(2, [[1.0, 2.0], [3.0, 4.0], [5.0, 6.0], [7.0, 8.0]]);
+        s.compact(&[true, false, false, true]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.point(0), &[1.0, 2.0]);
+        assert_eq!(s.point(1), &[7.0, 8.0]);
+        s.compact(&[false, false]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn bounds_into_reuses_buffers() {
+        let s = PointStore::from_rows(2, [[1.0, 9.0], [5.0, 2.0]]);
+        let mut lo = vec![0.0; 5];
+        let mut hi = Vec::new();
+        assert!(s.bounds_into(&mut lo, &mut hi));
+        assert_eq!(lo, vec![1.0, 2.0]);
+        assert_eq!(hi, vec![5.0, 9.0]);
+        assert!(!PointStore::new(2).bounds_into(&mut lo, &mut hi));
+        assert!(lo.is_empty());
     }
 
     #[test]

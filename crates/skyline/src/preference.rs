@@ -113,21 +113,17 @@ impl Preference {
 
     /// True iff `a` dominates `b` under this preference (Definition 1).
     ///
+    /// Delegates to the shared scalar kernel; NaN attribute values compare
+    /// as ties, matching the historical `partial_cmp(..).unwrap_or(Equal)`
+    /// semantics (see [`crate::kernel`]).
+    ///
     /// # Panics
     /// Debug-panics when the slices do not match the preference dimension.
     #[inline]
     pub fn dominates(&self, a: &[f64], b: &[f64]) -> bool {
         debug_assert_eq!(a.len(), self.dims());
         debug_assert_eq!(b.len(), self.dims());
-        let mut strict = false;
-        for (i, ord) in self.orders.iter().enumerate() {
-            match ord.cmp_values(a[i], b[i]) {
-                Ordering::Greater => return false,
-                Ordering::Less => strict = true,
-                Ordering::Equal => {}
-            }
-        }
-        strict
+        crate::kernel::dominates_ordered(&self.orders, a, b)
     }
 
     /// Full pairwise classification of `a` vs `b`.

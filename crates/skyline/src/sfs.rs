@@ -8,7 +8,7 @@
 //! discusses this family \[4\], \[5\]).
 
 use crate::dominance::Dominance;
-use crate::{PointStore, Preference, SkylineResult, SkylineStats};
+use crate::{kernel, PointStore, Preference, SkylineResult, SkylineStats};
 
 /// Computes the skyline by sorting on [`Preference::monotone_score`] and
 /// filtering in one pass. Output indices are in score order (ascending),
@@ -52,23 +52,25 @@ pub fn sfs_skyline_with_under<D: Dominance, F: FnMut(usize)>(
 ) {
     assert_eq!(store.dims(), dom.dims(), "store/dominance dims mismatch");
     let n = store.len();
+    // Score each tuple once instead of once per sort comparison.
+    let scores: Vec<f64> = store.iter().map(|p| dom.monotone_score(p)).collect();
     let mut order: Vec<u32> = (0..n as u32).collect();
     // total_cmp is safe here: scores of finite inputs are finite.
-    order.sort_by(|&a, &b| {
-        dom.monotone_score(store.point(a as usize))
-            .total_cmp(&dom.monotone_score(store.point(b as usize)))
-    });
-    let mut window: Vec<u32> = Vec::new();
-    'outer: for &i in &order {
+    order.sort_by(|&a, &b| scores[a as usize].total_cmp(&scores[b as usize]));
+    // Project once into kernel space; the append-only window then runs on
+    // the batched many-vs-one kernel. SFS never evicts, so a PointStore of
+    // kernel rows is all the window state needed.
+    let kd = dom.kernel_dims();
+    let mut kbuf = Vec::new();
+    let kdata = kernel::project_store(dom, store, &mut kbuf);
+    let mut window = PointStore::new(kd);
+    for &i in &order {
         stats.tuples_scanned += 1;
-        let p = store.point(i as usize);
-        for &w in &window {
-            stats.dominance_tests += 1;
-            if dom.dominates(store.point(w as usize), p) {
-                continue 'outer;
-            }
+        let p = &kdata[i as usize * kd..(i as usize + 1) * kd];
+        if kernel::any_dominates(kd, window.raw(), p, &mut stats.dominance_tests) {
+            continue;
         }
-        window.push(i);
+        window.push(p);
         emit(i as usize);
     }
 }

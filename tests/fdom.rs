@@ -219,6 +219,56 @@ fn fdominance_emission_is_no_retraction_and_deterministic() {
     assert_eq!(collect_stream(false), collect_stream(true));
 }
 
+/// Regression pin for the batched dominance kernels: the full emission
+/// stream — batch boundaries, tuple identities, *and the exact f64 bit
+/// patterns of every output value* — is identical between the Inline and
+/// Pooled backends and across repeated runs. Any drift in tie/strictness
+/// semantics or float accumulation order inside the kernels (batch
+/// projection, windowed pre-filter, cell-store eviction, emission filter)
+/// shows up here as a bit-level diff.
+#[test]
+fn fdominance_emission_stream_is_bit_identical_across_backends() {
+    type Stream = Vec<Vec<(u32, u32, Vec<u64>)>>;
+    let w = WorkloadSpec::new(400, 3, Distribution::AntiCorrelated, 0.03)
+        .with_seed(11)
+        .generate();
+    let (r, t) = views(&w);
+    let maps = flexible_maps(3, 0.5);
+    let collect = |pooled: bool| -> Stream {
+        let mut session = if pooled {
+            ParallelProgXe::new(ProgXeConfig::default().with_threads(4))
+                .open(&r, &t, &maps)
+                .unwrap()
+        } else {
+            ProgXe::new(ProgXeConfig::default())
+                .open(&r, &t, &maps)
+                .unwrap()
+        };
+        let mut stream = Vec::new();
+        while let Some(event) = session.next_batch() {
+            stream.push(
+                event
+                    .tuples
+                    .iter()
+                    .map(|x| {
+                        (
+                            x.r_idx,
+                            x.t_idx,
+                            x.values.iter().map(|v| v.to_bits()).collect(),
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        session.finish();
+        stream
+    };
+    let inline_a = collect(false);
+    assert!(!inline_a.is_empty(), "workload emitted nothing");
+    assert_eq!(inline_a, collect(false), "inline not run-deterministic");
+    assert_eq!(inline_a, collect(true), "pooled diverged from inline");
+}
+
 /// `take(k)` under F-dominance returns exactly the first `k` tuples of the
 /// engine's own full emission order and stops early.
 #[test]
