@@ -12,7 +12,7 @@
 
 use progxe_bench::figures::{
     ablate_delta, ablate_order, cellbound, fdom, fig10_prog, fig10_time, fig11, fig12, fig13,
-    ingest, kernels, obs, scaling, ssmj_soundness, threads, ExpOptions,
+    ingest, kernels, obs, scaling, serving, ssmj_soundness, threads, ExpOptions,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -35,6 +35,7 @@ experiments:
   fdom            flexible skylines: shrinkage + latency vs constraint tightness
   obs             tracing overhead: recorder off / null / ring (gated)
   kernels         columnar dominance kernels: batched vs scalar, blocker index vs naive (gated)
+  serving         TCP serving layer: QPS + first-result latency vs concurrent clients
   all             everything above
 
 options:
@@ -106,6 +107,7 @@ fn main() -> ExitCode {
             "fdom" => fdom(opt),
             "obs" => obs(opt),
             "kernels" => kernels(opt),
+            "serving" => serving(opt),
             _ => return false,
         }
         true
@@ -129,6 +131,7 @@ fn main() -> ExitCode {
                 "fdom",
                 "obs",
                 "kernels",
+                "serving",
             ] {
                 println!();
                 run_one(name, &opt);

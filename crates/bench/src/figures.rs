@@ -1841,6 +1841,223 @@ pub fn ssmj_soundness(opt: &ExpOptions) {
     println!("rows written to {}", path.display());
 }
 
+/// One measured serving load point (see [`serving`]).
+pub struct ServingRun {
+    /// Simulated concurrent clients, each running one query over its own
+    /// TCP connection.
+    pub clients: usize,
+    /// Queries the server completed successfully.
+    pub queries_ok: u64,
+    /// Connections shed by admission control (0 when the cap fits the
+    /// client count, as in this sweep).
+    pub rejected: u64,
+    /// Wall-clock duration of the whole load point.
+    pub elapsed_ms: f64,
+    /// Completed queries per second over the load point.
+    pub qps: f64,
+    /// Median client-measured time-to-first-result.
+    pub first_p50_ms: f64,
+    /// 99th-percentile client-measured time-to-first-result.
+    pub first_p99_ms: f64,
+}
+
+/// Serving load generator: spins up the TCP server from `crates/server`
+/// over a synthetic anti-correlated catalog, then hits it with 100–1000
+/// simulated clients (one OS thread + one connection each, one query per
+/// client) and reports QPS plus client-observed p50/p99 time-to-first-
+/// result. Writes `serving.csv` and machine-readable `BENCH_serving.json`;
+/// CI runs the `--quick` point (100 clients) as a smoke and uploads the
+/// JSON next to the other BENCH artifacts.
+pub fn serving(opt: &ExpOptions) {
+    let runs = serving_measurements(opt);
+    write_serving_outputs(opt, &runs);
+}
+
+/// The measured core of [`serving`] at the default sweep sizes: 100
+/// clients in `--quick` mode, 100/250/500/1000 otherwise.
+pub fn serving_measurements(opt: &ExpOptions) -> Vec<ServingRun> {
+    let sweep: &[usize] = if opt.quick {
+        &[100]
+    } else {
+        &[100, 250, 500, 1000]
+    };
+    let rows = opt.pick_n(800); // --quick shrinks this to 80 via pick_n
+    let dims = opt.pick_dims(2);
+    serving_sweep(opt, sweep, rows, dims)
+}
+
+/// Runs one load point per entry in `sweep` against a fresh server (port
+/// 0, session cap = client count, 2 engine worker threads shared by every
+/// session). Split from [`serving_measurements`] so tests can drive a tiny
+/// sweep without the 100-client default. Panics — failing CI — on any
+/// connection, query, or cancellation anomaly.
+pub fn serving_sweep(
+    opt: &ExpOptions,
+    sweep: &[usize],
+    rows: usize,
+    dims: usize,
+) -> Vec<ServingRun> {
+    use progxe_query::{Engine, QueryRunner};
+    use progxe_server::{synthetic, Server, ServerConfig};
+    use std::time::Instant;
+
+    println!(
+        "== Serving: QPS + first-result latency vs concurrent clients \
+         (anti-correlated, N={rows}, d={dims}, seed={}) ==",
+        opt.seed
+    );
+    let sql = std::sync::Arc::new(synthetic::query_sql(dims));
+    let mut out = Vec::new();
+    for &clients in sweep {
+        let runner = QueryRunner::new(synthetic::catalog(rows, dims, opt.seed));
+        let handle = Server::start(
+            runner,
+            Engine::progxe_threads(2),
+            ServerConfig {
+                max_sessions: clients,
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind port 0");
+        let addr = handle.addr();
+
+        let started = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let sql = std::sync::Arc::clone(&sql);
+                std::thread::spawn(move || {
+                    let mut client =
+                        progxe_server::Client::connect(addr).expect("admitted under the cap");
+                    let outcome = client.run_query(&sql).expect("query frame exchange");
+                    assert!(
+                        outcome.error.is_none(),
+                        "server error under load: {:?}",
+                        outcome.error
+                    );
+                    let done = outcome.done.expect("terminal Done frame");
+                    assert!(
+                        !done.cancelled,
+                        "no client disconnected, yet a run cancelled"
+                    );
+                    outcome
+                        .first_result
+                        .expect("anti-correlated workloads always emit results")
+                })
+            })
+            .collect();
+        let mut firsts_ms: Vec<f64> = workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread").as_secs_f64() * 1e3)
+            .collect();
+        let elapsed = started.elapsed();
+        firsts_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+        let metrics = handle.metrics();
+        let queries_ok = metrics.queries_ok();
+        let rejected = metrics.rejected();
+        assert_eq!(
+            metrics.queries_cancelled(),
+            0,
+            "load generator never cancels"
+        );
+        handle.shutdown();
+        assert_eq!(queries_ok, clients as u64, "every client's query completes");
+
+        let run = ServingRun {
+            clients,
+            queries_ok,
+            rejected,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            qps: queries_ok as f64 / elapsed.as_secs_f64(),
+            first_p50_ms: percentile(&firsts_ms, 0.50),
+            first_p99_ms: percentile(&firsts_ms, 0.99),
+        };
+        println!(
+            "{clients:>5} clients: {:.0} qps, first result p50 {:.1}ms / p99 {:.1}ms \
+             ({:.0}ms wall)",
+            run.qps, run.first_p50_ms, run.first_p99_ms, run.elapsed_ms
+        );
+        out.push(run);
+    }
+    out
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty());
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Renders + persists one set of [`ServingRun`]s (`serving.csv`,
+/// `BENCH_serving.json`). Split from [`serving`] so tests can assert on
+/// the measurements and then exercise the writer without re-running the
+/// sweep.
+fn write_serving_outputs(opt: &ExpOptions, runs: &[ServingRun]) {
+    let mut table = Table::new(&["clients", "qps", "first p50", "first p99", "wall"]);
+    let mut rows = Vec::new();
+    let mut json_points = Vec::new();
+    for run in runs {
+        table.row(vec![
+            format!("{}", run.clients),
+            format!("{:.0}", run.qps),
+            format!("{:.1}ms", run.first_p50_ms),
+            format!("{:.1}ms", run.first_p99_ms),
+            format!("{:.0}ms", run.elapsed_ms),
+        ]);
+        rows.push(vec![
+            format!("{}", run.clients),
+            format!("{}", run.queries_ok),
+            format!("{}", run.rejected),
+            format!("{:.3}", run.elapsed_ms),
+            format!("{:.3}", run.qps),
+            format!("{:.3}", run.first_p50_ms),
+            format!("{:.3}", run.first_p99_ms),
+        ]);
+        json_points.push(json_object(&[
+            ("clients", format!("{}", run.clients)),
+            ("queries_ok", format!("{}", run.queries_ok)),
+            ("rejected", format!("{}", run.rejected)),
+            ("elapsed_ms", format!("{:.3}", run.elapsed_ms)),
+            ("qps", format!("{:.3}", run.qps)),
+            ("first_result_p50_ms", format!("{:.3}", run.first_p50_ms)),
+            ("first_result_p99_ms", format!("{:.3}", run.first_p99_ms)),
+        ]));
+    }
+    println!("{}", table.render());
+    let path = write_csv(
+        &opt.out,
+        "serving",
+        &[
+            "clients",
+            "queries_ok",
+            "rejected",
+            "elapsed_ms",
+            "qps",
+            "first_p50_ms",
+            "first_p99_ms",
+        ],
+        &rows,
+    )
+    .unwrap();
+    println!("rows written to {}", path.display());
+    let json = json_object(&[
+        (
+            "workload",
+            json_object(&[
+                ("distribution", json_str("anti-correlated")),
+                ("n", format!("{}", opt.pick_n(800))),
+                ("dims", format!("{}", opt.pick_dims(2))),
+                ("seed", format!("{}", opt.seed)),
+            ]),
+        ),
+        ("engine_threads", "2".into()),
+        ("points", format!("[{}]", json_points.join(", "))),
+    ]);
+    let path = write_json(&opt.out, "BENCH_serving", &json).unwrap();
+    println!("json written to {}", path.display());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1879,6 +2096,41 @@ mod tests {
         let opt = quick_opts("progxe-cellbound");
         cellbound(&opt);
         assert!(opt.out.join("cellbound.csv").exists());
+    }
+
+    #[test]
+    fn serving_sweep_small_point_yields_sane_latencies_and_artifacts() {
+        let opt = quick_opts("progxe-serving");
+        // Tiny sweep (4 clients, 120-row tables) so the debug-mode test
+        // stays fast; the CI smoke runs the real 100-client point via
+        // `figures serving --quick` in release mode.
+        let runs = serving_sweep(&opt, &[4], 120, 2);
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.queries_ok, 4);
+        assert_eq!(run.rejected, 0);
+        assert!(run.qps > 0.0);
+        assert!(
+            run.first_p99_ms >= run.first_p50_ms,
+            "p99 {} must dominate p50 {}",
+            run.first_p99_ms,
+            run.first_p50_ms
+        );
+        write_serving_outputs(&opt, &runs);
+        assert!(opt.out.join("serving.csv").exists());
+        let json = std::fs::read_to_string(opt.out.join("BENCH_serving.json")).unwrap();
+        for key in [
+            "\"clients\"",
+            "\"qps\"",
+            "\"first_result_p50_ms\"",
+            "\"first_result_p99_ms\"",
+            "\"points\"",
+        ] {
+            assert!(
+                json.contains(key),
+                "BENCH_serving.json missing {key}: {json}"
+            );
+        }
     }
 
     #[test]

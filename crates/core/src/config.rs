@@ -193,27 +193,17 @@ impl ProgXeConfig {
     /// Recognized variables:
     /// * `PROGXE_THREADS` — tuple-level worker thread count (≥ 1).
     ///
-    /// `from_env()` never errors or panics: an unset or empty variable is
-    /// silently ignored, and a malformed or zero value falls back to the
-    /// default thread count with a `progxe_obs::log` warning (filterable
-    /// via `PROGXE_LOG`) — a bad deployment environment must degrade to
+    /// `from_env()` never errors or panics: per the `progxe_obs::env`
+    /// contract, an unset or empty variable is silently ignored, and a
+    /// malformed or zero value falls back to the default thread count with
+    /// a `progxe_obs::log` warning echoing the value (filterable via
+    /// `PROGXE_LOG`) — a bad deployment environment must degrade to
     /// sequential execution, not take the query layer down.
     pub fn from_env() -> Self {
-        let mut config = Self::default();
-        if let Ok(v) = std::env::var("PROGXE_THREADS") {
-            if v.trim().is_empty() {
-                return config;
-            }
-            match v.trim().parse::<usize>() {
-                Ok(n) if n >= 1 => config = config.with_threads(n),
-                _ => progxe_obs::log::warn(&format!(
-                    "ignoring invalid PROGXE_THREADS={v:?} \
-                     (expected an integer >= 1); using default ({})",
-                    config.threads
-                )),
-            }
-        }
-        config
+        let config = Self::default();
+        let threads =
+            progxe_obs::env::parse_usize_at_least("PROGXE_THREADS", config.threads.get(), 1);
+        config.with_threads(threads)
     }
 
     /// Validates field ranges.

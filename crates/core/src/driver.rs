@@ -646,13 +646,30 @@ impl Committer {
     }
 }
 
+/// Typed rejection from [`TaskSpawner::spawn_task`]: the spawner has shut
+/// down and the job was **not** (and never will be) run. The region driver
+/// treats this as a cancellation signal for the whole session — the pinned
+/// behavior when an engine runtime is shut down under a live session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpawnError;
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("task spawner is shut down; job was not run")
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
 /// Something that can run `'static` jobs on worker threads. The
 /// `progxe-runtime` crate implements this for its shared thread pool;
 /// keeping the trait here lets [`RegionDriver`] stay pool-agnostic while
 /// the whole region loop lives in one place.
 pub trait TaskSpawner: Send + Sync {
-    /// Enqueues a job for execution on some worker thread.
-    fn spawn_task(&self, job: Box<dyn FnOnce() + Send + 'static>);
+    /// Enqueues a job for execution on some worker thread, or returns
+    /// [`SpawnError`] if the spawner has shut down. `Ok` is a contract:
+    /// an accepted job runs (and thus reports) exactly once.
+    fn spawn_task(&self, job: Box<dyn FnOnce() + Send + 'static>) -> Result<(), SpawnError>;
 }
 
 /// How [`RegionDriver`] executes the tuple-level phase.
@@ -1083,7 +1100,7 @@ impl RegionDriver {
                     let dims = work.out_dims();
                     let trace = self.trace.clone();
                     let pairs = committer.pair_bound(rid);
-                    spawner.spawn_task(Box::new(move || {
+                    let spawned = spawner.spawn_task(Box::new(move || {
                         let guard = DeliveryGuard {
                             queue,
                             seq,
@@ -1102,7 +1119,26 @@ impl RegionDriver {
                         span.end();
                         guard.deliver(batch);
                     }));
-                    self.inflight.push_back(seq);
+                    match spawned {
+                        Ok(()) => self.inflight.push_back(seq),
+                        Err(SpawnError) => {
+                            // The spawner shut down under this live session
+                            // (e.g. `EngineRuntime::shutdown` closed the
+                            // shared pool). The rejected job never reports,
+                            // so waiting on `seq` would deadlock; instead
+                            // the run cancels: fire the token so earlier
+                            // accepted jobs abort at their next check, and
+                            // let `finalize` scavenge whatever they already
+                            // delivered. The session surfaces this exactly
+                            // like a user cancel — `stats.cancelled`.
+                            progxe_obs::log::warn(
+                                "task spawner shut down under a live session; cancelling the run",
+                            );
+                            self.token.cancel();
+                            self.stats.cancelled = true;
+                            return Advance::Finished;
+                        }
+                    }
                 }
             }
         }
@@ -1268,8 +1304,9 @@ mod tests {
     /// code path without depending on the runtime crate.
     struct ThreadPerTask;
     impl TaskSpawner for ThreadPerTask {
-        fn spawn_task(&self, job: Box<dyn FnOnce() + Send + 'static>) {
+        fn spawn_task(&self, job: Box<dyn FnOnce() + Send + 'static>) -> Result<(), SpawnError> {
             std::thread::spawn(job);
+            Ok(())
         }
     }
 

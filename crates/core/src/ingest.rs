@@ -688,6 +688,11 @@ impl IngestCtx {
 /// interleave [`poll`](Self::poll) calls to drain proven-final result
 /// batches as regions unlock. Emitted `r_idx`/`t_idx` are the caller's row
 /// ids.
+///
+/// Dropping the session — with or without calling `finish` — fires its
+/// [`CancellationToken`], so in-flight pooled workers stop even when the
+/// session is simply abandoned (same contract as
+/// [`QuerySession`](crate::session::QuerySession)).
 #[must_use = "an ingest session does no work until it is polled"]
 pub struct IngestSession {
     driver: RegionDriver,
@@ -696,6 +701,9 @@ pub struct IngestSession {
     emitted: u64,
     /// High-water mark enforcing monotone, `[0, 1]`-clamped progress.
     last_progress: f64,
+    /// Fires `token` on drop (`IngestSession` itself must stay
+    /// `Drop`-free: `finish` partially moves out of `self`).
+    _drop_cancel: crate::session::DropCancel,
 }
 
 impl IngestSession {
@@ -897,6 +905,7 @@ impl IngestSession {
         Ok(IngestSession {
             driver,
             inner,
+            _drop_cancel: crate::session::DropCancel(token.clone()),
             token,
             emitted: 0,
             last_progress: 0.0,

@@ -97,6 +97,24 @@ impl CancellationToken {
     }
 }
 
+/// Fires a [`CancellationToken`] when dropped.
+///
+/// Every session type holds one of these so that *dropping* a session —
+/// the natural way to abandon a query, and the only way when a serving
+/// layer's client vanishes — stops its in-flight pooled workers exactly
+/// like an explicit `cancel` would. Firing after a completed run is a
+/// harmless store to a flag nothing reads again, so the guard is
+/// unconditional; the price is that a token outliving its session always
+/// reads cancelled, which is also the honest answer.
+#[derive(Debug)]
+pub(crate) struct DropCancel(pub(crate) CancellationToken);
+
+impl Drop for DropCancel {
+    fn drop(&mut self) {
+        self.0.cancel();
+    }
+}
+
 /// An incrementally stepped query execution that a [`QuerySession`] can
 /// drive. The sequential ProgXe pipeline implements this, and so does the
 /// parallel driver in the `progxe-runtime` crate — which is exactly why the
@@ -183,6 +201,11 @@ enum SessionInner<'a> {
 /// [`next_batch`](Self::next_batch) as they are proven final; the session
 /// ends when `next_batch` returns `None` (query complete or cancelled),
 /// after which [`finish`](Self::finish) reports the run's [`ExecStats`].
+///
+/// Dropping a session — with or without calling `finish` — fires its
+/// [`CancellationToken`], so in-flight pooled workers stop even when the
+/// session is simply abandoned. A consequence: a token clone that outlives
+/// its session always reads cancelled.
 #[must_use = "a session does no tuple work until it is pulled"]
 pub struct QuerySession<'a> {
     engine: &'static str,
@@ -192,6 +215,9 @@ pub struct QuerySession<'a> {
     emitted: u64,
     /// High-water mark enforcing monotone, `[0, 1]`-clamped progress.
     last_progress: f64,
+    /// Fires `token` on drop (`QuerySession` itself must stay `Drop`-free:
+    /// `finish` partially moves out of `self`).
+    _drop_cancel: DropCancel,
 }
 
 impl<'a> QuerySession<'a> {
@@ -208,6 +234,7 @@ impl<'a> QuerySession<'a> {
         Self {
             engine,
             inner: SessionInner::Stream(step),
+            _drop_cancel: DropCancel(token.clone()),
             token,
             remap: None,
             emitted: 0,
@@ -223,6 +250,7 @@ impl<'a> QuerySession<'a> {
     where
         F: FnOnce() -> (Vec<ResultEvent>, ExecStats) + 'a,
     {
+        let token = CancellationToken::new();
         Self {
             engine,
             inner: SessionInner::Deferred(Box::new(DeferredState {
@@ -230,7 +258,8 @@ impl<'a> QuerySession<'a> {
                 queue: VecDeque::new(),
                 stats: None,
             })),
-            token: CancellationToken::new(),
+            _drop_cancel: DropCancel(token.clone()),
+            token,
             remap: None,
             emitted: 0,
             last_progress: 0.0,
@@ -498,5 +527,17 @@ mod tests {
         let token = s.cancel_token();
         token.cancel();
         assert!(s.is_cancelled());
+    }
+
+    #[test]
+    fn dropping_a_session_without_finish_fires_its_token() {
+        // Regression: abandoning a session (no `finish`, no `cancel`) must
+        // cancel it — a serving layer drops sessions when clients vanish,
+        // and in-flight pooled workers watch this token.
+        let mut s = two_batch_session();
+        let token = s.cancel_token();
+        assert!(s.next_batch().is_some(), "mid-stream, not unpulled");
+        drop(s);
+        assert!(token.is_cancelled(), "drop must fire the token");
     }
 }

@@ -1,0 +1,127 @@
+//! One shared parser for `PROGXE_*` environment knobs.
+//!
+//! Every crate used to hand-roll its own `std::env::var` handling, and each
+//! copy disagreed about what happens on garbage input (`PROGXE_THREADS=two`
+//! warned, `PROGXE_LOG=verbose` was silently ignored). This module pins a
+//! single contract:
+//!
+//! * **unset or empty** (after trimming) → the default, silently — an empty
+//!   export is how shell scripts say "use the default";
+//! * **parseable** → the parsed value;
+//! * **anything else** → the default, plus one [`log::warn`] that echoes the
+//!   offending value so a typo in a deploy script is visible instead of
+//!   silently reverting behavior.
+//!
+//! Variables are read once at their call site; this module does not cache.
+
+use crate::log;
+use std::fmt::Display;
+
+/// The raw state of an environment variable, with unset and empty kept
+/// distinct from a value that needs parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnvValue {
+    /// The variable is not present in the environment (or not UTF-8).
+    Unset,
+    /// Present but empty or whitespace-only.
+    Empty,
+    /// Present with a non-empty value (untrimmed, for faithful echoing).
+    Set(String),
+}
+
+/// Reads `name` from the process environment and classifies it.
+pub fn raw(name: &str) -> EnvValue {
+    match std::env::var(name) {
+        Err(_) => EnvValue::Unset,
+        Ok(v) if v.trim().is_empty() => EnvValue::Empty,
+        Ok(v) => EnvValue::Set(v),
+    }
+}
+
+/// Parses `name` with `parse`, falling back to `default` per the module
+/// contract above. `parse` receives the trimmed value and returns `None` to
+/// reject it; `expected` is the human description echoed in the warning
+/// (e.g. `"an integer >= 1"`).
+pub fn parse_or<T: Display>(
+    name: &str,
+    default: T,
+    expected: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> T {
+    match raw(name) {
+        EnvValue::Unset | EnvValue::Empty => default,
+        EnvValue::Set(v) => match parse(v.trim()) {
+            Some(parsed) => parsed,
+            None => {
+                log::warn(&format!(
+                    "ignoring invalid {name}={v:?} (expected {expected}); using default ({default})"
+                ));
+                default
+            }
+        },
+    }
+}
+
+/// [`parse_or`] specialized to unsigned integers with a minimum, the shape
+/// of most `PROGXE_*` knobs (`PROGXE_THREADS`, `PROGXE_SERVER_MAX_SESSIONS`,
+/// ...). Zero is rejected when `min` is 1, matching the long-standing
+/// `PROGXE_THREADS=0` behavior.
+pub fn parse_usize_at_least(name: &str, default: usize, min: usize) -> usize {
+    let expected = format!("an integer >= {min}");
+    parse_or(name, default, &expected, |v| {
+        v.parse::<usize>().ok().filter(|&n| n >= min)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env mutation is process-global, so each test owns a uniquely named
+    // variable and never touches the real PROGXE_* knobs.
+
+    #[test]
+    fn unset_is_silent_default() {
+        assert_eq!(raw("PROGXE_ENV_TEST_UNSET"), EnvValue::Unset);
+        let got = parse_or("PROGXE_ENV_TEST_UNSET", 7usize, "an integer", |v| {
+            v.parse().ok()
+        });
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn empty_and_whitespace_are_silent_default() {
+        std::env::set_var("PROGXE_ENV_TEST_EMPTY", "");
+        std::env::set_var("PROGXE_ENV_TEST_BLANK", "   ");
+        assert_eq!(raw("PROGXE_ENV_TEST_EMPTY"), EnvValue::Empty);
+        assert_eq!(raw("PROGXE_ENV_TEST_BLANK"), EnvValue::Empty);
+        assert_eq!(parse_usize_at_least("PROGXE_ENV_TEST_EMPTY", 3, 1), 3);
+        assert_eq!(parse_usize_at_least("PROGXE_ENV_TEST_BLANK", 3, 1), 3);
+    }
+
+    #[test]
+    fn valid_values_parse_and_survive_padding() {
+        std::env::set_var("PROGXE_ENV_TEST_VALID", " 12 ");
+        assert_eq!(parse_usize_at_least("PROGXE_ENV_TEST_VALID", 1, 1), 12);
+    }
+
+    #[test]
+    fn malformed_value_falls_back_to_default() {
+        std::env::set_var("PROGXE_ENV_TEST_MALFORMED", "twelve");
+        assert_eq!(parse_usize_at_least("PROGXE_ENV_TEST_MALFORMED", 4, 1), 4);
+    }
+
+    #[test]
+    fn zero_is_rejected_when_min_is_one() {
+        std::env::set_var("PROGXE_ENV_TEST_ZERO", "0");
+        assert_eq!(parse_usize_at_least("PROGXE_ENV_TEST_ZERO", 2, 1), 2);
+        // ...but accepted when the knob's floor is zero.
+        assert_eq!(parse_usize_at_least("PROGXE_ENV_TEST_ZERO", 2, 0), 0);
+    }
+
+    #[test]
+    fn negative_is_rejected_for_unsigned_knobs() {
+        std::env::set_var("PROGXE_ENV_TEST_NEG", "-3");
+        assert_eq!(parse_usize_at_least("PROGXE_ENV_TEST_NEG", 5, 1), 5);
+    }
+}

@@ -23,6 +23,9 @@
 //!   as JSON or a human [`Report`].
 //! * [`log`] — a tiny leveled stderr logger gated by `PROGXE_LOG`, so the
 //!   engine's diagnostics share one filter instead of ad-hoc `eprintln!`.
+//! * [`env`] — the one sanctioned parser for `PROGXE_*` environment knobs:
+//!   unset/empty fall back silently, malformed values fall back with a
+//!   warning that echoes the offending value.
 //!
 //! ## Wiring
 //!
@@ -44,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
 mod event;
 mod hist;
 pub mod log;

@@ -50,15 +50,36 @@ pub fn parse_level(s: &str) -> Option<Level> {
 }
 
 /// The active threshold: `PROGXE_LOG` parsed once, defaulting to
-/// [`Level::Warn`] when unset or unrecognized.
+/// [`Level::Warn`] when unset or unrecognized. An unrecognized value is
+/// reported once through [`warn`] with the value echoed, per the
+/// [`crate::env`] contract.
 pub fn max_level() -> Level {
     static LEVEL: OnceLock<Level> = OnceLock::new();
-    *LEVEL.get_or_init(|| {
-        std::env::var("PROGXE_LOG")
-            .ok()
-            .and_then(|v| parse_level(&v))
-            .unwrap_or(Level::Warn)
-    })
+    static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+    if let Some(level) = LEVEL.get() {
+        return *level;
+    }
+    // Resolve the value *before* installing it: the warning below logs
+    // through this module, so the threshold must already be set when it
+    // fires (a `get_or_init` closure that called `warn` would re-enter
+    // the OnceLock and deadlock).
+    let (resolved, invalid) = match crate::env::raw("PROGXE_LOG") {
+        crate::env::EnvValue::Set(v) => match parse_level(&v) {
+            Some(level) => (level, None),
+            None => (Level::Warn, Some(v)),
+        },
+        _ => (Level::Warn, None),
+    };
+    let level = *LEVEL.get_or_init(|| resolved);
+    if let Some(v) = invalid {
+        WARN_ONCE.call_once(|| {
+            warn(&format!(
+                "ignoring invalid PROGXE_LOG={v:?} (expected off|error|warn|info|debug or 0-4); \
+                 using default (warn)"
+            ));
+        });
+    }
+    level
 }
 
 /// Whether a message at `level` would be printed.

@@ -330,6 +330,13 @@ impl StreamingQuery {
         self.session.cancel();
     }
 
+    /// A shareable handle to the underlying session's cancellation flag —
+    /// e.g. for a disconnect watchdog on another thread. Dropping the
+    /// query (without [`finish`](Self::finish)) also fires it.
+    pub fn cancel_token(&self) -> progxe_core::session::CancellationToken {
+        self.session.cancel_token()
+    }
+
     /// Consumes the query and returns its statistics.
     pub fn finish(self) -> ExecStats {
         self.session.finish()
@@ -862,6 +869,27 @@ mod tests {
                 batch.results.iter().map(|t| (t.r_idx, t.t_idx)).collect();
             expected.sort_unstable();
             assert_eq!(streamed, expected, "{engine}");
+        }
+    }
+
+    #[test]
+    fn dropping_a_streaming_query_mid_stream_fires_its_token() {
+        // Regression companion to the core session tests: the query-layer
+        // wrapper must inherit drop→cancel, on both backends — this is
+        // what lets a serving layer abandon a subscription by dropping it.
+        let mut cat = q1_catalog();
+        let sup = cat.table("suppliers").unwrap().schema.clone();
+        let tra = cat.table("transporters").unwrap().schema.clone();
+        cat.register_streaming(sup, vec![0.0; 3], vec![1000.0; 3]);
+        cat.register_streaming(tra, vec![0.0; 2], vec![1000.0; 2]);
+        let runner = QueryRunner::new(cat);
+        for engine in [Engine::progxe(), Engine::progxe_threads(3)] {
+            let mut q = runner.ingest_session(Q1, &engine).unwrap();
+            let token = q.cancel_token();
+            q.push(SourceId::R, &[(&[1.0, 2.0, 200.0][..], 0)]).unwrap();
+            assert!(!token.is_cancelled());
+            drop(q);
+            assert!(token.is_cancelled(), "{engine}: drop must fire the token");
         }
     }
 

@@ -46,5 +46,5 @@ pub mod pool;
 pub mod runtime;
 
 pub use parallel::ParallelProgXe;
-pub use pool::ThreadPool;
+pub use pool::{PoolClosed, ThreadPool};
 pub use runtime::EngineRuntime;

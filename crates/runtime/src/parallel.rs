@@ -515,4 +515,73 @@ mod tests {
             );
         }
     }
+
+    #[test]
+    fn dropping_a_session_without_finish_fires_its_token_on_both_backends() {
+        // Regression: a dropped (not finished, not cancelled) session left
+        // its token unfired unless the driver happened to have in-flight
+        // dispatches — so pooled workers of an abandoned session could keep
+        // burning shared CPU. Drop must behave like cancel on *every*
+        // backend, including mid-stream with nothing in flight.
+        let r = random_source(300, 2, 6, 41);
+        let t = random_source(300, 2, 6, 42);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        // Inline backend (sequential ProgXe).
+        let engine = ProgXe::new(ProgXeConfig::default());
+        let mut session = engine.open(&r.view(), &t.view(), &maps).unwrap();
+        let token = session.cancel_token();
+        assert!(session.next_batch().is_some(), "mid-stream, not unpulled");
+        drop(session);
+        assert!(token.is_cancelled(), "inline: drop must fire the token");
+        // Pooled backend (shared runtime).
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(3));
+        let mut session = engine.open(&r.view(), &t.view(), &maps).unwrap();
+        let token = session.cancel_token();
+        assert!(session.next_batch().is_some(), "mid-stream, not unpulled");
+        drop(session);
+        assert!(token.is_cancelled(), "pooled: drop must fire the token");
+        // Pooled ingest session, same contract.
+        let spec = || StreamSpec::new(vec![0.0, 0.0], vec![100.0, 100.0]).unwrap();
+        let engine = ParallelProgXe::new(ProgXeConfig::default().with_threads(3));
+        let session = engine.open_ingest(&maps, spec(), spec()).unwrap();
+        let token = session.cancel_token();
+        drop(session);
+        assert!(token.is_cancelled(), "ingest: drop must fire the token");
+    }
+
+    #[test]
+    fn shutdown_under_a_live_session_cancels_instead_of_deadlocking() {
+        // Regression: `ThreadPool::execute` after shutdown used to enqueue
+        // into queues no worker would ever drain again (release builds
+        // compiled the debug_assert away), so the committer blocked forever
+        // in `wait_take` on a job that never ran. Pinned behavior: the
+        // pool is *closed* by `EngineRuntime::shutdown`, the session's next
+        // dispatch gets a typed `SpawnError`, and the run ends as a clean
+        // cancellation — never a deadlock, never a silent drop.
+        let r = random_source(400, 2, 8, 21);
+        let t = random_source(400, 2, 8, 22);
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let runtime = std::sync::Arc::new(EngineRuntime::new(2));
+        let engine = ParallelProgXe::with_runtime(
+            ProgXeConfig::default().with_threads(2),
+            std::sync::Arc::clone(&runtime),
+        );
+        let mut session = engine.open(&r.view(), &t.view(), &maps).unwrap();
+        // Let the first dispatch window land so the session is genuinely
+        // mid-flight, then rip the pool out from under it.
+        assert!(session.next_batch().is_some(), "workload emits something");
+        runtime.shutdown();
+        // Draining must terminate (the whole point of the fix)...
+        while session.next_batch().is_some() {}
+        // ...and the interrupted run must say so.
+        let stats = session.finish();
+        assert!(
+            stats.cancelled,
+            "a shutdown racing a live session must surface as a cancelled run"
+        );
+        // The runtime stays usable: the next session respawns a pool.
+        let fresh = engine.run_collect(&r.view(), &t.view(), &maps).unwrap();
+        assert!(!fresh.stats.cancelled);
+        assert_eq!(runtime.pools_spawned(), 2);
+    }
 }

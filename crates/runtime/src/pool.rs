@@ -18,11 +18,14 @@
 //! granularity. If profiles ever show otherwise, the upgrade path is
 //! per-deque locks (the structure is already per-worker).
 //!
-//! Shutdown semantics match the driver's needs: dropping the pool discards
-//! *queued* jobs (so an abandoned query does not keep burning CPU) but
-//! joins every worker, letting in-flight jobs finish — which is what lets
-//! the parallel committer rely on "every dispatched job eventually reports"
-//! while the pool is alive.
+//! Shutdown semantics match the driver's needs: [`ThreadPool::close`]
+//! rejects new work with a typed [`PoolClosed`] error while still running
+//! everything accepted before it — so "accepted ⇒ eventually reports"
+//! holds across a graceful shutdown and the parallel committer never waits
+//! on a silently dropped job. Dropping the pool additionally discards
+//! *queued* jobs (an abandoned query must not keep burning CPU) but joins
+//! every worker, letting in-flight jobs finish; by then no session can be
+//! waiting, because live sessions hold an `Arc` to the pool.
 
 use progxe_obs::MetricsRegistry;
 use std::collections::VecDeque;
@@ -31,6 +34,22 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Typed rejection from [`ThreadPool::execute`]: the pool has been closed
+/// (via [`ThreadPool::close`] or drop) and accepts no new jobs. The job is
+/// *not* run — callers own the failure path, which is exactly what the
+/// region driver needs to cancel a session instead of deadlocking its
+/// committer on a job that will never report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolClosed;
+
+impl std::fmt::Display for PoolClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool is closed and accepts no new jobs")
+    }
+}
+
+impl std::error::Error for PoolClosed {}
 
 struct State {
     /// One deque per worker; `queues[i]` is worker `i`'s own queue.
@@ -81,16 +100,19 @@ impl ThreadPool {
         self.workers.len()
     }
 
-    /// Enqueues a job. Jobs are distributed round-robin across worker
-    /// deques; idle workers steal, so any worker may end up running it.
+    /// Enqueues a job, or returns [`PoolClosed`] if [`close`](Self::close)
+    /// (or drop) already ran. Jobs are distributed round-robin across
+    /// worker deques; idle workers steal, so any worker may end up running
+    /// it. The closed check happens under the same lock as the enqueue, so
+    /// `Ok` is a guarantee: an accepted job runs before the workers exit.
     ///
     /// A panicking job is **caught and swallowed** by the worker (the pool
     /// is shared across queries and must keep serving): the global panic
     /// hook still prints the payload to stderr, but `execute` offers no
-    /// success/failure signal. Callers that need to observe failure must
+    /// per-job completion signal. Callers that need to observe failure must
     /// report through the job's own channel — see the region driver's
     /// `DeliveryGuard` for the pattern.
-    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) -> Result<(), PoolClosed> {
         // Process-wide pool telemetry: queue-wait (enqueue → dequeue) vs
         // run time, per job. The registry is two relaxed-contention mutex
         // touches per job — noise next to a region join — so it stays
@@ -106,12 +128,36 @@ impl ThreadPool {
             registry.incr("pool.jobs", 1);
         };
         let mut state = self.shared.state.lock().expect("pool state poisoned");
-        debug_assert!(!state.shutdown, "execute after shutdown");
+        if state.shutdown {
+            return Err(PoolClosed);
+        }
         let slot = state.next % state.queues.len();
         state.next = state.next.wrapping_add(1);
         state.queues[slot].push_back(Box::new(wrapped));
         drop(state);
         self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Gracefully closes the pool: every later [`execute`](Self::execute)
+    /// returns [`PoolClosed`], while jobs accepted *before* the close still
+    /// run to completion (workers drain their deques before exiting).
+    /// Idempotent. Workers are joined by `Drop`, not here, so sessions
+    /// holding an `Arc` to the pool keep their already-dispatched work.
+    pub fn close(&self) {
+        let mut state = self.shared.state.lock().expect("pool state poisoned");
+        state.shutdown = true;
+        drop(state);
+        self.shared.work.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has run.
+    pub fn is_closed(&self) -> bool {
+        self.shared
+            .state
+            .lock()
+            .expect("pool state poisoned")
+            .shutdown
     }
 
     /// Queued (not yet started) jobs across all deques.
@@ -201,7 +247,8 @@ mod tests {
             pool.execute(move || {
                 counter.fetch_add(1, Ordering::Relaxed);
                 let _ = tx.send(());
-            });
+            })
+            .expect("pool open");
         }
         for _ in 0..100 {
             rx.recv_timeout(Duration::from_secs(10)).expect("job ran");
@@ -216,7 +263,8 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         pool.execute(move || {
             let _ = tx.send(42);
-        });
+        })
+        .expect("pool open");
         assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(42));
     }
 
@@ -231,7 +279,8 @@ mod tests {
             pool.execute(move || {
                 std::thread::sleep(Duration::from_millis(20));
                 let _ = tx.send(i);
-            });
+            })
+            .expect("pool open");
         }
         let mut got: Vec<i32> = (0..8)
             .map(|_| rx.recv_timeout(Duration::from_secs(10)).expect("job ran"))
@@ -244,11 +293,12 @@ mod tests {
     fn workers_survive_panicking_jobs() {
         // A shared pool must keep serving after a user job panics.
         let pool = ThreadPool::new(1);
-        pool.execute(|| panic!("job explodes"));
+        pool.execute(|| panic!("job explodes")).expect("pool open");
         let (tx, rx) = mpsc::channel();
         pool.execute(move || {
             let _ = tx.send(7);
-        });
+        })
+        .expect("pool open");
         assert_eq!(
             rx.recv_timeout(Duration::from_secs(10)),
             Ok(7),
@@ -268,7 +318,8 @@ mod tests {
                 let tx = tx.clone();
                 pool.execute(move || {
                     let _ = tx.send(());
-                });
+                })
+                .expect("pool open");
             }
             for _ in 0..10 {
                 rx.recv_timeout(Duration::from_secs(10)).expect("job ran");
@@ -298,12 +349,14 @@ mod tests {
                 while g.load(Ordering::Acquire) == 0 {
                     std::thread::yield_now();
                 }
-            });
+            })
+            .expect("pool open");
             for _ in 0..50 {
                 let ran = Arc::clone(&ran);
                 pool.execute(move || {
                     ran.fetch_add(1, Ordering::Relaxed);
-                });
+                })
+                .expect("pool open");
             }
             // Once the worker has dequeued the gate job, exactly the 50
             // follow-ups remain queued behind it.
@@ -317,5 +370,54 @@ mod tests {
             // discarded before running.
         }
         assert!(ran.load(Ordering::Relaxed) <= 50);
+    }
+
+    #[test]
+    fn execute_after_close_returns_typed_error() {
+        let pool = ThreadPool::new(2);
+        assert!(!pool.is_closed());
+        pool.close();
+        assert!(pool.is_closed());
+        let err = pool.execute(|| unreachable!("rejected job must not run"));
+        assert_eq!(err, Err(PoolClosed));
+        // Idempotent: a second close and a second execute behave the same.
+        pool.close();
+        assert_eq!(pool.execute(|| ()), Err(PoolClosed));
+    }
+
+    #[test]
+    fn jobs_accepted_before_close_still_run() {
+        // The committer-side contract: `Ok` from execute means the job runs
+        // even if the pool closes immediately afterwards — close must never
+        // strand an accepted job (that would deadlock a waiting session).
+        let pool = ThreadPool::new(1);
+        let gate = Arc::new(AtomicUsize::new(0));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let g = Arc::clone(&gate);
+        pool.execute(move || {
+            while g.load(Ordering::Acquire) == 0 {
+                std::thread::yield_now();
+            }
+        })
+        .expect("pool open");
+        for _ in 0..20 {
+            let ran = Arc::clone(&ran);
+            pool.execute(move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("pool open");
+        }
+        pool.close();
+        assert_eq!(pool.execute(|| ()), Err(PoolClosed));
+        gate.store(1, Ordering::Release);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while ran.load(Ordering::Relaxed) < 20 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            20,
+            "all jobs accepted before close must run"
+        );
     }
 }

@@ -17,8 +17,8 @@
 //! unwind), so one bad mapping function cannot degrade the pool for every
 //! other query of the engine.
 
-use crate::pool::ThreadPool;
-use progxe_core::driver::TaskSpawner;
+use crate::pool::{PoolClosed, ThreadPool};
+use progxe_core::driver::{SpawnError, TaskSpawner};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 
@@ -93,18 +93,27 @@ impl EngineRuntime {
             .map(Arc::downgrade)
     }
 
-    /// Releases the runtime's pool handle. Workers are joined as soon as
-    /// the last session handle drops (immediately, when no session is
-    /// running). The next [`handle`](Self::handle) call respawns a fresh
-    /// pool. Dropping the runtime does the same implicitly.
+    /// Closes and releases the runtime's pool. The pool is closed first
+    /// ([`ThreadPool::close`]), so a live session racing this call gets a
+    /// typed [`SpawnError`] from its next dispatch and cancels cleanly
+    /// (`ExecStats::cancelled`) instead of deadlocking its committer on a
+    /// job that would never run; jobs accepted before the close still
+    /// complete. Workers are joined as soon as the last session handle
+    /// drops (immediately, when no session is running). The next
+    /// [`handle`](Self::handle) call respawns a fresh pool. Dropping the
+    /// runtime skips the close (sessions keep the pool usable via their
+    /// own `Arc`s) — only an explicit `shutdown` revokes admission.
     pub fn shutdown(&self) {
-        self.pool.lock().expect("engine runtime poisoned").take();
+        let taken = self.pool.lock().expect("engine runtime poisoned").take();
+        if let Some(pool) = taken {
+            pool.close();
+        }
     }
 }
 
 impl TaskSpawner for ThreadPool {
-    fn spawn_task(&self, job: Box<dyn FnOnce() + Send + 'static>) {
-        self.execute(job);
+    fn spawn_task(&self, job: Box<dyn FnOnce() + Send + 'static>) -> Result<(), SpawnError> {
+        self.execute(job).map_err(|PoolClosed| SpawnError)
     }
 }
 
@@ -133,9 +142,11 @@ mod tests {
         let handle = rt.handle();
         let watch = rt.pool_watch().expect("spawned");
         let (tx, rx) = mpsc::channel();
-        handle.spawn_task(Box::new(move || {
-            let _ = tx.send(1);
-        }));
+        handle
+            .spawn_task(Box::new(move || {
+                let _ = tx.send(1);
+            }))
+            .expect("pool open");
         assert_eq!(rx.recv_timeout(Duration::from_secs(10)), Ok(1));
         drop(handle);
         drop(rt);

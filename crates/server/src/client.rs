@@ -1,0 +1,120 @@
+//! A small blocking client for the ProgXe wire protocol.
+//!
+//! Used by the integration tests and the bench load generator; also the
+//! reference implementation for anyone speaking the protocol from another
+//! language. One [`Client`] maps to one connection and runs queries
+//! sequentially, mirroring the server's per-connection model.
+
+use crate::protocol::{
+    read_server_frame, write_client_frame, ClientFrame, DoneFrame, ErrorCode, ServerFrame,
+    WireTuple, PROTOCOL_VERSION,
+};
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Everything a completed (or failed) query produced, client-side.
+#[derive(Debug, Default)]
+pub struct RunOutcome {
+    /// Output column names from the `Accepted` frame.
+    pub columns: Vec<String>,
+    /// All tuples received, in server emission order.
+    pub tuples: Vec<WireTuple>,
+    /// The terminal `Done` frame, if the query ran (even cancelled runs
+    /// get one). `None` when the server answered with an error instead.
+    pub done: Option<DoneFrame>,
+    /// The terminal `Error` frame, if any.
+    pub error: Option<(ErrorCode, String)>,
+    /// Time from sending the query to the first non-empty batch.
+    pub first_result: Option<Duration>,
+}
+
+/// A connected protocol client. Dropping it closes the socket, which the
+/// server treats as disconnect: any in-flight query is cancelled.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects, waits for the server's `Hello`, and checks the protocol
+    /// version. An `Error` frame in place of `Hello` (admission shed) is
+    /// surfaced as [`io::ErrorKind::ConnectionRefused`] with the server's
+    /// message.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        let mut client = Self { reader, writer };
+        match client.next_server_frame()? {
+            ServerFrame::Hello { version } if version == PROTOCOL_VERSION => Ok(client),
+            ServerFrame::Hello { version } => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("server speaks protocol v{version}, client v{PROTOCOL_VERSION}"),
+            )),
+            ServerFrame::Error { code, message } => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("server refused connection ({code:?}): {message}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Hello, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Sends a `Query` frame without waiting for any response. Pair with
+    /// [`Client::next_server_frame`] to drive the stream by hand (as the
+    /// cancellation tests do).
+    pub fn send_query(&mut self, sql: &str) -> io::Result<()> {
+        write_client_frame(&mut self.writer, &ClientFrame::Query(sql.to_string()))?;
+        self.writer.flush()
+    }
+
+    /// Sends a `Cancel` frame for the in-flight query. The server still
+    /// terminates the stream with `Done { cancelled: true }`.
+    pub fn cancel(&mut self) -> io::Result<()> {
+        write_client_frame(&mut self.writer, &ClientFrame::Cancel)?;
+        self.writer.flush()
+    }
+
+    /// Reads the next frame from the server (blocking).
+    pub fn next_server_frame(&mut self) -> io::Result<ServerFrame> {
+        read_server_frame(&mut self.reader)
+    }
+
+    /// Runs one query to completion: sends it, collects every batch, and
+    /// returns when the terminal `Done` or `Error` frame arrives.
+    pub fn run_query(&mut self, sql: &str) -> io::Result<RunOutcome> {
+        let started = Instant::now();
+        self.send_query(sql)?;
+        let mut outcome = RunOutcome::default();
+        loop {
+            match self.next_server_frame()? {
+                ServerFrame::Accepted { columns } => outcome.columns = columns,
+                ServerFrame::Batch(batch) => {
+                    if outcome.first_result.is_none() && !batch.tuples.is_empty() {
+                        outcome.first_result = Some(started.elapsed());
+                    }
+                    outcome.tuples.extend(batch.tuples);
+                }
+                ServerFrame::Done(done) => {
+                    outcome.done = Some(done);
+                    return Ok(outcome);
+                }
+                ServerFrame::Error { code, message } => {
+                    outcome.error = Some((code, message));
+                    return Ok(outcome);
+                }
+                ServerFrame::Hello { version } => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected mid-stream Hello (v{version})"),
+                    ));
+                }
+            }
+        }
+    }
+}

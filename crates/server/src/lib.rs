@@ -1,0 +1,41 @@
+//! Network serving layer for ProgXe.
+//!
+//! Turns the in-process [`QuerySession`](progxe_core::session::QuerySession)
+//! streaming model into a TCP service without giving up its two defining
+//! properties:
+//!
+//! * **Progressiveness** — result batches cross the wire the moment the
+//!   engine proves them final; nothing is buffered server-side, so a
+//!   client's first results arrive while the bulk of the join is still
+//!   running (the paper's core metric, time-to-first-result, survives the
+//!   network hop).
+//! * **Cancellation** — every connection's in-flight session holds a
+//!   [`CancellationToken`](progxe_core::session::CancellationToken) that a
+//!   per-connection watchdog thread fires on an explicit `Cancel` frame
+//!   *or* on disconnect, so a vanished client stops consuming the shared
+//!   worker pool at the next region boundary.
+//!
+//! Modules:
+//!
+//! * [`protocol`] — the length-prefixed wire format (frames, codec).
+//! * [`server`] — accept loop, admission control, per-connection serving.
+//! * [`client`] — a blocking reference client used by tests and the bench
+//!   load generator.
+//! * [`synthetic`] — datagen-backed catalogs for the `progxe-serve` binary
+//!   and load tests.
+//!
+//! Admission control sheds load instead of queueing: past
+//! [`ServerConfig::max_sessions`] concurrent connections, new clients get
+//! a typed `Overloaded` error frame and an immediate close.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod synthetic;
+
+pub use client::{Client, RunOutcome};
+pub use protocol::{BatchFrame, ClientFrame, DoneFrame, ErrorCode, ServerFrame, WireTuple};
+pub use server::{Server, ServerConfig, ServerHandle, ServerMetrics};

@@ -1,0 +1,56 @@
+//! `progxe-serve`: a standalone ProgXe server over a synthetic catalog.
+//!
+//! Environment knobs (all optional, parsed via `progxe_obs::env` — bad
+//! values warn and fall back to the default):
+//!
+//! * `PROGXE_SERVER_ADDR` — listen address (default `127.0.0.1:7878`).
+//! * `PROGXE_SERVER_MAX_SESSIONS` — concurrent-connection cap (default 64).
+//! * `PROGXE_SERVER_ROWS` — rows per synthetic table (default 20000).
+//! * `PROGXE_SERVER_DIMS` — attribute dimensions (default 3).
+//! * `PROGXE_SERVER_SEED` — workload seed (default 42).
+//! * `PROGXE_THREADS` — engine worker threads (see `ProgXeConfig::from_env`).
+
+use progxe_core::config::ProgXeConfig;
+use progxe_query::{Engine, QueryRunner};
+use progxe_server::server::{Server, ServerConfig};
+
+fn main() {
+    let addr = match progxe_obs::env::raw("PROGXE_SERVER_ADDR") {
+        progxe_obs::env::EnvValue::Set(v) => v,
+        _ => "127.0.0.1:7878".to_string(),
+    };
+    let max_sessions = progxe_obs::env::parse_usize_at_least("PROGXE_SERVER_MAX_SESSIONS", 64, 1);
+    let rows = progxe_obs::env::parse_usize_at_least("PROGXE_SERVER_ROWS", 20_000, 1);
+    let dims = progxe_obs::env::parse_usize_at_least("PROGXE_SERVER_DIMS", 3, 2);
+    let seed = progxe_obs::env::parse_or("PROGXE_SERVER_SEED", 42u64, "a u64 seed", |v| {
+        v.parse().ok()
+    });
+
+    let config = ProgXeConfig::from_env();
+    eprintln!(
+        "progxe-serve: {rows} rows x {dims} dims (seed {seed}), \
+         {} engine threads, {max_sessions} max sessions",
+        config.threads.get()
+    );
+    let runner = QueryRunner::new(progxe_server::synthetic::catalog(rows, dims, seed));
+    let engine = Engine::progxe_with(config);
+    eprintln!(
+        "example query: {}",
+        progxe_server::synthetic::query_sql(dims)
+    );
+
+    let handle = match Server::start(runner, engine, ServerConfig { max_sessions }, addr.as_str()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("progxe-serve: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("progxe-serve: listening on {}", handle.addr());
+
+    // Serve until killed. The handle's Drop would shut the server down, so
+    // park this thread forever instead of letting main return.
+    loop {
+        std::thread::park();
+    }
+}

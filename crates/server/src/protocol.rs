@@ -1,0 +1,538 @@
+//! The wire protocol: length-prefixed frames over a byte stream.
+//!
+//! Every frame is `tag (1 byte) · payload length (u32, big-endian) ·
+//! payload`. Multi-byte integers and the IEEE-754 bit patterns of floats
+//! are big-endian throughout. The protocol is deliberately minimal — text
+//! query in, framed progressive result batches out — because the hard part
+//! of serving progressive queries is lifecycle (cancellation, admission,
+//! no-buffering streaming), not serialization:
+//!
+//! * client → server: [`ClientFrame::Query`] (UTF-8 `PREFERRING` SQL) and
+//!   [`ClientFrame::Cancel`] (stop the in-flight query).
+//! * server → client: [`ServerFrame::Hello`] once per connection, then per
+//!   query either [`ServerFrame::Error`] or [`ServerFrame::Accepted`]
+//!   followed by zero or more [`ServerFrame::Batch`] (each proven final the
+//!   moment it is sent — the server never buffers the full result) and one
+//!   [`ServerFrame::Done`].
+//!
+//! Batches are self-describing (they carry their value arity), so a client
+//! can decode a stream without tracking the `Accepted` header.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version announced in [`ServerFrame::Hello`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload; anything larger is a protocol error.
+/// Generous (a batch of ~1M five-value tuples fits), but bounds what a
+/// malformed or hostile peer can make us allocate.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+const TAG_QUERY: u8 = 0x01;
+const TAG_CANCEL: u8 = 0x02;
+const TAG_HELLO: u8 = 0x81;
+const TAG_ACCEPTED: u8 = 0x82;
+const TAG_BATCH: u8 = 0x83;
+const TAG_DONE: u8 = 0x84;
+const TAG_ERROR: u8 = 0x85;
+
+/// Typed error codes carried by [`ServerFrame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Admission control shed this connection: the server is at its
+    /// concurrent-session cap. Retry later; the server never queues.
+    Overloaded = 1,
+    /// The query failed to parse or plan. The connection stays usable.
+    BadQuery = 2,
+    /// The engine failed during execution.
+    Internal = 3,
+}
+
+impl ErrorCode {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ErrorCode::Overloaded),
+            2 => Some(ErrorCode::BadQuery),
+            3 => Some(ErrorCode::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// One result tuple on the wire: the two source row ids plus the mapped
+/// output values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTuple {
+    /// Row id in the R source (the caller's original table).
+    pub r_idx: u32,
+    /// Row id in the T source.
+    pub t_idx: u32,
+    /// Mapped output values, aligned with the `Accepted` column names.
+    pub values: Vec<f64>,
+}
+
+/// One progressive result batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchFrame {
+    /// Monotone completion estimate in `[0, 1]`.
+    pub progress: f64,
+    /// Whether every tuple is guaranteed final (true for ProgXe).
+    pub proven_final: bool,
+    /// The batch's tuples, in emission order.
+    pub tuples: Vec<WireTuple>,
+}
+
+/// Terminal frame of a query: summary statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoneFrame {
+    /// Whether the run was cancelled before completion.
+    pub cancelled: bool,
+    /// Results emitted over the query's lifetime.
+    pub results: u64,
+    /// Server-side wall time of the run, microseconds.
+    pub elapsed_us: u64,
+}
+
+/// Frames a client sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Run a `PREFERRING` query (UTF-8 SQL text).
+    Query(String),
+    /// Cancel the in-flight query; the server answers with `Done`
+    /// (`cancelled: true`). No-op when nothing is running.
+    Cancel,
+}
+
+/// Frames a server sends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerFrame {
+    /// First frame on every accepted connection.
+    Hello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// The query parsed and planned; batches follow.
+    Accepted {
+        /// Output column names, aligned with [`WireTuple::values`].
+        columns: Vec<String>,
+    },
+    /// One progressive result batch, final the moment it arrives.
+    Batch(BatchFrame),
+    /// The query ended (complete or cancelled).
+    Done(DoneFrame),
+    /// Something went wrong; `code` says whether to retry.
+    Error {
+        /// Typed error category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// A cursor over a frame payload with bounds-checked big-endian reads.
+struct Payload<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Payload<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(bad_frame("payload truncated")),
+        }
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> io::Result<u16> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self, len: usize) -> io::Result<String> {
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| bad_frame("invalid UTF-8"))
+    }
+
+    fn finish(self) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(bad_frame("trailing bytes in frame payload"))
+        }
+    }
+}
+
+fn bad_frame(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("protocol error: {what}"),
+    )
+}
+
+fn write_frame(w: &mut impl Write, tag: u8, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(bad_frame("frame exceeds MAX_FRAME_LEN"));
+    }
+    let mut header = [0u8; 5];
+    header[0] = tag;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)
+}
+
+fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header[1..5].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(bad_frame("frame exceeds MAX_FRAME_LEN"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok((header[0], payload))
+}
+
+/// Serializes one client frame.
+pub fn write_client_frame(w: &mut impl Write, frame: &ClientFrame) -> io::Result<()> {
+    match frame {
+        ClientFrame::Query(sql) => write_frame(w, TAG_QUERY, sql.as_bytes()),
+        ClientFrame::Cancel => write_frame(w, TAG_CANCEL, &[]),
+    }
+}
+
+/// Reads one client frame. `UnexpectedEof` at a frame boundary means the
+/// peer hung up; any other error is a protocol violation.
+pub fn read_client_frame(r: &mut impl Read) -> io::Result<ClientFrame> {
+    let (tag, payload) = read_frame(r)?;
+    match tag {
+        TAG_QUERY => {
+            let mut p = Payload::new(&payload);
+            let sql = p.string(payload.len())?;
+            p.finish()?;
+            Ok(ClientFrame::Query(sql))
+        }
+        TAG_CANCEL => {
+            Payload::new(&payload).finish()?;
+            Ok(ClientFrame::Cancel)
+        }
+        _ => Err(bad_frame("unknown client frame tag")),
+    }
+}
+
+/// Serializes one server frame.
+pub fn write_server_frame(w: &mut impl Write, frame: &ServerFrame) -> io::Result<()> {
+    let mut buf = Vec::new();
+    match frame {
+        ServerFrame::Hello { version } => {
+            put_u32(&mut buf, *version);
+            write_frame(w, TAG_HELLO, &buf)
+        }
+        ServerFrame::Accepted { columns } => {
+            if columns.len() > u16::MAX as usize {
+                return Err(bad_frame("too many columns"));
+            }
+            put_u16(&mut buf, columns.len() as u16);
+            for c in columns {
+                if c.len() > u16::MAX as usize {
+                    return Err(bad_frame("column name too long"));
+                }
+                put_u16(&mut buf, c.len() as u16);
+                buf.extend_from_slice(c.as_bytes());
+            }
+            write_frame(w, TAG_ACCEPTED, &buf)
+        }
+        ServerFrame::Batch(batch) => {
+            let dims = batch.tuples.first().map_or(0, |t| t.values.len());
+            if dims > u16::MAX as usize {
+                return Err(bad_frame("too many values per tuple"));
+            }
+            put_f64(&mut buf, batch.progress);
+            buf.push(u8::from(batch.proven_final));
+            put_u16(&mut buf, dims as u16);
+            put_u32(&mut buf, batch.tuples.len() as u32);
+            for t in &batch.tuples {
+                if t.values.len() != dims {
+                    return Err(bad_frame("ragged tuple arity in batch"));
+                }
+                put_u32(&mut buf, t.r_idx);
+                put_u32(&mut buf, t.t_idx);
+                for &v in &t.values {
+                    put_f64(&mut buf, v);
+                }
+            }
+            write_frame(w, TAG_BATCH, &buf)
+        }
+        ServerFrame::Done(done) => {
+            buf.push(u8::from(done.cancelled));
+            put_u64(&mut buf, done.results);
+            put_u64(&mut buf, done.elapsed_us);
+            write_frame(w, TAG_DONE, &buf)
+        }
+        ServerFrame::Error { code, message } => {
+            buf.push(*code as u8);
+            buf.extend_from_slice(message.as_bytes());
+            write_frame(w, TAG_ERROR, &buf)
+        }
+    }
+}
+
+/// Reads one server frame. `UnexpectedEof` at a frame boundary means the
+/// server closed the connection.
+pub fn read_server_frame(r: &mut impl Read) -> io::Result<ServerFrame> {
+    let (tag, payload) = read_frame(r)?;
+    let mut p = Payload::new(&payload);
+    match tag {
+        TAG_HELLO => {
+            let version = p.u32()?;
+            p.finish()?;
+            Ok(ServerFrame::Hello { version })
+        }
+        TAG_ACCEPTED => {
+            let n = p.u16()? as usize;
+            let mut columns = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let len = p.u16()? as usize;
+                columns.push(p.string(len)?);
+            }
+            p.finish()?;
+            Ok(ServerFrame::Accepted { columns })
+        }
+        TAG_BATCH => {
+            let progress = p.f64()?;
+            let proven_final = p.u8()? != 0;
+            let dims = p.u16()? as usize;
+            let n = p.u32()? as usize;
+            // Cheap sanity bound before allocating: every tuple needs at
+            // least its two row ids plus `dims` values in the payload.
+            let per_tuple = 8 + 8 * dims;
+            if n.saturating_mul(per_tuple) > payload.len() {
+                return Err(bad_frame("batch tuple count exceeds payload"));
+            }
+            let mut tuples = Vec::with_capacity(n);
+            for _ in 0..n {
+                let r_idx = p.u32()?;
+                let t_idx = p.u32()?;
+                let mut values = Vec::with_capacity(dims);
+                for _ in 0..dims {
+                    values.push(p.f64()?);
+                }
+                tuples.push(WireTuple {
+                    r_idx,
+                    t_idx,
+                    values,
+                });
+            }
+            p.finish()?;
+            Ok(ServerFrame::Batch(BatchFrame {
+                progress,
+                proven_final,
+                tuples,
+            }))
+        }
+        TAG_DONE => {
+            let cancelled = p.u8()? != 0;
+            let results = p.u64()?;
+            let elapsed_us = p.u64()?;
+            p.finish()?;
+            Ok(ServerFrame::Done(DoneFrame {
+                cancelled,
+                results,
+                elapsed_us,
+            }))
+        }
+        TAG_ERROR => {
+            let code =
+                ErrorCode::from_u8(p.u8()?).ok_or_else(|| bad_frame("unknown error code"))?;
+            let message = p.string(payload.len() - 1)?;
+            p.finish()?;
+            Ok(ServerFrame::Error { code, message })
+        }
+        _ => Err(bad_frame("unknown server frame tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn client_roundtrip(frame: ClientFrame) -> ClientFrame {
+        let mut buf = Vec::new();
+        write_client_frame(&mut buf, &frame).unwrap();
+        read_client_frame(&mut Cursor::new(buf)).unwrap()
+    }
+
+    fn server_roundtrip(frame: ServerFrame) -> ServerFrame {
+        let mut buf = Vec::new();
+        write_server_frame(&mut buf, &frame).unwrap();
+        read_server_frame(&mut Cursor::new(buf)).unwrap()
+    }
+
+    #[test]
+    fn client_frames_roundtrip() {
+        let q = ClientFrame::Query("SELECT R.id FROM a R, b T PREFERRING LOWEST(x)".into());
+        assert_eq!(client_roundtrip(q.clone()), q);
+        assert_eq!(client_roundtrip(ClientFrame::Cancel), ClientFrame::Cancel);
+    }
+
+    #[test]
+    fn server_frames_roundtrip() {
+        for frame in [
+            ServerFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            ServerFrame::Accepted {
+                columns: vec!["tCost".into(), "delay".into()],
+            },
+            ServerFrame::Batch(BatchFrame {
+                progress: 0.25,
+                proven_final: true,
+                tuples: vec![
+                    WireTuple {
+                        r_idx: 3,
+                        t_idx: 9,
+                        values: vec![1.5, -2.0],
+                    },
+                    WireTuple {
+                        r_idx: 0,
+                        t_idx: u32::MAX,
+                        values: vec![f64::MAX, f64::MIN_POSITIVE],
+                    },
+                ],
+            }),
+            ServerFrame::Batch(BatchFrame {
+                progress: 1.0,
+                proven_final: false,
+                tuples: vec![],
+            }),
+            ServerFrame::Done(DoneFrame {
+                cancelled: true,
+                results: 42,
+                elapsed_us: 123_456,
+            }),
+            ServerFrame::Error {
+                code: ErrorCode::Overloaded,
+                message: "session cap reached".into(),
+            },
+        ] {
+            assert_eq!(server_roundtrip(frame.clone()), frame);
+        }
+    }
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let mut buf = Vec::new();
+        write_server_frame(
+            &mut buf,
+            &ServerFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        write_server_frame(
+            &mut buf,
+            &ServerFrame::Done(DoneFrame {
+                cancelled: false,
+                results: 1,
+                elapsed_us: 2,
+            }),
+        )
+        .unwrap();
+        let mut cur = Cursor::new(buf);
+        assert!(matches!(
+            read_server_frame(&mut cur).unwrap(),
+            ServerFrame::Hello { .. }
+        ));
+        assert!(matches!(
+            read_server_frame(&mut cur).unwrap(),
+            ServerFrame::Done(_)
+        ));
+        // Clean EOF at a frame boundary.
+        let err = read_server_frame(&mut cur).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_typed_errors() {
+        let mut buf = Vec::new();
+        write_server_frame(
+            &mut buf,
+            &ServerFrame::Accepted {
+                columns: vec!["x".into()],
+            },
+        )
+        .unwrap();
+        buf.truncate(buf.len() - 1);
+        let err = read_server_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // A header advertising an enormous payload is rejected before any
+        // allocation.
+        let mut huge = vec![TAG_QUERY];
+        huge.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        let err = read_client_frame(&mut Cursor::new(huge)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn ragged_batches_are_rejected_at_encode_time() {
+        let frame = ServerFrame::Batch(BatchFrame {
+            progress: 0.0,
+            proven_final: true,
+            tuples: vec![
+                WireTuple {
+                    r_idx: 0,
+                    t_idx: 0,
+                    values: vec![1.0, 2.0],
+                },
+                WireTuple {
+                    r_idx: 1,
+                    t_idx: 1,
+                    values: vec![1.0],
+                },
+            ],
+        });
+        let mut buf = Vec::new();
+        assert!(write_server_frame(&mut buf, &frame).is_err());
+    }
+}

@@ -1,0 +1,499 @@
+//! The serving loop: accept, admit, stream, cancel.
+//!
+//! One OS thread per connection plus a per-connection *watchdog* thread
+//! that owns the read half of the socket. The watchdog is what makes
+//! cancellation prompt: while the handler streams batches, the watchdog
+//! sits in a blocking read, so a [`ClientFrame::Cancel`] — or the read
+//! error / EOF of a vanished client — reaches the in-flight session's
+//! [`CancellationToken`] immediately, and pooled region workers stop at
+//! their next token check instead of burning shared CPU for a client that
+//! will never see the results.
+//!
+//! Admission control is strict shedding: past
+//! [`ServerConfig::max_sessions`] concurrent connections, a new client
+//! gets a typed [`ErrorCode::Overloaded`] frame and an immediate close.
+//! The server never queues connections — unbounded queueing just converts
+//! overload into latency nobody asked for.
+//!
+//! Batches are written as the engine proves them final ([`QuerySession`]
+//! pull loop → frame → flush); the full result is never materialized
+//! server-side.
+
+use crate::protocol::{
+    write_server_frame, BatchFrame, ClientFrame, DoneFrame, ErrorCode, ServerFrame, WireTuple,
+    PROTOCOL_VERSION,
+};
+use progxe_core::session::CancellationToken;
+use progxe_obs::MetricsRegistry;
+use progxe_query::exec::{Engine, QueryRunner};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent-connection cap; connection `max_sessions + 1` is shed
+    /// with [`ErrorCode::Overloaded`].
+    pub max_sessions: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { max_sessions: 64 }
+    }
+}
+
+/// Monotone counters describing a server's lifetime, shared across threads
+/// and readable at any point (including from tests and the load
+/// generator). Mirrored as `server.*` counters in
+/// [`MetricsRegistry::global`].
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_cancelled: AtomicU64,
+    queries_failed: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Connections admitted past admission control.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed with [`ErrorCode::Overloaded`].
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Queries that ran to completion.
+    pub fn queries_ok(&self) -> u64 {
+        self.queries_ok.load(Ordering::Relaxed)
+    }
+
+    /// Queries whose run ended with `ExecStats::cancelled` — an explicit
+    /// `Cancel` frame, a vanished client, or a dropped session.
+    pub fn queries_cancelled(&self) -> u64 {
+        self.queries_cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Queries rejected at parse/plan time or failed during execution.
+    pub fn queries_failed(&self) -> u64 {
+        self.queries_failed.load(Ordering::Relaxed)
+    }
+}
+
+/// Shared state every connection handler needs.
+struct Shared {
+    runner: QueryRunner,
+    engine: Engine,
+    metrics: Arc<ServerMetrics>,
+    active: AtomicUsize,
+    max_sessions: usize,
+    /// Read halves of live connections, keyed by connection id, so
+    /// [`ServerHandle::shutdown`] can unblock every watchdog.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+/// The ProgXe TCP server. See [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` and starts the accept loop on a background thread.
+    ///
+    /// `runner` supplies the catalog; `engine` is shared by every session
+    /// (clones share one `EngineRuntime`, so the worker pool is spawned
+    /// once for the whole server — per-session parallelism comes from
+    /// `ProgXeConfig::threads`). Attach a `Recorder` to the engine
+    /// beforehand (`Engine::with_recorder`) to trace every connection's
+    /// sessions through `crates/obs`.
+    pub fn start(
+        runner: QueryRunner,
+        engine: Engine,
+        config: ServerConfig,
+        addr: impl ToSocketAddrs,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            runner,
+            engine,
+            metrics: Arc::new(ServerMetrics::default()),
+            active: AtomicUsize::new(0),
+            max_sessions: config.max_sessions.max(1),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let stopping = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let stopping = Arc::clone(&stopping);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("progxe-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &stopping, &handlers))
+                .expect("spawn accept thread")
+        };
+        progxe_obs::log::info(&format!("progxe-server listening on {local_addr}"));
+        Ok(ServerHandle {
+            addr: local_addr,
+            shared,
+            stopping,
+            accept: Some(accept),
+            handlers,
+        })
+    }
+}
+
+/// Owner handle for a running server: address, metrics, shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    stopping: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's lifetime counters.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Live connections right now.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting, severs every live connection (in-flight queries
+    /// cancel via their tokens), and joins all server threads. Idempotent
+    /// via `Drop`; returns once the server is fully quiesced.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stopping.store(true, Ordering::Release);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Sever live connections: each watchdog's read fails, fires the
+        // in-flight session's token, and its handler unwinds cleanly.
+        {
+            let conns = self.shared.conns.lock().expect("conn registry poisoned");
+            for stream in conns.values() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler list poisoned"));
+        for h in handlers {
+            let _ = h.join();
+        }
+        debug_assert_eq!(self.shared.active.load(Ordering::Acquire), 0);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    stopping: &Arc<AtomicBool>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if stopping.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        // Admission control: shed, never queue. `fetch_add` first so two
+        // racing connections cannot both sneak under the cap.
+        if shared.active.fetch_add(1, Ordering::AcqRel) >= shared.max_sessions {
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+            shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            MetricsRegistry::global().incr("server.rejected", 1);
+            let mut w = BufWriter::new(&stream);
+            let _ = write_server_frame(
+                &mut w,
+                &ServerFrame::Error {
+                    code: ErrorCode::Overloaded,
+                    message: format!(
+                        "session cap reached ({} concurrent); retry later",
+                        shared.max_sessions
+                    ),
+                },
+            );
+            let _ = w.flush();
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
+        shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        MetricsRegistry::global().incr("server.accepted", 1);
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("progxe-conn".into())
+            .spawn(move || {
+                let conn_id = conn_shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                handle_connection(stream, conn_id, &conn_shared);
+                conn_shared
+                    .conns
+                    .lock()
+                    .expect("conn registry poisoned")
+                    .remove(&conn_id);
+                conn_shared.active.fetch_sub(1, Ordering::AcqRel);
+            });
+        match handle {
+            Ok(h) => {
+                let mut list = handlers.lock().expect("handler list poisoned");
+                // Reap finished handlers so a long-lived server does not
+                // accumulate join handles.
+                list.retain(|h| !h.is_finished());
+                list.push(h);
+            }
+            Err(_) => {
+                shared.active.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+}
+
+/// Serves one connection: a watchdog thread owns the read half and
+/// forwards `Query` frames over a channel; this thread runs queries and
+/// owns the write half. The watchdog cancels the in-flight session on
+/// `Cancel`, read error, or EOF — disconnect detection is just "the read
+/// failed".
+fn handle_connection(stream: TcpStream, conn_id: u64, shared: &Arc<Shared>) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    {
+        let mut conns = shared.conns.lock().expect("conn registry poisoned");
+        match read_half.try_clone() {
+            Ok(registered) => {
+                conns.insert(conn_id, registered);
+            }
+            Err(_) => return,
+        }
+    }
+    let mut writer = BufWriter::new(stream);
+    if write_server_frame(
+        &mut writer,
+        &ServerFrame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .and_then(|()| writer.flush())
+    .is_err()
+    {
+        return;
+    }
+
+    // The token of the query currently streaming, if any; the watchdog
+    // takes it out to cancel.
+    let current: Arc<Mutex<Option<CancellationToken>>> = Arc::new(Mutex::new(None));
+    let (tx, rx) = mpsc::channel::<String>();
+    let watchdog = {
+        let current = Arc::clone(&current);
+        std::thread::Builder::new()
+            .name("progxe-conn-watchdog".into())
+            .spawn(move || {
+                let mut reader = BufReader::new(read_half);
+                loop {
+                    match crate::protocol::read_client_frame(&mut reader) {
+                        Ok(ClientFrame::Query(sql)) => {
+                            if tx.send(sql).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(ClientFrame::Cancel) => {
+                            if let Some(token) = current.lock().expect("token slot poisoned").take()
+                            {
+                                token.cancel();
+                            }
+                        }
+                        Err(_) => {
+                            // Disconnect (or protocol garbage): stop the
+                            // in-flight query and end the connection.
+                            if let Some(token) = current.lock().expect("token slot poisoned").take()
+                            {
+                                token.cancel();
+                            }
+                            return;
+                        }
+                    }
+                }
+            })
+    };
+    let Ok(watchdog) = watchdog else { return };
+
+    // Queries run sequentially per connection; the channel closes when the
+    // watchdog exits (client gone), ending the loop.
+    while let Ok(sql) = rx.recv() {
+        if run_query(&sql, &mut writer, shared, &current).is_err() {
+            break; // write half is dead; the connection is over
+        }
+    }
+    // Unblock the watchdog if it is still in read() (e.g. we exited on a
+    // write error before the client closed).
+    let _ = writer.get_ref().shutdown(Shutdown::Both);
+    let _ = watchdog.join();
+}
+
+/// Runs one query, streaming batches as they are proven final. `Err` means
+/// the socket write failed (client gone) — the session is dropped, which
+/// fires its token. Query-level failures (parse, plan) are reported
+/// in-band and return `Ok`.
+fn run_query(
+    sql: &str,
+    writer: &mut BufWriter<TcpStream>,
+    shared: &Arc<Shared>,
+    current: &Arc<Mutex<Option<CancellationToken>>>,
+) -> io::Result<()> {
+    let started = Instant::now();
+    MetricsRegistry::global().incr("server.queries", 1);
+    let planned = match shared.runner.prepare(sql) {
+        Ok(p) => p,
+        Err(e) => {
+            shared
+                .metrics
+                .queries_failed
+                .fetch_add(1, Ordering::Relaxed);
+            write_server_frame(
+                writer,
+                &ServerFrame::Error {
+                    code: ErrorCode::BadQuery,
+                    message: e.to_string(),
+                },
+            )?;
+            return writer.flush();
+        }
+    };
+    let mut session = match shared.runner.session(&planned, &shared.engine) {
+        Ok(s) => s,
+        Err(e) => {
+            shared
+                .metrics
+                .queries_failed
+                .fetch_add(1, Ordering::Relaxed);
+            write_server_frame(
+                writer,
+                &ServerFrame::Error {
+                    code: ErrorCode::Internal,
+                    message: e.to_string(),
+                },
+            )?;
+            return writer.flush();
+        }
+    };
+    *current.lock().expect("token slot poisoned") = Some(session.cancel_token());
+    write_server_frame(
+        writer,
+        &ServerFrame::Accepted {
+            columns: planned.output_names.clone(),
+        },
+    )?;
+    writer.flush()?;
+
+    let mut first_result = true;
+    let stream_result: io::Result<()> = loop {
+        let Some(event) = session.next_batch() else {
+            break Ok(());
+        };
+        if event.tuples.is_empty() {
+            continue;
+        }
+        if first_result {
+            first_result = false;
+            MetricsRegistry::global().observe("server.first_result", started.elapsed());
+        }
+        let frame = ServerFrame::Batch(BatchFrame {
+            progress: event.progress_estimate,
+            proven_final: event.proven_final,
+            tuples: event
+                .tuples
+                .iter()
+                .map(|t| WireTuple {
+                    r_idx: t.r_idx,
+                    t_idx: t.t_idx,
+                    values: t.values.clone(),
+                })
+                .collect(),
+        });
+        // Flush per batch: progressiveness is the product; batching frames
+        // in the BufWriter would trade first-result latency for throughput
+        // behind the client's back.
+        if let Err(e) = write_server_frame(writer, &frame).and_then(|()| writer.flush()) {
+            break Err(e);
+        }
+    };
+
+    current.lock().expect("token slot poisoned").take();
+    if let Err(e) = stream_result {
+        // Client vanished mid-stream. Finish (not drop) the session so the
+        // cancellation is accounted in `ExecStats` and our counters even
+        // though nobody is listening anymore.
+        session.cancel();
+        let stats = session.finish();
+        debug_assert!(stats.cancelled);
+        shared
+            .metrics
+            .queries_cancelled
+            .fetch_add(1, Ordering::Relaxed);
+        MetricsRegistry::global().incr("server.queries_cancelled", 1);
+        return Err(e);
+    }
+    let stats = session.finish();
+    if stats.cancelled {
+        shared
+            .metrics
+            .queries_cancelled
+            .fetch_add(1, Ordering::Relaxed);
+        MetricsRegistry::global().incr("server.queries_cancelled", 1);
+    } else {
+        shared.metrics.queries_ok.fetch_add(1, Ordering::Relaxed);
+    }
+    let done = ServerFrame::Done(DoneFrame {
+        cancelled: stats.cancelled,
+        results: stats.results_emitted,
+        elapsed_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+    });
+    write_server_frame(writer, &done)?;
+    writer.flush()
+}
+
+/// Blocks until `metrics` reports at least `n` cancelled queries or the
+/// timeout elapses; returns whether the threshold was reached. Test and
+/// load-generator helper (the cancel path is asynchronous by design).
+pub fn wait_for_cancelled(metrics: &ServerMetrics, n: u64, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if metrics.queries_cancelled() >= n {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    metrics.queries_cancelled() >= n
+}

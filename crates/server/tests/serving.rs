@@ -1,0 +1,206 @@
+//! End-to-end serving tests: correctness over the wire, disconnect- and
+//! frame-driven cancellation, admission control, and clean shutdown.
+//!
+//! Every test binds port 0 and runs its own server; the "slow" catalogs
+//! (2000 anti-correlated rows) take seconds in debug mode, which is the
+//! runway the cancellation tests need to catch a query mid-flight.
+
+use progxe_query::{Engine, QueryRunner};
+use progxe_server::server::wait_for_cancelled;
+use progxe_server::{synthetic, Client, ErrorCode, Server, ServerConfig, ServerFrame};
+use std::time::{Duration, Instant};
+
+fn start_server(
+    rows: usize,
+    dims: usize,
+    seed: u64,
+    max_sessions: usize,
+) -> progxe_server::ServerHandle {
+    let runner = QueryRunner::new(synthetic::catalog(rows, dims, seed));
+    let engine = Engine::progxe_threads(2);
+    Server::start(runner, engine, ServerConfig { max_sessions }, "127.0.0.1:0")
+        .expect("bind port 0")
+}
+
+/// Reads the next frame and asserts the in-flight query was `Accepted` —
+/// i.e. the server has opened a session and is about to stream.
+fn read_until_accepted(client: &mut Client) {
+    match client.next_server_frame().expect("server frame") {
+        ServerFrame::Accepted { .. } => {}
+        ServerFrame::Error { code, message } => {
+            panic!("query rejected ({code:?}): {message}")
+        }
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+}
+
+#[test]
+fn results_over_the_wire_match_run_collect() {
+    let rows = 400;
+    let dims = 2;
+    let seed = 3;
+    let sql = synthetic::query_sql(dims);
+    let reference = QueryRunner::new(synthetic::catalog(rows, dims, seed))
+        .run_collect(&sql, &Engine::progxe_threads(2))
+        .expect("reference run");
+
+    let handle = start_server(rows, dims, seed, 8);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let outcome = client.run_query(&sql).expect("query runs");
+
+    assert!(
+        outcome.error.is_none(),
+        "unexpected error: {:?}",
+        outcome.error
+    );
+    let done = outcome.done.expect("terminal Done frame");
+    assert!(!done.cancelled);
+    assert_eq!(done.results, reference.results.len() as u64);
+    assert_eq!(outcome.columns, reference.output_names);
+
+    let mut got: Vec<(u32, u32)> = outcome.tuples.iter().map(|t| (t.r_idx, t.t_idx)).collect();
+    let mut want: Vec<(u32, u32)> = reference
+        .results
+        .iter()
+        .map(|t| (t.r_idx, t.t_idx))
+        .collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want, "wire results must match the in-process run");
+    for tuple in &outcome.tuples {
+        assert_eq!(tuple.values.len(), dims, "wire tuples carry mapped values");
+    }
+
+    let metrics = handle.metrics();
+    handle.shutdown();
+    assert_eq!(metrics.queries_ok(), 1);
+    assert_eq!(metrics.queries_cancelled(), 0);
+}
+
+#[test]
+fn killing_the_socket_cancels_in_flight_pooled_work() {
+    // ~2s of pooled region work in debug mode; the client vanishes right
+    // after admission, so completion without cancellation would mean the
+    // server kept burning the shared pool for a dead connection.
+    let handle = start_server(2000, 3, 5, 8);
+    let metrics = handle.metrics();
+
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.send_query(&synthetic::query_sql(3)).expect("send");
+    read_until_accepted(&mut client);
+    drop(client); // kill the socket mid-query
+
+    assert!(
+        wait_for_cancelled(&metrics, 1, Duration::from_secs(20)),
+        "disconnect must cancel the in-flight session (queries_cancelled={}, ok={})",
+        metrics.queries_cancelled(),
+        metrics.queries_ok()
+    );
+    assert_eq!(
+        metrics.queries_ok(),
+        0,
+        "the run must not count as completed"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn explicit_cancel_frame_ends_the_stream_with_done_cancelled() {
+    let handle = start_server(2000, 3, 6, 8);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.send_query(&synthetic::query_sql(3)).expect("send");
+    read_until_accepted(&mut client);
+    client.cancel().expect("send cancel");
+
+    let done = loop {
+        match client
+            .next_server_frame()
+            .expect("stream stays well-formed")
+        {
+            ServerFrame::Batch(_) => continue,
+            ServerFrame::Done(done) => break done,
+            other => panic!("expected Batch or Done, got {other:?}"),
+        }
+    };
+    assert!(done.cancelled, "a cancelled run must report itself as such");
+    let metrics = handle.metrics();
+    handle.shutdown();
+    assert_eq!(metrics.queries_cancelled(), 1);
+}
+
+#[test]
+fn admission_control_sheds_load_with_a_typed_error() {
+    let handle = start_server(200, 2, 7, 1);
+    let holder = Client::connect(handle.addr()).expect("first connection admitted");
+
+    let err = Client::connect(handle.addr()).expect_err("second connection must be shed");
+    assert_eq!(err.kind(), std::io::ErrorKind::ConnectionRefused);
+    assert!(
+        err.to_string().contains("session cap"),
+        "error should carry the server's message, got: {err}"
+    );
+    assert_eq!(handle.metrics().rejected(), 1);
+    assert_eq!(handle.metrics().accepted(), 1);
+
+    // Freeing the slot re-opens admission.
+    drop(holder);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while handle.active_sessions() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(handle.active_sessions(), 0, "slot must free on disconnect");
+    let mut client = Client::connect(handle.addr()).expect("admitted after slot frees");
+    let outcome = client.run_query(&synthetic::query_sql(2)).expect("runs");
+    assert!(outcome.done.is_some());
+    handle.shutdown();
+}
+
+#[test]
+fn bad_query_is_reported_in_band_and_the_connection_survives() {
+    let handle = start_server(200, 2, 8, 8);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let outcome = client
+        .run_query("SELECT nonsense FROM nowhere")
+        .expect("frame exchange");
+    let (code, message) = outcome.error.expect("typed error for a bad query");
+    assert_eq!(code, ErrorCode::BadQuery);
+    assert!(!message.is_empty());
+    assert!(outcome.done.is_none());
+
+    // Same connection, valid query: the error must not have poisoned it.
+    let outcome = client
+        .run_query(&synthetic::query_sql(2))
+        .expect("retry runs");
+    assert!(outcome.error.is_none());
+    assert!(!outcome.tuples.is_empty());
+    let metrics = handle.metrics();
+    handle.shutdown();
+    assert_eq!(metrics.queries_failed(), 1);
+    assert_eq!(metrics.queries_ok(), 1);
+}
+
+#[test]
+fn shutdown_with_a_live_query_terminates_cleanly() {
+    let handle = start_server(2000, 3, 9, 8);
+    let metrics = handle.metrics();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.send_query(&synthetic::query_sql(3)).expect("send");
+    read_until_accepted(&mut client);
+
+    // Shutdown severs the connection; it must join every server thread
+    // without waiting for the multi-second query to run to completion.
+    let t = Instant::now();
+    handle.shutdown();
+    assert!(
+        t.elapsed() < Duration::from_secs(10),
+        "shutdown blocked on a live query for {:?}",
+        t.elapsed()
+    );
+    assert_eq!(
+        metrics.queries_cancelled(),
+        1,
+        "the live query was cancelled"
+    );
+    assert_eq!(metrics.queries_ok(), 0);
+}

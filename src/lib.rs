@@ -10,6 +10,8 @@
 //! * [`core`] — the ProgXe framework (look-ahead, ProgOrder, ProgDetermine).
 //! * [`runtime`] — work-stealing thread pool + parallel ProgXe driver.
 //! * [`query`] — SkyMapJoin algebra, `PREFERRING` parser, planner.
+//! * [`server`] — TCP serving layer: framed progressive batches,
+//!   per-client cancellation, admission control.
 //! * [`baselines`] — JF-SL, JF-SL+, SSMJ, SAJ.
 
 #![forbid(unsafe_code)]
@@ -20,4 +22,5 @@ pub use progxe_datagen as datagen;
 pub use progxe_obs as obs;
 pub use progxe_query as query;
 pub use progxe_runtime as runtime;
+pub use progxe_server as server;
 pub use progxe_skyline as skyline;

@@ -329,3 +329,242 @@ fn take_k_style_early_stop_mid_ingest() {
     // Prefix property: what was taken is exactly how the full run starts.
     assert_eq!(&full_flat[..taken.len()], &taken[..]);
 }
+
+// ── Watermark boundary semantics ─────────────────────────────────────────
+//
+// The admission check is strict (`v < watermark[d]` rejects), so a row
+// exactly *equal* to the watermark in some dimension is legal — including
+// the subtle case where the watermark sits exactly on a grid cell
+// boundary: the boundary value belongs to the *next* slot, so the low
+// slice seals while the equality row is still admissible. Bounds [0, 90]
+// with the default 3 input partitions per dimension put those boundaries
+// at exactly 30 and 60; the waves below walk watermarks onto both (plus a
+// non-boundary value, 45.5) and push equality rows after each one.
+
+fn boundary_spec() -> StreamSpec {
+    StreamSpec::new(vec![0.0; DIMS], vec![90.0; DIMS]).unwrap()
+}
+
+fn open_boundary_session(pooled: bool) -> IngestSession {
+    let maps = MapSet::pairwise_sum(DIMS, Preference::all_lowest(DIMS));
+    let config = ProgXeConfig::default();
+    if pooled {
+        ParallelProgXe::new(config.with_threads(3))
+            .open_ingest(&maps, boundary_spec(), boundary_spec())
+            .unwrap()
+    } else {
+        IngestSession::open(&config, &maps, boundary_spec(), boundary_spec()).unwrap()
+    }
+}
+
+/// One arrival step: rows to push, then an optional watermark.
+type BoundaryWave = (Vec<(u32, Vec<f64>, u32)>, Option<Vec<f64>>);
+
+fn r_boundary_waves() -> Vec<BoundaryWave> {
+    vec![
+        (
+            vec![
+                (0, vec![5.0, 80.0], 0),
+                (1, vec![78.0, 6.0], 0),
+                (2, vec![25.0, 28.0], 0),
+            ],
+            Some(vec![30.0, 30.0]), // exactly on the first cell boundary
+        ),
+        (
+            vec![
+                (3, vec![30.0, 30.0], 0), // == watermark in every dimension
+                (4, vec![30.0, 55.0], 0), // == watermark in dimension 0 only
+                (5, vec![55.0, 30.0], 0), // == watermark in dimension 1 only
+            ],
+            Some(vec![45.5, 30.0]), // non-boundary watermark value
+        ),
+        (
+            vec![(6, vec![45.5, 30.0], 0), (7, vec![60.0, 44.0], 0)],
+            Some(vec![60.0, 60.0]), // exactly on the second cell boundary
+        ),
+        (
+            vec![(8, vec![60.0, 60.0], 0), (9, vec![89.0, 89.0], 0)],
+            None,
+        ),
+    ]
+}
+
+fn t_boundary_waves() -> Vec<BoundaryWave> {
+    vec![
+        (
+            vec![
+                (0, vec![10.0, 60.0], 0),
+                (1, vec![62.0, 8.0], 0),
+                (2, vec![28.0, 25.0], 0),
+            ],
+            Some(vec![30.0, 30.0]),
+        ),
+        (
+            vec![(3, vec![30.0, 30.0], 0), (4, vec![40.0, 33.0], 0)],
+            Some(vec![60.0, 60.0]),
+        ),
+        (
+            vec![(5, vec![60.0, 60.0], 0), (6, vec![85.0, 70.0], 0)],
+            None,
+        ),
+    ]
+}
+
+fn push_boundary_wave(session: &mut IngestSession, side: SourceId, wave: &BoundaryWave) {
+    let rows: Vec<(u32, &[f64], u32)> = wave
+        .0
+        .iter()
+        .map(|(id, attrs, key)| (*id, attrs.as_slice(), *key))
+        .collect();
+    session.push_with_ids(side, &rows).unwrap();
+    if let Some(wm) = &wave.1 {
+        session.set_watermark(side, wm).unwrap();
+    }
+}
+
+/// Feeds the boundary waves following `order` (a sequence of
+/// `(source, wave index)` steps), draining after every step, and returns
+/// the emission transcript.
+fn run_boundary_schedule(order: &[(SourceId, usize)], pooled: bool) -> Transcript {
+    let r = r_boundary_waves();
+    let t = t_boundary_waves();
+    let mut session = open_boundary_session(pooled);
+    let mut transcript = Transcript::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut progress = 0.0;
+    for &(side, wave) in order {
+        let wave = match side {
+            SourceId::R => &r[wave],
+            SourceId::T => &t[wave],
+        };
+        push_boundary_wave(&mut session, side, wave);
+        drain(&mut session, &mut transcript, &mut seen, &mut progress);
+    }
+    session.close(SourceId::R);
+    session.close(SourceId::T);
+    drain(&mut session, &mut transcript, &mut seen, &mut progress);
+    assert!(matches!(session.poll(), IngestPoll::Complete));
+    let stats = session.finish();
+    assert!(!stats.cancelled);
+    let total: usize =
+        r.iter().map(|w| w.0.len()).sum::<usize>() + t.iter().map(|w| w.0.len()).sum::<usize>();
+    assert_eq!(
+        stats.tuples_ingested, total as u64,
+        "every equality row must be admitted"
+    );
+    transcript
+}
+
+/// Rows exactly equal to the watermark — including watermarks sitting on
+/// grid cell boundaries — are admitted on every arrival schedule, and the
+/// emission transcript still matches the all-at-once oracle on both
+/// backends.
+#[test]
+fn watermark_equality_rows_match_the_oracle_across_schedules() {
+    use SourceId::{R, T};
+    let interleaved: &[(SourceId, usize)] =
+        &[(R, 0), (T, 0), (R, 1), (T, 1), (R, 2), (T, 2), (R, 3)];
+    let t_first: &[(SourceId, usize)] = &[(T, 0), (T, 1), (T, 2), (R, 0), (R, 1), (R, 2), (R, 3)];
+    let r_first: &[(SourceId, usize)] = &[(R, 0), (R, 1), (R, 2), (R, 3), (T, 0), (T, 1), (T, 2)];
+
+    for pooled in [false, true] {
+        // All-at-once oracle: same logical rows, no watermarks.
+        let mut session = open_boundary_session(pooled);
+        let r_rows: Vec<(u32, Vec<f64>, u32)> =
+            r_boundary_waves().into_iter().flat_map(|w| w.0).collect();
+        let t_rows: Vec<(u32, Vec<f64>, u32)> =
+            t_boundary_waves().into_iter().flat_map(|w| w.0).collect();
+        for (side, rows) in [(R, &r_rows), (T, &t_rows)] {
+            let refs: Vec<(u32, &[f64], u32)> = rows
+                .iter()
+                .map(|(id, attrs, key)| (*id, attrs.as_slice(), *key))
+                .collect();
+            session.push_with_ids(side, &refs).unwrap();
+            session.close(side);
+        }
+        let mut reference = Transcript::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut progress = 0.0;
+        drain(&mut session, &mut reference, &mut seen, &mut progress);
+        session.finish();
+        let results: usize = reference.iter().map(|b| b.len()).sum();
+        assert!(
+            results > 1,
+            "boundary workload must keep a non-trivial skyline ({results} results)"
+        );
+
+        for (name, order) in [
+            ("interleaved", interleaved),
+            ("t-first", t_first),
+            ("r-first", r_first),
+        ] {
+            let transcript = run_boundary_schedule(order, pooled);
+            assert_eq!(
+                transcript, reference,
+                "pooled={pooled}/{name}: emission diverged from all-at-once"
+            );
+        }
+    }
+}
+
+/// The admission boundary is strict in the right direction: exactly-equal
+/// rows are accepted (even on a cell boundary), strictly-below rows get a
+/// typed `RowBelowWatermark` with the offending dimension, and the
+/// rejection leaves the session fully usable.
+#[test]
+fn below_watermark_rows_are_rejected_with_a_typed_error() {
+    use progxe::core::ingest::IngestError;
+
+    for pooled in [false, true] {
+        let mut session = open_boundary_session(pooled);
+        session.set_watermark(SourceId::R, &[30.0, 30.0]).unwrap();
+
+        // Equality on a cell boundary: admitted.
+        session
+            .push_with_ids(SourceId::R, &[(0, &[30.0, 30.0][..], 0)])
+            .unwrap();
+        // Strictly below in dimension 1: typed rejection.
+        let err = session
+            .push_with_ids(SourceId::R, &[(1, &[31.0, 29.5][..], 0)])
+            .unwrap_err();
+        match err {
+            IngestError::RowBelowWatermark {
+                source,
+                dim,
+                watermark,
+                value,
+            } => {
+                assert_eq!(source, SourceId::R);
+                assert_eq!(dim, 1);
+                assert_eq!(watermark, 30.0);
+                assert_eq!(value, 29.5);
+            }
+            other => panic!("expected RowBelowWatermark, got {other:?}"),
+        }
+
+        // The rejection must not poison the session: keep feeding and run
+        // to completion.
+        session
+            .push_with_ids(SourceId::R, &[(2, &[40.0, 30.0][..], 0)])
+            .unwrap();
+        session
+            .push_with_ids(SourceId::T, &[(0, &[10.0, 10.0][..], 0)])
+            .unwrap();
+        session.close(SourceId::R);
+        session.close(SourceId::T);
+        let mut transcript = Transcript::new();
+        let mut seen = std::collections::HashSet::new();
+        let mut progress = 0.0;
+        drain(&mut session, &mut transcript, &mut seen, &mut progress);
+        assert!(matches!(session.poll(), IngestPoll::Complete));
+        let stats = session.finish();
+        assert!(!stats.cancelled, "pooled={pooled}");
+        assert_eq!(stats.tuples_ingested, 3, "the rejected row is not counted");
+        let flat: Vec<(u32, u32)> = transcript.into_iter().flatten().collect();
+        assert_eq!(
+            flat,
+            vec![(0, 0)],
+            "pooled={pooled}: the boundary row joins; the rejected row never surfaces"
+        );
+    }
+}
