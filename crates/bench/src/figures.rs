@@ -1865,12 +1865,17 @@ pub struct ServingRun {
 /// over a synthetic anti-correlated catalog, then hits it with 100–1000
 /// simulated clients (one OS thread + one connection each, one query per
 /// client) and reports QPS plus client-observed p50/p99 time-to-first-
-/// result. Writes `serving.csv` and machine-readable `BENCH_serving.json`;
-/// CI runs the `--quick` point (100 clients) as a smoke and uploads the
-/// JSON next to the other BENCH artifacts.
+/// result. A second sweep measures protocol-v2 subscriptions: standing
+/// streaming queries fed over the wire, reporting push-to-update latency
+/// at 100+ concurrent subscribers. Writes `serving.csv`,
+/// `serving_subscriptions.csv`, and machine-readable `BENCH_serving.json`
+/// (one-shot `points` plus a `subscriptions` section); CI runs the
+/// `--quick` points (100 clients, 100 subscribers) as a smoke and uploads
+/// the JSON next to the other BENCH artifacts.
 pub fn serving(opt: &ExpOptions) {
     let runs = serving_measurements(opt);
-    write_serving_outputs(opt, &runs);
+    let subs = subscription_measurements(opt);
+    write_serving_outputs(opt, &runs, &subs);
 }
 
 /// The measured core of [`serving`] at the default sweep sizes: 100
@@ -1884,6 +1889,16 @@ pub fn serving_measurements(opt: &ExpOptions) -> Vec<ServingRun> {
     let rows = opt.pick_n(800); // --quick shrinks this to 80 via pick_n
     let dims = opt.pick_dims(2);
     serving_sweep(opt, sweep, rows, dims)
+}
+
+/// The measured subscription core of [`serving`]: 100 subscribers in
+/// `--quick` mode, 100/250 otherwise, each pushing `pick_n(200)` rows per
+/// source in 25-row batches.
+pub fn subscription_measurements(opt: &ExpOptions) -> Vec<SubscriptionRun> {
+    let sweep: &[usize] = if opt.quick { &[100] } else { &[100, 250] };
+    let rows = opt.pick_n(200);
+    let dims = opt.pick_dims(2);
+    subscription_sweep(opt, sweep, rows, dims, 25)
 }
 
 /// Runs one load point per entry in `sweep` against a fresh server (port
@@ -1982,6 +1997,176 @@ pub fn serving_sweep(
     out
 }
 
+/// One measured subscription load point (see [`serving`]).
+pub struct SubscriptionRun {
+    /// Concurrent subscribers, each holding one standing streaming query
+    /// over its own TCP connection and pushing its own arrival feed.
+    pub subscribers: usize,
+    /// Push frames sent across all subscribers.
+    pub pushes: u64,
+    /// `Update` frames received across all subscribers.
+    pub updates: u64,
+    /// Result tuples received across all subscribers.
+    pub results: u64,
+    /// Wall-clock duration of the whole load point.
+    pub elapsed_ms: f64,
+    /// Median push-to-update latency: time from writing a `Push` frame to
+    /// receiving an `Update` it unlocked.
+    pub update_p50_ms: f64,
+    /// 99th-percentile push-to-update latency.
+    pub update_p99_ms: f64,
+}
+
+/// Runs one subscription load point per entry in `sweep`: every
+/// subscriber connects v2, opens a standing query, and replays a
+/// seed-distinct [`progxe_server::synthetic::arrival_feed`] of `rows` rows per source in
+/// `batch`-row pushes, draining `Update`s on a second thread (the
+/// [`progxe_server::Client::into_split`] shape). Push-to-update latency
+/// attributes each update to the most recent push on its connection.
+/// Panics — failing CI — on any connection, frame, or cancellation
+/// anomaly.
+pub fn subscription_sweep(
+    opt: &ExpOptions,
+    sweep: &[usize],
+    rows: usize,
+    dims: usize,
+    batch: usize,
+) -> Vec<SubscriptionRun> {
+    use progxe_query::{Engine, QueryRunner};
+    use progxe_server::{synthetic, Client, Server, ServerConfig, ServerFrame};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    println!(
+        "== Serving: push-to-update latency vs concurrent subscribers \
+         (anti-correlated feeds, {rows} rows/source, d={dims}, batch={batch}, seed={}) ==",
+        opt.seed
+    );
+    let sql = Arc::new(synthetic::query_sql(dims));
+    let mut out = Vec::new();
+    for &subscribers in sweep {
+        let runner = QueryRunner::new(synthetic::streaming_catalog(60, dims, opt.seed));
+        let handle = Server::start(
+            runner,
+            Engine::progxe_threads(2),
+            ServerConfig {
+                max_sessions: subscribers,
+            },
+            "127.0.0.1:0",
+        )
+        .expect("bind port 0");
+        let addr = handle.addr();
+
+        let started = Instant::now();
+        let seed = opt.seed;
+        let workers: Vec<_> = (0..subscribers)
+            .map(|i| {
+                let sql = Arc::clone(&sql);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("admitted under the cap");
+                    client.subscribe(0, &sql).expect("subscribe");
+                    match client.next_server_frame().expect("frame") {
+                        ServerFrame::SubAccepted { .. } => {}
+                        other => panic!("expected SubAccepted, got {other:?}"),
+                    }
+                    let feed = synthetic::arrival_feed(0, rows, dims, seed ^ (i as u64 + 1), batch);
+                    let (mut writer, mut reader) = client.into_split();
+
+                    // Reader thread drains until SubDone, attributing each
+                    // update to the most recent push (nanos since `origin`,
+                    // published through the atomic just before the write).
+                    let origin = Instant::now();
+                    let last_push = Arc::new(AtomicU64::new(0));
+                    let observed = Arc::clone(&last_push);
+                    let drain = std::thread::spawn(move || {
+                        let mut latencies_ms = Vec::new();
+                        let mut updates = 0u64;
+                        let mut results = 0u64;
+                        loop {
+                            match reader.next_server_frame().expect("frame") {
+                                ServerFrame::Update { batch, .. } => {
+                                    let now = origin.elapsed().as_nanos() as u64;
+                                    let sent = observed.load(Ordering::Acquire);
+                                    latencies_ms.push(now.saturating_sub(sent) as f64 / 1e6);
+                                    updates += 1;
+                                    results += batch.tuples.len() as u64;
+                                }
+                                ServerFrame::SubDone { done, .. } => {
+                                    assert!(!done.cancelled, "fully fed subs complete");
+                                    return (latencies_ms, updates, results);
+                                }
+                                other => panic!("expected Update or SubDone, got {other:?}"),
+                            }
+                        }
+                    });
+                    let pushes = feed.len() as u64;
+                    for frame in &feed {
+                        last_push.store(origin.elapsed().as_nanos() as u64, Ordering::Release);
+                        writer
+                            .send(&progxe_server::ClientFrame::Push(frame.clone()))
+                            .expect("push");
+                    }
+                    let (latencies_ms, updates, results) = drain.join().expect("reader thread");
+                    (pushes, latencies_ms, updates, results)
+                })
+            })
+            .collect();
+        let mut pushes = 0u64;
+        let mut updates = 0u64;
+        let mut results = 0u64;
+        let mut latencies_ms: Vec<f64> = Vec::new();
+        for worker in workers {
+            let (p, l, u, r) = worker.join().expect("subscriber thread");
+            pushes += p;
+            updates += u;
+            results += r;
+            latencies_ms.extend(l);
+        }
+        let elapsed = started.elapsed();
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+        let metrics = handle.metrics();
+        assert_eq!(
+            metrics.queries_ok(),
+            subscribers as u64,
+            "every subscription ran to completion"
+        );
+        assert_eq!(
+            metrics.queries_cancelled(),
+            0,
+            "the load generator never cancels"
+        );
+        handle.shutdown();
+        assert!(
+            !latencies_ms.is_empty(),
+            "anti-correlated feeds emit updates"
+        );
+
+        let run = SubscriptionRun {
+            subscribers,
+            pushes,
+            updates,
+            results,
+            elapsed_ms: elapsed.as_secs_f64() * 1e3,
+            update_p50_ms: percentile(&latencies_ms, 0.50),
+            update_p99_ms: percentile(&latencies_ms, 0.99),
+        };
+        println!(
+            "{subscribers:>5} subscribers: {} pushes -> {} updates ({} results), \
+             push-to-update p50 {:.1}ms / p99 {:.1}ms ({:.0}ms wall)",
+            run.pushes,
+            run.updates,
+            run.results,
+            run.update_p50_ms,
+            run.update_p99_ms,
+            run.elapsed_ms
+        );
+        out.push(run);
+    }
+    out
+}
+
 /// Nearest-rank percentile of an ascending-sorted sample.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty());
@@ -1989,11 +2174,11 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[idx]
 }
 
-/// Renders + persists one set of [`ServingRun`]s (`serving.csv`,
-/// `BENCH_serving.json`). Split from [`serving`] so tests can assert on
-/// the measurements and then exercise the writer without re-running the
-/// sweep.
-fn write_serving_outputs(opt: &ExpOptions, runs: &[ServingRun]) {
+/// Renders + persists one set of [`ServingRun`]s and [`SubscriptionRun`]s
+/// (`serving.csv`, `serving_subscriptions.csv`, `BENCH_serving.json`).
+/// Split from [`serving`] so tests can assert on the measurements and
+/// then exercise the writer without re-running the sweeps.
+fn write_serving_outputs(opt: &ExpOptions, runs: &[ServingRun], sub_runs: &[SubscriptionRun]) {
     let mut table = Table::new(&["clients", "qps", "first p50", "first p99", "wall"]);
     let mut rows = Vec::new();
     let mut json_points = Vec::new();
@@ -2041,6 +2226,65 @@ fn write_serving_outputs(opt: &ExpOptions, runs: &[ServingRun]) {
     )
     .unwrap();
     println!("rows written to {}", path.display());
+
+    let mut sub_table = Table::new(&[
+        "subscribers",
+        "pushes",
+        "updates",
+        "update p50",
+        "update p99",
+        "wall",
+    ]);
+    let mut sub_rows = Vec::new();
+    let mut sub_json_points = Vec::new();
+    for run in sub_runs {
+        sub_table.row(vec![
+            format!("{}", run.subscribers),
+            format!("{}", run.pushes),
+            format!("{}", run.updates),
+            format!("{:.1}ms", run.update_p50_ms),
+            format!("{:.1}ms", run.update_p99_ms),
+            format!("{:.0}ms", run.elapsed_ms),
+        ]);
+        sub_rows.push(vec![
+            format!("{}", run.subscribers),
+            format!("{}", run.pushes),
+            format!("{}", run.updates),
+            format!("{}", run.results),
+            format!("{:.3}", run.elapsed_ms),
+            format!("{:.3}", run.update_p50_ms),
+            format!("{:.3}", run.update_p99_ms),
+        ]);
+        sub_json_points.push(json_object(&[
+            ("subscribers", format!("{}", run.subscribers)),
+            ("pushes", format!("{}", run.pushes)),
+            ("updates", format!("{}", run.updates)),
+            ("results", format!("{}", run.results)),
+            ("elapsed_ms", format!("{:.3}", run.elapsed_ms)),
+            ("push_to_update_p50_ms", format!("{:.3}", run.update_p50_ms)),
+            ("push_to_update_p99_ms", format!("{:.3}", run.update_p99_ms)),
+        ]));
+    }
+    if !sub_runs.is_empty() {
+        println!("{}", sub_table.render());
+        let path = write_csv(
+            &opt.out,
+            "serving_subscriptions",
+            &[
+                "subscribers",
+                "pushes",
+                "updates",
+                "results",
+                "elapsed_ms",
+                "update_p50_ms",
+                "update_p99_ms",
+            ],
+            &sub_rows,
+        )
+        .unwrap();
+        println!("rows written to {}", path.display());
+    }
+
     let json = json_object(&[
         (
             "workload",
@@ -2053,6 +2297,7 @@ fn write_serving_outputs(opt: &ExpOptions, runs: &[ServingRun]) {
         ),
         ("engine_threads", "2".into()),
         ("points", format!("[{}]", json_points.join(", "))),
+        ("subscriptions", format!("[{}]", sub_json_points.join(", "))),
     ]);
     let path = write_json(&opt.out, "BENCH_serving", &json).unwrap();
     println!("json written to {}", path.display());
@@ -2116,8 +2361,23 @@ mod tests {
             run.first_p99_ms,
             run.first_p50_ms
         );
-        write_serving_outputs(&opt, &runs);
+        // Tiny subscription point for the same reason (8 subscribers, 60
+        // rows/source); the CI smoke runs 100 via `figures serving --quick`.
+        let sub_runs = subscription_sweep(&opt, &[8], 60, 2, 20);
+        assert_eq!(sub_runs.len(), 1);
+        let sub = &sub_runs[0];
+        assert_eq!(sub.subscribers, 8);
+        assert!(sub.updates > 0, "feeds must unlock updates");
+        assert!(sub.results > 0, "anti-correlated feeds emit results");
+        assert!(
+            sub.update_p99_ms >= sub.update_p50_ms,
+            "p99 {} must dominate p50 {}",
+            sub.update_p99_ms,
+            sub.update_p50_ms
+        );
+        write_serving_outputs(&opt, &runs, &sub_runs);
         assert!(opt.out.join("serving.csv").exists());
+        assert!(opt.out.join("serving_subscriptions.csv").exists());
         let json = std::fs::read_to_string(opt.out.join("BENCH_serving.json")).unwrap();
         for key in [
             "\"clients\"",
@@ -2125,6 +2385,10 @@ mod tests {
             "\"first_result_p50_ms\"",
             "\"first_result_p99_ms\"",
             "\"points\"",
+            "\"subscriptions\"",
+            "\"subscribers\"",
+            "\"push_to_update_p50_ms\"",
+            "\"push_to_update_p99_ms\"",
         ] {
             assert!(
                 json.contains(key),

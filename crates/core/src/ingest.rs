@@ -216,6 +216,11 @@ pub enum IngestError {
     },
     /// Rows or watermarks were pushed to a source after `close(source)`.
     SourceClosed(SourceId),
+    /// Rows or watermarks were pushed after the session's cancellation
+    /// token fired. A long-lived (subscription-style) session whose
+    /// consumer is gone must not keep accumulating input — the producer
+    /// needs a typed signal to stop feeding it.
+    Cancelled,
 }
 
 impl std::fmt::Display for IngestError {
@@ -263,6 +268,9 @@ impl std::fmt::Display for IngestError {
             }
             IngestError::SourceClosed(source) => {
                 write!(f, "source {source} is closed")
+            }
+            IngestError::Cancelled => {
+                write!(f, "session is cancelled; it accepts no further input")
             }
         }
     }
@@ -921,6 +929,9 @@ impl IngestSession {
         source: SourceId,
         rows: &[(&[f64], u32)],
     ) -> std::result::Result<u32, IngestError> {
+        if self.token.is_cancelled() {
+            return Err(IngestError::Cancelled);
+        }
         let base = {
             let inner = self.inner.lock().expect("ingest state poisoned");
             match source {
@@ -947,6 +958,9 @@ impl IngestSession {
         source: SourceId,
         rows: &[(u32, &[f64], u32)],
     ) -> std::result::Result<(), IngestError> {
+        if self.token.is_cancelled() {
+            return Err(IngestError::Cancelled);
+        }
         self.inner
             .lock()
             .expect("ingest state poisoned")
@@ -962,6 +976,9 @@ impl IngestSession {
         source: SourceId,
         watermark: &[f64],
     ) -> std::result::Result<(), IngestError> {
+        if self.token.is_cancelled() {
+            return Err(IngestError::Cancelled);
+        }
         self.inner
             .lock()
             .expect("ingest state poisoned")
@@ -1315,6 +1332,38 @@ mod tests {
         let stats = session.finish();
         assert!(stats.cancelled);
         assert!(stats.regions_skipped > 0);
+    }
+
+    #[test]
+    fn cancelled_session_rejects_further_input_with_a_typed_error() {
+        // Long-lived (subscription-style) sessions stay open across many
+        // pushes; once their token fires — unsubscribe, disconnect — the
+        // producer must get a typed stop signal instead of feeding a
+        // session nobody will ever drain.
+        let maps = MapSet::pairwise_sum(2, Preference::all_lowest(2));
+        let mut session =
+            IngestSession::open(&ProgXeConfig::default(), &maps, spec(2), spec(2)).unwrap();
+        session.push(SourceId::R, &[(&[1.0, 1.0][..], 0)]).unwrap();
+        // Fire the token through a shared handle, the way a watchdog
+        // thread would.
+        session.cancel_token().cancel();
+        assert!(matches!(
+            session.push(SourceId::R, &[(&[2.0, 2.0][..], 0)]),
+            Err(IngestError::Cancelled)
+        ));
+        assert!(matches!(
+            session.push_with_ids(SourceId::T, &[(0, &[2.0, 2.0][..], 0)]),
+            Err(IngestError::Cancelled)
+        ));
+        assert!(matches!(
+            session.set_watermark(SourceId::R, &[5.0, 5.0]),
+            Err(IngestError::Cancelled)
+        ));
+        assert!(matches!(session.poll(), IngestPoll::Complete));
+        let stats = session.finish();
+        assert!(stats.cancelled, "open-source cancel must flag the stats");
+        // The rejected batches never entered the session.
+        assert_eq!(stats.tuples_ingested, 1);
     }
 
     #[test]

@@ -54,6 +54,15 @@ pub struct ResultEvent {
 }
 
 impl ResultEvent {
+    /// Whether this event carries no tuples — it exists only to advance
+    /// the progress estimate. Progress-only events matter to remote
+    /// consumers (the serving layer forwards them so a wire client's
+    /// observed progress cannot go stale), but a local collector can skip
+    /// them.
+    pub fn is_progress_only(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
     /// Normalizes the progress estimate against a session high-water mark:
     /// clamped to `[0, 1]`, monotone non-decreasing, with non-finite
     /// estimates degrading to the previous value. Shared by

@@ -23,7 +23,8 @@
 //!   as JSON or a human [`Report`].
 //! * [`log`] — a tiny leveled stderr logger gated by `PROGXE_LOG`, so the
 //!   engine's diagnostics share one filter instead of ad-hoc `eprintln!`.
-//! * [`env`] — the one sanctioned parser for `PROGXE_*` environment knobs:
+//! * [`env`](mod@env) — the one sanctioned parser for `PROGXE_*`
+//!   environment knobs:
 //!   unset/empty fall back silently, malformed values fall back with a
 //!   warning that echoes the offending value.
 //!

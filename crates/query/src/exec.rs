@@ -337,7 +337,27 @@ impl StreamingQuery {
         self.session.cancel_token()
     }
 
-    /// Consumes the query and returns its statistics.
+    /// Whether cancellation has been requested. Once true, [`push`] and
+    /// [`set_watermark`] return [`IngestError::Cancelled`]
+    /// and [`poll`] reports [`IngestPoll::Complete`] — a long-lived
+    /// subscription whose consumer is gone stops accepting input.
+    ///
+    /// [`push`]: Self::push
+    /// [`set_watermark`]: Self::set_watermark
+    /// [`poll`]: Self::poll
+    pub fn is_cancelled(&self) -> bool {
+        self.session.is_cancelled()
+    }
+
+    /// Total result tuples delivered so far.
+    pub fn emitted(&self) -> u64 {
+        self.session.emitted()
+    }
+
+    /// Consumes the query and returns its statistics. A session cancelled
+    /// while its sources were still open (unsubscribe, disconnect) reports
+    /// `ExecStats::cancelled`; a fully drained one does not, even when its
+    /// token fired afterwards.
     pub fn finish(self) -> ExecStats {
         self.session.finish()
     }

@@ -13,7 +13,16 @@
 //!   [`CancellationToken`](progxe_core::session::CancellationToken) that a
 //!   per-connection watchdog thread fires on an explicit `Cancel` frame
 //!   *or* on disconnect, so a vanished client stops consuming the shared
-//!   worker pool at the next region boundary.
+//!   worker pool at the next region boundary. Cancels are sequenced per
+//!   connection: an early Cancel is never lost and a late one never kills
+//!   the next pipelined query.
+//!
+//! Protocol v2 adds **continuous queries**: a client `Subscribe`s a
+//! `PREFERRING` query over streaming-registered tables, `Push`es rows and
+//! watermarks over the wire, and receives proven-final `Update` frames the
+//! moment regions resolve — the paper's progressive contract, standing
+//! instead of one-shot. See [`protocol`] for the frame table, version
+//! negotiation, and the subscription lifecycle.
 //!
 //! Modules:
 //!
@@ -36,6 +45,8 @@ pub mod protocol;
 pub mod server;
 pub mod synthetic;
 
-pub use client::{Client, RunOutcome};
-pub use protocol::{BatchFrame, ClientFrame, DoneFrame, ErrorCode, ServerFrame, WireTuple};
+pub use client::{Client, ClientReader, ClientWriter, RunOutcome};
+pub use protocol::{
+    BatchFrame, ClientFrame, DoneFrame, ErrorCode, PushFrame, PushRow, ServerFrame, WireTuple,
+};
 pub use server::{Server, ServerConfig, ServerHandle, ServerMetrics};

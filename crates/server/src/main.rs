@@ -32,7 +32,12 @@ fn main() {
          {} engine threads, {max_sessions} max sessions",
         config.threads.get()
     );
-    let runner = QueryRunner::new(progxe_server::synthetic::catalog(rows, dims, seed));
+    // The streaming catalog registers `R`/`T` twice: materialized rows for
+    // one-shot queries, streaming declarations for v2 subscriptions — so
+    // one process demos both the request/response and the standing shape.
+    let runner = QueryRunner::new(progxe_server::synthetic::streaming_catalog(
+        rows, dims, seed,
+    ));
     let engine = Engine::progxe_with(config);
     eprintln!(
         "example query: {}",

@@ -5,23 +5,77 @@
 //! are big-endian throughout. The protocol is deliberately minimal — text
 //! query in, framed progressive result batches out — because the hard part
 //! of serving progressive queries is lifecycle (cancellation, admission,
-//! no-buffering streaming), not serialization:
+//! no-buffering streaming), not serialization.
 //!
-//! * client → server: [`ClientFrame::Query`] (UTF-8 `PREFERRING` SQL) and
-//!   [`ClientFrame::Cancel`] (stop the in-flight query).
-//! * server → client: [`ServerFrame::Hello`] once per connection, then per
-//!   query either [`ServerFrame::Error`] or [`ServerFrame::Accepted`]
-//!   followed by zero or more [`ServerFrame::Batch`] (each proven final the
-//!   moment it is sent — the server never buffers the full result) and one
-//!   [`ServerFrame::Done`].
+//! # Frame table
 //!
-//! Batches are self-describing (they carry their value arity), so a client
-//! can decode a stream without tracking the `Accepted` header.
+//! | Tag    | Frame                        | Since | Direction |
+//! |--------|------------------------------|-------|-----------|
+//! | `0x01` | [`ClientFrame::Query`]       | v1    | c → s     |
+//! | `0x02` | [`ClientFrame::Cancel`]      | v1¹   | c → s     |
+//! | `0x03` | [`ClientFrame::Hello`]       | v2    | c → s     |
+//! | `0x04` | [`ClientFrame::Subscribe`]   | v2    | c → s     |
+//! | `0x05` | [`ClientFrame::Unsubscribe`] | v2    | c → s     |
+//! | `0x06` | [`ClientFrame::Push`]        | v2    | c → s     |
+//! | `0x81` | [`ServerFrame::Hello`]       | v1    | s → c     |
+//! | `0x82` | [`ServerFrame::Accepted`]    | v1    | s → c     |
+//! | `0x83` | [`ServerFrame::Batch`]       | v1    | s → c     |
+//! | `0x84` | [`ServerFrame::Done`]        | v1    | s → c     |
+//! | `0x85` | [`ServerFrame::Error`]       | v1    | s → c     |
+//! | `0x86` | [`ServerFrame::SubAccepted`] | v2    | s → c     |
+//! | `0x87` | [`ServerFrame::Update`]      | v2    | s → c     |
+//! | `0x88` | [`ServerFrame::SubDone`]     | v2    | s → c     |
+//! | `0x89` | [`ServerFrame::SubError`]    | v2    | s → c     |
+//!
+//! ¹ `Cancel` exists since v1 (empty payload: cancel the most recent
+//! query); v2 adds an optional 8-byte query sequence number to target a
+//! specific pipelined query.
+//!
+//! # Version negotiation
+//!
+//! The server's first frame is [`ServerFrame::Hello`] announcing
+//! [`PROTOCOL_VERSION`]. A v1 client just starts sending `Query` frames; a
+//! v2 client first *echoes* a [`ClientFrame::Hello`] carrying the version
+//! it speaks. The server never sends a v2 tag until it has seen a Hello
+//! echo with `version >= 2`, so a v1 client is never faced with an unknown
+//! tag (which is, by design, a typed decode error). v2 client frames sent
+//! before the echo are answered with a v1-safe [`ServerFrame::Error`]
+//! (`BadQuery`) and otherwise ignored.
+//!
+//! # Subscription lifecycle
+//!
+//! A subscription is a *standing* streaming query (see
+//! `progxe_query::exec::StreamingQuery`): the client supplies the rows,
+//! the server pushes proven-final updates the moment regions resolve.
+//!
+//! ```text
+//! client                                server
+//!   │  Subscribe { sub_id, sql }          │
+//!   │ ────────────────────────────────▶   │  plan + open ingest session
+//!   │   ◀──────────────────────────────── │  SubAccepted { sub_id, columns }
+//!   │  Push { sub_id, rows, watermark? }  │     (or SubError { sub_id, .. })
+//!   │ ────────────────────────────────▶   │
+//!   │   ◀──────────────────────────────── │  Update { sub_id, batch }  (0..n)
+//!   │  Push { sub_id, rows, close }       │
+//!   │ ────────────────────────────────▶   │
+//!   │   ◀──────────────────────────────── │  Update { sub_id, batch }  (0..n)
+//!   │   ◀──────────────────────────────── │  SubDone { sub_id, stats }
+//! ```
+//!
+//! The terminal `SubDone` arrives when both sources are closed and every
+//! region resolved, when the client sends
+//! [`ClientFrame::Unsubscribe`] (`cancelled: true`), or when the query is
+//! torn down with the connection. `sub_id` is chosen by the client and
+//! scoped to the connection; reusing a live id is an error, reusing a
+//! finished one is fine. One-shot queries and subscriptions multiplex
+//! freely on one connection — every server frame names its stream.
 
+use progxe_core::ingest::SourceId;
 use std::io::{self, Read, Write};
 
-/// Protocol version announced in [`ServerFrame::Hello`].
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version announced in [`ServerFrame::Hello`] and echoed by v2
+/// clients in [`ClientFrame::Hello`].
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload; anything larger is a protocol error.
 /// Generous (a batch of ~1M five-value tuples fits), but bounds what a
@@ -30,20 +84,34 @@ pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
 
 const TAG_QUERY: u8 = 0x01;
 const TAG_CANCEL: u8 = 0x02;
+const TAG_CLIENT_HELLO: u8 = 0x03;
+const TAG_SUBSCRIBE: u8 = 0x04;
+const TAG_UNSUBSCRIBE: u8 = 0x05;
+const TAG_PUSH: u8 = 0x06;
 const TAG_HELLO: u8 = 0x81;
 const TAG_ACCEPTED: u8 = 0x82;
 const TAG_BATCH: u8 = 0x83;
 const TAG_DONE: u8 = 0x84;
 const TAG_ERROR: u8 = 0x85;
+const TAG_SUB_ACCEPTED: u8 = 0x86;
+const TAG_UPDATE: u8 = 0x87;
+const TAG_SUB_DONE: u8 = 0x88;
+const TAG_SUB_ERROR: u8 = 0x89;
 
-/// Typed error codes carried by [`ServerFrame::Error`].
+const PUSH_FLAG_WATERMARK: u8 = 0b0000_0001;
+const PUSH_FLAG_CLOSE: u8 = 0b0000_0010;
+
+/// Typed error codes carried by [`ServerFrame::Error`] and
+/// [`ServerFrame::SubError`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum ErrorCode {
     /// Admission control shed this connection: the server is at its
     /// concurrent-session cap. Retry later; the server never queues.
     Overloaded = 1,
-    /// The query failed to parse or plan. The connection stays usable.
+    /// The query failed to parse or plan, or a subscription frame was
+    /// invalid (unknown `sub_id`, duplicate `sub_id`, rejected rows,
+    /// v2 frame before the Hello echo). The connection stays usable.
     BadQuery = 2,
     /// The engine failed during execution.
     Internal = 3,
@@ -79,7 +147,8 @@ pub struct BatchFrame {
     pub progress: f64,
     /// Whether every tuple is guaranteed final (true for ProgXe).
     pub proven_final: bool,
-    /// The batch's tuples, in emission order.
+    /// The batch's tuples, in emission order. May be empty: an empty batch
+    /// carries a progress advance.
     pub tuples: Vec<WireTuple>,
 }
 
@@ -94,14 +163,71 @@ pub struct DoneFrame {
     pub elapsed_us: u64,
 }
 
+/// One row pushed into a subscription: pre-filter attribute values plus
+/// the join key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushRow {
+    /// Attribute values, matching the streaming table's declared arity.
+    pub attrs: Vec<f64>,
+    /// Join key.
+    pub key: u32,
+}
+
+/// A [`ClientFrame::Push`]: rows (and/or a watermark, and/or a close) for
+/// one source of one subscription.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushFrame {
+    /// The subscription addressed.
+    pub sub_id: u64,
+    /// Which streamed source the rows belong to.
+    pub source: SourceId,
+    /// Rows to ingest, in arrival order (row ids are assigned
+    /// server-side as arrival positions). May be empty.
+    pub rows: Vec<PushRow>,
+    /// Optional watermark declared *after* the rows: every future row of
+    /// `source` is ≥ it per dimension.
+    pub watermark: Option<Vec<f64>>,
+    /// Whether `source` is complete after this frame.
+    pub close: bool,
+}
+
 /// Frames a client sends.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientFrame {
     /// Run a `PREFERRING` query (UTF-8 SQL text).
     Query(String),
-    /// Cancel the in-flight query; the server answers with `Done`
-    /// (`cancelled: true`). No-op when nothing is running.
-    Cancel,
+    /// Cancel a query. `seq: None` (the v1 empty payload) targets the most
+    /// recently sent query; `Some(n)` targets the connection's `n`-th
+    /// query (0-based, in send order). Stale or unmatched targets are
+    /// no-ops — a Cancel can never kill a *different* query.
+    Cancel {
+        /// Connection-scoped query sequence number to cancel.
+        seq: Option<u64>,
+    },
+    /// Capability echo: the client speaks `version`. Must precede any
+    /// other v2 frame; a server never sends v2 tags without it.
+    Hello {
+        /// The client's protocol version.
+        version: u32,
+    },
+    /// Open a standing streaming query under a client-chosen, connection-
+    /// scoped id.
+    Subscribe {
+        /// Client-chosen subscription id.
+        sub_id: u64,
+        /// The `PREFERRING` query over streaming-registered tables.
+        sql: String,
+    },
+    /// Tear a subscription down; the server answers with
+    /// [`ServerFrame::SubDone`] (`cancelled: true` unless it had already
+    /// completed). Unknown ids are ignored (the subscription may have
+    /// just completed on its own).
+    Unsubscribe {
+        /// The subscription to end.
+        sub_id: u64,
+    },
+    /// Feed rows / a watermark / a close into a subscription's source.
+    Push(PushFrame),
 }
 
 /// Frames a server sends.
@@ -123,6 +249,39 @@ pub enum ServerFrame {
     Done(DoneFrame),
     /// Something went wrong; `code` says whether to retry.
     Error {
+        /// Typed error category.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The subscription planned and its ingest session is open; `Update`s
+    /// follow as pushes resolve regions.
+    SubAccepted {
+        /// The id from the `Subscribe` frame.
+        sub_id: u64,
+        /// Output column names, aligned with [`WireTuple::values`].
+        columns: Vec<String>,
+    },
+    /// One proven-final batch of a subscription.
+    Update {
+        /// The subscription that produced the batch.
+        sub_id: u64,
+        /// The batch (tuple row ids are arrival positions per source).
+        batch: BatchFrame,
+    },
+    /// Terminal frame of a subscription (completed, unsubscribed, or torn
+    /// down with the connection).
+    SubDone {
+        /// The subscription that ended.
+        sub_id: u64,
+        /// Summary statistics.
+        done: DoneFrame,
+    },
+    /// A subscription-scoped error; other streams on the connection are
+    /// unaffected.
+    SubError {
+        /// The subscription addressed (echoed from the client frame).
+        sub_id: u64,
         /// Typed error category.
         code: ErrorCode,
         /// Human-readable detail.
@@ -155,6 +314,10 @@ struct Payload<'a> {
 impl<'a> Payload<'a> {
     fn new(buf: &'a [u8]) -> Self {
         Self { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
@@ -232,11 +395,137 @@ fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>)> {
     Ok((header[0], payload))
 }
 
+fn source_to_u8(source: SourceId) -> u8 {
+    match source {
+        SourceId::R => 0,
+        SourceId::T => 1,
+    }
+}
+
+fn source_from_u8(v: u8) -> io::Result<SourceId> {
+    match v {
+        0 => Ok(SourceId::R),
+        1 => Ok(SourceId::T),
+        _ => Err(bad_frame("unknown push source")),
+    }
+}
+
+fn encode_batch(buf: &mut Vec<u8>, batch: &BatchFrame) -> io::Result<()> {
+    let dims = batch.tuples.first().map_or(0, |t| t.values.len());
+    if dims > u16::MAX as usize {
+        return Err(bad_frame("too many values per tuple"));
+    }
+    put_f64(buf, batch.progress);
+    buf.push(u8::from(batch.proven_final));
+    put_u16(buf, dims as u16);
+    put_u32(buf, batch.tuples.len() as u32);
+    for t in &batch.tuples {
+        if t.values.len() != dims {
+            return Err(bad_frame("ragged tuple arity in batch"));
+        }
+        put_u32(buf, t.r_idx);
+        put_u32(buf, t.t_idx);
+        for &v in &t.values {
+            put_f64(buf, v);
+        }
+    }
+    Ok(())
+}
+
+fn decode_batch(p: &mut Payload<'_>) -> io::Result<BatchFrame> {
+    let progress = p.f64()?;
+    let proven_final = p.u8()? != 0;
+    let dims = p.u16()? as usize;
+    let n = p.u32()? as usize;
+    // Cheap sanity bound before allocating: every tuple needs at least its
+    // two row ids plus `dims` values in the remaining payload.
+    let per_tuple = 8 + 8 * dims;
+    if n.saturating_mul(per_tuple) > p.remaining() {
+        return Err(bad_frame("batch tuple count exceeds payload"));
+    }
+    let mut tuples = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r_idx = p.u32()?;
+        let t_idx = p.u32()?;
+        let mut values = Vec::with_capacity(dims);
+        for _ in 0..dims {
+            values.push(p.f64()?);
+        }
+        tuples.push(WireTuple {
+            r_idx,
+            t_idx,
+            values,
+        });
+    }
+    Ok(BatchFrame {
+        progress,
+        proven_final,
+        tuples,
+    })
+}
+
 /// Serializes one client frame.
 pub fn write_client_frame(w: &mut impl Write, frame: &ClientFrame) -> io::Result<()> {
+    let mut buf = Vec::new();
     match frame {
         ClientFrame::Query(sql) => write_frame(w, TAG_QUERY, sql.as_bytes()),
-        ClientFrame::Cancel => write_frame(w, TAG_CANCEL, &[]),
+        ClientFrame::Cancel { seq } => {
+            if let Some(seq) = seq {
+                put_u64(&mut buf, *seq);
+            }
+            write_frame(w, TAG_CANCEL, &buf)
+        }
+        ClientFrame::Hello { version } => {
+            put_u32(&mut buf, *version);
+            write_frame(w, TAG_CLIENT_HELLO, &buf)
+        }
+        ClientFrame::Subscribe { sub_id, sql } => {
+            put_u64(&mut buf, *sub_id);
+            buf.extend_from_slice(sql.as_bytes());
+            write_frame(w, TAG_SUBSCRIBE, &buf)
+        }
+        ClientFrame::Unsubscribe { sub_id } => {
+            put_u64(&mut buf, *sub_id);
+            write_frame(w, TAG_UNSUBSCRIBE, &buf)
+        }
+        ClientFrame::Push(push) => {
+            let dims = push
+                .watermark
+                .as_ref()
+                .map(Vec::len)
+                .or_else(|| push.rows.first().map(|r| r.attrs.len()))
+                .unwrap_or(0);
+            if dims > u16::MAX as usize {
+                return Err(bad_frame("too many attributes per row"));
+            }
+            put_u64(&mut buf, push.sub_id);
+            buf.push(source_to_u8(push.source));
+            let mut flags = 0u8;
+            if push.watermark.is_some() {
+                flags |= PUSH_FLAG_WATERMARK;
+            }
+            if push.close {
+                flags |= PUSH_FLAG_CLOSE;
+            }
+            buf.push(flags);
+            put_u16(&mut buf, dims as u16);
+            if let Some(wm) = &push.watermark {
+                for &v in wm {
+                    put_f64(&mut buf, v);
+                }
+            }
+            put_u32(&mut buf, push.rows.len() as u32);
+            for row in &push.rows {
+                if row.attrs.len() != dims {
+                    return Err(bad_frame("ragged row arity in push"));
+                }
+                for &v in &row.attrs {
+                    put_f64(&mut buf, v);
+                }
+                put_u32(&mut buf, row.key);
+            }
+            write_frame(w, TAG_PUSH, &buf)
+        }
     }
 }
 
@@ -244,16 +533,79 @@ pub fn write_client_frame(w: &mut impl Write, frame: &ClientFrame) -> io::Result
 /// peer hung up; any other error is a protocol violation.
 pub fn read_client_frame(r: &mut impl Read) -> io::Result<ClientFrame> {
     let (tag, payload) = read_frame(r)?;
+    let mut p = Payload::new(&payload);
     match tag {
         TAG_QUERY => {
-            let mut p = Payload::new(&payload);
             let sql = p.string(payload.len())?;
             p.finish()?;
             Ok(ClientFrame::Query(sql))
         }
         TAG_CANCEL => {
-            Payload::new(&payload).finish()?;
-            Ok(ClientFrame::Cancel)
+            let seq = if payload.is_empty() {
+                None
+            } else {
+                Some(p.u64()?)
+            };
+            p.finish()?;
+            Ok(ClientFrame::Cancel { seq })
+        }
+        TAG_CLIENT_HELLO => {
+            let version = p.u32()?;
+            p.finish()?;
+            Ok(ClientFrame::Hello { version })
+        }
+        TAG_SUBSCRIBE => {
+            let sub_id = p.u64()?;
+            let sql = p.string(payload.len() - 8)?;
+            p.finish()?;
+            Ok(ClientFrame::Subscribe { sub_id, sql })
+        }
+        TAG_UNSUBSCRIBE => {
+            let sub_id = p.u64()?;
+            p.finish()?;
+            Ok(ClientFrame::Unsubscribe { sub_id })
+        }
+        TAG_PUSH => {
+            let sub_id = p.u64()?;
+            let source = source_from_u8(p.u8()?)?;
+            let flags = p.u8()?;
+            if flags & !(PUSH_FLAG_WATERMARK | PUSH_FLAG_CLOSE) != 0 {
+                return Err(bad_frame("unknown push flags"));
+            }
+            let dims = p.u16()? as usize;
+            let watermark = if flags & PUSH_FLAG_WATERMARK != 0 {
+                let mut wm = Vec::with_capacity(dims);
+                for _ in 0..dims {
+                    wm.push(p.f64()?);
+                }
+                Some(wm)
+            } else {
+                None
+            };
+            let n = p.u32()? as usize;
+            // Same pre-allocation sanity bound as batches: each row needs
+            // `dims` values plus its key in the remaining payload.
+            let per_row = 8 * dims + 4;
+            if n.saturating_mul(per_row) > p.remaining() {
+                return Err(bad_frame("push row count exceeds payload"));
+            }
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut attrs = Vec::with_capacity(dims);
+                for _ in 0..dims {
+                    attrs.push(p.f64()?);
+                }
+                let key = p.u32()?;
+                rows.push(PushRow { attrs, key });
+            }
+            p.finish()?;
+            Ok(ClientFrame::Push(PushFrame {
+                sub_id,
+                source,
+                rows,
+                watermark,
+                close: flags & PUSH_FLAG_CLOSE != 0,
+            }))
         }
         _ => Err(bad_frame("unknown client frame tag")),
     }
@@ -268,44 +620,15 @@ pub fn write_server_frame(w: &mut impl Write, frame: &ServerFrame) -> io::Result
             write_frame(w, TAG_HELLO, &buf)
         }
         ServerFrame::Accepted { columns } => {
-            if columns.len() > u16::MAX as usize {
-                return Err(bad_frame("too many columns"));
-            }
-            put_u16(&mut buf, columns.len() as u16);
-            for c in columns {
-                if c.len() > u16::MAX as usize {
-                    return Err(bad_frame("column name too long"));
-                }
-                put_u16(&mut buf, c.len() as u16);
-                buf.extend_from_slice(c.as_bytes());
-            }
+            encode_columns(&mut buf, columns)?;
             write_frame(w, TAG_ACCEPTED, &buf)
         }
         ServerFrame::Batch(batch) => {
-            let dims = batch.tuples.first().map_or(0, |t| t.values.len());
-            if dims > u16::MAX as usize {
-                return Err(bad_frame("too many values per tuple"));
-            }
-            put_f64(&mut buf, batch.progress);
-            buf.push(u8::from(batch.proven_final));
-            put_u16(&mut buf, dims as u16);
-            put_u32(&mut buf, batch.tuples.len() as u32);
-            for t in &batch.tuples {
-                if t.values.len() != dims {
-                    return Err(bad_frame("ragged tuple arity in batch"));
-                }
-                put_u32(&mut buf, t.r_idx);
-                put_u32(&mut buf, t.t_idx);
-                for &v in &t.values {
-                    put_f64(&mut buf, v);
-                }
-            }
+            encode_batch(&mut buf, batch)?;
             write_frame(w, TAG_BATCH, &buf)
         }
         ServerFrame::Done(done) => {
-            buf.push(u8::from(done.cancelled));
-            put_u64(&mut buf, done.results);
-            put_u64(&mut buf, done.elapsed_us);
+            encode_done(&mut buf, done);
             write_frame(w, TAG_DONE, &buf)
         }
         ServerFrame::Error { code, message } => {
@@ -313,7 +636,74 @@ pub fn write_server_frame(w: &mut impl Write, frame: &ServerFrame) -> io::Result
             buf.extend_from_slice(message.as_bytes());
             write_frame(w, TAG_ERROR, &buf)
         }
+        ServerFrame::SubAccepted { sub_id, columns } => {
+            put_u64(&mut buf, *sub_id);
+            encode_columns(&mut buf, columns)?;
+            write_frame(w, TAG_SUB_ACCEPTED, &buf)
+        }
+        ServerFrame::Update { sub_id, batch } => {
+            put_u64(&mut buf, *sub_id);
+            encode_batch(&mut buf, batch)?;
+            write_frame(w, TAG_UPDATE, &buf)
+        }
+        ServerFrame::SubDone { sub_id, done } => {
+            put_u64(&mut buf, *sub_id);
+            encode_done(&mut buf, done);
+            write_frame(w, TAG_SUB_DONE, &buf)
+        }
+        ServerFrame::SubError {
+            sub_id,
+            code,
+            message,
+        } => {
+            put_u64(&mut buf, *sub_id);
+            buf.push(*code as u8);
+            buf.extend_from_slice(message.as_bytes());
+            write_frame(w, TAG_SUB_ERROR, &buf)
+        }
     }
+}
+
+fn encode_columns(buf: &mut Vec<u8>, columns: &[String]) -> io::Result<()> {
+    if columns.len() > u16::MAX as usize {
+        return Err(bad_frame("too many columns"));
+    }
+    put_u16(buf, columns.len() as u16);
+    for c in columns {
+        if c.len() > u16::MAX as usize {
+            return Err(bad_frame("column name too long"));
+        }
+        put_u16(buf, c.len() as u16);
+        buf.extend_from_slice(c.as_bytes());
+    }
+    Ok(())
+}
+
+fn decode_columns(p: &mut Payload<'_>) -> io::Result<Vec<String>> {
+    let n = p.u16()? as usize;
+    let mut columns = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let len = p.u16()? as usize;
+        columns.push(p.string(len)?);
+    }
+    Ok(columns)
+}
+
+fn encode_done(buf: &mut Vec<u8>, done: &DoneFrame) {
+    buf.push(u8::from(done.cancelled));
+    put_u64(buf, done.results);
+    put_u64(buf, done.elapsed_us);
+}
+
+fn decode_done(p: &mut Payload<'_>) -> io::Result<DoneFrame> {
+    let cancelled = p.u8()? != 0;
+    let results = p.u64()?;
+    let elapsed_us = p.u64()?;
+    Ok(DoneFrame {
+        cancelled,
+        results,
+        elapsed_us,
+    })
 }
 
 /// Reads one server frame. `UnexpectedEof` at a frame boundary means the
@@ -328,57 +718,19 @@ pub fn read_server_frame(r: &mut impl Read) -> io::Result<ServerFrame> {
             Ok(ServerFrame::Hello { version })
         }
         TAG_ACCEPTED => {
-            let n = p.u16()? as usize;
-            let mut columns = Vec::with_capacity(n.min(1024));
-            for _ in 0..n {
-                let len = p.u16()? as usize;
-                columns.push(p.string(len)?);
-            }
+            let columns = decode_columns(&mut p)?;
             p.finish()?;
             Ok(ServerFrame::Accepted { columns })
         }
         TAG_BATCH => {
-            let progress = p.f64()?;
-            let proven_final = p.u8()? != 0;
-            let dims = p.u16()? as usize;
-            let n = p.u32()? as usize;
-            // Cheap sanity bound before allocating: every tuple needs at
-            // least its two row ids plus `dims` values in the payload.
-            let per_tuple = 8 + 8 * dims;
-            if n.saturating_mul(per_tuple) > payload.len() {
-                return Err(bad_frame("batch tuple count exceeds payload"));
-            }
-            let mut tuples = Vec::with_capacity(n);
-            for _ in 0..n {
-                let r_idx = p.u32()?;
-                let t_idx = p.u32()?;
-                let mut values = Vec::with_capacity(dims);
-                for _ in 0..dims {
-                    values.push(p.f64()?);
-                }
-                tuples.push(WireTuple {
-                    r_idx,
-                    t_idx,
-                    values,
-                });
-            }
+            let batch = decode_batch(&mut p)?;
             p.finish()?;
-            Ok(ServerFrame::Batch(BatchFrame {
-                progress,
-                proven_final,
-                tuples,
-            }))
+            Ok(ServerFrame::Batch(batch))
         }
         TAG_DONE => {
-            let cancelled = p.u8()? != 0;
-            let results = p.u64()?;
-            let elapsed_us = p.u64()?;
+            let done = decode_done(&mut p)?;
             p.finish()?;
-            Ok(ServerFrame::Done(DoneFrame {
-                cancelled,
-                results,
-                elapsed_us,
-            }))
+            Ok(ServerFrame::Done(done))
         }
         TAG_ERROR => {
             let code =
@@ -386,6 +738,36 @@ pub fn read_server_frame(r: &mut impl Read) -> io::Result<ServerFrame> {
             let message = p.string(payload.len() - 1)?;
             p.finish()?;
             Ok(ServerFrame::Error { code, message })
+        }
+        TAG_SUB_ACCEPTED => {
+            let sub_id = p.u64()?;
+            let columns = decode_columns(&mut p)?;
+            p.finish()?;
+            Ok(ServerFrame::SubAccepted { sub_id, columns })
+        }
+        TAG_UPDATE => {
+            let sub_id = p.u64()?;
+            let batch = decode_batch(&mut p)?;
+            p.finish()?;
+            Ok(ServerFrame::Update { sub_id, batch })
+        }
+        TAG_SUB_DONE => {
+            let sub_id = p.u64()?;
+            let done = decode_done(&mut p)?;
+            p.finish()?;
+            Ok(ServerFrame::SubDone { sub_id, done })
+        }
+        TAG_SUB_ERROR => {
+            let sub_id = p.u64()?;
+            let code =
+                ErrorCode::from_u8(p.u8()?).ok_or_else(|| bad_frame("unknown error code"))?;
+            let message = p.string(payload.len() - 9)?;
+            p.finish()?;
+            Ok(ServerFrame::SubError {
+                sub_id,
+                code,
+                message,
+            })
         }
         _ => Err(bad_frame("unknown server frame tag")),
     }
@@ -410,13 +792,86 @@ mod tests {
 
     #[test]
     fn client_frames_roundtrip() {
-        let q = ClientFrame::Query("SELECT R.id FROM a R, b T PREFERRING LOWEST(x)".into());
-        assert_eq!(client_roundtrip(q.clone()), q);
-        assert_eq!(client_roundtrip(ClientFrame::Cancel), ClientFrame::Cancel);
+        for frame in [
+            ClientFrame::Query("SELECT R.id FROM a R, b T PREFERRING LOWEST(x)".into()),
+            ClientFrame::Cancel { seq: None },
+            ClientFrame::Cancel { seq: Some(7) },
+            ClientFrame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            ClientFrame::Subscribe {
+                sub_id: 17,
+                sql: "SELECT … PREFERRING LOWEST(c0)".into(),
+            },
+            ClientFrame::Unsubscribe { sub_id: u64::MAX },
+            ClientFrame::Push(PushFrame {
+                sub_id: 3,
+                source: SourceId::R,
+                rows: vec![
+                    PushRow {
+                        attrs: vec![1.0, 2.5],
+                        key: 9,
+                    },
+                    PushRow {
+                        attrs: vec![f64::MIN_POSITIVE, 99.0],
+                        key: u32::MAX,
+                    },
+                ],
+                watermark: Some(vec![1.0, 2.0]),
+                close: false,
+            }),
+            // Watermark-only and close-only pushes are legal.
+            ClientFrame::Push(PushFrame {
+                sub_id: 3,
+                source: SourceId::T,
+                rows: vec![],
+                watermark: Some(vec![5.0]),
+                close: false,
+            }),
+            ClientFrame::Push(PushFrame {
+                sub_id: 4,
+                source: SourceId::T,
+                rows: vec![],
+                watermark: None,
+                close: true,
+            }),
+        ] {
+            assert_eq!(client_roundtrip(frame.clone()), frame);
+        }
+    }
+
+    #[test]
+    fn v1_cancel_wire_image_is_the_empty_payload() {
+        // The v1 encoding (tag + zero-length payload) must keep decoding
+        // as a seq-less Cancel, and a seq-less Cancel must keep encoding
+        // as v1 bytes — v1 peers depend on both directions.
+        let mut buf = Vec::new();
+        write_client_frame(&mut buf, &ClientFrame::Cancel { seq: None }).unwrap();
+        assert_eq!(buf, vec![0x02, 0, 0, 0, 0]);
+        assert_eq!(
+            read_client_frame(&mut Cursor::new(buf)).unwrap(),
+            ClientFrame::Cancel { seq: None }
+        );
     }
 
     #[test]
     fn server_frames_roundtrip() {
+        let batch = BatchFrame {
+            progress: 0.25,
+            proven_final: true,
+            tuples: vec![
+                WireTuple {
+                    r_idx: 3,
+                    t_idx: 9,
+                    values: vec![1.5, -2.0],
+                },
+                WireTuple {
+                    r_idx: 0,
+                    t_idx: u32::MAX,
+                    values: vec![f64::MAX, f64::MIN_POSITIVE],
+                },
+            ],
+        };
         for frame in [
             ServerFrame::Hello {
                 version: PROTOCOL_VERSION,
@@ -424,22 +879,7 @@ mod tests {
             ServerFrame::Accepted {
                 columns: vec!["tCost".into(), "delay".into()],
             },
-            ServerFrame::Batch(BatchFrame {
-                progress: 0.25,
-                proven_final: true,
-                tuples: vec![
-                    WireTuple {
-                        r_idx: 3,
-                        t_idx: 9,
-                        values: vec![1.5, -2.0],
-                    },
-                    WireTuple {
-                        r_idx: 0,
-                        t_idx: u32::MAX,
-                        values: vec![f64::MAX, f64::MIN_POSITIVE],
-                    },
-                ],
-            }),
+            ServerFrame::Batch(batch.clone()),
             ServerFrame::Batch(BatchFrame {
                 progress: 1.0,
                 proven_final: false,
@@ -453,6 +893,24 @@ mod tests {
             ServerFrame::Error {
                 code: ErrorCode::Overloaded,
                 message: "session cap reached".into(),
+            },
+            ServerFrame::SubAccepted {
+                sub_id: 11,
+                columns: vec!["c0".into()],
+            },
+            ServerFrame::Update { sub_id: 11, batch },
+            ServerFrame::SubDone {
+                sub_id: 11,
+                done: DoneFrame {
+                    cancelled: false,
+                    results: 7,
+                    elapsed_us: 99,
+                },
+            },
+            ServerFrame::SubError {
+                sub_id: 12,
+                code: ErrorCode::BadQuery,
+                message: "unknown sub_id".into(),
             },
         ] {
             assert_eq!(server_roundtrip(frame.clone()), frame);
@@ -512,6 +970,50 @@ mod tests {
         huge.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
         let err = read_client_frame(&mut Cursor::new(huge)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A push frame whose row count outruns its payload is rejected by
+        // the pre-allocation bound.
+        let mut buf = Vec::new();
+        write_client_frame(
+            &mut buf,
+            &ClientFrame::Push(PushFrame {
+                sub_id: 1,
+                source: SourceId::R,
+                rows: vec![PushRow {
+                    attrs: vec![1.0],
+                    key: 0,
+                }],
+                watermark: None,
+                close: false,
+            }),
+        )
+        .unwrap();
+        // Row count sits after sub_id(8) + source(1) + flags(1) + dims(2);
+        // payload starts at byte 5.
+        let count_at = 5 + 8 + 1 + 1 + 2;
+        buf[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        let err = read_client_frame(&mut Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn unknown_tags_are_typed_errors() {
+        for tag in [0x00u8, 0x07, 0x80, 0x8a, 0xff] {
+            let mut buf = vec![tag];
+            buf.extend_from_slice(&0u32.to_be_bytes());
+            assert_eq!(
+                read_client_frame(&mut Cursor::new(buf.clone()))
+                    .unwrap_err()
+                    .kind(),
+                io::ErrorKind::InvalidData,
+                "client tag {tag:#x}"
+            );
+            assert_eq!(
+                read_server_frame(&mut Cursor::new(buf)).unwrap_err().kind(),
+                io::ErrorKind::InvalidData,
+                "server tag {tag:#x}"
+            );
+        }
     }
 
     #[test]
@@ -534,5 +1036,19 @@ mod tests {
         });
         let mut buf = Vec::new();
         assert!(write_server_frame(&mut buf, &frame).is_err());
+
+        // Same for a push whose rows disagree with the watermark arity.
+        let frame = ClientFrame::Push(PushFrame {
+            sub_id: 0,
+            source: SourceId::R,
+            rows: vec![PushRow {
+                attrs: vec![1.0],
+                key: 0,
+            }],
+            watermark: Some(vec![1.0, 2.0]),
+            close: false,
+        });
+        let mut buf = Vec::new();
+        assert!(write_client_frame(&mut buf, &frame).is_err());
     }
 }

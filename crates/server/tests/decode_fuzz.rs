@@ -1,0 +1,261 @@
+//! Seeded-random fuzzing of the wire-protocol decoders.
+//!
+//! The serving layer's security boundary is `read_client_frame` /
+//! `read_server_frame`: whatever bytes a peer sends, the decoders must
+//! return a typed `io::Error` — never panic, never attempt an unbounded
+//! allocation. Three adversarial byte sources, all driven by the
+//! workspace's deterministic `StdRng` so every failure reproduces:
+//!
+//! 1. arbitrary byte strings (decoders see pure noise),
+//! 2. truncations of every valid frame at every prefix length,
+//! 3. single-byte mutations of valid frames.
+
+use progxe_core::ingest::SourceId;
+use progxe_datagen::{Rng, StdRng};
+use progxe_server::protocol::{
+    read_client_frame, read_server_frame, write_client_frame, write_server_frame, BatchFrame,
+    ClientFrame, DoneFrame, ErrorCode, PushFrame, PushRow, ServerFrame, WireTuple, MAX_FRAME_LEN,
+};
+use std::io::{Cursor, ErrorKind};
+
+/// One representative of every client frame variant (plus the edge
+/// encodings the protocol allows: empty-payload cancel, watermark-only
+/// and close-only pushes).
+fn client_corpus() -> Vec<ClientFrame> {
+    vec![
+        ClientFrame::Query(
+            "SELECT R.id FROM R R, T T WHERE R.k = T.k PREFERRING LOWEST(c0)".into(),
+        ),
+        ClientFrame::Cancel { seq: None },
+        ClientFrame::Cancel { seq: Some(7) },
+        ClientFrame::Hello { version: 2 },
+        ClientFrame::Subscribe {
+            sub_id: 42,
+            sql: "SELECT R.id, T.id, (R.a0 + T.a0) AS c0 FROM R R, T T \
+                  WHERE R.k = T.k PREFERRING LOWEST(c0)"
+                .into(),
+        },
+        ClientFrame::Unsubscribe { sub_id: 42 },
+        ClientFrame::Push(PushFrame {
+            sub_id: 1,
+            source: SourceId::R,
+            rows: vec![
+                PushRow {
+                    attrs: vec![1.0, 2.0],
+                    key: 9,
+                },
+                PushRow {
+                    attrs: vec![3.5, -0.25],
+                    key: 10,
+                },
+            ],
+            watermark: Some(vec![1.0, -0.25]),
+            close: false,
+        }),
+        ClientFrame::Push(PushFrame {
+            sub_id: 2,
+            source: SourceId::T,
+            rows: Vec::new(),
+            watermark: Some(vec![5.0]),
+            close: false,
+        }),
+        ClientFrame::Push(PushFrame {
+            sub_id: 3,
+            source: SourceId::T,
+            rows: Vec::new(),
+            watermark: None,
+            close: true,
+        }),
+    ]
+}
+
+/// One representative of every server frame variant.
+fn server_corpus() -> Vec<ServerFrame> {
+    let batch = BatchFrame {
+        progress: 0.75,
+        proven_final: true,
+        tuples: vec![WireTuple {
+            r_idx: 3,
+            t_idx: 8,
+            values: vec![1.5, 2.5],
+        }],
+    };
+    vec![
+        ServerFrame::Hello { version: 2 },
+        ServerFrame::Accepted {
+            columns: vec!["c0".into(), "c1".into()],
+        },
+        ServerFrame::Batch(batch.clone()),
+        ServerFrame::Done(DoneFrame {
+            cancelled: false,
+            results: 12,
+            elapsed_us: 3456,
+        }),
+        ServerFrame::Error {
+            code: ErrorCode::BadQuery,
+            message: "no".into(),
+        },
+        ServerFrame::SubAccepted {
+            sub_id: 42,
+            columns: vec!["c0".into()],
+        },
+        ServerFrame::Update { sub_id: 42, batch },
+        ServerFrame::SubDone {
+            sub_id: 42,
+            done: DoneFrame {
+                cancelled: true,
+                results: 0,
+                elapsed_us: 17,
+            },
+        },
+        ServerFrame::SubError {
+            sub_id: 42,
+            code: ErrorCode::Internal,
+            message: "engine failure".into(),
+        },
+    ]
+}
+
+fn encode_client(frame: &ClientFrame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_client_frame(&mut buf, frame).expect("corpus frames encode");
+    buf
+}
+
+fn encode_server(frame: &ServerFrame) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_server_frame(&mut buf, frame).expect("corpus frames encode");
+    buf
+}
+
+/// Both decoders over one byte string: whatever happens must be a value
+/// or a typed error — a panic fails the test by unwinding, and a runaway
+/// allocation would be caught by the frame-length cap.
+fn decode_both(bytes: &[u8]) {
+    let kinds = [
+        read_client_frame(&mut Cursor::new(bytes))
+            .err()
+            .map(|e| e.kind()),
+        read_server_frame(&mut Cursor::new(bytes))
+            .err()
+            .map(|e| e.kind()),
+    ];
+    for kind in kinds.into_iter().flatten() {
+        assert!(
+            matches!(kind, ErrorKind::UnexpectedEof | ErrorKind::InvalidData),
+            "decoder returned an untyped error kind {kind:?}"
+        );
+    }
+}
+
+#[test]
+fn arbitrary_bytes_never_panic_and_fail_typed() {
+    let mut rng = StdRng::seed_from_u64(0xF0DD);
+    for _ in 0..2_000 {
+        let len = rng.gen_range(0usize..96);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        decode_both(&bytes);
+    }
+}
+
+#[test]
+fn every_truncation_of_every_valid_frame_fails_typed() {
+    for frame in client_corpus() {
+        let bytes = encode_client(&frame);
+        for cut in 0..bytes.len() {
+            let err = read_client_frame(&mut Cursor::new(&bytes[..cut]))
+                .expect_err("a truncated frame must not decode");
+            assert!(
+                matches!(
+                    err.kind(),
+                    ErrorKind::UnexpectedEof | ErrorKind::InvalidData
+                ),
+                "truncation at {cut}/{} of {frame:?}: {err}",
+                bytes.len()
+            );
+        }
+        let roundtrip = read_client_frame(&mut Cursor::new(&bytes)).expect("full frame decodes");
+        assert_eq!(roundtrip, frame);
+    }
+    for frame in server_corpus() {
+        let bytes = encode_server(&frame);
+        for cut in 0..bytes.len() {
+            let err = read_server_frame(&mut Cursor::new(&bytes[..cut]))
+                .expect_err("a truncated frame must not decode");
+            assert!(
+                matches!(
+                    err.kind(),
+                    ErrorKind::UnexpectedEof | ErrorKind::InvalidData
+                ),
+                "truncation at {cut}/{} of {frame:?}: {err}",
+                bytes.len()
+            );
+        }
+        let roundtrip = read_server_frame(&mut Cursor::new(&bytes)).expect("full frame decodes");
+        assert_eq!(roundtrip, frame);
+    }
+}
+
+#[test]
+fn single_byte_mutations_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let client: Vec<Vec<u8>> = client_corpus().iter().map(encode_client).collect();
+    let server: Vec<Vec<u8>> = server_corpus().iter().map(encode_server).collect();
+    for bytes in client.iter().chain(&server) {
+        for _ in 0..400 {
+            let mut mutated = bytes.clone();
+            let pos = rng.gen_range(0usize..mutated.len());
+            mutated[pos] ^= (rng.next_u64() as u8) | 1; // guaranteed change
+            decode_both(&mutated);
+        }
+    }
+}
+
+#[test]
+fn oversized_length_headers_are_rejected_before_allocation() {
+    // tag + a length field past the cap, no payload at all: the decoder
+    // must refuse with InvalidData instead of trying to allocate or
+    // blocking for a body that will never come.
+    for over in [MAX_FRAME_LEN as u64 + 1, u32::MAX as u64] {
+        let mut bytes = vec![0x01u8];
+        bytes.extend_from_slice(&(over as u32).to_be_bytes());
+        let err = read_client_frame(&mut Cursor::new(&bytes)).expect_err("must reject");
+        assert_eq!(err.kind(), ErrorKind::InvalidData, "len {over}: {err}");
+        let err = read_server_frame(&mut Cursor::new(&bytes)).expect_err("must reject");
+        assert_eq!(err.kind(), ErrorKind::InvalidData, "len {over}: {err}");
+    }
+}
+
+#[test]
+fn advertised_row_counts_beyond_the_payload_are_rejected_cheaply() {
+    // A push frame whose count field claims 2^31 rows but whose payload
+    // holds two: the decoder's pre-allocation bound must reject it
+    // (typed) rather than reserve gigabytes.
+    let frame = ClientFrame::Push(PushFrame {
+        sub_id: 5,
+        source: SourceId::R,
+        rows: vec![
+            PushRow {
+                attrs: vec![1.0],
+                key: 1,
+            },
+            PushRow {
+                attrs: vec![2.0],
+                key: 2,
+            },
+        ],
+        watermark: None,
+        close: false,
+    });
+    let mut bytes = encode_client(&frame);
+    // Payload layout: sub_id u64 · source u8 · flags u8 · dims u16 · count
+    // u32 — the count lives at payload offset 12, i.e. 5 + 12 in the frame.
+    let count_at = 5 + 8 + 1 + 1 + 2;
+    bytes[count_at..count_at + 4].copy_from_slice(&(1u32 << 31).to_be_bytes());
+    let err = read_client_frame(&mut Cursor::new(&bytes)).expect_err("must reject");
+    assert_eq!(err.kind(), ErrorKind::InvalidData);
+    assert!(
+        err.to_string().contains("row count"),
+        "typed message: {err}"
+    );
+}

@@ -5,9 +5,11 @@
 //! (2000 anti-correlated rows) take seconds in debug mode, which is the
 //! runway the cancellation tests need to catch a query mid-flight.
 
+use progxe_core::ingest::IngestPoll;
+use progxe_query::exec::StreamingQuery;
 use progxe_query::{Engine, QueryRunner};
 use progxe_server::server::wait_for_cancelled;
-use progxe_server::{synthetic, Client, ErrorCode, Server, ServerConfig, ServerFrame};
+use progxe_server::{synthetic, Client, ErrorCode, PushFrame, Server, ServerConfig, ServerFrame};
 use std::time::{Duration, Instant};
 
 fn start_server(
@@ -20,6 +22,63 @@ fn start_server(
     let engine = Engine::progxe_threads(2);
     Server::start(runner, engine, ServerConfig { max_sessions }, "127.0.0.1:0")
         .expect("bind port 0")
+}
+
+/// A server whose catalog also registers `R`/`T` as streaming tables, so
+/// subscriptions and one-shot queries share one connection.
+fn start_streaming_server(
+    rows: usize,
+    dims: usize,
+    seed: u64,
+    max_sessions: usize,
+) -> progxe_server::ServerHandle {
+    let runner = QueryRunner::new(synthetic::streaming_catalog(rows, dims, seed));
+    let engine = Engine::progxe_threads(2);
+    Server::start(runner, engine, ServerConfig { max_sessions }, "127.0.0.1:0")
+        .expect("bind port 0")
+}
+
+/// One drained result event, flattened for transcript comparison:
+/// `(progress_estimate, proven_final, [(r_idx, t_idx, values)])`.
+type TranscriptEvent = (f64, bool, Vec<(u32, u32, Vec<f64>)>);
+
+/// Applies one wire push frame to an in-process [`StreamingQuery`] and
+/// drains it, exactly mirroring the server's ingest loop. Returns the
+/// drained events and whether the session completed.
+fn apply_in_process(
+    query: &mut StreamingQuery,
+    frame: &PushFrame,
+    transcript: &mut Vec<TranscriptEvent>,
+) -> bool {
+    let rows: Vec<(&[f64], u32)> = frame
+        .rows
+        .iter()
+        .map(|r| (r.attrs.as_slice(), r.key))
+        .collect();
+    if !rows.is_empty() {
+        query.push(frame.source, &rows).expect("push");
+    }
+    if let Some(wm) = &frame.watermark {
+        query.set_watermark(frame.source, wm).expect("watermark");
+    }
+    if frame.close {
+        query.close(frame.source);
+    }
+    loop {
+        match query.poll() {
+            IngestPoll::Batch(event) => transcript.push((
+                event.progress_estimate,
+                event.proven_final,
+                event
+                    .tuples
+                    .iter()
+                    .map(|t| (t.r_idx, t.t_idx, t.values.clone()))
+                    .collect(),
+            )),
+            IngestPoll::NeedInput => return false,
+            IngestPoll::Complete => return true,
+        }
+    }
 }
 
 /// Reads the next frame and asserts the in-flight query was `Accepted` —
@@ -178,6 +237,313 @@ fn bad_query_is_reported_in_band_and_the_connection_survives() {
     handle.shutdown();
     assert_eq!(metrics.queries_failed(), 1);
     assert_eq!(metrics.queries_ok(), 1);
+}
+
+#[test]
+fn subscription_updates_are_bit_identical_to_an_in_process_transcript() {
+    let rows = 240;
+    let dims = 2;
+    let handle = start_streaming_server(50, dims, 3, 8);
+    let sql = synthetic::query_sql(dims);
+    let sub_id = 42;
+    let feed = synthetic::arrival_feed(sub_id, rows, dims, 11, 24);
+
+    // Wire run: subscribe, replay the feed, collect every Update verbatim.
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client.subscribe(sub_id, &sql).expect("subscribe");
+    let columns = match client.next_server_frame().expect("frame") {
+        ServerFrame::SubAccepted {
+            sub_id: id,
+            columns,
+        } => {
+            assert_eq!(id, sub_id);
+            columns
+        }
+        other => panic!("expected SubAccepted, got {other:?}"),
+    };
+    for frame in &feed {
+        client.push(frame).expect("push");
+    }
+    let mut wire: Vec<TranscriptEvent> = Vec::new();
+    let done = loop {
+        match client.next_server_frame().expect("frame") {
+            ServerFrame::Update { sub_id: id, batch } => {
+                assert_eq!(id, sub_id);
+                wire.push((
+                    batch.progress,
+                    batch.proven_final,
+                    batch
+                        .tuples
+                        .iter()
+                        .map(|t| (t.r_idx, t.t_idx, t.values.clone()))
+                        .collect(),
+                ));
+            }
+            ServerFrame::SubDone { sub_id: id, done } => {
+                assert_eq!(id, sub_id);
+                break done;
+            }
+            other => panic!("expected Update or SubDone, got {other:?}"),
+        }
+    };
+    assert!(!done.cancelled, "a fully fed subscription completes");
+
+    // In-process run: same engine config, same arrival schedule.
+    let runner = QueryRunner::new(synthetic::streaming_catalog(50, dims, 3));
+    let mut query = runner
+        .ingest_session(&sql, &Engine::progxe_threads(2))
+        .expect("in-process session");
+    assert_eq!(query.output_names(), columns.as_slice());
+    let mut reference: Vec<TranscriptEvent> = Vec::new();
+    let mut completed = false;
+    for frame in &feed {
+        completed = apply_in_process(&mut query, frame, &mut reference);
+    }
+    assert!(completed, "the feed closes both sources");
+    let stats = query.finish();
+    assert!(!stats.cancelled);
+
+    assert_eq!(
+        wire, reference,
+        "wire Update stream must be bit-identical to the in-process transcript"
+    );
+    assert_eq!(done.results, stats.results_emitted);
+    assert!(done.results > 0, "anti-correlated feed must emit results");
+    let metrics = handle.metrics();
+    handle.shutdown();
+    assert_eq!(metrics.queries_ok(), 1);
+    assert_eq!(metrics.queries_cancelled(), 0);
+}
+
+#[test]
+fn unsubscribe_cancels_the_standing_session() {
+    let dims = 2;
+    let handle = start_streaming_server(50, dims, 4, 8);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let sub_id = 7;
+    client
+        .subscribe(sub_id, &synthetic::query_sql(dims))
+        .expect("subscribe");
+    assert!(matches!(
+        client.next_server_frame().expect("frame"),
+        ServerFrame::SubAccepted { .. }
+    ));
+    // Feed part of the stream — never closing — then unsubscribe.
+    let feed = synthetic::arrival_feed(sub_id, 200, dims, 5, 32);
+    for frame in feed.iter().filter(|f| !f.close).take(4) {
+        client.push(frame).expect("push");
+    }
+    client.unsubscribe(sub_id).expect("unsubscribe");
+    let done = loop {
+        match client.next_server_frame().expect("frame") {
+            ServerFrame::Update { .. } => continue,
+            ServerFrame::SubDone { sub_id: id, done } => {
+                assert_eq!(id, sub_id);
+                break done;
+            }
+            other => panic!("expected Update or SubDone, got {other:?}"),
+        }
+    };
+    assert!(done.cancelled, "unsubscribe ends the session as cancelled");
+    let metrics = handle.metrics();
+    assert_eq!(metrics.queries_cancelled(), 1);
+    // The connection survives: a fresh subscription under the same id.
+    client
+        .subscribe(sub_id, &synthetic::query_sql(dims))
+        .expect("resubscribe");
+    assert!(matches!(
+        client.next_server_frame().expect("frame"),
+        ServerFrame::SubAccepted { .. }
+    ));
+    handle.shutdown();
+}
+
+#[test]
+fn disconnect_cancels_standing_subscriptions() {
+    let dims = 2;
+    let handle = start_streaming_server(50, dims, 6, 8);
+    let metrics = handle.metrics();
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    client
+        .subscribe(1, &synthetic::query_sql(dims))
+        .expect("subscribe");
+    assert!(matches!(
+        client.next_server_frame().expect("frame"),
+        ServerFrame::SubAccepted { .. }
+    ));
+    let feed = synthetic::arrival_feed(1, 200, dims, 8, 32);
+    for frame in feed.iter().filter(|f| !f.close).take(3) {
+        client.push(frame).expect("push");
+    }
+    drop(client); // vanish with the subscription standing
+    assert!(
+        wait_for_cancelled(&metrics, 1, Duration::from_secs(20)),
+        "disconnect must cancel the standing subscription (cancelled={})",
+        metrics.queries_cancelled()
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn v1_client_completes_a_one_shot_query_unchanged() {
+    let rows = 300;
+    let dims = 2;
+    let seed = 12;
+    let sql = synthetic::query_sql(dims);
+    let reference = QueryRunner::new(synthetic::catalog(rows, dims, seed))
+        .run_collect(&sql, &Engine::progxe_threads(2))
+        .expect("reference run");
+
+    let handle = start_streaming_server(rows, dims, seed, 8);
+    // No v2 Hello echo: the server must confine itself to v1 frames.
+    let mut client = Client::connect_v1(handle.addr()).expect("connect");
+    let outcome = client.run_query(&sql).expect("query runs");
+    assert!(outcome.error.is_none());
+    let done = outcome.done.expect("Done frame");
+    assert!(!done.cancelled);
+    assert_eq!(done.results, reference.results.len() as u64);
+    let mut got: Vec<(u32, u32)> = outcome.tuples.iter().map(|t| (t.r_idx, t.t_idx)).collect();
+    let mut want: Vec<(u32, u32)> = reference
+        .results
+        .iter()
+        .map(|t| (t.r_idx, t.t_idx))
+        .collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want);
+
+    // A v2-only request on the v1 connection gets a v1-safe typed error,
+    // never an unknown tag.
+    client.subscribe(9, &sql).expect("send subscribe");
+    match client.next_server_frame().expect("frame") {
+        ServerFrame::Error { code, message } => {
+            assert_eq!(code, ErrorCode::BadQuery);
+            assert!(
+                message.contains("v2"),
+                "explains the version gate: {message}"
+            );
+        }
+        other => panic!("expected v1-safe Error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn cancel_in_the_same_write_as_the_query_is_not_lost() {
+    use progxe_server::protocol::{read_server_frame, write_client_frame, ClientFrame};
+    use std::io::Write;
+
+    // The lost-cancel race: Cancel lands after Query but before the
+    // handler installs the session token. Sending both frames in ONE
+    // write maximizes the window; the pending-cancel set must catch it.
+    let handle = start_server(2000, 3, 5, 8);
+    let stream = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+    match read_server_frame(&mut reader).expect("hello") {
+        ServerFrame::Hello { .. } => {}
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    let mut buf = Vec::new();
+    write_client_frame(&mut buf, &ClientFrame::Query(synthetic::query_sql(3))).unwrap();
+    write_client_frame(&mut buf, &ClientFrame::Cancel { seq: None }).unwrap();
+    (&stream).write_all(&buf).expect("one write");
+    (&stream).flush().expect("flush");
+
+    let done = loop {
+        match read_server_frame(&mut reader).expect("stream well-formed") {
+            ServerFrame::Accepted { .. } | ServerFrame::Batch(_) => continue,
+            ServerFrame::Done(done) => break done,
+            other => panic!("expected Accepted/Batch/Done, got {other:?}"),
+        }
+    };
+    assert!(
+        done.cancelled,
+        "a Cancel racing the token install must still cancel the query"
+    );
+    let metrics = handle.metrics();
+    handle.shutdown();
+    assert_eq!(metrics.queries_cancelled(), 1);
+    assert_eq!(metrics.queries_ok(), 0);
+}
+
+#[test]
+fn stale_cancel_never_kills_the_next_pipelined_query() {
+    let handle = start_server(2000, 3, 13, 8);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let sql = synthetic::query_sql(3);
+    let seq0 = client.send_query(&sql).expect("send q0");
+    let _seq1 = client.send_query(&sql).expect("send q1");
+    assert_eq!(seq0, 0);
+
+    // Drain query 0 to its Done...
+    let done0 = loop {
+        match client.next_server_frame().expect("frame") {
+            ServerFrame::Accepted { .. } | ServerFrame::Batch(_) => continue,
+            ServerFrame::Done(done) => break done,
+            other => panic!("q0: unexpected {other:?}"),
+        }
+    };
+    assert!(!done0.cancelled);
+    // ...then cancel it — stale: query 1 is (or is about to be) running,
+    // and before cancels were sequenced this killed it.
+    client.cancel_seq(seq0).expect("stale cancel");
+    let done1 = loop {
+        match client.next_server_frame().expect("frame") {
+            ServerFrame::Accepted { .. } | ServerFrame::Batch(_) => continue,
+            ServerFrame::Done(done) => break done,
+            other => panic!("q1: unexpected {other:?}"),
+        }
+    };
+    assert!(
+        !done1.cancelled,
+        "a stale Cancel for a finished query must not touch its successor"
+    );
+    let metrics = handle.metrics();
+    handle.shutdown();
+    assert_eq!(metrics.queries_ok(), 2);
+    assert_eq!(metrics.queries_cancelled(), 0);
+}
+
+#[test]
+fn wire_progress_is_monotone_and_reaches_the_final_estimate() {
+    let rows = 400;
+    let dims = 2;
+    let seed = 3;
+    let sql = synthetic::query_sql(dims);
+
+    // In-process reference: the highest progress estimate any event
+    // (including empty, progress-only ones) carries.
+    let runner = QueryRunner::new(synthetic::catalog(rows, dims, seed));
+    let planned = runner.prepare(&sql).expect("prepare");
+    let mut session = runner
+        .session(&planned, &Engine::progxe_threads(2))
+        .expect("session");
+    let mut final_estimate = 0.0f64;
+    while let Some(event) = session.next_batch() {
+        final_estimate = final_estimate.max(event.progress_estimate);
+    }
+    drop(session);
+    assert!(final_estimate > 0.0);
+
+    let handle = start_server(rows, dims, seed, 8);
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let outcome = client.run_query(&sql).expect("query runs");
+    assert!(outcome.error.is_none());
+    assert!(!outcome.progress.is_empty());
+    for pair in outcome.progress.windows(2) {
+        assert!(
+            pair[1] >= pair[0],
+            "wire progress regressed: {:?}",
+            outcome.progress
+        );
+    }
+    let observed = outcome.progress.last().copied().unwrap();
+    assert!(
+        observed >= final_estimate,
+        "wire progress went stale: observed {observed}, final estimate {final_estimate}"
+    );
+    handle.shutdown();
 }
 
 #[test]
